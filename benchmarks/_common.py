@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness (datasets, budgets, training).
+
+Every benchmark reproduces one table or figure of the paper (see DESIGN.md's
+per-experiment index).  Benchmarks run on laptop-scale synthetic datasets, so
+absolute numbers differ from the paper; what each benchmark checks and reports
+is the *shape* of the result (who wins, by roughly what factor, where the
+trends bend).  Each benchmark prints a formatted table (run with ``-s`` to see
+it) and saves a JSON artifact under ``benchmark_results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.models.base import RetrievalModel
+from repro.training import Trainer, TrainingConfig
+
+#: Directory where benchmark artifacts (JSON result rows) are written.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+
+#: Bench-scale training budget; raise these environment variables for longer
+#: (closer-to-paper) runs.
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "1"))
+BENCH_TRAIN_EXAMPLES = int(os.environ.get("REPRO_BENCH_TRAIN_EXAMPLES", "700"))
+BENCH_TEST_EXAMPLES = int(os.environ.get("REPRO_BENCH_TEST_EXAMPLES", "300"))
+
+
+def quick_train(model: RetrievalModel, train, test=None,
+                epochs: int = BENCH_EPOCHS, learning_rate: float = 0.03,
+                batch_size: int = 64, max_batches: Optional[int] = None,
+                target_auc: Optional[float] = None):
+    """Train a model with the benchmark budget; returns (trainer, result)."""
+    trainer = Trainer(model, TrainingConfig(
+        epochs=epochs, batch_size=batch_size, learning_rate=learning_rate,
+        loss="focal", max_batches_per_epoch=max_batches))
+    result = trainer.train(train, test, target_auc=target_auc)
+    return trainer, result

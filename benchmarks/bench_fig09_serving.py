@@ -1,0 +1,54 @@
+"""Fig. 9 — online response time versus queries per second.
+
+The paper serves 1K-50K QPS with average response times of ~2.6-3.6 ms; when
+QPS grows 10x the response time grows less than 2x, thanks to the neighbor
+caches, the decoupled asynchronous aggregation and the inverted index.  The
+reproduction measures the per-request service time of the serving stack and
+sweeps QPS through the M/M/c queueing model; the shape check is the
+sub-linear growth.
+"""
+
+from _common import RESULTS_DIR, quick_train
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.experiments import ExperimentResult, format_table, save_results
+from repro.serving import OnlineServer
+
+QPS_SWEEP = [1000, 2000, 3000, 4000, 5000, 10000, 20000, 30000, 40000, 50000]
+
+
+def test_fig9_response_time_vs_qps(benchmark, bench_taobao):
+    dataset, train, _ = bench_taobao
+
+    def run():
+        model = ZoomerModel(dataset.graph,
+                            ZoomerConfig(embedding_dim=16, fanouts=(5, 3),
+                                         seed=0))
+        quick_train(model, train[:300], max_batches=4)
+        server = OnlineServer(model, cache_capacity=30, ann_cells=8,
+                              ann_nprobe=3, num_servers=4096)
+        active_users = list(range(min(20, dataset.config.num_users)))
+        active_queries = list(range(min(20, dataset.config.num_queries)))
+        server.warm_caches(active_users, active_queries)
+        server.build_inverted_index(active_queries)
+        calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:20]]
+        rows = server.qps_sweep(QPS_SWEEP, calibration)
+        hit_rate = server.cache.hit_rate()
+        return rows, hit_rate
+
+    rows, hit_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 9: online response time vs QPS"))
+    print(f"neighbor-cache hit rate during calibration: {hit_rate:.2f}")
+    low = next(r["response_ms"] for r in rows if r["qps"] == 1000)
+    high = next(r["response_ms"] for r in rows if r["qps"] == 10000)
+    print(f"response time at 1K QPS: {low:.3f} ms, at 10K QPS: {high:.3f} ms "
+          f"(paper: 10x QPS -> <2x response time)")
+    # Shape checks: monotone growth, and 10x QPS costs less than 2x latency.
+    times = [r["response_ms"] for r in rows]
+    assert times == sorted(times)
+    assert high / low < 2.0
+    save_results([ExperimentResult(
+        "fig9", "Online response time vs QPS", rows=rows,
+        paper_reference={"rt_range_ms": "2.6-3.6",
+                         "claim": "10x QPS -> <2x response time"})],
+        RESULTS_DIR)

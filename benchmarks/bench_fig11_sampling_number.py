@@ -1,0 +1,98 @@
+"""Fig. 11 — effect of the sampling number K on AUC.
+
+The paper sweeps the per-node sampling number K from 5 to 30 for Zoomer and
+the sampler-equipped baselines (GraphSAGE, PinSage, PinnerSage, Pixie).
+Reported shape: Zoomer dominates at every K, its advantage is largest at
+small K (it finds a more informative sub-graph under a tight budget), and
+more sampling is not always better (K=25 often beats K=30 — information
+overload).  The bench sweeps a reduced K grid to stay laptop-fast.
+
+An additional ablation (DESIGN.md §5) compares the paper's generalized-Jaccard
+relevance score against the cosine alternative at the smallest K.
+"""
+
+import numpy as np
+
+from _common import RESULTS_DIR, quick_train
+from repro.baselines import SAMPLER_BASELINES
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.experiments import ExperimentResult, format_table, save_results
+
+K_VALUES = (2, 5, 10)
+
+
+def _zoomer(dataset, k, metric="generalized_jaccard"):
+    return ZoomerModel(dataset.graph, ZoomerConfig(
+        embedding_dim=16, fanouts=(k, max(k // 2, 1)), seed=0,
+        relevance_metric=metric))
+
+
+def test_fig11_sampling_number_sweep(benchmark, bench_taobao):
+    dataset, train, test = bench_taobao
+
+    def run():
+        rows = []
+        for k in K_VALUES:
+            models = {"Zoomer": lambda k=k: _zoomer(dataset, k)}
+            for name, cls in SAMPLER_BASELINES.items():
+                models[name] = (lambda c=cls, k=k: c(
+                    dataset.graph, embedding_dim=16,
+                    fanouts=(k, max(k // 2, 1)), seed=0))
+            for name, factory in models.items():
+                model = factory()
+                # Use the full bench training budget: the focal-biased ROI
+                # needs enough optimisation steps before its advantage over
+                # focal-agnostic samplers shows (cf. Table III).
+                _, result = quick_train(model, train, test[:200])
+                rows.append({
+                    "K": k,
+                    "model": name,
+                    "auc": round(result.final_metrics.auc, 4),
+                    "train_s": round(result.training_seconds, 1),
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 11: AUC vs sampling number K"))
+    save_results([ExperimentResult(
+        "fig11", "AUC vs sampling number K", rows=rows,
+        paper_reference={"shape": "Zoomer dominates; margin largest at small K; "
+                                  "K=25 often beats K=30"})], RESULTS_DIR)
+    # Shape check: averaged over the whole K sweep, Zoomer is competitive with
+    # the sampler baselines.  Per-K margins are too noisy at the 1-epoch bench
+    # budget to assert the paper's exact per-point ordering.
+    zoomer_mean = np.mean([row["auc"] for row in rows
+                           if row["model"] == "Zoomer"])
+    baseline_mean = np.mean([row["auc"] for row in rows
+                             if row["model"] != "Zoomer"])
+    print(f"sweep means: Zoomer {zoomer_mean:.3f} vs baselines "
+          f"{baseline_mean:.3f} (paper: Zoomer dominates at every K)")
+    assert zoomer_mean >= baseline_mean - 0.05
+
+
+def test_fig11_relevance_metric_ablation(benchmark, bench_taobao):
+    """DESIGN.md ablation: Eq. 5 generalized Jaccard vs cosine relevance."""
+    dataset, train, test = bench_taobao
+
+    def run():
+        rows = []
+        for metric in ("generalized_jaccard", "cosine"):
+            model = _zoomer(dataset, K_VALUES[0], metric=metric)
+            _, result = quick_train(model, train[:400], test[:200],
+                                    max_batches=6)
+            rows.append({"relevance_metric": metric,
+                         "auc": round(result.final_metrics.auc, 4)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: ROI relevance score "
+                                   "(Eq. 5 vs cosine)"))
+    aucs = [row["auc"] for row in rows]
+    # The paper states either score works; they should be in the same range.
+    assert abs(aucs[0] - aucs[1]) < 0.15
+    save_results([ExperimentResult(
+        "fig11_metric_ablation", "ROI relevance metric ablation", rows=rows,
+        paper_reference={"claim": "Eq. 5 can be replaced by cosine distance"})],
+        RESULTS_DIR)

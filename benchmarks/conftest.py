@@ -1,0 +1,54 @@
+"""Benchmark fixtures: shared datasets for the table/figure reproductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_TEST_EXAMPLES, BENCH_TRAIN_EXAMPLES
+from repro.data import (
+    MovieLensConfig,
+    SyntheticTaobaoConfig,
+    generate_movielens_dataset,
+    generate_taobao_dataset,
+    train_test_split_examples,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_taobao():
+    """The main Taobao-like benchmark dataset (million-scale stand-in)."""
+    dataset = generate_taobao_dataset(SyntheticTaobaoConfig(
+        num_users=70, num_queries=55, num_items=160, num_categories=8,
+        sessions_per_user=6.0, seed=100))
+    train, test = train_test_split_examples(dataset.impressions, 0.9, seed=0)
+    return dataset, train[:BENCH_TRAIN_EXAMPLES], test[:BENCH_TEST_EXAMPLES]
+
+
+@pytest.fixture(scope="session")
+def bench_movielens():
+    """The MovieLens-like benchmark dataset (Table II stand-in)."""
+    dataset = generate_movielens_dataset(MovieLensConfig(
+        num_users=70, num_movies=130, num_tags=22, num_genres=6,
+        ratings_per_user=9.0, seed=101))
+    train, test = train_test_split_examples(dataset.examples, 0.8, seed=0)
+    return dataset, train[:BENCH_TRAIN_EXAMPLES], test[:BENCH_TEST_EXAMPLES]
+
+
+@pytest.fixture(scope="session")
+def bench_scales():
+    """Three graph scales standing in for million / hundred-million / billion."""
+    scales = {}
+    for name, config in (
+            ("million-scale", SyntheticTaobaoConfig(
+                num_users=40, num_queries=32, num_items=90, num_categories=6,
+                sessions_per_user=5.0, seed=110)),
+            ("hundred-million-scale", SyntheticTaobaoConfig(
+                num_users=80, num_queries=60, num_items=180, num_categories=10,
+                sessions_per_user=6.0, seed=111)),
+            ("billion-scale", SyntheticTaobaoConfig(
+                num_users=150, num_queries=110, num_items=340,
+                num_categories=14, sessions_per_user=6.0, seed=112))):
+        dataset = generate_taobao_dataset(config)
+        train, test = train_test_split_examples(dataset.impressions, 0.9, seed=0)
+        scales[name] = (dataset, train, test)
+    return scales

@@ -1,0 +1,90 @@
+"""Search-retrieval serving scenario: the Taobao workflow of the paper's Fig. 3.
+
+A user poses a query on the app; the search engine retrieves a candidate set
+from a large item pool, then ranks it.  This example exercises the retrieval
+stage end to end the way the paper deploys it:
+
+1. train Zoomer offline on behavior logs,
+2. export item embeddings, build the ANN index and the two-layer inverted
+   index, warm the neighbor caches (the asynchronous refresh path),
+3. serve a stream of requests through :class:`repro.serving.OnlineServer`,
+   measuring the latency breakdown and the relevance of what was returned,
+4. sweep QPS through the queueing model to see the Fig. 9 behaviour.
+
+Run with:  python examples/search_retrieval_serving.py
+"""
+
+import numpy as np
+
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.data import (
+    SyntheticTaobaoConfig,
+    generate_taobao_dataset,
+    train_test_split_examples,
+)
+from repro.experiments import format_table
+from repro.serving import OnlineServer
+from repro.training import Trainer, TrainingConfig
+
+
+def main() -> None:
+    dataset = generate_taobao_dataset(SyntheticTaobaoConfig(
+        num_users=50, num_queries=40, num_items=120, num_categories=8,
+        sessions_per_user=6.0, seed=3))
+    train, _ = train_test_split_examples(dataset.impressions, 0.9, seed=0)
+
+    # Offline training.
+    model = ZoomerModel(dataset.graph,
+                        ZoomerConfig(embedding_dim=16, fanouts=(5, 3), seed=0))
+    print("Training Zoomer offline ...")
+    Trainer(model, TrainingConfig(epochs=1, batch_size=64,
+                                  learning_rate=0.03)).train(train[:800])
+
+    # Build the serving stack: ANN index + inverted index + neighbor caches.
+    server = OnlineServer(model, cache_capacity=30, ann_cells=8, ann_nprobe=3,
+                          posting_length=50)
+    active_users = list(range(20))
+    active_queries = list(range(20))
+    server.warm_caches(active_users, active_queries)
+    server.build_inverted_index(active_queries)
+    print(f"Serving stack ready: {len(server.inverted_index)} posting lists, "
+          f"ANN over {dataset.config.num_items} items, "
+          f"{len(server.cache)} cached nodes")
+
+    # Serve a stream of requests taken from real sessions.
+    rows = []
+    relevant_hits = 0
+    total_shown = 0
+    for session in dataset.sessions[:25]:
+        result = server.serve(session.user_id, session.query_id, k=10)
+        query_category = dataset.query_categories[session.query_id]
+        relevant = sum(1 for item in result.item_ids
+                       if dataset.item_categories[item] == query_category)
+        relevant_hits += relevant
+        total_shown += len(result.item_ids)
+        rows.append({
+            "user": session.user_id,
+            "query": session.query_id,
+            "from_index": result.from_inverted_index,
+            "cache_ms": round(result.latency.cache_ms, 3),
+            "attention_ms": round(result.latency.attention_ms, 3),
+            "ann_ms": round(result.latency.ann_ms, 3),
+            "total_ms": round(result.latency.total_ms, 3),
+        })
+    print()
+    print(format_table(rows[:10], title="First 10 served requests"))
+    print(f"\nCategory-relevant items among retrieved: "
+          f"{relevant_hits}/{total_shown} "
+          f"({100.0 * relevant_hits / max(total_shown, 1):.1f}%)")
+    print(f"Neighbor-cache hit rate: {server.cache.hit_rate():.2f}")
+
+    # QPS sweep through the queueing model (the Fig. 9 curve).
+    calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:20]]
+    sweep = server.qps_sweep([1000, 2000, 5000, 10000, 20000, 50000],
+                             calibration)
+    print()
+    print(format_table(sweep, title="Response time vs QPS (queueing model)"))
+
+
+if __name__ == "__main__":
+    main()

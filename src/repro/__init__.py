@@ -1,0 +1,26 @@
+"""Zoomer reproduction: ROI-based GNN retrieval on web-scale graphs.
+
+Reproduction of "Zoomer: Boosting Retrieval on Web-scale Graphs by Regions of
+Interest" (ICDE 2022).  The package is organised as:
+
+* :mod:`repro.ndarray`, :mod:`repro.nn` — numpy autodiff engine and NN layers.
+* :mod:`repro.graph` — heterogeneous graph engine (Euler-like substrate).
+* :mod:`repro.sampling` — neighbor samplers (uniform, importance, random-walk,
+  cluster, and the focal-biased ROI sampler).
+* :mod:`repro.core` — Zoomer itself: focal interests, ROI construction,
+  multi-level attention, twin-tower model, ablations.
+* :mod:`repro.baselines` — GCN, GraphSAGE, GAT, HAN, PinSage, PinnerSage,
+  Pixie, GCE-GNN, FGNN, STAMP, MCCF.
+* :mod:`repro.training` — dataloaders, trainer, metrics.
+* :mod:`repro.distributed` — parameter-server / pipeline simulation and
+  training-cost models.
+* :mod:`repro.serving` — neighbor cache, ANN index, inverted index, latency
+  simulator, online server.
+* :mod:`repro.data` — synthetic Taobao-like and MovieLens-like datasets.
+* :mod:`repro.experiments` — motivation measurements, A/B test simulator,
+  interpretability, experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

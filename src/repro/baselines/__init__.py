@@ -1,0 +1,83 @@
+"""Baseline recommendation models compared against Zoomer in the paper.
+
+Section VII-A lists nine baselines; together with plain GCN that gives the
+model zoo below.  Each baseline is implemented on the same substrate as
+Zoomer (the :mod:`repro.ndarray` engine, :class:`~repro.models.encoders.
+HeteroNodeEncoder` node encoders and the twin-tower head) so differences in
+the comparison isolate the sampling and aggregation strategies — which is
+exactly what the paper's Tables II/III and Figs. 11/12 study.
+
+* :class:`GCNModel` — mean-pooling graph convolution (Kipf & Welling).
+* :class:`GraphSAGEModel` — uniform neighbor sampling + concat aggregation.
+* :class:`GATModel` — static pairwise edge attention.
+* :class:`HANModel` — hierarchical (node-level + semantic-level) attention.
+* :class:`PinSageModel` — importance-based sampling + importance pooling.
+* :class:`PinnerSageModel` — cluster-based multi-interest sampling.
+* :class:`PixieModel` — biased random-walk sampling with visit counts.
+* :class:`GCEGNNModel` — session-local + global-context aggregation.
+* :class:`FGNNModel` — weighted session-graph attention with readout.
+* :class:`STAMPModel` — short-term attention/memory priority (non-GNN).
+* :class:`MCCFModel` — multi-component decomposed aggregation.
+"""
+
+from repro.baselines.common import GraphRetrievalModel, TreeAggregationModel
+from repro.baselines.gcn import GCNModel
+from repro.baselines.graphsage import GraphSAGEModel
+from repro.baselines.gat import GATModel
+from repro.baselines.han import HANModel
+from repro.baselines.pinsage import PinSageModel
+from repro.baselines.pinnersage import PinnerSageModel
+from repro.baselines.pixie import PixieModel
+from repro.baselines.gce_gnn import GCEGNNModel
+from repro.baselines.fgnn import FGNNModel
+from repro.baselines.stamp import STAMPModel
+from repro.baselines.mccf import MCCFModel
+
+#: Baselines that own a graph-downscaling sampler (used by Figs. 11 and 12).
+SAMPLER_BASELINES = {
+    "GraphSage": GraphSAGEModel,
+    "PinSage": PinSageModel,
+    "PinnerSage": PinnerSageModel,
+    "Pixie": PixieModel,
+}
+
+#: The baselines used in the MovieLens comparison (Table II).
+MOVIELENS_BASELINES = {
+    "GCE-GNN": GCEGNNModel,
+    "FGNN": FGNNModel,
+    "STAMP": STAMPModel,
+    "MCCF": MCCFModel,
+    "HAN": HANModel,
+}
+
+#: The full baseline zoo used in the Taobao comparison (Table III).
+ALL_BASELINES = {
+    "GCE-GNN": GCEGNNModel,
+    "FGNN": FGNNModel,
+    "STAMP": STAMPModel,
+    "MCCF": MCCFModel,
+    "HAN": HANModel,
+    "PinSage": PinSageModel,
+    "GraphSage": GraphSAGEModel,
+    "PinnerSage": PinnerSageModel,
+    "Pixie": PixieModel,
+}
+
+__all__ = [
+    "GraphRetrievalModel",
+    "TreeAggregationModel",
+    "GCNModel",
+    "GraphSAGEModel",
+    "GATModel",
+    "HANModel",
+    "PinSageModel",
+    "PinnerSageModel",
+    "PixieModel",
+    "GCEGNNModel",
+    "FGNNModel",
+    "STAMPModel",
+    "MCCFModel",
+    "SAMPLER_BASELINES",
+    "MOVIELENS_BASELINES",
+    "ALL_BASELINES",
+]

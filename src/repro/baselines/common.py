@@ -1,0 +1,198 @@
+"""Shared infrastructure for the baseline models.
+
+:class:`GraphRetrievalModel` handles everything a baseline does not care
+about: node encoding, the twin-tower head, batching, the retrieval-embedding
+interface and neighborhood caching.  :class:`TreeAggregationModel` adds the
+generic "sample a neighborhood tree around the user and query ego nodes and
+aggregate it bottom-up" pattern; concrete baselines only override the sampler
+choice and the per-node aggregation rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.models.base import RetrievalModel, resolve_node_roles
+from repro.models.encoders import HeteroNodeEncoder, TwinTowerHead
+from repro.ndarray.tensor import Tensor, no_grad
+from repro.sampling.base import NeighborSampler, SampledNode
+from repro.sampling.uniform import UniformNeighborSampler
+
+
+class GraphRetrievalModel(RetrievalModel):
+    """Base class: twin towers over a heterogeneous graph."""
+
+    name = "graph-baseline"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0):
+        super().__init__(graph)
+        self.embedding_dim = embedding_dim
+        self.fanouts = tuple(fanouts)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.user_type, self.query_type, self.item_type = resolve_node_roles(graph)
+        self.encoder = HeteroNodeEncoder(graph, embedding_dim, rng=rng)
+        self.head = TwinTowerHead(2 * embedding_dim, embedding_dim,
+                                  tower_hidden, embedding_dim, rng=rng)
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    # To be provided by subclasses
+    # ------------------------------------------------------------------ #
+    def request_representation(self, user_id: int, query_id: int) -> Tensor:
+        """Return the (2 * embedding_dim,) request-side representation."""
+        raise NotImplementedError
+
+    def item_representation(self, item_ids: Sequence[int]) -> Tensor:
+        """Item-side inputs; default is the slot-averaged node vectors."""
+        return self.encoder.mean_vectors(self.item_type, item_ids)
+
+    # ------------------------------------------------------------------ #
+    # RetrievalModel interface
+    # ------------------------------------------------------------------ #
+    def forward_batch(self, user_ids: np.ndarray, query_ids: np.ndarray,
+                      item_ids: np.ndarray) -> Tensor:
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        query_ids = np.asarray(query_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        request_vectors = [self.request_representation(int(u), int(q))
+                           for u, q in zip(user_ids, query_ids)]
+        request_matrix = Tensor.stack(request_vectors, axis=0)
+        request_out = self.head.request(request_matrix)
+        item_out = self.head.item(self.item_representation(item_ids))
+        logits = (request_out * item_out).sum(axis=-1)
+        return logits.sigmoid()
+
+    def request_embedding(self, user_id: int, query_id: int) -> np.ndarray:
+        with no_grad():
+            representation = self.request_representation(user_id, query_id)
+            output = self.head.request(representation.reshape(1, -1))
+        return output.numpy().reshape(-1).copy()
+
+    def item_embedding(self, item_id: int) -> np.ndarray:
+        with no_grad():
+            output = self.head.item(self.item_representation([int(item_id)]))
+        return output.numpy().reshape(-1).copy()
+
+    def item_embeddings(self, item_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        if item_ids is None:
+            item_ids = range(self.graph.num_nodes[self.item_type])
+        item_ids = list(item_ids)
+        with no_grad():
+            output = self.head.item(self.item_representation(item_ids))
+        return output.numpy().copy()
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    def node_vector(self, node_type: str, node_id: int) -> Tensor:
+        """Slot-averaged vector of one node, shape ``(embedding_dim,)``."""
+        return self.encoder.mean_vectors(node_type, [node_id]).reshape(
+            self.embedding_dim)
+
+    def node_vectors(self, node_type: str, node_ids: Sequence[int]) -> Tensor:
+        """Slot-averaged vectors of several same-type nodes, ``(n, d)``."""
+        return self.encoder.mean_vectors(node_type, node_ids)
+
+    def neighbor_history(self, node_type: str, node_id: int, target_type: str,
+                         limit: int = 20) -> Tuple[np.ndarray, np.ndarray]:
+        """The node's highest-weight neighbors of ``target_type``.
+
+        Used by session-style baselines (STAMP, FGNN, MCCF) that consume a
+        user's or query's clicked-item history rather than a sampled tree.
+        Returns ``(ids, weights)`` sorted by descending weight.
+        """
+        ids: List[int] = []
+        weights: List[float] = []
+        for spec, neighbor_ids, edge_weights in self.graph.neighbors(node_type,
+                                                                     node_id):
+            if spec.dst_type != target_type:
+                continue
+            ids.extend(int(i) for i in neighbor_ids)
+            weights.extend(float(w) for w in edge_weights)
+        if not ids:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        order = np.argsort(-np.asarray(weights))[:limit]
+        return (np.asarray(ids, dtype=np.int64)[order],
+                np.asarray(weights)[order])
+
+
+class TreeAggregationModel(GraphRetrievalModel):
+    """Baselines that sample a neighborhood tree and aggregate it bottom-up."""
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 sampler: Optional[NeighborSampler] = None):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed)
+        self.sampler = sampler if sampler is not None \
+            else UniformNeighborSampler(seed=seed)
+        self._tree_cache: Dict[Tuple[str, int], SampledNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # Extension point
+    # ------------------------------------------------------------------ #
+    def aggregate(self, ego_vector: Tensor,
+                  children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                  ) -> Tensor:
+        """Combine the ego vector with its typed child matrices.
+
+        ``children_by_type`` maps node type to ``(stacked_vectors, weights)``
+        where ``stacked_vectors`` has shape ``(k, d)`` and ``weights`` are the
+        sampled edge weights.  Must return a ``(d,)`` tensor.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared machinery
+    # ------------------------------------------------------------------ #
+    def sampled_tree(self, node_type: str, node_id: int) -> SampledNode:
+        """Sample (and cache) the neighborhood tree of an ego node."""
+        key = (node_type, int(node_id))
+        tree = self._tree_cache.get(key)
+        if tree is None:
+            tree = self.sampler.sample(self.graph, node_type, node_id, self.fanouts)
+            self._tree_cache[key] = tree
+        return tree
+
+    def clear_tree_cache(self) -> None:
+        """Drop cached neighborhood trees."""
+        self._tree_cache.clear()
+
+    def tree_representation(self, node_type: str, node_id: int) -> Tensor:
+        """Aggregate the ego node's sampled tree into a ``(d,)`` vector."""
+        tree = self.sampled_tree(node_type, node_id)
+        return self._aggregate_node(tree)
+
+    def _aggregate_node(self, node: SampledNode) -> Tensor:
+        ego_vector = self.node_vector(node.node_type, node.node_id)
+        groups = node.children_by_type()
+        if not groups:
+            return ego_vector
+        children_by_type: Dict[str, Tuple[Tensor, np.ndarray]] = {}
+        for node_type, members in groups.items():
+            child_vectors = [self._aggregate_node(child) for child, _ in members]
+            weights = np.asarray([w for _, w in members], dtype=np.float64)
+            children_by_type[node_type] = (Tensor.stack(child_vectors, axis=0),
+                                           weights)
+        return self.aggregate(ego_vector, children_by_type)
+
+    def request_representation(self, user_id: int, query_id: int) -> Tensor:
+        user_repr = self.tree_representation(self.user_type, user_id)
+        query_repr = self.tree_representation(self.query_type, query_id)
+        return Tensor.concat([user_repr, query_repr], axis=-1)
+
+
+def merge_children(children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                   ) -> Tuple[Tensor, np.ndarray]:
+    """Merge per-type child matrices into one ``(k_total, d)`` matrix."""
+    matrices = [matrix for matrix, _ in children_by_type.values()]
+    weights = np.concatenate([w for _, w in children_by_type.values()])
+    if len(matrices) == 1:
+        return matrices[0], weights
+    return Tensor.concat(matrices, axis=0), weights

@@ -1,0 +1,82 @@
+"""FGNN baseline (Zhang et al. 2019): session graph with weighted attention
+convolution and an attentive readout.
+
+FGNN builds a graph of the items in a session, applies a weighted
+graph-attention convolution that respects both the sequence order and the
+latent order of the session graph, and reads the session representation out
+with attention against the last interest.  Here the "session" of a request is
+the set of items connected to the posed query (the clicked-under-this-query
+items), convolved with edge-weight-aware attention and read out against the
+query vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.common import GraphRetrievalModel
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+
+
+class FGNNModel(GraphRetrievalModel):
+    """Weighted session-graph attention with an attentive readout."""
+
+    name = "FGNN"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 session_length: int = 15):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed)
+        rng = np.random.default_rng(seed + 10)
+        self.session_length = session_length
+        self.conv = Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.conv_attention = Parameter(
+            xavier_uniform((2 * embedding_dim, 1), rng), name="fgnn_conv_attention")
+        self.readout_attention = Parameter(
+            xavier_uniform((2 * embedding_dim, 1), rng),
+            name="fgnn_readout_attention")
+        self.output = Linear(2 * embedding_dim, embedding_dim, rng=rng)
+
+    def _weighted_attention(self, anchor: Tensor, matrix: Tensor,
+                            edge_weights: np.ndarray,
+                            attention: Parameter) -> Tensor:
+        """Attention pooled by learned scores *and* the session edge weights."""
+        k = matrix.shape[0]
+        ones = Tensor(np.ones((k, 1)))
+        anchor_tiled = ones @ anchor.reshape(1, -1)
+        concatenated = Tensor.concat([anchor_tiled, matrix], axis=-1)
+        scores = (concatenated @ attention).reshape(k).leaky_relu()
+        # Incorporate the observed transition counts (the "weighted" part of
+        # FGNN's WGAT): add log edge weights to the learned scores.
+        scores = scores + Tensor(np.log1p(edge_weights))
+        weights = scores.softmax(axis=-1)
+        return weights @ matrix
+
+    def request_representation(self, user_id: int, query_id: int) -> Tensor:
+        query_vector = self.node_vector(self.query_type, query_id)
+        session_ids, session_weights = self.neighbor_history(
+            self.query_type, query_id, self.item_type, self.session_length)
+        if session_ids.size == 0:
+            session_ids, session_weights = self.neighbor_history(
+                self.user_type, user_id, self.item_type, self.session_length)
+        if session_ids.size == 0:
+            session_repr = self.node_vector(self.user_type, user_id)
+        else:
+            session_items = self.node_vectors(self.item_type, session_ids)
+            convolved = self._weighted_attention(
+                query_vector, self.conv(session_items).relu(),
+                session_weights, self.conv_attention)
+            readout = self._weighted_attention(
+                convolved, session_items, session_weights,
+                self.readout_attention)
+            session_repr = self.output(
+                Tensor.concat([convolved, readout], axis=-1).reshape(1, -1)
+            ).relu().reshape(self.embedding_dim)
+        return Tensor.concat([session_repr, query_vector], axis=-1)

@@ -1,0 +1,60 @@
+"""GAT baseline (Velickovic et al. 2018; paper Section III-A, Eq. 3).
+
+Edge weights are pairwise attention scores
+``LeakyReLU(a^T [W h_v || W h_j])`` normalised with a softmax over the
+neighborhood.  The attention depends only on the two endpoints, so — as the
+paper points out — "the weight of each edge in graphs is still fixed across
+different queries and users": it is static, not focal-oriented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import TreeAggregationModel, merge_children
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.sampling.base import NeighborSampler
+from repro.sampling.uniform import UniformNeighborSampler
+
+
+class GATModel(TreeAggregationModel):
+    """Static pairwise edge attention over sampled neighborhoods."""
+
+    name = "GAT"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 sampler: Optional[NeighborSampler] = None):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed,
+                         sampler if sampler is not None
+                         else UniformNeighborSampler(seed=seed))
+        rng = np.random.default_rng(seed + 3)
+        self.transform = Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.attention_vector = Parameter(
+            xavier_uniform((2 * embedding_dim, 1), rng), name="gat_attention")
+
+    def edge_attention(self, ego_vector: Tensor, neighbors: Tensor) -> Tensor:
+        """Pairwise attention weights (softmax over the neighborhood)."""
+        k = neighbors.shape[0]
+        transformed_ego = self.transform(ego_vector.reshape(1, -1))
+        transformed_neighbors = self.transform(neighbors)
+        ones = Tensor(np.ones((k, 1)))
+        ego_tiled = ones @ transformed_ego
+        concatenated = Tensor.concat([ego_tiled, transformed_neighbors], axis=-1)
+        scores = (concatenated @ self.attention_vector).reshape(k).leaky_relu()
+        return scores.softmax(axis=-1)
+
+    def aggregate(self, ego_vector: Tensor,
+                  children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                  ) -> Tensor:
+        merged, _ = merge_children(children_by_type)
+        weights = self.edge_attention(ego_vector, merged)
+        aggregated = weights @ self.transform(merged)
+        return (ego_vector + aggregated).relu()

@@ -1,0 +1,45 @@
+"""Plain GCN baseline (Kipf & Welling 2016; paper Section III-A, Eq. 2).
+
+Neighbors are mean-pooled irrespective of type, added to the ego (the
+self-connection of ``A + I``), and passed through a per-layer linear
+transform with a ReLU.  Every neighbor has the same, fixed weight — exactly
+the behaviour the paper's Fig. 1 criticises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import TreeAggregationModel, merge_children
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.layers import Linear
+from repro.sampling.base import NeighborSampler
+from repro.sampling.uniform import UniformNeighborSampler
+
+
+class GCNModel(TreeAggregationModel):
+    """Mean-pooling graph convolution over sampled neighborhoods."""
+
+    name = "GCN"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 sampler: Optional[NeighborSampler] = None):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed,
+                         sampler if sampler is not None
+                         else UniformNeighborSampler(seed=seed))
+        rng = np.random.default_rng(seed + 1)
+        self.transform = Linear(embedding_dim, embedding_dim, rng=rng)
+
+    def aggregate(self, ego_vector: Tensor,
+                  children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                  ) -> Tensor:
+        merged, _ = merge_children(children_by_type)
+        pooled = merged.mean(axis=0)
+        combined = ego_vector + pooled
+        return self.transform(combined.reshape(1, -1)).relu().reshape(
+            self.embedding_dim)

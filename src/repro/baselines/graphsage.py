@@ -1,0 +1,46 @@
+"""GraphSAGE baseline (Hamilton et al. 2017; paper Section III-A, Eq. 4).
+
+Aggregates features from a fixed-size set of *uniformly* sampled neighbors
+with a mean aggregator, concatenates the result with the ego representation
+and applies a learned transform — the inductive recipe the paper credits with
+making GNNs "more capable of handling graphs in RS", while noting each
+neighbor still has a fixed weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import TreeAggregationModel, merge_children
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.layers import Linear
+from repro.sampling.base import NeighborSampler
+from repro.sampling.uniform import UniformNeighborSampler
+
+
+class GraphSAGEModel(TreeAggregationModel):
+    """Uniform neighbor sampling with a concat + transform aggregator."""
+
+    name = "GraphSage"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 sampler: Optional[NeighborSampler] = None):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed,
+                         sampler if sampler is not None
+                         else UniformNeighborSampler(seed=seed))
+        rng = np.random.default_rng(seed + 2)
+        self.combine = Linear(2 * embedding_dim, embedding_dim, rng=rng)
+
+    def aggregate(self, ego_vector: Tensor,
+                  children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                  ) -> Tensor:
+        merged, _ = merge_children(children_by_type)
+        pooled = merged.mean(axis=0)
+        combined = Tensor.concat([ego_vector, pooled], axis=-1)
+        return self.combine(combined.reshape(1, -1)).relu().reshape(
+            self.embedding_dim)

@@ -1,0 +1,72 @@
+"""HAN baseline (Wang et al. 2019): hierarchical attention on heterogeneous graphs.
+
+HAN applies node-level attention within each neighbor type (a GAT over the
+type's neighbors) and semantic-level attention across the per-type aggregated
+embeddings, using a learnable semantic query vector.  The paper calls HAN the
+most similar baseline to Zoomer — "the key difference is that HAN does not
+consider dynamic user interests": its attention is static, not conditioned on
+the focal (user, query) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import TreeAggregationModel
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.sampling.base import NeighborSampler
+from repro.sampling.uniform import UniformNeighborSampler
+
+
+class HANModel(TreeAggregationModel):
+    """Node-level + semantic-level hierarchical attention."""
+
+    name = "HAN"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 sampler: Optional[NeighborSampler] = None):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed,
+                         sampler if sampler is not None
+                         else UniformNeighborSampler(seed=seed))
+        rng = np.random.default_rng(seed + 4)
+        self.transform = Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.node_attention = Parameter(
+            xavier_uniform((2 * embedding_dim, 1), rng), name="han_node_attention")
+        self.semantic_projection = Linear(embedding_dim, embedding_dim, rng=rng)
+        self.semantic_query = Parameter(
+            xavier_uniform((embedding_dim, 1), rng), name="han_semantic_query")
+
+    def _node_level(self, ego_vector: Tensor, neighbors: Tensor) -> Tensor:
+        """GAT-style attention within one neighbor type."""
+        k = neighbors.shape[0]
+        transformed_ego = self.transform(ego_vector.reshape(1, -1))
+        transformed_neighbors = self.transform(neighbors)
+        ones = Tensor(np.ones((k, 1)))
+        ego_tiled = ones @ transformed_ego
+        concatenated = Tensor.concat([ego_tiled, transformed_neighbors], axis=-1)
+        scores = (concatenated @ self.node_attention).reshape(k).leaky_relu()
+        weights = scores.softmax(axis=-1)
+        return weights @ transformed_neighbors
+
+    def aggregate(self, ego_vector: Tensor,
+                  children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                  ) -> Tensor:
+        per_type = [self._node_level(ego_vector, matrix)
+                    for matrix, _ in children_by_type.values()]
+        if len(per_type) == 1:
+            semantic = per_type[0]
+        else:
+            stacked = Tensor.stack(per_type, axis=0)            # (T, d)
+            projected = self.semantic_projection(stacked).tanh()  # (T, d)
+            scores = (projected @ self.semantic_query).reshape(len(per_type))
+            weights = scores.softmax(axis=-1)                    # (T,)
+            semantic = weights @ stacked
+        return (ego_vector + semantic).relu()

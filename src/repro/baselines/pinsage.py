@@ -1,0 +1,51 @@
+"""PinSage baseline (Ying et al. 2018).
+
+PinSage combines importance-based neighbor sampling (neighbors are chosen
+proportionally to their importance, estimated via random-walk visit counts —
+here, the accumulated interaction weights) with *importance pooling*: the
+sampled neighbors are aggregated as a weighted mean using the same importance
+scores, then concatenated with the ego representation and transformed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import TreeAggregationModel, merge_children
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.layers import Linear
+from repro.sampling.base import NeighborSampler
+from repro.sampling.importance import ImportanceNeighborSampler
+
+
+class PinSageModel(TreeAggregationModel):
+    """Importance sampling + importance pooling + concat transform."""
+
+    name = "PinSage"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 sampler: Optional[NeighborSampler] = None):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed,
+                         sampler if sampler is not None
+                         else ImportanceNeighborSampler(seed=seed))
+        rng = np.random.default_rng(seed + 5)
+        self.neighbor_transform = Linear(embedding_dim, embedding_dim, rng=rng)
+        self.combine = Linear(2 * embedding_dim, embedding_dim, rng=rng)
+
+    def aggregate(self, ego_vector: Tensor,
+                  children_by_type: Dict[str, Tuple[Tensor, np.ndarray]]
+                  ) -> Tensor:
+        merged, weights = merge_children(children_by_type)
+        transformed = self.neighbor_transform(merged).relu()
+        total = weights.sum()
+        normalised = weights / total if total > 0 else \
+            np.full_like(weights, 1.0 / max(len(weights), 1))
+        pooled = Tensor(normalised) @ transformed      # importance pooling
+        combined = Tensor.concat([ego_vector, pooled], axis=-1)
+        return self.combine(combined.reshape(1, -1)).relu().reshape(
+            self.embedding_dim)

@@ -1,0 +1,74 @@
+"""STAMP baseline (Liu et al. 2018): Short-Term Attention/Memory Priority.
+
+STAMP is a session-based (non-GNN) model: the user's *general interest* is
+the mean of their historical clicks, the *current interest* is the most
+recent signal (here, the posed query), and an attention mechanism re-weights
+the history with respect to both before two small MLPs produce the final
+representation.  It captures "both users' general interests and current
+interests" without using graph structure beyond the click history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.common import GraphRetrievalModel
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+
+
+class STAMPModel(GraphRetrievalModel):
+    """Attention over the user's click history, keyed by the current query."""
+
+    name = "STAMP"
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int = 32,
+                 tower_hidden: Sequence[int] = (64, 32),
+                 fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                 history_length: int = 15):
+        super().__init__(graph, embedding_dim, tower_hidden, fanouts, seed)
+        rng = np.random.default_rng(seed + 8)
+        self.history_length = history_length
+        self.attention_history = Linear(embedding_dim, embedding_dim,
+                                        bias=False, rng=rng)
+        self.attention_current = Linear(embedding_dim, embedding_dim,
+                                        bias=False, rng=rng)
+        self.attention_general = Linear(embedding_dim, embedding_dim,
+                                        bias=False, rng=rng)
+        self.attention_vector = Parameter(
+            xavier_uniform((embedding_dim, 1), rng), name="stamp_attention")
+        self.general_mlp = Linear(embedding_dim, embedding_dim, rng=rng)
+        self.current_mlp = Linear(embedding_dim, embedding_dim, rng=rng)
+
+    def request_representation(self, user_id: int, query_id: int) -> Tensor:
+        query_vector = self.node_vector(self.query_type, query_id)
+        history_ids, _ = self.neighbor_history(
+            self.user_type, user_id, self.item_type, self.history_length)
+        if history_ids.size == 0:
+            # Cold user: fall back to the user's own features.
+            general = self.node_vector(self.user_type, user_id)
+        else:
+            history = self.node_vectors(self.item_type, history_ids)   # (k, d)
+            general_interest = history.mean(axis=0)
+            # STAMP attention: score each history item against the current
+            # interest (the query) and the general interest.
+            k = history.shape[0]
+            ones = Tensor(np.ones((k, 1)))
+            scores_input = (self.attention_history(history)
+                            + ones @ self.attention_current(
+                                query_vector.reshape(1, -1))
+                            + ones @ self.attention_general(
+                                general_interest.reshape(1, -1))).sigmoid()
+            scores = (scores_input @ self.attention_vector).reshape(k)
+            weights = scores.softmax(axis=-1)
+            general = weights @ history
+        general_out = self.general_mlp(general.reshape(1, -1)).tanh().reshape(
+            self.embedding_dim)
+        current_out = self.current_mlp(query_vector.reshape(1, -1)).tanh().reshape(
+            self.embedding_dim)
+        return Tensor.concat([general_out, current_out], axis=-1)

@@ -1,0 +1,159 @@
+"""Command-line entry points for the Zoomer reproduction.
+
+Provides a tiny CLI so the main workflows can be driven without writing
+Python:
+
+* ``python -m repro.cli train``     — train Zoomer (or a baseline) on a
+  synthetic Taobao-like graph and report AUC / HitRate@K.
+* ``python -m repro.cli serve``     — train briefly, stand up the serving
+  stack and run a QPS sweep (the Fig. 9 curve).
+* ``python -m repro.cli motivation`` — print the Fig. 4(b)/(c) information-
+  overload measurements for a generated dataset.
+
+The CLI intentionally exposes only a few knobs (scale preset, model name,
+epochs, fanout); anything more detailed should use the Python API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines import ALL_BASELINES
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.data import generate_taobao_dataset, train_test_split_examples
+from repro.experiments import (
+    focal_local_similarity_cdf,
+    format_table,
+    successive_query_similarities,
+)
+from repro.experiments.motivation import fraction_below
+from repro.serving import OnlineServer
+from repro.training import Trainer, TrainingConfig
+
+
+def _build_model(name: str, graph, fanout: int, embedding_dim: int, seed: int):
+    if name.lower() == "zoomer":
+        return ZoomerModel(graph, ZoomerConfig(
+            embedding_dim=embedding_dim,
+            fanouts=(fanout, max(fanout // 2, 1)), seed=seed))
+    for baseline_name, cls in ALL_BASELINES.items():
+        if baseline_name.lower() == name.lower():
+            return cls(graph, embedding_dim=embedding_dim,
+                       fanouts=(fanout, max(fanout // 2, 1)), seed=seed)
+    raise SystemExit(f"unknown model {name!r}; choose 'zoomer' or one of "
+                     f"{sorted(ALL_BASELINES)}")
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = generate_taobao_dataset(scale=args.scale)
+    train, test = train_test_split_examples(dataset.impressions, 0.9,
+                                            seed=args.seed)
+    train = train[: args.max_examples]
+    test = test[: max(args.max_examples // 3, 100)]
+    model = _build_model(args.model, dataset.graph, args.fanout,
+                         args.embedding_dim, args.seed)
+    trainer = Trainer(model, TrainingConfig(
+        epochs=args.epochs, batch_size=args.batch_size,
+        learning_rate=args.learning_rate, loss="focal"))
+    result = trainer.train(train, test)
+    hit_rates = trainer.evaluate_hit_rate(test, ks=(10, 50),
+                                          candidate_pool=dataset.config.num_items,
+                                          max_requests=30)
+    rows = [{
+        "model": model.name,
+        "auc": round(result.final_metrics.auc, 4),
+        "hitrate@10": round(hit_rates[10], 3),
+        "hitrate@50": round(hit_rates[50], 3),
+        "train_s": round(result.training_seconds, 1),
+        "iterations": result.iterations,
+    }]
+    print(format_table(rows, title=f"Training on the {args.scale!r} preset"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    dataset = generate_taobao_dataset(scale=args.scale)
+    train, _ = train_test_split_examples(dataset.impressions, 0.9, seed=args.seed)
+    model = _build_model(args.model, dataset.graph, args.fanout,
+                         args.embedding_dim, args.seed)
+    Trainer(model, TrainingConfig(epochs=1, batch_size=args.batch_size,
+                                  learning_rate=args.learning_rate,
+                                  loss="focal",
+                                  max_batches_per_epoch=6)).train(
+        train[: args.max_examples])
+    server = OnlineServer(model, cache_capacity=30, ann_cells=8)
+    active = list(range(min(20, dataset.config.num_queries)))
+    server.warm_caches(range(min(20, dataset.config.num_users)), active)
+    server.build_inverted_index(active)
+    calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:20]]
+    rows = server.qps_sweep([1000, 5000, 10000, 20000, 50000], calibration)
+    print(format_table(rows, title="Response time vs QPS"))
+    return 0
+
+
+def _cmd_motivation(args: argparse.Namespace) -> int:
+    dataset = generate_taobao_dataset(scale=args.scale)
+    drift = successive_query_similarities(dataset, max_users=10, seed=args.seed)
+    values = [s for sims in drift.values() for s in sims]
+    short = focal_local_similarity_cdf(dataset, history_sessions=1, num_users=10,
+                                       seed=args.seed)
+    long = focal_local_similarity_cdf(dataset, history_sessions=None,
+                                      num_users=10, seed=args.seed)
+    rows = [
+        {"measurement": "mean successive-query similarity (Fig. 4b)",
+         "value": round(float(np.mean(values)), 3) if values else 0.0},
+        {"measurement": "short-window history below 0.5 similarity (Fig. 4c)",
+         "value": round(fraction_below(short, 0.5), 3)},
+        {"measurement": "long-window history below 0.5 similarity (Fig. 4c)",
+         "value": round(fraction_below(long, 0.5), 3)},
+    ]
+    print(format_table(rows, title="Information-overload measurements"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Zoomer reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", default="million",
+                         choices=["million", "hundred-million", "billion"],
+                         help="synthetic dataset scale preset")
+        sub.add_argument("--model", default="zoomer",
+                         help="zoomer or a baseline name (e.g. PinSage)")
+        sub.add_argument("--epochs", type=int, default=1)
+        sub.add_argument("--batch-size", type=int, default=64)
+        sub.add_argument("--learning-rate", type=float, default=0.03)
+        sub.add_argument("--fanout", type=int, default=5)
+        sub.add_argument("--embedding-dim", type=int, default=16)
+        sub.add_argument("--max-examples", type=int, default=800)
+        sub.add_argument("--seed", type=int, default=0)
+
+    train_parser = subparsers.add_parser("train", help="train and evaluate")
+    add_common(train_parser)
+    train_parser.set_defaults(func=_cmd_train)
+
+    serve_parser = subparsers.add_parser("serve", help="serving QPS sweep")
+    add_common(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    motivation_parser = subparsers.add_parser(
+        "motivation", help="information-overload measurements (Fig. 4)")
+    add_common(motivation_parser)
+    motivation_parser.set_defaults(func=_cmd_motivation)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Zoomer core: focal interests, ROI construction, multi-level attention.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.config` — hyper-parameters and ablation switches.
+* :mod:`repro.core.focal` — focal-point selection and focal-vector
+  construction (Section V-B).
+* :mod:`repro.core.roi` — ROI construction via the focal-biased sampler
+  (Section V-C / Eq. 5).
+* :mod:`repro.core.attention` — the ROI-based multi-level attention module:
+  feature projection, edge reweighing and semantic combination
+  (Section V-D / Eqs. 6-11).
+* :mod:`repro.core.model` — the twin-tower Zoomer model used for CTR
+  prediction and retrieval.
+* :mod:`repro.core.ablation` — the ablation variants of Fig. 8
+  (GCN, Zoomer-FE, Zoomer-FS, Zoomer-ES).
+"""
+
+from repro.core.config import ZoomerConfig
+from repro.core.focal import FocalPoints, FocalSelector
+from repro.core.roi import ROIBuilder, RegionOfInterest
+from repro.core.attention import (
+    FeatureProjection,
+    EdgeLevelAttention,
+    SemanticCombination,
+    MultiLevelAttention,
+)
+from repro.core.model import ZoomerModel
+from repro.core.ablation import build_ablation_variant, ABLATION_VARIANTS
+
+__all__ = [
+    "ZoomerConfig",
+    "FocalPoints",
+    "FocalSelector",
+    "ROIBuilder",
+    "RegionOfInterest",
+    "FeatureProjection",
+    "EdgeLevelAttention",
+    "SemanticCombination",
+    "MultiLevelAttention",
+    "ZoomerModel",
+    "build_ablation_variant",
+    "ABLATION_VARIANTS",
+]

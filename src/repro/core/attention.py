@@ -1,0 +1,209 @@
+"""ROI-based multi-level attention (paper Section V-D, Fig. 6, Eqs. 6-11).
+
+Three attention levels are applied inside the ROI, all oriented by the focal
+vector:
+
+* **Feature projection** (Eqs. 6-7): each node is represented by a small set
+  of feature latent vectors (id embedding, content projection, type
+  embedding); their weights are a softmax of their dot products with the
+  focal vector, so focal-relevant feature fields are amplified.
+* **Edge reweighing** (Eqs. 8-9): when aggregating same-type neighbors onto
+  an ego node, each edge's weight is an attention score over the
+  concatenation ``[z_i || z_j || z_c]`` (ego, neighbor, focal), normalised
+  within the neighbor type so neighbors stay fairly comparable.
+* **Semantic combination** (Eqs. 10-11): the per-type aggregated embeddings
+  are combined with weights given by their cosine similarity to the ego's
+  feature-level embedding, capturing which relation semantics matter.
+
+Each level can be independently replaced by mean pooling, which yields the
+ablation variants of Fig. 8 (GCN, Zoomer-FE, Zoomer-FS, Zoomer-ES).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ndarray.tensor import Tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.sampling.base import SampledNode
+
+
+class FeatureProjection(Module):
+    """Focal-oriented feature-level attention (Eqs. 6-7).
+
+    Input: per-node slot matrices ``H`` of shape ``(n, s, d)`` (``s`` feature
+    latent vectors per node) and a focal vector ``C`` of shape ``(d,)``.
+    Output: ``(n, d)`` node vectors where each node is the weighted sum of its
+    slots, weights ``softmax(H C / sqrt(d))``.
+    """
+
+    def __init__(self, hidden_dim: int, enabled: bool = True):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.enabled = enabled
+        self._scale = 1.0 / np.sqrt(hidden_dim)
+
+    def forward(self, slots: Tensor, focal: Tensor) -> Tensor:
+        num_slots = slots.shape[1]
+        if not self.enabled:
+            # Ablation (Zoomer-ES): keep the original features — plain mean
+            # over the slots, no focal-oriented reweighing.
+            return slots.mean(axis=1)
+        scores = (slots @ focal) * self._scale           # (n, s)
+        weights = scores.softmax(axis=-1)                # (n, s)
+        weighted = slots * weights.reshape(weights.shape[0], num_slots, 1)
+        return weighted.sum(axis=1)                      # (n, d)
+
+
+class EdgeLevelAttention(Module):
+    """Focal-oriented edge-level attention (Eqs. 8-9).
+
+    Scores each neighbor ``j`` of ego ``i`` with
+    ``a^T [z_i || z_j || z_c]`` passed through LeakyReLU, softmax-normalised
+    within the neighbor type, then aggregates ``E_t = sum_j e_ij z_j``.
+    """
+
+    def __init__(self, hidden_dim: int, enabled: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.enabled = enabled
+        self.attention_vector = Parameter(
+            xavier_uniform((3 * hidden_dim, 1), rng), name="edge_attention_a")
+
+    def forward(self, ego: Tensor, neighbors: Tensor, focal: Tensor) -> Tensor:
+        """Aggregate ``neighbors`` (k, d) onto ``ego`` (d,) guided by ``focal``."""
+        k = neighbors.shape[0]
+        if not self.enabled:
+            # Ablation (Zoomer-FS / GCN): mean pooling over the neighbors.
+            return neighbors.mean(axis=0)
+        ones = Tensor(np.ones((k, 1)))
+        ego_tiled = ones @ ego.reshape(1, self.hidden_dim)      # (k, d)
+        focal_tiled = ones @ focal.reshape(1, self.hidden_dim)  # (k, d)
+        concatenated = Tensor.concat([ego_tiled, neighbors, focal_tiled], axis=-1)
+        scores = (concatenated @ self.attention_vector).reshape(k)
+        scores = scores.leaky_relu()
+        weights = scores.softmax(axis=-1)                        # (k,)
+        return weights @ neighbors                               # (d,)
+
+    def attention_weights(self, ego: Tensor, neighbors: Tensor,
+                          focal: Tensor) -> np.ndarray:
+        """Return the normalised edge weights (used by Fig. 13 heatmaps)."""
+        k = neighbors.shape[0]
+        ones = Tensor(np.ones((k, 1)))
+        ego_tiled = ones @ ego.reshape(1, self.hidden_dim)
+        focal_tiled = ones @ focal.reshape(1, self.hidden_dim)
+        concatenated = Tensor.concat([ego_tiled, neighbors, focal_tiled], axis=-1)
+        scores = (concatenated @ self.attention_vector).reshape(k).leaky_relu()
+        return scores.softmax(axis=-1).numpy().copy()
+
+
+class SemanticCombination(Module):
+    """Semantic-level combination across neighbor types (Eqs. 10-11).
+
+    The weight of neighbor type ``k`` is the cosine similarity between the
+    ego's feature-level embedding ``C_i`` and the type's edge-level embedding
+    ``E_ik``; the final aggregation is the weighted sum over types.
+    """
+
+    def __init__(self, hidden_dim: int, enabled: bool = True):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.enabled = enabled
+
+    def forward(self, ego: Tensor, per_type: Dict[str, Tensor]) -> Tensor:
+        if not per_type:
+            raise ValueError("semantic combination needs at least one neighbor type")
+        type_embeddings = list(per_type.values())
+        if not self.enabled or len(type_embeddings) == 1:
+            if len(type_embeddings) == 1:
+                return type_embeddings[0] if self.enabled else type_embeddings[0]
+            # Ablation (Zoomer-FE / GCN): plain mean over the types.
+            stacked = Tensor.stack(type_embeddings, axis=0)
+            return stacked.mean(axis=0)
+        combined: Optional[Tensor] = None
+        for embedding in type_embeddings:
+            weight = _cosine(ego, embedding)
+            term = embedding * weight
+            combined = term if combined is None else combined + term
+        return combined
+
+    def semantic_weights(self, ego: Tensor,
+                         per_type: Dict[str, Tensor]) -> Dict[str, float]:
+        """Return the per-type cosine weights (for inspection / tests)."""
+        return {name: float(_cosine(ego, emb).item())
+                for name, emb in per_type.items()}
+
+
+def _cosine(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    num = (a * b).sum()
+    denom = ((a * a).sum() ** 0.5) * ((b * b).sum() ** 0.5) + eps
+    return num / denom
+
+
+class MultiLevelAttention(Module):
+    """Full multi-level attention applied recursively over an ROI tree.
+
+    The module is given per-node slot matrices through a callable encoder
+    (owned by the model), applies feature projection to every node, then
+    aggregates the tree bottom-up with edge-level attention within each
+    neighbor type and semantic combination across types.  A self connection
+    (``z_i + H_i``) keeps the ego's own information, mirroring the
+    self-loops of GCN-style propagation.
+    """
+
+    def __init__(self, hidden_dim: int,
+                 use_feature_attention: bool = True,
+                 use_edge_attention: bool = True,
+                 use_semantic_attention: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.feature_projection = FeatureProjection(hidden_dim, use_feature_attention)
+        self.edge_attention = EdgeLevelAttention(hidden_dim, use_edge_attention, rng)
+        self.semantic_combination = SemanticCombination(hidden_dim,
+                                                        use_semantic_attention)
+
+    def forward(self, tree: SampledNode, projected: Dict[int, Tensor],
+                focal: Tensor) -> Tensor:
+        """Aggregate the tree into the ego representation.
+
+        ``projected`` maps ``id(SampledNode)`` to that node's feature-projected
+        vector (computed in one batched pass by the model).
+        """
+        return self._aggregate(tree, projected, focal)
+
+    def _aggregate(self, node: SampledNode, projected: Dict[int, Tensor],
+                   focal: Tensor) -> Tensor:
+        ego_vector = projected[id(node)]
+        groups = node.children_by_type()
+        if not groups:
+            return ego_vector
+        per_type: Dict[str, Tensor] = {}
+        for node_type, members in groups.items():
+            child_vectors = [self._aggregate(child, projected, focal)
+                             for child, _ in members]
+            stacked = Tensor.stack(child_vectors, axis=0)
+            per_type[node_type] = self.edge_attention(ego_vector, stacked, focal)
+        aggregated = self.semantic_combination(ego_vector, per_type)
+        return ego_vector + aggregated
+
+    def edge_weights_for(self, node: SampledNode, projected: Dict[int, Tensor],
+                         focal: Tensor) -> Dict[str, np.ndarray]:
+        """Edge-attention weights of the ego's children, per neighbor type.
+
+        This is the quantity visualised in the paper's Fig. 13 heatmaps.
+        """
+        ego_vector = projected[id(node)]
+        weights: Dict[str, np.ndarray] = {}
+        for node_type, members in node.children_by_type().items():
+            child_vectors = [self._aggregate(child, projected, focal)
+                             for child, _ in members]
+            stacked = Tensor.stack(child_vectors, axis=0)
+            weights[node_type] = self.edge_attention.attention_weights(
+                ego_vector, stacked, focal)
+        return weights

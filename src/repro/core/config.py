@@ -1,0 +1,86 @@
+"""Zoomer configuration: model hyper-parameters and ablation switches.
+
+Defaults follow Section VII-A of the paper: hidden size 128 for the paper's
+production runs (we default to 32 to keep the laptop-scale reproduction fast —
+benchmarks can raise it), 2-hop aggregation with fanout 10 on Taobao graphs,
+1-hop on MovieLens, focal cross-entropy with focal weight 2, regularisation
+weight 1e-6, learning rate 0.1, Adam, batch size 1024 (we default smaller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ZoomerConfig:
+    """Hyper-parameters of the Zoomer model and its training."""
+
+    # Model dimensions.
+    embedding_dim: int = 32
+    hidden_dim: int = 32
+    tower_hidden: Tuple[int, ...] = (64, 32)
+
+    # Neighborhood sampling.
+    fanouts: Tuple[int, ...] = (10, 5)
+    relevance_metric: str = "generalized_jaccard"  # paper Eq. 5; or "cosine"
+    roi_downscale: float = 1.0   # <1.0 further shrinks the ROI (Fig. 12: 0.1)
+
+    # Multi-level attention switches (ablations of Fig. 8).
+    use_feature_attention: bool = True    # feature projection (Eqs. 6-7)
+    use_edge_attention: bool = True       # edge reweighing (Eqs. 8-9)
+    use_semantic_attention: bool = True   # semantic combination (Eqs. 10-11)
+
+    # Training.
+    learning_rate: float = 0.1
+    optimizer: str = "adam"
+    batch_size: int = 128
+    epochs: int = 5
+    focal_loss_gamma: float = 2.0
+    regularization_weight: float = 1e-6
+    seed: int = 0
+
+    # Serving-time simplifications (Section VII-E).
+    serving_neighbor_cache: int = 30
+    serving_edge_attention_only: bool = True
+
+    def validate(self) -> None:
+        if self.embedding_dim <= 0 or self.hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if not self.fanouts or any(k <= 0 for k in self.fanouts):
+            raise ValueError("fanouts must be a non-empty tuple of positive ints")
+        if not 0.0 < self.roi_downscale <= 1.0:
+            raise ValueError("roi_downscale must be in (0, 1]")
+        if self.relevance_metric not in ("generalized_jaccard", "cosine"):
+            raise ValueError("relevance_metric must be generalized_jaccard or cosine")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be adam or sgd")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size <= 0 or self.epochs <= 0:
+            raise ValueError("batch_size and epochs must be positive")
+
+    def effective_fanouts(self) -> Tuple[int, ...]:
+        """Fanouts after applying the ROI downscale factor (Fig. 12)."""
+        if self.roi_downscale >= 1.0:
+            return tuple(self.fanouts)
+        scaled = tuple(max(1, int(round(k * self.roi_downscale)))
+                       for k in self.fanouts)
+        return scaled
+
+    def ablation_name(self) -> str:
+        """Name of the ablation variant this configuration corresponds to."""
+        flags = (self.use_feature_attention, self.use_edge_attention,
+                 self.use_semantic_attention)
+        if flags == (True, True, True):
+            return "Zoomer"
+        if flags == (True, True, False):
+            return "Zoomer-FE"
+        if flags == (True, False, True):
+            return "Zoomer-FS"
+        if flags == (False, True, True):
+            return "Zoomer-ES"
+        if flags == (False, False, False):
+            return "GCN"
+        return "Zoomer-custom"

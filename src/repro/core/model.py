@@ -1,0 +1,199 @@
+"""The Zoomer twin-tower model (paper Fig. 5, Stage 2).
+
+One tower handles the user-query side: for each request the focal-biased
+sampler builds the ROI around the user and query ego nodes, and the
+multi-level attention module aggregates those ROIs — guided by the learned
+focal vector — into ego representations that are concatenated and passed
+through a DSSM tower.  The other tower is a base item model (id embedding +
+content projection + MLP) without ROIs, matching the paper's decision to keep
+the item side cheap for online serving (Section V-B).  The click probability
+is the sigmoid of the two towers' dot product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.attention import MultiLevelAttention
+from repro.core.config import ZoomerConfig
+from repro.core.focal import FocalSelector, LearnedFocalEncoder
+from repro.core.roi import ROIBuilder, RegionOfInterest
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.schema import NodeType
+from repro.models.base import RetrievalModel
+from repro.models.encoders import HeteroNodeEncoder, TwinTowerHead
+from repro.ndarray.tensor import Tensor, no_grad
+from repro.sampling.base import SampledNode
+
+
+class ZoomerModel(RetrievalModel):
+    """ROI-based multi-level-attention retrieval model."""
+
+    name = "Zoomer"
+
+    def __init__(self, graph: HeteroGraph, config: Optional[ZoomerConfig] = None,
+                 user_type: Optional[str] = None,
+                 query_type: Optional[str] = None,
+                 item_type: Optional[str] = None):
+        super().__init__(graph)
+        self.config = config if config is not None else ZoomerConfig()
+        self.config.validate()
+        rng = np.random.default_rng(self.config.seed)
+
+        # Resolve node-type roles (Taobao: user/query/item; MovieLens:
+        # user/tag/movie).
+        self.user_type = user_type or NodeType.USER
+        self.query_type = query_type or self._default_query_type()
+        self.item_type = item_type or self._default_item_type()
+
+        dim = self.config.embedding_dim
+        self.encoder = HeteroNodeEncoder(graph, dim, rng=rng)
+        self.focal_encoder = LearnedFocalEncoder(
+            dim, dim, node_types=(self.user_type, self.query_type), rng=rng)
+        self.attention = MultiLevelAttention(
+            dim,
+            use_feature_attention=self.config.use_feature_attention,
+            use_edge_attention=self.config.use_edge_attention,
+            use_semantic_attention=self.config.use_semantic_attention,
+            rng=rng)
+        self.head = TwinTowerHead(2 * dim, dim, self.config.tower_hidden,
+                                  dim, rng=rng)
+        self.roi_builder = ROIBuilder(
+            self.config,
+            selector=FocalSelector(self.user_type, self.query_type))
+        self._roi_cache: Dict[Tuple[int, int], RegionOfInterest] = {}
+        self.name = self.config.ablation_name()
+
+    # ------------------------------------------------------------------ #
+    # Role resolution helpers
+    # ------------------------------------------------------------------ #
+    def _default_query_type(self) -> str:
+        if self.graph.num_nodes.get(NodeType.QUERY, 0) > 0:
+            return NodeType.QUERY
+        if self.graph.num_nodes.get(NodeType.TAG, 0) > 0:
+            return NodeType.TAG
+        return NodeType.QUERY
+
+    def _default_item_type(self) -> str:
+        if self.graph.num_nodes.get(NodeType.ITEM, 0) > 0:
+            return NodeType.ITEM
+        if self.graph.num_nodes.get(NodeType.MOVIE, 0) > 0:
+            return NodeType.MOVIE
+        return NodeType.ITEM
+
+    # ------------------------------------------------------------------ #
+    # ROI handling
+    # ------------------------------------------------------------------ #
+    def roi_for(self, user_id: int, query_id: int) -> RegionOfInterest:
+        """ROI for a request, cached because it only depends on (user, query)."""
+        key = (int(user_id), int(query_id))
+        roi = self._roi_cache.get(key)
+        if roi is None:
+            roi = self.roi_builder.build(self.graph, user_id, query_id)
+            self._roi_cache[key] = roi
+        return roi
+
+    def clear_roi_cache(self) -> None:
+        """Drop cached ROIs (e.g. after the graph changed)."""
+        self._roi_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Request (user-query) side
+    # ------------------------------------------------------------------ #
+    def _learned_focal(self, user_id: int, query_id: int) -> Tensor:
+        user_vec = self.encoder.mean_vectors(self.user_type, [user_id])
+        query_vec = self.encoder.mean_vectors(self.query_type, [query_id])
+        focal = self.focal_encoder({self.user_type: user_vec,
+                                    self.query_type: query_vec})
+        return focal.reshape(self.config.embedding_dim)
+
+    def _project_tree(self, tree: SampledNode, focal: Tensor
+                      ) -> Dict[int, Tensor]:
+        """Feature-project every node of a sampled tree in batched passes."""
+        nodes_by_type: Dict[str, List[SampledNode]] = {}
+        for node in tree.iter_nodes():
+            nodes_by_type.setdefault(node.node_type, []).append(node)
+        projected: Dict[int, Tensor] = {}
+        for node_type, nodes in nodes_by_type.items():
+            ids = [node.node_id for node in nodes]
+            slots = self.encoder.slots(node_type, ids)
+            vectors = self.attention.feature_projection(slots, focal)
+            for row, node in enumerate(nodes):
+                projected[id(node)] = vectors[row]
+        return projected
+
+    def request_representation(self, user_id: int, query_id: int) -> Tensor:
+        """The concatenated (user ego, query ego) representation of a request."""
+        roi = self.roi_for(user_id, query_id)
+        focal = self._learned_focal(user_id, query_id)
+        ego_vectors = []
+        for ego_type in (self.user_type, self.query_type):
+            tree = roi.tree(ego_type)
+            projected = self._project_tree(tree, focal)
+            ego_vectors.append(self.attention(tree, projected, focal))
+        return Tensor.concat(ego_vectors, axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # Item (base-model) side
+    # ------------------------------------------------------------------ #
+    def _item_inputs(self, item_ids: Sequence[int]) -> Tensor:
+        return self.encoder.mean_vectors(self.item_type, item_ids)
+
+    # ------------------------------------------------------------------ #
+    # RetrievalModel interface
+    # ------------------------------------------------------------------ #
+    def forward_batch(self, user_ids: np.ndarray, query_ids: np.ndarray,
+                      item_ids: np.ndarray) -> Tensor:
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        query_ids = np.asarray(query_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        request_vectors = [
+            self.request_representation(int(u), int(q))
+            for u, q in zip(user_ids, query_ids)
+        ]
+        request_matrix = Tensor.stack(request_vectors, axis=0)
+        request_out = self.head.request(request_matrix)
+        item_out = self.head.item(self._item_inputs(item_ids))
+        logits = (request_out * item_out).sum(axis=-1)
+        return logits.sigmoid()
+
+    def request_embedding(self, user_id: int, query_id: int) -> np.ndarray:
+        with no_grad():
+            representation = self.request_representation(user_id, query_id)
+            output = self.head.request(representation.reshape(1, -1))
+        return output.numpy().reshape(-1).copy()
+
+    def item_embedding(self, item_id: int) -> np.ndarray:
+        with no_grad():
+            output = self.head.item(self._item_inputs([int(item_id)]))
+        return output.numpy().reshape(-1).copy()
+
+    def item_embeddings(self, item_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        if item_ids is None:
+            item_ids = range(self.graph.num_nodes[self.item_type])
+        item_ids = list(item_ids)
+        with no_grad():
+            output = self.head.item(self._item_inputs(item_ids))
+        return output.numpy().copy()
+
+    # ------------------------------------------------------------------ #
+    # Interpretability (Fig. 13)
+    # ------------------------------------------------------------------ #
+    def coupling_coefficients(self, user_id: int, query_id: int,
+                              item_ids: Sequence[int]) -> np.ndarray:
+        """Edge-attention weights of given items under the focal (u, q).
+
+        Reproduces the quantity plotted in the paper's Fig. 13: how strongly
+        each historical item is attended to when the focal points change.
+        """
+        with no_grad():
+            focal = self._learned_focal(user_id, query_id)
+            item_slots = self.encoder.slots(self.item_type, list(item_ids))
+            item_vectors = self.attention.feature_projection(item_slots, focal)
+            user_slots = self.encoder.slots(self.user_type, [user_id])
+            user_vector = self.attention.feature_projection(user_slots, focal)[0]
+            weights = self.attention.edge_attention.attention_weights(
+                user_vector, item_vectors, focal)
+        return weights

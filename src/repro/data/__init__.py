@@ -1,0 +1,36 @@
+"""Dataset substrates: behavior-log schema and synthetic dataset generators.
+
+The paper evaluates on proprietary Taobao behavior logs (three graph scales)
+and on MovieLens 25M.  Neither is available offline, so this package provides
+synthetic generators that reproduce the *structural* properties those models
+exploit (heterogeneous node types, session click chains, category-coherent
+intents, interest drift, noisy long histories); see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from repro.data.logs import ImpressionRecord, SearchSession
+from repro.data.synthetic import (
+    SyntheticTaobaoConfig,
+    SyntheticTaobaoDataset,
+    generate_taobao_dataset,
+    SCALE_PRESETS,
+)
+from repro.data.movielens import (
+    MovieLensConfig,
+    MovieLensDataset,
+    generate_movielens_dataset,
+)
+from repro.data.splits import train_test_split_examples
+
+__all__ = [
+    "SearchSession",
+    "ImpressionRecord",
+    "SyntheticTaobaoConfig",
+    "SyntheticTaobaoDataset",
+    "generate_taobao_dataset",
+    "SCALE_PRESETS",
+    "MovieLensConfig",
+    "MovieLensDataset",
+    "generate_movielens_dataset",
+    "train_test_split_examples",
+]

@@ -1,0 +1,55 @@
+"""Behavior-log schema: search sessions and impression records.
+
+User behavior under search is summarised in the paper as the tuple
+``{u_k, q_k, i_k}`` — user ``u_k`` searched query ``q_k`` and clicked item
+``i_k`` (Section V-B).  A :class:`SearchSession` groups all clicks under one
+posed query; an :class:`ImpressionRecord` is a single labelled (shown,
+clicked-or-not) event used for CTR training and the A/B test simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SearchSession:
+    """One search session: a user poses a query and clicks a list of items."""
+
+    user_id: int
+    query_id: int
+    clicked_items: Tuple[int, ...]
+    timestamp: float = 0.0
+    intent_category: int = -1  # ground-truth intent (synthetic data only)
+
+    def __post_init__(self):
+        if self.user_id < 0 or self.query_id < 0:
+            raise ValueError("user_id and query_id must be non-negative")
+        object.__setattr__(self, "clicked_items", tuple(self.clicked_items))
+
+    @property
+    def num_clicks(self) -> int:
+        return len(self.clicked_items)
+
+    def as_tuples(self) -> List[Tuple[int, int, int]]:
+        """Expand the session into ``(user, query, item)`` focal tuples."""
+        return [(self.user_id, self.query_id, item) for item in self.clicked_items]
+
+
+@dataclass(frozen=True)
+class ImpressionRecord:
+    """A single labelled impression: item shown under (user, query), clicked?"""
+
+    user_id: int
+    query_id: int
+    item_id: int
+    label: int           # 1 = clicked, 0 = not clicked
+    timestamp: float = 0.0
+    price: float = 0.0   # per-click price for sponsored items (RPM/PPC metrics)
+
+    def __post_init__(self):
+        if self.label not in (0, 1):
+            raise ValueError("label must be 0 or 1")
+        if self.price < 0:
+            raise ValueError("price must be non-negative")

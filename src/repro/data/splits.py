@@ -1,0 +1,59 @@
+"""Train/test split utilities for labelled impression records.
+
+The paper splits MovieLens 80/20 and the Taobao graphs 90/10
+(Section VII-A); the split fraction is a parameter here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.logs import ImpressionRecord
+
+
+def train_test_split_examples(
+        examples: Sequence[ImpressionRecord],
+        train_fraction: float = 0.9,
+        shuffle: bool = True,
+        seed: int = 0) -> Tuple[List[ImpressionRecord], List[ImpressionRecord]]:
+    """Split impressions into train and test lists.
+
+    Parameters
+    ----------
+    examples:
+        The labelled impressions to split.
+    train_fraction:
+        Fraction of examples assigned to the training split (paper: 0.9 for
+        Taobao graphs, 0.8 for MovieLens).
+    shuffle:
+        Shuffle before splitting (deterministic given ``seed``).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be strictly between 0 and 1")
+    examples = list(examples)
+    if not examples:
+        return [], []
+    order = np.arange(len(examples))
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(order)
+    cut = int(round(train_fraction * len(examples)))
+    cut = min(max(cut, 1), len(examples) - 1)
+    train = [examples[i] for i in order[:cut]]
+    test = [examples[i] for i in order[cut:]]
+    return train, test
+
+
+def examples_to_arrays(examples: Sequence[ImpressionRecord]
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Convert impressions to ``(users, queries, items, labels)`` arrays."""
+    if not examples:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty, np.zeros(0, dtype=np.float64)
+    users = np.array([e.user_id for e in examples], dtype=np.int64)
+    queries = np.array([e.query_id for e in examples], dtype=np.int64)
+    items = np.array([e.item_id for e in examples], dtype=np.int64)
+    labels = np.array([e.label for e in examples], dtype=np.float64)
+    return users, queries, items, labels

@@ -1,0 +1,37 @@
+"""Distributed-training simulation (the XDL-like substrate of the paper).
+
+The paper trains with a worker / parameter-server architecture (1000 workers,
+40 PS), asynchronous sparse updates, and a fully asynchronous three-stage IO
+pipeline (read subgraphs, read embeddings, compute).  This package provides
+laptop-scale simulations of those mechanisms:
+
+* :class:`~repro.distributed.parameter_server.ParameterServerCluster` — hash
+  partitions model parameters across simulated servers, serves pulls and
+  applies pushed gradients, and accounts for traffic and staleness.
+* :class:`~repro.distributed.parameter_server.AsyncTrainingSimulator` — drives
+  several simulated workers training one model through the PS cluster with
+  stale pulls, reproducing the asynchronous update semantics.
+* :class:`~repro.distributed.pipeline.AsyncPipeline` — models the overlap of
+  the three IO/compute stages and quantifies the speed-up of full overlap.
+* :class:`~repro.distributed.cost.GNNCostModel` — analytic memory / time model
+  of recursive neighborhood expansion, calibrated by measurement; drives the
+  Fig. 4(a) and Fig. 10 benches.
+"""
+
+from repro.distributed.parameter_server import (
+    ParameterServer,
+    ParameterServerCluster,
+    AsyncTrainingSimulator,
+)
+from repro.distributed.pipeline import AsyncPipeline, PipelineStage
+from repro.distributed.cost import GNNCostModel, IterationCost
+
+__all__ = [
+    "ParameterServer",
+    "ParameterServerCluster",
+    "AsyncTrainingSimulator",
+    "AsyncPipeline",
+    "PipelineStage",
+    "GNNCostModel",
+    "IterationCost",
+]

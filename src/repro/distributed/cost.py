@@ -1,0 +1,138 @@
+"""Training-cost model for recursive neighborhood expansion.
+
+The paper's Fig. 4(a) motivates ROI sampling by showing that memory grows
+(roughly exponentially in the number of layers) and training speed drops as
+the number of sampled neighbors per node increases.  :class:`GNNCostModel`
+captures that relationship analytically — cost per example is dominated by
+the size of the sampled neighborhood tree, ``sum_l prod_{h<=l} fanout_h`` —
+and can be calibrated against measured iteration times so the Fig. 4(a) and
+Fig. 10 benches report both measured (small-scale) and modelled
+(extrapolated) numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import RetrievalModel
+from repro.ndarray import functional as F
+from repro.training.dataloader import Batch
+
+
+@dataclass
+class IterationCost:
+    """Cost of a single training iteration."""
+
+    sampled_nodes: float          # neighborhood-tree nodes per example
+    memory_bytes: float           # activation + embedding bytes per example
+    seconds: float                # wall-clock per iteration
+    iterations_per_second: float  # convenience inverse
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "sampled_nodes": round(self.sampled_nodes, 1),
+            "memory_mb": round(self.memory_bytes / 1e6, 3),
+            "seconds_per_iter": round(self.seconds, 4),
+            "iters_per_second": round(self.iterations_per_second, 3),
+        }
+
+
+class GNNCostModel:
+    """Analytic + calibrated cost model of K-layer sampled GNN training."""
+
+    def __init__(self, hidden_dim: int = 32, bytes_per_value: int = 8,
+                 overhead_per_node_seconds: float = 2e-5,
+                 base_seconds_per_iteration: float = 5e-3):
+        self.hidden_dim = hidden_dim
+        self.bytes_per_value = bytes_per_value
+        self.overhead_per_node_seconds = overhead_per_node_seconds
+        self.base_seconds_per_iteration = base_seconds_per_iteration
+
+    # ------------------------------------------------------------------ #
+    # Analytic model
+    # ------------------------------------------------------------------ #
+    def sampled_nodes_per_example(self, fanouts: Sequence[int],
+                                  egos_per_example: int = 2) -> float:
+        """Nodes touched per example: the recursive expansion tree size."""
+        total = 1.0
+        layer_width = 1.0
+        for fanout in fanouts:
+            layer_width *= fanout
+            total += layer_width
+        return total * egos_per_example
+
+    def memory_per_example(self, fanouts: Sequence[int],
+                           egos_per_example: int = 2) -> float:
+        """Activation + embedding bytes needed per example."""
+        nodes = self.sampled_nodes_per_example(fanouts, egos_per_example)
+        # Forward activations (slots + projected vector) plus gradients.
+        values_per_node = self.hidden_dim * 4
+        return nodes * values_per_node * self.bytes_per_value
+
+    def predict(self, fanouts: Sequence[int], batch_size: int,
+                egos_per_example: int = 2) -> IterationCost:
+        """Predict the cost of one training iteration."""
+        nodes = self.sampled_nodes_per_example(fanouts, egos_per_example)
+        memory = self.memory_per_example(fanouts, egos_per_example) * batch_size
+        seconds = (self.base_seconds_per_iteration
+                   + nodes * batch_size * self.overhead_per_node_seconds)
+        return IterationCost(
+            sampled_nodes=nodes,
+            memory_bytes=memory,
+            seconds=seconds,
+            iterations_per_second=1.0 / seconds if seconds > 0 else float("inf"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Calibration / measurement
+    # ------------------------------------------------------------------ #
+    def measure(self, model: RetrievalModel, batch: Batch,
+                repeats: int = 1) -> IterationCost:
+        """Measure an actual forward+backward iteration of ``model``."""
+        if repeats <= 0:
+            raise ValueError("repeats must be positive")
+        durations = []
+        for _ in range(repeats):
+            model.zero_grad()
+            start = time.perf_counter()
+            probabilities = model.forward_batch(batch.user_ids, batch.query_ids,
+                                                batch.item_ids)
+            loss = F.binary_cross_entropy(probabilities, batch.labels)
+            loss.backward()
+            durations.append(time.perf_counter() - start)
+        seconds = float(np.median(durations))
+        fanouts = getattr(model, "fanouts", None)
+        if fanouts is None:
+            config = getattr(model, "config", None)
+            fanouts = getattr(config, "fanouts", (10, 5)) if config else (10, 5)
+        nodes = self.sampled_nodes_per_example(fanouts)
+        memory = self.memory_per_example(fanouts) * len(batch)
+        return IterationCost(
+            sampled_nodes=nodes,
+            memory_bytes=memory,
+            seconds=seconds,
+            iterations_per_second=1.0 / seconds if seconds > 0 else float("inf"),
+        )
+
+    def calibrate(self, measured: IterationCost, fanouts: Sequence[int],
+                  batch_size: int) -> None:
+        """Fit the per-node overhead so predictions match a measurement."""
+        nodes = self.sampled_nodes_per_example(fanouts)
+        denominator = nodes * batch_size
+        if denominator <= 0:
+            return
+        adjusted = (measured.seconds - self.base_seconds_per_iteration) / denominator
+        self.overhead_per_node_seconds = max(adjusted, 1e-9)
+
+    def sweep_fanouts(self, fanout_values: Sequence[int], num_layers: int,
+                      batch_size: int) -> List[Tuple[int, IterationCost]]:
+        """Predict costs for a sweep of per-layer fanouts (Fig. 4a x-axis)."""
+        results = []
+        for fanout in fanout_values:
+            cost = self.predict([fanout] * num_layers, batch_size)
+            results.append((fanout, cost))
+        return results

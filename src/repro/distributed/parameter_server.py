@@ -1,0 +1,194 @@
+"""Simulated worker / parameter-server training (paper Section VI).
+
+Zoomer "partitions and stores the model parameters and the embeddings on
+multiple parameter servers ... the workers retrieve and update parameters
+asynchronously to improve training efficiency on large models".  The classes
+below reproduce that protocol functionally: parameters are hash-partitioned
+across :class:`ParameterServer` shards, workers pull (possibly stale) values
+before computing gradients and push updates back, and the cluster accounts
+for traffic, update conflicts and staleness so the distributed behaviour can
+be unit-tested and benchmarked without real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.logs import ImpressionRecord
+from repro.models.base import RetrievalModel
+from repro.ndarray import functional as F
+from repro.training.dataloader import ImpressionDataLoader
+
+
+@dataclass
+class PushPullStats:
+    """Traffic accounting for one parameter server."""
+
+    pulls: int = 0
+    pushes: int = 0
+    bytes_pulled: int = 0
+    bytes_pushed: int = 0
+    updates_applied: int = 0
+
+
+class ParameterServer:
+    """One parameter-server shard: owns a subset of named parameters."""
+
+    def __init__(self, server_id: int, learning_rate: float = 0.05):
+        self.server_id = server_id
+        self.learning_rate = learning_rate
+        self._store: Dict[str, np.ndarray] = {}
+        self._versions: Dict[str, int] = {}
+        self.stats = PushPullStats()
+
+    def register(self, name: str, value: np.ndarray) -> None:
+        """Host a parameter on this server."""
+        self._store[name] = np.array(value, dtype=np.float64, copy=True)
+        self._versions[name] = 0
+
+    def owns(self, name: str) -> bool:
+        return name in self._store
+
+    def pull(self, name: str) -> Tuple[np.ndarray, int]:
+        """Return the current value and version of a parameter."""
+        value = self._store[name]
+        self.stats.pulls += 1
+        self.stats.bytes_pulled += value.nbytes
+        return value.copy(), self._versions[name]
+
+    def push(self, name: str, gradient: np.ndarray) -> int:
+        """Apply an SGD update with the pushed gradient; returns new version."""
+        value = self._store[name]
+        if gradient.shape != value.shape:
+            raise ValueError(f"gradient shape mismatch for {name}: "
+                             f"{gradient.shape} vs {value.shape}")
+        value -= self.learning_rate * gradient
+        self._versions[name] += 1
+        self.stats.pushes += 1
+        self.stats.bytes_pushed += gradient.nbytes
+        self.stats.updates_applied += 1
+        return self._versions[name]
+
+
+class ParameterServerCluster:
+    """Hash-partitions named parameters across several servers."""
+
+    def __init__(self, num_servers: int = 4, learning_rate: float = 0.05,
+                 seed: int = 5):
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        self.servers = [ParameterServer(i, learning_rate)
+                        for i in range(num_servers)]
+        self._seed = seed
+        self._placement: Dict[str, int] = {}
+
+    def register_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Place every parameter of a model state dict on a server."""
+        for name, value in state.items():
+            server_index = (hash((name, self._seed)) & 0x7FFFFFFF) % len(self.servers)
+            self._placement[name] = server_index
+            self.servers[server_index].register(name, value)
+
+    def server_for(self, name: str) -> ParameterServer:
+        return self.servers[self._placement[name]]
+
+    def pull_state(self, names: Optional[Sequence[str]] = None
+                   ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """Pull parameter values (and versions) for the requested names."""
+        names = list(names) if names is not None else list(self._placement)
+        values: Dict[str, np.ndarray] = {}
+        versions: Dict[str, int] = {}
+        for name in names:
+            value, version = self.server_for(name).pull(name)
+            values[name] = value
+            versions[name] = version
+        return values, versions
+
+    def push_gradients(self, gradients: Dict[str, np.ndarray]) -> None:
+        """Push a gradient dict; each server applies its shard's updates."""
+        for name, gradient in gradients.items():
+            self.server_for(name).push(name, gradient)
+
+    def placement_counts(self) -> List[int]:
+        """Number of parameters hosted per server (load-balance check)."""
+        counts = [0] * len(self.servers)
+        for server_index in self._placement.values():
+            counts[server_index] += 1
+        return counts
+
+    def total_traffic_bytes(self) -> int:
+        return sum(s.stats.bytes_pulled + s.stats.bytes_pushed
+                   for s in self.servers)
+
+
+class AsyncTrainingSimulator:
+    """Drives simulated asynchronous workers training one model via the PS.
+
+    Each logical worker pulls the parameters, computes gradients on its own
+    mini-batch and pushes them back.  Workers take turns in a round-robin
+    schedule but pull only every ``staleness`` steps, so pushes in between are
+    applied to parameters the worker has not yet seen — the essential
+    asynchrony of the paper's training architecture.  Staleness events are
+    counted so its effect can be measured.
+    """
+
+    def __init__(self, model: RetrievalModel, cluster: ParameterServerCluster,
+                 num_workers: int = 4, staleness: int = 2, seed: int = 0):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if staleness <= 0:
+            raise ValueError("staleness must be positive")
+        self.model = model
+        self.cluster = cluster
+        self.num_workers = num_workers
+        self.staleness = staleness
+        self._rng = np.random.default_rng(seed)
+        self.stale_pulls = 0
+        self.total_steps = 0
+        cluster.register_state(model.state_dict())
+        self._worker_versions: List[Dict[str, int]] = [dict() for _ in range(num_workers)]
+
+    def run(self, examples: Sequence[ImpressionRecord], batch_size: int = 64,
+            steps: int = 10) -> List[float]:
+        """Run ``steps`` asynchronous updates; returns the per-step losses."""
+        loader = ImpressionDataLoader(examples, batch_size=batch_size,
+                                      seed=int(self._rng.integers(1 << 30)))
+        batches = list(loader.epoch())
+        if not batches:
+            return []
+        losses: List[float] = []
+        for step in range(steps):
+            worker = step % self.num_workers
+            batch = batches[step % len(batches)]
+            # Pull (possibly stale) parameters into the local model.
+            if step % self.staleness == 0 or not self._worker_versions[worker]:
+                values, versions = self.cluster.pull_state()
+                self.model.load_state_dict(values, strict=False)
+                self._worker_versions[worker] = versions
+            else:
+                # Re-using previously pulled parameters: count how many have
+                # advanced on the servers since then (the staleness measure).
+                _, current = self.cluster.pull_state()
+                stale = sum(1 for name, version in current.items()
+                            if version > self._worker_versions[worker].get(name, 0))
+                self.stale_pulls += int(stale > 0)
+            # Compute gradients locally.
+            self.model.zero_grad()
+            probabilities = self.model.forward_batch(batch.user_ids,
+                                                     batch.query_ids,
+                                                     batch.item_ids)
+            loss = F.binary_cross_entropy(probabilities, batch.labels)
+            loss.backward()
+            gradients = {name: param.grad for name, param
+                         in self.model.named_parameters()
+                         if param.grad is not None}
+            self.cluster.push_gradients(gradients)
+            losses.append(float(loss.item()))
+            self.total_steps += 1
+        # Leave the model holding the final server-side parameters.
+        values, _ = self.cluster.pull_state()
+        self.model.load_state_dict(values, strict=False)
+        return losses

@@ -1,0 +1,92 @@
+"""Asynchronous IO/compute pipeline model (paper Section VI).
+
+Training a batch involves three stages: reading the sampled subgraphs,
+reading the embeddings from the parameter servers, and the training
+computation.  Zoomer "overlaps the three stages ... in a fully asynchronous
+pipeline to avoid IO bottleneck".  :class:`AsyncPipeline` computes the total
+wall-clock of a run with and without overlap so the benefit can be quantified
+and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage with a per-batch duration (seconds)."""
+
+    name: str
+    seconds_per_batch: float
+
+    def __post_init__(self):
+        if self.seconds_per_batch < 0:
+            raise ValueError("stage duration must be non-negative")
+
+
+class AsyncPipeline:
+    """Three-stage (or N-stage) pipeline overlap model."""
+
+    def __init__(self, stages: Sequence[PipelineStage]):
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    @classmethod
+    def default_training_pipeline(cls, subgraph_io: float, embedding_io: float,
+                                  compute: float) -> "AsyncPipeline":
+        """The paper's three training stages."""
+        return cls([
+            PipelineStage("read_subgraph", subgraph_io),
+            PipelineStage("read_embeddings", embedding_io),
+            PipelineStage("compute", compute),
+        ])
+
+    def sequential_time(self, num_batches: int) -> float:
+        """Total time when stages run back-to-back for every batch."""
+        if num_batches < 0:
+            raise ValueError("num_batches must be non-negative")
+        per_batch = sum(stage.seconds_per_batch for stage in self.stages)
+        return per_batch * num_batches
+
+    def pipelined_time(self, num_batches: int) -> float:
+        """Total time with full overlap.
+
+        The classic pipeline bound: fill time (one pass through all stages)
+        plus (num_batches - 1) times the bottleneck stage.
+        """
+        if num_batches < 0:
+            raise ValueError("num_batches must be non-negative")
+        if num_batches == 0:
+            return 0.0
+        fill = sum(stage.seconds_per_batch for stage in self.stages)
+        bottleneck = max(stage.seconds_per_batch for stage in self.stages)
+        return fill + bottleneck * (num_batches - 1)
+
+    def speedup(self, num_batches: int) -> float:
+        """Sequential / pipelined time ratio."""
+        pipelined = self.pipelined_time(num_batches)
+        if pipelined == 0:
+            return 1.0
+        return self.sequential_time(num_batches) / pipelined
+
+    def throughput(self, num_batches: int) -> float:
+        """Batches per second under full overlap."""
+        pipelined = self.pipelined_time(num_batches)
+        if pipelined == 0:
+            return 0.0
+        return num_batches / pipelined
+
+    def bottleneck(self) -> PipelineStage:
+        """The stage that limits pipelined throughput."""
+        return max(self.stages, key=lambda stage: stage.seconds_per_batch)
+
+    def utilisation(self, num_batches: int) -> Dict[str, float]:
+        """Fraction of the pipelined wall-clock each stage is busy."""
+        total = self.pipelined_time(num_batches)
+        if total == 0:
+            return {stage.name: 0.0 for stage in self.stages}
+        return {stage.name: stage.seconds_per_batch * num_batches / total
+                for stage in self.stages}

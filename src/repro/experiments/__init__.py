@@ -1,0 +1,36 @@
+"""Experiment drivers: motivation measurements, A/B test, interpretability.
+
+Each module reproduces one piece of the paper's empirical story:
+
+* :mod:`repro.experiments.motivation` — the Section IV measurements (Fig. 4b
+  query-drift similarities, Fig. 4c focal-vs-local-graph similarity CDF).
+* :mod:`repro.experiments.ab_test` — the production A/B test simulation
+  (Table IV: CTR / PPC / RPM lift of Zoomer over the PinSage channel).
+* :mod:`repro.experiments.interpretability` — coupling-coefficient heatmaps
+  (Fig. 13).
+* :mod:`repro.experiments.harness` — a small registry + table formatter the
+  benchmark scripts share, and the per-experiment result record written to
+  EXPERIMENTS.md.
+"""
+
+from repro.experiments.motivation import (
+    successive_query_similarities,
+    focal_local_similarity_cdf,
+)
+from repro.experiments.ab_test import ABTestConfig, ABTestResult, ABTestSimulator
+from repro.experiments.interpretability import coupling_heatmap_fixed_user, \
+    coupling_heatmap_fixed_query
+from repro.experiments.harness import ExperimentResult, format_table, save_results
+
+__all__ = [
+    "successive_query_similarities",
+    "focal_local_similarity_cdf",
+    "ABTestConfig",
+    "ABTestResult",
+    "ABTestSimulator",
+    "coupling_heatmap_fixed_user",
+    "coupling_heatmap_fixed_query",
+    "ExperimentResult",
+    "format_table",
+    "save_results",
+]

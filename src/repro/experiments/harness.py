@@ -1,0 +1,91 @@
+"""Shared experiment harness: result records and table formatting.
+
+Every benchmark script produces a list of row dictionaries; the helpers here
+render them as aligned text tables (printed to stdout and captured by
+``pytest-benchmark`` runs) and can persist them as JSON next to the benchmark
+outputs so EXPERIMENTS.md can cite concrete measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float, str]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's identity, measured rows and paper reference values."""
+
+    experiment_id: str               # e.g. "table3", "fig11"
+    description: str
+    rows: List[Dict[str, Number]] = field(default_factory=list)
+    paper_reference: Dict[str, Number] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, **values: Number) -> None:
+        """Append one measured row."""
+        self.rows.append(dict(values))
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, default=str)
+
+
+def format_table(rows: Sequence[Dict[str, Number]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {col: max(len(str(col)),
+                       max(len(_fmt(row.get(col, ""))) for row in rows))
+              for col in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(f"{col:>{widths[col]}}" for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(f"{_fmt(row.get(col, '')):>{widths[col]}}"
+                                for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def save_results(results: Sequence[ExperimentResult],
+                 directory: str = "benchmark_results") -> List[str]:
+    """Persist experiment results as JSON files; returns the written paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for result in results:
+        path = os.path.join(directory, f"{result.experiment_id}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        paths.append(path)
+    return paths
+
+
+def load_result(experiment_id: str,
+                directory: str = "benchmark_results") -> Optional[ExperimentResult]:
+    """Load a previously saved experiment result (or ``None`` if missing)."""
+    path = os.path.join(directory, f"{experiment_id}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return ExperimentResult(**payload)

@@ -1,0 +1,41 @@
+"""Heterogeneous graph engine (the Euler-like substrate of the paper).
+
+The paper stores Taobao's user-query-item graph in a distributed graph engine
+(Euler) with alias-table sampling and compact per-type feature storage.  This
+package provides the laptop-scale equivalent:
+
+* :class:`~repro.graph.schema.GraphSchema` — node-type and edge-type registry.
+* :class:`~repro.graph.hetero_graph.HeteroGraph` — in-memory heterogeneous
+  graph with per-relation CSR adjacency and per-type feature matrices.
+* :class:`~repro.graph.alias.AliasTable` — constant-time weighted sampling.
+* :class:`~repro.graph.minhash.MinHasher` — MinHash / Jaccard similarity used
+  to create similarity-based edges (cold-start handling in Section II).
+* :class:`~repro.graph.builder.GraphBuilder` — constructs the heterogeneous
+  graph from behavior logs following the paper's edge rules.
+* :class:`~repro.graph.partition.ShardedGraphStore` — hash-partitioned,
+  replicated storage that mimics the distributed graph engine.
+* :class:`~repro.graph.features.FeatureStore` — typed node feature storage.
+"""
+
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.graph.hetero_graph import HeteroGraph, Relation
+from repro.graph.alias import AliasTable
+from repro.graph.minhash import MinHasher, jaccard_similarity
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import HashPartitioner, ShardedGraphStore
+from repro.graph.features import FeatureStore
+
+__all__ = [
+    "NodeType",
+    "EdgeType",
+    "GraphSchema",
+    "HeteroGraph",
+    "Relation",
+    "AliasTable",
+    "MinHasher",
+    "jaccard_similarity",
+    "GraphBuilder",
+    "HashPartitioner",
+    "ShardedGraphStore",
+    "FeatureStore",
+]

@@ -1,0 +1,172 @@
+"""Graph builder: behavior logs -> heterogeneous retrieval graph.
+
+This is the ODPS "graph generator" of the paper (Section VI), following the
+edge-construction rules of Section II:
+
+*Interaction edges* — for a click sequence ``s = (i1, ..., im)`` under user
+``u``'s searched query ``q`` the builder creates
+
+* a ``user -[search]-> query`` edge between ``u`` and ``q``,
+* ``item -[session]-> item`` edges between adjacently clicked items,
+* ``query -[query_click]-> item`` edges between ``q`` and every clicked item,
+* ``user -[click]-> item`` edges between ``u`` and every clicked item.
+
+*Similarity edges* — MinHash Jaccard similarity over title terms adds
+``similarity`` edges between queries and items (and item-item), weighted by
+the estimated similarity.  These help cold-start nodes.
+
+All interaction edges are added in both directions so the CSR relations can be
+traversed from either endpoint during sampling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.minhash import MinHasher
+from repro.graph.schema import EdgeType, GraphSchema, NodeType, RelationSpec, taobao_schema
+
+
+class GraphBuilder:
+    """Incrementally accumulates sessions and emits a :class:`HeteroGraph`."""
+
+    def __init__(self, feature_dim: int = 16,
+                 schema: Optional[GraphSchema] = None):
+        self.schema = schema if schema is not None else taobao_schema(feature_dim)
+        self.feature_dim = feature_dim
+        # Edge accumulators keyed by (src_type, edge_type, dst_type); values
+        # are dicts (src, dst) -> accumulated weight so repeated interactions
+        # strengthen the edge (click counts as weights).
+        self._edge_weights: Dict[Tuple[str, str, str], Dict[Tuple[int, int], float]] = \
+            defaultdict(lambda: defaultdict(float))
+        self._node_features: Dict[str, Optional[np.ndarray]] = {
+            t: None for t in self.schema.node_types
+        }
+        self._num_sessions = 0
+
+    # ------------------------------------------------------------------ #
+    # Node registration
+    # ------------------------------------------------------------------ #
+    def set_node_features(self, node_type: str, features: np.ndarray) -> None:
+        """Provide the dense feature matrix for all nodes of ``node_type``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"features for {node_type!r} must be (n, {self.feature_dim})"
+            )
+        self._node_features[node_type] = features
+
+    def num_nodes(self, node_type: str) -> int:
+        """Number of nodes currently registered for ``node_type``."""
+        features = self._node_features.get(node_type)
+        return 0 if features is None else features.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Session ingestion (interaction edges)
+    # ------------------------------------------------------------------ #
+    def add_session(self, user_id: int, query_id: int,
+                    clicked_items: Sequence[int], weight: float = 1.0) -> None:
+        """Ingest one search session ``{u, q, (i1..im)}`` (Section II rules)."""
+        if weight <= 0:
+            raise ValueError("session weight must be positive")
+        self._num_sessions += 1
+        self._bump(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY,
+                   user_id, query_id, weight)
+        previous_item: Optional[int] = None
+        for item_id in clicked_items:
+            self._bump(NodeType.USER, EdgeType.CLICK, NodeType.ITEM,
+                       user_id, item_id, weight)
+            self._bump(NodeType.QUERY, EdgeType.QUERY_CLICK, NodeType.ITEM,
+                       query_id, item_id, weight)
+            if previous_item is not None and previous_item != item_id:
+                self._bump(NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM,
+                           previous_item, item_id, weight)
+            previous_item = item_id
+
+    def add_sessions(self, sessions: Iterable[Tuple[int, int, Sequence[int]]]) -> None:
+        """Ingest an iterable of ``(user_id, query_id, clicked_items)`` tuples."""
+        for user_id, query_id, clicked_items in sessions:
+            self.add_session(user_id, query_id, clicked_items)
+
+    def _bump(self, src_type: str, edge_type: str, dst_type: str,
+              src: int, dst: int, weight: float) -> None:
+        self._edge_weights[(src_type, edge_type, dst_type)][(src, dst)] += weight
+        self._edge_weights[(dst_type, edge_type, src_type)][(dst, src)] += weight
+
+    # ------------------------------------------------------------------ #
+    # Similarity edges (MinHash)
+    # ------------------------------------------------------------------ #
+    def add_similarity_edges(self, query_terms: Mapping[int, Sequence[int]],
+                             item_terms: Mapping[int, Sequence[int]],
+                             threshold: float = 0.2,
+                             hasher: Optional[MinHasher] = None) -> int:
+        """Add query-item and item-item similarity edges from title terms.
+
+        Returns the number of (undirected) similarity edges added.
+        """
+        hasher = hasher if hasher is not None else MinHasher()
+        # Combine queries and items in one LSH pass.  Keys are offset so they
+        # stay distinguishable: queries keep their id, items are offset.
+        offset = (max(query_terms) + 1) if query_terms else 0
+        corpora: Dict[int, Sequence[int]] = dict(query_terms)
+        corpora.update({offset + item_id: terms for item_id, terms in item_terms.items()})
+        added = 0
+        for first, second, similarity in hasher.similarity_edges(corpora, threshold):
+            first_is_query = first < offset
+            second_is_query = second < offset
+            if first_is_query and second_is_query:
+                continue  # the paper only keeps query-item and item-item
+            if first_is_query:
+                self._bump(NodeType.QUERY, EdgeType.SIMILARITY, NodeType.ITEM,
+                           first, second - offset, similarity)
+            elif second_is_query:
+                self._bump(NodeType.QUERY, EdgeType.SIMILARITY, NodeType.ITEM,
+                           second, first - offset, similarity)
+            else:
+                self._bump(NodeType.ITEM, EdgeType.SIMILARITY, NodeType.ITEM,
+                           first - offset, second - offset, similarity)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Generic edge injection (used by the MovieLens builder and tests)
+    # ------------------------------------------------------------------ #
+    def add_weighted_edges(self, src_type: str, edge_type: str, dst_type: str,
+                           edges: Iterable[Tuple[int, int, float]],
+                           symmetric: bool = True) -> None:
+        """Add arbitrary weighted edges under a typed relation."""
+        for src, dst, weight in edges:
+            if symmetric:
+                self._bump(src_type, edge_type, dst_type, src, dst, weight)
+            else:
+                self._edge_weights[(src_type, edge_type, dst_type)][(src, dst)] += weight
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    def build(self) -> HeteroGraph:
+        """Materialise the :class:`HeteroGraph` (CSR relations, finalized)."""
+        graph = HeteroGraph(self.schema)
+        for node_type in self.schema.node_types:
+            features = self._node_features.get(node_type)
+            if features is None:
+                features = np.zeros((0, self.feature_dim))
+            graph.add_nodes(node_type, features)
+        for (src_type, edge_type, dst_type), weights in self._edge_weights.items():
+            if not weights:
+                continue
+            pairs = np.array(list(weights.keys()), dtype=np.int64)
+            values = np.array(list(weights.values()), dtype=np.float64)
+            spec = RelationSpec(src_type, edge_type, dst_type)
+            graph.add_edges(spec, pairs[:, 0], pairs[:, 1], values)
+        graph.finalize()
+        return graph
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions ingested so far."""
+        return self._num_sessions

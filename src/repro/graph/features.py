@@ -1,0 +1,121 @@
+"""Typed node feature storage.
+
+The paper's nodes carry categorical features (Table I: user ID / gender /
+membership level; query category / title terms; item ID / category / title
+terms / brand / shop).  The :class:`FeatureStore` keeps those categorical
+fields per node type and can materialise dense feature vectors by hashing
+each field into a small embedding-like subvector — the dense vectors are what
+the focal-biased sampler's relevance score (Eq. 5) and the models consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+class FeatureStore:
+    """Per-type categorical feature columns with dense projection.
+
+    Each node type owns a set of named fields; each field is an integer array
+    with one value per node (categorical id) or a list of token lists for
+    text-like fields (title terms).
+    """
+
+    def __init__(self, dense_dim: int = 16, seed: int = 13):
+        if dense_dim <= 0:
+            raise ValueError("dense_dim must be positive")
+        self.dense_dim = dense_dim
+        self._seed = seed
+        self._categorical: Dict[str, Dict[str, np.ndarray]] = {}
+        self._tokens: Dict[str, Dict[str, List[Sequence[int]]]] = {}
+        self._num_nodes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add_categorical(self, node_type: str, field: str,
+                        values: Sequence[int]) -> None:
+        """Register a categorical column (one integer id per node)."""
+        values = np.asarray(values, dtype=np.int64)
+        self._check_length(node_type, values.shape[0])
+        self._categorical.setdefault(node_type, {})[field] = values
+
+    def add_tokens(self, node_type: str, field: str,
+                   token_lists: Sequence[Sequence[int]]) -> None:
+        """Register a token-list column (e.g. title terms)."""
+        self._check_length(node_type, len(token_lists))
+        self._tokens.setdefault(node_type, {})[field] = [list(t) for t in token_lists]
+
+    def _check_length(self, node_type: str, length: int) -> None:
+        existing = self._num_nodes.get(node_type)
+        if existing is None:
+            self._num_nodes[node_type] = length
+        elif existing != length:
+            raise ValueError(
+                f"field length {length} does not match existing node count "
+                f"{existing} for type {node_type!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def num_nodes(self, node_type: str) -> int:
+        """Number of nodes registered for ``node_type``."""
+        return self._num_nodes.get(node_type, 0)
+
+    def fields(self, node_type: str) -> List[str]:
+        """Names of all fields registered for ``node_type``."""
+        cats = list(self._categorical.get(node_type, {}))
+        toks = list(self._tokens.get(node_type, {}))
+        return cats + toks
+
+    def categorical(self, node_type: str, field: str) -> np.ndarray:
+        """Raw categorical column."""
+        return self._categorical[node_type][field]
+
+    def tokens(self, node_type: str, field: str, node_id: int) -> Sequence[int]:
+        """Token list of one node for a text-like field."""
+        return self._tokens[node_type][field][node_id]
+
+    # ------------------------------------------------------------------ #
+    # Dense projection
+    # ------------------------------------------------------------------ #
+    def dense_features(self, node_type: str) -> np.ndarray:
+        """Materialise an ``(n, dense_dim)`` matrix from all fields.
+
+        Each field value is hashed into a deterministic pseudo-random unit
+        vector (per field), and a node's vector is the L2-normalised sum over
+        its fields.  This mimics how feature hashing + embedding lookup gives
+        each node a content-dependent position in feature space without
+        training, which is exactly what the focal-relevance sampler needs
+        before any model has been trained.
+        """
+        count = self.num_nodes(node_type)
+        out = np.zeros((count, self.dense_dim))
+        for field, values in self._categorical.get(node_type, {}).items():
+            out += self._hash_vectors(field, values)
+        for field, token_lists in self._tokens.get(node_type, {}).items():
+            for node_id, token_list in enumerate(token_lists):
+                if token_list:
+                    out[node_id] += self._hash_vectors(
+                        field, np.asarray(token_list, dtype=np.int64)
+                    ).mean(axis=0)
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return out / norms
+
+    def _hash_vectors(self, field: str, values: np.ndarray) -> np.ndarray:
+        """Deterministic unit vectors for ``values`` within ``field``."""
+        field_seed = (hash((field, self._seed)) & 0x7FFFFFFF)
+        vectors = np.empty((values.shape[0], self.dense_dim))
+        # Vectorised per unique value to keep this cheap for large columns.
+        unique, inverse = np.unique(values, return_inverse=True)
+        unique_vectors = np.empty((unique.shape[0], self.dense_dim))
+        for position, value in enumerate(unique):
+            rng = np.random.default_rng((field_seed * 1_000_003 + int(value)) & 0xFFFFFFFF)
+            vec = rng.normal(size=self.dense_dim)
+            unique_vectors[position] = vec / np.linalg.norm(vec)
+        vectors = unique_vectors[inverse]
+        return vectors

@@ -1,0 +1,253 @@
+"""In-memory heterogeneous graph with CSR adjacency per typed relation.
+
+This is the laptop-scale stand-in for the paper's distributed Euler graph
+engine: nodes are typed (user / query / item ...), each relation
+``(src_type, edge_type, dst_type)`` is stored as a CSR adjacency with edge
+weights, and per-node alias tables give constant-time weighted neighbor
+sampling (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.alias import AliasTable
+from repro.graph.schema import GraphSchema, RelationSpec
+
+
+@dataclass
+class _EdgeBuffer:
+    """Append-only COO buffer used while the graph is being built."""
+
+    src: List[int] = field(default_factory=list)
+    dst: List[int] = field(default_factory=list)
+    weight: List[float] = field(default_factory=list)
+
+
+class Relation:
+    """CSR adjacency for a single typed relation."""
+
+    def __init__(self, spec: RelationSpec, num_src: int,
+                 src: np.ndarray, dst: np.ndarray, weight: np.ndarray):
+        self.spec = spec
+        self.num_src = num_src
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        self.indices = dst[order]
+        self.weights = weight[order]
+        counts = np.bincount(src, minlength=num_src)
+        self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self._alias_cache: Dict[int, AliasTable] = {}
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    def neighbors(self, node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbor_ids, edge_weights)`` for ``node_id``."""
+        start, stop = self.indptr[node_id], self.indptr[node_id + 1]
+        return self.indices[start:stop], self.weights[start:stop]
+
+    def degree(self, node_id: int) -> int:
+        """Out-degree of ``node_id`` under this relation."""
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degrees of every source node."""
+        return np.diff(self.indptr)
+
+    def sample_neighbors(self, node_id: int, k: int,
+                         rng: Optional[np.random.Generator] = None,
+                         weighted: bool = True,
+                         replace: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample up to ``k`` neighbors of ``node_id``.
+
+        Weighted sampling uses a cached per-node alias table, matching the
+        constant-time sampling design of the paper's graph engine.  When the
+        node has at most ``k`` neighbors and ``replace`` is False, all
+        neighbors are returned.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        ids, weights = self.neighbors(node_id)
+        if ids.size == 0:
+            return ids, weights
+        if not replace and ids.size <= k:
+            return ids, weights
+        if weighted:
+            table = self._alias_cache.get(node_id)
+            if table is None:
+                table = AliasTable(weights)
+                self._alias_cache[node_id] = table
+            positions = table.sample(k, rng)
+            if not replace:
+                positions = np.unique(positions)
+        else:
+            positions = rng.choice(ids.size, size=min(k, ids.size), replace=replace)
+        return ids[positions], weights[positions]
+
+
+class HeteroGraph:
+    """Typed heterogeneous graph with per-type features and CSR relations."""
+
+    def __init__(self, schema: GraphSchema):
+        schema.validate()
+        self.schema = schema
+        self.num_nodes: Dict[str, int] = {t: 0 for t in schema.node_types}
+        self.features: Dict[str, np.ndarray] = {
+            t: np.zeros((0, schema.feature_dims[t])) for t in schema.node_types
+        }
+        self._buffers: Dict[RelationSpec, _EdgeBuffer] = {}
+        self.relations: Dict[RelationSpec, Relation] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_nodes(self, node_type: str, features: np.ndarray) -> np.ndarray:
+        """Append nodes of ``node_type`` with dense ``features``.
+
+        Returns the local ids assigned to the new nodes.
+        """
+        if node_type not in self.schema.node_types:
+            raise KeyError(f"unknown node type {node_type!r}")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array (num_nodes, feature_dim)")
+        expected = self.schema.feature_dims[node_type]
+        if features.shape[1] != expected:
+            raise ValueError(
+                f"feature dim mismatch for {node_type!r}: "
+                f"{features.shape[1]} != {expected}"
+            )
+        start = self.num_nodes[node_type]
+        self.features[node_type] = np.vstack([self.features[node_type], features])
+        self.num_nodes[node_type] += features.shape[0]
+        return np.arange(start, start + features.shape[0])
+
+    def add_edges(self, spec: RelationSpec, src: Sequence[int], dst: Sequence[int],
+                  weights: Optional[Sequence[float]] = None,
+                  symmetric: bool = False) -> None:
+        """Append edges for relation ``spec``; call :meth:`finalize` afterwards.
+
+        With ``symmetric=True`` the reversed edges are also added under the
+        reversed relation spec (registering it in the schema if needed).
+        """
+        if self._finalized:
+            raise RuntimeError("graph already finalized; cannot add edges")
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if weights is None:
+            weights = np.ones(src.shape[0])
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != src.shape:
+            raise ValueError("weights must have the same length as src/dst")
+        self._validate_ids(spec.src_type, src)
+        self._validate_ids(spec.dst_type, dst)
+        if spec not in [r for r in self.schema.relations]:
+            self.schema.add_relation(spec.src_type, spec.edge_type, spec.dst_type)
+        buffer = self._buffers.setdefault(spec, _EdgeBuffer())
+        buffer.src.extend(src.tolist())
+        buffer.dst.extend(dst.tolist())
+        buffer.weight.extend(weights.tolist())
+        if symmetric:
+            self.add_edges(spec.reverse(), dst, src, weights, symmetric=False)
+
+    def finalize(self) -> "HeteroGraph":
+        """Convert all COO buffers into CSR relations; idempotent."""
+        for spec, buffer in self._buffers.items():
+            self.relations[spec] = Relation(
+                spec,
+                self.num_nodes[spec.src_type],
+                np.asarray(buffer.src, dtype=np.int64),
+                np.asarray(buffer.dst, dtype=np.int64),
+                np.asarray(buffer.weight, dtype=np.float64),
+            )
+        self._buffers.clear()
+        self._finalized = True
+        return self
+
+    def _validate_ids(self, node_type: str, ids: np.ndarray) -> None:
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self.num_nodes[node_type]:
+            raise IndexError(
+                f"node id out of range for type {node_type!r}: "
+                f"max={ids.max()}, num_nodes={self.num_nodes[node_type]}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.num_nodes.values())
+
+    @property
+    def total_edges(self) -> int:
+        self._require_finalized()
+        return sum(rel.num_edges for rel in self.relations.values())
+
+    def node_feature(self, node_type: str, node_id: int) -> np.ndarray:
+        """Dense feature vector of one node."""
+        return self.features[node_type][node_id]
+
+    def node_features(self, node_type: str, node_ids: Sequence[int]) -> np.ndarray:
+        """Dense feature matrix for a batch of nodes of one type."""
+        return self.features[node_type][np.asarray(node_ids, dtype=np.int64)]
+
+    def relation(self, spec: RelationSpec) -> Relation:
+        """Return the CSR relation for ``spec``."""
+        self._require_finalized()
+        return self.relations[spec]
+
+    def relations_from(self, node_type: str) -> List[Relation]:
+        """All finalized relations whose source type is ``node_type``."""
+        self._require_finalized()
+        return [rel for spec, rel in self.relations.items()
+                if spec.src_type == node_type]
+
+    def neighbors(self, node_type: str, node_id: int
+                  ) -> List[Tuple[RelationSpec, np.ndarray, np.ndarray]]:
+        """All typed neighbor lists of a node: ``[(spec, ids, weights), ...]``."""
+        self._require_finalized()
+        result = []
+        for spec, rel in self.relations.items():
+            if spec.src_type != node_type:
+                continue
+            ids, weights = rel.neighbors(node_id)
+            if ids.size:
+                result.append((spec, ids, weights))
+        return result
+
+    def degree(self, node_type: str, node_id: int) -> int:
+        """Total out-degree of a node across all relations."""
+        return sum(rel.degree(node_id) for rel in self.relations_from(node_type)
+                   if node_id < rel.num_src)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of features + adjacency (for Fig. 4a)."""
+        total = sum(feat.nbytes for feat in self.features.values())
+        for rel in self.relations.values():
+            total += rel.indptr.nbytes + rel.indices.nbytes + rel.weights.nbytes
+        return total
+
+    def summary(self) -> Dict[str, object]:
+        """Human-readable statistics used by DESIGN/EXPERIMENTS reporting."""
+        self._require_finalized()
+        return {
+            "num_nodes": dict(self.num_nodes),
+            "total_nodes": self.total_nodes,
+            "total_edges": self.total_edges,
+            "relations": {str(spec): rel.num_edges
+                          for spec, rel in self.relations.items()},
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError("call finalize() before querying the graph")

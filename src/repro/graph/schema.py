@@ -1,0 +1,133 @@
+"""Node-type / edge-type schema for heterogeneous retrieval graphs.
+
+The paper's retrieval graph ``G = {U, Q, I, E}`` has user, query and item
+nodes, interaction edges (click / session) and similarity edges (Section II,
+Table I).  The schema here is kept generic so the same engine also hosts the
+MovieLens-like graph (user / tag / movie) used in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class NodeType:
+    """Canonical node-type names used by the Taobao-style retrieval graph."""
+
+    USER = "user"
+    QUERY = "query"
+    ITEM = "item"
+    # MovieLens-style graph (Table II).
+    MOVIE = "movie"
+    TAG = "tag"
+
+
+class EdgeType:
+    """Canonical edge-type names.
+
+    Interaction edges come from the behavior logs; similarity edges come from
+    MinHash Jaccard similarity over title terms (Section II).
+    """
+
+    CLICK = "click"            # user -> item under a query
+    SESSION = "session"        # adjacently clicked items in one session
+    QUERY_CLICK = "query_click"  # query -> clicked item
+    SEARCH = "search"          # user -> query they posed
+    SIMILARITY = "similarity"  # content similarity (MinHash Jaccard)
+    RATING = "rating"          # MovieLens user -> movie
+    RELEVANCE = "relevance"    # MovieLens movie -> tag
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """A typed relation ``(source type, edge type, destination type)``."""
+
+    src_type: str
+    edge_type: str
+    dst_type: str
+
+    def reverse(self) -> "RelationSpec":
+        """Return the reversed relation (same edge type, swapped endpoints)."""
+        return RelationSpec(self.dst_type, self.edge_type, self.src_type)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src_type}-[{self.edge_type}]->{self.dst_type}"
+
+
+@dataclass
+class GraphSchema:
+    """Registry of node types, per-type feature dimensions and relations."""
+
+    node_types: List[str] = field(default_factory=list)
+    feature_dims: Dict[str, int] = field(default_factory=dict)
+    relations: List[RelationSpec] = field(default_factory=list)
+
+    def add_node_type(self, node_type: str, feature_dim: int) -> "GraphSchema":
+        """Register a node type with its dense feature dimensionality."""
+        if node_type in self.node_types:
+            raise ValueError(f"node type {node_type!r} already registered")
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        self.node_types.append(node_type)
+        self.feature_dims[node_type] = feature_dim
+        return self
+
+    def add_relation(self, src_type: str, edge_type: str,
+                     dst_type: str) -> RelationSpec:
+        """Register a relation; both endpoint types must already exist."""
+        for node_type in (src_type, dst_type):
+            if node_type not in self.node_types:
+                raise KeyError(f"unknown node type {node_type!r}")
+        spec = RelationSpec(src_type, edge_type, dst_type)
+        if spec not in self.relations:
+            self.relations.append(spec)
+        return spec
+
+    def relations_from(self, src_type: str) -> List[RelationSpec]:
+        """All registered relations whose source is ``src_type``."""
+        return [rel for rel in self.relations if rel.src_type == src_type]
+
+    def relations_to(self, dst_type: str) -> List[RelationSpec]:
+        """All registered relations whose destination is ``dst_type``."""
+        return [rel for rel in self.relations if rel.dst_type == dst_type]
+
+    def validate(self) -> None:
+        """Sanity-check the schema; raises ``ValueError`` on inconsistency."""
+        if not self.node_types:
+            raise ValueError("schema has no node types")
+        for rel in self.relations:
+            if rel.src_type not in self.node_types or rel.dst_type not in self.node_types:
+                raise ValueError(f"relation {rel} references unknown node type")
+
+
+def taobao_schema(feature_dim: int = 16) -> GraphSchema:
+    """Schema for the Taobao-style user-query-item retrieval graph."""
+    schema = GraphSchema()
+    schema.add_node_type(NodeType.USER, feature_dim)
+    schema.add_node_type(NodeType.QUERY, feature_dim)
+    schema.add_node_type(NodeType.ITEM, feature_dim)
+    schema.add_relation(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY)
+    schema.add_relation(NodeType.QUERY, EdgeType.SEARCH, NodeType.USER)
+    schema.add_relation(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+    schema.add_relation(NodeType.ITEM, EdgeType.CLICK, NodeType.USER)
+    schema.add_relation(NodeType.QUERY, EdgeType.QUERY_CLICK, NodeType.ITEM)
+    schema.add_relation(NodeType.ITEM, EdgeType.QUERY_CLICK, NodeType.QUERY)
+    schema.add_relation(NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM)
+    schema.add_relation(NodeType.QUERY, EdgeType.SIMILARITY, NodeType.ITEM)
+    schema.add_relation(NodeType.ITEM, EdgeType.SIMILARITY, NodeType.QUERY)
+    schema.add_relation(NodeType.ITEM, EdgeType.SIMILARITY, NodeType.ITEM)
+    return schema
+
+
+def movielens_schema(feature_dim: int = 16) -> GraphSchema:
+    """Schema for the MovieLens-style user-tag-movie graph (Table II)."""
+    schema = GraphSchema()
+    schema.add_node_type(NodeType.USER, feature_dim)
+    schema.add_node_type(NodeType.TAG, feature_dim)
+    schema.add_node_type(NodeType.MOVIE, feature_dim)
+    schema.add_relation(NodeType.USER, EdgeType.RATING, NodeType.MOVIE)
+    schema.add_relation(NodeType.MOVIE, EdgeType.RATING, NodeType.USER)
+    schema.add_relation(NodeType.MOVIE, EdgeType.RELEVANCE, NodeType.TAG)
+    schema.add_relation(NodeType.TAG, EdgeType.RELEVANCE, NodeType.MOVIE)
+    return schema

@@ -1,0 +1,6 @@
+"""Shared model interfaces and building blocks used by Zoomer and baselines."""
+
+from repro.models.base import RetrievalModel
+from repro.models.encoders import HeteroNodeEncoder, TwinTowerHead
+
+__all__ = ["RetrievalModel", "HeteroNodeEncoder", "TwinTowerHead"]

@@ -1,0 +1,117 @@
+"""The retrieval-model interface shared by Zoomer and every baseline.
+
+A retrieval model predicts the click probability of an item under a
+``(user, query)`` request, and can embed requests and items separately for
+ANN-based retrieval (the online serving path).  The trainer
+(:mod:`repro.training.trainer`), the evaluation metrics and the serving stack
+only depend on this interface, so all the comparison experiments can swap
+models freely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.module import Module
+
+
+def resolve_node_roles(graph: HeteroGraph) -> tuple:
+    """Infer which node types play the user / query / item roles.
+
+    The Taobao-style graph uses ``user/query/item``; the MovieLens-style graph
+    uses ``user/tag/movie``.  Returns ``(user_type, query_type, item_type)``.
+    """
+    from repro.graph.schema import NodeType
+
+    user_type = NodeType.USER
+    if graph.num_nodes.get(NodeType.QUERY, 0) > 0:
+        query_type = NodeType.QUERY
+    elif graph.num_nodes.get(NodeType.TAG, 0) > 0:
+        query_type = NodeType.TAG
+    else:
+        query_type = NodeType.QUERY
+    if graph.num_nodes.get(NodeType.ITEM, 0) > 0:
+        item_type = NodeType.ITEM
+    elif graph.num_nodes.get(NodeType.MOVIE, 0) > 0:
+        item_type = NodeType.MOVIE
+    else:
+        item_type = NodeType.ITEM
+    return user_type, query_type, item_type
+
+
+class RetrievalModel(Module):
+    """Base class for CTR / retrieval models over the heterogeneous graph."""
+
+    #: Human-readable model name used in benchmark tables.
+    name = "retrieval-model"
+
+    def __init__(self, graph: HeteroGraph):
+        super().__init__()
+        self.graph = graph
+
+    # ------------------------------------------------------------------ #
+    # Training interface
+    # ------------------------------------------------------------------ #
+    def forward_batch(self, user_ids: np.ndarray, query_ids: np.ndarray,
+                      item_ids: np.ndarray) -> Tensor:
+        """Return the predicted click probabilities for a batch of triples.
+
+        Shapes: all inputs ``(batch,)`` integer arrays; output ``(batch,)``
+        probabilities in ``[0, 1]``.
+        """
+        raise NotImplementedError
+
+    def forward(self, user_ids: np.ndarray, query_ids: np.ndarray,
+                item_ids: np.ndarray) -> Tensor:
+        return self.forward_batch(user_ids, query_ids, item_ids)
+
+    # ------------------------------------------------------------------ #
+    # Retrieval interface (used by serving, Hitrate@K and the A/B test)
+    # ------------------------------------------------------------------ #
+    def request_embedding(self, user_id: int, query_id: int) -> np.ndarray:
+        """Embedding of a ``(user, query)`` request (query-tower output)."""
+        raise NotImplementedError
+
+    def item_embedding(self, item_id: int) -> np.ndarray:
+        """Embedding of one item (item-tower output)."""
+        raise NotImplementedError
+
+    def item_embeddings(self, item_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Embeddings for many items (default: every item in the graph)."""
+        if item_ids is None:
+            item_ids = range(self._num_items())
+        return np.vstack([self.item_embedding(int(i)) for i in item_ids])
+
+    def score_items(self, user_id: int, query_id: int,
+                    item_ids: Sequence[int]) -> np.ndarray:
+        """Relevance scores of candidate items for one request."""
+        request = self.request_embedding(user_id, query_id)
+        items = self.item_embeddings(item_ids)
+        return items @ request
+
+    def _num_items(self) -> int:
+        from repro.graph.schema import NodeType
+        for candidate in (NodeType.ITEM, NodeType.MOVIE):
+            if self.graph.num_nodes.get(candidate, 0) > 0:
+                return self.graph.num_nodes[candidate]
+        raise ValueError("graph has no item-like node type")
+
+    def item_node_type(self) -> str:
+        """The node type playing the 'item' role in this graph."""
+        from repro.graph.schema import NodeType
+        for candidate in (NodeType.ITEM, NodeType.MOVIE):
+            if self.graph.num_nodes.get(candidate, 0) > 0:
+                return candidate
+        raise ValueError("graph has no item-like node type")
+
+    def query_node_type(self) -> str:
+        """The node type playing the 'query' role in this graph."""
+        from repro.graph.schema import NodeType
+        for candidate in (NodeType.QUERY, NodeType.TAG):
+            if self.graph.num_nodes.get(candidate, 0) > 0:
+                return candidate
+        raise ValueError("graph has no query-like node type")

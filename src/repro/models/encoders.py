@@ -1,0 +1,97 @@
+"""Shared encoders: typed node encoders and the twin-tower (DSSM) head.
+
+Every model needs (a) a way to turn a typed node id into latent feature
+vectors — an id embedding, a projection of its dense content features, and a
+type embedding — and (b) a twin-tower head that turns the user-query side and
+the item side into comparable vectors whose dot product is the CTR logit
+(Section III-B).  Keeping these shared means the comparison between Zoomer
+and the baselines isolates the contribution of sampling + attention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ndarray.tensor import Tensor
+from repro.nn.layers import Embedding, Linear, MLP
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+
+
+class HeteroNodeEncoder(Module):
+    """Per-type node encoder producing feature latent "slots" per node.
+
+    For a node of type ``t`` with id ``i`` and dense content features ``x``,
+    the encoder produces three latent vectors (slots):
+
+    1. the id embedding ``E_t[i]``,
+    2. the content projection ``W_t x``,
+    3. the learned type embedding of ``t``.
+
+    These slots are exactly the per-feature latent vectors that Zoomer's
+    feature projection (Eq. 6) reweighs; baselines simply average them.
+    """
+
+    NUM_SLOTS = 3
+
+    def __init__(self, graph: HeteroGraph, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.graph = graph
+        self.embedding_dim = embedding_dim
+        self.node_types = list(graph.schema.node_types)
+        for node_type in self.node_types:
+            count = max(1, graph.num_nodes[node_type])
+            feature_dim = graph.schema.feature_dims[node_type]
+            self.add_module(f"id_embedding_{node_type}",
+                            Embedding(count, embedding_dim, rng=rng))
+            self.add_module(f"content_projection_{node_type}",
+                            Linear(feature_dim, embedding_dim, rng=rng))
+            self.register_parameter(
+                f"type_embedding_{node_type}",
+                Parameter(init.normal((1, embedding_dim), 0.05, rng),
+                          name=f"type_embedding_{node_type}"))
+
+    def slots(self, node_type: str, node_ids: Sequence[int]) -> Tensor:
+        """Slot matrices for a batch of same-type nodes: ``(n, 3, d)``."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        id_embedding: Embedding = getattr(self, f"id_embedding_{node_type}")
+        content_projection: Linear = getattr(self, f"content_projection_{node_type}")
+        type_embedding: Parameter = getattr(self, f"type_embedding_{node_type}")
+        ids = id_embedding(node_ids)                                   # (n, d)
+        content = content_projection(
+            Tensor(self.graph.node_features(node_type, node_ids)))     # (n, d)
+        ones = Tensor(np.ones((node_ids.shape[0], 1)))
+        types = ones @ type_embedding                                   # (n, d)
+        return Tensor.stack([ids, content, types], axis=1)              # (n, 3, d)
+
+    def mean_vectors(self, node_type: str, node_ids: Sequence[int]) -> Tensor:
+        """Slot-averaged node vectors ``(n, d)`` (what non-Zoomer models use)."""
+        return self.slots(node_type, node_ids).mean(axis=1)
+
+
+class TwinTowerHead(Module):
+    """DSSM-style twin-tower head: two MLP towers and a dot-product score."""
+
+    def __init__(self, request_dim: int, item_dim: int, hidden: Sequence[int],
+                 output_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.request_tower = MLP([request_dim, *hidden, output_dim], rng=rng)
+        self.item_tower = MLP([item_dim, *hidden, output_dim], rng=rng)
+
+    def request(self, request_input: Tensor) -> Tensor:
+        """Request-side (user + query) tower."""
+        return self.request_tower(request_input)
+
+    def item(self, item_input: Tensor) -> Tensor:
+        """Item-side tower."""
+        return self.item_tower(item_input)
+
+    def score(self, request_input: Tensor, item_input: Tensor) -> Tensor:
+        """Row-wise dot-product logits between the two towers."""
+        request_out = self.request(request_input)
+        item_out = self.item(item_input)
+        return (request_out * item_out).sum(axis=-1)

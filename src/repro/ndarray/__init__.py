@@ -1,0 +1,19 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+This package is the numerical substrate for every model in the Zoomer
+reproduction (the Zoomer model itself and all baselines).  It provides a
+:class:`~repro.ndarray.tensor.Tensor` type supporting the operations GNN
+recommenders need: dense matmul, broadcasting elementwise arithmetic,
+reductions, embedding gather, softmax/log-softmax, concatenation and
+nonlinearities.
+
+The engine intentionally mirrors the shape of familiar frameworks (PyTorch /
+TensorFlow eager) so that model code in :mod:`repro.core` and
+:mod:`repro.baselines` reads naturally, while remaining pure numpy so it runs
+anywhere.
+"""
+
+from repro.ndarray.tensor import Tensor, no_grad, is_grad_enabled
+from repro.ndarray import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

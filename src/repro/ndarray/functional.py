@@ -1,0 +1,120 @@
+"""Functional helpers on top of :class:`repro.ndarray.Tensor`.
+
+These are convenience wrappers used throughout the model code; keeping them
+here keeps the Tensor class focused on primitive differentiable operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ndarray.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU, the nonlinearity used by GAT-style attention scores."""
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (numerically stable)."""
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    return x.log_softmax(axis=axis)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    return Tensor.concat(tensors, axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    return Tensor.stack(tensors, axis=axis)
+
+
+def dot_rows(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise dot product of two ``(n, d)`` tensors -> ``(n,)`` tensor.
+
+    This is the twin-tower scoring operation ``pctr = <q+u, i>`` used by the
+    DSSM head in the paper (Fig. 5, Stage 2).
+    """
+    return (a * b).sum(axis=-1)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    """Row-wise cosine similarity between two ``(n, d)`` tensors."""
+    num = (a * b).sum(axis=-1)
+    denom = ((a * a).sum(axis=-1) ** 0.5) * ((b * b).sum(axis=-1) ** 0.5) + eps
+    return num / denom
+
+
+def mean_pool(x: Tensor, axis: int = 0) -> Tensor:
+    """Mean pooling, the aggregation used by plain GCN/GraphSAGE baselines."""
+    return x.mean(axis=axis)
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray,
+                         eps: float = 1e-7) -> Tensor:
+    """Binary cross entropy between predicted probabilities and 0/1 targets."""
+    targets = np.asarray(targets, dtype=np.float64)
+    probs = probs.clip(eps, 1.0 - eps)
+    loss = -(Tensor(targets) * probs.log() + Tensor(1.0 - targets) * (1.0 - probs).log())
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """BCE computed from raw logits (numerically stable)."""
+    return binary_cross_entropy(logits.sigmoid(), targets)
+
+
+def focal_cross_entropy(probs: Tensor, targets: np.ndarray, gamma: float = 2.0,
+                        eps: float = 1e-7) -> Tensor:
+    """Focal cross entropy loss.
+
+    The paper trains Zoomer with a "focal cross-entropy loss" with focal
+    weight 2 (Section VII-A).  Focal loss down-weights well-classified
+    examples so the model concentrates on hard ones.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    probs = probs.clip(eps, 1.0 - eps)
+    t = Tensor(targets)
+    pt = t * probs + (Tensor(1.0) - t) * (Tensor(1.0) - probs)
+    weight = (Tensor(1.0) - pt) ** gamma
+    loss = -(weight * pt.log())
+    return loss.mean()
+
+
+def l2_regularization(params: Sequence[Tensor], weight: float) -> Tensor:
+    """Sum of squared parameter values scaled by ``weight``.
+
+    The paper uses a small "regulation loss weight" (1e-6 for Zoomer,
+    5e-7 for MCCF/FGNN).
+    """
+    total: Optional[Tensor] = None
+    for param in params:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * weight

@@ -1,0 +1,27 @@
+"""Neural-network building blocks over the :mod:`repro.ndarray` autodiff engine.
+
+Provides the module system (:class:`Module`), common layers (:class:`Linear`,
+:class:`Embedding`, :class:`MLP`), optimizers (:class:`SGD`, :class:`Adam`),
+and weight initialisation helpers.  Every model in the reproduction (the
+Zoomer towers, and all GNN / session baselines) is built from these parts so
+that training-cost comparisons between methods are apples-to-apples.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, Embedding, MLP, LayerNorm, Dropout
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "LayerNorm",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "init",
+]

@@ -1,0 +1,59 @@
+"""Weight initialisation helpers.
+
+All initialisers accept an explicit ``numpy.random.Generator`` so model
+construction is fully reproducible; the experiment harness seeds every model
+with the experiment's seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def xavier_uniform(shape: Tuple[int, ...],
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for dense weight matrices."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...],
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...],
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (good before ReLU layers)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Small-scale normal initialisation, used for embedding tables."""
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation, used for biases."""
+    return np.zeros(shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

@@ -1,0 +1,136 @@
+"""Common neural-network layers used by Zoomer and the baselines."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ndarray.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng),
+                                name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Embedding table mapping integer ids to dense vectors.
+
+    This is the sparse part of the model that the paper stores on parameter
+    servers; :mod:`repro.distributed` partitions these tables by hashing.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, std: float = 0.05,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std, rng),
+                                name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight.gather_rows(indices)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between layers.
+
+    Used as the per-tower head of the twin-tower (DSSM) model and inside
+    several baselines (STAMP, MCCF readout).
+    """
+
+    def __init__(self, dims: Sequence[int], activation: str = "relu",
+                 final_activation: Optional[str] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        self.dims = list(dims)
+        self.activation = activation
+        self.final_activation = final_activation
+        self._layers: List[Linear] = []
+        for index, (dim_in, dim_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(dim_in, dim_out, rng=rng)
+            self.add_module(f"layer_{index}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        last = len(self._layers) - 1
+        for index, layer in enumerate(self._layers):
+            out = layer(out)
+            name = self.final_activation if index == last else self.activation
+            out = _apply_activation(out, name)
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(np.zeros(dim), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / ((var + self.eps) ** 0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+def _apply_activation(x: Tensor, name: Optional[str]) -> Tensor:
+    if name is None or name == "none":
+        return x
+    if name == "relu":
+        return x.relu()
+    if name == "leaky_relu":
+        return x.leaky_relu()
+    if name == "sigmoid":
+        return x.sigmoid()
+    if name == "tanh":
+        return x.tanh()
+    raise ValueError(f"unknown activation: {name!r}")

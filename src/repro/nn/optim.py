@@ -1,0 +1,108 @@
+"""Optimizers: plain SGD and Adam.
+
+The paper trains Zoomer "with SGD, using the Adam optimizer" (Section VII-A,
+learning rate 0.1 for Zoomer, 0.05 for GraphSAGE); both are provided here.
+Optimizers operate on lists of :class:`~repro.nn.module.Parameter` so the same
+instance can drive either a local model or the worker side of the simulated
+parameter-server training in :mod:`repro.distributed`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and step counter."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float,
+                 weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.params: List[Parameter] = list(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad(self, param: Parameter) -> Optional[np.ndarray]:
+        grad = param.grad
+        if grad is None:
+            return None
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 0.05,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.steps += 1
+        for param in self.params:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 0.001,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.steps += 1
+        bias1 = 1.0 - self.beta1 ** self.steps
+        bias2 = 1.0 - self.beta2 ** self.steps
+        for param in self.params:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

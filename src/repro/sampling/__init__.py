@@ -1,0 +1,30 @@
+"""Graph-sampling strategies.
+
+The paper compares its focal-biased sampler against the self-developed
+downscaling strategies of GraphSAGE (uniform layer sampling), PinSage
+(importance-based sampling), PinnerSage (cluster / multi-modal sampling) and
+Pixie (biased random walks).  All of them are implemented here behind a common
+:class:`~repro.sampling.base.NeighborSampler` interface so the efficiency /
+effectiveness experiments (Fig. 11, Fig. 12) can swap samplers freely.
+
+The Zoomer focal-biased sampler (paper Eq. 5) lives in
+:mod:`repro.sampling.focal` and is re-exported by :mod:`repro.core`.
+"""
+
+from repro.sampling.base import NeighborSampler, SampledNode
+from repro.sampling.uniform import UniformNeighborSampler
+from repro.sampling.importance import ImportanceNeighborSampler
+from repro.sampling.random_walk import RandomWalkSampler
+from repro.sampling.cluster import ClusterNeighborSampler
+from repro.sampling.focal import FocalBiasedSampler, focal_relevance_scores
+
+__all__ = [
+    "NeighborSampler",
+    "SampledNode",
+    "UniformNeighborSampler",
+    "ImportanceNeighborSampler",
+    "RandomWalkSampler",
+    "ClusterNeighborSampler",
+    "FocalBiasedSampler",
+    "focal_relevance_scores",
+]

@@ -1,0 +1,138 @@
+"""Sampler interface and the sampled-neighborhood tree structure.
+
+A sampler turns (graph, ego node, per-hop fanouts) into a small tree of
+sampled neighbors — the ego at the root, its sampled 1-hop neighbors as
+children, their sampled neighbors as grandchildren, and so on.  GNN models
+aggregate these trees bottom-up, so the tree preserves exactly the
+parent/child relations a K-layer convolution needs, while its size is the
+sampling cost that Figs. 4(a), 10, 11 and 12 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.schema import RelationSpec
+
+
+@dataclass
+class SampledNode:
+    """A node in a sampled-neighborhood tree."""
+
+    node_type: str
+    node_id: int
+    children: List[Tuple[RelationSpec, "SampledNode", float]] = field(default_factory=list)
+
+    def add_child(self, spec: RelationSpec, child: "SampledNode",
+                  weight: float = 1.0) -> None:
+        """Attach ``child`` reached via relation ``spec`` with edge weight."""
+        self.children.append((spec, child, float(weight)))
+
+    def num_nodes(self) -> int:
+        """Total number of nodes in the tree (the sampling cost)."""
+        return 1 + sum(child.num_nodes() for _, child, _ in self.children)
+
+    def num_edges(self) -> int:
+        """Total number of sampled edges in the tree."""
+        return len(self.children) + sum(child.num_edges()
+                                        for _, child, _ in self.children)
+
+    def depth(self) -> int:
+        """Depth of the tree (0 for a lone ego node)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for _, child, _ in self.children)
+
+    def children_by_type(self) -> Dict[str, List[Tuple["SampledNode", float]]]:
+        """Group children by neighbor node type: ``{type: [(child, w), ...]}``."""
+        grouped: Dict[str, List[Tuple[SampledNode, float]]] = {}
+        for _, child, weight in self.children:
+            grouped.setdefault(child.node_type, []).append((child, weight))
+        return grouped
+
+    def iter_nodes(self) -> Iterator["SampledNode"]:
+        """Yield every node in the tree (pre-order)."""
+        yield self
+        for _, child, _ in self.children:
+            yield from child.iter_nodes()
+
+    def node_ids_by_type(self) -> Dict[str, List[int]]:
+        """All node ids in the tree grouped by type (including the ego)."""
+        grouped: Dict[str, List[int]] = {}
+        for node in self.iter_nodes():
+            grouped.setdefault(node.node_type, []).append(node.node_id)
+        return grouped
+
+
+class NeighborSampler:
+    """Base class for neighborhood samplers.
+
+    Subclasses implement :meth:`select_neighbors`, which picks up to ``k``
+    neighbors of a node from the union of its typed neighbor lists; the base
+    class handles the recursive expansion over hops.
+    """
+
+    name = "base"
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def sample(self, graph: HeteroGraph, ego_type: str, ego_id: int,
+               fanouts: Sequence[int],
+               focal_vector: Optional[np.ndarray] = None) -> SampledNode:
+        """Sample a neighborhood tree rooted at ``(ego_type, ego_id)``.
+
+        ``fanouts[h]`` is the number of neighbors sampled at hop ``h``.
+        ``focal_vector`` is ignored by focal-agnostic samplers.
+        """
+        if any(k <= 0 for k in fanouts):
+            raise ValueError("fanouts must be positive")
+        root = SampledNode(ego_type, int(ego_id))
+        self._expand(graph, root, list(fanouts), focal_vector)
+        return root
+
+    def sample_batch(self, graph: HeteroGraph, ego_type: str,
+                     ego_ids: Sequence[int], fanouts: Sequence[int],
+                     focal_vectors: Optional[np.ndarray] = None
+                     ) -> List[SampledNode]:
+        """Sample a tree for each ego id."""
+        trees = []
+        for index, ego_id in enumerate(ego_ids):
+            focal = None if focal_vectors is None else focal_vectors[index]
+            trees.append(self.sample(graph, ego_type, ego_id, fanouts, focal))
+        return trees
+
+    # ------------------------------------------------------------------ #
+    # Extension point
+    # ------------------------------------------------------------------ #
+    def select_neighbors(self, graph: HeteroGraph, node: SampledNode, k: int,
+                         focal_vector: Optional[np.ndarray]
+                         ) -> List[Tuple[RelationSpec, int, float]]:
+        """Return up to ``k`` ``(relation, neighbor_id, weight)`` selections."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _expand(self, graph: HeteroGraph, node: SampledNode,
+                fanouts: List[int], focal_vector: Optional[np.ndarray]) -> None:
+        if not fanouts:
+            return
+        k, remaining = fanouts[0], fanouts[1:]
+        for spec, neighbor_id, weight in self.select_neighbors(
+                graph, node, k, focal_vector):
+            child = SampledNode(spec.dst_type, int(neighbor_id))
+            node.add_child(spec, child, weight)
+            self._expand(graph, child, remaining, focal_vector)
+
+    def _typed_neighbors(self, graph: HeteroGraph, node: SampledNode
+                         ) -> List[Tuple[RelationSpec, np.ndarray, np.ndarray]]:
+        """All typed neighbor lists of the node (may be empty)."""
+        return graph.neighbors(node.node_type, node.node_id)

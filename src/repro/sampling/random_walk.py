@@ -1,0 +1,83 @@
+"""Random-walk-based sampling (the Pixie / DeepWalk strategy).
+
+Pixie runs many short random walks from the ego node and keeps the most
+frequently visited nodes as its neighborhood; DeepWalk similarly treats nodes
+co-occurring on walks as context.  The sampler below performs weighted random
+walks over the heterogeneous graph, counts visits, and keeps the top-``k``
+visited nodes (per hop level) as the sampled neighborhood.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.schema import RelationSpec
+from repro.sampling.base import NeighborSampler, SampledNode
+
+
+class RandomWalkSampler(NeighborSampler):
+    """Keeps the top-k most visited nodes over short weighted random walks."""
+
+    name = "random_walk"
+
+    def __init__(self, seed: int = 0, num_walks: int = 20, walk_length: int = 3,
+                 restart_prob: float = 0.15):
+        super().__init__(seed)
+        if num_walks <= 0 or walk_length <= 0:
+            raise ValueError("num_walks and walk_length must be positive")
+        if not 0.0 <= restart_prob < 1.0:
+            raise ValueError("restart_prob must be in [0, 1)")
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.restart_prob = restart_prob
+
+    def select_neighbors(self, graph: HeteroGraph, node: SampledNode, k: int,
+                         focal_vector: Optional[np.ndarray]
+                         ) -> List[Tuple[RelationSpec, int, float]]:
+        visits: Counter = Counter()
+        reached_via: Dict[Tuple[str, int], RelationSpec] = {}
+        start = (node.node_type, node.node_id)
+        for _ in range(self.num_walks):
+            current_type, current_id = start
+            first_hop_spec: Optional[RelationSpec] = None
+            for step in range(self.walk_length):
+                if step > 0 and self.rng.random() < self.restart_prob:
+                    current_type, current_id = start
+                    first_hop_spec = None
+                neighbor_lists = graph.neighbors(current_type, current_id)
+                if not neighbor_lists:
+                    break
+                # Choose a relation proportionally to its total weight, then a
+                # neighbor within it proportionally to edge weight.
+                totals = np.array([weights.sum() for _, _, weights in neighbor_lists])
+                if totals.sum() <= 0:
+                    rel_index = int(self.rng.integers(len(neighbor_lists)))
+                else:
+                    rel_index = int(self.rng.choice(len(neighbor_lists),
+                                                    p=totals / totals.sum()))
+                spec, ids, weights = neighbor_lists[rel_index]
+                probabilities = weights / weights.sum() if weights.sum() > 0 else None
+                position = int(self.rng.choice(ids.size, p=probabilities))
+                next_id = int(ids[position])
+                if (current_type, current_id) == start:
+                    first_hop_spec = spec
+                current_type, current_id = spec.dst_type, next_id
+                if (current_type, current_id) != start:
+                    key = (current_type, current_id)
+                    visits[key] += 1
+                    if key not in reached_via and first_hop_spec is not None:
+                        reached_via[key] = RelationSpec(
+                            node.node_type, first_hop_spec.edge_type, current_type)
+        if not visits:
+            return []
+        selections: List[Tuple[RelationSpec, int, float]] = []
+        for (node_type, node_id), count in visits.most_common(k):
+            spec = reached_via.get(
+                (node_type, node_id),
+                RelationSpec(node.node_type, "walk", node_type))
+            selections.append((spec, node_id, float(count)))
+        return selections

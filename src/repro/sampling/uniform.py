@@ -1,0 +1,37 @@
+"""Uniform layer sampling (the GraphSAGE strategy).
+
+GraphSAGE aggregates features from a fixed-size set of uniformly sampled
+neighbors (paper Section III-A, Eq. 4); PinSage's predecessor strategy of
+"uniform node sampling on the previous layer neighbors" is the same idea.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.schema import RelationSpec
+from repro.sampling.base import NeighborSampler, SampledNode
+
+
+class UniformNeighborSampler(NeighborSampler):
+    """Samples ``k`` neighbors uniformly from the union of all relations."""
+
+    name = "uniform"
+
+    def select_neighbors(self, graph: HeteroGraph, node: SampledNode, k: int,
+                         focal_vector: Optional[np.ndarray]
+                         ) -> List[Tuple[RelationSpec, int, float]]:
+        candidates: List[Tuple[RelationSpec, int, float]] = []
+        for spec, ids, weights in self._typed_neighbors(graph, node):
+            candidates.extend(
+                (spec, int(nid), float(w)) for nid, w in zip(ids, weights)
+            )
+        if not candidates:
+            return []
+        if len(candidates) <= k:
+            return candidates
+        picks = self.rng.choice(len(candidates), size=k, replace=False)
+        return [candidates[p] for p in picks]

@@ -1,0 +1,36 @@
+"""Online serving stack (paper Sections VI and VII-E).
+
+After training, item representations are indexed for approximate
+nearest-neighbor retrieval; at request time the user-query tower runs with a
+neighbor cache (k last-visited neighbors per user/query node, asynchronously
+refreshed) and only the edge-level attention is kept, which lets the paper
+serve thousands of QPS at ~3 ms.  This package reproduces the whole path:
+
+* :class:`~repro.serving.cache.NeighborCache` — bounded per-node neighbor
+  cache with asynchronous refresh semantics and hit/miss accounting.
+* :class:`~repro.serving.ann.IVFIndex` — an inverted-file ANN index (coarse
+  k-means + per-cell exact search) over item embeddings.
+* :class:`~repro.serving.inverted_index.InvertedIndex` — the two-layer
+  query->items / item->metadata inverted index stored in the iGraph-like
+  engine.
+* :class:`~repro.serving.latency.LatencySimulator` — an M/M/c queueing model
+  that turns per-request service times and QPS into response times (Fig. 9).
+* :class:`~repro.serving.server.OnlineServer` — the end-to-end serving facade.
+"""
+
+from repro.serving.cache import NeighborCache
+from repro.serving.ann import IVFIndex, ExactIndex
+from repro.serving.inverted_index import InvertedIndex
+from repro.serving.latency import LatencySimulator, LatencyBreakdown
+from repro.serving.server import OnlineServer, ServeResult
+
+__all__ = [
+    "NeighborCache",
+    "IVFIndex",
+    "ExactIndex",
+    "InvertedIndex",
+    "LatencySimulator",
+    "LatencyBreakdown",
+    "OnlineServer",
+    "ServeResult",
+]

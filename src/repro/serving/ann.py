@@ -1,0 +1,121 @@
+"""Approximate nearest-neighbor search over item embeddings.
+
+"After training, the representations are fed to an efficient
+Approximate-Nearest-Neighbors search module (ANN) to generate the inverted
+index for online serving" (Section VI).  :class:`IVFIndex` is a classic
+inverted-file index: item embeddings are clustered into ``num_cells`` coarse
+cells with k-means, a query probes its ``nprobe`` closest cells and scores
+only the items inside them.  :class:`ExactIndex` is the brute-force reference
+used to measure recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ExactIndex:
+    """Brute-force inner-product index (the recall reference)."""
+
+    def __init__(self, embeddings: np.ndarray,
+                 ids: Optional[Sequence[int]] = None):
+        self.embeddings = np.asarray(embeddings, dtype=np.float64)
+        if self.embeddings.ndim != 2:
+            raise ValueError("embeddings must be a 2-D array")
+        self.ids = np.asarray(ids, dtype=np.int64) if ids is not None \
+            else np.arange(self.embeddings.shape[0])
+
+    def __len__(self) -> int:
+        return int(self.embeddings.shape[0])
+
+    def search(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k ids and scores by inner product."""
+        scores = self.embeddings @ np.asarray(query, dtype=np.float64)
+        k = min(k, scores.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        order = top[np.argsort(-scores[top])]
+        return self.ids[order], scores[order]
+
+
+class IVFIndex:
+    """Inverted-file ANN index (coarse k-means + per-cell exact search)."""
+
+    def __init__(self, num_cells: int = 16, nprobe: int = 3,
+                 kmeans_iterations: int = 10, seed: int = 0):
+        if num_cells <= 0 or nprobe <= 0:
+            raise ValueError("num_cells and nprobe must be positive")
+        self.num_cells = num_cells
+        self.nprobe = nprobe
+        self.kmeans_iterations = kmeans_iterations
+        self._rng = np.random.default_rng(seed)
+        self.centroids: Optional[np.ndarray] = None
+        self._cells: List[np.ndarray] = []
+        self.embeddings: Optional[np.ndarray] = None
+        self.ids: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    def build(self, embeddings: np.ndarray,
+              ids: Optional[Sequence[int]] = None) -> "IVFIndex":
+        """Cluster the embeddings and build the per-cell posting lists."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[0] == 0:
+            raise ValueError("embeddings must be a non-empty 2-D array")
+        self.embeddings = embeddings
+        self.ids = np.asarray(ids, dtype=np.int64) if ids is not None \
+            else np.arange(embeddings.shape[0])
+        cells = min(self.num_cells, embeddings.shape[0])
+        centroids = embeddings[self._rng.choice(embeddings.shape[0], size=cells,
+                                                replace=False)].copy()
+        assignments = np.zeros(embeddings.shape[0], dtype=np.int64)
+        for _ in range(self.kmeans_iterations):
+            distances = ((embeddings[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            assignments = distances.argmin(axis=1)
+            for cell in range(cells):
+                members = embeddings[assignments == cell]
+                if members.shape[0]:
+                    centroids[cell] = members.mean(axis=0)
+        self.centroids = centroids
+        self._cells = [np.where(assignments == cell)[0] for cell in range(cells)]
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, query: np.ndarray, k: int,
+               nprobe: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k ids and scores for an inner-product query."""
+        if self.centroids is None or self.embeddings is None or self.ids is None:
+            raise RuntimeError("index not built; call build() first")
+        query = np.asarray(query, dtype=np.float64)
+        nprobe = nprobe if nprobe is not None else self.nprobe
+        nprobe = min(nprobe, self.centroids.shape[0])
+        centroid_distance = ((self.centroids - query) ** 2).sum(axis=1)
+        probe_cells = np.argsort(centroid_distance)[:nprobe]
+        candidates = np.concatenate([self._cells[cell] for cell in probe_cells]) \
+            if probe_cells.size else np.zeros(0, dtype=np.int64)
+        if candidates.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        scores = self.embeddings[candidates] @ query
+        k = min(k, candidates.size)
+        top = np.argpartition(-scores, k - 1)[:k]
+        order = top[np.argsort(-scores[top])]
+        return self.ids[candidates[order]], scores[order]
+
+    def recall_at_k(self, queries: np.ndarray, k: int) -> float:
+        """Average recall@k against exact search over the same embeddings."""
+        if self.embeddings is None or self.ids is None:
+            raise RuntimeError("index not built; call build() first")
+        exact = ExactIndex(self.embeddings, self.ids)
+        recalls = []
+        for query in np.atleast_2d(queries):
+            approx_ids, _ = self.search(query, k)
+            exact_ids, _ = exact.search(query, k)
+            if exact_ids.size == 0:
+                continue
+            recalls.append(len(set(approx_ids) & set(exact_ids)) / exact_ids.size)
+        return float(np.mean(recalls)) if recalls else 0.0

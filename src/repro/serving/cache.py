@@ -1,0 +1,102 @@
+"""Neighbor cache for online serving (paper Section VII-E).
+
+"In the online GNN module, we deploy caches for dynamically storing k last
+visited neighbors for each user and query nodes, thus avoiding the overhead
+for the aggregation operation ... the cache updating is fully asynchronous
+from users' timely requests."  The cache below stores up to ``capacity``
+neighbors per (node type, node id), evicts least-recently-updated entries
+when the number of cached nodes exceeds ``max_nodes``, and tracks hit / miss
+/ refresh statistics so the serving benchmarks can attribute latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / refresh accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    refreshes: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class NeighborCache:
+    """Bounded cache of each node's k last-visited neighbors."""
+
+    def __init__(self, capacity: int = 30, max_nodes: int = 10_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if max_nodes <= 0:
+            raise ValueError("max_nodes must be positive")
+        self.capacity = capacity
+        self.max_nodes = max_nodes
+        self._entries: "OrderedDict[Tuple[str, int], List[Tuple[str, int, float]]]" = \
+            OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, node_type: str, node_id: int
+            ) -> Optional[List[Tuple[str, int, float]]]:
+        """Cached neighbors ``[(neighbor_type, neighbor_id, weight), ...]``."""
+        key = (node_type, int(node_id))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return list(entry)
+
+    def put(self, node_type: str, node_id: int,
+            neighbors: Sequence[Tuple[str, int, float]]) -> None:
+        """Refresh the cached neighbors of one node (async update path)."""
+        key = (node_type, int(node_id))
+        trimmed = list(neighbors)[: self.capacity]
+        self._entries[key] = trimmed
+        self._entries.move_to_end(key)
+        self.stats.refreshes += 1
+        while len(self._entries) > self.max_nodes:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def update_visit(self, node_type: str, node_id: int,
+                     neighbor: Tuple[str, int, float]) -> None:
+        """Record a newly visited neighbor, keeping only the k most recent."""
+        key = (node_type, int(node_id))
+        entry = self._entries.get(key, [])
+        entry = [n for n in entry if (n[0], n[1]) != (neighbor[0], neighbor[1])]
+        entry.insert(0, neighbor)
+        self.put(node_type, node_id, entry)
+        # put() counts this as a refresh; that is intentional — visit updates
+        # ride the same asynchronous refresh path.
+
+    def warm(self, graph, node_type: str, node_ids: Sequence[int],
+             k: Optional[int] = None) -> None:
+        """Pre-populate the cache from the graph's highest-weight neighbors."""
+        k = k if k is not None else self.capacity
+        for node_id in node_ids:
+            neighbors: List[Tuple[str, int, float]] = []
+            for spec, ids, weights in graph.neighbors(node_type, int(node_id)):
+                neighbors.extend((spec.dst_type, int(i), float(w))
+                                 for i, w in zip(ids, weights))
+            neighbors.sort(key=lambda entry: -entry[2])
+            self.put(node_type, int(node_id), neighbors[:k])
+
+    def hit_rate(self) -> float:
+        """Overall cache hit rate so far."""
+        return self.stats.hit_rate

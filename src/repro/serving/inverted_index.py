@@ -1,0 +1,98 @@
+"""Two-layer inverted index for online retrieval (paper Sections VI, VII-E).
+
+"In the online serving stage, the two-layer inverted indexes are stored in
+igraph engine."  The first layer maps a query node to its pre-computed
+top-items posting list (built offline from the trained embeddings via the ANN
+index); the second layer maps an item to its metadata (category, price) used
+by the ranking stage.  Posting lists are refreshed offline, so online lookups
+are pure dictionary reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ItemMetadata:
+    """Second-layer entry: per-item attributes used by downstream ranking."""
+
+    item_id: int
+    category: int = -1
+    price: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+class InvertedIndex:
+    """Query -> posting list (layer 1) and item -> metadata (layer 2)."""
+
+    def __init__(self, posting_length: int = 100):
+        if posting_length <= 0:
+            raise ValueError("posting_length must be positive")
+        self.posting_length = posting_length
+        self._postings: Dict[int, List[Tuple[int, float]]] = {}
+        self._metadata: Dict[int, ItemMetadata] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Build (offline)
+    # ------------------------------------------------------------------ #
+    def add_posting(self, query_id: int,
+                    items_with_scores: Sequence[Tuple[int, float]]) -> None:
+        """Set the posting list of a query (sorted by descending score)."""
+        ordered = sorted(items_with_scores, key=lambda pair: -pair[1])
+        self._postings[int(query_id)] = [(int(i), float(s))
+                                         for i, s in ordered[: self.posting_length]]
+
+    def add_metadata(self, metadata: ItemMetadata) -> None:
+        """Register second-layer metadata for an item."""
+        self._metadata[int(metadata.item_id)] = metadata
+
+    def build_from_embeddings(self, query_ids: Sequence[int],
+                              query_embeddings: np.ndarray,
+                              item_embeddings: np.ndarray,
+                              item_ids: Optional[Sequence[int]] = None) -> None:
+        """Populate layer 1 by scoring items against each query embedding."""
+        query_embeddings = np.asarray(query_embeddings, dtype=np.float64)
+        item_embeddings = np.asarray(item_embeddings, dtype=np.float64)
+        item_ids = np.asarray(item_ids, dtype=np.int64) if item_ids is not None \
+            else np.arange(item_embeddings.shape[0])
+        scores = query_embeddings @ item_embeddings.T       # (Q, I)
+        top_k = min(self.posting_length, item_embeddings.shape[0])
+        for row, query_id in enumerate(query_ids):
+            top = np.argpartition(-scores[row], top_k - 1)[:top_k]
+            order = top[np.argsort(-scores[row][top])]
+            self.add_posting(int(query_id),
+                             [(int(item_ids[i]), float(scores[row][i]))
+                              for i in order])
+
+    # ------------------------------------------------------------------ #
+    # Online lookups
+    # ------------------------------------------------------------------ #
+    def lookup(self, query_id: int, k: Optional[int] = None
+               ) -> List[Tuple[int, float]]:
+        """Return the top-k posting entries for a query (empty if unknown)."""
+        self.lookups += 1
+        posting = self._postings.get(int(query_id))
+        if posting is None:
+            self.misses += 1
+            return []
+        return posting[: (k if k is not None else self.posting_length)]
+
+    def metadata(self, item_id: int) -> Optional[ItemMetadata]:
+        """Second-layer metadata lookup."""
+        return self._metadata.get(int(item_id))
+
+    def coverage(self, query_ids: Sequence[int]) -> float:
+        """Fraction of the given queries that have a posting list."""
+        if not len(query_ids):
+            return 0.0
+        covered = sum(1 for q in query_ids if int(q) in self._postings)
+        return covered / len(query_ids)
+
+    def __len__(self) -> int:
+        return len(self._postings)

@@ -1,0 +1,115 @@
+"""Queueing-based response-time model for online serving (paper Fig. 9).
+
+The paper reports average response times of ~2.6-3.6 ms while QPS scales from
+1K to 50K, with a slow, smooth increase ("when QPS increases up to 10x, the rt
+increases less than 2x").  That shape is characteristic of a well-provisioned
+multi-server queue: response time = service time + queueing delay, with the
+delay governed by utilisation.  :class:`LatencySimulator` implements an M/M/c
+(Erlang-C) model over the per-request service time measured from the serving
+stack, so the Fig. 9 bench reproduces the curve from first principles instead
+of hard-coding it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class LatencyBreakdown:
+    """Components of one request's latency (milliseconds)."""
+
+    cache_ms: float
+    attention_ms: float
+    ann_ms: float
+    queueing_ms: float = 0.0
+
+    @property
+    def service_ms(self) -> float:
+        return self.cache_ms + self.attention_ms + self.ann_ms
+
+    @property
+    def total_ms(self) -> float:
+        return self.service_ms + self.queueing_ms
+
+
+class LatencySimulator:
+    """M/M/c response-time model over a measured per-request service time."""
+
+    def __init__(self, num_servers: int = 64, service_time_ms: float = 2.5):
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if service_time_ms <= 0:
+            raise ValueError("service_time_ms must be positive")
+        self.num_servers = num_servers
+        self.service_time_ms = service_time_ms
+
+    # ------------------------------------------------------------------ #
+    # Queueing model
+    # ------------------------------------------------------------------ #
+    def utilisation(self, qps: float) -> float:
+        """Offered load per server (rho)."""
+        if qps < 0:
+            raise ValueError("qps must be non-negative")
+        service_rate_per_server = 1000.0 / self.service_time_ms  # req/s
+        return qps / (self.num_servers * service_rate_per_server)
+
+    def _erlang_c(self, qps: float) -> float:
+        """Probability an arriving request has to queue (Erlang C)."""
+        c = self.num_servers
+        rho = self.utilisation(qps)
+        if rho >= 1.0:
+            return 1.0
+        offered = rho * c
+        # Sum_{k<c} offered^k / k!  computed in log space for stability.
+        summation = 0.0
+        term = 1.0
+        for k in range(c):
+            if k > 0:
+                term *= offered / k
+            summation += term
+        term_c = term * offered / c
+        numerator = term_c / (1.0 - rho)
+        return numerator / (summation + numerator)
+
+    def expected_response_ms(self, qps: float) -> float:
+        """Mean response time (service + queueing) at the given QPS."""
+        rho = self.utilisation(qps)
+        if rho >= 1.0:
+            # Saturated: report a steep (but finite) penalty so sweeps stay
+            # plottable; the bench flags these points as saturated.
+            return self.service_time_ms * (1.0 + 10.0 * (rho - 1.0) + 10.0)
+        probability_wait = self._erlang_c(qps)
+        service_rate_per_server = 1000.0 / self.service_time_ms
+        queueing_ms = probability_wait / (self.num_servers * service_rate_per_server
+                                          * (1.0 - rho)) * 1000.0
+        return self.service_time_ms + queueing_ms
+
+    def sweep(self, qps_values: Sequence[float]) -> List[Dict[str, float]]:
+        """Response-time curve over a QPS sweep (the Fig. 9 series)."""
+        rows = []
+        for qps in qps_values:
+            rows.append({
+                "qps": float(qps),
+                "response_ms": round(self.expected_response_ms(qps), 4),
+                "utilisation": round(self.utilisation(qps), 4),
+            })
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
+    def calibrate_service_time(self, measured_ms: float) -> None:
+        """Set the per-request service time from a measured value."""
+        if measured_ms <= 0:
+            raise ValueError("measured service time must be positive")
+        self.service_time_ms = measured_ms
+
+    def servers_needed(self, qps: float, target_utilisation: float = 0.6) -> int:
+        """Capacity-planning helper: servers needed to stay under a target rho."""
+        if not 0.0 < target_utilisation < 1.0:
+            raise ValueError("target_utilisation must be in (0, 1)")
+        service_rate_per_server = 1000.0 / self.service_time_ms
+        return max(1, math.ceil(qps / (service_rate_per_server * target_utilisation)))

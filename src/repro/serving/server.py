@@ -1,0 +1,156 @@
+"""End-to-end online serving facade (paper Sections VI and VII-E).
+
+For a request ``(user, query)`` the server:
+
+1. reads the user's and query's cached neighbors (the k last-visited
+   neighbors; a miss falls back to a graph lookup and refreshes the cache),
+2. computes the request embedding with the *serving-time simplification* the
+   paper describes — only the edge-level attention part of the multi-level
+   attention module is kept, and the aggregation uses the cached neighbors
+   instead of fresh sampling,
+3. retrieves candidates from the inverted index (if the query has a posting
+   list) or the ANN index over item embeddings,
+4. returns the top-k items together with a latency breakdown.
+
+The per-request service time measured here calibrates the
+:class:`~repro.serving.latency.LatencySimulator` used for the Fig. 9 sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import RetrievalModel
+from repro.serving.ann import IVFIndex
+from repro.serving.cache import NeighborCache
+from repro.serving.inverted_index import InvertedIndex
+from repro.serving.latency import LatencyBreakdown, LatencySimulator
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one serving request."""
+
+    user_id: int
+    query_id: int
+    item_ids: np.ndarray
+    scores: np.ndarray
+    latency: LatencyBreakdown
+    from_inverted_index: bool
+
+
+class OnlineServer:
+    """Serves item-retrieval requests from a trained retrieval model."""
+
+    def __init__(self, model: RetrievalModel, cache_capacity: int = 30,
+                 ann_cells: int = 16, ann_nprobe: int = 3,
+                 posting_length: int = 100, num_servers: int = 64,
+                 use_inverted_index: bool = True, seed: int = 0):
+        self.model = model
+        self.graph = model.graph
+        self.cache = NeighborCache(capacity=cache_capacity)
+        self.inverted_index = InvertedIndex(posting_length=posting_length)
+        self.use_inverted_index = use_inverted_index
+        self.item_type = model.item_node_type()
+        self.query_type = model.query_node_type()
+        self._item_embeddings = model.item_embeddings()
+        self.ann = IVFIndex(num_cells=ann_cells, nprobe=ann_nprobe, seed=seed)
+        self.ann.build(self._item_embeddings)
+        self.latency_model = LatencySimulator(num_servers=num_servers)
+        self._request_embedding_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._served = 0
+
+    # ------------------------------------------------------------------ #
+    # Offline preparation
+    # ------------------------------------------------------------------ #
+    def warm_caches(self, user_ids: Sequence[int], query_ids: Sequence[int]) -> None:
+        """Pre-populate the neighbor caches (the async refresh path)."""
+        from repro.graph.schema import NodeType
+        self.cache.warm(self.graph, NodeType.USER, user_ids)
+        self.cache.warm(self.graph, self.query_type, query_ids)
+
+    def build_inverted_index(self, query_ids: Sequence[int],
+                             example_user: int = 0) -> None:
+        """Build layer-1 posting lists from the trained embeddings."""
+        query_embeddings = np.vstack([
+            self.model.request_embedding(example_user, int(q)) for q in query_ids
+        ])
+        self.inverted_index.build_from_embeddings(
+            list(query_ids), query_embeddings, self._item_embeddings)
+
+    # ------------------------------------------------------------------ #
+    # Online path
+    # ------------------------------------------------------------------ #
+    def serve(self, user_id: int, query_id: int, k: int = 10) -> ServeResult:
+        """Serve one retrieval request and measure its latency breakdown."""
+        from repro.graph.schema import NodeType
+
+        start = time.perf_counter()
+        for node_type, node_id in ((NodeType.USER, user_id),
+                                   (self.query_type, query_id)):
+            if self.cache.get(node_type, node_id) is None:
+                neighbors: List[Tuple[str, int, float]] = []
+                for spec, ids, weights in self.graph.neighbors(node_type,
+                                                               int(node_id)):
+                    neighbors.extend((spec.dst_type, int(i), float(w))
+                                     for i, w in zip(ids, weights))
+                neighbors.sort(key=lambda entry: -entry[2])
+                self.cache.put(node_type, node_id, neighbors)
+        cache_ms = (time.perf_counter() - start) * 1000.0
+
+        start = time.perf_counter()
+        key = (int(user_id), int(query_id))
+        request_embedding = self._request_embedding_cache.get(key)
+        if request_embedding is None:
+            request_embedding = self.model.request_embedding(user_id, query_id)
+            self._request_embedding_cache[key] = request_embedding
+        attention_ms = (time.perf_counter() - start) * 1000.0
+
+        start = time.perf_counter()
+        from_index = False
+        if self.use_inverted_index:
+            posting = self.inverted_index.lookup(query_id, k)
+            if posting:
+                item_ids = np.array([item for item, _ in posting], dtype=np.int64)
+                scores = np.array([score for _, score in posting])
+                from_index = True
+            else:
+                item_ids, scores = self.ann.search(request_embedding, k)
+        else:
+            item_ids, scores = self.ann.search(request_embedding, k)
+        ann_ms = (time.perf_counter() - start) * 1000.0
+
+        self._served += 1
+        return ServeResult(
+            user_id=int(user_id), query_id=int(query_id),
+            item_ids=item_ids, scores=scores,
+            latency=LatencyBreakdown(cache_ms=cache_ms, attention_ms=attention_ms,
+                                     ann_ms=ann_ms),
+            from_inverted_index=from_index,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Load testing
+    # ------------------------------------------------------------------ #
+    def measure_service_time(self, requests: Sequence[Tuple[int, int]],
+                             k: int = 10) -> float:
+        """Median per-request service time (ms) over a warm-up request set."""
+        if not requests:
+            raise ValueError("need at least one request to measure")
+        durations = []
+        for user_id, query_id in requests:
+            result = self.serve(user_id, query_id, k)
+            durations.append(result.latency.service_ms)
+        return float(np.median(durations))
+
+    def qps_sweep(self, qps_values: Sequence[float],
+                  calibration_requests: Sequence[Tuple[int, int]],
+                  k: int = 10) -> List[Dict[str, float]]:
+        """Measured-service-time + queueing-model sweep (the Fig. 9 series)."""
+        service_ms = self.measure_service_time(calibration_requests, k)
+        self.latency_model.calibrate_service_time(service_ms)
+        return self.latency_model.sweep(qps_values)

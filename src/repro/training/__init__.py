@@ -1,0 +1,30 @@
+"""Training infrastructure: dataloaders, metrics and the trainer.
+
+The trainer consumes any :class:`~repro.models.base.RetrievalModel`
+(Zoomer or a baseline) and a list of labelled impressions, optimises the
+focal / binary cross-entropy with L2 regularisation, and reports the metrics
+used in the paper's evaluation: AUC, HitRate@K, MAE and RMSE.
+"""
+
+from repro.training.dataloader import ImpressionDataLoader, Batch
+from repro.training.metrics import (
+    auc_score,
+    hit_rate_at_k,
+    mean_absolute_error,
+    root_mean_squared_error,
+    MetricReport,
+)
+from repro.training.trainer import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "ImpressionDataLoader",
+    "Batch",
+    "auc_score",
+    "hit_rate_at_k",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "MetricReport",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

@@ -1,0 +1,98 @@
+"""Mini-batch dataloader over labelled impressions (focal tuples).
+
+Each training example is a focal tuple ``{u_k, q_k, i_k}`` with a binary
+click label.  The loader shuffles per epoch, yields fixed-size batches as
+numpy arrays, and can optionally generate additional random negatives on the
+fly (the "mixed negative sampling" commonly used with twin-tower models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.logs import ImpressionRecord
+
+
+@dataclass
+class Batch:
+    """One mini-batch of focal tuples."""
+
+    user_ids: np.ndarray
+    query_ids: np.ndarray
+    item_ids: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.user_ids.shape[0])
+
+
+class ImpressionDataLoader:
+    """Shuffling mini-batch iterator over impression records."""
+
+    def __init__(self, examples: Sequence[ImpressionRecord], batch_size: int = 128,
+                 shuffle: bool = True, seed: int = 0,
+                 extra_negatives: int = 0, num_items: Optional[int] = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if extra_negatives < 0:
+            raise ValueError("extra_negatives must be non-negative")
+        if extra_negatives > 0 and not num_items:
+            raise ValueError("num_items is required when extra_negatives > 0")
+        self.examples = list(examples)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.extra_negatives = extra_negatives
+        self.num_items = num_items
+        self._rng = np.random.default_rng(seed)
+        self._users = np.array([e.user_id for e in self.examples], dtype=np.int64)
+        self._queries = np.array([e.query_id for e in self.examples], dtype=np.int64)
+        self._items = np.array([e.item_id for e in self.examples], dtype=np.int64)
+        self._labels = np.array([e.label for e in self.examples], dtype=np.float64)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        if not self.examples:
+            return 0
+        return int(np.ceil(len(self.examples) / self.batch_size))
+
+    @property
+    def num_examples(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self.epoch()
+
+    def epoch(self) -> Iterator[Batch]:
+        """Yield one epoch of batches (reshuffled if ``shuffle``)."""
+        if not self.examples:
+            return
+        order = np.arange(len(self.examples))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start:start + self.batch_size]
+            users = self._users[index]
+            queries = self._queries[index]
+            items = self._items[index]
+            labels = self._labels[index]
+            if self.extra_negatives:
+                users, queries, items, labels = self._augment_negatives(
+                    users, queries, items, labels)
+            yield Batch(users, queries, items, labels)
+
+    def _augment_negatives(self, users, queries, items, labels):
+        positives = labels > 0.5
+        num_new = int(positives.sum()) * self.extra_negatives
+        if num_new == 0:
+            return users, queries, items, labels
+        source = np.where(positives)[0]
+        picks = np.repeat(source, self.extra_negatives)
+        negative_items = self._rng.integers(0, self.num_items, size=num_new)
+        users = np.concatenate([users, users[picks]])
+        queries = np.concatenate([queries, queries[picks]])
+        items = np.concatenate([items, negative_items])
+        labels = np.concatenate([labels, np.zeros(num_new)])
+        return users, queries, items, labels

@@ -1,0 +1,118 @@
+"""Evaluation metrics (paper Section VII-A).
+
+* **AUC** — area under the ROC curve over labelled (user, query, item)
+  impressions; the paper's primary relevance metric.
+* **HitRate@K** — fraction of clicked items that appear in the model's
+  top-K retrieved list for their request.
+* **MAE / RMSE** — regression errors on the predicted probabilities, reported
+  for the MovieLens comparison (Table II).
+
+The online metrics CTR, PPC and RPM are computed by the A/B-test simulator in
+:mod:`repro.experiments.ab_test`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def auc_score(labels: Sequence[float], scores: Sequence[float]) -> float:
+    """Area under the ROC curve (rank-based Mann-Whitney formulation).
+
+    Returns 0.5 when only one class is present (an undefined AUC), which keeps
+    tiny evaluation splits from crashing a benchmark sweep.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    positives = labels > 0.5
+    num_pos = int(positives.sum())
+    num_neg = int(labels.size - num_pos)
+    if num_pos == 0 or num_neg == 0:
+        return 0.5
+    # Average ranks handle ties correctly.
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    rank_position = 1
+    while i < labels.size:
+        j = i
+        while j + 1 < labels.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        average_rank = 0.5 * (rank_position + rank_position + (j - i))
+        ranks[order[i:j + 1]] = average_rank
+        rank_position += (j - i) + 1
+        i = j + 1
+    rank_sum_pos = ranks[positives].sum()
+    auc = (rank_sum_pos - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg)
+    return float(auc)
+
+
+def mean_absolute_error(labels: Sequence[float], scores: Sequence[float]) -> float:
+    """Mean absolute error between labels and predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(labels - scores)))
+
+
+def root_mean_squared_error(labels: Sequence[float],
+                            scores: Sequence[float]) -> float:
+    """Root mean squared error between labels and predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((labels - scores) ** 2)))
+
+
+def hit_rate_at_k(ranked_item_lists: Sequence[Sequence[int]],
+                  clicked_items: Sequence[int], k: int) -> float:
+    """HitRate@K: fraction of requests whose clicked item is in the top-K.
+
+    ``ranked_item_lists[i]`` is the model's ranked retrieval list for request
+    ``i`` and ``clicked_items[i]`` the item actually clicked.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if len(ranked_item_lists) != len(clicked_items):
+        raise ValueError("ranked lists and clicked items must align")
+    if not clicked_items:
+        return 0.0
+    hits = 0
+    for ranked, clicked in zip(ranked_item_lists, clicked_items):
+        if clicked in list(ranked)[:k]:
+            hits += 1
+    return hits / len(clicked_items)
+
+
+@dataclass
+class MetricReport:
+    """A bundle of evaluation metrics for one model on one dataset."""
+
+    model_name: str
+    auc: float
+    mae: float = 0.0
+    rmse: float = 0.0
+    hit_rates: Dict[int, float] = field(default_factory=dict)
+    training_seconds: float = 0.0
+    sampled_nodes_per_example: float = 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten into a table row for the benchmark harness."""
+        row: Dict[str, float] = {
+            "model": self.model_name,
+            "auc": round(self.auc, 4),
+            "mae": round(self.mae, 4),
+            "rmse": round(self.rmse, 4),
+            "train_s": round(self.training_seconds, 2),
+        }
+        for k, value in sorted(self.hit_rates.items()):
+            row[f"hitrate@{k}"] = round(value, 4)
+        return row

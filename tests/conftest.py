@@ -1,0 +1,63 @@
+"""Shared fixtures: tiny datasets and models sized for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.data import (
+    MovieLensConfig,
+    SyntheticTaobaoConfig,
+    generate_movielens_dataset,
+    generate_taobao_dataset,
+    train_test_split_examples,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small Taobao-like dataset shared by most tests (session-scoped)."""
+    config = SyntheticTaobaoConfig(
+        num_users=30, num_queries=24, num_items=60, num_categories=6,
+        sessions_per_user=4.0, clicks_per_session=3, seed=7)
+    return generate_taobao_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_dataset):
+    """The heterogeneous graph of the tiny dataset."""
+    return tiny_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    """(train, test) impression splits of the tiny dataset."""
+    return train_test_split_examples(tiny_dataset.impressions, 0.9, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_movielens():
+    """A small MovieLens-like dataset (session-scoped)."""
+    config = MovieLensConfig(num_users=40, num_movies=60, num_tags=15,
+                             num_genres=4, ratings_per_user=6.0, seed=9)
+    return generate_movielens_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def zoomer_config():
+    """A small Zoomer configuration used across model tests."""
+    return ZoomerConfig(embedding_dim=8, hidden_dim=8, tower_hidden=(16,),
+                        fanouts=(4, 2), epochs=1, batch_size=16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def zoomer_model(tiny_graph, zoomer_config):
+    """An untrained Zoomer model over the tiny graph (session-scoped)."""
+    return ZoomerModel(tiny_graph, zoomer_config)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,141 @@
+"""Tests for the baseline model zoo: interface contract and distinct behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    MOVIELENS_BASELINES,
+    SAMPLER_BASELINES,
+    FGNNModel,
+    GATModel,
+    GCEGNNModel,
+    GCNModel,
+    GraphSAGEModel,
+    HANModel,
+    MCCFModel,
+    PinnerSageModel,
+    PinSageModel,
+    PixieModel,
+    STAMPModel,
+)
+from repro.graph.schema import NodeType
+from repro.models.base import resolve_node_roles
+from repro.ndarray import functional as F
+
+ALL_MODEL_CLASSES = [GCNModel, GraphSAGEModel, GATModel, HANModel, PinSageModel,
+                     PinnerSageModel, PixieModel, GCEGNNModel, FGNNModel,
+                     STAMPModel, MCCFModel]
+
+
+def _batch(dataset, n=6):
+    records = dataset.impressions[:n] if hasattr(dataset, "impressions") \
+        else dataset.examples[:n]
+    return (np.array([r.user_id for r in records]),
+            np.array([r.query_id for r in records]),
+            np.array([r.item_id for r in records]),
+            np.array([r.label for r in records], dtype=float))
+
+
+class TestRoleResolution:
+    def test_taobao_roles(self, tiny_graph):
+        assert resolve_node_roles(tiny_graph) == (NodeType.USER, NodeType.QUERY,
+                                                  NodeType.ITEM)
+
+    def test_movielens_roles(self, tiny_movielens):
+        assert resolve_node_roles(tiny_movielens.graph) == \
+            (NodeType.USER, NodeType.TAG, NodeType.MOVIE)
+
+
+class TestBaselineContract:
+    @pytest.mark.parametrize("model_cls", ALL_MODEL_CLASSES)
+    def test_forward_backward(self, tiny_graph, tiny_dataset, model_cls):
+        model = model_cls(tiny_graph, embedding_dim=8, fanouts=(3, 2), seed=0)
+        users, queries, items, labels = _batch(tiny_dataset)
+        probs = model.forward_batch(users, queries, items)
+        values = probs.numpy()
+        assert values.shape == (6,)
+        assert np.all((values >= 0) & (values <= 1))
+        loss = F.binary_cross_entropy(probs, labels)
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    @pytest.mark.parametrize("model_cls", ALL_MODEL_CLASSES)
+    def test_retrieval_interface(self, tiny_graph, model_cls):
+        model = model_cls(tiny_graph, embedding_dim=8, fanouts=(2, 2), seed=0)
+        request = model.request_embedding(0, 1)
+        item = model.item_embedding(0)
+        assert request.shape == (8,)
+        assert item.shape == (8,)
+        scores = model.score_items(0, 1, [0, 1, 2])
+        assert scores.shape == (3,)
+
+    @pytest.mark.parametrize("model_cls", [GCEGNNModel, FGNNModel, STAMPModel,
+                                           MCCFModel, HANModel])
+    def test_movielens_compatibility(self, tiny_movielens, model_cls):
+        model = model_cls(tiny_movielens.graph, embedding_dim=8, fanouts=(2, 2),
+                          seed=0)
+        users, queries, items, _ = _batch(tiny_movielens)
+        probs = model.forward_batch(users, queries, items)
+        assert probs.shape == (6,)
+
+    def test_registries_consistent(self):
+        assert set(MOVIELENS_BASELINES) <= set(ALL_BASELINES)
+        assert set(SAMPLER_BASELINES) <= set(ALL_BASELINES)
+        assert len(ALL_BASELINES) == 9
+
+    def test_model_names_distinct(self, tiny_graph):
+        names = {cls(tiny_graph, embedding_dim=8, fanouts=(2,), seed=0).name
+                 for cls in ALL_MODEL_CLASSES}
+        assert len(names) == len(ALL_MODEL_CLASSES)
+
+
+class TestSamplerChoices:
+    def test_samplers_match_papers(self, tiny_graph):
+        from repro.sampling import (ClusterNeighborSampler,
+                                    ImportanceNeighborSampler,
+                                    RandomWalkSampler, UniformNeighborSampler)
+        assert isinstance(GraphSAGEModel(tiny_graph, embedding_dim=8).sampler,
+                          UniformNeighborSampler)
+        assert isinstance(PinSageModel(tiny_graph, embedding_dim=8).sampler,
+                          ImportanceNeighborSampler)
+        assert isinstance(PinnerSageModel(tiny_graph, embedding_dim=8).sampler,
+                          ClusterNeighborSampler)
+        assert isinstance(PixieModel(tiny_graph, embedding_dim=8).sampler,
+                          RandomWalkSampler)
+
+    def test_tree_cache_reused(self, tiny_graph):
+        model = GraphSAGEModel(tiny_graph, embedding_dim=8, fanouts=(2, 2))
+        tree_a = model.sampled_tree(NodeType.USER, 0)
+        tree_b = model.sampled_tree(NodeType.USER, 0)
+        assert tree_a is tree_b
+        model.clear_tree_cache()
+        assert model.sampled_tree(NodeType.USER, 0) is not tree_a
+
+    def test_fanout_controls_tree_size(self, tiny_graph):
+        small = GraphSAGEModel(tiny_graph, embedding_dim=8, fanouts=(2,), seed=0)
+        large = GraphSAGEModel(tiny_graph, embedding_dim=8, fanouts=(8,), seed=0)
+        user = 0
+        assert small.sampled_tree(NodeType.USER, user).num_nodes() <= \
+            large.sampled_tree(NodeType.USER, user).num_nodes()
+
+
+class TestSessionBaselines:
+    def test_stamp_cold_user_fallback(self, tiny_graph):
+        """A user with no click history must still get a representation."""
+        model = STAMPModel(tiny_graph, embedding_dim=8)
+        # Find (or assume) a user id; even with history the call must work.
+        representation = model.request_representation(0, 0)
+        assert representation.shape == (16,)
+
+    def test_mccf_component_count_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            MCCFModel(tiny_graph, embedding_dim=8, num_components=0)
+
+    def test_neighbor_history_sorted_by_weight(self, tiny_graph):
+        model = STAMPModel(tiny_graph, embedding_dim=8)
+        ids, weights = model.neighbor_history(NodeType.USER, 0, NodeType.ITEM,
+                                              limit=10)
+        if weights.size >= 2:
+            assert np.all(np.diff(weights) <= 0)
+        assert ids.size == weights.size

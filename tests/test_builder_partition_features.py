@@ -1,0 +1,162 @@
+"""Tests for the graph builder, sharded store and feature store."""
+
+import numpy as np
+import pytest
+
+from repro.graph import FeatureStore, GraphBuilder, HashPartitioner, ShardedGraphStore
+from repro.graph.schema import EdgeType, NodeType, RelationSpec
+
+
+def _builder(num_users=4, num_queries=3, num_items=6, dim=8):
+    rng = np.random.default_rng(0)
+    builder = GraphBuilder(feature_dim=dim)
+    builder.set_node_features(NodeType.USER, rng.normal(size=(num_users, dim)))
+    builder.set_node_features(NodeType.QUERY, rng.normal(size=(num_queries, dim)))
+    builder.set_node_features(NodeType.ITEM, rng.normal(size=(num_items, dim)))
+    return builder
+
+
+class TestGraphBuilder:
+    def test_session_edge_rules(self):
+        builder = _builder()
+        builder.add_session(user_id=0, query_id=1, clicked_items=[2, 3, 5])
+        graph = builder.build()
+        # user-search-query
+        spec = RelationSpec(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY)
+        assert 1 in graph.relation(spec).neighbors(0)[0].tolist()
+        # user-click-item for every clicked item
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        assert set(graph.relation(spec).neighbors(0)[0].tolist()) == {2, 3, 5}
+        # query-click-item for every clicked item
+        spec = RelationSpec(NodeType.QUERY, EdgeType.QUERY_CLICK, NodeType.ITEM)
+        assert set(graph.relation(spec).neighbors(1)[0].tolist()) == {2, 3, 5}
+        # session edges between adjacent clicks only
+        spec = RelationSpec(NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM)
+        assert set(graph.relation(spec).neighbors(2)[0].tolist()) == {3}
+        assert set(graph.relation(spec).neighbors(3)[0].tolist()) == {2, 5}
+
+    def test_repeated_interactions_accumulate_weight(self):
+        builder = _builder()
+        builder.add_session(0, 1, [2])
+        builder.add_session(0, 1, [2])
+        graph = builder.build()
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        _, weights = graph.relation(spec).neighbors(0)
+        assert weights.tolist() == [2.0]
+
+    def test_add_sessions_bulk_and_counter(self):
+        builder = _builder()
+        builder.add_sessions([(0, 0, [1]), (1, 1, [2, 3])])
+        assert builder.num_sessions == 2
+
+    def test_invalid_session_weight(self):
+        builder = _builder()
+        with pytest.raises(ValueError):
+            builder.add_session(0, 0, [1], weight=0.0)
+
+    def test_similarity_edges_connect_same_category(self):
+        builder = _builder(num_queries=4, num_items=6)
+        builder.add_session(0, 0, [0])
+        # Queries 0,1 and items 0,1 share tokens; query 2 / item 5 differ.
+        query_terms = {0: [1, 2, 3, 4], 1: [1, 2, 3, 5], 2: [100, 101, 102],
+                       3: [200, 201]}
+        item_terms = {0: [1, 2, 3, 6], 1: [1, 2, 3, 4], 5: [300, 301, 302]}
+        added = builder.add_similarity_edges(query_terms, item_terms,
+                                             threshold=0.3)
+        assert added > 0
+        graph = builder.build()
+        spec = RelationSpec(NodeType.QUERY, EdgeType.SIMILARITY, NodeType.ITEM)
+        neighbors = graph.relation(spec).neighbors(0)[0].tolist()
+        assert 1 in neighbors or 0 in neighbors
+
+    def test_generic_weighted_edges(self):
+        builder = _builder()
+        builder.add_weighted_edges(NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM,
+                                   [(0, 1, 2.5)])
+        graph = builder.build()
+        spec = RelationSpec(NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM)
+        ids, weights = graph.relation(spec).neighbors(0)
+        assert ids.tolist() == [1] and weights.tolist() == [2.5]
+
+    def test_feature_dim_validation(self):
+        builder = GraphBuilder(feature_dim=4)
+        with pytest.raises(ValueError):
+            builder.set_node_features(NodeType.USER, np.ones((3, 5)))
+
+
+class TestPartitioning:
+    def test_partitioner_covers_all_nodes(self):
+        partitioner = HashPartitioner(num_shards=4)
+        assignment = partitioner.partition("item", 100)
+        total = sum(ids.size for ids in assignment.values())
+        assert total == 100
+        assert set(assignment) <= set(range(4))
+
+    def test_partitioner_deterministic(self):
+        p1 = HashPartitioner(4, seed=3)
+        p2 = HashPartitioner(4, seed=3)
+        assert [p1.shard_of("user", i) for i in range(20)] == \
+            [p2.shard_of("user", i) for i in range(20)]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_sharded_store_routing_and_stats(self, tiny_graph):
+        store = ShardedGraphStore(tiny_graph, num_shards=3, replication_factor=2)
+        assert store.num_servers == 6
+        for node_id in range(10):
+            store.neighbors(NodeType.USER, node_id % tiny_graph.num_nodes["user"])
+        assert sum(s.requests for s in store.server_stats()) == 10
+        assert store.load_imbalance() >= 1.0
+        assert store.storage_imbalance() >= 1.0
+
+    def test_sharded_store_sample_neighbors(self, tiny_graph):
+        store = ShardedGraphStore(tiny_graph, num_shards=2)
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        ids, _ = store.sample_neighbors(spec, 0, k=2,
+                                        rng=np.random.default_rng(0))
+        assert ids.size <= 2
+
+    def test_replication_required_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            ShardedGraphStore(tiny_graph, num_shards=2, replication_factor=0)
+
+
+class TestFeatureStore:
+    def test_dense_features_shape_and_norm(self):
+        store = FeatureStore(dense_dim=8)
+        store.add_categorical("item", "category", [0, 1, 0, 2])
+        store.add_categorical("item", "brand", [5, 5, 6, 7])
+        dense = store.dense_features("item")
+        assert dense.shape == (4, 8)
+        np.testing.assert_allclose(np.linalg.norm(dense, axis=1), 1.0, atol=1e-9)
+
+    def test_same_category_nodes_are_similar(self):
+        store = FeatureStore(dense_dim=16)
+        store.add_categorical("item", "category", [0, 0, 1, 1])
+        dense = store.dense_features("item")
+        same = dense[0] @ dense[1]
+        different = dense[0] @ dense[2]
+        assert same > different
+
+    def test_token_fields(self):
+        store = FeatureStore(dense_dim=8)
+        store.add_categorical("query", "category", [0, 1])
+        store.add_tokens("query", "terms", [[1, 2, 3], [4, 5]])
+        assert store.tokens("query", "terms", 0) == [1, 2, 3]
+        assert set(store.fields("query")) == {"category", "terms"}
+        assert store.dense_features("query").shape == (2, 8)
+
+    def test_length_mismatch_rejected(self):
+        store = FeatureStore()
+        store.add_categorical("user", "gender", [0, 1, 0])
+        with pytest.raises(ValueError):
+            store.add_categorical("user", "level", [1, 2])
+
+    def test_invalid_dense_dim(self):
+        with pytest.raises(ValueError):
+            FeatureStore(dense_dim=0)
+
+    def test_num_nodes_default_zero(self):
+        assert FeatureStore().num_nodes("unknown") == 0

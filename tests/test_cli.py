@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.scale == "million"
+        assert args.model == "zoomer"
+        assert args.epochs == 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--scale", "galaxy"])
+
+    def test_unknown_model_rejected_at_runtime(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "does-not-exist", "--max-examples", "50"])
+
+
+class TestCommands:
+    def test_motivation_command_prints_table(self, capsys):
+        code = main(["motivation", "--scale", "million", "--seed", "1"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Information-overload measurements" in captured
+        assert "Fig. 4b" in captured
+
+    def test_train_command_small_budget(self, capsys):
+        code = main(["train", "--model", "STAMP", "--max-examples", "150",
+                     "--epochs", "1", "--batch-size", "64"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "auc" in captured
+        assert "STAMP" in captured

@@ -1,0 +1,177 @@
+"""Tests for the multi-level attention module (Eqs. 6-11) and its ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import (
+    EdgeLevelAttention,
+    FeatureProjection,
+    MultiLevelAttention,
+    SemanticCombination,
+)
+from repro.graph.schema import RelationSpec
+from repro.ndarray.tensor import Tensor
+from repro.sampling.base import SampledNode
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestFeatureProjection:
+    def test_output_shape(self):
+        projection = FeatureProjection(hidden_dim=4)
+        slots = Tensor(_rng().normal(size=(5, 3, 4)))
+        focal = Tensor(_rng().normal(size=4))
+        out = projection(slots, focal)
+        assert out.shape == (5, 4)
+
+    def test_disabled_is_mean_of_slots(self):
+        projection = FeatureProjection(hidden_dim=4, enabled=False)
+        slots_value = _rng().normal(size=(3, 3, 4))
+        out = projection(Tensor(slots_value), Tensor(np.zeros(4)))
+        np.testing.assert_allclose(out.numpy(), slots_value.mean(axis=1))
+
+    def test_focal_changes_projection(self):
+        projection = FeatureProjection(hidden_dim=4)
+        slots = Tensor(_rng().normal(size=(2, 3, 4)))
+        out_a = projection(slots, Tensor(np.array([3.0, 0.0, 0.0, 0.0])))
+        out_b = projection(slots, Tensor(np.array([0.0, 0.0, 0.0, 3.0])))
+        assert not np.allclose(out_a.numpy(), out_b.numpy())
+
+    def test_amplifies_focal_relevant_slot(self):
+        """The slot most aligned with the focal should dominate the output."""
+        projection = FeatureProjection(hidden_dim=2)
+        aligned = np.array([10.0, 0.0])
+        orthogonal = np.array([0.0, 1.0])
+        slots = Tensor(np.stack([[aligned, orthogonal, orthogonal]], axis=0))
+        focal = Tensor(np.array([10.0, 0.0]))
+        out = projection(slots, focal).numpy()[0]
+        assert out[0] > out[1]
+
+
+class TestEdgeLevelAttention:
+    def test_output_shape_and_weights_sum(self):
+        attention = EdgeLevelAttention(hidden_dim=4, rng=_rng())
+        ego = Tensor(_rng().normal(size=4))
+        neighbors = Tensor(_rng().normal(size=(6, 4)))
+        focal = Tensor(_rng().normal(size=4))
+        out = attention(ego, neighbors, focal)
+        assert out.shape == (4,)
+        weights = attention.attention_weights(ego, neighbors, focal)
+        assert weights.shape == (6,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0)
+
+    def test_disabled_is_mean_pooling(self):
+        attention = EdgeLevelAttention(hidden_dim=4, enabled=False)
+        neighbors_value = _rng().normal(size=(5, 4))
+        out = attention(Tensor(np.zeros(4)), Tensor(neighbors_value),
+                        Tensor(np.zeros(4)))
+        np.testing.assert_allclose(out.numpy(), neighbors_value.mean(axis=0))
+
+    def test_focal_dependence(self):
+        attention = EdgeLevelAttention(hidden_dim=4, rng=_rng())
+        ego = Tensor(_rng().normal(size=4))
+        neighbors = Tensor(_rng().normal(size=(5, 4)))
+        w_a = attention.attention_weights(ego, neighbors,
+                                          Tensor(np.array([5.0, 0, 0, 0])))
+        w_b = attention.attention_weights(ego, neighbors,
+                                          Tensor(np.array([0, 0, 0, 5.0])))
+        assert not np.allclose(w_a, w_b)
+
+    def test_gradients_reach_attention_vector(self):
+        attention = EdgeLevelAttention(hidden_dim=3, rng=_rng())
+        out = attention(Tensor(np.ones(3)), Tensor(np.ones((4, 3))),
+                        Tensor(np.ones(3)))
+        out.sum().backward()
+        assert attention.attention_vector.grad is not None
+
+
+class TestSemanticCombination:
+    def test_requires_at_least_one_type(self):
+        combination = SemanticCombination(hidden_dim=4)
+        with pytest.raises(ValueError):
+            combination(Tensor(np.ones(4)), {})
+
+    def test_single_type_passthrough(self):
+        combination = SemanticCombination(hidden_dim=4)
+        value = Tensor(np.arange(4.0))
+        out = combination(Tensor(np.ones(4)), {"item": value})
+        np.testing.assert_allclose(out.numpy(), value.numpy())
+
+    def test_disabled_is_mean_over_types(self):
+        combination = SemanticCombination(hidden_dim=2, enabled=False)
+        per_type = {"a": Tensor(np.array([1.0, 1.0])),
+                    "b": Tensor(np.array([3.0, 3.0]))}
+        out = combination(Tensor(np.ones(2)), per_type)
+        np.testing.assert_allclose(out.numpy(), [2.0, 2.0])
+
+    def test_weights_are_cosine_similarities(self):
+        combination = SemanticCombination(hidden_dim=2)
+        ego = Tensor(np.array([1.0, 0.0]))
+        per_type = {"aligned": Tensor(np.array([2.0, 0.0])),
+                    "orthogonal": Tensor(np.array([0.0, 2.0]))}
+        weights = combination.semantic_weights(ego, per_type)
+        assert weights["aligned"] == pytest.approx(1.0)
+        assert weights["orthogonal"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_aligned_type_dominates_output(self):
+        combination = SemanticCombination(hidden_dim=2)
+        ego = Tensor(np.array([1.0, 0.0]))
+        per_type = {"aligned": Tensor(np.array([1.0, 0.0])),
+                    "orthogonal": Tensor(np.array([0.0, 1.0]))}
+        out = combination(ego, per_type).numpy()
+        assert out[0] > out[1]
+
+
+def _two_hop_tree():
+    spec_ui = RelationSpec("user", "click", "item")
+    spec_iq = RelationSpec("item", "query_click", "query")
+    root = SampledNode("user", 0)
+    child_a = SampledNode("item", 1)
+    child_b = SampledNode("item", 2)
+    grandchild = SampledNode("query", 0)
+    child_a.add_child(spec_iq, grandchild, 1.0)
+    root.add_child(spec_ui, child_a, 0.9)
+    root.add_child(spec_ui, child_b, 0.5)
+    return root
+
+
+class TestMultiLevelAttention:
+    def _projected(self, tree, dim=4):
+        rng = np.random.default_rng(3)
+        return {id(node): Tensor(rng.normal(size=dim), requires_grad=False)
+                for node in tree.iter_nodes()}
+
+    def test_aggregates_two_hop_tree(self):
+        attention = MultiLevelAttention(hidden_dim=4, rng=_rng())
+        tree = _two_hop_tree()
+        out = attention(tree, self._projected(tree), Tensor(np.ones(4)))
+        assert out.shape == (4,)
+
+    def test_leaf_returns_projected_vector(self):
+        attention = MultiLevelAttention(hidden_dim=4, rng=_rng())
+        leaf = SampledNode("item", 5)
+        projected = {id(leaf): Tensor(np.arange(4.0))}
+        out = attention(leaf, projected, Tensor(np.ones(4)))
+        np.testing.assert_allclose(out.numpy(), np.arange(4.0))
+
+    def test_ablation_flags_change_output(self):
+        tree = _two_hop_tree()
+        focal = Tensor(np.ones(4))
+        full = MultiLevelAttention(4, rng=np.random.default_rng(7))
+        no_edge = MultiLevelAttention(4, use_edge_attention=False,
+                                      rng=np.random.default_rng(7))
+        projected = self._projected(tree)
+        out_full = full(tree, projected, focal).numpy()
+        out_no_edge = no_edge(tree, projected, focal).numpy()
+        assert not np.allclose(out_full, out_no_edge)
+
+    def test_edge_weights_for_returns_per_type_distributions(self):
+        attention = MultiLevelAttention(hidden_dim=4, rng=_rng())
+        tree = _two_hop_tree()
+        weights = attention.edge_weights_for(tree, self._projected(tree),
+                                             Tensor(np.ones(4)))
+        assert "item" in weights
+        assert weights["item"].sum() == pytest.approx(1.0)

@@ -1,0 +1,145 @@
+"""Tests for focal selection, the learned focal encoder and ROI construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import FocalPoints, FocalSelector, ROIBuilder, ZoomerConfig
+from repro.core.focal import LearnedFocalEncoder
+from repro.graph.schema import NodeType
+from repro.ndarray.tensor import Tensor
+
+
+class TestZoomerConfig:
+    def test_defaults_valid(self):
+        ZoomerConfig().validate()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ZoomerConfig(embedding_dim=0).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(fanouts=()).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(roi_downscale=0.0).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(relevance_metric="euclid").validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(optimizer="rmsprop").validate()
+
+    def test_effective_fanouts_downscale(self):
+        config = ZoomerConfig(fanouts=(10, 10), roi_downscale=0.1)
+        assert config.effective_fanouts() == (1, 1)
+        assert ZoomerConfig(fanouts=(10, 5)).effective_fanouts() == (10, 5)
+
+    def test_ablation_names(self):
+        assert ZoomerConfig().ablation_name() == "Zoomer"
+        assert ZoomerConfig(use_semantic_attention=False).ablation_name() == \
+            "Zoomer-FE"
+        assert ZoomerConfig(use_edge_attention=False).ablation_name() == \
+            "Zoomer-FS"
+        assert ZoomerConfig(use_feature_attention=False).ablation_name() == \
+            "Zoomer-ES"
+        assert ZoomerConfig(use_feature_attention=False, use_edge_attention=False,
+                            use_semantic_attention=False).ablation_name() == "GCN"
+
+
+class TestFocalSelector:
+    def test_select_and_dict(self):
+        selector = FocalSelector()
+        focal = selector.select(3, 7)
+        assert focal == FocalPoints(3, 7)
+        assert focal.as_dict() == {NodeType.USER: 3, NodeType.QUERY: 7}
+
+    def test_focal_vector_is_sum_of_features(self, tiny_graph):
+        selector = FocalSelector()
+        focal = selector.select(0, 1)
+        vector = selector.focal_vector(tiny_graph, focal)
+        expected = (tiny_graph.node_feature(NodeType.USER, 0)
+                    + tiny_graph.node_feature(NodeType.QUERY, 1))
+        np.testing.assert_allclose(vector, expected)
+
+    def test_focal_vectors_batch(self, tiny_graph):
+        selector = FocalSelector()
+        vectors = selector.focal_vectors(tiny_graph, [0, 1], [1, 2])
+        assert vectors.shape == (2, tiny_graph.schema.feature_dims[NodeType.USER])
+
+
+class TestLearnedFocalEncoder:
+    def test_sums_space_mapped_embeddings(self):
+        encoder = LearnedFocalEncoder(embedding_dim=4, hidden_dim=6,
+                                      rng=np.random.default_rng(0))
+        user = Tensor(np.ones((1, 4)))
+        query = Tensor(np.ones((1, 4)) * 2)
+        out = encoder({NodeType.USER: user, NodeType.QUERY: query})
+        assert out.shape == (1, 6)
+        # Must differ from mapping only one focal point.
+        only_user = encoder({NodeType.USER: user})
+        assert not np.allclose(out.numpy(), only_user.numpy())
+
+    def test_missing_all_focals_rejected(self):
+        encoder = LearnedFocalEncoder(4, 4)
+        with pytest.raises(ValueError):
+            encoder({})
+
+    def test_gradients_flow_to_mappers(self):
+        encoder = LearnedFocalEncoder(3, 3, rng=np.random.default_rng(1))
+        out = encoder({NodeType.USER: Tensor(np.ones((1, 3)), requires_grad=True),
+                       NodeType.QUERY: Tensor(np.ones((1, 3)))})
+        out.sum().backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+
+class TestROIBuilder:
+    def test_build_contains_both_ego_trees(self, tiny_graph, zoomer_config):
+        builder = ROIBuilder(zoomer_config)
+        roi = builder.build(tiny_graph, user_id=0, query_id=1)
+        assert set(roi.ego_trees) == {NodeType.USER, NodeType.QUERY}
+        assert roi.tree(NodeType.USER).node_id == 0
+        assert roi.tree(NodeType.QUERY).node_id == 1
+        assert roi.num_nodes() >= 2
+        assert roi.num_edges() >= 0
+
+    def test_fanout_limits_respected(self, tiny_graph, zoomer_config):
+        builder = ROIBuilder(zoomer_config)
+        roi = builder.build(tiny_graph, 0, 0, fanouts=(2, 1))
+        for tree in roi.ego_trees.values():
+            assert len(tree.children) <= 2
+            for _, child, _ in tree.children:
+                assert len(child.children) <= 1
+
+    def test_downscale_reduces_roi_size(self, tiny_graph):
+        full = ROIBuilder(ZoomerConfig(fanouts=(6, 3), roi_downscale=1.0,
+                                       embedding_dim=8))
+        small = ROIBuilder(ZoomerConfig(fanouts=(6, 3), roi_downscale=0.34,
+                                        embedding_dim=8))
+        user = 0
+        roi_full = full.build(tiny_graph, user, 0)
+        roi_small = small.build(tiny_graph, user, 0)
+        assert roi_small.num_nodes() <= roi_full.num_nodes()
+
+    def test_batch_build(self, tiny_graph, zoomer_config):
+        builder = ROIBuilder(zoomer_config)
+        rois = builder.build_batch(tiny_graph, [0, 1], [0, 1])
+        assert len(rois) == 2
+        with pytest.raises(ValueError):
+            builder.build_batch(tiny_graph, [0], [0, 1])
+
+    def test_coverage_ratio_in_unit_interval(self, tiny_graph, zoomer_config):
+        builder = ROIBuilder(zoomer_config)
+        roi = builder.build(tiny_graph, 0, 0)
+        ratio = builder.coverage_ratio(tiny_graph, roi)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_roi_focal_vector_matches_selector(self, tiny_graph, zoomer_config):
+        builder = ROIBuilder(zoomer_config)
+        roi = builder.build(tiny_graph, 2, 3)
+        expected = (tiny_graph.node_feature(NodeType.USER, 2)
+                    + tiny_graph.node_feature(NodeType.QUERY, 3))
+        np.testing.assert_allclose(roi.focal_vector, expected)
+
+    def test_movielens_roles(self, tiny_movielens):
+        """ROI construction also works when 'query' role is played by tags."""
+        selector = FocalSelector(user_type=NodeType.USER, query_type=NodeType.TAG)
+        builder = ROIBuilder(ZoomerConfig(embedding_dim=8, fanouts=(3, 2)),
+                             selector=selector)
+        roi = builder.build(tiny_movielens.graph, 0, 0)
+        assert set(roi.ego_trees) == {NodeType.USER, NodeType.TAG}

@@ -1,0 +1,121 @@
+"""Tests for the Zoomer twin-tower model and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import ZoomerConfig, ZoomerModel, build_ablation_variant
+from repro.core.ablation import ABLATION_VARIANTS, ablation_config
+from repro.graph.schema import NodeType
+from repro.ndarray import functional as F
+
+
+class TestZoomerModel:
+    def test_forward_shape_and_range(self, zoomer_model, tiny_dataset):
+        records = tiny_dataset.impressions[:6]
+        probs = zoomer_model.forward_batch(
+            np.array([r.user_id for r in records]),
+            np.array([r.query_id for r in records]),
+            np.array([r.item_id for r in records]))
+        values = probs.numpy()
+        assert values.shape == (6,)
+        assert np.all((values >= 0) & (values <= 1))
+
+    def test_backward_reaches_all_parameters(self, tiny_graph, zoomer_config,
+                                             tiny_dataset):
+        model = ZoomerModel(tiny_graph, zoomer_config)
+        records = tiny_dataset.impressions[:8]
+        probs = model.forward_batch(
+            np.array([r.user_id for r in records]),
+            np.array([r.query_id for r in records]),
+            np.array([r.item_id for r in records]))
+        loss = F.focal_cross_entropy(probs, np.array([r.label for r in records]))
+        loss.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"parameters without gradient: {missing}"
+
+    def test_roi_cache(self, zoomer_model):
+        zoomer_model.clear_roi_cache()
+        roi_first = zoomer_model.roi_for(0, 1)
+        roi_second = zoomer_model.roi_for(0, 1)
+        assert roi_first is roi_second
+        zoomer_model.clear_roi_cache()
+        assert zoomer_model.roi_for(0, 1) is not roi_first
+
+    def test_request_and_item_embeddings(self, zoomer_model, zoomer_config):
+        request = zoomer_model.request_embedding(0, 1)
+        item = zoomer_model.item_embedding(0)
+        assert request.shape == (zoomer_config.embedding_dim,)
+        assert item.shape == (zoomer_config.embedding_dim,)
+        all_items = zoomer_model.item_embeddings()
+        assert all_items.shape[0] == zoomer_model.graph.num_nodes[NodeType.ITEM]
+
+    def test_score_items(self, zoomer_model):
+        scores = zoomer_model.score_items(0, 1, [0, 1, 2, 3])
+        assert scores.shape == (4,)
+
+    def test_coupling_coefficients_distribution(self, zoomer_model):
+        weights = zoomer_model.coupling_coefficients(0, 1, [0, 1, 2, 3, 4])
+        assert weights.shape == (5,)
+        assert weights.sum() == pytest.approx(1.0)
+        different = zoomer_model.coupling_coefficients(0, 2, [0, 1, 2, 3, 4])
+        assert not np.allclose(weights, different)
+
+    def test_works_on_movielens_roles(self, tiny_movielens):
+        model = ZoomerModel(tiny_movielens.graph,
+                            ZoomerConfig(embedding_dim=8, fanouts=(3, 2)))
+        assert model.query_type == NodeType.TAG
+        assert model.item_type == NodeType.MOVIE
+        records = tiny_movielens.examples[:4]
+        probs = model.forward_batch(
+            np.array([r.user_id for r in records]),
+            np.array([r.query_id for r in records]),
+            np.array([r.item_id for r in records]))
+        assert probs.shape == (4,)
+
+    def test_name_reflects_ablation(self, tiny_graph):
+        model = ZoomerModel(tiny_graph, ZoomerConfig(
+            embedding_dim=8, fanouts=(2,), use_edge_attention=False))
+        assert model.name == "Zoomer-FS"
+
+
+class TestAblationVariants:
+    def test_registry_complete(self):
+        assert set(ABLATION_VARIANTS) == {"GCN", "Zoomer-FE", "Zoomer-FS",
+                                          "Zoomer-ES", "Zoomer"}
+
+    def test_ablation_config_flags(self):
+        config = ablation_config("Zoomer-ES",
+                                 ZoomerConfig(embedding_dim=8, fanouts=(2,)))
+        assert not config.use_feature_attention
+        assert config.use_edge_attention and config.use_semantic_attention
+        assert config.embedding_dim == 8
+
+    def test_unknown_variant_rejected(self, tiny_graph):
+        with pytest.raises(KeyError):
+            build_ablation_variant(tiny_graph, "Zoomer-XY")
+
+    @pytest.mark.parametrize("variant", sorted(ABLATION_VARIANTS))
+    def test_variants_run_forward(self, tiny_graph, tiny_dataset, variant):
+        model = build_ablation_variant(
+            tiny_graph, variant,
+            ZoomerConfig(embedding_dim=8, fanouts=(3, 2), seed=1))
+        assert model.name == variant
+        records = tiny_dataset.impressions[:4]
+        probs = model.forward_batch(
+            np.array([r.user_id for r in records]),
+            np.array([r.query_id for r in records]),
+            np.array([r.item_id for r in records]))
+        assert probs.shape == (4,)
+
+    def test_variants_differ_in_output(self, tiny_graph, tiny_dataset):
+        """Disabling attention levels must actually change the predictions."""
+        records = tiny_dataset.impressions[:4]
+        users = np.array([r.user_id for r in records])
+        queries = np.array([r.query_id for r in records])
+        items = np.array([r.item_id for r in records])
+        base = ZoomerConfig(embedding_dim=8, fanouts=(3, 2), seed=3)
+        full = build_ablation_variant(tiny_graph, "Zoomer", base)
+        gcn = build_ablation_variant(tiny_graph, "GCN", base)
+        out_full = full.forward_batch(users, queries, items).numpy()
+        out_gcn = gcn.forward_batch(users, queries, items).numpy()
+        assert not np.allclose(out_full, out_gcn)

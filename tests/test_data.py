@@ -1,0 +1,181 @@
+"""Tests for the synthetic dataset generators and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SCALE_PRESETS,
+    MovieLensConfig,
+    SyntheticTaobaoConfig,
+    generate_movielens_dataset,
+    generate_taobao_dataset,
+    train_test_split_examples,
+)
+from repro.data.logs import ImpressionRecord, SearchSession
+from repro.data.splits import examples_to_arrays
+from repro.graph.schema import NodeType
+
+
+class TestLogSchema:
+    def test_search_session_tuples(self):
+        session = SearchSession(user_id=1, query_id=2, clicked_items=(3, 4))
+        assert session.num_clicks == 2
+        assert session.as_tuples() == [(1, 2, 3), (1, 2, 4)]
+
+    def test_search_session_validation(self):
+        with pytest.raises(ValueError):
+            SearchSession(user_id=-1, query_id=0, clicked_items=())
+
+    def test_impression_validation(self):
+        with pytest.raises(ValueError):
+            ImpressionRecord(0, 0, 0, label=2)
+        with pytest.raises(ValueError):
+            ImpressionRecord(0, 0, 0, label=1, price=-1.0)
+
+
+class TestTaobaoGenerator:
+    def test_shapes_and_counts(self, tiny_dataset):
+        config = tiny_dataset.config
+        assert tiny_dataset.user_features.shape == (config.num_users,
+                                                    config.feature_dim)
+        assert tiny_dataset.query_features.shape[0] == config.num_queries
+        assert tiny_dataset.item_features.shape[0] == config.num_items
+        assert tiny_dataset.graph.num_nodes[NodeType.USER] == config.num_users
+        assert tiny_dataset.num_edges > 0
+        assert len(tiny_dataset.sessions) >= config.num_users
+
+    def test_labels_and_prices(self, tiny_dataset):
+        labels = {record.label for record in tiny_dataset.impressions}
+        assert labels == {0, 1}
+        assert all(record.price >= 0 for record in tiny_dataset.impressions)
+        assert len(tiny_dataset.positives()) > 0
+
+    def test_ids_within_range(self, tiny_dataset):
+        config = tiny_dataset.config
+        for record in tiny_dataset.impressions:
+            assert 0 <= record.user_id < config.num_users
+            assert 0 <= record.query_id < config.num_queries
+            assert 0 <= record.item_id < config.num_items
+
+    def test_category_coherence_of_clicks(self, tiny_dataset):
+        """Most clicks under a query should share the query's category."""
+        matches = 0
+        total = 0
+        for session in tiny_dataset.sessions:
+            query_category = tiny_dataset.query_categories[session.query_id]
+            for item in session.clicked_items:
+                total += 1
+                if tiny_dataset.item_categories[item] == query_category:
+                    matches += 1
+        assert total > 0
+        # noise_click_prob is 0.25 so well over half the clicks should match.
+        assert matches / total > 0.5
+
+    def test_same_category_items_closer_in_feature_space(self, tiny_dataset):
+        categories = tiny_dataset.item_categories
+        features = tiny_dataset.item_features
+        category = categories[0]
+        same = np.where(categories == category)[0]
+        other = np.where(categories != category)[0]
+        if same.size >= 2 and other.size >= 1:
+            same_sim = features[same[0]] @ features[same[1]]
+            cross_sim = features[same[0]] @ features[other[0]]
+            assert same_sim > cross_sim - 1.0  # loose: same category not worse by much
+
+    def test_determinism_given_seed(self):
+        config = SyntheticTaobaoConfig(num_users=10, num_queries=8, num_items=20,
+                                       sessions_per_user=2, seed=42)
+        first = generate_taobao_dataset(config)
+        second = generate_taobao_dataset(SyntheticTaobaoConfig(
+            num_users=10, num_queries=8, num_items=20, sessions_per_user=2,
+            seed=42))
+        np.testing.assert_allclose(first.item_features, second.item_features)
+        assert len(first.sessions) == len(second.sessions)
+
+    def test_scale_presets_increase_in_size(self):
+        million = SCALE_PRESETS["million"]
+        hundred = SCALE_PRESETS["hundred-million"]
+        billion = SCALE_PRESETS["billion"]
+        assert million.num_items < hundred.num_items < billion.num_items
+
+    def test_scale_argument(self):
+        dataset = generate_taobao_dataset(scale="million")
+        assert dataset.config.num_users == SCALE_PRESETS["million"].num_users
+        with pytest.raises(KeyError):
+            generate_taobao_dataset(scale="galaxy")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTaobaoConfig(num_users=0).validate()
+        with pytest.raises(ValueError):
+            SyntheticTaobaoConfig(noise_click_prob=2.0).validate()
+        with pytest.raises(ValueError):
+            SyntheticTaobaoConfig(num_categories=1).validate()
+
+    def test_items_in_category_helper(self, tiny_dataset):
+        items = tiny_dataset.items_in_category(0)
+        assert all(tiny_dataset.item_categories[i] == 0 for i in items)
+
+
+class TestMovieLensGenerator:
+    def test_schema_and_counts(self, tiny_movielens):
+        config = tiny_movielens.config
+        graph = tiny_movielens.graph
+        assert graph.num_nodes[NodeType.MOVIE] == config.num_movies
+        assert graph.num_nodes[NodeType.TAG] == config.num_tags
+        assert graph.num_nodes[NodeType.USER] == config.num_users
+        assert len(tiny_movielens.examples) > 0
+        assert tiny_movielens.ratings.shape[1] == 3
+
+    def test_top_k_tags_per_movie(self, tiny_movielens):
+        from repro.graph.schema import EdgeType, RelationSpec
+        spec = RelationSpec(NodeType.MOVIE, EdgeType.RELEVANCE, NodeType.TAG)
+        relation = tiny_movielens.graph.relation(spec)
+        degrees = relation.degrees()
+        assert degrees.max() <= tiny_movielens.config.tags_per_movie
+
+    def test_labels_binary(self, tiny_movielens):
+        assert {e.label for e in tiny_movielens.examples} <= {0, 1}
+        assert any(e.label == 1 for e in tiny_movielens.examples)
+
+    def test_ratings_in_valid_range(self, tiny_movielens):
+        values = tiny_movielens.ratings[:, 2]
+        assert values.min() >= 1.0 and values.max() <= 5.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MovieLensConfig(num_users=0).validate()
+        with pytest.raises(ValueError):
+            MovieLensConfig(num_genres=1).validate()
+
+
+class TestSplits:
+    def test_split_proportions(self, tiny_dataset):
+        train, test = train_test_split_examples(tiny_dataset.impressions, 0.8,
+                                                seed=1)
+        total = len(tiny_dataset.impressions)
+        assert len(train) + len(test) == total
+        assert abs(len(train) / total - 0.8) < 0.02
+
+    def test_split_no_overlap_and_determinism(self, tiny_dataset):
+        train1, test1 = train_test_split_examples(tiny_dataset.impressions, 0.9,
+                                                  seed=5)
+        train2, test2 = train_test_split_examples(tiny_dataset.impressions, 0.9,
+                                                  seed=5)
+        assert train1 == train2 and test1 == test2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split_examples([], 1.5)
+
+    def test_empty_input(self):
+        train, test = train_test_split_examples([], 0.9)
+        assert train == [] and test == []
+
+    def test_examples_to_arrays(self, tiny_dataset):
+        users, queries, items, labels = examples_to_arrays(
+            tiny_dataset.impressions[:10])
+        assert users.shape == (10,)
+        assert labels.dtype == np.float64
+        empty = examples_to_arrays([])
+        assert empty[0].size == 0

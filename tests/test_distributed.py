@@ -1,0 +1,167 @@
+"""Tests for the parameter-server, pipeline and cost-model simulations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import STAMPModel
+from repro.distributed import (
+    AsyncPipeline,
+    AsyncTrainingSimulator,
+    GNNCostModel,
+    ParameterServer,
+    ParameterServerCluster,
+    PipelineStage,
+)
+from repro.training.dataloader import Batch, ImpressionDataLoader
+
+
+class TestParameterServer:
+    def test_register_pull_push(self):
+        server = ParameterServer(0, learning_rate=0.1)
+        server.register("w", np.ones(3))
+        value, version = server.pull("w")
+        assert version == 0
+        np.testing.assert_allclose(value, np.ones(3))
+        new_version = server.push("w", np.ones(3))
+        assert new_version == 1
+        updated, _ = server.pull("w")
+        np.testing.assert_allclose(updated, np.ones(3) * 0.9)
+
+    def test_push_shape_mismatch(self):
+        server = ParameterServer(0)
+        server.register("w", np.ones(3))
+        with pytest.raises(ValueError):
+            server.push("w", np.ones(4))
+
+    def test_traffic_accounting(self):
+        server = ParameterServer(0)
+        server.register("w", np.ones(4))
+        server.pull("w")
+        server.push("w", np.zeros(4))
+        assert server.stats.pulls == 1
+        assert server.stats.pushes == 1
+        assert server.stats.bytes_pulled == 32
+        assert server.stats.bytes_pushed == 32
+
+
+class TestParameterServerCluster:
+    def test_state_partitioned_across_servers(self):
+        cluster = ParameterServerCluster(num_servers=3)
+        state = {f"p{i}": np.ones(2) * i for i in range(12)}
+        cluster.register_state(state)
+        counts = cluster.placement_counts()
+        assert sum(counts) == 12
+        assert max(counts) < 12          # not everything on one server
+
+    def test_pull_push_roundtrip(self):
+        cluster = ParameterServerCluster(num_servers=2, learning_rate=1.0)
+        cluster.register_state({"a": np.array([5.0]), "b": np.array([1.0, 2.0])})
+        cluster.push_gradients({"a": np.array([1.0])})
+        values, versions = cluster.pull_state()
+        np.testing.assert_allclose(values["a"], [4.0])
+        assert versions["a"] == 1 and versions["b"] == 0
+        assert cluster.total_traffic_bytes() > 0
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            ParameterServerCluster(num_servers=0)
+
+
+class TestAsyncTrainingSimulator:
+    def test_losses_produced_and_model_synced(self, tiny_graph, tiny_splits):
+        train, _ = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        cluster = ParameterServerCluster(num_servers=2, learning_rate=0.05)
+        simulator = AsyncTrainingSimulator(model, cluster, num_workers=2,
+                                           staleness=2, seed=0)
+        losses = simulator.run(train[:120], batch_size=32, steps=6)
+        assert len(losses) == 6
+        assert simulator.total_steps == 6
+        # Model parameters must equal the server-side values after the run.
+        server_state, _ = cluster.pull_state()
+        local_state = model.state_dict()
+        for name, value in server_state.items():
+            np.testing.assert_allclose(local_state[name], value)
+
+    def test_invalid_configuration(self, tiny_graph):
+        model = STAMPModel(tiny_graph, embedding_dim=8)
+        cluster = ParameterServerCluster(num_servers=1)
+        with pytest.raises(ValueError):
+            AsyncTrainingSimulator(model, cluster, num_workers=0)
+
+
+class TestAsyncPipeline:
+    def test_sequential_vs_pipelined(self):
+        pipeline = AsyncPipeline.default_training_pipeline(0.01, 0.02, 0.03)
+        assert pipeline.sequential_time(10) == pytest.approx(0.6)
+        assert pipeline.pipelined_time(10) == pytest.approx(0.06 + 0.03 * 9)
+        assert pipeline.speedup(10) > 1.0
+        assert pipeline.speedup(1) == pytest.approx(1.0)
+
+    def test_bottleneck_and_utilisation(self):
+        pipeline = AsyncPipeline([PipelineStage("a", 0.01),
+                                  PipelineStage("b", 0.05)])
+        assert pipeline.bottleneck().name == "b"
+        utilisation = pipeline.utilisation(100)
+        assert utilisation["b"] > utilisation["a"]
+        assert utilisation["b"] <= 1.0 + 1e-9
+
+    def test_zero_batches(self):
+        pipeline = AsyncPipeline.default_training_pipeline(0.01, 0.01, 0.01)
+        assert pipeline.pipelined_time(0) == 0.0
+        assert pipeline.throughput(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncPipeline([])
+        with pytest.raises(ValueError):
+            PipelineStage("x", -1.0)
+        with pytest.raises(ValueError):
+            AsyncPipeline.default_training_pipeline(0.1, 0.1, 0.1).sequential_time(-1)
+
+
+class TestGNNCostModel:
+    def test_nodes_grow_with_fanout_and_layers(self):
+        model = GNNCostModel()
+        assert model.sampled_nodes_per_example([5]) < \
+            model.sampled_nodes_per_example([10])
+        assert model.sampled_nodes_per_example([10]) < \
+            model.sampled_nodes_per_example([10, 10])
+
+    def test_memory_and_time_monotone_in_fanout(self):
+        model = GNNCostModel()
+        sweep = model.sweep_fanouts([5, 10, 20, 30], num_layers=2, batch_size=64)
+        memories = [cost.memory_bytes for _, cost in sweep]
+        speeds = [cost.iterations_per_second for _, cost in sweep]
+        assert memories == sorted(memories)
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_exponential_layer_growth(self):
+        """Doubling layers at fanout f multiplies tree size ~f-fold (Fig. 4a)."""
+        model = GNNCostModel()
+        one_layer = model.sampled_nodes_per_example([10])
+        two_layers = model.sampled_nodes_per_example([10, 10])
+        assert two_layers / one_layer > 5
+
+    def test_measure_and_calibrate(self, tiny_graph, tiny_splits):
+        train, _ = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        loader = ImpressionDataLoader(train[:32], batch_size=16)
+        batch = next(iter(loader.epoch()))
+        cost_model = GNNCostModel()
+        measured = cost_model.measure(model, batch)
+        assert measured.seconds > 0
+        cost_model.calibrate(measured, fanouts=(10, 5), batch_size=16)
+        predicted = cost_model.predict((10, 5), 16)
+        assert predicted.seconds > 0
+        row = predicted.as_row()
+        assert set(row) == {"sampled_nodes", "memory_mb", "seconds_per_iter",
+                            "iters_per_second"}
+
+    def test_measure_requires_positive_repeats(self, tiny_graph, tiny_splits):
+        train, _ = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8)
+        loader = ImpressionDataLoader(train[:8], batch_size=8)
+        batch = next(iter(loader.epoch()))
+        with pytest.raises(ValueError):
+            GNNCostModel().measure(model, batch, repeats=0)

@@ -1,0 +1,166 @@
+"""Tests for the experiment drivers: motivation, A/B test, interpretability."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import PinSageModel, STAMPModel
+from repro.experiments import (
+    ABTestConfig,
+    ABTestSimulator,
+    ExperimentResult,
+    coupling_heatmap_fixed_query,
+    coupling_heatmap_fixed_user,
+    focal_local_similarity_cdf,
+    format_table,
+    save_results,
+    successive_query_similarities,
+)
+from repro.experiments.ab_test import ChannelMetrics
+from repro.experiments.harness import load_result
+from repro.experiments.interpretability import (
+    heatmap_variation,
+    render_ascii_heatmap,
+)
+from repro.experiments.motivation import fraction_below
+
+
+class TestMotivation:
+    def test_query_drift_similarities(self, tiny_dataset):
+        drift = successive_query_similarities(tiny_dataset, max_users=6, seed=0)
+        assert 0 < len(drift) <= 6
+        for user, sims in drift.items():
+            assert len(sims) >= 1
+            assert all(-1.0 - 1e-9 <= s <= 1.0 + 1e-9 for s in sims)
+
+    def test_drift_similarities_are_low_on_average(self, tiny_dataset):
+        """Interest drift: successive queries should not be highly similar."""
+        drift = successive_query_similarities(tiny_dataset, max_users=10, seed=1)
+        values = [s for sims in drift.values() for s in sims]
+        assert np.mean(values) < 0.8
+
+    def test_focal_cdf_structure(self, tiny_dataset):
+        cdf = focal_local_similarity_cdf(tiny_dataset, history_sessions=None,
+                                         num_users=8, num_bins=20)
+        assert cdf["bin_edges"].shape == (21,)
+        assert cdf["mean_cdf"].shape == (20,)
+        assert np.all(np.diff(cdf["mean_cdf"]) >= -1e-9)   # CDF is monotone
+        assert cdf["mean_cdf"][-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_longer_history_has_lower_relevance(self, tiny_dataset):
+        """The long-window CDF should dominate (more low-similarity mass)."""
+        short = focal_local_similarity_cdf(tiny_dataset, history_sessions=1,
+                                           num_users=10, seed=3)
+        long = focal_local_similarity_cdf(tiny_dataset, history_sessions=None,
+                                          num_users=10, seed=3)
+        # Not strictly guaranteed pointwise on a tiny dataset; compare the
+        # fraction of similarities below a mid threshold.
+        assert fraction_below(long, 0.5) >= fraction_below(short, 0.5) - 0.25
+
+    def test_fraction_below_empty(self):
+        assert fraction_below({"bin_edges": np.zeros(0),
+                               "mean_cdf": np.zeros(0)}, 0.0) == 0.0
+
+
+class TestABTest:
+    def test_channel_metrics_math(self):
+        metrics = ChannelMetrics(impressions=1000, clicks=50, revenue=100.0)
+        assert metrics.ctr == pytest.approx(0.05)
+        assert metrics.ppc == pytest.approx(2.0)
+        assert metrics.rpm == pytest.approx(100.0)
+        empty = ChannelMetrics()
+        assert empty.ctr == 0.0 and empty.ppc == 0.0 and empty.rpm == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ABTestConfig(num_requests=0).validate()
+        with pytest.raises(ValueError):
+            ABTestConfig(base_click_prob=2.0).validate()
+        with pytest.raises(ValueError):
+            ABTestConfig(position_decay=0.0).validate()
+
+    def test_run_produces_lift_rows(self, tiny_dataset, tiny_graph):
+        base = PinSageModel(tiny_graph, embedding_dim=8, fanouts=(2, 2), seed=0)
+        treatment = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        simulator = ABTestSimulator(tiny_dataset,
+                                    ABTestConfig(num_requests=12, seed=0))
+        result = simulator.run(base, treatment)
+        rows = result.as_rows()
+        assert [row["metric"] for row in rows] == ["CTR", "PPC", "RPM"]
+        assert result.base.impressions == result.treatment.impressions
+        assert result.base.impressions == 12 * simulator.config.top_k
+
+    def test_click_probability_prefers_relevant_items(self, tiny_dataset):
+        simulator = ABTestSimulator(tiny_dataset, ABTestConfig(num_requests=5))
+        query = 0
+        category = tiny_dataset.query_categories[query]
+        relevant_items = tiny_dataset.items_in_category(category)
+        irrelevant_items = np.where(tiny_dataset.item_categories != category)[0]
+        if relevant_items.size and irrelevant_items.size:
+            p_rel = simulator._click_probability(0, query, int(relevant_items[0]),
+                                                 rank=0)
+            p_irr = simulator._click_probability(0, query,
+                                                 int(irrelevant_items[0]), rank=0)
+            assert p_rel > p_irr
+
+    def test_rank_decay(self, tiny_dataset):
+        simulator = ABTestSimulator(tiny_dataset, ABTestConfig(num_requests=5))
+        assert simulator._click_probability(0, 0, 0, rank=0) >= \
+            simulator._click_probability(0, 0, 0, rank=5)
+
+
+class TestInterpretability:
+    def test_fixed_user_heatmap(self, zoomer_model):
+        heatmap = coupling_heatmap_fixed_user(zoomer_model, user_id=0,
+                                              query_ids=[0, 1, 2],
+                                              item_ids=[0, 1, 2, 3])
+        assert heatmap.shape == (3, 4)
+        np.testing.assert_allclose(heatmap.sum(axis=1), np.ones(3), atol=1e-6)
+
+    def test_fixed_query_heatmap(self, zoomer_model):
+        heatmap = coupling_heatmap_fixed_query(zoomer_model, query_id=0,
+                                               user_ids=[0, 1],
+                                               item_ids=[0, 1, 2])
+        assert heatmap.shape == (2, 3)
+
+    def test_weights_vary_with_focal(self, zoomer_model):
+        heatmap = coupling_heatmap_fixed_user(zoomer_model, 0, [0, 1, 2, 3],
+                                              [0, 1, 2, 3, 4])
+        variation = heatmap_variation(heatmap)
+        assert variation["mean_row_std"] > 0.0
+        assert variation["max_row_range"] > 0.0
+
+    def test_empty_inputs_rejected(self, zoomer_model):
+        with pytest.raises(ValueError):
+            coupling_heatmap_fixed_user(zoomer_model, 0, [], [1])
+        with pytest.raises(ValueError):
+            coupling_heatmap_fixed_query(zoomer_model, 0, [0], [])
+
+    def test_ascii_rendering(self):
+        heatmap = np.array([[0.1, 0.9], [0.5, 0.5]])
+        text = render_ascii_heatmap(heatmap, ["rowA", "rowB"], ["c1", "c2"])
+        assert "rowA" in text and "0.90" in text
+
+    def test_variation_of_degenerate_heatmap(self):
+        assert heatmap_variation(np.ones((1, 3)))["mean_row_std"] == 0.0
+
+
+class TestHarness:
+    def test_format_table(self):
+        rows = [{"model": "Zoomer", "auc": 0.72}, {"model": "HAN", "auc": 0.703}]
+        table = format_table(rows, title="Table III")
+        assert "Table III" in table
+        assert "Zoomer" in table and "0.703" in table
+        assert format_table([]) == "(no rows)"
+
+    def test_experiment_result_roundtrip(self, tmp_path):
+        result = ExperimentResult("tableX", "demo", rows=[{"a": 1}],
+                                  paper_reference={"a": 2})
+        result.add_row(a=3)
+        paths = save_results([result], directory=str(tmp_path))
+        assert os.path.exists(paths[0])
+        loaded = load_result("tableX", directory=str(tmp_path))
+        assert loaded.description == "demo"
+        assert loaded.rows[-1]["a"] == 3
+        assert load_result("missing", directory=str(tmp_path)) is None

@@ -1,0 +1,121 @@
+"""Tests for the functional helpers (losses, similarity, regularisation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ndarray import functional as F
+from repro.ndarray.tensor import Tensor
+
+
+class TestActivations:
+    def test_wrappers_match_methods(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(F.relu(x).numpy(), x.relu().numpy())
+        np.testing.assert_allclose(F.sigmoid(x).numpy(), x.sigmoid().numpy())
+        np.testing.assert_allclose(F.tanh(x).numpy(), x.tanh().numpy())
+        np.testing.assert_allclose(F.leaky_relu(x).numpy(),
+                                   x.leaky_relu().numpy())
+        np.testing.assert_allclose(F.softmax(x).numpy(), x.softmax().numpy())
+        np.testing.assert_allclose(F.log_softmax(x).numpy(),
+                                   x.log_softmax().numpy())
+
+    def test_concat_stack(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 2)))
+        assert F.concat([a, b], axis=1).shape == (2, 4)
+        assert F.stack([a, b], axis=0).shape == (2, 2, 2)
+
+
+class TestSimilarity:
+    def test_dot_rows(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        b = Tensor(np.array([[5.0, 6.0], [7.0, 8.0]]))
+        np.testing.assert_allclose(F.dot_rows(a, b).numpy(), [17.0, 53.0])
+
+    def test_cosine_similarity_identity(self):
+        a = Tensor(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        np.testing.assert_allclose(F.cosine_similarity(a, a).numpy(),
+                                   [1.0, 1.0], atol=1e-9)
+
+    def test_cosine_similarity_orthogonal(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        np.testing.assert_allclose(F.cosine_similarity(a, b).numpy(), [0.0],
+                                   atol=1e-9)
+
+    def test_mean_pool(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(F.mean_pool(x, axis=0).numpy(), [2.0, 3.0])
+
+
+class TestLosses:
+    def test_bce_matches_manual(self):
+        probs = Tensor(np.array([0.9, 0.1, 0.8]))
+        labels = np.array([1.0, 0.0, 1.0])
+        expected = -np.mean([np.log(0.9), np.log(0.9), np.log(0.8)])
+        assert F.binary_cross_entropy(probs, labels).item() == pytest.approx(
+            expected, rel=1e-6)
+
+    def test_bce_with_logits(self):
+        logits = Tensor(np.array([2.0, -2.0]))
+        labels = np.array([1.0, 0.0])
+        direct = F.binary_cross_entropy(logits.sigmoid(), labels).item()
+        assert F.binary_cross_entropy_with_logits(logits, labels).item() == \
+            pytest.approx(direct)
+
+    def test_perfect_predictions_give_small_loss(self):
+        probs = Tensor(np.array([1.0, 0.0, 1.0]))
+        labels = np.array([1.0, 0.0, 1.0])
+        assert F.binary_cross_entropy(probs, labels).item() < 1e-5
+        assert F.focal_cross_entropy(probs, labels).item() < 1e-5
+
+    def test_focal_downweights_easy_examples(self):
+        easy = Tensor(np.array([0.9]))
+        hard = Tensor(np.array([0.6]))
+        labels = np.array([1.0])
+        bce_ratio = (F.binary_cross_entropy(hard, labels).item()
+                     / F.binary_cross_entropy(easy, labels).item())
+        focal_ratio = (F.focal_cross_entropy(hard, labels).item()
+                       / F.focal_cross_entropy(easy, labels).item())
+        # Focal loss should penalise the hard example relatively more.
+        assert focal_ratio > bce_ratio
+
+    def test_focal_gamma_zero_equals_bce(self):
+        probs = Tensor(np.array([0.7, 0.3, 0.55]))
+        labels = np.array([1.0, 0.0, 1.0])
+        assert F.focal_cross_entropy(probs, labels, gamma=0.0).item() == \
+            pytest.approx(F.binary_cross_entropy(probs, labels).item(), rel=1e-6)
+
+    def test_losses_backpropagate(self):
+        logits = Tensor(np.array([0.2, -0.4, 1.0]), requires_grad=True)
+        loss = F.focal_cross_entropy(logits.sigmoid(), np.array([1.0, 0.0, 1.0]))
+        loss.backward()
+        assert logits.grad is not None
+        assert np.all(np.isfinite(logits.grad))
+
+    @given(st.lists(st.floats(0.01, 0.99), min_size=1, max_size=20),
+           st.lists(st.integers(0, 1), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_losses_nonnegative(self, probs, labels):
+        n = min(len(probs), len(labels))
+        p = Tensor(np.array(probs[:n]))
+        y = np.array(labels[:n], dtype=float)
+        assert F.binary_cross_entropy(p, y).item() >= 0
+        assert F.focal_cross_entropy(p, y).item() >= 0
+
+
+class TestRegularization:
+    def test_l2_matches_manual(self):
+        params = [Tensor(np.array([1.0, 2.0]), requires_grad=True),
+                  Tensor(np.array([[3.0]]), requires_grad=True)]
+        value = F.l2_regularization(params, weight=0.1).item()
+        assert value == pytest.approx(0.1 * (1 + 4 + 9))
+
+    def test_l2_empty_params(self):
+        assert F.l2_regularization([], weight=1.0).item() == 0.0
+
+    def test_l2_gradient_is_two_w_times_weight(self):
+        param = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+        F.l2_regularization([param], weight=0.5).backward()
+        np.testing.assert_allclose(param.grad, [2.0, -1.0])

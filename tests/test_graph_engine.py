@@ -1,0 +1,234 @@
+"""Tests for the graph engine: alias table, MinHash, schema, HeteroGraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    AliasTable,
+    GraphSchema,
+    HeteroGraph,
+    MinHasher,
+    jaccard_similarity,
+)
+from repro.graph.schema import (
+    EdgeType,
+    NodeType,
+    RelationSpec,
+    movielens_schema,
+    taobao_schema,
+)
+
+
+class TestAliasTable:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+        with pytest.raises(ValueError):
+            AliasTable([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        table = AliasTable([0.0, 0.0, 0.0])
+        np.testing.assert_allclose(table.probabilities, np.ones(3) / 3)
+
+    def test_sampling_matches_distribution(self):
+        weights = np.array([1.0, 2.0, 7.0])
+        table = AliasTable(weights)
+        rng = np.random.default_rng(0)
+        samples = table.sample(20_000, rng)
+        counts = np.bincount(samples, minlength=3) / samples.size
+        np.testing.assert_allclose(counts, weights / weights.sum(), atol=0.02)
+
+    def test_sample_one_in_range(self):
+        table = AliasTable([0.3, 0.7])
+        for _ in range(20):
+            assert table.sample_one(np.random.default_rng(1)) in (0, 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0]).sample(-1)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_always_normalised(self, weights):
+        table = AliasTable(weights)
+        assert table.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(table.probabilities >= 0)
+
+
+class TestMinHash:
+    def test_exact_jaccard(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+        assert jaccard_similarity(set(), set()) == 0.0
+        assert jaccard_similarity({1}, {1}) == 1.0
+
+    def test_signature_similarity_estimate(self):
+        hasher = MinHasher(num_perm=256, num_bands=32)
+        a = set(range(100))
+        b = set(range(50, 150))
+        estimate = hasher.estimate_similarity(hasher.signature(a),
+                                              hasher.signature(b))
+        assert estimate == pytest.approx(jaccard_similarity(a, b), abs=0.12)
+
+    def test_identical_sets_give_identical_signatures(self):
+        hasher = MinHasher(num_perm=64)
+        np.testing.assert_array_equal(hasher.signature({1, 2, 3}),
+                                      hasher.signature({3, 2, 1}))
+
+    def test_candidate_pairs_finds_near_duplicates(self):
+        hasher = MinHasher(num_perm=64, num_bands=16)
+        corpora = {0: list(range(30)), 1: list(range(30)),
+                   2: list(range(1000, 1030))}
+        pairs = hasher.candidate_pairs({k: hasher.signature(v)
+                                        for k, v in corpora.items()})
+        assert (0, 1) in pairs
+
+    def test_similarity_edges_threshold(self):
+        hasher = MinHasher(num_perm=64, num_bands=16)
+        edges = hasher.similarity_edges({0: list(range(20)),
+                                         1: list(range(20)),
+                                         2: list(range(500, 520))},
+                                        threshold=0.5)
+        keys = {(a, b) for a, b, _ in edges}
+        assert (0, 1) in keys
+        assert all(sim >= 0.5 for _, _, sim in edges)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_perm=10, num_bands=3)
+        with pytest.raises(ValueError):
+            MinHasher(num_perm=0)
+
+    def test_mismatched_signature_lengths(self):
+        hasher = MinHasher(num_perm=32, num_bands=8)
+        with pytest.raises(ValueError):
+            hasher.estimate_similarity(np.zeros(32, dtype=np.uint64),
+                                       np.zeros(16, dtype=np.uint64))
+
+
+class TestSchema:
+    def test_taobao_schema_complete(self):
+        schema = taobao_schema()
+        assert set(schema.node_types) == {NodeType.USER, NodeType.QUERY,
+                                          NodeType.ITEM}
+        assert schema.relations_from(NodeType.USER)
+        schema.validate()
+
+    def test_movielens_schema(self):
+        schema = movielens_schema()
+        assert NodeType.MOVIE in schema.node_types
+        assert NodeType.TAG in schema.node_types
+
+    def test_duplicate_node_type_rejected(self):
+        schema = GraphSchema()
+        schema.add_node_type("a", 4)
+        with pytest.raises(ValueError):
+            schema.add_node_type("a", 4)
+
+    def test_relation_requires_known_types(self):
+        schema = GraphSchema().add_node_type("a", 4)
+        with pytest.raises(KeyError):
+            schema.add_relation("a", "e", "missing")
+
+    def test_relation_spec_reverse(self):
+        spec = RelationSpec("a", "e", "b")
+        assert spec.reverse() == RelationSpec("b", "e", "a")
+
+    def test_empty_schema_invalid(self):
+        with pytest.raises(ValueError):
+            GraphSchema().validate()
+
+
+def _small_graph():
+    schema = taobao_schema(feature_dim=4)
+    graph = HeteroGraph(schema)
+    graph.add_nodes(NodeType.USER, np.eye(4)[:3])
+    graph.add_nodes(NodeType.QUERY, np.eye(4)[:2])
+    graph.add_nodes(NodeType.ITEM, np.random.default_rng(0).normal(size=(5, 4)))
+    spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+    graph.add_edges(spec, [0, 0, 1, 2], [0, 1, 2, 4], [1.0, 2.0, 1.0, 3.0],
+                    symmetric=True)
+    graph.add_edges(RelationSpec(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY),
+                    [0, 1], [0, 1], symmetric=True)
+    return graph.finalize()
+
+
+class TestHeteroGraph:
+    def test_counts_and_summary(self):
+        graph = _small_graph()
+        assert graph.total_nodes == 10
+        assert graph.total_edges == 12
+        summary = graph.summary()
+        assert summary["num_nodes"][NodeType.ITEM] == 5
+        assert summary["memory_bytes"] > 0
+
+    def test_neighbors_and_degree(self):
+        graph = _small_graph()
+        neighbors = graph.neighbors(NodeType.USER, 0)
+        destinations = {spec.dst_type for spec, _, _ in neighbors}
+        assert destinations == {NodeType.ITEM, NodeType.QUERY}
+        assert graph.degree(NodeType.USER, 0) == 3
+
+    def test_relation_neighbor_weights(self):
+        graph = _small_graph()
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        ids, weights = graph.relation(spec).neighbors(0)
+        assert set(ids.tolist()) == {0, 1}
+        assert set(weights.tolist()) == {1.0, 2.0}
+
+    def test_reverse_edges_present(self):
+        graph = _small_graph()
+        spec = RelationSpec(NodeType.ITEM, EdgeType.CLICK, NodeType.USER)
+        ids, _ = graph.relation(spec).neighbors(4)
+        assert 2 in ids.tolist()
+
+    def test_sample_neighbors_limits_and_determinism(self):
+        graph = _small_graph()
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        relation = graph.relation(spec)
+        ids, _ = relation.sample_neighbors(0, k=1, rng=np.random.default_rng(0))
+        assert ids.size == 1
+        all_ids, _ = relation.sample_neighbors(0, k=10,
+                                               rng=np.random.default_rng(0))
+        assert all_ids.size == 2   # only two neighbors exist
+
+    def test_feature_validation(self):
+        schema = taobao_schema(feature_dim=4)
+        graph = HeteroGraph(schema)
+        with pytest.raises(ValueError):
+            graph.add_nodes(NodeType.USER, np.ones((2, 3)))
+        with pytest.raises(KeyError):
+            graph.add_nodes("unknown", np.ones((2, 4)))
+
+    def test_edge_validation(self):
+        schema = taobao_schema(feature_dim=4)
+        graph = HeteroGraph(schema)
+        graph.add_nodes(NodeType.USER, np.ones((2, 4)))
+        graph.add_nodes(NodeType.ITEM, np.ones((2, 4)))
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        with pytest.raises(IndexError):
+            graph.add_edges(spec, [0], [5])
+        with pytest.raises(ValueError):
+            graph.add_edges(spec, [0], [0, 1])
+
+    def test_queries_require_finalize(self):
+        schema = taobao_schema(feature_dim=4)
+        graph = HeteroGraph(schema)
+        graph.add_nodes(NodeType.USER, np.ones((1, 4)))
+        with pytest.raises(RuntimeError):
+            graph.neighbors(NodeType.USER, 0)
+
+    def test_add_edges_after_finalize_rejected(self):
+        graph = _small_graph()
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        with pytest.raises(RuntimeError):
+            graph.add_edges(spec, [0], [0])
+
+    def test_node_features_batch(self):
+        graph = _small_graph()
+        features = graph.node_features(NodeType.USER, [0, 2])
+        assert features.shape == (2, 4)
+        np.testing.assert_allclose(features[0], graph.node_feature(NodeType.USER, 0))

@@ -1,0 +1,101 @@
+"""End-to-end integration tests: data -> train -> evaluate -> serve -> A/B."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PinSageModel
+from repro.core import ZoomerConfig, ZoomerModel, build_ablation_variant
+from repro.data import (
+    SyntheticTaobaoConfig,
+    generate_taobao_dataset,
+    train_test_split_examples,
+)
+from repro.experiments import ABTestConfig, ABTestSimulator
+from repro.serving import OnlineServer
+from repro.training import Trainer, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup():
+    """A small but trainable dataset plus splits (module-scoped: reused)."""
+    dataset = generate_taobao_dataset(SyntheticTaobaoConfig(
+        num_users=40, num_queries=32, num_items=90, num_categories=6,
+        sessions_per_user=5.0, seed=11))
+    train, test = train_test_split_examples(dataset.impressions, 0.9, seed=0)
+    return dataset, train[:500], test[:200]
+
+
+class TestEndToEnd:
+    def test_zoomer_learns_above_chance(self, pipeline_setup):
+        dataset, train, test = pipeline_setup
+        model = ZoomerModel(dataset.graph,
+                            ZoomerConfig(embedding_dim=12, fanouts=(4, 2),
+                                         seed=0))
+        trainer = Trainer(model, TrainingConfig(epochs=2, batch_size=64,
+                                                learning_rate=0.03))
+        result = trainer.train(train, test)
+        assert result.final_metrics.auc > 0.55
+        assert result.epoch_losses[-1] <= result.epoch_losses[0]
+
+    def test_trained_model_serves_relevant_items(self, pipeline_setup):
+        dataset, train, test = pipeline_setup
+        model = ZoomerModel(dataset.graph,
+                            ZoomerConfig(embedding_dim=12, fanouts=(4, 2),
+                                         seed=1))
+        Trainer(model, TrainingConfig(epochs=1, batch_size=64,
+                                      learning_rate=0.05)).train(train)
+        server = OnlineServer(model, cache_capacity=10, ann_cells=6)
+        server.warm_caches(range(10), range(10))
+        session = dataset.sessions[0]
+        result = server.serve(session.user_id, session.query_id, k=10)
+        assert result.item_ids.shape[0] == 10
+        assert result.latency.total_ms < 1000.0
+
+    def test_ab_test_between_trained_models(self, pipeline_setup):
+        dataset, train, _ = pipeline_setup
+        zoomer = ZoomerModel(dataset.graph,
+                             ZoomerConfig(embedding_dim=12, fanouts=(4, 2),
+                                          seed=2))
+        pinsage = PinSageModel(dataset.graph, embedding_dim=12, fanouts=(4, 2),
+                               seed=2)
+        config = TrainingConfig(epochs=1, batch_size=64, learning_rate=0.05,
+                                max_batches_per_epoch=4)
+        Trainer(zoomer, config).train(train)
+        Trainer(pinsage, config).train(train)
+        simulator = ABTestSimulator(dataset, ABTestConfig(num_requests=15, seed=3))
+        result = simulator.run(pinsage, zoomer)
+        rows = result.as_rows()
+        assert len(rows) == 3
+        # Both channels must have produced impressions and the lift is finite.
+        assert result.base.impressions > 0
+        assert all(np.isfinite(row["lift_pct"]) for row in rows)
+
+    def test_ablation_variant_trains(self, pipeline_setup):
+        dataset, train, test = pipeline_setup
+        model = build_ablation_variant(
+            dataset.graph, "Zoomer-ES",
+            ZoomerConfig(embedding_dim=12, fanouts=(4, 2), seed=4))
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=64,
+                                                learning_rate=0.05,
+                                                max_batches_per_epoch=5))
+        result = trainer.train(train, test)
+        assert result.final_metrics is not None
+        assert 0.0 <= result.final_metrics.auc <= 1.0
+
+    def test_roi_downscaling_reduces_cost_not_quality_catastrophically(
+            self, pipeline_setup):
+        """Fig. 12's premise: a much smaller ROI remains competitive."""
+        dataset, train, test = pipeline_setup
+        full = ZoomerModel(dataset.graph,
+                           ZoomerConfig(embedding_dim=12, fanouts=(6, 3),
+                                        roi_downscale=1.0, seed=5))
+        small = ZoomerModel(dataset.graph,
+                            ZoomerConfig(embedding_dim=12, fanouts=(6, 3),
+                                         roi_downscale=0.4, seed=5))
+        roi_full = full.roi_for(0, 0)
+        roi_small = small.roi_for(0, 0)
+        assert roi_small.num_nodes() <= roi_full.num_nodes()
+        config = TrainingConfig(epochs=1, batch_size=64, learning_rate=0.05,
+                                max_batches_per_epoch=4)
+        auc_small = Trainer(small, config).train(train, test).final_metrics.auc
+        assert auc_small > 0.4

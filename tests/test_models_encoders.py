@@ -1,0 +1,115 @@
+"""Tests for the shared model encoders (node slots, twin-tower head)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.schema import NodeType
+from repro.models import HeteroNodeEncoder, TwinTowerHead
+from repro.models.base import RetrievalModel
+from repro.ndarray.tensor import Tensor
+
+
+class TestHeteroNodeEncoder:
+    def test_slots_shape(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=8,
+                                    rng=np.random.default_rng(0))
+        slots = encoder.slots(NodeType.ITEM, [0, 1, 2])
+        assert slots.shape == (3, HeteroNodeEncoder.NUM_SLOTS, 8)
+
+    def test_mean_vectors_are_slot_means(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=8,
+                                    rng=np.random.default_rng(0))
+        slots = encoder.slots(NodeType.USER, [0, 1]).numpy()
+        means = encoder.mean_vectors(NodeType.USER, [0, 1]).numpy()
+        np.testing.assert_allclose(means, slots.mean(axis=1), atol=1e-12)
+
+    def test_same_id_same_slots(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=8,
+                                    rng=np.random.default_rng(0))
+        first = encoder.slots(NodeType.QUERY, [3]).numpy()
+        second = encoder.slots(NodeType.QUERY, [3]).numpy()
+        np.testing.assert_allclose(first, second)
+
+    def test_different_nodes_have_different_slots(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=8,
+                                    rng=np.random.default_rng(0))
+        slots = encoder.slots(NodeType.ITEM, [0, 1]).numpy()
+        assert not np.allclose(slots[0], slots[1])
+
+    def test_type_embedding_shared_within_type(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=8,
+                                    rng=np.random.default_rng(0))
+        slots = encoder.slots(NodeType.ITEM, [0, 5]).numpy()
+        # Slot index 2 is the type embedding: identical across nodes of a type.
+        np.testing.assert_allclose(slots[0, 2], slots[1, 2])
+
+    def test_gradients_flow_through_slots(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=8,
+                                    rng=np.random.default_rng(1))
+        out = encoder.slots(NodeType.USER, [0, 1, 1])
+        out.sum().backward()
+        id_table = getattr(encoder, f"id_embedding_{NodeType.USER}")
+        assert id_table.weight.grad is not None
+        # Node 1 appears twice so its gradient row is twice node 0's.
+        np.testing.assert_allclose(id_table.weight.grad[1],
+                                   2 * id_table.weight.grad[0])
+
+    def test_registered_parameters_cover_all_types(self, tiny_graph):
+        encoder = HeteroNodeEncoder(tiny_graph, embedding_dim=4)
+        names = [name for name, _ in encoder.named_parameters()]
+        for node_type in tiny_graph.schema.node_types:
+            assert any(node_type in name for name in names)
+
+
+class TestTwinTowerHead:
+    def test_score_is_dot_of_towers(self):
+        rng = np.random.default_rng(0)
+        head = TwinTowerHead(request_dim=6, item_dim=4, hidden=(8,),
+                             output_dim=5, rng=rng)
+        request_input = Tensor(rng.normal(size=(3, 6)))
+        item_input = Tensor(rng.normal(size=(3, 4)))
+        request_out = head.request(request_input).numpy()
+        item_out = head.item(item_input).numpy()
+        scores = head.score(request_input, item_input).numpy()
+        np.testing.assert_allclose(scores, (request_out * item_out).sum(axis=-1),
+                                   atol=1e-9)
+
+    def test_towers_have_separate_parameters(self):
+        head = TwinTowerHead(4, 4, (8,), 4)
+        request_params = {id(p) for p in head.request_tower.parameters()}
+        item_params = {id(p) for p in head.item_tower.parameters()}
+        assert request_params.isdisjoint(item_params)
+
+    def test_output_dim(self):
+        head = TwinTowerHead(4, 3, (6,), 7)
+        assert head.request(Tensor(np.ones((2, 4)))).shape == (2, 7)
+        assert head.item(Tensor(np.ones((2, 3)))).shape == (2, 7)
+
+
+class TestRetrievalModelBase:
+    def test_forward_batch_abstract(self, tiny_graph):
+        model = RetrievalModel(tiny_graph)
+        with pytest.raises(NotImplementedError):
+            model.forward_batch(np.zeros(1, dtype=int), np.zeros(1, dtype=int),
+                                np.zeros(1, dtype=int))
+
+    def test_item_and_query_node_types(self, tiny_graph, tiny_movielens):
+        assert RetrievalModel(tiny_graph).item_node_type() == NodeType.ITEM
+        assert RetrievalModel(tiny_graph).query_node_type() == NodeType.QUERY
+        movie_model = RetrievalModel(tiny_movielens.graph)
+        assert movie_model.item_node_type() == NodeType.MOVIE
+        assert movie_model.query_node_type() == NodeType.TAG
+
+    def test_score_items_uses_embeddings(self, tiny_graph):
+        class Constant(RetrievalModel):
+            def request_embedding(self, user_id, query_id):
+                return np.array([1.0, 0.0])
+
+            def item_embedding(self, item_id):
+                return np.array([float(item_id), 0.0])
+
+        model = Constant(tiny_graph)
+        scores = model.score_items(0, 0, [0, 1, 2])
+        np.testing.assert_allclose(scores, [0.0, 1.0, 2.0])
+        embeddings = model.item_embeddings([1, 3])
+        assert embeddings.shape == (2, 2)

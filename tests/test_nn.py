@@ -1,0 +1,203 @@
+"""Tests for the nn substrate: modules, layers, initialisers and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ndarray.tensor import Tensor
+from repro.nn import Adam, Embedding, Linear, MLP, LayerNorm, Dropout, SGD, init
+from repro.nn.module import Module, Parameter
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones((2, 2)))
+                self.child = Linear(2, 3)
+
+        toy = Toy()
+        names = [name for name, _ in toy.named_parameters()]
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+        assert toy.num_parameters() == 4 + 6 + 3
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        other = Linear(3, 2, rng=np.random.default_rng(99))
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other.weight.numpy(), layer.weight.numpy())
+
+    def test_load_state_dict_strict_mismatch(self):
+        layer = Linear(3, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.numpy()})
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(3, 2)
+        bad = {name: value for name, value in layer.state_dict().items()}
+        bad["weight"] = np.ones((5, 5))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_train_eval_recursive(self):
+        mlp = MLP([4, 4, 2])
+        mlp.eval()
+        assert all(not module.training for module in mlp.modules())
+        mlp.train()
+        assert all(module.training for module in mlp.modules())
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert layer.weight.grad.shape == (4, 3)
+        assert layer.bias.grad.shape == (3,)
+
+    def test_linear_without_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup_and_bounds(self):
+        table = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = table(np.array([0, 3, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.numpy()[1], out.numpy()[2])
+        with pytest.raises(IndexError):
+            table(np.array([10]))
+
+    def test_embedding_gradient_accumulates_for_repeats(self):
+        table = Embedding(5, 2)
+        table(np.array([1, 1, 2])).sum().backward()
+        grad = table.weight.grad
+        np.testing.assert_allclose(grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(grad[0], [0.0, 0.0])
+
+    def test_mlp_output_shape_and_final_activation(self):
+        mlp = MLP([4, 8, 2], final_activation="sigmoid",
+                  rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(6, 4))))
+        assert out.shape == (6, 2)
+        assert np.all(out.numpy() >= 0) and np.all(out.numpy() <= 1)
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_rejects_unknown_activation(self):
+        mlp = MLP([2, 3, 2], activation="bogus")
+        with pytest.raises(ValueError):
+            mlp(Tensor(np.ones((1, 2))))
+
+    def test_layer_norm_normalises(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(np.random.default_rng(0).normal(size=(3, 8)) * 10))
+        values = out.numpy()
+        np.testing.assert_allclose(values.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(values.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((4, 4)))
+        drop.eval()
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+        drop.train()
+        dropped = drop(x).numpy()
+        assert np.any(dropped == 0.0)
+        assert pytest.approx(2.0, rel=0.01) == dropped[dropped > 0][0]
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestInit:
+    def test_shapes(self):
+        assert init.xavier_uniform((4, 3)).shape == (4, 3)
+        assert init.xavier_normal((4, 3)).shape == (4, 3)
+        assert init.he_uniform((4, 3)).shape == (4, 3)
+        assert init.normal((2, 2), 0.1).shape == (2, 2)
+        assert np.all(init.zeros((5,)) == 0)
+
+    def test_xavier_scale_reasonable(self):
+        weights = init.xavier_uniform((100, 100), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(weights).max() <= limit + 1e-12
+
+    def test_deterministic_with_rng(self):
+        a = init.normal((3, 3), rng=np.random.default_rng(5))
+        b = init.normal((3, 3), rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a, b)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+
+        def loss_fn():
+            diff = param - Tensor(target)
+            return (diff * diff).sum()
+
+        return param, loss_fn, target
+
+    def test_sgd_converges_on_quadratic(self):
+        param, loss_fn, target = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.numpy(), target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param, loss_fn, target = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.numpy(), target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        param, loss_fn, target = self._quadratic_problem()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.numpy(), target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        # No data gradient: only weight decay acts, so the value must shrink.
+        param.grad = np.zeros(1)
+        for _ in range(10):
+            optimizer.step()
+        assert abs(param.numpy()[0]) < 10.0
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1, weight_decay=-1.0)
+
+    def test_step_skips_params_without_grad(self):
+        param = Parameter(np.ones(2))
+        before = param.numpy().copy()
+        SGD([param], lr=0.5).step()
+        np.testing.assert_allclose(param.numpy(), before)

@@ -1,0 +1,164 @@
+"""Cross-cutting property-based tests on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import AliasTable, GraphBuilder, HeteroGraph
+from repro.graph.schema import EdgeType, NodeType, RelationSpec, taobao_schema
+from repro.ndarray.tensor import Tensor
+from repro.sampling import FocalBiasedSampler, focal_relevance_scores
+from repro.serving import InvertedIndex, LatencySimulator, NeighborCache
+from repro.training.metrics import auc_score, hit_rate_at_k
+
+
+# --------------------------------------------------------------------------- #
+# Graph construction properties
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 4),
+                          st.lists(st.integers(0, 9), min_size=1, max_size=4)),
+                min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_builder_edge_symmetry(sessions):
+    """Every interaction edge must exist in both directions with equal weight."""
+    rng = np.random.default_rng(0)
+    builder = GraphBuilder(feature_dim=4)
+    builder.set_node_features(NodeType.USER, rng.normal(size=(6, 4)))
+    builder.set_node_features(NodeType.QUERY, rng.normal(size=(5, 4)))
+    builder.set_node_features(NodeType.ITEM, rng.normal(size=(10, 4)))
+    for user, query, items in sessions:
+        builder.add_session(user, query, items)
+    graph = builder.build()
+    forward = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+    backward = RelationSpec(NodeType.ITEM, EdgeType.CLICK, NodeType.USER)
+    if forward in graph.relations:
+        for user in range(6):
+            ids, weights = graph.relation(forward).neighbors(user)
+            for item, weight in zip(ids, weights):
+                back_ids, back_weights = graph.relation(backward).neighbors(item)
+                position = list(back_ids).index(user)
+                assert back_weights[position] == pytest.approx(weight)
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 4),
+                          st.lists(st.integers(0, 9), min_size=1, max_size=4)),
+                min_size=1, max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_builder_total_edges_even(sessions):
+    """Symmetric construction implies an even total directed-edge count."""
+    rng = np.random.default_rng(1)
+    builder = GraphBuilder(feature_dim=4)
+    builder.set_node_features(NodeType.USER, rng.normal(size=(6, 4)))
+    builder.set_node_features(NodeType.QUERY, rng.normal(size=(5, 4)))
+    builder.set_node_features(NodeType.ITEM, rng.normal(size=(10, 4)))
+    for user, query, items in sessions:
+        builder.add_session(user, query, items)
+    graph = builder.build()
+    assert graph.total_edges % 2 == 0
+
+
+# --------------------------------------------------------------------------- #
+# Sampler properties
+# --------------------------------------------------------------------------- #
+@given(st.integers(1, 8), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_focal_sampler_never_exceeds_budget(k, seed):
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(feature_dim=4)
+    builder.set_node_features(NodeType.USER, rng.normal(size=(3, 4)))
+    builder.set_node_features(NodeType.QUERY, rng.normal(size=(3, 4)))
+    builder.set_node_features(NodeType.ITEM, rng.normal(size=(12, 4)))
+    for _ in range(10):
+        builder.add_session(int(rng.integers(3)), int(rng.integers(3)),
+                            rng.integers(0, 12, size=3).tolist())
+    graph = builder.build()
+    sampler = FocalBiasedSampler(seed=seed)
+    tree = sampler.sample(graph, NodeType.USER, 0, (k, k),
+                          focal_vector=rng.normal(size=4))
+    assert len(tree.children) <= k
+    for _, child, _ in tree.children:
+        assert len(child.children) <= k
+
+
+@given(st.integers(2, 30), st.integers(0, 1_000))
+@settings(max_examples=30, deadline=None)
+def test_relevance_scores_bounded_for_unit_vectors(n, seed):
+    """Eq. 5 on unit vectors yields scores in [-1/3, 1]."""
+    rng = np.random.default_rng(seed)
+    focal = rng.normal(size=4)
+    focal /= np.linalg.norm(focal)
+    neighbors = rng.normal(size=(n, 4))
+    neighbors /= np.linalg.norm(neighbors, axis=1, keepdims=True)
+    scores = focal_relevance_scores(focal, neighbors)
+    assert np.all(scores <= 1.0 + 1e-9)
+    assert np.all(scores >= -1.0 / 3.0 - 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Metric properties
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.floats(0, 1), min_size=4, max_size=40),
+       st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_auc_invariant_to_monotone_transform(scores, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=len(scores))
+    # Round to a coarse grid so the affine transform cannot create or break
+    # ties through floating-point rounding.
+    scores = np.round(np.asarray(scores), 3)
+    direct = auc_score(labels, scores)
+    transformed = auc_score(labels, 3.0 * scores + 1.0)
+    assert direct == pytest.approx(transformed)
+
+
+@given(st.integers(1, 20), st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_hit_rate_monotone_in_k(num_requests, pool):
+    rng = np.random.default_rng(num_requests * 31 + pool)
+    ranked = [rng.permutation(pool).tolist() for _ in range(num_requests)]
+    clicked = [int(rng.integers(pool)) for _ in range(num_requests)]
+    previous = 0.0
+    for k in (1, max(pool // 2, 1), pool):
+        current = hit_rate_at_k(ranked, clicked, k)
+        assert current >= previous - 1e-12
+        previous = current
+    assert hit_rate_at_k(ranked, clicked, pool) == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Serving properties
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 10)),
+                min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_inverted_index_postings_sorted(entries):
+    index = InvertedIndex(posting_length=10)
+    index.add_posting(0, entries)
+    posting = index.lookup(0)
+    scores = [score for _, score in posting]
+    assert scores == sorted(scores, reverse=True)
+    assert len(posting) <= 10
+
+
+@given(st.integers(1, 128), st.floats(0.5, 10.0),
+       st.lists(st.floats(10, 5_000), min_size=2, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_latency_monotone_in_qps(servers, service_ms, qps_values):
+    simulator = LatencySimulator(num_servers=servers, service_time_ms=service_ms)
+    qps_sorted = sorted(qps_values)
+    times = [simulator.expected_response_ms(q) for q in qps_sorted]
+    assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+    assert times[0] >= service_ms - 1e-9
+
+
+@given(st.integers(1, 10), st.lists(st.integers(0, 100), min_size=1,
+                                    max_size=50))
+@settings(max_examples=30, deadline=None)
+def test_neighbor_cache_capacity_invariant(capacity, node_ids):
+    cache = NeighborCache(capacity=capacity, max_nodes=20)
+    for node_id in node_ids:
+        cache.put("user", node_id, [("item", i, 1.0) for i in range(15)])
+        entry = cache.get("user", node_id)
+        assert len(entry) <= capacity
+    assert len(cache) <= 20

@@ -1,0 +1,215 @@
+"""Tests for the serving stack: cache, ANN, inverted index, latency, server."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import STAMPModel
+from repro.graph.schema import NodeType
+from repro.serving import (
+    ExactIndex,
+    IVFIndex,
+    InvertedIndex,
+    LatencySimulator,
+    NeighborCache,
+    OnlineServer,
+)
+from repro.serving.inverted_index import ItemMetadata
+from repro.serving.latency import LatencyBreakdown
+
+
+class TestNeighborCache:
+    def test_put_get_hit_miss(self):
+        cache = NeighborCache(capacity=3)
+        assert cache.get("user", 0) is None
+        cache.put("user", 0, [("item", 1, 0.5), ("item", 2, 0.3),
+                              ("item", 3, 0.1), ("item", 4, 0.9)])
+        entry = cache.get("user", 0)
+        assert len(entry) == 3          # capacity bound
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert 0.0 < cache.hit_rate() < 1.0
+
+    def test_eviction_of_oldest_node(self):
+        cache = NeighborCache(capacity=2, max_nodes=2)
+        cache.put("user", 0, [("item", 1, 1.0)])
+        cache.put("user", 1, [("item", 2, 1.0)])
+        cache.put("user", 2, [("item", 3, 1.0)])
+        assert len(cache) == 2
+        assert cache.get("user", 0) is None
+        assert cache.stats.evictions == 1
+
+    def test_update_visit_keeps_most_recent_first(self):
+        cache = NeighborCache(capacity=2)
+        cache.put("query", 5, [("item", 1, 1.0), ("item", 2, 1.0)])
+        cache.update_visit("query", 5, ("item", 9, 1.0))
+        entry = cache.get("query", 5)
+        assert entry[0] == ("item", 9, 1.0)
+        assert len(entry) == 2
+
+    def test_warm_from_graph(self, tiny_graph):
+        cache = NeighborCache(capacity=5)
+        cache.warm(tiny_graph, NodeType.USER, [0, 1, 2])
+        assert len(cache) == 3
+        entry = cache.get(NodeType.USER, 0)
+        assert entry is not None and len(entry) <= 5
+        if len(entry) >= 2:
+            assert entry[0][2] >= entry[1][2]   # sorted by weight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeighborCache(capacity=0)
+        with pytest.raises(ValueError):
+            NeighborCache(max_nodes=0)
+
+
+class TestANN:
+    def _embeddings(self, n=100, d=8):
+        return np.random.default_rng(0).normal(size=(n, d))
+
+    def test_exact_index_top1_is_self(self):
+        embeddings = self._embeddings()
+        index = ExactIndex(embeddings)
+        # Query with a vector equal to a stored embedding scaled up: the top
+        # result by inner product need not be itself, but searching with a
+        # one-hot of the largest-norm row must return a valid id and scores
+        # sorted descending.
+        ids, scores = index.search(embeddings[3], k=5)
+        assert ids.shape == (5,)
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_ivf_recall_reasonable(self):
+        embeddings = self._embeddings(200, 8)
+        index = IVFIndex(num_cells=8, nprobe=4, seed=0).build(embeddings)
+        queries = embeddings[:10]
+        recall = index.recall_at_k(queries, k=10)
+        assert recall > 0.5
+
+    def test_ivf_more_probes_no_worse(self):
+        embeddings = self._embeddings(200, 8)
+        index = IVFIndex(num_cells=10, nprobe=1, seed=0).build(embeddings)
+        queries = embeddings[:10]
+        low = index.recall_at_k(queries, k=10)
+        index.nprobe = 10
+        high = index.recall_at_k(queries, k=10)
+        assert high >= low
+
+    def test_ivf_requires_build(self):
+        with pytest.raises(RuntimeError):
+            IVFIndex().search(np.zeros(4), k=1)
+
+    def test_ivf_custom_ids(self):
+        embeddings = self._embeddings(20, 4)
+        ids = np.arange(100, 120)
+        index = IVFIndex(num_cells=4, nprobe=4).build(embeddings, ids)
+        found, _ = index.search(embeddings[0], k=3)
+        assert set(found) <= set(ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IVFIndex(num_cells=0)
+        with pytest.raises(ValueError):
+            IVFIndex().build(np.zeros((0, 4)))
+        with pytest.raises(ValueError):
+            ExactIndex(np.zeros(3))
+
+
+class TestInvertedIndex:
+    def test_posting_lookup_and_order(self):
+        index = InvertedIndex(posting_length=3)
+        index.add_posting(7, [(1, 0.2), (2, 0.9), (3, 0.5), (4, 0.1)])
+        posting = index.lookup(7)
+        assert [item for item, _ in posting] == [2, 3, 1]
+        assert index.lookup(7, k=1) == [(2, 0.9)]
+        assert index.lookup(99) == []
+        assert index.misses == 1 and index.lookups == 3
+
+    def test_metadata_layer(self):
+        index = InvertedIndex()
+        index.add_metadata(ItemMetadata(item_id=4, category=2, price=9.5))
+        assert index.metadata(4).category == 2
+        assert index.metadata(5) is None
+
+    def test_build_from_embeddings_and_coverage(self):
+        rng = np.random.default_rng(0)
+        index = InvertedIndex(posting_length=5)
+        index.build_from_embeddings([0, 1], rng.normal(size=(2, 4)),
+                                    rng.normal(size=(20, 4)))
+        assert len(index) == 2
+        assert len(index.lookup(0)) == 5
+        assert index.coverage([0, 1, 2]) == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InvertedIndex(posting_length=0)
+
+
+class TestLatencySimulator:
+    def test_response_time_increases_with_qps(self):
+        simulator = LatencySimulator(num_servers=32, service_time_ms=2.5)
+        sweep = simulator.sweep([1000, 5000, 10000])
+        times = [row["response_ms"] for row in sweep]
+        assert times == sorted(times)
+        assert times[0] >= 2.5
+
+    def test_sublinear_growth_under_capacity(self):
+        """10x the QPS should cost much less than 10x the response time."""
+        simulator = LatencySimulator(num_servers=64, service_time_ms=2.5)
+        low = simulator.expected_response_ms(1000)
+        high = simulator.expected_response_ms(10000)
+        assert high / low < 2.0
+
+    def test_saturation_flagged_with_large_penalty(self):
+        simulator = LatencySimulator(num_servers=1, service_time_ms=10.0)
+        assert simulator.utilisation(1000) > 1.0
+        assert simulator.expected_response_ms(1000) > 20.0
+
+    def test_servers_needed(self):
+        simulator = LatencySimulator(num_servers=1, service_time_ms=2.0)
+        needed = simulator.servers_needed(qps=10_000, target_utilisation=0.6)
+        assert needed >= 10_000 / (500 * 0.6) - 1
+
+    def test_calibration_and_validation(self):
+        simulator = LatencySimulator()
+        simulator.calibrate_service_time(1.5)
+        assert simulator.service_time_ms == 1.5
+        with pytest.raises(ValueError):
+            simulator.calibrate_service_time(0.0)
+        with pytest.raises(ValueError):
+            LatencySimulator(num_servers=0)
+        with pytest.raises(ValueError):
+            simulator.servers_needed(100, target_utilisation=1.5)
+
+    def test_latency_breakdown_totals(self):
+        breakdown = LatencyBreakdown(cache_ms=0.5, attention_ms=1.0, ann_ms=0.3,
+                                     queueing_ms=0.2)
+        assert breakdown.service_ms == pytest.approx(1.8)
+        assert breakdown.total_ms == pytest.approx(2.0)
+
+
+class TestOnlineServer:
+    @pytest.fixture(scope="class")
+    def server(self, tiny_graph):
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        server = OnlineServer(model, cache_capacity=5, ann_cells=4, ann_nprobe=2)
+        server.warm_caches(range(5), range(5))
+        server.build_inverted_index(range(5))
+        return server
+
+    def test_serve_returns_items_and_latency(self, server):
+        result = server.serve(0, 1, k=5)
+        assert result.item_ids.shape[0] <= 5
+        assert result.latency.total_ms >= 0
+        assert result.from_inverted_index   # query 1 has a posting list
+
+    def test_serve_falls_back_to_ann(self, server):
+        result = server.serve(0, 20, k=5)   # query 20 has no posting list
+        assert not result.from_inverted_index
+        assert result.item_ids.shape[0] <= 5
+
+    def test_qps_sweep_shape(self, server):
+        rows = server.qps_sweep([1000, 2000], [(0, 1), (1, 2)], k=5)
+        assert len(rows) == 2
+        assert rows[0]["response_ms"] > 0
+
+    def test_measure_service_time_requires_requests(self, server):
+        with pytest.raises(ValueError):
+            server.measure_service_time([])

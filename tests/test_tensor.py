@@ -1,0 +1,262 @@
+"""Tests for the autodiff Tensor: gradients, broadcasting, numerical checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.ndarray.tensor import Tensor, no_grad, is_grad_enabled, zeros, ones
+
+
+def numerical_gradient(func, value, eps=1e-6):
+    """Central-difference numerical gradient of a scalar-valued function."""
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = func(value)
+        flat[i] = original - eps
+        lower = func(value)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient against the numerical gradient of ``op``."""
+    rng = np.random.default_rng(seed)
+    value = rng.normal(size=shape)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    out = op(tensor)
+    out.sum().backward()
+
+    def scalar(v):
+        return float(op(Tensor(v)).sum().item())
+
+    numeric = numerical_gradient(scalar, value.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol)
+
+
+class TestBasicOps:
+    def test_add_gradients_broadcast(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_mul_gradients(self):
+        check_gradient(lambda t: t * t * 2.0, (3, 2))
+
+    def test_div_gradients(self):
+        check_gradient(lambda t: t / 3.0 + 1.0 / (t + 10.0), (4,))
+
+    def test_sub_and_neg(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = (5.0 - a) - (-a)
+        np.testing.assert_allclose(out.numpy(), [5.0, 5.0])
+
+    def test_pow_gradient(self):
+        check_gradient(lambda t: (t + 5.0) ** 3, (3,))
+
+    def test_rsub_rtruediv(self):
+        a = Tensor(np.array([2.0, 4.0]))
+        np.testing.assert_allclose((1.0 / a).numpy(), [0.5, 0.25])
+        np.testing.assert_allclose((3.0 - a).numpy(), [1.0, -1.0])
+
+    def test_scalar_backward_requires_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+
+class TestMatmul:
+    def test_matrix_matrix_gradient(self):
+        rng = np.random.default_rng(0)
+        b_value = rng.normal(size=(4, 2))
+        check_gradient(lambda t: t @ Tensor(b_value), (3, 4))
+
+    def test_matrix_vector_gradient(self):
+        rng = np.random.default_rng(1)
+        vec = rng.normal(size=3)
+        check_gradient(lambda t: t @ Tensor(vec), (5, 3))
+
+    def test_vector_matrix_gradient(self):
+        rng = np.random.default_rng(2)
+        mat = rng.normal(size=(3, 4))
+        check_gradient(lambda t: t @ Tensor(mat), (3,))
+
+    def test_batched_matmul_with_vector(self):
+        rng = np.random.default_rng(3)
+        vec = rng.normal(size=4)
+        check_gradient(lambda t: t @ Tensor(vec), (2, 3, 4))
+
+    def test_gradient_wrt_vector_operand(self):
+        rng = np.random.default_rng(4)
+        mat_value = rng.normal(size=(5, 3, 4))
+        vec = Tensor(rng.normal(size=4), requires_grad=True)
+        out = Tensor(mat_value) @ vec
+        out.sum().backward()
+        expected = mat_value.reshape(-1, 4).sum(axis=0)
+        np.testing.assert_allclose(vec.grad, expected, atol=1e-10)
+
+    def test_vector_vector_dot(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0, 6.0]), requires_grad=True)
+        out = a @ b
+        out.backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0, 6.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0, 3.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_gradient(self):
+        check_gradient(lambda t: t.sum(axis=0), (3, 4))
+
+    def test_mean_gradient(self):
+        check_gradient(lambda t: t.mean(axis=1), (2, 5))
+
+    def test_max_gradient_unique(self):
+        value = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        t = Tensor(value, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        expected = np.zeros_like(value)
+        expected[0, 1] = 1.0
+        expected[1, 0] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_reshape_transpose_gradient(self):
+        check_gradient(lambda t: t.reshape(6).transpose(), (2, 3))
+        check_gradient(lambda t: t.transpose(1, 0) * 2.0, (2, 3))
+
+    def test_getitem_gradient_accumulates(self):
+        t = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        (t[np.array([0, 0, 2])]).sum().backward()
+        np.testing.assert_allclose(t.grad, [[2, 2], [0, 0], [1, 1]])
+
+    def test_gather_rows_repeated_indices(self):
+        t = Tensor(np.ones((4, 3)), requires_grad=True)
+        t.gather_rows(np.array([1, 1, 1, 3])).sum().backward()
+        np.testing.assert_allclose(t.grad[:, 0], [0, 3, 0, 1])
+
+    def test_concat_and_stack_gradients(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        Tensor.concat([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+        c = Tensor(np.ones(3), requires_grad=True)
+        d = Tensor(np.ones(3), requires_grad=True)
+        (Tensor.stack([c, d], axis=0) * 2.0).sum().backward()
+        np.testing.assert_allclose(c.grad, 2 * np.ones(3))
+        np.testing.assert_allclose(d.grad, 2 * np.ones(3))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", [
+        lambda t: t.exp(),
+        lambda t: (t * t + 1.0).log(),
+        lambda t: t.sigmoid(),
+        lambda t: t.tanh(),
+        lambda t: t.relu() + t.leaky_relu(0.1),
+        lambda t: t.softmax(axis=-1),
+        lambda t: t.log_softmax(axis=-1),
+    ])
+    def test_gradients_match_numerical(self, op):
+        check_gradient(op, (3, 4), atol=1e-4)
+
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(t.softmax(axis=-1).numpy().sum(axis=-1),
+                                   np.ones(5))
+
+    def test_sigmoid_extreme_values_stable(self):
+        t = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        out = t.sigmoid().numpy()
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_clip_gradient_masks(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (a * 2).sum()
+        assert out._backward is None
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        detached = (a * 2).detach()
+        assert not detached.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 4.0, 4.0])
+
+
+class TestFactoriesAndRepr:
+    def test_zeros_ones(self):
+        assert zeros((2, 3)).numpy().sum() == 0
+        assert ones(4).numpy().sum() == 4
+
+    def test_repr_and_len(self):
+        t = Tensor(np.ones((2, 3)), requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert len(t) == 2
+        assert t.size == 6 and t.ndim == 2
+
+    def test_comparisons_return_numpy(self):
+        t = Tensor(np.array([1.0, 3.0]))
+        assert (t > 2.0).tolist() == [False, True]
+        assert (t <= 1.0).tolist() == [True, False]
+
+
+class TestPropertyBased:
+    @given(arrays(np.float64, array_shapes(min_dims=1, max_dims=2, max_side=5),
+                  elements=st.floats(-10, 10)))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_distribution(self, value):
+        out = Tensor(value).softmax(axis=-1).numpy()
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]),
+                                   atol=1e-9)
+
+    @given(arrays(np.float64, st.integers(1, 6).map(lambda n: (n, n)),
+                  elements=st.floats(-5, 5)),
+           arrays(np.float64, st.integers(1, 6).map(lambda n: (n,)),
+                  elements=st.floats(-5, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, a, b):
+        if a.shape[0] != b.shape[0]:
+            return
+        left = (Tensor(a) + Tensor(b)).numpy()
+        right = (Tensor(b) + Tensor(a)).numpy()
+        np.testing.assert_allclose(left, right)
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_shape_contract(self, n, k, m):
+        a = Tensor(np.ones((n, k)))
+        b = Tensor(np.ones((k, m)))
+        assert (a @ b).shape == (n, m)

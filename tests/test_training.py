@@ -1,0 +1,200 @@
+"""Tests for metrics, the dataloader and the trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import STAMPModel
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.training import (
+    Batch,
+    ImpressionDataLoader,
+    MetricReport,
+    Trainer,
+    TrainingConfig,
+    auc_score,
+    hit_rate_at_k,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ties(self):
+        assert auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_returns_half(self):
+        assert auc_score([1, 1], [0.3, 0.7]) == 0.5
+        assert auc_score([0, 0], [0.3, 0.7]) == 0.5
+
+    def test_matches_manual_pairwise_computation(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=50)
+        scores = rng.random(50)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        pairs = [(p > n) + 0.5 * (p == n) for p in positives for n in negatives]
+        expected = np.mean(pairs)
+        assert auc_score(labels, scores) == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            auc_score([1, 0], [0.5])
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)),
+                    min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_auc_bounded(self, pairs):
+        labels = [p[0] for p in pairs]
+        scores = [p[1] for p in pairs]
+        value = auc_score(labels, scores)
+        assert 0.0 <= value <= 1.0
+
+
+class TestOtherMetrics:
+    def test_mae_rmse(self):
+        labels = [1.0, 0.0, 1.0]
+        scores = [0.5, 0.5, 1.0]
+        assert mean_absolute_error(labels, scores) == pytest.approx(1.0 / 3)
+        assert root_mean_squared_error(labels, scores) == pytest.approx(
+            np.sqrt((0.25 + 0.25 + 0) / 3))
+        assert mean_absolute_error([], []) == 0.0
+        assert root_mean_squared_error([], []) == 0.0
+
+    def test_hit_rate(self):
+        ranked = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        clicked = [2, 6, 1]
+        assert hit_rate_at_k(ranked, clicked, 2) == pytest.approx(1 / 3)
+        assert hit_rate_at_k(ranked, clicked, 3) == pytest.approx(2 / 3)
+        assert hit_rate_at_k([], [], 5) == 0.0
+        with pytest.raises(ValueError):
+            hit_rate_at_k(ranked, clicked, 0)
+        with pytest.raises(ValueError):
+            hit_rate_at_k(ranked, clicked[:2], 1)
+
+    def test_metric_report_rows(self):
+        report = MetricReport("m", auc=0.75, hit_rates={100: 0.2, 200: 0.4})
+        row = report.as_row()
+        assert row["model"] == "m"
+        assert row["hitrate@100"] == 0.2
+
+
+class TestDataLoader:
+    def test_batch_sizes_and_count(self, tiny_splits):
+        train, _ = tiny_splits
+        loader = ImpressionDataLoader(train, batch_size=32)
+        batches = list(loader.epoch())
+        assert len(loader) == len(batches)
+        assert sum(len(b) for b in batches) == len(train)
+        assert all(len(b) <= 32 for b in batches)
+
+    def test_shuffling_differs_across_epochs(self, tiny_splits):
+        train, _ = tiny_splits
+        loader = ImpressionDataLoader(train, batch_size=16, shuffle=True, seed=0)
+        first = next(iter(loader.epoch())).item_ids.tolist()
+        second = next(iter(loader.epoch())).item_ids.tolist()
+        assert first != second
+
+    def test_no_shuffle_preserves_order(self, tiny_splits):
+        train, _ = tiny_splits
+        loader = ImpressionDataLoader(train, batch_size=8, shuffle=False)
+        batch = next(iter(loader.epoch()))
+        expected = [e.item_id for e in train[:8]]
+        assert batch.item_ids.tolist() == expected
+
+    def test_extra_negatives(self, tiny_splits):
+        train, _ = tiny_splits
+        loader = ImpressionDataLoader(train, batch_size=16, extra_negatives=1,
+                                      num_items=60)
+        batch = next(iter(loader.epoch()))
+        positives = int((batch.labels[:16] > 0.5).sum())
+        assert len(batch) == 16 + positives
+
+    def test_validation(self, tiny_splits):
+        train, _ = tiny_splits
+        with pytest.raises(ValueError):
+            ImpressionDataLoader(train, batch_size=0)
+        with pytest.raises(ValueError):
+            ImpressionDataLoader(train, extra_negatives=1)
+
+    def test_empty_loader(self):
+        loader = ImpressionDataLoader([], batch_size=4)
+        assert len(loader) == 0
+        assert list(loader.epoch()) == []
+
+
+class TestTrainer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(loss="mse").validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lbfgs").validate()
+
+    def test_loss_decreases_on_fast_model(self, tiny_graph, tiny_splits):
+        train, _ = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=3, batch_size=64,
+                                                learning_rate=0.05, loss="bce"))
+        result = trainer.train(train[:300])
+        assert result.iterations > 0
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_evaluate_returns_sane_metrics(self, tiny_graph, tiny_splits):
+        _, test = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=32))
+        report = trainer.evaluate(test[:80])
+        assert 0.0 <= report.auc <= 1.0
+        assert report.mae >= 0 and report.rmse >= 0
+
+    def test_zoomer_single_step_updates_parameters(self, tiny_graph, tiny_splits,
+                                                   zoomer_config):
+        train, _ = tiny_splits
+        model = ZoomerModel(tiny_graph, zoomer_config)
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=8,
+                                                max_batches_per_epoch=1,
+                                                learning_rate=0.05))
+        before = model.encoder.parameters()[0].numpy().copy()
+        result = trainer.train(train[:16])
+        after = model.encoder.parameters()[0].numpy()
+        assert result.iterations == 1
+        assert not np.allclose(before, after)
+
+    def test_hit_rate_evaluation(self, tiny_graph, tiny_splits):
+        train, test = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=64))
+        trainer.train(train[:200])
+        rates = trainer.evaluate_hit_rate(test, ks=(5, 20), candidate_pool=40,
+                                          max_requests=8)
+        assert set(rates) == {5, 20}
+        assert all(0.0 <= v <= 1.0 for v in rates.values())
+        assert rates[20] >= rates[5]
+
+    def test_target_auc_early_stop_fields(self, tiny_graph, tiny_splits):
+        train, test = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=2, batch_size=64,
+                                                max_batches_per_epoch=3))
+        result = trainer.train(train[:200], test[:80], target_auc=0.0)
+        # target 0.0 is reached immediately after the first epoch evaluation
+        assert result.reached_target_auc is True
+        assert result.time_to_target is not None
+        assert len(result.epoch_aucs) >= 1
+
+    def test_max_batches_cap(self, tiny_graph, tiny_splits):
+        train, _ = tiny_splits
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=2, batch_size=16,
+                                                max_batches_per_epoch=2))
+        result = trainer.train(train[:300])
+        assert result.iterations == 4
