@@ -1,6 +1,13 @@
-"""Benchmark fixtures: shared datasets for the table/figure reproductions."""
+"""Benchmark fixtures: shared datasets for the table/figure reproductions.
+
+Every test collected from this directory is auto-marked ``bench`` (the marker
+is registered in ``pytest.ini``), so the fast development loop can deselect
+the benchmark-heavy reproductions with ``-m "not bench"``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -12,6 +19,15 @@ from repro.data import (
     generate_taobao_dataset,
     train_test_split_examples,
 )
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test under benchmarks/ as ``bench`` for easy deselection."""
+    for item in items:
+        if os.path.dirname(str(item.fspath)) == _BENCH_DIR:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

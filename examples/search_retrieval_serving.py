@@ -5,14 +5,22 @@ from a large item pool, then ranks it.  This example exercises the retrieval
 stage end to end the way the paper deploys it:
 
 1. train Zoomer offline on behavior logs,
-2. export item embeddings, build the ANN index and the two-layer inverted
-   index, warm the neighbor caches (the asynchronous refresh path),
+2. export item embeddings, build the ANN index (sharded across partitions of
+   the item corpus) and the two-layer inverted index, warm the neighbor
+   caches (the asynchronous refresh path),
 3. serve a stream of requests through :class:`repro.serving.OnlineServer`,
    measuring the latency breakdown and the relevance of what was returned,
-4. sweep QPS through the queueing model to see the Fig. 9 behaviour.
+4. replay the same stream through the **batched engine**: a
+   :class:`repro.serving.RequestBatcher` micro-batches concurrent requests
+   into vectorized ``serve_batch`` calls, returning identical results at a
+   much higher per-machine throughput,
+5. sweep QPS through the queueing model to see the Fig. 9 behaviour, plus
+   the batch-size-versus-latency trade-off.
 
 Run with:  python examples/search_retrieval_serving.py
 """
+
+import time
 
 import numpy as np
 
@@ -23,7 +31,7 @@ from repro.data import (
     train_test_split_examples,
 )
 from repro.experiments import format_table
-from repro.serving import OnlineServer
+from repro.serving import OnlineServer, RequestBatcher
 from repro.training import Trainer, TrainingConfig
 
 
@@ -40,16 +48,16 @@ def main() -> None:
     Trainer(model, TrainingConfig(epochs=1, batch_size=64,
                                   learning_rate=0.03)).train(train[:800])
 
-    # Build the serving stack: ANN index + inverted index + neighbor caches.
+    # Build the serving stack: sharded ANN + inverted index + neighbor caches.
     server = OnlineServer(model, cache_capacity=30, ann_cells=8, ann_nprobe=3,
-                          posting_length=50)
+                          posting_length=50, num_shards=2)
     active_users = list(range(20))
     active_queries = list(range(20))
     server.warm_caches(active_users, active_queries)
     server.build_inverted_index(active_queries)
     print(f"Serving stack ready: {len(server.inverted_index)} posting lists, "
-          f"ANN over {dataset.config.num_items} items, "
-          f"{len(server.cache)} cached nodes")
+          f"ANN over {dataset.config.num_items} items in "
+          f"{server.num_shards} shards, {len(server.cache)} cached nodes")
 
     # Serve a stream of requests taken from real sessions.
     rows = []
@@ -78,12 +86,40 @@ def main() -> None:
           f"({100.0 * relevant_hits / max(total_shown, 1):.1f}%)")
     print(f"Neighbor-cache hit rate: {server.cache.hit_rate():.2f}")
 
-    # QPS sweep through the queueing model (the Fig. 9 curve).
+    # Replay the stream through the micro-batching front end: identical
+    # results, one vectorized serve_batch call per formed batch.  A warm-up
+    # pass populates the request-embedding and neighbor caches so the timing
+    # compares the two dispatch paths, not cold-cache model calls.
+    stream = [(s.user_id, s.query_id) for s in dataset.sessions[:100]]
+    server.serve_batch(stream, k=10)
+    batcher = RequestBatcher(server, max_batch_size=32, max_wait_ms=5.0, k=10)
+    start = time.perf_counter()
+    batched_results = []
+    for user_id, query_id in stream:
+        batched_results.extend(batcher.submit(user_id, query_id))
+    batched_results.extend(batcher.flush())
+    batched_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for user_id, query_id in stream:
+        server.serve(user_id, query_id, k=10)
+    sequential_s = time.perf_counter() - start
+    print(f"\nBatched engine: {len(batched_results)} requests in "
+          f"{batcher.stats.batches} batches "
+          f"(mean size {batcher.stats.mean_batch_size:.1f}), "
+          f"{len(stream) / batched_s:,.0f} QPS vs "
+          f"{len(stream) / sequential_s:,.0f} QPS sequential "
+          f"({sequential_s / batched_s:.1f}x)")
+
+    # QPS sweep through the queueing model (the Fig. 9 curve), plus the
+    # batch-size-versus-latency trade-off of the batched engine.
     calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:20]]
     sweep = server.qps_sweep([1000, 2000, 5000, 10000, 20000, 50000],
                              calibration)
     print()
     print(format_table(sweep, title="Response time vs QPS (queueing model)"))
+    batch_sweep = server.batch_size_sweep(10_000, calibration, [1, 8, 32, 128])
+    print()
+    print(format_table(batch_sweep, title="Batch size vs latency at 10K QPS"))
 
 
 if __name__ == "__main__":

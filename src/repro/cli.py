@@ -5,8 +5,9 @@ Python:
 
 * ``python -m repro.cli train``     — train Zoomer (or a baseline) on a
   synthetic Taobao-like graph and report AUC / HitRate@K.
-* ``python -m repro.cli serve``     — train briefly, stand up the serving
-  stack and run a QPS sweep (the Fig. 9 curve).
+* ``python -m repro.cli serve``     — train briefly, stand up the (optionally
+  sharded) serving stack, run a QPS sweep (the Fig. 9 curve) and a
+  batch-size-versus-latency sweep over the micro-batched path.
 * ``python -m repro.cli motivation`` — print the Fig. 4(b)/(c) information-
   overload measurements for a generated dataset.
 
@@ -76,6 +77,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.num_shards < 1:
+        raise SystemExit("--num-shards must be at least 1")
+    if args.serve_batch_size < 1:
+        raise SystemExit("--serve-batch-size must be at least 1")
     dataset = generate_taobao_dataset(scale=args.scale)
     train, _ = train_test_split_examples(dataset.impressions, 0.9, seed=args.seed)
     model = _build_model(args.model, dataset.graph, args.fanout,
@@ -85,13 +90,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                   loss="focal",
                                   max_batches_per_epoch=6)).train(
         train[: args.max_examples])
-    server = OnlineServer(model, cache_capacity=30, ann_cells=8)
+    server = OnlineServer(model, cache_capacity=30, ann_cells=8,
+                          num_shards=args.num_shards)
     active = list(range(min(20, dataset.config.num_queries)))
     server.warm_caches(range(min(20, dataset.config.num_users)), active)
     server.build_inverted_index(active)
     calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:20]]
     rows = server.qps_sweep([1000, 5000, 10000, 20000, 50000], calibration)
-    print(format_table(rows, title="Response time vs QPS"))
+    shards = f"{args.num_shards} shard(s)"
+    print(format_table(rows, title=f"Response time vs QPS ({shards})"))
+    if args.serve_batch_size > 1:
+        batch_sizes = sorted({1, max(args.serve_batch_size // 4, 2),
+                              args.serve_batch_size})
+        batch_rows = server.batch_size_sweep(10_000, calibration, batch_sizes)
+        print(format_table(batch_rows,
+                           title="Batch size vs latency at 10K QPS"))
     return 0
 
 
@@ -140,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_parser = subparsers.add_parser("serve", help="serving QPS sweep")
     add_common(serve_parser)
+    serve_parser.add_argument("--num-shards", type=int, default=1,
+                              help="partition the item corpus across N ANN "
+                                   "shards with per-shard top-k merging")
+    serve_parser.add_argument("--serve-batch-size", type=int, default=32,
+                              help="micro-batch size for the batched serving "
+                                   "path; >1 also prints a batch-size vs "
+                                   "latency sweep")
     serve_parser.set_defaults(func=_cmd_serve)
 
     motivation_parser = subparsers.add_parser(

@@ -4,33 +4,57 @@ After training, item representations are indexed for approximate
 nearest-neighbor retrieval; at request time the user-query tower runs with a
 neighbor cache (k last-visited neighbors per user/query node, asynchronously
 refreshed) and only the edge-level attention is kept, which lets the paper
-serve thousands of QPS at ~3 ms.  This package reproduces the whole path:
+serve thousands of QPS at ~3 ms.  This package reproduces the whole path —
+and its production shape: the pipeline is **batched** end to end (vectorized
+multi-query search, batched cache and index reads, micro-batched dispatch)
+and the item corpus can be **sharded** with per-shard top-k merging.
 
 * :class:`~repro.serving.cache.NeighborCache` — bounded per-node neighbor
-  cache with asynchronous refresh semantics and hit/miss accounting.
-* :class:`~repro.serving.ann.IVFIndex` — an inverted-file ANN index (coarse
-  k-means + per-cell exact search) over item embeddings.
+  cache with batch get/put, an asynchronous refresh queue drained between
+  request batches, and hit/miss accounting.
+* :class:`~repro.serving.ann.ExactIndex` / :class:`~repro.serving.ann.IVFIndex`
+  — brute-force and inverted-file ANN indexes whose core operation is
+  ``search_batch(queries, k)`` over a query matrix; single-query ``search``
+  is a batch-of-one wrapper.
+* :class:`~repro.serving.sharding.ShardedIndex` — partitions item embeddings
+  round-robin across shards and merges per-shard top-k into the global top-k.
 * :class:`~repro.serving.inverted_index.InvertedIndex` — the two-layer
-  query->items / item->metadata inverted index stored in the iGraph-like
-  engine.
+  query->items / item->metadata inverted index with batched lookups.
 * :class:`~repro.serving.latency.LatencySimulator` — an M/M/c queueing model
-  that turns per-request service times and QPS into response times (Fig. 9).
-* :class:`~repro.serving.server.OnlineServer` — the end-to-end serving facade.
+  over per-request *and* per-batch (affine-profile) service times, for the
+  Fig. 9 QPS sweep and its batch-size extension.
+* :class:`~repro.serving.batcher.RequestBatcher` — micro-batching front end
+  (max batch size / max wait) over the server's batched path.
+* :class:`~repro.serving.server.OnlineServer` — the end-to-end facade;
+  ``serve_batch`` is the hot path and ``serve`` a batch-of-one wrapper that
+  returns identical results and statistics.
 """
 
-from repro.serving.cache import NeighborCache
-from repro.serving.ann import IVFIndex, ExactIndex
+from repro.serving.cache import CacheStats, NeighborCache
+from repro.serving.ann import ExactIndex, IVFIndex, strip_padding
+from repro.serving.sharding import ShardedIndex
 from repro.serving.inverted_index import InvertedIndex
-from repro.serving.latency import LatencySimulator, LatencyBreakdown
+from repro.serving.latency import (
+    BatchServiceProfile,
+    LatencyBreakdown,
+    LatencySimulator,
+)
+from repro.serving.batcher import BatcherStats, RequestBatcher
 from repro.serving.server import OnlineServer, ServeResult
 
 __all__ = [
-    "NeighborCache",
-    "IVFIndex",
+    "BatcherStats",
+    "BatchServiceProfile",
+    "CacheStats",
     "ExactIndex",
+    "IVFIndex",
     "InvertedIndex",
-    "LatencySimulator",
     "LatencyBreakdown",
+    "LatencySimulator",
+    "NeighborCache",
     "OnlineServer",
+    "RequestBatcher",
     "ServeResult",
+    "ShardedIndex",
+    "strip_padding",
 ]

@@ -7,14 +7,49 @@ inverted-file index: item embeddings are clustered into ``num_cells`` coarse
 cells with k-means, a query probes its ``nprobe`` closest cells and scores
 only the items inside them.  :class:`ExactIndex` is the brute-force reference
 used to measure recall.
+
+Both indexes are **batch-first**: the core operation is
+``search_batch(queries, k)`` over a ``(Q, d)`` query matrix, which does one
+matmul (per probed cell for IVF) plus a single ``argpartition`` along the
+batch axis.  The single-query ``search(query, k)`` API is a thin wrapper that
+runs a batch of one and strips the padding, so batched and sequential
+searches go through the same code path and return identical results.
+
+Batched results are fixed-shape ``(Q, k')`` arrays (``k' = min(k, n)``).
+When a query has fewer than ``k'`` candidates (IVF cells can be small or
+empty), its row is right-padded with id ``-1`` and score ``-inf``; use
+:func:`strip_padding` to recover the ragged per-query lists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Sentinel id used to right-pad batched result rows with fewer than k hits.
+PAD_ID = -1
+
+
+def strip_padding(ids_row: np.ndarray, scores_row: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop the ``(PAD_ID, -inf)`` padding from one batched result row."""
+    valid = ~((ids_row == PAD_ID) & np.isneginf(scores_row))
+    return ids_row[valid], scores_row[valid]
+
+
+def _as_query_matrix(queries: np.ndarray) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ValueError("queries must be a 2-D (num_queries, dim) array; "
+                         "use search() for a single 1-D query")
+    return queries
+
+
+def _empty_batch(num_queries: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return (np.zeros((num_queries, 0), dtype=np.int64),
+            np.zeros((num_queries, 0)),
+            np.zeros((num_queries, 0), dtype=bool))
 
 
 class ExactIndex:
@@ -32,12 +67,33 @@ class ExactIndex:
         return int(self.embeddings.shape[0])
 
     def search(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Top-k ids and scores by inner product."""
-        scores = self.embeddings @ np.asarray(query, dtype=np.float64)
-        k = min(k, scores.shape[0])
-        top = np.argpartition(-scores, k - 1)[:k]
-        order = top[np.argsort(-scores[top])]
-        return self.ids[order], scores[order]
+        """Top-k ids and scores by inner product (batch-of-one wrapper)."""
+        query = np.asarray(query, dtype=np.float64)
+        ids, scores, valid = self._search_batch(query[None, :], k)
+        return ids[0][valid[0]], scores[0][valid[0]]
+
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k for every row of a ``(Q, d)`` query matrix at once.
+
+        Returns ``(ids, scores)`` of shape ``(Q, min(k, n))``.  Exact search
+        always has ``n`` candidates per query, so rows are never padded.
+        """
+        ids, scores, _ = self._search_batch(_as_query_matrix(queries), k)
+        return ids, scores
+
+    def _search_batch(self, queries: np.ndarray, k: int
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        num_queries = queries.shape[0]
+        top_k = min(max(int(k), 0), len(self))
+        if num_queries == 0 or top_k == 0:
+            return _empty_batch(num_queries)
+        scores = queries @ self.embeddings.T                     # (Q, n)
+        top = np.argpartition(-scores, top_k - 1, axis=1)[:, :top_k]
+        order = np.argsort(-np.take_along_axis(scores, top, axis=1), axis=1)
+        top = np.take_along_axis(top, order, axis=1)
+        return (self.ids[top], np.take_along_axis(scores, top, axis=1),
+                np.ones((num_queries, top_k), dtype=bool))
 
 
 class IVFIndex:
@@ -79,6 +135,8 @@ class IVFIndex:
                 members = embeddings[assignments == cell]
                 if members.shape[0]:
                     centroids[cell] = members.mean(axis=0)
+        # Cells can legitimately end up empty (e.g. duplicated points); they
+        # simply contribute no candidates at search time.
         self.centroids = centroids
         self._cells = [np.where(assignments == cell)[0] for cell in range(cells)]
         return self
@@ -88,34 +146,114 @@ class IVFIndex:
     # ------------------------------------------------------------------ #
     def search(self, query: np.ndarray, k: int,
                nprobe: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
-        """Approximate top-k ids and scores for an inner-product query."""
+        """Approximate top-k for one query (batch-of-one wrapper).
+
+        May return fewer than ``k`` results when the probed cells hold fewer
+        than ``k`` items.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        ids, scores, valid = self._search_batch(query[None, :], k, nprobe)
+        return ids[0][valid[0]], scores[0][valid[0]]
+
+    def search_batch(self, queries: np.ndarray, k: int,
+                     nprobe: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k for every row of a ``(Q, d)`` query matrix.
+
+        Cell-probe assignment is computed for all queries at once; each cell
+        is then scored with a single matmul against the queries probing it.
+        Returns ``(ids, scores)`` of shape ``(Q, min(k, n))``, right-padded
+        with ``(PAD_ID, -inf)`` on rows with fewer candidates than ``k``
+        (see :func:`strip_padding`).
+        """
+        ids, scores, _ = self._search_batch(_as_query_matrix(queries), k, nprobe)
+        return ids, scores
+
+    def _search_batch(self, queries: np.ndarray, k: int,
+                      nprobe: Optional[int]
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self.centroids is None or self.embeddings is None or self.ids is None:
             raise RuntimeError("index not built; call build() first")
-        query = np.asarray(query, dtype=np.float64)
+        num_queries = queries.shape[0]
+        num_items = self.embeddings.shape[0]
         nprobe = nprobe if nprobe is not None else self.nprobe
         nprobe = min(nprobe, self.centroids.shape[0])
-        centroid_distance = ((self.centroids - query) ** 2).sum(axis=1)
-        probe_cells = np.argsort(centroid_distance)[:nprobe]
-        candidates = np.concatenate([self._cells[cell] for cell in probe_cells]) \
-            if probe_cells.size else np.zeros(0, dtype=np.int64)
-        if candidates.size == 0:
-            return np.zeros(0, dtype=np.int64), np.zeros(0)
-        scores = self.embeddings[candidates] @ query
-        k = min(k, candidates.size)
-        top = np.argpartition(-scores, k - 1)[:k]
-        order = top[np.argsort(-scores[top])]
-        return self.ids[candidates[order]], scores[order]
+        top_k = min(max(int(k), 0), num_items)
+        if num_queries == 0 or top_k == 0:
+            return _empty_batch(num_queries)
+
+        # Cell-probe assignment for the whole batch in one shot: (Q, P).
+        centroid_distance = ((queries[:, None, :] - self.centroids[None, :, :]) ** 2
+                             ).sum(axis=2)
+        probe_cells = np.argsort(centroid_distance, axis=1)[:, :nprobe]
+
+        # Compact candidate layout: each query's candidates occupy one row of
+        # width max-candidates-per-query (far below num_items for nprobe <<
+        # num_cells), laid out probed-cell by probed-cell.  `starts[q, p]` is
+        # where cell probe_cells[q, p]'s members begin in row q.
+        cell_sizes = np.array([members.size for members in self._cells],
+                              dtype=np.int64)
+        probed_sizes = cell_sizes[probe_cells]                   # (Q, P)
+        ends = np.cumsum(probed_sizes, axis=1)
+        starts = ends - probed_sizes
+        width = int(ends[:, -1].max())
+        if width == 0:                      # every probed cell is empty
+            return (np.full((num_queries, top_k), PAD_ID, dtype=np.int64),
+                    np.full((num_queries, top_k), -np.inf),
+                    np.zeros((num_queries, top_k), dtype=bool))
+        cand_scores = np.full((num_queries, width), -np.inf)
+        cand_rows = np.zeros((num_queries, width), dtype=np.int64)
+        cand_valid = np.zeros((num_queries, width), dtype=bool)
+
+        # Score cell by cell: one matmul per cell against the queries probing
+        # it, scattered into each query's row at that cell's offset.
+        for cell in range(self.centroids.shape[0]):
+            members = self._cells[cell]
+            if members.size == 0:
+                continue
+            rows, slots = np.nonzero(probe_cells == cell)
+            if rows.size == 0:
+                continue
+            columns = starts[rows, slots][:, None] + np.arange(members.size)
+            cand_scores[rows[:, None], columns] = \
+                queries[rows] @ self.embeddings[members].T
+            cand_rows[rows[:, None], columns] = members
+            cand_valid[rows[:, None], columns] = True
+
+        select = min(top_k, width)
+        top = np.argpartition(-cand_scores, select - 1, axis=1)[:, :select]
+        order = np.argsort(-np.take_along_axis(cand_scores, top, axis=1), axis=1)
+        top = np.take_along_axis(top, order, axis=1)
+        valid = np.take_along_axis(cand_valid, top, axis=1)
+        out_ids = np.where(valid, self.ids[np.take_along_axis(cand_rows, top,
+                                                              axis=1)], PAD_ID)
+        out_scores = np.where(valid,
+                              np.take_along_axis(cand_scores, top, axis=1),
+                              -np.inf)
+        if select < top_k:                  # keep the documented (Q, top_k) shape
+            pad = top_k - select
+            out_ids = np.pad(out_ids, ((0, 0), (0, pad)),
+                             constant_values=PAD_ID)
+            out_scores = np.pad(out_scores, ((0, 0), (0, pad)),
+                                constant_values=-np.inf)
+            valid = np.pad(valid, ((0, 0), (0, pad)), constant_values=False)
+        return out_ids, out_scores, valid
 
     def recall_at_k(self, queries: np.ndarray, k: int) -> float:
         """Average recall@k against exact search over the same embeddings."""
         if self.embeddings is None or self.ids is None:
             raise RuntimeError("index not built; call build() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[0] == 0:
+            return 0.0
         exact = ExactIndex(self.embeddings, self.ids)
+        approx_ids, _, approx_valid = self._search_batch(queries, k, None)
+        exact_ids, _, _ = exact._search_batch(queries, k)
         recalls = []
-        for query in np.atleast_2d(queries):
-            approx_ids, _ = self.search(query, k)
-            exact_ids, _ = exact.search(query, k)
-            if exact_ids.size == 0:
+        for row in range(queries.shape[0]):
+            truth = exact_ids[row]
+            if truth.size == 0:
                 continue
-            recalls.append(len(set(approx_ids) & set(exact_ids)) / exact_ids.size)
+            found = approx_ids[row][approx_valid[row]]
+            recalls.append(len(set(found) & set(truth)) / truth.size)
         return float(np.mean(recalls)) if recalls else 0.0

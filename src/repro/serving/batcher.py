@@ -1,0 +1,107 @@
+"""Micro-batching front end for the online server.
+
+Production serving tiers do not run one model invocation per request: a thin
+front end accumulates concurrent requests into micro-batches and dispatches
+each batch through the vectorized path, trading a bounded assembly wait for a
+much higher per-machine throughput.  :class:`RequestBatcher` reproduces that
+policy in-process with the two standard knobs:
+
+* ``max_batch_size`` — a batch is dispatched as soon as it is full,
+* ``max_wait_ms`` — a partial batch is dispatched once its oldest request
+  has waited this long (checked on the next ``submit``; call ``flush()`` to
+  force out stragglers, e.g. at stream end).
+
+Time is injectable (``submit(..., now_ms=...)``) so tests and simulations can
+drive the wait-timeout policy with a deterministic clock; by default the real
+monotonic clock is used.  Responses come back in submission order from
+:meth:`~repro.serving.server.OnlineServer.serve_batch`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class BatcherStats:
+    """Accounting for batch formation (sizes and flush reasons)."""
+
+    submitted: int = 0
+    served: int = 0
+    batches: int = 0
+    flushed_full: int = 0
+    flushed_wait: int = 0
+    flushed_manual: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.served / self.batches if self.batches else 0.0
+
+
+class RequestBatcher:
+    """Accumulates requests and serves them through ``serve_batch``."""
+
+    def __init__(self, server, max_batch_size: int = 32,
+                 max_wait_ms: float = 5.0, k: int = 10):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.server = server
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.k = k
+        self.stats = BatcherStats()
+        self._pending: List[Tuple[int, int]] = []
+        self._oldest_ms: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> List[Tuple[int, int]]:
+        """The requests waiting for the next batch (submission order)."""
+        return list(self._pending)
+
+    def submit(self, user_id: int, query_id: int,
+               now_ms: Optional[float] = None) -> List:
+        """Enqueue one request; returns any results a flush produced.
+
+        An empty list means the request is parked in the current partial
+        batch; a non-empty list holds the :class:`ServeResult` objects of
+        every request in the batch(es) dispatched by this submission.
+        """
+        now = now_ms if now_ms is not None else time.perf_counter() * 1000.0
+        results: List = []
+        if (self._pending and self._oldest_ms is not None
+                and now - self._oldest_ms >= self.max_wait_ms):
+            results.extend(self._flush("wait"))
+        if not self._pending:
+            self._oldest_ms = now
+        self._pending.append((int(user_id), int(query_id)))
+        self.stats.submitted += 1
+        if len(self._pending) >= self.max_batch_size:
+            results.extend(self._flush("full"))
+        return results
+
+    def flush(self) -> List:
+        """Dispatch the current partial batch immediately (stream end)."""
+        return self._flush("manual")
+
+    def _flush(self, reason: str) -> List:
+        if not self._pending:
+            return []
+        batch, self._pending = self._pending, []
+        self._oldest_ms = None
+        results = self.server.serve_batch(batch, k=self.k)
+        self.stats.batches += 1
+        self.stats.served += len(batch)
+        if reason == "full":
+            self.stats.flushed_full += 1
+        elif reason == "wait":
+            self.stats.flushed_wait += 1
+        else:
+            self.stats.flushed_manual += 1
+        return results

@@ -4,18 +4,35 @@
 visited neighbors for each user and query nodes, thus avoiding the overhead
 for the aggregation operation ... the cache updating is fully asynchronous
 from users' timely requests."  The cache below stores up to ``capacity``
-neighbors per (node type, node id), evicts least-recently-updated entries
+neighbors per (node type, node id), evicts least-recently-touched entries
 when the number of cached nodes exceeds ``max_nodes``, and tracks hit / miss
 / refresh statistics so the serving benchmarks can attribute latency.
+
+:meth:`NeighborCache.get_batch` / :meth:`NeighborCache.put_batch` process
+keys in order with exactly the same accounting as a loop of single-key calls
+— use them for bulk maintenance (pre-warming, bulk refresh).  The serving
+hot path itself interleaves per-request get/put so that a cache miss filled
+for one request is a hit for the next request in the same batch, keeping
+batched statistics identical to sequential serving.  The paper's
+asynchronous refresh is modelled by a refresh queue: producers call
+:meth:`NeighborCache.enqueue_refresh` at any time, and the serving loop
+drains the queue between request batches with
+:meth:`NeighborCache.drain_refreshes` — updates never sit on the request
+critical path.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: One cached neighbor: (neighbor_type, neighbor_id, weight).
+Neighbor = Tuple[str, int, float]
+#: Cache key: (node_type, node_id).
+CacheKey = Tuple[str, int]
 
 
 @dataclass
@@ -43,15 +60,17 @@ class NeighborCache:
             raise ValueError("max_nodes must be positive")
         self.capacity = capacity
         self.max_nodes = max_nodes
-        self._entries: "OrderedDict[Tuple[str, int], List[Tuple[str, int, float]]]" = \
-            OrderedDict()
+        self._entries: "OrderedDict[CacheKey, List[Neighbor]]" = OrderedDict()
+        self._refresh_queue: Deque[Tuple[str, int, List[Neighbor]]] = deque()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, node_type: str, node_id: int
-            ) -> Optional[List[Tuple[str, int, float]]]:
+    # ------------------------------------------------------------------ #
+    # Single-key operations
+    # ------------------------------------------------------------------ #
+    def get(self, node_type: str, node_id: int) -> Optional[List[Neighbor]]:
         """Cached neighbors ``[(neighbor_type, neighbor_id, weight), ...]``."""
         key = (node_type, int(node_id))
         entry = self._entries.get(key)
@@ -63,7 +82,7 @@ class NeighborCache:
         return list(entry)
 
     def put(self, node_type: str, node_id: int,
-            neighbors: Sequence[Tuple[str, int, float]]) -> None:
+            neighbors: Sequence[Neighbor]) -> None:
         """Refresh the cached neighbors of one node (async update path)."""
         key = (node_type, int(node_id))
         trimmed = list(neighbors)[: self.capacity]
@@ -75,7 +94,7 @@ class NeighborCache:
             self.stats.evictions += 1
 
     def update_visit(self, node_type: str, node_id: int,
-                     neighbor: Tuple[str, int, float]) -> None:
+                     neighbor: Neighbor) -> None:
         """Record a newly visited neighbor, keeping only the k most recent."""
         key = (node_type, int(node_id))
         entry = self._entries.get(key, [])
@@ -85,12 +104,62 @@ class NeighborCache:
         # put() counts this as a refresh; that is intentional — visit updates
         # ride the same asynchronous refresh path.
 
+    # ------------------------------------------------------------------ #
+    # Batched operations (bulk maintenance: pre-warming, bulk refresh)
+    # ------------------------------------------------------------------ #
+    def get_batch(self, keys: Sequence[CacheKey]
+                  ) -> List[Optional[List[Neighbor]]]:
+        """Look up many keys in order; one hit-or-miss is counted per key.
+
+        A key that appears twice is counted (and LRU-touched) twice — exactly
+        as a loop of :meth:`get` calls would, so batched serving reports the
+        same statistics as sequential serving.
+        """
+        return [self.get(node_type, node_id) for node_type, node_id in keys]
+
+    def put_batch(self, entries: Sequence[Tuple[str, int, Sequence[Neighbor]]]
+                  ) -> None:
+        """Refresh many nodes in order (equivalent to a loop of puts)."""
+        for node_type, node_id, neighbors in entries:
+            self.put(node_type, node_id, neighbors)
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous refresh queue
+    # ------------------------------------------------------------------ #
+    def enqueue_refresh(self, node_type: str, node_id: int,
+                        neighbors: Sequence[Neighbor]) -> None:
+        """Queue a neighbor refresh to be applied off the critical path."""
+        self._refresh_queue.append((node_type, int(node_id), list(neighbors)))
+
+    @property
+    def pending_refreshes(self) -> int:
+        """Number of queued refreshes not yet applied."""
+        return len(self._refresh_queue)
+
+    def drain_refreshes(self, limit: Optional[int] = None) -> int:
+        """Apply up to ``limit`` queued refreshes (all when ``limit=None``).
+
+        The serving loop calls this between request batches, which is how the
+        paper's "fully asynchronous" cache updating is modelled: requests
+        only ever read the cache; writes happen here.  Returns the number of
+        refreshes applied.
+        """
+        applied = 0
+        while self._refresh_queue and (limit is None or applied < limit):
+            node_type, node_id, neighbors = self._refresh_queue.popleft()
+            self.put(node_type, node_id, neighbors)
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------ #
+    # Warm-up and reporting
+    # ------------------------------------------------------------------ #
     def warm(self, graph, node_type: str, node_ids: Sequence[int],
              k: Optional[int] = None) -> None:
         """Pre-populate the cache from the graph's highest-weight neighbors."""
         k = k if k is not None else self.capacity
         for node_id in node_ids:
-            neighbors: List[Tuple[str, int, float]] = []
+            neighbors: List[Neighbor] = []
             for spec, ids, weights in graph.neighbors(node_type, int(node_id)):
                 neighbors.extend((spec.dst_type, int(i), float(w))
                                  for i, w in zip(ids, weights))

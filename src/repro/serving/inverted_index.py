@@ -83,6 +83,16 @@ class InvertedIndex:
             return []
         return posting[: (k if k is not None else self.posting_length)]
 
+    def lookup_batch(self, query_ids: Sequence[int], k: Optional[int] = None
+                     ) -> List[List[Tuple[int, float]]]:
+        """Posting lists for many queries in order (the batched serving path).
+
+        Counts one lookup (and miss, where applicable) per query id, exactly
+        as a loop of :meth:`lookup` calls would, so batched and sequential
+        serving report identical index statistics.
+        """
+        return [self.lookup(query_id, k) for query_id in query_ids]
+
     def metadata(self, item_id: int) -> Optional[ItemMetadata]:
         """Second-layer metadata lookup."""
         return self._metadata.get(int(item_id))

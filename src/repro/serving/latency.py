@@ -8,6 +8,14 @@ delay governed by utilisation.  :class:`LatencySimulator` implements an M/M/c
 (Erlang-C) model over the per-request service time measured from the serving
 stack, so the Fig. 9 bench reproduces the curve from first principles instead
 of hard-coding it.
+
+Micro-batched serving is modelled on top of the same queue: a batch of ``b``
+requests is one job whose service time follows the affine profile
+``s(b) = fixed_ms + per_request_ms * b`` (:class:`BatchServiceProfile`,
+calibrated from measured per-batch service times), arriving at rate
+``qps / b``.  Each request additionally waits an average ``(b - 1) / (2 qps)``
+seconds for its batch to fill, so sweeping the batch size trades assembly
+delay against amortised service time (:meth:`LatencySimulator.batch_sweep`).
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 
 @dataclass
@@ -35,16 +45,37 @@ class LatencyBreakdown:
         return self.service_ms + self.queueing_ms
 
 
+@dataclass
+class BatchServiceProfile:
+    """Affine service-time model for one micro-batch: ``fixed + per_req * b``.
+
+    ``fixed_ms`` is the per-batch overhead (dispatch, cache pass, result
+    assembly); ``per_request_ms`` is the marginal cost of one more request in
+    the batch (one more row in the embedding matrix / ANN matmul).
+    """
+
+    fixed_ms: float
+    per_request_ms: float
+
+    def batch_service_ms(self, batch_size: int) -> float:
+        """Predicted service time (ms) for one batch of the given size."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        return self.fixed_ms + self.per_request_ms * batch_size
+
+
 class LatencySimulator:
     """M/M/c response-time model over a measured per-request service time."""
 
-    def __init__(self, num_servers: int = 64, service_time_ms: float = 2.5):
+    def __init__(self, num_servers: int = 64, service_time_ms: float = 2.5,
+                 batch_profile: Optional[BatchServiceProfile] = None):
         if num_servers <= 0:
             raise ValueError("num_servers must be positive")
         if service_time_ms <= 0:
             raise ValueError("service_time_ms must be positive")
         self.num_servers = num_servers
         self.service_time_ms = service_time_ms
+        self.batch_profile = batch_profile
 
     # ------------------------------------------------------------------ #
     # Queueing model
@@ -74,13 +105,31 @@ class LatencySimulator:
         numerator = term_c / (1.0 - rho)
         return numerator / (summation + numerator)
 
+    #: Utilisation at which the model switches from Erlang C to the linear
+    #: saturation extension (Erlang C diverges as rho -> 1).
+    SATURATION_RHO = 0.995
+
     def expected_response_ms(self, qps: float) -> float:
-        """Mean response time (service + queueing) at the given QPS."""
+        """Mean response time (service + queueing) at the given QPS.
+
+        Below ``SATURATION_RHO`` this is the M/M/c (Erlang-C) response time.
+        At and beyond it, the curve continues linearly from the response at
+        the saturation knee, so sweeps stay plottable, finite, and — unlike
+        a fixed penalty, which the knee value can overtake just below
+        rho = 1 — monotone in QPS; the bench flags these points via
+        ``utilisation >= 1``.
+        """
         rho = self.utilisation(qps)
-        if rho >= 1.0:
-            # Saturated: report a steep (but finite) penalty so sweeps stay
-            # plottable; the bench flags these points as saturated.
-            return self.service_time_ms * (1.0 + 10.0 * (rho - 1.0) + 10.0)
+        if rho < self.SATURATION_RHO:
+            return self._erlang_response_ms(qps)
+        service_rate_per_server = 1000.0 / self.service_time_ms
+        knee_qps = self.SATURATION_RHO * self.num_servers * service_rate_per_server
+        knee_ms = self._erlang_response_ms(knee_qps)
+        return knee_ms + self.service_time_ms * 10.0 * (rho - self.SATURATION_RHO)
+
+    def _erlang_response_ms(self, qps: float) -> float:
+        """Unsaturated M/M/c response time: service + Erlang-C queueing delay."""
+        rho = self.utilisation(qps)
         probability_wait = self._erlang_c(qps)
         service_rate_per_server = 1000.0 / self.service_time_ms
         queueing_ms = probability_wait / (self.num_servers * service_rate_per_server
@@ -99,8 +148,72 @@ class LatencySimulator:
         return rows
 
     # ------------------------------------------------------------------ #
+    # Batched serving
+    # ------------------------------------------------------------------ #
+    def batched_response_ms(self, qps: float, batch_size: int) -> float:
+        """Mean per-request response time (ms) under micro-batched serving.
+
+        A batch of ``batch_size`` requests is one M/M/c job arriving at rate
+        ``qps / batch_size`` with service time from the batch profile (when
+        no profile has been calibrated, batching is assumed to amortise
+        nothing: ``s(b) = service_time_ms * b``).  On top of the queueing
+        response each request waits on average ``(b - 1) / (2 qps)`` seconds
+        for its batch to fill.
+        """
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        profile = self.batch_profile or BatchServiceProfile(
+            fixed_ms=0.0, per_request_ms=self.service_time_ms)
+        service_ms = max(profile.batch_service_ms(batch_size), 1e-9)
+        assembly_ms = (batch_size - 1) / (2.0 * qps) * 1000.0
+        batch_queue = LatencySimulator(num_servers=self.num_servers,
+                                       service_time_ms=service_ms)
+        return assembly_ms + batch_queue.expected_response_ms(qps / batch_size)
+
+    def batch_sweep(self, qps: float, batch_sizes: Sequence[int]
+                    ) -> List[Dict[str, float]]:
+        """Batch-size-versus-latency curve at a fixed QPS (Fig. 9 extension)."""
+        profile = self.batch_profile or BatchServiceProfile(
+            fixed_ms=0.0, per_request_ms=self.service_time_ms)
+        rows = []
+        for batch_size in batch_sizes:
+            service_ms = profile.batch_service_ms(batch_size)
+            rows.append({
+                "batch_size": int(batch_size),
+                "batch_service_ms": round(service_ms, 4),
+                "assembly_ms": round((batch_size - 1) / (2.0 * qps) * 1000.0, 4),
+                "response_ms": round(self.batched_response_ms(qps, batch_size), 4),
+            })
+        return rows
+
+    # ------------------------------------------------------------------ #
     # Calibration
     # ------------------------------------------------------------------ #
+    def calibrate_batch_profile(self, batch_sizes: Sequence[int],
+                                measured_batch_ms: Sequence[float]
+                                ) -> BatchServiceProfile:
+        """Fit the affine batch profile to measured per-batch service times.
+
+        Needs at least two distinct batch sizes.  The fitted slope and
+        intercept are floored at a small positive value so the queueing model
+        stays well defined even on noisy measurements.
+        """
+        sizes = np.asarray(list(batch_sizes), dtype=np.float64)
+        measured = np.asarray(list(measured_batch_ms), dtype=np.float64)
+        if sizes.shape != measured.shape or sizes.size < 2:
+            raise ValueError("need measurements for at least two batch sizes")
+        if np.unique(sizes).size < 2:
+            raise ValueError("batch sizes must include two distinct values")
+        if np.any(measured <= 0):
+            raise ValueError("measured batch service times must be positive")
+        per_request, fixed = np.polyfit(sizes, measured, 1)
+        self.batch_profile = BatchServiceProfile(
+            fixed_ms=max(float(fixed), 0.0),
+            per_request_ms=max(float(per_request), 1e-6))
+        return self.batch_profile
+
     def calibrate_service_time(self, measured_ms: float) -> None:
         """Set the per-request service time from a measured value."""
         if measured_ms <= 0:

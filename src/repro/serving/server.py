@@ -1,34 +1,43 @@
 """End-to-end online serving facade (paper Sections VI and VII-E).
 
-For a request ``(user, query)`` the server:
+The serving pipeline is **batch-first**: :meth:`OnlineServer.serve_batch`
+drives a whole micro-batch of ``(user, query)`` requests through four stages,
 
-1. reads the user's and query's cached neighbors (the k last-visited
-   neighbors; a miss falls back to a graph lookup and refreshes the cache),
-2. computes the request embedding with the *serving-time simplification* the
-   paper describes — only the edge-level attention part of the multi-level
-   attention module is kept, and the aggregation uses the cached neighbors
-   instead of fresh sampling,
-3. retrieves candidates from the inverted index (if the query has a posting
-   list) or the ANN index over item embeddings,
-4. returns the top-k items together with a latency breakdown.
+1. drain the cache's asynchronous refresh queue, then read every request's
+   cached neighbors (k last-visited; a miss falls back to a graph lookup and
+   refreshes the cache) — per-key accounting matches sequential serving,
+2. assemble the request-embedding matrix with the *serving-time
+   simplification* the paper describes — only the edge-level attention part
+   of the multi-level attention module is kept, and the aggregation uses the
+   cached neighbors instead of fresh sampling,
+3. retrieve candidates: requests whose query has a posting list read the
+   two-layer inverted index; the rest share one vectorized
+   ``search_batch`` over the ANN index (optionally sharded across
+   ``num_shards`` partitions of the item corpus),
+4. return per-request top-k items with an amortised latency breakdown
+   (each stage's wall time divided by the batch size).
 
-The per-request service time measured here calibrates the
-:class:`~repro.serving.latency.LatencySimulator` used for the Fig. 9 sweep.
+``serve`` is a thin batch-of-one wrapper over ``serve_batch``, so batched
+and sequential serving return identical ids, scores, and cache statistics.
+The per-request and per-batch service times measured here calibrate the
+:class:`~repro.serving.latency.LatencySimulator` used for the Fig. 9 sweep
+and its batch-size extension.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.models.base import RetrievalModel
-from repro.serving.ann import IVFIndex
+from repro.serving.ann import IVFIndex, strip_padding
 from repro.serving.cache import NeighborCache
 from repro.serving.inverted_index import InvertedIndex
 from repro.serving.latency import LatencyBreakdown, LatencySimulator
+from repro.serving.sharding import ShardedIndex
 
 
 @dataclass
@@ -49,7 +58,10 @@ class OnlineServer:
     def __init__(self, model: RetrievalModel, cache_capacity: int = 30,
                  ann_cells: int = 16, ann_nprobe: int = 3,
                  posting_length: int = 100, num_servers: int = 64,
-                 use_inverted_index: bool = True, seed: int = 0):
+                 use_inverted_index: bool = True, num_shards: int = 1,
+                 seed: int = 0):
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
         self.model = model
         self.graph = model.graph
         self.cache = NeighborCache(capacity=cache_capacity)
@@ -58,8 +70,19 @@ class OnlineServer:
         self.item_type = model.item_node_type()
         self.query_type = model.query_node_type()
         self._item_embeddings = model.item_embeddings()
-        self.ann = IVFIndex(num_cells=ann_cells, nprobe=ann_nprobe, seed=seed)
-        self.ann.build(self._item_embeddings)
+        self.num_shards = num_shards
+        if num_shards > 1:
+            # Shard the item corpus; each shard runs its own IVF index and
+            # per-shard top-k lists are merged into the global top-k.
+            self.ann = ShardedIndex(
+                num_shards=num_shards,
+                index_factory=lambda embeddings, ids: IVFIndex(
+                    num_cells=ann_cells, nprobe=ann_nprobe,
+                    seed=seed).build(embeddings, ids),
+            ).build(self._item_embeddings)
+        else:
+            self.ann = IVFIndex(num_cells=ann_cells, nprobe=ann_nprobe,
+                                seed=seed).build(self._item_embeddings)
         self.latency_model = LatencySimulator(num_servers=num_servers)
         self._request_embedding_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self._served = 0
@@ -86,52 +109,93 @@ class OnlineServer:
     # Online path
     # ------------------------------------------------------------------ #
     def serve(self, user_id: int, query_id: int, k: int = 10) -> ServeResult:
-        """Serve one retrieval request and measure its latency breakdown."""
+        """Serve one retrieval request (a batch of one through serve_batch)."""
+        return self.serve_batch([(user_id, query_id)], k=k)[0]
+
+    def serve_batch(self, requests: Sequence[Tuple[int, int]],
+                    k: int = 10) -> List[ServeResult]:
+        """Serve a micro-batch of ``(user, query)`` requests.
+
+        Returns one :class:`ServeResult` per request, in request order, with
+        each latency stage amortised over the batch.  Results (ids, scores,
+        cache/index statistics) are identical to serving the same requests
+        one at a time.
+        """
         from repro.graph.schema import NodeType
 
+        requests = [(int(user_id), int(query_id))
+                    for user_id, query_id in requests]
+        if not requests:
+            return []
+        batch = len(requests)
+
+        # Stage 1 — apply queued async refreshes, then read the caches.
+        # Misses fall back to the graph and refresh the cache inline, in the
+        # same per-request order a sequential loop would use.
         start = time.perf_counter()
-        for node_type, node_id in ((NodeType.USER, user_id),
-                                   (self.query_type, query_id)):
-            if self.cache.get(node_type, node_id) is None:
-                neighbors: List[Tuple[str, int, float]] = []
-                for spec, ids, weights in self.graph.neighbors(node_type,
-                                                               int(node_id)):
-                    neighbors.extend((spec.dst_type, int(i), float(w))
-                                     for i, w in zip(ids, weights))
-                neighbors.sort(key=lambda entry: -entry[2])
-                self.cache.put(node_type, node_id, neighbors)
+        self.cache.drain_refreshes()
+        for user_id, query_id in requests:
+            for node_type, node_id in ((NodeType.USER, user_id),
+                                       (self.query_type, query_id)):
+                if self.cache.get(node_type, node_id) is None:
+                    self.cache.warm(self.graph, node_type, [node_id])
         cache_ms = (time.perf_counter() - start) * 1000.0
 
+        # Stage 2 — request-embedding matrix (edge-level attention only).
         start = time.perf_counter()
-        key = (int(user_id), int(query_id))
-        request_embedding = self._request_embedding_cache.get(key)
-        if request_embedding is None:
-            request_embedding = self.model.request_embedding(user_id, query_id)
-            self._request_embedding_cache[key] = request_embedding
+        request_matrix = self._request_embeddings(requests)
         attention_ms = (time.perf_counter() - start) * 1000.0
 
+        # Stage 3 — retrieval: inverted-index reads where possible, one
+        # shared vectorized ANN search for the rest.
         start = time.perf_counter()
-        from_index = False
+        item_ids: List[Optional[np.ndarray]] = [None] * batch
+        scores: List[Optional[np.ndarray]] = [None] * batch
+        from_index = [False] * batch
+        ann_rows: List[int] = []
         if self.use_inverted_index:
-            posting = self.inverted_index.lookup(query_id, k)
-            if posting:
-                item_ids = np.array([item for item, _ in posting], dtype=np.int64)
-                scores = np.array([score for _, score in posting])
-                from_index = True
-            else:
-                item_ids, scores = self.ann.search(request_embedding, k)
+            postings = self.inverted_index.lookup_batch(
+                [query_id for _, query_id in requests], k)
+            for row, posting in enumerate(postings):
+                if posting:
+                    item_ids[row] = np.array([item for item, _ in posting],
+                                             dtype=np.int64)
+                    scores[row] = np.array([score for _, score in posting])
+                    from_index[row] = True
+                else:
+                    ann_rows.append(row)
         else:
-            item_ids, scores = self.ann.search(request_embedding, k)
+            ann_rows = list(range(batch))
+        if ann_rows:
+            batch_ids, batch_scores = self.ann.search_batch(
+                request_matrix[ann_rows], k)
+            for position, row in enumerate(ann_rows):
+                item_ids[row], scores[row] = strip_padding(
+                    batch_ids[position], batch_scores[position])
         ann_ms = (time.perf_counter() - start) * 1000.0
 
-        self._served += 1
-        return ServeResult(
-            user_id=int(user_id), query_id=int(query_id),
-            item_ids=item_ids, scores=scores,
-            latency=LatencyBreakdown(cache_ms=cache_ms, attention_ms=attention_ms,
-                                     ann_ms=ann_ms),
-            from_inverted_index=from_index,
-        )
+        self._served += batch
+        return [
+            ServeResult(user_id=user_id, query_id=query_id,
+                        item_ids=item_ids[row], scores=scores[row],
+                        latency=LatencyBreakdown(cache_ms=cache_ms / batch,
+                                                 attention_ms=attention_ms / batch,
+                                                 ann_ms=ann_ms / batch),
+                        from_inverted_index=from_index[row])
+            for row, (user_id, query_id) in enumerate(requests)
+        ]
+
+    def _request_embeddings(self, requests: Sequence[Tuple[int, int]]
+                            ) -> np.ndarray:
+        """Stack (and memoise) the request embeddings for a batch."""
+        rows = []
+        for key in requests:
+            embedding = self._request_embedding_cache.get(key)
+            if embedding is None:
+                embedding = self.model.request_embedding(*key)
+                self._request_embedding_cache[key] = embedding
+            rows.append(embedding)
+        return np.vstack(rows)
 
     # ------------------------------------------------------------------ #
     # Load testing
@@ -147,6 +211,31 @@ class OnlineServer:
             durations.append(result.latency.service_ms)
         return float(np.median(durations))
 
+    def measure_batched_service_time(self, requests: Sequence[Tuple[int, int]],
+                                     batch_size: int, k: int = 10,
+                                     min_batches: int = 3) -> float:
+        """Median service time (ms) of full batches of exactly ``batch_size``.
+
+        The calibration set is cycled so every measured batch is full — a
+        short final chunk would otherwise be attributed to the wrong batch
+        size and skew the affine profile fit in :meth:`batch_size_sweep`.
+        """
+        if not requests:
+            raise ValueError("need at least one request to measure")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        requests = list(requests)
+        num_batches = max(min_batches,
+                          -(-len(requests) // batch_size))   # ceil division
+        durations = []
+        for index in range(num_batches):
+            chunk = [requests[(index * batch_size + offset) % len(requests)]
+                     for offset in range(batch_size)]
+            start = time.perf_counter()
+            self.serve_batch(chunk, k)
+            durations.append((time.perf_counter() - start) * 1000.0)
+        return float(np.median(durations))
+
     def qps_sweep(self, qps_values: Sequence[float],
                   calibration_requests: Sequence[Tuple[int, int]],
                   k: int = 10) -> List[Dict[str, float]]:
@@ -154,3 +243,19 @@ class OnlineServer:
         service_ms = self.measure_service_time(calibration_requests, k)
         self.latency_model.calibrate_service_time(service_ms)
         return self.latency_model.sweep(qps_values)
+
+    def batch_size_sweep(self, qps: float,
+                         calibration_requests: Sequence[Tuple[int, int]],
+                         batch_sizes: Sequence[int], k: int = 10
+                         ) -> List[Dict[str, float]]:
+        """Batch-size-versus-latency sweep at a fixed QPS (Fig. 9 extension).
+
+        Measures the real per-batch service time of ``serve_batch`` at each
+        batch size, fits the affine batch profile, and sweeps the queueing
+        model.  Needs at least two distinct batch sizes.
+        """
+        measured = [self.measure_batched_service_time(calibration_requests,
+                                                      batch_size, k)
+                    for batch_size in batch_sizes]
+        self.latency_model.calibrate_batch_profile(batch_sizes, measured)
+        return self.latency_model.batch_sweep(qps, batch_sizes)

@@ -1,0 +1,113 @@
+"""Sharded ANN serving: partition the item corpus, fan out, merge top-k.
+
+The paper's serving tier spreads the inverted index and item embeddings over
+many machines; response time stays flat as the corpus grows because each
+query fans out to every shard and only the per-shard top-k lists travel back
+for the merge.  :class:`ShardedIndex` reproduces that layout in-process:
+
+* item embeddings are partitioned round-robin across ``num_shards`` shards
+  (round-robin keeps shard sizes within one item of each other and spreads
+  any locality in the id space),
+* ``search_batch`` runs the batched search on every shard and merges the
+  per-shard ``(Q, k)`` score blocks with one concatenate + argpartition,
+* the merged results are exactly the global top-k, because the true top-k
+  of the union is contained in the union of per-shard top-k lists.
+
+A shard is any object with a ``search_batch(queries, k) -> (ids, scores)``
+method whose rows are right-padded with ``(PAD_ID, -inf)`` when short (both
+:class:`~repro.serving.ann.ExactIndex` and
+:class:`~repro.serving.ann.IVFIndex` qualify).  The ``index_factory``
+callable chooses the per-shard index type.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.ann import PAD_ID, ExactIndex, _as_query_matrix
+
+#: Builds one shard from its slice of (embeddings, ids).
+IndexFactory = Callable[[np.ndarray, np.ndarray], object]
+
+
+class ShardedIndex:
+    """Partitions item embeddings across shards and merges per-shard top-k."""
+
+    def __init__(self, num_shards: int = 4,
+                 index_factory: Optional[IndexFactory] = None):
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self.index_factory: IndexFactory = index_factory or ExactIndex
+        self.shards: List[object] = []
+        self._shard_sizes: List[int] = []
+        self._num_items = 0
+
+    def __len__(self) -> int:
+        return self._num_items
+
+    @property
+    def shard_sizes(self) -> List[int]:
+        """Number of items on each shard (balanced to within one item)."""
+        return list(self._shard_sizes)
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    def build(self, embeddings: np.ndarray,
+              ids: Optional[Sequence[int]] = None) -> "ShardedIndex":
+        """Partition the corpus round-robin and build one index per shard."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[0] == 0:
+            raise ValueError("embeddings must be a non-empty 2-D array")
+        ids = np.asarray(ids, dtype=np.int64) if ids is not None \
+            else np.arange(embeddings.shape[0])
+        self._num_items = embeddings.shape[0]
+        shards = min(self.num_shards, self._num_items)
+        self.num_shards = shards            # never more shards than items
+        self.shards = []
+        self._shard_sizes = []
+        positions = np.arange(self._num_items)
+        for shard in range(shards):
+            local = positions[positions % shards == shard]
+            self.shards.append(self.index_factory(embeddings[local], ids[local]))
+            self._shard_sizes.append(int(local.size))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Global top-k for one query (batch-of-one wrapper)."""
+        from repro.serving.ann import strip_padding
+        query = np.asarray(query, dtype=np.float64)
+        ids, scores = self.search_batch(query[None, :], k)
+        return strip_padding(ids[0], scores[0])
+
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fan a ``(Q, d)`` query matrix out to every shard and merge top-k.
+
+        Returns ``(ids, scores)`` of shape ``(Q, min(k, n))`` with the same
+        ``(PAD_ID, -inf)`` right-padding convention as the shard indexes.
+        """
+        if not self.shards:
+            raise RuntimeError("index not built; call build() first")
+        queries = _as_query_matrix(queries)
+        num_queries = queries.shape[0]
+        top_k = min(max(int(k), 0), self._num_items)
+        if num_queries == 0 or top_k == 0:
+            return (np.zeros((num_queries, 0), dtype=np.int64),
+                    np.zeros((num_queries, 0)))
+        blocks = [shard.search_batch(queries, k) for shard in self.shards]
+        ids = np.concatenate([b[0] for b in blocks], axis=1)      # (Q, <= S*k)
+        scores = np.concatenate([b[1] for b in blocks], axis=1)
+        # Padding rides along as (-1, -inf) and loses every comparison, so a
+        # plain top-k over the concatenated blocks merges correctly.
+        top = np.argpartition(-scores, top_k - 1, axis=1)[:, :top_k]
+        order = np.argsort(-np.take_along_axis(scores, top, axis=1), axis=1)
+        top = np.take_along_axis(top, order, axis=1)
+        return (np.take_along_axis(ids, top, axis=1),
+                np.take_along_axis(scores, top, axis=1))

@@ -111,6 +111,21 @@ class TestANN:
         with pytest.raises(ValueError):
             ExactIndex(np.zeros(3))
 
+    def test_exact_k_larger_than_corpus_returns_all(self):
+        embeddings = self._embeddings(7, 4)
+        ids, scores = ExactIndex(embeddings).search(embeddings[0], k=100)
+        assert ids.shape == (7,)
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_ivf_k_larger_than_probed_candidates(self):
+        """A single-query search never returns padding, only real hits."""
+        embeddings = self._embeddings(50, 4)
+        index = IVFIndex(num_cells=10, nprobe=1, seed=0).build(embeddings)
+        ids, scores = index.search(embeddings[0], k=50)
+        assert 0 < ids.size <= 50
+        assert (ids >= 0).all()
+        assert np.isfinite(scores).all()
+
 
 class TestInvertedIndex:
     def test_posting_lookup_and_order(self):
@@ -156,6 +171,15 @@ class TestLatencySimulator:
         low = simulator.expected_response_ms(1000)
         high = simulator.expected_response_ms(10000)
         assert high / low < 2.0
+
+    def test_monotone_across_saturation_boundary(self):
+        """Regression: the curve must not dip where Erlang C hands over to
+        the saturation extension (hypothesis found servers=6,
+        service=1.40625 ms dipping between 4199 and 4267 QPS)."""
+        simulator = LatencySimulator(num_servers=6, service_time_ms=1.40625)
+        qps_values = np.linspace(3500.0, 6000.0, 200)
+        times = [simulator.expected_response_ms(q) for q in qps_values]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
 
     def test_saturation_flagged_with_large_penalty(self):
         simulator = LatencySimulator(num_servers=1, service_time_ms=10.0)

@@ -1,0 +1,493 @@
+"""Regression-grade tests for the batched, sharded serving engine.
+
+Four families of guarantees:
+
+* **Equivalence** — ``search_batch`` exactly matches looped single-query
+  ``search`` for every index type, and ``OnlineServer.serve_batch`` matches
+  one-at-a-time ``serve`` (ids, scores, cache and index statistics deltas).
+* **Quality regression** — ``IVFIndex`` recall@10 against ``ExactIndex`` on a
+  fixed-seed corpus is pinned above a threshold so index changes cannot
+  silently degrade retrieval.
+* **Cache invariants** — randomized workloads never violate the per-node
+  capacity, the ``max_nodes`` bound with least-recently-touched eviction, or
+  ``hits + misses == lookups`` accounting; the async refresh queue applies
+  exactly what was enqueued.
+* **Edge cases** — k larger than the corpus or a shard, empty IVF cells,
+  batch size one, the empty batch, and malformed query shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import STAMPModel
+from repro.serving import (
+    BatchServiceProfile,
+    ExactIndex,
+    IVFIndex,
+    LatencySimulator,
+    NeighborCache,
+    OnlineServer,
+    RequestBatcher,
+    ShardedIndex,
+    strip_padding,
+)
+
+
+def _corpus(n=200, d=8, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+def _assert_rows_match_looped(index, queries, k):
+    """search_batch rows must exactly equal the looped single-query search."""
+    batch_ids, batch_scores = index.search_batch(queries, k)
+    for row, query in enumerate(queries):
+        row_ids, row_scores = strip_padding(batch_ids[row], batch_scores[row])
+        single_ids, single_scores = index.search(query, k)
+        np.testing.assert_array_equal(single_ids, row_ids)
+        np.testing.assert_allclose(single_scores, row_scores)
+
+
+class TestSearchBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_batched_matches_sequential(self, seed):
+        embeddings = _corpus(seed=seed)
+        queries = np.random.default_rng(100 + seed).normal(size=(13, 8))
+        _assert_rows_match_looped(ExactIndex(embeddings), queries, k=10)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_ivf_batched_matches_sequential(self, seed):
+        embeddings = _corpus(seed=seed)
+        queries = np.random.default_rng(200 + seed).normal(size=(13, 8))
+        index = IVFIndex(num_cells=8, nprobe=3, seed=seed).build(embeddings)
+        _assert_rows_match_looped(index, queries, k=10)
+
+    @pytest.mark.parametrize("factory", [
+        ExactIndex,
+        lambda emb, ids: IVFIndex(num_cells=4, nprobe=2, seed=0).build(emb, ids),
+    ], ids=["exact-shards", "ivf-shards"])
+    def test_sharded_batched_matches_sequential(self, factory):
+        embeddings = _corpus()
+        queries = np.random.default_rng(7).normal(size=(9, 8))
+        index = ShardedIndex(num_shards=4, index_factory=factory).build(embeddings)
+        _assert_rows_match_looped(index, queries, k=10)
+
+    def test_batch_of_one_matches_single(self):
+        embeddings = _corpus()
+        query = np.random.default_rng(3).normal(size=8)
+        for index in (ExactIndex(embeddings),
+                      IVFIndex(num_cells=8, nprobe=3).build(embeddings),
+                      ShardedIndex(num_shards=3).build(embeddings)):
+            batch_ids, batch_scores = index.search_batch(query[None, :], 10)
+            single_ids, single_scores = index.search(query, 10)
+            np.testing.assert_array_equal(
+                single_ids, strip_padding(batch_ids[0], batch_scores[0])[0])
+            np.testing.assert_allclose(single_scores,
+                                       batch_scores[0][:single_scores.size])
+
+    def test_batch_results_independent_of_batch_composition(self):
+        """A query's row must not depend on what else is in the batch."""
+        embeddings = _corpus()
+        queries = np.random.default_rng(11).normal(size=(6, 8))
+        index = IVFIndex(num_cells=8, nprobe=3).build(embeddings)
+        full_ids, full_scores = index.search_batch(queries, 10)
+        half_ids, half_scores = index.search_batch(queries[:3], 10)
+        np.testing.assert_array_equal(full_ids[:3], half_ids)
+        np.testing.assert_allclose(full_scores[:3], half_scores)
+
+
+class TestSearchEdgeCases:
+    def test_empty_query_batch(self):
+        embeddings = _corpus()
+        for index in (ExactIndex(embeddings),
+                      IVFIndex(num_cells=4).build(embeddings),
+                      ShardedIndex(num_shards=2).build(embeddings)):
+            ids, scores = index.search_batch(np.zeros((0, 8)), 5)
+            assert ids.shape == (0, 0) and scores.shape == (0, 0)
+
+    def test_k_larger_than_corpus(self):
+        embeddings = _corpus(n=12)
+        ids, scores = ExactIndex(embeddings).search(np.ones(8), k=50)
+        assert ids.shape == (12,)
+        sharded_ids, _ = ShardedIndex(num_shards=3).build(embeddings).search(
+            np.ones(8), k=50)
+        assert sharded_ids.shape == (12,)
+        assert set(sharded_ids) == set(ids)
+
+    def test_k_larger_than_any_shard(self):
+        """Per-shard top-k must still merge into the exact global top-k."""
+        embeddings = _corpus(n=40)
+        query = np.random.default_rng(5).normal(size=8)
+        exact_ids, exact_scores = ExactIndex(embeddings).search(query, k=15)
+        sharded = ShardedIndex(num_shards=8).build(embeddings)   # 5 items/shard
+        sharded_ids, sharded_scores = sharded.search(query, k=15)
+        np.testing.assert_array_equal(exact_ids, sharded_ids)
+        np.testing.assert_allclose(exact_scores, sharded_scores)
+
+    def test_k_zero_returns_empty(self):
+        embeddings = _corpus(n=10)
+        for index in (ExactIndex(embeddings),
+                      IVFIndex(num_cells=2).build(embeddings)):
+            ids, scores = index.search(np.ones(8), k=0)
+            assert ids.size == 0 and scores.size == 0
+
+    def test_ivf_short_rows_are_padded(self):
+        """Queries probing small cells pad with (-1, -inf), stripped cleanly."""
+        embeddings = _corpus(n=30)
+        index = IVFIndex(num_cells=10, nprobe=1, seed=0).build(embeddings)
+        ids, scores = index.search_batch(
+            np.random.default_rng(1).normal(size=(8, 8)), k=25)
+        padded = (ids == -1)
+        assert np.isneginf(scores[padded]).all()
+        for row in range(ids.shape[0]):
+            row_ids, row_scores = strip_padding(ids[row], scores[row])
+            assert (row_ids >= 0).all()
+            assert np.all(np.diff(row_scores) <= 1e-12)
+
+    def test_ivf_empty_cells_from_duplicate_points(self):
+        """Duplicated points leave k-means cells empty; search must survive."""
+        embeddings = np.ones((20, 4))
+        index = IVFIndex(num_cells=6, nprobe=6, seed=0).build(embeddings)
+        ids, scores = index.search(np.ones(4), k=5)
+        assert ids.size == 5
+        assert np.allclose(scores, 4.0)
+
+    def test_one_dim_queries_rejected(self):
+        index = ExactIndex(_corpus(n=10))
+        with pytest.raises(ValueError):
+            index.search_batch(np.ones(8), 3)
+
+    def test_sharded_validation(self):
+        with pytest.raises(ValueError):
+            ShardedIndex(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedIndex(num_shards=2).build(np.zeros((0, 4)))
+        with pytest.raises(RuntimeError):
+            ShardedIndex(num_shards=2).search(np.ones(4), 3)
+
+
+class TestShardedIndex:
+    def test_round_robin_partition_is_balanced(self):
+        index = ShardedIndex(num_shards=4).build(_corpus(n=11, d=4))
+        assert len(index) == 11
+        assert sorted(index.shard_sizes) == [2, 3, 3, 3]
+
+    def test_exact_shards_merge_to_global_topk(self):
+        embeddings = _corpus(n=120, d=6)
+        queries = np.random.default_rng(9).normal(size=(10, 6))
+        global_ids, global_scores = ExactIndex(embeddings).search_batch(queries, 8)
+        merged_ids, merged_scores = ShardedIndex(num_shards=5).build(
+            embeddings).search_batch(queries, 8)
+        np.testing.assert_array_equal(global_ids, merged_ids)
+        np.testing.assert_allclose(global_scores, merged_scores)
+
+    def test_custom_ids_preserved(self):
+        embeddings = _corpus(n=30, d=4)
+        ids = np.arange(1000, 1030)
+        index = ShardedIndex(num_shards=3).build(embeddings, ids)
+        found, _ = index.search(embeddings[0], k=5)
+        assert set(found) <= set(ids)
+
+
+class TestRecallRegression:
+    """Pin IVF recall@10 so index changes cannot silently degrade retrieval."""
+
+    CORPUS_SEED = 42
+
+    def _fixtures(self):
+        rng = np.random.default_rng(self.CORPUS_SEED)
+        return rng.normal(size=(400, 16)), rng.normal(size=(50, 16))
+
+    def test_ivf_recall_at_10_above_threshold(self):
+        embeddings, queries = self._fixtures()
+        index = IVFIndex(num_cells=16, nprobe=4, seed=0).build(embeddings)
+        recall = index.recall_at_k(queries, k=10)
+        assert recall >= 0.60, f"IVF recall@10 regressed to {recall:.3f}"
+
+    def test_more_probes_raise_recall_above_higher_bar(self):
+        embeddings, queries = self._fixtures()
+        index = IVFIndex(num_cells=16, nprobe=6, seed=0).build(embeddings)
+        recall = index.recall_at_k(queries, k=10)
+        assert recall >= 0.75, f"IVF recall@10 (nprobe=6) regressed to {recall:.3f}"
+
+    def test_sharded_ivf_recall_not_below_unsharded_floor(self):
+        embeddings, queries = self._fixtures()
+        sharded = ShardedIndex(
+            num_shards=4,
+            index_factory=lambda emb, ids: IVFIndex(
+                num_cells=4, nprobe=2, seed=0).build(emb, ids),
+        ).build(embeddings)
+        exact = ExactIndex(embeddings)
+        recalls = []
+        for query in queries:
+            truth, _ = exact.search(query, 10)
+            found, _ = sharded.search(query, 10)
+            recalls.append(len(set(found) & set(truth)) / truth.size)
+        assert float(np.mean(recalls)) >= 0.60
+
+
+class TestNeighborCacheInvariants:
+    """Property-style invariants over randomized cache workloads."""
+
+    def _random_workload(self, cache, rng, operations=400):
+        lookups = 0
+        for _ in range(operations):
+            node_type = rng.choice(["user", "query"])
+            node_id = int(rng.integers(0, 40))
+            op = rng.random()
+            if op < 0.4:
+                cache.get(node_type, node_id)
+                lookups += 1
+            elif op < 0.8:
+                count = int(rng.integers(0, 12))
+                cache.put(node_type, node_id,
+                          [("item", int(rng.integers(0, 50)), float(rng.random()))
+                           for _ in range(count)])
+            else:
+                cache.update_visit(node_type, node_id,
+                                   ("item", int(rng.integers(0, 50)),
+                                    float(rng.random())))
+        return lookups
+
+    def test_capacity_never_exceeded(self, rng):
+        cache = NeighborCache(capacity=4, max_nodes=15)
+        self._random_workload(cache, rng)
+        for node_type in ("user", "query"):
+            for node_id in range(40):
+                entry = cache._entries.get((node_type, node_id))
+                if entry is not None:
+                    assert len(entry) <= 4
+
+    def test_max_nodes_never_exceeded(self, rng):
+        cache = NeighborCache(capacity=3, max_nodes=10)
+        self._random_workload(cache, rng)
+        assert len(cache) <= 10
+
+    def test_hits_plus_misses_equals_lookups(self, rng):
+        cache = NeighborCache(capacity=3, max_nodes=12)
+        lookups = self._random_workload(cache, rng)
+        assert cache.stats.hits + cache.stats.misses == lookups
+
+    def test_eviction_is_lru_by_touch(self, rng):
+        """Eviction follows least-recently-touched order (get or put).
+
+        A shadow OrderedDict replays the same workload; after every operation
+        the cache's key order must match the shadow's, so the evicted node is
+        always the least-recently-touched one.
+        """
+        from collections import OrderedDict
+        cache = NeighborCache(capacity=2, max_nodes=8)
+        shadow = OrderedDict()
+        for step in range(300):
+            node_id = int(rng.integers(0, 25))
+            if rng.random() < 0.5:
+                if cache.get("user", node_id) is not None:
+                    shadow.move_to_end(("user", node_id))
+            else:
+                cache.put("user", node_id, [("item", 1, 1.0)])
+                shadow[("user", node_id)] = True
+                shadow.move_to_end(("user", node_id))
+                while len(shadow) > 8:
+                    shadow.popitem(last=False)
+            assert list(cache._entries) == list(shadow)
+
+    def test_get_batch_counts_duplicates_like_sequential(self):
+        cache = NeighborCache(capacity=3)
+        cache.put("user", 1, [("item", 1, 1.0)])
+        results = cache.get_batch([("user", 1), ("user", 1), ("user", 2)])
+        assert results[0] == results[1] == [("item", 1, 1.0)]
+        assert results[2] is None
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_put_batch_equivalent_to_loop(self):
+        batched, looped = NeighborCache(capacity=2), NeighborCache(capacity=2)
+        entries = [("user", i, [("item", i, 1.0), ("item", i + 1, 0.5),
+                                ("item", i + 2, 0.2)]) for i in range(5)]
+        batched.put_batch(entries)
+        for node_type, node_id, neighbors in entries:
+            looped.put(node_type, node_id, neighbors)
+        assert batched._entries == looped._entries
+        assert batched.stats == looped.stats
+
+
+class TestRefreshQueue:
+    def test_enqueue_does_not_touch_cache(self):
+        cache = NeighborCache(capacity=3)
+        cache.enqueue_refresh("user", 1, [("item", 1, 1.0)])
+        assert cache.pending_refreshes == 1
+        assert len(cache) == 0
+        assert cache.stats.refreshes == 0
+
+    def test_drain_applies_in_fifo_order(self):
+        cache = NeighborCache(capacity=3)
+        cache.enqueue_refresh("user", 1, [("item", 1, 1.0)])
+        cache.enqueue_refresh("user", 1, [("item", 2, 1.0)])
+        assert cache.drain_refreshes() == 2
+        assert cache.pending_refreshes == 0
+        assert cache.get("user", 1) == [("item", 2, 1.0)]   # last write wins
+
+    def test_drain_respects_limit(self):
+        cache = NeighborCache(capacity=3)
+        for node_id in range(5):
+            cache.enqueue_refresh("user", node_id, [("item", node_id, 1.0)])
+        assert cache.drain_refreshes(limit=2) == 2
+        assert cache.pending_refreshes == 3
+        assert len(cache) == 2
+
+
+class TestServeBatchEquivalence:
+    @pytest.fixture(scope="class")
+    def model(self, tiny_graph):
+        return STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+
+    def _server(self, model, **kwargs):
+        server = OnlineServer(model, cache_capacity=5, ann_cells=4,
+                              ann_nprobe=2, **kwargs)
+        server.warm_caches(range(5), range(5))
+        server.build_inverted_index(range(5))
+        return server
+
+    @pytest.mark.parametrize("num_shards", [1, 3])
+    def test_batched_matches_sequential(self, model, num_shards):
+        requests = [(u % 10, q % 15) for u, q in zip(range(24), range(3, 27))]
+        sequential_server = self._server(model, num_shards=num_shards)
+        batched_server = self._server(model, num_shards=num_shards)
+        sequential = [sequential_server.serve(u, q, k=5) for u, q in requests]
+        batched = batched_server.serve_batch(requests, k=5)
+        assert len(batched) == len(requests)
+        for one, many in zip(sequential, batched):
+            assert (one.user_id, one.query_id) == (many.user_id, many.query_id)
+            np.testing.assert_array_equal(one.item_ids, many.item_ids)
+            np.testing.assert_allclose(one.scores, many.scores)
+            assert one.from_inverted_index == many.from_inverted_index
+        # Cache and index statistics deltas must match exactly.
+        assert sequential_server.cache.stats == batched_server.cache.stats
+        assert (sequential_server.inverted_index.lookups
+                == batched_server.inverted_index.lookups)
+        assert (sequential_server.inverted_index.misses
+                == batched_server.inverted_index.misses)
+
+    def test_empty_batch(self, model):
+        assert self._server(model).serve_batch([], k=5) == []
+
+    def test_batch_of_one(self, model):
+        server = self._server(model)
+        [result] = server.serve_batch([(0, 1)], k=5)
+        again = server.serve(0, 1, k=5)
+        np.testing.assert_array_equal(result.item_ids, again.item_ids)
+        np.testing.assert_allclose(result.scores, again.scores)
+
+    def test_queued_refreshes_applied_before_batch(self, model):
+        server = self._server(model)
+        server.cache.enqueue_refresh("user", 0, [("item", 7, 1.0)])
+        server.serve_batch([(1, 2)], k=5)
+        assert server.cache.pending_refreshes == 0
+        assert server.cache.get("user", 0) == [("item", 7, 1.0)]
+
+    def test_num_shards_validation(self, model):
+        with pytest.raises(ValueError):
+            OnlineServer(model, num_shards=0)
+
+
+class TestRequestBatcher:
+    @pytest.fixture(scope="class")
+    def server(self, tiny_graph):
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        server = OnlineServer(model, cache_capacity=5, ann_cells=4, ann_nprobe=2)
+        server.warm_caches(range(5), range(5))
+        server.build_inverted_index(range(5))
+        return server
+
+    def test_flushes_when_full(self, server):
+        batcher = RequestBatcher(server, max_batch_size=3, max_wait_ms=1e9, k=5)
+        assert batcher.submit(0, 1, now_ms=0.0) == []
+        assert batcher.submit(1, 2, now_ms=0.1) == []
+        results = batcher.submit(2, 3, now_ms=0.2)
+        assert [(r.user_id, r.query_id) for r in results] == [(0, 1), (1, 2), (2, 3)]
+        assert len(batcher) == 0
+        assert batcher.stats.flushed_full == 1
+
+    def test_flushes_on_wait_timeout(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100, max_wait_ms=5.0, k=5)
+        batcher.submit(0, 1, now_ms=0.0)
+        batcher.submit(1, 2, now_ms=1.0)
+        results = batcher.submit(2, 3, now_ms=6.0)   # oldest waited 6 ms
+        assert [(r.user_id, r.query_id) for r in results] == [(0, 1), (1, 2)]
+        assert batcher.pending == [(2, 3)]
+        assert batcher.stats.flushed_wait == 1
+
+    def test_manual_flush_and_stats(self, server):
+        batcher = RequestBatcher(server, max_batch_size=4, max_wait_ms=1e9, k=5)
+        assert batcher.flush() == []                 # nothing pending
+        batcher.submit(0, 1, now_ms=0.0)
+        results = batcher.flush()
+        assert len(results) == 1
+        assert batcher.stats.flushed_manual == 1
+        assert batcher.stats.mean_batch_size == 1.0
+
+    def test_results_match_direct_serve_batch(self, server):
+        requests = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        batcher = RequestBatcher(server, max_batch_size=4, max_wait_ms=1e9, k=5)
+        collected = []
+        for offset, (user_id, query_id) in enumerate(requests):
+            collected.extend(batcher.submit(user_id, query_id,
+                                            now_ms=float(offset)))
+        direct = server.serve_batch(requests, k=5)
+        for one, two in zip(collected, direct):
+            np.testing.assert_array_equal(one.item_ids, two.item_ids)
+
+    def test_validation(self, server):
+        with pytest.raises(ValueError):
+            RequestBatcher(server, max_batch_size=0)
+        with pytest.raises(ValueError):
+            RequestBatcher(server, max_wait_ms=-1.0)
+
+
+class TestBatchedLatencyModel:
+    def test_calibration_recovers_affine_profile(self):
+        simulator = LatencySimulator(num_servers=8)
+        profile = simulator.calibrate_batch_profile(
+            [1, 4, 16, 64], [1.2 + 0.05 * b for b in (1, 4, 16, 64)])
+        assert profile.fixed_ms == pytest.approx(1.2, rel=1e-6)
+        assert profile.per_request_ms == pytest.approx(0.05, rel=1e-6)
+
+    def test_batched_response_includes_assembly_wait(self):
+        simulator = LatencySimulator(num_servers=64,
+                                     batch_profile=BatchServiceProfile(1.0, 0.01))
+        qps = 10_000
+        response = simulator.batched_response_ms(qps, batch_size=32)
+        assembly = (32 - 1) / (2.0 * qps) * 1000.0
+        service = 1.0 + 0.01 * 32
+        assert response >= assembly + service - 1e-9
+
+    def test_amortisation_beats_per_request_queue_at_high_load(self):
+        """With a dominant fixed cost, batching must lower the response time."""
+        simulator = LatencySimulator(num_servers=4,
+                                     batch_profile=BatchServiceProfile(2.0, 0.01))
+        # Sequentially (batch of 1) each request costs ~2 ms of service, so
+        # 4 servers saturate near 2K QPS; batches of 32 amortise the fixed
+        # cost and serve 5K QPS with only a sub-ms assembly wait.
+        assert (simulator.batched_response_ms(5000, 32)
+                < simulator.batched_response_ms(5000, 1))
+
+    def test_batch_sweep_rows(self):
+        simulator = LatencySimulator(num_servers=16,
+                                     batch_profile=BatchServiceProfile(0.5, 0.02))
+        rows = simulator.batch_sweep(5000, [1, 8, 32])
+        assert [row["batch_size"] for row in rows] == [1, 8, 32]
+        for row in rows:
+            assert row["response_ms"] >= row["assembly_ms"]
+
+    def test_validation(self):
+        simulator = LatencySimulator()
+        with pytest.raises(ValueError):
+            simulator.calibrate_batch_profile([4], [1.0])
+        with pytest.raises(ValueError):
+            simulator.calibrate_batch_profile([4, 4], [1.0, 1.1])
+        with pytest.raises(ValueError):
+            simulator.calibrate_batch_profile([1, 4], [1.0, -0.1])
+        with pytest.raises(ValueError):
+            simulator.batched_response_ms(0, 4)
+        with pytest.raises(ValueError):
+            simulator.batched_response_ms(100, 0)
+        with pytest.raises(ValueError):
+            BatchServiceProfile(1.0, 0.1).batch_service_ms(0)
