@@ -8,7 +8,7 @@
 
 import numpy as np
 
-from _common import RESULTS_DIR, quick_train
+from _common import RESULTS_DIR
 from repro.baselines import GCNModel
 from repro.distributed import GNNCostModel
 from repro.experiments import (

@@ -8,11 +8,9 @@ hurts the most, and absolute AUC degrades on larger graphs under a fixed
 training budget.
 """
 
-import numpy as np
 
 from _common import RESULTS_DIR, quick_train
 from repro.core import ZoomerConfig, build_ablation_variant
-from repro.core.ablation import ABLATION_VARIANTS
 from repro.experiments import ExperimentResult, format_table, save_results
 
 VARIANT_ORDER = ["GCN", "Zoomer-FE", "Zoomer-FS", "Zoomer-ES", "Zoomer"]

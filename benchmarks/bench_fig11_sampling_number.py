@@ -40,10 +40,14 @@ def test_fig11_sampling_number_sweep(benchmark, bench_taobao):
                     fanouts=(k, max(k // 2, 1)), seed=0))
             for name, factory in models.items():
                 model = factory()
-                # Use the full bench training budget: the focal-biased ROI
-                # needs enough optimisation steps before its advantage over
-                # focal-agnostic samplers shows (cf. Table III).
-                _, result = quick_train(model, train, test[:200])
+                # Every model gets the same slightly-raised budget (2
+                # epochs, lr 0.05): at the 1-epoch/lr-0.03 default,
+                # Zoomer's deeper attention stack is undertrained and
+                # seed-unstable (predictions stay near-constant, AUC ~0.5)
+                # while the shallow baselines converge, which inverted the
+                # paper's Fig. 11 shape.
+                _, result = quick_train(model, train, test[:200],
+                                        epochs=2, learning_rate=0.05)
                 rows.append({
                     "K": k,
                     "model": name,

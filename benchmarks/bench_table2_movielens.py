@@ -29,7 +29,11 @@ def test_table2_movielens_comparison(benchmark, bench_movielens):
                                             fanouts=(5,), seed=0))
         for name, factory in models.items():
             model = factory()
-            _, result = quick_train(model, train, test)
+            # Same uniform budget as the Fig. 11 sweep (2 epochs, lr 0.05):
+            # at 1 epoch / lr 0.03 every model sits in seed-noise near
+            # AUC 0.5 and the comparison is meaningless (see fig11 notes).
+            _, result = quick_train(model, train, test,
+                                    epochs=2, learning_rate=0.05)
             report = result.final_metrics
             rows.append({
                 "model": name,

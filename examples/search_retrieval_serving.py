@@ -22,7 +22,6 @@ Run with:  python examples/search_retrieval_serving.py
 
 import time
 
-import numpy as np
 
 from repro.core import ZoomerConfig, ZoomerModel
 from repro.data import (

@@ -160,6 +160,41 @@ class TreeAggregationModel(GraphRetrievalModel):
             self._tree_cache[key] = tree
         return tree
 
+    def prime_trees(self, node_type: str, node_ids: Sequence[int]) -> None:
+        """Sample every uncached ego tree of one type with one batched call.
+
+        Engine-backed samplers expand the whole frontier vectorized;
+        per-node samplers fall back to their looped ``sample_batch``.
+        """
+        unique_ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        missing = [int(node_id) for node_id in unique_ids
+                   if (node_type, int(node_id)) not in self._tree_cache]
+        if not missing:
+            return
+        trees = self.sampler.sample_batch(self.graph, node_type, missing,
+                                          self.fanouts)
+        for node_id, tree in zip(missing, trees):
+            self._tree_cache[(node_type, node_id)] = tree
+
+    def prime_sampled_trees(self, user_trees: Dict[int, SampledNode],
+                            query_trees: Dict[int, SampledNode]) -> None:
+        """Adopt pre-sampled ego trees (e.g. from the training dataloader).
+
+        The dataloader's batched presampling emits sub-graphs in the
+        engine's layout; installing them here means ``sampled_tree`` never
+        falls back to a per-node sampling call during the forward pass.
+        """
+        for node_id, tree in user_trees.items():
+            self._tree_cache[(self.user_type, int(node_id))] = tree
+        for node_id, tree in query_trees.items():
+            self._tree_cache[(self.query_type, int(node_id))] = tree
+
+    def forward_batch(self, user_ids: np.ndarray, query_ids: np.ndarray,
+                      item_ids: np.ndarray) -> Tensor:
+        self.prime_trees(self.user_type, user_ids)
+        self.prime_trees(self.query_type, query_ids)
+        return super().forward_batch(user_ids, query_ids, item_ids)
+
     def clear_tree_cache(self) -> None:
         """Drop cached neighborhood trees."""
         self._tree_cache.clear()

@@ -11,7 +11,7 @@ both are attention-pooled against the query representation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ embeddings with a second attention layer.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

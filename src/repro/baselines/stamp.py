@@ -10,7 +10,7 @@ interests" without using graph structure beyond the click history.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

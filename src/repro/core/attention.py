@@ -21,13 +21,12 @@ ablation variants of Fig. 8 (GCN, Zoomer-FE, Zoomer-FS, Zoomer-ES).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.ndarray.tensor import Tensor
 from repro.nn.init import xavier_uniform
-from repro.nn.layers import Linear
 from repro.nn.module import Module, Parameter
 from repro.sampling.base import SampledNode
 

@@ -9,8 +9,8 @@ weight 1e-6, learning rate 0.1, Adam, batch size 1024 (we default smaller).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass

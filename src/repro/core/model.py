@@ -95,6 +95,30 @@ class ZoomerModel(RetrievalModel):
             self._roi_cache[key] = roi
         return roi
 
+    def prime_rois(self, user_ids: Sequence[int],
+                   query_ids: Sequence[int]) -> None:
+        """Build the ROIs of every uncached ``(user, query)`` pair at once.
+
+        Uses the batched ROI builder (vectorized focal scoring and fanout
+        expansion), so one call per mini-batch replaces per-request
+        sampling loops; the results land in the same cache ``roi_for``
+        reads.
+        """
+        pairs: List[Tuple[int, int]] = []
+        seen = set()
+        for user_id, query_id in zip(user_ids, query_ids):
+            key = (int(user_id), int(query_id))
+            if key in seen or key in self._roi_cache:
+                continue
+            seen.add(key)
+            pairs.append(key)
+        if not pairs:
+            return
+        rois = self.roi_builder.build_batch(
+            self.graph, [u for u, _ in pairs], [q for _, q in pairs])
+        for key, roi in zip(pairs, rois):
+            self._roi_cache[key] = roi
+
     def clear_roi_cache(self) -> None:
         """Drop cached ROIs (e.g. after the graph changed)."""
         self._roi_cache.clear()
@@ -149,6 +173,7 @@ class ZoomerModel(RetrievalModel):
         user_ids = np.asarray(user_ids, dtype=np.int64)
         query_ids = np.asarray(query_ids, dtype=np.int64)
         item_ids = np.asarray(item_ids, dtype=np.int64)
+        self.prime_rois(user_ids, query_ids)
         request_vectors = [
             self.request_representation(int(u), int(q))
             for u, q in zip(user_ids, query_ids)

@@ -9,8 +9,8 @@ clicked-or-not) event used for CTR training and the A/B test simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ The paper splits MovieLens 80/20 and the Taobao graphs 90/10
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ and benchmarked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 
 @dataclass(frozen=True)

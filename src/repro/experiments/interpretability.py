@@ -9,7 +9,7 @@ query; Fig. 13(b) fixes a query and varies the user.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ reproduce these structural properties (interest drift and noisy histories).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

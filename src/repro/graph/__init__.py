@@ -8,6 +8,10 @@ package provides the laptop-scale equivalent:
 * :class:`~repro.graph.hetero_graph.HeteroGraph` — in-memory heterogeneous
   graph with per-relation CSR adjacency and per-type feature matrices.
 * :class:`~repro.graph.alias.AliasTable` — constant-time weighted sampling.
+* :class:`~repro.graph.alias.BatchedAliasTable` — flattened per-row alias
+  tables over a CSR adjacency for ``(N, K)`` frontier draws in one pass.
+* :mod:`~repro.graph.batch` — padded batch layouts (:class:`NeighborBatch`,
+  :class:`SubgraphBatch`) produced by the vectorized sampling engine.
 * :class:`~repro.graph.minhash.MinHasher` — MinHash / Jaccard similarity used
   to create similarity-based edges (cold-start handling in Section II).
 * :class:`~repro.graph.builder.GraphBuilder` — constructs the heterogeneous
@@ -18,8 +22,9 @@ package provides the laptop-scale equivalent:
 """
 
 from repro.graph.schema import EdgeType, GraphSchema, NodeType
-from repro.graph.hetero_graph import HeteroGraph, Relation
-from repro.graph.alias import AliasTable
+from repro.graph.hetero_graph import HeteroGraph, Relation, TypedAdjacency
+from repro.graph.alias import AliasTable, BatchedAliasTable
+from repro.graph.batch import NeighborBatch, SubgraphBatch, SubgraphLayer
 from repro.graph.minhash import MinHasher, jaccard_similarity
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import HashPartitioner, ShardedGraphStore
@@ -31,7 +36,12 @@ __all__ = [
     "GraphSchema",
     "HeteroGraph",
     "Relation",
+    "TypedAdjacency",
     "AliasTable",
+    "BatchedAliasTable",
+    "NeighborBatch",
+    "SubgraphBatch",
+    "SubgraphLayer",
     "MinHasher",
     "jaccard_similarity",
     "GraphBuilder",

@@ -1,0 +1,177 @@
+"""Batch-first result layouts for the vectorized graph sampling engine.
+
+The sampling engine works on node *arrays* instead of single nodes: a
+one-hop call returns a :class:`NeighborBatch` (padded ``(N, K)`` blocks plus
+per-row counts), and a multi-hop call returns a :class:`SubgraphBatch` —
+layered frontier arrays with parent pointers that describe the full fanout
+trees of every ego node at once.  Both layouts are plain numpy and can be
+consumed without per-node Python loops; ``to_trees()`` materializes the
+classic :class:`~repro.sampling.base.SampledNode` trees for the model layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.schema import RelationSpec
+
+#: Padding value used in the ``ids`` block for rows with fewer than K samples.
+PAD_NODE = -1
+
+
+@dataclass
+class NeighborBatch:
+    """One-hop sampling result for a frontier of ``N`` nodes.
+
+    ``ids`` and ``weights`` are ``(N, K)`` blocks; row ``i`` holds
+    ``counts[i]`` valid entries left-aligned and is padded with
+    ``(PAD_NODE, 0.0)`` on the right.  ``rel_ids`` (present for union
+    sampling across relations) indexes into ``specs`` per valid entry.
+    """
+
+    ids: np.ndarray
+    weights: np.ndarray
+    counts: np.ndarray
+    rel_ids: Optional[np.ndarray] = None
+    specs: Optional[List[RelationSpec]] = None
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        """Boolean ``(N, K)`` mask of valid (non-padding) entries."""
+        k = self.ids.shape[1]
+        return np.arange(k)[None, :] < self.counts[:, None]
+
+    def row(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, weights)`` of one row with the padding trimmed."""
+        count = int(self.counts[index])
+        return self.ids[index, :count], self.weights[index, :count]
+
+    def flatten(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(row_index, ids, weights)`` of all valid entries, row-major."""
+        mask = self.valid_mask
+        rows = np.repeat(np.arange(len(self)), self.counts)
+        return rows, self.ids[mask], self.weights[mask]
+
+
+@dataclass
+class SubgraphLayer:
+    """One hop of a :class:`SubgraphBatch`.
+
+    Entry ``j`` is a sampled edge: ``parents[j]`` indexes the previous
+    layer's flattened nodes (layer 0's parents index the ego array),
+    ``rel_ids[j]`` indexes the batch's ``specs`` list, and ``node_ids[j]`` /
+    ``weights[j]`` are the sampled neighbor and its edge weight.
+    """
+
+    parents: np.ndarray
+    rel_ids: np.ndarray
+    node_ids: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.node_ids.size)
+
+
+@dataclass
+class SubgraphBatch:
+    """Fanout trees for a whole batch of ego nodes, in layered array form."""
+
+    ego_type: str
+    ego_ids: np.ndarray
+    specs: List[RelationSpec]
+    layers: List[SubgraphLayer] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return int(self.ego_ids.size)
+
+    def num_nodes(self) -> int:
+        """Total sampled nodes including the egos (the sampling cost)."""
+        return int(self.ego_ids.size) + self.num_edges()
+
+    def num_edges(self) -> int:
+        """Total sampled edges across all hops."""
+        return sum(layer.num_edges for layer in self.layers)
+
+    def layer_types(self, layer_index: int) -> List[str]:
+        """Destination node type of each edge in one layer."""
+        layer = self.layers[layer_index]
+        return [self.specs[r].dst_type for r in layer.rel_ids]
+
+    def nodes_by_type(self) -> Dict[str, np.ndarray]:
+        """Unique node ids per node type over egos and all hops."""
+        grouped: Dict[str, List[np.ndarray]] = {self.ego_type: [self.ego_ids]}
+        for layer in self.layers:
+            if layer.num_edges == 0:
+                continue
+            dst_types = np.array([self.specs[r].dst_type
+                                  for r in layer.rel_ids])
+            for node_type in np.unique(dst_types):
+                grouped.setdefault(str(node_type), []).append(
+                    layer.node_ids[dst_types == node_type])
+        return {node_type: np.unique(np.concatenate(chunks))
+                for node_type, chunks in grouped.items()}
+
+    def to_trees(self) -> List["SampledNode"]:
+        """Materialize one :class:`SampledNode` tree per ego node."""
+        from repro.sampling.base import SampledNode
+
+        roots = [SampledNode(self.ego_type, int(ego)) for ego in self.ego_ids]
+        previous: List[SampledNode] = roots
+        for layer in self.layers:
+            current: List[SampledNode] = []
+            for parent, rel_id, node_id, weight in zip(
+                    layer.parents, layer.rel_ids, layer.node_ids,
+                    layer.weights):
+                spec = self.specs[rel_id]
+                child = SampledNode(spec.dst_type, int(node_id))
+                previous[parent].add_child(spec, child, float(weight))
+                current.append(child)
+            previous = current
+        return roots
+
+
+def segment_offsets(lengths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Row and within-row column index for flattened variable-length rows.
+
+    Given per-row ``lengths``, returns ``(rows, cols)`` such that entry ``t``
+    of the flattened concatenation belongs to row ``rows[t]`` at local
+    position ``cols[t]`` — the scatter pattern used to place ragged CSR
+    segments into padded ``(N, K)`` blocks without a Python loop.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    rows = np.repeat(np.arange(lengths.size), lengths)
+    starts = np.cumsum(lengths) - lengths
+    cols = np.arange(total) - np.repeat(starts, lengths)
+    return rows, cols
+
+
+def row_chunks(degrees: np.ndarray,
+               max_cells: int = 4_194_304) -> Iterator[Tuple[int, int]]:
+    """Contiguous row ranges whose padded block stays under ``max_cells``.
+
+    Segmented operations that pad ragged rows into a dense
+    ``(rows, max_degree)`` block use this to bound peak memory: one hub row
+    shrinks the chunk size instead of inflating a frontier-sized block
+    (``max_cells`` of float64 is ~32 MB).
+    """
+    num_rows = int(degrees.size)
+    widest = int(degrees.max(initial=0))
+    step = max(1, max_cells // max(widest, 1))
+    for start in range(0, num_rows, step):
+        yield start, min(start + step, num_rows)
+
+
+def sequence_from(sequence: Sequence[int]) -> np.ndarray:
+    """Coerce a node-id sequence into a 1-D int64 array."""
+    array = np.asarray(sequence, dtype=np.int64)
+    if array.ndim != 1:
+        raise ValueError("node ids must form a 1-D sequence")
+    return array

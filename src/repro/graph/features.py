@@ -10,7 +10,7 @@ the focal-biased sampler's relevance score (Eq. 5) and the models consume.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

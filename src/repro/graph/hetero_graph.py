@@ -10,11 +10,20 @@ sampling (Section VI).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.graph.alias import AliasTable
+from repro.graph.alias import BatchedAliasTable
+from repro.graph.batch import (
+    PAD_NODE,
+    NeighborBatch,
+    SubgraphBatch,
+    SubgraphLayer,
+    row_chunks,
+    segment_offsets,
+    sequence_from,
+)
 from repro.graph.schema import GraphSchema, RelationSpec
 
 
@@ -25,6 +34,99 @@ class _EdgeBuffer:
     src: List[int] = field(default_factory=list)
     dst: List[int] = field(default_factory=list)
     weight: List[float] = field(default_factory=list)
+
+
+def _csr_sample_positions(indptr: np.ndarray, nodes: np.ndarray, k: int,
+                          rng: np.random.Generator, weighted: bool,
+                          replace: bool,
+                          alias: BatchedAliasTable
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-row sampling over a CSR adjacency.
+
+    Returns ``(positions, counts)`` where ``positions`` is an ``(N, K)``
+    block of *flat edge indices* into the CSR arrays (left-aligned, padded
+    with 0 beyond ``counts[i]``; mask before gathering anything sensitive).
+
+    Row semantics match the historical single-node path: rows with no more
+    than ``k`` neighbors keep all of them (when sampling without
+    replacement), weighted rows draw from the row's alias table and
+    deduplicate, uniform rows draw a k-subset.  The random-draw protocol
+    consumes a fixed per-row block from ``rng``, so a batch of ``N`` rows
+    reads the stream exactly as ``N`` successive batch-of-one calls — the
+    invariant that makes batched and sequential sampling bit-identical
+    under a fixed seed.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    n = nodes.size
+    starts = indptr[nodes]
+    degrees = indptr[nodes + 1] - starts
+    positions = np.zeros((n, k), dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+
+    if replace:
+        keep_rows = np.zeros(n, dtype=bool)
+    else:
+        keep_rows = (degrees > 0) & (degrees <= k)
+    draw_rows = (degrees > 0) & ~keep_rows
+
+    keep_index = np.nonzero(keep_rows)[0]
+    if keep_index.size:
+        lengths = degrees[keep_index]
+        rows, cols = segment_offsets(lengths)
+        positions[keep_index[rows], cols] = np.repeat(starts[keep_index],
+                                                      lengths) + cols
+        counts[keep_index] = lengths
+
+    draw_index = np.nonzero(draw_rows)[0]
+    if draw_index.size and k > 0:
+        draw_starts = starts[draw_index]
+        draw_degrees = degrees[draw_index]
+        if weighted:
+            local = alias.sample(nodes[draw_index], k, rng)
+            if replace:
+                positions[draw_index] = draw_starts[:, None] + local
+                counts[draw_index] = k
+            else:
+                local = np.sort(local, axis=1)
+                fresh = np.ones_like(local, dtype=bool)
+                fresh[:, 1:] = local[:, 1:] != local[:, :-1]
+                order = np.argsort(~fresh, axis=1, kind="stable")
+                local = np.take_along_axis(local, order, axis=1)
+                kept = fresh.sum(axis=1)
+                valid = np.arange(k)[None, :] < kept[:, None]
+                positions[draw_index] = np.where(
+                    valid, draw_starts[:, None] + local, 0)
+                counts[draw_index] = kept
+        elif replace:
+            draws = rng.random((draw_index.size, k))
+            local = (draws * draw_degrees[:, None]).astype(np.int64)
+            np.minimum(local, draw_degrees[:, None] - 1, out=local)
+            positions[draw_index] = draw_starts[:, None] + local
+            counts[draw_index] = k
+        else:
+            # Uniform k-subset via random keys: every row consumes exactly
+            # ``degree`` draws, preserving the batch/sequential stream
+            # match.  Keys are drawn in one flat pass (the stream contract)
+            # and ranked per row-chunk so a hub row cannot inflate the
+            # padded block to frontier_size * max_degree.
+            keys_flat = rng.random(int(draw_degrees.sum()))
+            offsets = np.cumsum(draw_degrees) - draw_degrees
+            for chunk_start, chunk_stop in row_chunks(draw_degrees):
+                chunk_degrees = draw_degrees[chunk_start:chunk_stop]
+                width = int(chunk_degrees.max(initial=0))
+                rows, cols = segment_offsets(chunk_degrees)
+                keys = np.full((chunk_stop - chunk_start, width), np.inf)
+                flat_lo = offsets[chunk_start]
+                keys[rows, cols] = keys_flat[flat_lo:
+                                             flat_lo + int(chunk_degrees.sum())]
+                # Draw rows all have degree > k, so the k smallest keys
+                # are always real entries.
+                local = np.argsort(keys, axis=1, kind="stable")[:, :k]
+                positions[draw_index[chunk_start:chunk_stop]] = \
+                    draw_starts[chunk_start:chunk_stop, None] + local
+            counts[draw_index] = k
+    return positions, counts
 
 
 class Relation:
@@ -40,7 +142,7 @@ class Relation:
         self.weights = weight[order]
         counts = np.bincount(src, minlength=num_src)
         self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        self._alias_cache: Dict[int, AliasTable] = {}
+        self._alias_batch: Optional[BatchedAliasTable] = None
 
     @property
     def num_edges(self) -> int:
@@ -59,34 +161,167 @@ class Relation:
         """Out-degrees of every source node."""
         return np.diff(self.indptr)
 
+    def alias_sampler(self) -> BatchedAliasTable:
+        """The relation-wide batched alias table (built lazily, cached)."""
+        if self._alias_batch is None:
+            self._alias_batch = BatchedAliasTable(self.indptr, self.weights)
+        return self._alias_batch
+
+    def sample_neighbors_batch(self, node_ids: Sequence[int], k: int,
+                               rng: Optional[np.random.Generator] = None,
+                               weighted: bool = True,
+                               replace: bool = False) -> NeighborBatch:
+        """Sample up to ``k`` neighbors for a whole frontier of nodes.
+
+        One vectorized pass over the relation's CSR arrays and alias tables
+        — no per-node Python loop.  Nodes with at most ``k`` neighbors keep
+        all of them (when ``replace`` is False); weighted rows draw from the
+        paper's constant-time alias tables.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        nodes = sequence_from(node_ids)
+        if self.indices.size == 0 or k == 0:
+            return NeighborBatch(
+                ids=np.full((nodes.size, k), PAD_NODE, dtype=np.int64),
+                weights=np.zeros((nodes.size, k)),
+                counts=np.zeros(nodes.size, dtype=np.int64))
+        alias = self.alias_sampler() if weighted else None
+        positions, counts = _csr_sample_positions(
+            self.indptr, nodes, k, rng, weighted, replace, alias)
+        valid = np.arange(k)[None, :] < counts[:, None]
+        ids = np.where(valid, self.indices[positions], PAD_NODE)
+        weights = np.where(valid, self.weights[positions], 0.0)
+        return NeighborBatch(ids=ids, weights=weights, counts=counts)
+
     def sample_neighbors(self, node_id: int, k: int,
                          rng: Optional[np.random.Generator] = None,
                          weighted: bool = True,
                          replace: bool = False) -> Tuple[np.ndarray, np.ndarray]:
         """Sample up to ``k`` neighbors of ``node_id``.
 
-        Weighted sampling uses a cached per-node alias table, matching the
-        constant-time sampling design of the paper's graph engine.  When the
-        node has at most ``k`` neighbors and ``replace`` is False, all
-        neighbors are returned.
+        Batch-of-one wrapper over :meth:`sample_neighbors_batch`; a loop of
+        single calls and one batched call read the same random stream, so
+        both paths return identical samples under a fixed seed.
         """
-        rng = rng if rng is not None else np.random.default_rng()
-        ids, weights = self.neighbors(node_id)
-        if ids.size == 0:
-            return ids, weights
-        if not replace and ids.size <= k:
-            return ids, weights
-        if weighted:
-            table = self._alias_cache.get(node_id)
-            if table is None:
-                table = AliasTable(weights)
-                self._alias_cache[node_id] = table
-            positions = table.sample(k, rng)
-            if not replace:
-                positions = np.unique(positions)
-        else:
-            positions = rng.choice(ids.size, size=min(k, ids.size), replace=replace)
-        return ids[positions], weights[positions]
+        batch = self.sample_neighbors_batch(
+            np.asarray([node_id], dtype=np.int64), k, rng=rng,
+            weighted=weighted, replace=replace)
+        return batch.row(0)
+
+
+def expand_subgraph_batch(graph: "HeteroGraph", ego_type: str,
+                          ego_ids: Sequence[int], fanouts: Sequence[int],
+                          pick_group) -> SubgraphBatch:
+    """Hop-major frontier expansion shared by every batched tree sampler.
+
+    Per hop, the frontier is grouped by node type (schema order) and each
+    group's edges are chosen by ``pick_group(node_type, adjacency, nodes,
+    tree_indices, k)``, which returns ``(positions, weights, counts)`` —
+    an ``(M, k)`` block of flat edge indices into the group's
+    :class:`TypedAdjacency` (left-aligned, mask beyond ``counts``), the
+    per-edge tree weights, and the per-row valid counts — or ``None`` when
+    the group has nothing to expand.  The random engine and the
+    deterministic focal top-k both plug in here, so layer layout and
+    early-break semantics cannot diverge between them.
+    """
+    if any(k <= 0 for k in fanouts):
+        raise ValueError("fanouts must be positive")
+    egos = sequence_from(ego_ids)
+    specs = graph.spec_list
+    spec_ids = {spec: index for index, spec in enumerate(specs)}
+    type_names = graph.schema.node_types
+    spec_dst = np.array([type_names.index(spec.dst_type) for spec in specs],
+                        dtype=np.int64)
+    batch = SubgraphBatch(ego_type=ego_type, ego_ids=egos, specs=specs)
+    frontier_ids = egos
+    frontier_codes = np.full(egos.size, type_names.index(ego_type),
+                             dtype=np.int64)
+    frontier_tree = np.arange(egos.size)
+    for k in fanouts:
+        parents_parts: List[np.ndarray] = []
+        rel_parts: List[np.ndarray] = []
+        id_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
+        for code, node_type in enumerate(type_names):
+            selected = np.nonzero(frontier_codes == code)[0]
+            if selected.size == 0:
+                continue
+            adjacency = graph.typed_adjacency(node_type)
+            picked = pick_group(node_type, adjacency, frontier_ids[selected],
+                                frontier_tree[selected], k)
+            if picked is None:
+                continue
+            positions, weights, counts = picked
+            valid = np.arange(k)[None, :] < counts[:, None]
+            flat_positions = positions[valid]
+            if flat_positions.size == 0:
+                continue
+            local_to_global = np.array(
+                [spec_ids[spec] for spec in adjacency.specs], dtype=np.int64)
+            parents_parts.append(
+                selected[np.repeat(np.arange(selected.size), counts)])
+            rel_parts.append(
+                local_to_global[adjacency.rel_local[flat_positions]])
+            id_parts.append(adjacency.indices[flat_positions])
+            weight_parts.append(weights[valid])
+        if not id_parts:
+            break
+        layer = SubgraphLayer(
+            parents=np.concatenate(parents_parts),
+            rel_ids=np.concatenate(rel_parts),
+            node_ids=np.concatenate(id_parts),
+            weights=np.concatenate(weight_parts))
+        batch.layers.append(layer)
+        frontier_tree = frontier_tree[layer.parents]
+        frontier_ids = layer.node_ids
+        frontier_codes = spec_dst[layer.rel_ids]
+    return batch
+
+
+class TypedAdjacency:
+    """Union CSR over every relation whose source is one node type.
+
+    Concatenates the per-relation CSR segments of each source node (in
+    relation-registration order, matching :meth:`HeteroGraph.neighbors`)
+    so that heterogeneous "sample k from the union of all typed neighbor
+    lists" queries run as one vectorized CSR pass.  ``rel_local[e]`` maps
+    edge ``e`` back to its position in :attr:`specs`.
+    """
+
+    def __init__(self, specs: List[RelationSpec], relations: List["Relation"],
+                 num_src: int):
+        self.specs = specs
+        self.num_src = num_src
+        per_rel_degrees = [np.diff(rel.indptr) for rel in relations]
+        total_degrees = (np.sum(per_rel_degrees, axis=0)
+                         if per_rel_degrees else np.zeros(num_src, dtype=np.int64))
+        self.indptr = np.concatenate(
+            ([0], np.cumsum(total_degrees))).astype(np.int64)
+        num_edges = int(self.indptr[-1])
+        self.indices = np.empty(num_edges, dtype=np.int64)
+        self.weights = np.empty(num_edges)
+        self.rel_local = np.empty(num_edges, dtype=np.int64)
+        consumed = np.zeros(num_src, dtype=np.int64)
+        for rel_index, (rel, degrees) in enumerate(
+                zip(relations, per_rel_degrees)):
+            rows, cols = segment_offsets(degrees)
+            slots = self.indptr[rows] + consumed[rows] + cols
+            self.indices[slots] = rel.indices
+            self.weights[slots] = rel.weights
+            self.rel_local[slots] = rel_index
+            consumed += degrees
+        self._alias_batch: Optional[BatchedAliasTable] = None
+
+    def alias_sampler(self) -> BatchedAliasTable:
+        """The union-wide batched alias table (built lazily, cached)."""
+        if self._alias_batch is None:
+            self._alias_batch = BatchedAliasTable(self.indptr, self.weights)
+        return self._alias_batch
+
+    def degrees(self, nodes: np.ndarray) -> np.ndarray:
+        """Union out-degree of each node in ``nodes``."""
+        nodes = sequence_from(nodes)
+        return self.indptr[nodes + 1] - self.indptr[nodes]
 
 
 class HeteroGraph:
@@ -101,6 +336,7 @@ class HeteroGraph:
         }
         self._buffers: Dict[RelationSpec, _EdgeBuffer] = {}
         self.relations: Dict[RelationSpec, Relation] = {}
+        self._typed_adjacency_cache: Dict[str, TypedAdjacency] = {}
         self._finalized = False
 
     # ------------------------------------------------------------------ #
@@ -168,6 +404,7 @@ class HeteroGraph:
                 np.asarray(buffer.weight, dtype=np.float64),
             )
         self._buffers.clear()
+        self._typed_adjacency_cache.clear()
         self._finalized = True
         return self
 
@@ -228,6 +465,101 @@ class HeteroGraph:
         """Total out-degree of a node across all relations."""
         return sum(rel.degree(node_id) for rel in self.relations_from(node_type)
                    if node_id < rel.num_src)
+
+    # ------------------------------------------------------------------ #
+    # Batch-first sampling engine
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_list(self) -> List[RelationSpec]:
+        """Finalized relations in registration order (stable spec ids)."""
+        self._require_finalized()
+        return list(self.relations.keys())
+
+    def typed_adjacency(self, node_type: str) -> TypedAdjacency:
+        """Union CSR over all relations out of ``node_type`` (cached)."""
+        self._require_finalized()
+        adjacency = self._typed_adjacency_cache.get(node_type)
+        if adjacency is None:
+            specs = [spec for spec in self.relations if spec.src_type == node_type]
+            adjacency = TypedAdjacency(specs,
+                                       [self.relations[s] for s in specs],
+                                       self.num_nodes[node_type])
+            self._typed_adjacency_cache[node_type] = adjacency
+        return adjacency
+
+    def sample_neighbors_batch(self, source: Union[str, RelationSpec],
+                               node_ids: Sequence[int], k: int,
+                               rng: Optional[np.random.Generator] = None,
+                               weighted: bool = True,
+                               replace: bool = False) -> NeighborBatch:
+        """Sample ``k`` neighbors for a whole frontier in one vectorized pass.
+
+        ``source`` is either a :class:`RelationSpec` (sample within one typed
+        relation) or a node-type name (sample from the union of all typed
+        neighbor lists, the regime the tree samplers use).  Union results
+        carry per-sample ``rel_ids`` into :attr:`spec_list`.
+        """
+        self._require_finalized()
+        if isinstance(source, RelationSpec):
+            return self.relations[source].sample_neighbors_batch(
+                node_ids, k, rng=rng, weighted=weighted, replace=replace)
+        rng = rng if rng is not None else np.random.default_rng()
+        nodes = sequence_from(node_ids)
+        adjacency = self.typed_adjacency(source)
+        if adjacency.indices.size == 0 or k == 0:
+            return NeighborBatch(
+                ids=np.full((nodes.size, k), PAD_NODE, dtype=np.int64),
+                weights=np.zeros((nodes.size, k)),
+                counts=np.zeros(nodes.size, dtype=np.int64),
+                rel_ids=np.full((nodes.size, k), -1, dtype=np.int64),
+                specs=adjacency.specs)
+        alias = adjacency.alias_sampler() if weighted else None
+        positions, counts = _csr_sample_positions(
+            adjacency.indptr, nodes, k, rng, weighted, replace, alias)
+        valid = np.arange(k)[None, :] < counts[:, None]
+        spec_ids = {spec: index for index, spec in enumerate(self.relations)}
+        local_to_global = np.array(
+            [spec_ids[spec] for spec in adjacency.specs], dtype=np.int64)
+        ids = np.where(valid, adjacency.indices[positions], PAD_NODE)
+        weights = np.where(valid, adjacency.weights[positions], 0.0)
+        rel_ids = np.where(valid,
+                           local_to_global[adjacency.rel_local[positions]], -1)
+        return NeighborBatch(ids=ids, weights=weights, counts=counts,
+                             rel_ids=rel_ids, specs=self.spec_list)
+
+    def sample_subgraph_batch(self, ego_type: str, ego_ids: Sequence[int],
+                              fanouts: Sequence[int],
+                              rng: Optional[np.random.Generator] = None,
+                              weighted: bool = True,
+                              replace: bool = False) -> SubgraphBatch:
+        """Expand full fanout trees over a node array, hop by hop.
+
+        Per hop, the frontier is grouped by node type (schema order) and
+        each group is sampled with one union-CSR batch call — no per-node
+        Python loop anywhere on the expansion path.  Random draws are
+        consumed hop-major across the whole batch (hop 1 of every ego,
+        then hop 2, ...), so a batch of one ego is stream-identical to the
+        single-ego path while larger batches interleave differently than
+        an ego-by-ego loop.  The returned :class:`SubgraphBatch` keeps the
+        layered array form; call ``to_trees()`` for
+        :class:`~repro.sampling.base.SampledNode` trees.
+        """
+        self._require_finalized()
+        rng = rng if rng is not None else np.random.default_rng()
+
+        def engine_pick(node_type: str, adjacency: TypedAdjacency,
+                        nodes: np.ndarray, tree_indices: np.ndarray, k: int):
+            if adjacency.indices.size == 0:
+                return None
+            alias = adjacency.alias_sampler() if weighted else None
+            positions, counts = _csr_sample_positions(
+                adjacency.indptr, nodes, k, rng, weighted, replace, alias)
+            valid = np.arange(k)[None, :] < counts[:, None]
+            weights = np.where(valid, adjacency.weights[positions], 0.0)
+            return positions, weights, counts
+
+        return expand_subgraph_batch(self, ego_type, ego_ids, fanouts,
+                                     engine_pick)
 
     def memory_bytes(self) -> int:
         """Approximate resident size of features + adjacency (for Fig. 4a)."""

@@ -11,18 +11,25 @@ be inspected and benchmarked.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graph.batch import NeighborBatch, SubgraphBatch, sequence_from
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.schema import RelationSpec
 
 
 class HashPartitioner:
-    """Deterministic hash partitioning of typed node ids into shards."""
+    """Deterministic hash partitioning of typed node ids into shards.
+
+    Uses a splitmix64-style integer mix instead of Python's ``hash`` so the
+    assignment is vectorizable, and stable across processes (``hash(str)``
+    is salted per interpreter run).
+    """
 
     def __init__(self, num_shards: int, seed: int = 17):
         if num_shards <= 0:
@@ -30,17 +37,33 @@ class HashPartitioner:
         self.num_shards = num_shards
         self._seed = seed
 
+    def _type_salt(self, node_type: str) -> np.uint64:
+        return np.uint64(zlib.crc32(node_type.encode("utf-8"))
+                         ^ (self._seed * 0x9E3779B9 & 0xFFFFFFFF))
+
+    def shard_of_batch(self, node_type: str,
+                       node_ids: Sequence[int]) -> np.ndarray:
+        """Vectorized shard assignment for an array of typed node ids."""
+        ids = np.asarray(node_ids, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = (ids + self._type_salt(node_type)
+                     + np.uint64(0x9E3779B97F4A7C15))
+            mixed = (mixed ^ (mixed >> np.uint64(30))) \
+                * np.uint64(0xBF58476D1CE4E5B9)
+            mixed = (mixed ^ (mixed >> np.uint64(27))) \
+                * np.uint64(0x94D049BB133111EB)
+            mixed = mixed ^ (mixed >> np.uint64(31))
+        return (mixed % np.uint64(self.num_shards)).astype(np.int64)
+
     def shard_of(self, node_type: str, node_id: int) -> int:
         """Return the shard owning ``(node_type, node_id)``."""
-        return (hash((node_type, int(node_id), self._seed)) & 0x7FFFFFFF) % self.num_shards
+        return int(self.shard_of_batch(node_type, [int(node_id)])[0])
 
     def partition(self, node_type: str, num_nodes: int) -> Dict[int, np.ndarray]:
         """Partition all nodes of one type: ``{shard: node_ids}``."""
-        assignment: Dict[int, List[int]] = defaultdict(list)
-        for node_id in range(num_nodes):
-            assignment[self.shard_of(node_type, node_id)].append(node_id)
-        return {shard: np.asarray(ids, dtype=np.int64)
-                for shard, ids in assignment.items()}
+        shards = self.shard_of_batch(node_type, np.arange(num_nodes))
+        return {int(shard): np.nonzero(shards == shard)[0].astype(np.int64)
+                for shard in np.unique(shards)}
 
 
 @dataclass
@@ -82,8 +105,10 @@ class ShardedGraphStore:
         # Precompute node->shard assignment sizes for storage accounting.
         self.shard_sizes: Dict[int, int] = defaultdict(int)
         for node_type, count in graph.num_nodes.items():
-            for node_id in range(count):
-                self.shard_sizes[self.partitioner.shard_of(node_type, node_id)] += 1
+            shards = self.partitioner.shard_of_batch(node_type,
+                                                     np.arange(count))
+            for shard, size in zip(*np.unique(shards, return_counts=True)):
+                self.shard_sizes[int(shard)] += int(size)
 
     @property
     def num_servers(self) -> int:
@@ -97,6 +122,32 @@ class ShardedGraphStore:
         self._round_robin[shard] += 1
         return replicas[index]
 
+    def route_batch(self, node_type: str, node_ids: Sequence[int],
+                    count_nodes: bool = False) -> np.ndarray:
+        """Round-robin replica assignment for a whole frontier at once.
+
+        Returns the server id chosen for each node and records one request
+        per node (plus one served node when ``count_nodes``).  Advances the
+        same per-shard round-robin counters as :meth:`route`, so
+        interleaving single and batched calls keeps accounting consistent.
+        """
+        nodes = sequence_from(node_ids)
+        shards = self.partitioner.shard_of_batch(node_type, nodes)
+        servers = np.empty(nodes.size, dtype=np.int64)
+        for shard in np.unique(shards):
+            members = np.nonzero(shards == shard)[0]
+            replicas = self._replicas[int(shard)]
+            offsets = (self._round_robin[int(shard)]
+                       + np.arange(members.size)) % len(replicas)
+            servers[members] = np.asarray(replicas)[offsets]
+            self._round_robin[int(shard)] += int(members.size)
+        for server, hits in zip(*np.unique(servers, return_counts=True)):
+            stats = self._servers[int(server)]
+            stats.requests += int(hits)
+            if count_nodes:
+                stats.nodes_served += int(hits)
+        return servers
+
     def neighbors(self, node_type: str, node_id: int
                   ) -> List[Tuple[RelationSpec, np.ndarray, np.ndarray]]:
         """Neighbor lookup routed through a shard replica (with accounting)."""
@@ -109,10 +160,52 @@ class ShardedGraphStore:
     def sample_neighbors(self, spec: RelationSpec, node_id: int, k: int,
                          rng: Optional[np.random.Generator] = None,
                          weighted: bool = True) -> Tuple[np.ndarray, np.ndarray]:
-        """Weighted neighbor sampling routed through a shard replica."""
-        server_id = self.route(spec.src_type, node_id)
-        self._servers[server_id].requests += 1
-        return self.graph.relation(spec).sample_neighbors(node_id, k, rng, weighted)
+        """Weighted neighbor sampling routed through a shard replica.
+
+        Batch-of-one wrapper over :meth:`sample_neighbors_batch`; identical
+        samples and accounting as the batched path under a fixed seed.
+        """
+        batch = self.sample_neighbors_batch(spec, [int(node_id)], k,
+                                            rng=rng, weighted=weighted)
+        return batch.row(0)
+
+    def sample_neighbors_batch(self, spec: RelationSpec,
+                               node_ids: Sequence[int], k: int,
+                               rng: Optional[np.random.Generator] = None,
+                               weighted: bool = True,
+                               replace: bool = False) -> NeighborBatch:
+        """Batched weighted sampling with per-replica request accounting.
+
+        Routing is resolved for the whole frontier in one pass, then the
+        shared underlying graph serves every row with one vectorized CSR
+        sampling call (this is a simulation: shards add accounting, not
+        separate storage).
+        """
+        self.route_batch(spec.src_type, node_ids)
+        return self.graph.relation(spec).sample_neighbors_batch(
+            node_ids, k, rng=rng, weighted=weighted, replace=replace)
+
+    def sample_subgraph_batch(self, ego_type: str, ego_ids: Sequence[int],
+                              fanouts: Sequence[int],
+                              rng: Optional[np.random.Generator] = None,
+                              weighted: bool = True,
+                              replace: bool = False) -> SubgraphBatch:
+        """Batched multi-hop expansion with per-hop replica accounting.
+
+        Every frontier node of every hop counts as one routed request,
+        mirroring what a per-node expansion would have cost the cluster.
+        """
+        batch = self.graph.sample_subgraph_batch(
+            ego_type, ego_ids, fanouts, rng=rng, weighted=weighted,
+            replace=replace)
+        self.route_batch(ego_type, batch.ego_ids)
+        for index in range(len(batch.layers) - 1):
+            layer = batch.layers[index]
+            dst_types = np.array(batch.layer_types(index))
+            for node_type in np.unique(dst_types):
+                self.route_batch(str(node_type),
+                                 layer.node_ids[dst_types == node_type])
+        return batch
 
     def server_stats(self) -> List[ShardServerStats]:
         """Per-server request statistics."""

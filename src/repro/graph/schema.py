@@ -9,7 +9,7 @@ MovieLens-like graph (user / tag / movie) used in Table II.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 
 class NodeType:

@@ -10,7 +10,7 @@ and the baselines isolates the contribution of sampling + attention.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ sensitive ops (softmax, log, sigmoid) use stable formulations.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

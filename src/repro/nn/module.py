@@ -9,7 +9,7 @@ servers in :mod:`repro.distributed` or persisted with ``numpy.savez``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 

@@ -78,6 +78,12 @@ class NeighborSampler:
 
     name = "base"
 
+    #: Whether engine-backed presampling on this sampler's behalf should
+    #: draw edge-weight-biased neighborhoods (True) or uniform ones
+    #: (False).  The training dataloader reads this so pre-sampled
+    #: sub-graphs match the distribution the sampler itself would draw.
+    engine_weighted = True
+
     def __init__(self, seed: int = 0):
         self.rng = np.random.default_rng(seed)
 
@@ -102,7 +108,12 @@ class NeighborSampler:
                      ego_ids: Sequence[int], fanouts: Sequence[int],
                      focal_vectors: Optional[np.ndarray] = None
                      ) -> List[SampledNode]:
-        """Sample a tree for each ego id."""
+        """Sample a tree for each ego id.
+
+        The base implementation loops; engine-backed samplers (uniform,
+        importance, focal) override this with vectorized expansion through
+        :meth:`~repro.graph.hetero_graph.HeteroGraph.sample_subgraph_batch`.
+        """
         trees = []
         for index, ego_id in enumerate(ego_ids):
             focal = None if focal_vectors is None else focal_vectors[index]

@@ -19,7 +19,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.batch import row_chunks, segment_offsets, sequence_from
+from repro.graph.hetero_graph import (
+    HeteroGraph,
+    TypedAdjacency,
+    expand_subgraph_batch,
+)
 from repro.graph.schema import RelationSpec
 from repro.sampling.base import NeighborSampler, SampledNode
 
@@ -31,7 +36,9 @@ def focal_relevance_scores(focal_vector: np.ndarray, neighbor_features: np.ndarr
     Parameters
     ----------
     focal_vector:
-        ``F_c`` — the summed focal-point features, shape ``(d,)``.
+        ``F_c`` — the summed focal-point features, shape ``(d,)``, or one
+        focal row per neighbor, shape ``(n, d)`` (the batched engine scores
+        a whole frontier whose rows belong to different requests at once).
     neighbor_features:
         ``F_j`` rows, shape ``(n, d)``.
     metric:
@@ -39,15 +46,18 @@ def focal_relevance_scores(focal_vector: np.ndarray, neighbor_features: np.ndarr
     """
     focal_vector = np.asarray(focal_vector, dtype=np.float64)
     neighbor_features = np.atleast_2d(np.asarray(neighbor_features, dtype=np.float64))
-    dots = neighbor_features @ focal_vector
+    if focal_vector.ndim == 1:
+        focal_vector = np.broadcast_to(focal_vector,
+                                       neighbor_features.shape)
+    dots = (neighbor_features * focal_vector).sum(axis=1)
     if metric == "generalized_jaccard":
-        denom = (focal_vector @ focal_vector
+        denom = ((focal_vector * focal_vector).sum(axis=1)
                  + (neighbor_features * neighbor_features).sum(axis=1)
                  - dots)
         denom = np.where(np.abs(denom) < 1e-12, 1e-12, denom)
         return dots / denom
     if metric == "cosine":
-        norms = (np.linalg.norm(focal_vector) *
+        norms = (np.linalg.norm(focal_vector, axis=1) *
                  np.linalg.norm(neighbor_features, axis=1))
         norms = np.where(norms < 1e-12, 1e-12, norms)
         return dots / norms
@@ -107,7 +117,7 @@ class FocalBiasedSampler(NeighborSampler):
             return [(specs[p], neighbor_ids[p], weights[p]) for p in picks]
 
         scores = focal_relevance_scores(focal_vector, np.vstack(features), self.metric)
-        order = np.argsort(-scores)
+        order = np.argsort(-scores, kind="stable")
         selections: List[Tuple[RelationSpec, int, float]] = []
         for position in order:
             if len(selections) >= k:
@@ -119,6 +129,100 @@ class FocalBiasedSampler(NeighborSampler):
             selections.append((specs[position], neighbor_ids[position],
                                float(scores[position])))
         return selections
+
+    # ------------------------------------------------------------------ #
+    # Batched forest expansion (no per-node Python loop)
+    # ------------------------------------------------------------------ #
+    def sample_batch(self, graph: HeteroGraph, ego_type: str,
+                     ego_ids: Sequence[int], fanouts: Sequence[int],
+                     focal_vectors: Optional[np.ndarray] = None
+                     ) -> List[SampledNode]:
+        """Build the ROIs of a whole request batch in vectorized passes.
+
+        Per hop, the frontier is grouped by node type and every group's
+        full union neighborhood is scored against the focal vector of the
+        request each frontier node belongs to — one gather + one segmented
+        top-k per group.  With a focal vector this is deterministic and
+        returns exactly the trees the single-ego path produces.
+        """
+        if any(k <= 0 for k in fanouts):
+            raise ValueError("fanouts must be positive")
+        egos = sequence_from(ego_ids)
+        if focal_vectors is None:
+            if not self.fallback_uniform:
+                raise ValueError("focal vectors required for focal-biased "
+                                 "sampling")
+            return graph.sample_subgraph_batch(
+                ego_type, egos, fanouts, rng=self.rng,
+                weighted=False).to_trees()
+        focal_vectors = np.atleast_2d(np.asarray(focal_vectors,
+                                                 dtype=np.float64))
+        if focal_vectors.shape[0] != egos.size:
+            raise ValueError("one focal vector per ego node is required")
+
+        def focal_pick(node_type: str, adjacency: TypedAdjacency,
+                       nodes: np.ndarray, tree_indices: np.ndarray, k: int):
+            return self._topk_edges(graph, adjacency, nodes,
+                                    focal_vectors[tree_indices], k)
+
+        return expand_subgraph_batch(graph, ego_type, egos, fanouts,
+                                     focal_pick).to_trees()
+
+    def _topk_edges(self, graph: HeteroGraph, adjacency: TypedAdjacency,
+                    nodes: np.ndarray, focals: np.ndarray, k: int):
+        """Top-``k`` union edges of each node by focal relevance.
+
+        Returns ``(positions, scores, counts)`` where ``positions`` is an
+        ``(M, k)`` block of flat edge indices (mask beyond ``counts``), or
+        ``None`` when no node in the group has neighbors.
+        """
+        starts = adjacency.indptr[nodes]
+        degrees = adjacency.indptr[nodes + 1] - starts
+        total = int(degrees.sum())
+        if total == 0:
+            return None
+        rows, cols = segment_offsets(degrees)
+        flat = np.repeat(starts, degrees) + cols
+        neighbor_ids = adjacency.indices[flat]
+        dst_codes = np.array(
+            [graph.schema.node_types.index(spec.dst_type)
+             for spec in adjacency.specs],
+            dtype=np.int64)[adjacency.rel_local[flat]]
+        dim = focals.shape[1]
+        features = np.empty((total, dim))
+        for code in np.unique(dst_codes):
+            member = dst_codes == code
+            node_type = graph.schema.node_types[code]
+            features[member] = graph.features[node_type][neighbor_ids[member]]
+        scores = focal_relevance_scores(focals[rows], features, self.metric)
+
+        positions = np.zeros((nodes.size, k), dtype=np.int64)
+        top_scores = np.full((nodes.size, k), -np.inf)
+        # Chunked segmented top-k: a dense (rows, max_degree) score block is
+        # built per row-chunk so a single hub node cannot inflate memory to
+        # frontier_size * max_degree.
+        offsets = np.cumsum(degrees) - degrees
+        for chunk_start, chunk_stop in row_chunks(degrees):
+            chunk_degrees = degrees[chunk_start:chunk_stop]
+            width = int(chunk_degrees.max(initial=0))
+            if width == 0:
+                continue
+            chunk_rows, chunk_cols = segment_offsets(chunk_degrees)
+            padded = np.full((chunk_stop - chunk_start, width), -np.inf)
+            flat_lo = offsets[chunk_start]
+            flat_hi = flat_lo + int(chunk_degrees.sum())
+            padded[chunk_rows, chunk_cols] = scores[flat_lo:flat_hi]
+            take = min(k, width)
+            order = np.argsort(-padded, axis=1, kind="stable")[:, :take]
+            positions[chunk_start:chunk_stop, :take] = \
+                starts[chunk_start:chunk_stop, None] + order
+            top_scores[chunk_start:chunk_stop, :take] = \
+                np.take_along_axis(padded, order, axis=1)
+        valid = np.isfinite(top_scores)
+        if self.min_relevance is not None:
+            valid &= top_scores >= self.min_relevance
+        counts = valid.sum(axis=1)
+        return positions, np.where(valid, top_scores, 0.0), counts
 
     def score_neighbors(self, graph: HeteroGraph, node_type: str, node_id: int,
                         focal_vector: np.ndarray

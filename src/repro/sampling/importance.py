@@ -10,7 +10,7 @@ neighbors proportionally to edge weight via the graph engine's alias tables.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,9 +20,30 @@ from repro.sampling.base import NeighborSampler, SampledNode
 
 
 class ImportanceNeighborSampler(NeighborSampler):
-    """Samples neighbors with probability proportional to edge weight."""
+    """Samples neighbors with probability proportional to edge weight.
+
+    Tree expansion routes through the graph engine's vectorized
+    ``sample_subgraph_batch``: each hop draws from the union-CSR alias
+    tables (``k`` draws with replacement, deduplicated — the paper's
+    constant-time alias regime), so a node can occasionally contribute
+    fewer than ``k`` distinct children.  :meth:`select_neighbors` keeps the
+    exact without-replacement semantics for single-node callers.
+    """
 
     name = "importance"
+
+    def sample(self, graph: HeteroGraph, ego_type: str, ego_id: int,
+               fanouts: Sequence[int],
+               focal_vector: Optional[np.ndarray] = None) -> SampledNode:
+        return self.sample_batch(graph, ego_type, [int(ego_id)], fanouts)[0]
+
+    def sample_batch(self, graph: HeteroGraph, ego_type: str,
+                     ego_ids: Sequence[int], fanouts: Sequence[int],
+                     focal_vectors: Optional[np.ndarray] = None
+                     ) -> List[SampledNode]:
+        return graph.sample_subgraph_batch(
+            ego_type, ego_ids, fanouts, rng=self.rng,
+            weighted=True).to_trees()
 
     def select_neighbors(self, graph: HeteroGraph, node: SampledNode, k: int,
                          focal_vector: Optional[np.ndarray]

@@ -9,7 +9,7 @@ visited nodes (per hop level) as the sampled neighborhood.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

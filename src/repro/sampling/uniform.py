@@ -7,7 +7,7 @@ neighbors (paper Section III-A, Eq. 4); PinSage's predecessor strategy of
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,9 +17,29 @@ from repro.sampling.base import NeighborSampler, SampledNode
 
 
 class UniformNeighborSampler(NeighborSampler):
-    """Samples ``k`` neighbors uniformly from the union of all relations."""
+    """Samples ``k`` neighbors uniformly from the union of all relations.
+
+    Tree expansion routes through the graph engine's vectorized
+    ``sample_subgraph_batch`` (one union-CSR pass per hop and node type);
+    :meth:`select_neighbors` remains for callers that pick neighbors of a
+    single node directly.
+    """
 
     name = "uniform"
+    engine_weighted = False
+
+    def sample(self, graph: HeteroGraph, ego_type: str, ego_id: int,
+               fanouts: Sequence[int],
+               focal_vector: Optional[np.ndarray] = None) -> SampledNode:
+        return self.sample_batch(graph, ego_type, [int(ego_id)], fanouts)[0]
+
+    def sample_batch(self, graph: HeteroGraph, ego_type: str,
+                     ego_ids: Sequence[int], fanouts: Sequence[int],
+                     focal_vectors: Optional[np.ndarray] = None
+                     ) -> List[SampledNode]:
+        return graph.sample_subgraph_batch(
+            ego_type, ego_ids, fanouts, rng=self.rng,
+            weighted=False).to_trees()
 
     def select_neighbors(self, graph: HeteroGraph, node: SampledNode, k: int,
                          focal_vector: Optional[np.ndarray]

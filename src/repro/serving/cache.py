@@ -27,7 +27,6 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 #: One cached neighbor: (neighbor_type, neighbor_id, weight).
 Neighbor = Tuple[str, int, float]

@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.serving.ann import PAD_ID, ExactIndex, _as_query_matrix
+from repro.serving.ann import ExactIndex, _as_query_matrix
 
 #: Builds one shard from its slice of (embeddings, ids).
 IndexFactory = Callable[[np.ndarray, np.ndarray], object]

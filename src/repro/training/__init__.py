@@ -6,7 +6,7 @@ focal / binary cross-entropy with L2 regularisation, and reports the metrics
 used in the paper's evaluation: AUC, HitRate@K, MAE and RMSE.
 """
 
-from repro.training.dataloader import ImpressionDataLoader, Batch
+from repro.training.dataloader import Batch, ImpressionDataLoader, PresampleConfig
 from repro.training.metrics import (
     auc_score,
     hit_rate_at_k,
@@ -19,6 +19,7 @@ from repro.training.trainer import Trainer, TrainingConfig, TrainingResult
 __all__ = [
     "ImpressionDataLoader",
     "Batch",
+    "PresampleConfig",
     "auc_score",
     "hit_rate_at_k",
     "mean_absolute_error",

@@ -4,29 +4,66 @@ Each training example is a focal tuple ``{u_k, q_k, i_k}`` with a binary
 click label.  The loader shuffles per epoch, yields fixed-size batches as
 numpy arrays, and can optionally generate additional random negatives on the
 fly (the "mixed negative sampling" commonly used with twin-tower models).
+
+With a :class:`PresampleConfig` the loader also emits pre-sampled mini-batch
+sub-graphs: the unique user and query egos of every batch are expanded with
+the graph engine's vectorized ``sample_subgraph_batch`` (one batched pass
+per ego type instead of a per-node sampling loop inside the model), and the
+trainer hands the resulting trees to any model exposing
+``prime_sampled_trees``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.logs import ImpressionRecord
+from repro.graph.hetero_graph import HeteroGraph
+from repro.sampling.base import SampledNode
+
+
+@dataclass
+class PresampleConfig:
+    """How the loader pre-samples ego sub-graphs for each mini-batch."""
+
+    graph: HeteroGraph
+    fanouts: Tuple[int, ...] = (10, 5)
+    user_type: str = "user"
+    query_type: str = "query"
+    weighted: bool = True
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not self.fanouts or any(k <= 0 for k in self.fanouts):
+            raise ValueError("fanouts must be a non-empty positive tuple")
 
 
 @dataclass
 class Batch:
-    """One mini-batch of focal tuples."""
+    """One mini-batch of focal tuples.
+
+    ``user_trees`` / ``query_trees`` (present when the loader pre-samples)
+    map each distinct ego id in the batch to its sampled neighborhood tree.
+    """
 
     user_ids: np.ndarray
     query_ids: np.ndarray
     item_ids: np.ndarray
     labels: np.ndarray
+    user_trees: Optional[Dict[int, SampledNode]] = field(default=None,
+                                                         repr=False)
+    query_trees: Optional[Dict[int, SampledNode]] = field(default=None,
+                                                          repr=False)
 
     def __len__(self) -> int:
         return int(self.user_ids.shape[0])
+
+    @property
+    def has_presampled_subgraphs(self) -> bool:
+        return self.user_trees is not None or self.query_trees is not None
 
 
 class ImpressionDataLoader:
@@ -34,18 +71,24 @@ class ImpressionDataLoader:
 
     def __init__(self, examples: Sequence[ImpressionRecord], batch_size: int = 128,
                  shuffle: bool = True, seed: int = 0,
-                 extra_negatives: int = 0, num_items: Optional[int] = None):
+                 extra_negatives: int = 0, num_items: Optional[int] = None,
+                 presample: Optional[PresampleConfig] = None):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if extra_negatives < 0:
             raise ValueError("extra_negatives must be non-negative")
         if extra_negatives > 0 and not num_items:
             raise ValueError("num_items is required when extra_negatives > 0")
+        if presample is not None:
+            presample.validate()
         self.examples = list(examples)
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.extra_negatives = extra_negatives
         self.num_items = num_items
+        self.presample = presample
+        self._sample_rng = np.random.default_rng(
+            presample.seed if presample is not None else 0)
         self._rng = np.random.default_rng(seed)
         self._users = np.array([e.user_id for e in self.examples], dtype=np.int64)
         self._queries = np.array([e.query_id for e in self.examples], dtype=np.int64)
@@ -81,7 +124,23 @@ class ImpressionDataLoader:
             if self.extra_negatives:
                 users, queries, items, labels = self._augment_negatives(
                     users, queries, items, labels)
-            yield Batch(users, queries, items, labels)
+            batch = Batch(users, queries, items, labels)
+            if self.presample is not None:
+                batch.user_trees = self._presample_trees(
+                    self.presample.user_type, users)
+                batch.query_trees = self._presample_trees(
+                    self.presample.query_type, queries)
+            yield batch
+
+    def _presample_trees(self, node_type: str,
+                         node_ids: np.ndarray) -> Dict[int, SampledNode]:
+        """Expand the batch's unique egos of one type in one vectorized pass."""
+        unique_ids = np.unique(node_ids)
+        subgraphs = self.presample.graph.sample_subgraph_batch(
+            node_type, unique_ids, self.presample.fanouts,
+            rng=self._sample_rng, weighted=self.presample.weighted)
+        return {int(node_id): tree
+                for node_id, tree in zip(unique_ids, subgraphs.to_trees())}
 
     def _augment_negatives(self, users, queries, items, labels):
         positives = labels > 0.5

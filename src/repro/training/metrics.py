@@ -14,7 +14,7 @@ The online metrics CTR, PPC and RPM are computed by the A/B-test simulator in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -11,16 +11,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.logs import ImpressionRecord
 from repro.models.base import RetrievalModel
 from repro.ndarray import functional as F
-from repro.ndarray.tensor import Tensor, no_grad
+from repro.ndarray.tensor import no_grad
 from repro.nn.optim import Adam, Optimizer, SGD
-from repro.training.dataloader import Batch, ImpressionDataLoader
+from repro.sampling.base import NeighborSampler
+from repro.training.dataloader import Batch, ImpressionDataLoader, PresampleConfig
 from repro.training.metrics import (
     MetricReport,
     auc_score,
@@ -45,6 +46,10 @@ class TrainingConfig:
     eval_batch_size: int = 256
     seed: int = 0
     verbose: bool = False
+    #: Pre-sample each mini-batch's ego sub-graphs in the dataloader with
+    #: the vectorized engine and hand them to the model (models without a
+    #: ``prime_sampled_trees`` hook silently ignore the setting).
+    presample_subgraphs: bool = False
 
     def validate(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -88,12 +93,40 @@ class Trainer:
             return Adam(params, lr=self.config.learning_rate)
         return SGD(params, lr=self.config.learning_rate)
 
+    def _presample_config(self) -> Optional[PresampleConfig]:
+        """Dataloader presampling spec, when enabled and model-supported.
+
+        Only engine-backed samplers (those overriding ``sample_batch``)
+        participate: per-node policies like random-walk visit counting or
+        cluster sampling have semantics the engine's draws would silently
+        replace, so those models keep sampling for themselves.
+        """
+        if not self.config.presample_subgraphs:
+            return None
+        if not hasattr(self.model, "prime_sampled_trees"):
+            return None
+        sampler = getattr(self.model, "sampler", None)
+        if sampler is not None and \
+                type(sampler).sample_batch is NeighborSampler.sample_batch:
+            return None
+        return PresampleConfig(
+            graph=self.model.graph,
+            fanouts=tuple(getattr(self.model, "fanouts", (10, 5))),
+            user_type=self.model.user_type,
+            query_type=self.model.query_type,
+            weighted=getattr(sampler, "engine_weighted", True),
+            seed=self.config.seed)
+
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
     def train_batch(self, batch: Batch) -> float:
         """One optimisation step; returns the batch loss."""
         self.model.train()
+        if (batch.has_presampled_subgraphs
+                and hasattr(self.model, "prime_sampled_trees")):
+            self.model.prime_sampled_trees(batch.user_trees or {},
+                                           batch.query_trees or {})
         self.optimizer.zero_grad()
         probabilities = self.model.forward_batch(batch.user_ids, batch.query_ids,
                                                  batch.item_ids)
@@ -120,7 +153,8 @@ class Trainer:
         """
         loader = ImpressionDataLoader(train_examples,
                                       batch_size=self.config.batch_size,
-                                      seed=self.config.seed)
+                                      seed=self.config.seed,
+                                      presample=self._presample_config())
         epoch_losses: List[float] = []
         epoch_aucs: List[float] = []
         iterations = 0

@@ -7,7 +7,6 @@ from repro.data import (
     SCALE_PRESETS,
     MovieLensConfig,
     SyntheticTaobaoConfig,
-    generate_movielens_dataset,
     generate_taobao_dataset,
     train_test_split_examples,
 )

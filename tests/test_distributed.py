@@ -12,7 +12,7 @@ from repro.distributed import (
     ParameterServerCluster,
     PipelineStage,
 )
-from repro.training.dataloader import Batch, ImpressionDataLoader
+from repro.training.dataloader import ImpressionDataLoader
 
 
 class TestParameterServer:

@@ -1,0 +1,379 @@
+"""Batched-vs-sequential equivalence tests for the vectorized sampling engine.
+
+The engine's contract: a single-node call is a batch-of-one, and a batched
+call over ``N`` nodes reads the random stream exactly as ``N`` sequential
+single calls — so both paths return identical sub-graphs under a fixed
+seed.  These tests pin that contract, the padding/edge-case behaviour, and
+the statistical correctness of the alias draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ZoomerConfig
+from repro.core.roi import ROIBuilder
+from repro.graph import (
+    AliasTable,
+    BatchedAliasTable,
+    HeteroGraph,
+    ShardedGraphStore,
+)
+from repro.graph.batch import PAD_NODE, segment_offsets
+from repro.graph.schema import EdgeType, NodeType, RelationSpec, taobao_schema
+from repro.sampling import FocalBiasedSampler, UniformNeighborSampler
+from repro.training.dataloader import ImpressionDataLoader, PresampleConfig
+
+
+CLICK = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+
+
+def _graph(num_users=40, num_items=80, num_edges=400, seed=0,
+           isolated_users=3):
+    """Synthetic graph whose last ``isolated_users`` users have no edges."""
+    rng = np.random.default_rng(seed)
+    graph = HeteroGraph(taobao_schema(feature_dim=6))
+    graph.add_nodes(NodeType.USER, rng.normal(size=(num_users, 6)))
+    graph.add_nodes(NodeType.QUERY, rng.normal(size=(12, 6)))
+    graph.add_nodes(NodeType.ITEM, rng.normal(size=(num_items, 6)))
+    connectable = num_users - isolated_users
+    src = rng.integers(0, connectable, size=num_edges)
+    dst = rng.integers(0, num_items, size=num_edges)
+    weights = rng.random(num_edges) + 0.05
+    graph.add_edges(CLICK, src, dst, weights, symmetric=True)
+    graph.add_edges(RelationSpec(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY),
+                    rng.integers(0, connectable, size=60),
+                    rng.integers(0, 12, size=60), symmetric=True)
+    return graph.finalize()
+
+
+class TestRelationBatchEquivalence:
+    @pytest.mark.parametrize("weighted", [True, False])
+    @pytest.mark.parametrize("replace", [False, True])
+    def test_batch_matches_sequential_loop(self, weighted, replace):
+        graph = _graph()
+        relation = graph.relation(CLICK)
+        nodes = np.arange(40)
+        batched = relation.sample_neighbors_batch(
+            nodes, 5, rng=np.random.default_rng(7), weighted=weighted,
+            replace=replace)
+        rng = np.random.default_rng(7)
+        for row, node in enumerate(nodes):
+            ids, weights = relation.sample_neighbors(
+                int(node), 5, rng=rng, weighted=weighted, replace=replace)
+            batch_ids, batch_weights = batched.row(row)
+            np.testing.assert_array_equal(ids, batch_ids)
+            np.testing.assert_allclose(weights, batch_weights)
+
+    def test_empty_neighborhood_rows_are_padded(self):
+        graph = _graph(isolated_users=5)
+        relation = graph.relation(CLICK)
+        isolated = np.arange(35, 40)
+        batch = relation.sample_neighbors_batch(
+            isolated, 4, rng=np.random.default_rng(0))
+        assert np.all(batch.counts == 0)
+        assert np.all(batch.ids == PAD_NODE)
+        assert np.all(batch.weights == 0.0)
+
+    def test_k_larger_than_degree_keeps_all_neighbors(self):
+        graph = _graph()
+        relation = graph.relation(CLICK)
+        nodes = np.arange(30)
+        batch = relation.sample_neighbors_batch(
+            nodes, 1000, rng=np.random.default_rng(0))
+        degrees = relation.degrees()[nodes]
+        np.testing.assert_array_equal(batch.counts, degrees)
+        for row, node in enumerate(nodes):
+            expected_ids, expected_weights = relation.neighbors(int(node))
+            ids, weights = batch.row(row)
+            np.testing.assert_array_equal(ids, expected_ids)
+            np.testing.assert_allclose(weights, expected_weights)
+
+    def test_alias_draws_match_edge_weight_distribution(self):
+        """Batched alias draws follow the edge-weight distribution."""
+        graph = _graph(num_edges=300)
+        relation = graph.relation(CLICK)
+        degrees = relation.degrees()
+        node = int(np.argmax(degrees))
+        ids, weights = relation.neighbors(node)
+        draws = 40_000
+        batch = relation.sample_neighbors_batch(
+            np.full(draws, node), 1, rng=np.random.default_rng(3),
+            replace=True)
+        sampled = batch.ids[:, 0]
+        # Aggregate by neighbor id (parallel edges sum their weights).
+        unique_ids = np.unique(ids)
+        expected = np.array([weights[ids == i].sum() for i in unique_ids])
+        expected = expected / expected.sum()
+        observed = np.array([(sampled == i).sum() for i in unique_ids]) / draws
+        np.testing.assert_allclose(observed, expected, atol=0.02)
+
+    def test_uniform_draws_are_uniform(self):
+        graph = _graph(num_edges=300)
+        relation = graph.relation(CLICK)
+        node = int(np.argmax(relation.degrees()))
+        ids, _ = relation.neighbors(node)
+        draws = 30_000
+        batch = relation.sample_neighbors_batch(
+            np.full(draws, node), 1, rng=np.random.default_rng(4),
+            weighted=False, replace=True)
+        unique_ids, expected_counts = np.unique(ids, return_counts=True)
+        expected = expected_counts / ids.size
+        observed = np.array([(batch.ids[:, 0] == i).sum()
+                             for i in unique_ids]) / draws
+        np.testing.assert_allclose(observed, expected, atol=0.02)
+
+
+class TestUnionAndSubgraphBatch:
+    def test_union_batch_tags_relations(self):
+        graph = _graph()
+        batch = graph.sample_neighbors_batch(
+            NodeType.USER, np.arange(20), 4, rng=np.random.default_rng(1))
+        mask = batch.valid_mask
+        assert batch.rel_ids is not None
+        assert np.all(batch.rel_ids[mask] >= 0)
+        assert np.all(batch.rel_ids[~mask] == -1)
+        specs = batch.specs
+        for row in range(20):
+            for col in range(int(batch.counts[row])):
+                spec = specs[batch.rel_ids[row, col]]
+                assert spec.src_type == NodeType.USER
+                neighbor = batch.ids[row, col]
+                ids, _ = graph.relation(spec).neighbors(row)
+                assert neighbor in ids
+
+    def test_subgraph_batch_matches_trees(self):
+        graph = _graph()
+        egos = np.arange(15)
+        subgraph = graph.sample_subgraph_batch(
+            NodeType.USER, egos, (4, 2), rng=np.random.default_rng(9))
+        trees = subgraph.to_trees()
+        assert len(trees) == 15
+        assert subgraph.num_nodes() == sum(t.num_nodes() for t in trees)
+        assert subgraph.num_edges() == sum(t.num_edges() for t in trees)
+        for tree in trees:
+            assert len(tree.children) <= 4
+            for _, child, _ in tree.children:
+                assert len(child.children) <= 2
+
+    def test_subgraph_batch_rejects_bad_fanouts(self):
+        graph = _graph()
+        with pytest.raises(ValueError):
+            graph.sample_subgraph_batch(NodeType.USER, [0], (0,))
+
+    def test_isolated_ego_gets_empty_tree(self):
+        graph = _graph(isolated_users=5)
+        subgraph = graph.sample_subgraph_batch(
+            NodeType.USER, [37], (3, 2), rng=np.random.default_rng(0))
+        trees = subgraph.to_trees()
+        assert trees[0].num_nodes() == 1
+
+    def test_uniform_sampler_sample_is_batch_of_one(self):
+        """``sample`` must be exactly ``sample_batch`` with one ego.
+
+        (Multi-ego batches expand hop-major across the whole batch, so they
+        are not stream-identical to an ego-major loop — one-hop calls are,
+        which ``TestRelationBatchEquivalence`` pins.)
+        """
+        graph = _graph()
+        for ego in (0, 1, 2):
+            single = UniformNeighborSampler(seed=5).sample(
+                graph, NodeType.USER, ego, (3, 2))
+            batch_of_one = UniformNeighborSampler(seed=5).sample_batch(
+                graph, NodeType.USER, [ego], (3, 2))[0]
+            assert _tree_signature(single) == _tree_signature(batch_of_one)
+
+
+def _tree_signature(tree):
+    """Hashable structural signature of a sampled tree."""
+    return (tree.node_type, tree.node_id,
+            tuple((spec, _tree_signature(child), round(weight, 12))
+                  for spec, child, weight in tree.children))
+
+
+class TestFocalBatchEquivalence:
+    def test_focal_batch_matches_single_ego_trees(self):
+        graph = _graph()
+        sampler = FocalBiasedSampler(seed=0)
+        egos = [0, 1, 2, 5, 8]
+        focals = graph.features[NodeType.USER][egos] + 0.1
+        batched = sampler.sample_batch(graph, NodeType.USER, egos, (3, 2),
+                                       focals)
+        for index, ego in enumerate(egos):
+            single = sampler.sample(graph, NodeType.USER, ego, (3, 2),
+                                    focals[index])
+            assert _tree_signature(batched[index]) == _tree_signature(single)
+
+    def test_focal_batch_with_fanout_above_every_degree(self):
+        """Regression: fanout larger than every degree in a hop's group.
+
+        The padded top-k block is narrower than ``k`` in this case; it
+        must be re-padded, not boolean-masked with a ``k``-wide mask.
+        """
+        graph = _graph()
+        sampler = FocalBiasedSampler(seed=0)
+        egos = [0, 1, 2, 36]
+        focals = graph.features[NodeType.USER][egos]
+        batched = sampler.sample_batch(graph, NodeType.USER, egos, (50, 40),
+                                       focals)
+        assert len(batched) == 4
+        for index, ego in enumerate(egos):
+            single = sampler.sample(graph, NodeType.USER, ego, (50, 40),
+                                    focals[index])
+            assert _tree_signature(batched[index]) == _tree_signature(single)
+
+    def test_roi_build_batch_matches_looped_build(self):
+        graph = _graph()
+        config = ZoomerConfig(embedding_dim=6, fanouts=(3, 2), seed=0)
+        builder_a = ROIBuilder(config)
+        builder_b = ROIBuilder(config)
+        users = [0, 1, 2]
+        queries = [0, 1, 2]
+        batched = builder_a.build_batch(graph, users, queries)
+        for user, query, roi in zip(users, queries, batched):
+            single = builder_b.build(graph, user, query)
+            assert roi.num_nodes() == single.num_nodes()
+            for ego_type in roi.ego_trees:
+                assert (_tree_signature(roi.tree(ego_type))
+                        == _tree_signature(single.tree(ego_type)))
+
+
+class TestBatchedAliasTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchedAliasTable(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            BatchedAliasTable(np.array([0, 2]), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            BatchedAliasTable(np.array([0, 2]), np.array([1.0]))
+
+    def test_zero_weight_rows_fall_back_to_uniform(self):
+        indptr = np.array([0, 3])
+        table = BatchedAliasTable(indptr, np.zeros(3))
+        draws = table.sample(np.zeros(20_000, dtype=np.int64), 1,
+                             np.random.default_rng(0))[:, 0]
+        counts = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(counts, np.ones(3) / 3, atol=0.02)
+
+    def test_rejects_empty_rows(self):
+        table = BatchedAliasTable(np.array([0, 0, 2]),
+                                  np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            table.sample(np.array([0]), 2)
+
+    def test_alias_table_accepts_shape_tuples(self):
+        table = AliasTable([1.0, 2.0, 7.0])
+        draws = table.sample((8, 4), np.random.default_rng(0))
+        assert draws.shape == (8, 4)
+        assert np.all((draws >= 0) & (draws < 3))
+
+
+class TestShardedStoreBatch:
+    def test_batch_routing_matches_sequential_accounting(self):
+        graph = _graph()
+        store_a = ShardedGraphStore(graph, num_shards=3, replication_factor=2)
+        store_b = ShardedGraphStore(graph, num_shards=3, replication_factor=2)
+        nodes = list(range(20))
+        batch = store_a.sample_neighbors_batch(
+            CLICK, nodes, 3, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(11)
+        for row, node in enumerate(nodes):
+            ids, weights = store_b.sample_neighbors(CLICK, node, 3, rng=rng)
+            batch_ids, batch_weights = batch.row(row)
+            np.testing.assert_array_equal(ids, batch_ids)
+            np.testing.assert_allclose(weights, batch_weights)
+        requests_a = sorted(s.requests for s in store_a.server_stats())
+        requests_b = sorted(s.requests for s in store_b.server_stats())
+        assert requests_a == requests_b
+        assert sum(requests_a) == len(nodes)
+
+    def test_store_subgraph_batch_accounts_frontier(self):
+        graph = _graph()
+        store = ShardedGraphStore(graph, num_shards=2, replication_factor=1)
+        subgraph = store.sample_subgraph_batch(
+            NodeType.USER, np.arange(10), (3, 2),
+            rng=np.random.default_rng(0))
+        assert len(subgraph.to_trees()) == 10
+        expanded = 10 + (subgraph.layers[0].num_edges
+                         if len(subgraph.layers) > 1 else 0)
+        assert sum(s.requests for s in store.server_stats()) == expanded
+
+    def test_partitioner_is_process_stable(self):
+        from repro.graph import HashPartitioner
+        partitioner = HashPartitioner(num_shards=4, seed=17)
+        shards = partitioner.shard_of_batch("user", np.arange(16))
+        # Pinned values: the assignment must never depend on interpreter
+        # hash salting (PYTHONHASHSEED), so it is reproducible here.
+        assert shards.tolist() == [
+            int(partitioner.shard_of("user", i)) for i in range(16)]
+        assert set(shards.tolist()) <= set(range(4))
+
+
+class TestSegmentHelpers:
+    def test_segment_offsets(self):
+        rows, cols = segment_offsets(np.array([2, 0, 3]))
+        np.testing.assert_array_equal(rows, [0, 0, 2, 2, 2])
+        np.testing.assert_array_equal(cols, [0, 1, 0, 1, 2])
+
+
+class TestPresampledDataloader:
+    def test_loader_emits_presampled_trees(self):
+        from repro.data.logs import ImpressionRecord
+
+        graph = _graph()
+        examples = [ImpressionRecord(user_id=i % 10, query_id=i % 5,
+                                     item_id=i % 20, label=i % 2)
+                    for i in range(32)]
+        loader = ImpressionDataLoader(
+            examples, batch_size=8, shuffle=False,
+            presample=PresampleConfig(graph=graph, fanouts=(3, 2),
+                                      user_type=NodeType.USER,
+                                      query_type=NodeType.QUERY))
+        batch = next(iter(loader))
+        assert batch.has_presampled_subgraphs
+        assert set(batch.user_trees) == set(np.unique(batch.user_ids))
+        assert set(batch.query_trees) == set(np.unique(batch.query_ids))
+        for user_id, tree in batch.user_trees.items():
+            assert tree.node_type == NodeType.USER
+            assert tree.node_id == user_id
+            assert len(tree.children) <= 3
+
+    def test_trainer_threads_presampled_trees_into_model(self):
+        from repro.baselines import GraphSAGEModel
+        from repro.data.logs import ImpressionRecord
+        from repro.training import Trainer, TrainingConfig
+
+        graph = _graph()
+        examples = [ImpressionRecord(user_id=i % 10, query_id=i % 5,
+                                     item_id=i % 20, label=i % 2)
+                    for i in range(64)]
+        model = GraphSAGEModel(graph, embedding_dim=6, fanouts=(3, 2), seed=0)
+        trainer = Trainer(model, TrainingConfig(
+            epochs=1, batch_size=16, presample_subgraphs=True,
+            max_batches_per_epoch=2))
+        result = trainer.train(examples)
+        assert result.iterations == 2
+        assert model._tree_cache  # populated by the presampled batches
+        cached_types = {key[0] for key in model._tree_cache}
+        assert cached_types <= {model.user_type, model.query_type}
+
+    def test_presampling_skips_non_engine_samplers(self):
+        """Walk/cluster samplers keep their own semantics: no presampling.
+
+        PixieModel interprets tree weights as random-walk visit counts;
+        engine-drawn trees would silently replace that policy, so the
+        trainer must not presample for samplers that do not override
+        ``sample_batch``.
+        """
+        from repro.baselines import GraphSAGEModel, PixieModel
+        from repro.training import Trainer, TrainingConfig
+
+        graph = _graph()
+        config = TrainingConfig(epochs=1, presample_subgraphs=True)
+        pixie_trainer = Trainer(PixieModel(graph, embedding_dim=6, seed=0),
+                                config)
+        assert pixie_trainer._presample_config() is None
+        sage_trainer = Trainer(GraphSAGEModel(graph, embedding_dim=6, seed=0),
+                               config)
+        presample = sage_trainer._presample_config()
+        assert presample is not None
+        assert presample.weighted is False  # uniform sampler semantics

@@ -5,9 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import AliasTable, GraphBuilder, HeteroGraph
-from repro.graph.schema import EdgeType, NodeType, RelationSpec, taobao_schema
-from repro.ndarray.tensor import Tensor
+from repro.graph import GraphBuilder
+from repro.graph.schema import EdgeType, NodeType, RelationSpec
 from repro.sampling import FocalBiasedSampler, focal_relevance_scores
 from repro.serving import InvertedIndex, LatencySimulator, NeighborCache
 from repro.training.metrics import auc_score, hit_rate_at_k

@@ -6,9 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import STAMPModel
-from repro.core import ZoomerConfig, ZoomerModel
+from repro.core import ZoomerModel
 from repro.training import (
-    Batch,
     ImpressionDataLoader,
     MetricReport,
     Trainer,
