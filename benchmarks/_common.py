@@ -6,6 +6,10 @@ absolute numbers differ from the paper; what each benchmark checks and reports
 is the *shape* of the result (who wins, by roughly what factor, where the
 trends bend).  Each benchmark prints a formatted table (run with ``-s`` to see
 it) and saves a JSON artifact under ``benchmark_results/``.
+
+Benchmarks are thin spec-plus-loop drivers: models are constructed by name
+through :func:`repro.api.build_model` (the registry the CLI and examples use
+too), and trained with the shared :func:`quick_train` budget below.
 """
 
 from __future__ import annotations

@@ -14,17 +14,17 @@ relevance score against the cosine alternative at the smallest K.
 import numpy as np
 
 from _common import RESULTS_DIR, quick_train
+from repro.api import build_model
 from repro.baselines import SAMPLER_BASELINES
-from repro.core import ZoomerConfig, ZoomerModel
 from repro.experiments import ExperimentResult, format_table, save_results
 
 K_VALUES = (2, 5, 10)
 
 
 def _zoomer(dataset, k, metric="generalized_jaccard"):
-    return ZoomerModel(dataset.graph, ZoomerConfig(
-        embedding_dim=16, fanouts=(k, max(k // 2, 1)), seed=0,
-        relevance_metric=metric))
+    return build_model("Zoomer", dataset.graph, embedding_dim=16,
+                       fanouts=(k, max(k // 2, 1)), seed=0,
+                       relevance_metric=metric)
 
 
 def test_fig11_sampling_number_sweep(benchmark, bench_taobao):
@@ -33,13 +33,9 @@ def test_fig11_sampling_number_sweep(benchmark, bench_taobao):
     def run():
         rows = []
         for k in K_VALUES:
-            models = {"Zoomer": lambda k=k: _zoomer(dataset, k)}
-            for name, cls in SAMPLER_BASELINES.items():
-                models[name] = (lambda c=cls, k=k: c(
-                    dataset.graph, embedding_dim=16,
-                    fanouts=(k, max(k // 2, 1)), seed=0))
-            for name, factory in models.items():
-                model = factory()
+            for name in ("Zoomer", *SAMPLER_BASELINES):
+                model = build_model(name, dataset.graph, embedding_dim=16,
+                                    fanouts=(k, max(k // 2, 1)), seed=0)
                 # Every model gets the same slightly-raised budget (2
                 # epochs, lr 0.05): at the 1-epoch/lr-0.03 default,
                 # Zoomer's deeper attention stack is undertrained and

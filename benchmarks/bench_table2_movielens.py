@@ -7,8 +7,8 @@ the compared methods.
 """
 
 from _common import RESULTS_DIR, quick_train
+from repro.api import build_model
 from repro.baselines import MOVIELENS_BASELINES
-from repro.core import ZoomerConfig, ZoomerModel
 from repro.experiments import ExperimentResult, format_table, save_results
 
 PAPER_TABLE2 = {
@@ -22,13 +22,9 @@ def test_table2_movielens_comparison(benchmark, bench_movielens):
 
     def run():
         rows = []
-        models = {"Zoomer": lambda: ZoomerModel(
-            dataset.graph, ZoomerConfig(embedding_dim=16, fanouts=(5,), seed=0))}
-        for name, cls in MOVIELENS_BASELINES.items():
-            models[name] = (lambda c=cls: c(dataset.graph, embedding_dim=16,
-                                            fanouts=(5,), seed=0))
-        for name, factory in models.items():
-            model = factory()
+        for name in ("Zoomer", *MOVIELENS_BASELINES):
+            model = build_model(name, dataset.graph, embedding_dim=16,
+                                fanouts=(5,), seed=0)
             # Same uniform budget as the Fig. 11 sweep (2 epochs, lr 0.05):
             # at 1 epoch / lr 0.03 every model sits in seed-noise near
             # AUC 0.5 and the comparison is meaningless (see fig11 notes).

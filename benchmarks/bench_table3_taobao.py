@@ -10,8 +10,8 @@ are at least as good as the baseline average.
 import numpy as np
 
 from _common import RESULTS_DIR, quick_train
+from repro.api import build_model
 from repro.baselines import ALL_BASELINES
-from repro.core import ZoomerConfig, ZoomerModel
 from repro.experiments import ExperimentResult, format_table, save_results
 
 PAPER_TABLE3_AUC = {
@@ -30,13 +30,9 @@ def test_table3_taobao_comparison(benchmark, bench_taobao):
 
     def run():
         rows = []
-        models = {"Zoomer": lambda: ZoomerModel(
-            dataset.graph, ZoomerConfig(embedding_dim=16, fanouts=(5, 3), seed=0))}
-        for name, cls in ALL_BASELINES.items():
-            models[name] = (lambda c=cls: c(dataset.graph, embedding_dim=16,
-                                            fanouts=(5, 3), seed=0))
-        for name, factory in models.items():
-            model = factory()
+        for name in ("Zoomer", *ALL_BASELINES):
+            model = build_model(name, dataset.graph, embedding_dim=16,
+                                fanouts=(5, 3), seed=0)
             trainer, result = quick_train(model, train, test)
             hit_rates = trainer.evaluate_hit_rate(
                 test, ks=HIT_KS, candidate_pool=dataset.config.num_items,

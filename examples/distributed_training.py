@@ -16,9 +16,8 @@ the laptop-scale simulations of those subsystems:
 Run with:  python examples/distributed_training.py
 """
 
-from repro.baselines import GraphSAGEModel
-from repro.data import SyntheticTaobaoConfig, generate_taobao_dataset, \
-    train_test_split_examples
+from repro.api import build_model, load_dataset
+from repro.data import train_test_split_examples
 from repro.distributed import (
     AsyncPipeline,
     AsyncTrainingSimulator,
@@ -31,9 +30,8 @@ from repro.graph.schema import NodeType
 
 
 def main() -> None:
-    dataset = generate_taobao_dataset(SyntheticTaobaoConfig(
-        num_users=50, num_queries=40, num_items=120, sessions_per_user=5.0,
-        seed=8))
+    dataset = load_dataset("synthetic-taobao", num_users=50, num_queries=40,
+                           num_items=120, sessions_per_user=5.0, seed=8)
     train, _ = train_test_split_examples(dataset.impressions, 0.9, seed=0)
 
     # 1. Distributed graph storage (Euler-like sharding + replication).
@@ -45,7 +43,8 @@ def main() -> None:
           f"request imbalance {store.load_imbalance():.2f}")
 
     # 2. Asynchronous worker / parameter-server training.
-    model = GraphSAGEModel(dataset.graph, embedding_dim=16, fanouts=(4, 2), seed=0)
+    model = build_model("GraphSage", dataset.graph, embedding_dim=16,
+                        fanouts=(4, 2), seed=0)
     cluster = ParameterServerCluster(num_servers=4, learning_rate=0.05)
     simulator = AsyncTrainingSimulator(model, cluster, num_workers=4,
                                        staleness=2, seed=0)

@@ -1,49 +1,52 @@
 """MovieLens-style recommendation: the paper's Table II scenario in miniature.
 
 The prediction task is a triple ``(user, tag, movie)``: did the user interact
-with the movie under the given tag?  The example builds the three-node-type
-graph (users, tags, movies with top-5 relevance tags per movie), trains
-Zoomer with the tag playing the "query" focal role, and compares against the
-session/heterogeneous baselines the paper uses on MovieLens.
+with the movie under the given tag?  The example declares the three-node-type
+scenario (users, tags, movies with top-5 relevance tags per movie) as one
+:class:`~repro.api.ExperimentSpec` with the ``movielens`` registry dataset
+and the tag playing the "query" focal role; each compared model — Zoomer and
+the session/heterogeneous baselines the paper uses on MovieLens — is the same
+spec with a different registered model name.
 
 Run with:  python examples/movielens_recommendation.py
 """
 
-from repro.baselines import HANModel, STAMPModel
-from repro.core import ZoomerConfig, ZoomerModel
-from repro.data import MovieLensConfig, generate_movielens_dataset, \
-    train_test_split_examples
+import dataclasses
+
+from repro.api import DataSpec, ExperimentSpec, ModelSpec, Pipeline, TrainSpec
 from repro.experiments import format_table
-from repro.training import Trainer, TrainingConfig
 
 
 def main() -> None:
-    dataset = generate_movielens_dataset(MovieLensConfig(
-        num_users=80, num_movies=140, num_tags=24, num_genres=6,
-        ratings_per_user=10.0, seed=5))
-    graph = dataset.graph
+    spec = ExperimentSpec(
+        dataset=DataSpec(
+            name="movielens",
+            params={"num_users": 80, "num_movies": 140, "num_tags": 24,
+                    "num_genres": 6, "ratings_per_user": 10.0, "seed": 5},
+            # The paper splits MovieLens 80/20.
+            train_fraction=0.8,
+            max_train_examples=1200, max_test_examples=400),
+        # One-hop aggregation on MovieLens, as in the paper's settings.
+        model=ModelSpec(name="zoomer", embedding_dim=16, fanouts=(5,)),
+        training=TrainSpec(epochs=2, batch_size=64, learning_rate=0.03,
+                           loss="focal"),
+        seed=0)
+
+    pipeline = Pipeline(spec).build_graph()
+    graph = pipeline.graph
     print("MovieLens-like graph:", graph.summary()["num_nodes"],
           f"edges={graph.total_edges}")
-    # The paper splits MovieLens 80/20.
-    train, test = train_test_split_examples(dataset.examples, 0.8, seed=0)
-    train, test = train[:1200], test[:400]
-    print(f"Training triples: {len(train)}, test triples: {len(test)}")
+    print(f"Training triples: {len(pipeline.train_examples)}, "
+          f"test triples: {len(pipeline.test_examples)}")
 
-    # One-hop aggregation on MovieLens, as in the paper's settings.
-    train_config = TrainingConfig(epochs=2, batch_size=64, learning_rate=0.03,
-                                  loss="focal")
-    models = [
-        ZoomerModel(graph, ZoomerConfig(embedding_dim=16, fanouts=(5,), seed=0)),
-        HANModel(graph, embedding_dim=16, fanouts=(5,), seed=0),
-        STAMPModel(graph, embedding_dim=16, seed=0),
-    ]
     rows = []
-    for model in models:
-        trainer = Trainer(model, train_config)
-        result = trainer.train(train, test)
+    for model_name in ("zoomer", "HAN", "STAMP"):
+        variant = dataclasses.replace(
+            spec, model=dataclasses.replace(spec.model, name=model_name))
+        result = Pipeline(variant).fit().result
         report = result.final_metrics
         rows.append({
-            "model": model.name,
+            "model": result.model_name,
             "auc": round(report.auc * 100, 2),     # Table II reports AUC in %
             "mae": round(report.mae, 4),
             "rmse": round(report.rmse, 4),

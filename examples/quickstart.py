@@ -1,96 +1,109 @@
-"""Quickstart: build a graph, train Zoomer, evaluate and retrieve.
+"""Quickstart: one declarative spec from behavior logs to online serving.
 
-This walks through the full public API in a few minutes on a laptop:
+This walks the unified ``repro.api`` surface in a few minutes on a laptop:
 
-1. generate a synthetic Taobao-like behavior log and build the heterogeneous
-   user-query-item retrieval graph from it,
-2. construct a Region of Interest (ROI) for one request and inspect it,
-3. train the Zoomer twin-tower model with focal cross-entropy,
-4. evaluate AUC / HitRate@K against a GraphSAGE baseline,
-5. retrieve items for a live request.
+1. describe the whole experiment — dataset, model, training, serving — as a
+   single declarative :class:`~repro.api.ExperimentSpec` (JSON-round-trippable),
+2. run the staged :class:`~repro.api.Pipeline`:
+   ``build_graph() -> fit() -> evaluate() -> deploy()``,
+3. inspect a Region of Interest on the built graph,
+4. compare Zoomer against a registered baseline by swapping one field of the
+   spec (every model in ``repro.api.MODELS`` is a one-line scenario),
+5. retrieve items for live requests through the deployed online server.
 
 Run with:  python examples/quickstart.py
 """
 
-import numpy as np
+import dataclasses
 
-from repro.baselines import GraphSAGEModel
-from repro.core import ROIBuilder, ZoomerConfig, ZoomerModel
-from repro.data import (
-    SyntheticTaobaoConfig,
-    generate_taobao_dataset,
-    train_test_split_examples,
+from repro.api import (
+    MODELS,
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    Pipeline,
+    TrainSpec,
 )
+from repro.core import ROIBuilder, ZoomerConfig
 from repro.experiments import format_table
-from repro.training import Trainer, TrainingConfig
 
 
 def main() -> None:
     # ------------------------------------------------------------------ #
-    # 1. Data: synthetic Taobao-like behavior logs -> heterogeneous graph
+    # 1. One declarative spec: data -> model -> training -> serving
     # ------------------------------------------------------------------ #
-    dataset = generate_taobao_dataset(SyntheticTaobaoConfig(
-        num_users=60, num_queries=50, num_items=150, num_categories=8,
-        sessions_per_user=6.0, seed=0))
-    graph = dataset.graph
+    spec = ExperimentSpec(
+        dataset=DataSpec(
+            name="synthetic-taobao",
+            params={"num_users": 60, "num_queries": 50, "num_items": 150,
+                    "num_categories": 8, "sessions_per_user": 6.0, "seed": 0},
+            train_fraction=0.9,
+            max_train_examples=1200, max_test_examples=400),
+        model=ModelSpec(name="zoomer", embedding_dim=16, fanouts=(5, 3)),
+        training=TrainSpec(epochs=2, batch_size=64, learning_rate=0.03,
+                           loss="focal"),
+        seed=0)
+    print("Registered models:", ", ".join(MODELS.names()))
+    print("Spec round-trips through JSON:",
+          ExperimentSpec.from_json(spec.to_json()) == spec)
+
+    # ------------------------------------------------------------------ #
+    # 2. Stage 1 — build the heterogeneous graph from the behavior logs
+    # ------------------------------------------------------------------ #
+    pipeline = Pipeline(spec).build_graph()
+    graph = pipeline.graph
     print("Graph summary:", graph.summary()["num_nodes"],
           f"edges={graph.total_edges}")
-
-    train, test = train_test_split_examples(dataset.impressions, 0.9, seed=0)
-    train, test = train[:1200], test[:400]
-    print(f"Training impressions: {len(train)}, test impressions: {len(test)}")
+    print(f"Training impressions: {len(pipeline.train_examples)}, "
+          f"test impressions: {len(pipeline.test_examples)}")
 
     # ------------------------------------------------------------------ #
-    # 2. Inspect a Region of Interest for one request
+    # 3. Inspect a Region of Interest for one request
     # ------------------------------------------------------------------ #
-    config = ZoomerConfig(embedding_dim=16, fanouts=(5, 3), seed=0)
-    roi_builder = ROIBuilder(config)
-    session = dataset.sessions[0]
+    roi_builder = ROIBuilder(ZoomerConfig(embedding_dim=16, fanouts=(5, 3),
+                                          seed=0))
+    session = pipeline.dataset.sessions[0]
     roi = roi_builder.build(graph, session.user_id, session.query_id)
     print(f"ROI for user {session.user_id} / query {session.query_id}: "
           f"{roi.num_nodes()} nodes, {roi.num_edges()} edges, "
           f"coverage={roi_builder.coverage_ratio(graph, roi):.2f}")
 
     # ------------------------------------------------------------------ #
-    # 3. Train Zoomer and a GraphSAGE baseline
+    # 4. Train Zoomer and a baseline: one changed field per scenario
     # ------------------------------------------------------------------ #
-    train_config = TrainingConfig(epochs=2, batch_size=64, learning_rate=0.03,
-                                  loss="focal")
     rows = []
-    for model in (ZoomerModel(graph, config),
-                  GraphSAGEModel(graph, embedding_dim=16, fanouts=(5, 3))):
-        trainer = Trainer(model, train_config)
-        result = trainer.train(train, test)
-        hit_rates = trainer.evaluate_hit_rate(test, ks=(10, 50),
-                                              candidate_pool=120,
-                                              max_requests=30)
+    for model_name in ("zoomer", "GraphSage"):
+        variant = dataclasses.replace(
+            spec, model=dataclasses.replace(spec.model, name=model_name))
+        run = Pipeline(variant).fit()
+        evaluation = run.evaluate(ks=(10, 50), candidate_pool=120,
+                                  max_requests=30)
         rows.append({
-            "model": model.name,
-            "auc": round(result.final_metrics.auc, 4),
-            "hitrate@10": round(hit_rates[10], 3),
-            "hitrate@50": round(hit_rates[50], 3),
-            "train_s": round(result.training_seconds, 1),
+            "model": evaluation["model"],
+            "auc": round(evaluation["auc"], 4),
+            "hitrate@10": round(evaluation["hit_rates"][10], 3),
+            "hitrate@50": round(evaluation["hit_rates"][50], 3),
+            "train_s": round(evaluation["training_seconds"], 1),
         })
+        if model_name == "zoomer":
+            pipeline = run   # keep the fitted Zoomer pipeline for serving
     print()
     print(format_table(rows, title="Quickstart comparison"))
 
     # ------------------------------------------------------------------ #
-    # 4. Retrieve items for a live request with the trained Zoomer model
+    # 5. Deploy and retrieve items for live requests
     # ------------------------------------------------------------------ #
-    zoomer_row = rows[0]
-    assert zoomer_row["model"] == "Zoomer"
-    model = ZoomerModel(graph, config)   # fresh model for the demo retrieval
-    Trainer(model, train_config).train(train[:600])
+    server = pipeline.deploy()
     user_id, query_id = session.user_id, session.query_id
-    scores = model.score_items(user_id, query_id,
-                               np.arange(dataset.config.num_items))
-    top_items = np.argsort(-scores)[:5]
+    result = server.serve(user_id, query_id, k=5)
+    dataset = pipeline.dataset
     query_category = dataset.query_categories[query_id]
     print(f"\nTop-5 retrieved items for (user={user_id}, query={query_id}) "
           f"[query category {query_category}]:")
-    for rank, item in enumerate(top_items, start=1):
+    for rank, (item, score) in enumerate(zip(result.item_ids, result.scores),
+                                         start=1):
         print(f"  {rank}. item {item} (category "
-              f"{dataset.item_categories[item]}, score {scores[item]:.3f})")
+              f"{dataset.item_categories[item]}, score {score:.3f})")
 
 
 if __name__ == "__main__":

@@ -2,14 +2,17 @@
 
 A user poses a query on the app; the search engine retrieves a candidate set
 from a large item pool, then ranks it.  This example exercises the retrieval
-stage end to end the way the paper deploys it:
+stage end to end the way the paper deploys it — and the way the unified API
+spells it: ``Pipeline(spec).fit().deploy()``.
 
-1. train Zoomer offline on behavior logs,
-2. export item embeddings, build the ANN index (sharded across partitions of
-   the item corpus) and the two-layer inverted index, warm the neighbor
-   caches (the asynchronous refresh path),
-3. serve a stream of requests through :class:`repro.serving.OnlineServer`,
-   measuring the latency breakdown and the relevance of what was returned,
+1. declare the whole scenario (data, model, training budget, sharded serving
+   stack) as one :class:`~repro.api.ExperimentSpec`,
+2. ``fit()`` trains Zoomer offline on the behavior logs; ``deploy()`` exports
+   item embeddings, builds the sharded ANN index and the two-layer inverted
+   index, and warms the neighbor caches (the asynchronous refresh path),
+3. serve a stream of requests through the returned
+   :class:`repro.serving.OnlineServer`, measuring the latency breakdown and
+   the relevance of what was returned,
 4. replay the same stream through the **batched engine**: a
    :class:`repro.serving.RequestBatcher` micro-batches concurrent requests
    into vectorized ``serve_batch`` calls, returning identical results at a
@@ -22,38 +25,38 @@ Run with:  python examples/search_retrieval_serving.py
 
 import time
 
-
-from repro.core import ZoomerConfig, ZoomerModel
-from repro.data import (
-    SyntheticTaobaoConfig,
-    generate_taobao_dataset,
-    train_test_split_examples,
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    Pipeline,
+    ServingSpec,
+    TrainSpec,
 )
 from repro.experiments import format_table
-from repro.serving import OnlineServer, RequestBatcher
-from repro.training import Trainer, TrainingConfig
+from repro.serving import RequestBatcher
 
 
 def main() -> None:
-    dataset = generate_taobao_dataset(SyntheticTaobaoConfig(
-        num_users=50, num_queries=40, num_items=120, num_categories=8,
-        sessions_per_user=6.0, seed=3))
-    train, _ = train_test_split_examples(dataset.impressions, 0.9, seed=0)
+    spec = ExperimentSpec(
+        dataset=DataSpec(
+            name="synthetic-taobao",
+            params={"num_users": 50, "num_queries": 40, "num_items": 120,
+                    "num_categories": 8, "sessions_per_user": 6.0, "seed": 3},
+            train_fraction=0.9,
+            max_train_examples=800, max_test_examples=0),
+        model=ModelSpec(name="zoomer", embedding_dim=16, fanouts=(5, 3)),
+        training=TrainSpec(epochs=1, batch_size=64, learning_rate=0.03),
+        serving=ServingSpec(cache_capacity=30, ann_cells=8, ann_nprobe=3,
+                            posting_length=50, num_shards=2,
+                            warm_users=20, warm_queries=20),
+        seed=0)
 
-    # Offline training.
-    model = ZoomerModel(dataset.graph,
-                        ZoomerConfig(embedding_dim=16, fanouts=(5, 3), seed=0))
+    # Offline training + serving-stack construction, one chained call.
     print("Training Zoomer offline ...")
-    Trainer(model, TrainingConfig(epochs=1, batch_size=64,
-                                  learning_rate=0.03)).train(train[:800])
-
-    # Build the serving stack: sharded ANN + inverted index + neighbor caches.
-    server = OnlineServer(model, cache_capacity=30, ann_cells=8, ann_nprobe=3,
-                          posting_length=50, num_shards=2)
-    active_users = list(range(20))
-    active_queries = list(range(20))
-    server.warm_caches(active_users, active_queries)
-    server.build_inverted_index(active_queries)
+    pipeline = Pipeline(spec)
+    server = pipeline.fit().deploy()
+    dataset = pipeline.dataset
     print(f"Serving stack ready: {len(server.inverted_index)} posting lists, "
           f"ANN over {dataset.config.num_items} items in "
           f"{server.num_shards} shards, {len(server.cache)} cached nodes")
@@ -91,7 +94,9 @@ def main() -> None:
     # compares the two dispatch paths, not cold-cache model calls.
     stream = [(s.user_id, s.query_id) for s in dataset.sessions[:100]]
     server.serve_batch(stream, k=10)
-    batcher = RequestBatcher(server, max_batch_size=32, max_wait_ms=5.0, k=10)
+    batcher = RequestBatcher(server,
+                             max_batch_size=spec.serving.serve_batch_size,
+                             max_wait_ms=5.0, k=10)
     start = time.perf_counter()
     batched_results = []
     for user_id, query_id in stream:

@@ -3,6 +3,10 @@
 Reproduction of "Zoomer: Boosting Retrieval on Web-scale Graphs by Regions of
 Interest" (ICDE 2022).  The package is organised as:
 
+* :mod:`repro.api` — the unified surface: plugin registries
+  (``register_model`` / ``register_sampler`` / ``register_dataset``), the
+  declarative ``ExperimentSpec``, and the staged ``Pipeline`` facade
+  (``build_graph() -> fit() -> evaluate() -> deploy()``).
 * :mod:`repro.ndarray`, :mod:`repro.nn` — numpy autodiff engine and NN layers.
 * :mod:`repro.graph` — heterogeneous graph engine (Euler-like substrate).
 * :mod:`repro.sampling` — neighbor samplers (uniform, importance, random-walk,

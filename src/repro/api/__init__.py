@@ -1,0 +1,83 @@
+"""Unified programmatic surface of the Zoomer reproduction.
+
+Three pieces compose into one pipeline from data to serving:
+
+* **Registries** — ``@register_model`` / ``@register_sampler`` /
+  ``@register_dataset`` make every model, sampler, and dataset a named
+  plugin; :func:`build_model`, :func:`build_sampler` and
+  :func:`load_dataset` are the only factories the CLI, examples, and
+  benchmarks use.
+* **ExperimentSpec** — one declarative, JSON-round-trippable document that
+  subsumes ``ZoomerConfig`` + ``TrainingConfig`` + the serving knobs and
+  validates cross-layer consistency.
+* **Pipeline** — the staged facade
+  (``build_graph() -> fit() -> evaluate() -> deploy()``) whose ``deploy()``
+  returns a fully wired sharded/batched ``OnlineServer``::
+
+      from repro.api import ExperimentSpec, Pipeline
+
+      server = Pipeline(ExperimentSpec()).fit().deploy()
+      results = server.serve_batch([(0, 0), (1, 3)], k=10)
+
+The legacy constructors (``ZoomerModel(graph, config)``, ``Trainer(model,
+TrainingConfig(...))``, ``OnlineServer(model, ...)``) keep working unchanged;
+the pipeline builds exactly those objects.
+"""
+
+# Only the dependency-free registry module is imported eagerly: the domain
+# modules register themselves by importing ``repro.api.registry`` at their
+# own import time, which first executes this package ``__init__`` — pulling
+# in the spec/pipeline layers (and through them trainer/serving/data) at
+# that point would re-enter the partially-initialized domain package.  The
+# heavier layers load on first attribute access instead (PEP 562).
+from repro.api.registry import (
+    DATASETS,
+    MODELS,
+    SAMPLERS,
+    Registry,
+    RegistryEntry,
+    RegistryError,
+    build_model,
+    build_sampler,
+    dataset_examples,
+    load_dataset,
+    register_dataset,
+    register_model,
+    register_sampler,
+)
+
+_SPEC_EXPORTS = ("DataSpec", "ExperimentSpec", "ModelSpec", "ServingSpec",
+                 "TrainSpec")
+_PIPELINE_EXPORTS = ("Pipeline", "PipelineError")
+
+__all__ = [
+    "DATASETS",
+    "MODELS",
+    "SAMPLERS",
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "build_model",
+    "build_sampler",
+    "dataset_examples",
+    "load_dataset",
+    "register_dataset",
+    "register_model",
+    "register_sampler",
+    *_SPEC_EXPORTS,
+    *_PIPELINE_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _SPEC_EXPORTS:
+        from repro.api import spec
+        return getattr(spec, name)
+    if name in _PIPELINE_EXPORTS:
+        from repro.api import pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

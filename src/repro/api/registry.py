@@ -1,0 +1,230 @@
+"""Decorator-based plugin registries: models, samplers, datasets.
+
+The registries are the repo's single factory surface.  Zoomer, every
+baseline, every sampler, and the dataset generators register themselves with
+``@register_model`` / ``@register_sampler`` / ``@register_dataset`` at import
+time; the CLI, the :class:`~repro.api.pipeline.Pipeline` facade and the
+benchmark harness all resolve names through :func:`build_model`,
+:func:`build_sampler` and :func:`load_dataset` instead of keeping their own
+name->class tables.  Adding a new scenario means registering it once — no
+script edits.
+
+This module deliberately imports nothing from the rest of :mod:`repro` so the
+domain modules can import it without cycles; the built-in registrations live
+next to the classes they register and are pulled in lazily on first lookup
+(:func:`_ensure_builtins`).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+
+class RegistryError(KeyError):
+    """Unknown or duplicate registry name (message lists the known names)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered plugin: its canonical name, factory, and metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """A case-insensitive name -> factory registry with metadata."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}   # canonical name -> entry
+        self._index: Dict[str, str] = {}               # lowercase name/alias -> canonical
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, factory: Optional[Callable[..., Any]] = None,
+                 aliases: Sequence[str] = (), **metadata: Any):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        ``metadata`` is free-form and interpreted by the builder helpers
+        (e.g. ``config_class`` for Zoomer-style models, ``engine_backed``
+        for samplers, ``examples_attr`` for datasets).
+        """
+
+        def _add(obj: Callable[..., Any]) -> Callable[..., Any]:
+            for key in (name, *aliases):
+                existing = self._index.get(key.lower())
+                if existing is not None and existing != name:
+                    raise RegistryError(
+                        f"{self.kind} name {key!r} is already registered "
+                        f"(as {existing!r})")
+            if name in self._entries:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered")
+            self._entries[name] = RegistryEntry(name=name, factory=obj,
+                                                metadata=dict(metadata))
+            for key in (name, *aliases):
+                self._index[key.lower()] = name
+            return obj
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> RegistryEntry:
+        """Resolve ``name`` (case-insensitive); unknown names list known ones."""
+        _ensure_builtins()
+        canonical = self._index.get(str(name).lower())
+        if canonical is None:
+            known = ", ".join(sorted(self._entries))
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; known {self.kind}s: {known}")
+        return self._entries[canonical]
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the plugin registered under ``name``."""
+        return self.get(name).factory(*args, **kwargs)
+
+    def names(self) -> Tuple[str, ...]:
+        _ensure_builtins()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        _ensure_builtins()
+        return str(name).lower() in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(self._entries)
+
+
+#: The three global registries.
+MODELS = Registry("model")
+SAMPLERS = Registry("sampler")
+DATASETS = Registry("dataset")
+
+
+def register_model(name: str, aliases: Sequence[str] = (), **metadata: Any):
+    """Class/function decorator adding a retrieval-model factory to ``MODELS``.
+
+    Metadata keys understood by :func:`build_model`:
+
+    * ``config_class`` — Zoomer-style models constructed as
+      ``factory(graph, config_class(embedding_dim=..., fanouts=..., ...))``
+      instead of flat keyword arguments.
+    * ``accepts_sampler`` — the factory takes a ``sampler=`` keyword
+      (the :class:`~repro.baselines.common.TreeAggregationModel` family).
+    """
+    return MODELS.register(name, aliases=aliases, **metadata)
+
+
+def register_sampler(name: str, aliases: Sequence[str] = (), **metadata: Any):
+    """Decorator adding a :class:`NeighborSampler` factory to ``SAMPLERS``.
+
+    ``engine_backed=True`` marks samplers whose ``sample_batch`` runs on the
+    vectorized graph engine (required for dataloader presampling).
+    """
+    return SAMPLERS.register(name, aliases=aliases, **metadata)
+
+
+def register_dataset(name: str, aliases: Sequence[str] = (), **metadata: Any):
+    """Decorator adding a dataset factory to ``DATASETS``.
+
+    ``examples_attr`` names the attribute holding the labelled training
+    examples on the returned dataset object (``"impressions"`` for the
+    Taobao-style logs, ``"examples"`` for MovieLens-style triples).
+    """
+    return DATASETS.register(name, aliases=aliases, **metadata)
+
+
+# ---------------------------------------------------------------------- #
+# Builder helpers (the one true factory surface)
+# ---------------------------------------------------------------------- #
+def build_sampler(name: str, seed: int = 0, **params: Any):
+    """Instantiate a registered neighbor sampler."""
+    entry = SAMPLERS.get(name)
+    return entry.factory(seed=seed, **params)
+
+
+def build_model(name: str, graph: Any, *, embedding_dim: int = 32,
+                fanouts: Sequence[int] = (10, 5), seed: int = 0,
+                sampler: Optional[str] = None,
+                sampler_params: Optional[Dict[str, Any]] = None,
+                **params: Any):
+    """Instantiate a registered retrieval model on ``graph``.
+
+    The common knobs (``embedding_dim``, ``fanouts``, ``seed``) are spelled
+    once here; everything in ``params`` is forwarded to the model (for
+    Zoomer-style entries it lands on the config class, e.g. ablation flags or
+    ``relevance_metric``).  ``sampler`` optionally overrides the model's
+    neighbor sampler by registry name.
+    """
+    entry = MODELS.get(name)
+    config_class = entry.metadata.get("config_class")
+    if config_class is not None:
+        if sampler is not None:
+            raise RegistryError(
+                f"model {entry.name!r} builds its own focal-biased sampler "
+                f"and does not accept a sampler override")
+        config = config_class(embedding_dim=embedding_dim,
+                              fanouts=tuple(fanouts), seed=seed, **params)
+        return entry.factory(graph, config)
+    kwargs: Dict[str, Any] = dict(embedding_dim=embedding_dim,
+                                  fanouts=tuple(fanouts), seed=seed, **params)
+    if sampler is not None:
+        if not entry.metadata.get("accepts_sampler", False):
+            raise RegistryError(
+                f"model {entry.name!r} does not accept a sampler override")
+        kwargs["sampler"] = build_sampler(sampler, seed=seed,
+                                          **(sampler_params or {}))
+    return entry.factory(graph, **kwargs)
+
+
+def load_dataset(name: str, **params: Any):
+    """Generate/load a registered dataset."""
+    entry = DATASETS.get(name)
+    return entry.factory(**params)
+
+
+def dataset_examples(name: str, dataset: Any):
+    """The labelled examples of a dataset built by :func:`load_dataset`."""
+    entry = DATASETS.get(name)
+    return getattr(dataset, entry.metadata.get("examples_attr", "impressions"))
+
+
+# ---------------------------------------------------------------------- #
+# Built-in registrations
+# ---------------------------------------------------------------------- #
+#: Modules whose import registers the built-in plugins (decorators run at
+#: import time).  Kept as names, not imports, to avoid cycles.
+_BUILTIN_MODULES = (
+    "repro.core.model",
+    "repro.baselines",
+    "repro.sampling",
+    "repro.data",
+)
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the domain modules so their registrations have run."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True   # set first: the imports re-enter this module
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)

@@ -1,0 +1,249 @@
+"""Declarative experiment specification: one document from data to serving.
+
+:class:`ExperimentSpec` subsumes the knobs that were previously threaded by
+hand through ``ZoomerConfig`` + ``TrainingConfig`` + ad-hoc ``OnlineServer``
+keyword arguments.  A spec is a plain dataclass tree that round-trips through
+``to_dict`` / ``from_dict`` / JSON, validates cross-layer consistency (e.g.
+presampling requires an engine-backed sampler, a random-walk sampler must
+walk at least as deep as the fanout tree), and is the single input of
+:class:`~repro.api.pipeline.Pipeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.registry import DATASETS, MODELS, SAMPLERS
+from repro.training.trainer import TrainingConfig
+
+
+def _from_mapping(cls, data: Mapping[str, Any], section: str):
+    """Build dataclass ``cls`` from a mapping, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"spec section {section!r} must be a mapping, "
+                         f"got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown key(s) {unknown} in spec section "
+                         f"{section!r}; known keys: {sorted(known)}")
+    return cls(**dict(data))
+
+
+@dataclass
+class DataSpec:
+    """Which dataset to load and how to split it."""
+
+    #: Registry name of the dataset (see ``repro.api.DATASETS``).
+    name: str = "synthetic-taobao"
+    #: Keyword arguments forwarded to the dataset factory (JSON-able).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Fraction of examples used for training (time-ordered split).
+    train_fraction: float = 0.9
+    #: Optional caps on the split sizes (``0`` disables the test set).
+    max_train_examples: Optional[int] = None
+    max_test_examples: Optional[int] = None
+
+
+@dataclass
+class ModelSpec:
+    """Which model to build and its common hyper-parameters."""
+
+    #: Registry name of the model (see ``repro.api.MODELS``).
+    name: str = "zoomer"
+    embedding_dim: int = 32
+    fanouts: Tuple[int, ...] = (10, 5)
+    #: Optional sampler override by registry name (tree-aggregation models).
+    sampler: Optional[str] = None
+    #: Keyword arguments for the sampler factory.
+    sampler_params: Dict[str, Any] = field(default_factory=dict)
+    #: Extra model keyword arguments (for Zoomer these land on the config:
+    #: ablation switches, ``relevance_metric``, ``roi_downscale``, ...).
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.fanouts = tuple(int(k) for k in self.fanouts)
+
+
+@dataclass
+class TrainSpec:
+    """Training knobs; mirrors :class:`repro.training.trainer.TrainingConfig`."""
+
+    epochs: int = 3
+    batch_size: int = 128
+    learning_rate: float = 0.05
+    optimizer: str = "adam"
+    loss: str = "focal"
+    focal_gamma: float = 2.0
+    regularization_weight: float = 1e-6
+    max_batches_per_epoch: Optional[int] = None
+    eval_batch_size: int = 256
+    presample_subgraphs: bool = False
+    verbose: bool = False
+    #: ``None`` inherits the experiment-level seed.
+    seed: Optional[int] = None
+
+
+@dataclass
+class ServingSpec:
+    """Online-serving knobs; mirrors the ``OnlineServer`` constructor."""
+
+    cache_capacity: int = 30
+    ann_cells: int = 16
+    ann_nprobe: int = 3
+    posting_length: int = 100
+    num_servers: int = 64
+    use_inverted_index: bool = True
+    num_shards: int = 1
+    serve_batch_size: int = 32
+    #: How many user/query nodes to warm the caches and inverted index with.
+    warm_users: int = 20
+    warm_queries: int = 20
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete experiment: data -> model -> training -> serving."""
+
+    dataset: DataSpec = field(default_factory=DataSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    training: TrainSpec = field(default_factory=TrainSpec)
+    serving: ServingSpec = field(default_factory=ServingSpec)
+    seed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (nested dataclasses become nested dicts)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        if not isinstance(data, Mapping):
+            raise ValueError("spec must be a mapping")
+        sections = {"dataset": DataSpec, "model": ModelSpec,
+                    "training": TrainSpec, "serving": ServingSpec}
+        unknown = sorted(set(data) - set(sections) - {"seed"})
+        if unknown:
+            raise ValueError(f"unknown spec section(s) {unknown}; known "
+                             f"sections: {sorted(sections)} plus 'seed'")
+        kwargs: Dict[str, Any] = {}
+        for key, section_cls in sections.items():
+            if key in data:
+                kwargs[key] = _from_mapping(section_cls, data[key], key)
+        if "seed" in data:
+            kwargs["seed"] = int(data["seed"])
+        return cls(**kwargs)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    # Cross-layer validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ExperimentSpec":
+        """Check intra-section ranges and cross-layer consistency.
+
+        Registry lookups raise :class:`~repro.api.registry.RegistryError`
+        listing the known names; everything else raises :class:`ValueError`.
+        """
+        # Registry names resolve (unknown names list the known ones).
+        DATASETS.get(self.dataset.name)
+        model_entry = MODELS.get(self.model.name)
+
+        if not 0.0 < self.dataset.train_fraction < 1.0:
+            raise ValueError("dataset.train_fraction must be in (0, 1)")
+        for attr in ("max_train_examples", "max_test_examples"):
+            value = getattr(self.dataset, attr)
+            if value is not None and value < 0:
+                raise ValueError(f"dataset.{attr} must be non-negative")
+
+        if self.model.embedding_dim <= 0:
+            raise ValueError("model.embedding_dim must be positive")
+        if not self.model.fanouts or any(k <= 0 for k in self.model.fanouts):
+            raise ValueError(
+                "model.fanouts must be a non-empty tuple of positive ints")
+
+        sampler_entry = None
+        if self.model.sampler is not None:
+            sampler_entry = SAMPLERS.get(self.model.sampler)
+            if model_entry.metadata.get("config_class") is not None or \
+                    not model_entry.metadata.get("accepts_sampler", False):
+                raise ValueError(
+                    f"model {model_entry.name!r} does not accept a sampler "
+                    f"override (model.sampler={self.model.sampler!r})")
+            # Fanout depth vs sampler depth: a walk-based sampler must walk
+            # at least as many hops as the fanout tree is deep.
+            depth_param = sampler_entry.metadata.get("depth_param")
+            if depth_param is not None:
+                depth = self.model.sampler_params.get(
+                    depth_param, sampler_entry.metadata.get("default_depth"))
+                if depth is not None and depth < len(self.model.fanouts):
+                    raise ValueError(
+                        f"sampler {sampler_entry.name!r} walks {depth} hop(s) "
+                        f"({depth_param}={depth}) but model.fanouts="
+                        f"{self.model.fanouts} needs depth "
+                        f"{len(self.model.fanouts)}")
+
+        if self.training.presample_subgraphs and sampler_entry is not None \
+                and not sampler_entry.metadata.get("engine_backed", False):
+            raise ValueError(
+                f"training.presample_subgraphs requires an engine-backed "
+                f"sampler, but {sampler_entry.name!r} samples per node")
+
+        # Training knobs: reuse TrainingConfig's own validation.
+        self.training_config().validate()
+
+        serving = self.serving
+        if serving.num_shards < 1:
+            raise ValueError("serving.num_shards must be at least 1")
+        if serving.serve_batch_size < 1:
+            raise ValueError("serving.serve_batch_size must be at least 1")
+        if serving.cache_capacity <= 0:
+            raise ValueError("serving.cache_capacity must be positive")
+        if serving.ann_cells <= 0 or serving.posting_length <= 0:
+            raise ValueError(
+                "serving.ann_cells and serving.posting_length must be positive")
+        if not 1 <= serving.ann_nprobe <= serving.ann_cells:
+            raise ValueError(
+                "serving.ann_nprobe must be in [1, serving.ann_cells]")
+        if serving.warm_users < 0 or serving.warm_queries < 0:
+            raise ValueError("serving warm counts must be non-negative")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Conversions to the legacy config objects (backward-compat shims)
+    # ------------------------------------------------------------------ #
+    def training_config(self) -> TrainingConfig:
+        """The :class:`TrainingConfig` this spec describes."""
+        t = self.training
+        return TrainingConfig(
+            epochs=t.epochs, batch_size=t.batch_size,
+            learning_rate=t.learning_rate, optimizer=t.optimizer,
+            loss=t.loss, focal_gamma=t.focal_gamma,
+            regularization_weight=t.regularization_weight,
+            max_batches_per_epoch=t.max_batches_per_epoch,
+            eval_batch_size=t.eval_batch_size,
+            presample_subgraphs=t.presample_subgraphs,
+            verbose=t.verbose,
+            seed=self.seed if t.seed is None else t.seed)
+
+    def model_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :func:`repro.api.registry.build_model`."""
+        m = self.model
+        kwargs: Dict[str, Any] = dict(
+            embedding_dim=m.embedding_dim, fanouts=m.fanouts, seed=self.seed,
+            **m.params)
+        if m.sampler is not None:
+            kwargs["sampler"] = m.sampler
+            kwargs["sampler_params"] = dict(m.sampler_params)
+        return kwargs

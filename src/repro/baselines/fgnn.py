@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import GraphRetrievalModel
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -24,6 +25,7 @@ from repro.nn.layers import Linear
 from repro.nn.module import Parameter
 
 
+@register_model("FGNN")
 class FGNNModel(GraphRetrievalModel):
     """Weighted session-graph attention with an attentive readout."""
 

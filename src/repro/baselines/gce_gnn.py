@@ -15,6 +15,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import GraphRetrievalModel
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.schema import EdgeType
@@ -30,6 +31,7 @@ LOCAL_EDGE_TYPES = (EdgeType.CLICK, EdgeType.SESSION, EdgeType.QUERY_CLICK,
 GLOBAL_EDGE_TYPES = (EdgeType.SIMILARITY, EdgeType.RELEVANCE)
 
 
+@register_model("GCE-GNN", aliases=("GCEGNN",))
 class GCEGNNModel(GraphRetrievalModel):
     """Two-channel (session-local + global-context) attention aggregation."""
 

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import TreeAggregationModel, merge_children
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -20,6 +21,7 @@ from repro.sampling.base import NeighborSampler
 from repro.sampling.uniform import UniformNeighborSampler
 
 
+@register_model("GCN", accepts_sampler=True)
 class GCNModel(TreeAggregationModel):
     """Mean-pooling graph convolution over sampled neighborhoods."""
 

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import TreeAggregationModel, merge_children
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -21,6 +22,7 @@ from repro.sampling.base import NeighborSampler
 from repro.sampling.uniform import UniformNeighborSampler
 
 
+@register_model("GraphSage", aliases=("GraphSAGE",), accepts_sampler=True)
 class GraphSAGEModel(TreeAggregationModel):
     """Uniform neighbor sampling with a concat + transform aggregator."""
 

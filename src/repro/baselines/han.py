@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import TreeAggregationModel
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -24,6 +25,7 @@ from repro.sampling.base import NeighborSampler
 from repro.sampling.uniform import UniformNeighborSampler
 
 
+@register_model("HAN", accepts_sampler=True)
 class HANModel(TreeAggregationModel):
     """Node-level + semantic-level hierarchical attention."""
 

@@ -13,6 +13,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import GraphRetrievalModel
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -21,6 +22,7 @@ from repro.nn.layers import Linear
 from repro.nn.module import Parameter
 
 
+@register_model("MCCF")
 class MCCFModel(GraphRetrievalModel):
     """Multi-component decomposition of the user-item aggregation."""
 

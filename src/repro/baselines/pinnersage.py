@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import TreeAggregationModel, merge_children
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -22,6 +23,7 @@ from repro.sampling.base import NeighborSampler
 from repro.sampling.cluster import ClusterNeighborSampler
 
 
+@register_model("PinnerSage", accepts_sampler=True)
 class PinnerSageModel(TreeAggregationModel):
     """Cluster-based multi-interest sampling with mode attention."""
 

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import TreeAggregationModel, merge_children
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -21,6 +22,7 @@ from repro.sampling.base import NeighborSampler
 from repro.sampling.importance import ImportanceNeighborSampler
 
 
+@register_model("PinSage", accepts_sampler=True)
 class PinSageModel(TreeAggregationModel):
     """Importance sampling + importance pooling + concat transform."""
 

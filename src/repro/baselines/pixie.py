@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import TreeAggregationModel, merge_children
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -21,6 +22,7 @@ from repro.sampling.base import NeighborSampler
 from repro.sampling.random_walk import RandomWalkSampler
 
 
+@register_model("Pixie", accepts_sampler=True)
 class PixieModel(TreeAggregationModel):
     """Biased random-walk sampling with visit-count-weighted pooling."""
 

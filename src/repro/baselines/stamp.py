@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.common import GraphRetrievalModel
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ndarray.tensor import Tensor
@@ -22,6 +23,7 @@ from repro.nn.layers import Linear
 from repro.nn.module import Parameter
 
 
+@register_model("STAMP")
 class STAMPModel(GraphRetrievalModel):
     """Attention over the user's click history, keyed by the current query."""
 

@@ -11,8 +11,12 @@ Python:
 * ``python -m repro.cli motivation`` — print the Fig. 4(b)/(c) information-
   overload measurements for a generated dataset.
 
-The CLI intentionally exposes only a few knobs (scale preset, model name,
-epochs, fanout); anything more detailed should use the Python API directly.
+Every command is a thin driver over :mod:`repro.api`: the arguments are
+folded into an :class:`~repro.api.ExperimentSpec` and executed by the
+:class:`~repro.api.Pipeline` facade, so the CLI, the examples, and the
+benchmark harness all run through the same factory surface.  The CLI
+intentionally exposes only a few knobs (scale preset, model name, epochs,
+fanout); anything more detailed should build a spec directly.
 """
 
 from __future__ import annotations
@@ -23,54 +27,70 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.baselines import ALL_BASELINES
-from repro.core import ZoomerConfig, ZoomerModel
-from repro.data import generate_taobao_dataset, train_test_split_examples
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    Pipeline,
+    RegistryError,
+    ServingSpec,
+    TrainSpec,
+    load_dataset,
+)
 from repro.experiments import (
     focal_local_similarity_cdf,
     format_table,
     successive_query_similarities,
 )
 from repro.experiments.motivation import fraction_below
-from repro.serving import OnlineServer
-from repro.training import Trainer, TrainingConfig
 
 
-def _build_model(name: str, graph, fanout: int, embedding_dim: int, seed: int):
-    if name.lower() == "zoomer":
-        return ZoomerModel(graph, ZoomerConfig(
-            embedding_dim=embedding_dim,
-            fanouts=(fanout, max(fanout // 2, 1)), seed=seed))
-    for baseline_name, cls in ALL_BASELINES.items():
-        if baseline_name.lower() == name.lower():
-            return cls(graph, embedding_dim=embedding_dim,
-                       fanouts=(fanout, max(fanout // 2, 1)), seed=seed)
-    raise SystemExit(f"unknown model {name!r}; choose 'zoomer' or one of "
-                     f"{sorted(ALL_BASELINES)}")
+def _spec_from_args(args: argparse.Namespace, *,
+                    max_test_examples: Optional[int],
+                    training: TrainSpec,
+                    serving: Optional[ServingSpec] = None) -> ExperimentSpec:
+    """Fold the common CLI arguments into an :class:`ExperimentSpec`."""
+    return ExperimentSpec(
+        dataset=DataSpec(name="synthetic-taobao",
+                         params={"scale": args.scale},
+                         train_fraction=0.9,
+                         max_train_examples=args.max_examples,
+                         max_test_examples=max_test_examples),
+        model=ModelSpec(name=args.model,
+                        embedding_dim=args.embedding_dim,
+                        fanouts=(args.fanout, max(args.fanout // 2, 1))),
+        training=training,
+        serving=serving if serving is not None else ServingSpec(),
+        seed=args.seed)
+
+
+def _pipeline_or_exit(spec: ExperimentSpec) -> Pipeline:
+    # RegistryError for unknown names (lists the known ones), ValueError for
+    # out-of-range knobs — both are user input errors, not tracebacks.
+    try:
+        return Pipeline(spec)
+    except (RegistryError, ValueError) as error:
+        raise SystemExit(str(error))
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    dataset = generate_taobao_dataset(scale=args.scale)
-    train, test = train_test_split_examples(dataset.impressions, 0.9,
-                                            seed=args.seed)
-    train = train[: args.max_examples]
-    test = test[: max(args.max_examples // 3, 100)]
-    model = _build_model(args.model, dataset.graph, args.fanout,
-                         args.embedding_dim, args.seed)
-    trainer = Trainer(model, TrainingConfig(
-        epochs=args.epochs, batch_size=args.batch_size,
-        learning_rate=args.learning_rate, loss="focal"))
-    result = trainer.train(train, test)
-    hit_rates = trainer.evaluate_hit_rate(test, ks=(10, 50),
-                                          candidate_pool=dataset.config.num_items,
-                                          max_requests=30)
+    spec = _spec_from_args(
+        args,
+        max_test_examples=max(args.max_examples // 3, 100),
+        training=TrainSpec(epochs=args.epochs, batch_size=args.batch_size,
+                           learning_rate=args.learning_rate, loss="focal",
+                           seed=0))
+    pipeline = _pipeline_or_exit(spec).fit()
+    num_items = pipeline.graph.num_nodes[pipeline.model.item_node_type()]
+    evaluation = pipeline.evaluate(ks=(10, 50), candidate_pool=num_items,
+                                   max_requests=30)
     rows = [{
-        "model": model.name,
-        "auc": round(result.final_metrics.auc, 4),
-        "hitrate@10": round(hit_rates[10], 3),
-        "hitrate@50": round(hit_rates[50], 3),
-        "train_s": round(result.training_seconds, 1),
-        "iterations": result.iterations,
+        "model": evaluation["model"],
+        "auc": round(evaluation["auc"], 4),
+        "hitrate@10": round(evaluation["hit_rates"][10], 3),
+        "hitrate@50": round(evaluation["hit_rates"][50], 3),
+        "train_s": round(evaluation["training_seconds"], 1),
+        "iterations": evaluation["iterations"],
     }]
     print(format_table(rows, title=f"Training on the {args.scale!r} preset"))
     return 0
@@ -81,21 +101,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--num-shards must be at least 1")
     if args.serve_batch_size < 1:
         raise SystemExit("--serve-batch-size must be at least 1")
-    dataset = generate_taobao_dataset(scale=args.scale)
-    train, _ = train_test_split_examples(dataset.impressions, 0.9, seed=args.seed)
-    model = _build_model(args.model, dataset.graph, args.fanout,
-                         args.embedding_dim, args.seed)
-    Trainer(model, TrainingConfig(epochs=1, batch_size=args.batch_size,
-                                  learning_rate=args.learning_rate,
-                                  loss="focal",
-                                  max_batches_per_epoch=6)).train(
-        train[: args.max_examples])
-    server = OnlineServer(model, cache_capacity=30, ann_cells=8,
-                          num_shards=args.num_shards)
-    active = list(range(min(20, dataset.config.num_queries)))
-    server.warm_caches(range(min(20, dataset.config.num_users)), active)
-    server.build_inverted_index(active)
-    calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:20]]
+    spec = _spec_from_args(
+        args,
+        max_test_examples=0,
+        training=TrainSpec(epochs=1, batch_size=args.batch_size,
+                           learning_rate=args.learning_rate, loss="focal",
+                           max_batches_per_epoch=6, seed=0),
+        serving=ServingSpec(cache_capacity=30, ann_cells=8,
+                            num_shards=args.num_shards,
+                            serve_batch_size=args.serve_batch_size,
+                            warm_users=20, warm_queries=20))
+    pipeline = _pipeline_or_exit(spec)
+    server = pipeline.deploy()
+    calibration = [(s.user_id, s.query_id)
+                   for s in pipeline.dataset.sessions[:20]]
     rows = server.qps_sweep([1000, 5000, 10000, 20000, 50000], calibration)
     shards = f"{args.num_shards} shard(s)"
     print(format_table(rows, title=f"Response time vs QPS ({shards})"))
@@ -109,7 +128,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_motivation(args: argparse.Namespace) -> int:
-    dataset = generate_taobao_dataset(scale=args.scale)
+    dataset = load_dataset("synthetic-taobao", scale=args.scale)
     drift = successive_query_similarities(dataset, max_users=10, seed=args.seed)
     values = [s for sims in drift.values() for s in sims]
     short = focal_local_similarity_cdf(dataset, history_sessions=1, num_users=10,
@@ -138,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["million", "hundred-million", "billion"],
                          help="synthetic dataset scale preset")
         sub.add_argument("--model", default="zoomer",
-                         help="zoomer or a baseline name (e.g. PinSage)")
+                         help="zoomer or a baseline name (e.g. PinSage); any "
+                              "name in the repro.api model registry works")
         sub.add_argument("--epochs", type=int, default=1)
         sub.add_argument("--batch-size", type=int, default=64)
         sub.add_argument("--learning-rate", type=float, default=0.03)

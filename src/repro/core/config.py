@@ -60,6 +60,12 @@ class ZoomerConfig:
             raise ValueError("learning_rate must be positive")
         if self.batch_size <= 0 or self.epochs <= 0:
             raise ValueError("batch_size and epochs must be positive")
+        if self.focal_loss_gamma <= 0:
+            raise ValueError("focal_loss_gamma must be positive")
+        if self.regularization_weight < 0:
+            raise ValueError("regularization_weight must be non-negative")
+        if self.serving_neighbor_cache <= 0:
+            raise ValueError("serving_neighbor_cache must be positive")
 
     def effective_fanouts(self) -> Tuple[int, ...]:
         """Fanouts after applying the ROI downscale factor (Fig. 12)."""

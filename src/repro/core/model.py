@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.attention import MultiLevelAttention
 from repro.core.config import ZoomerConfig
 from repro.core.focal import FocalSelector, LearnedFocalEncoder
@@ -28,6 +29,7 @@ from repro.ndarray.tensor import Tensor, no_grad
 from repro.sampling.base import SampledNode
 
 
+@register_model("Zoomer", config_class=ZoomerConfig)
 class ZoomerModel(RetrievalModel):
     """ROI-based multi-level-attention retrieval model."""
 

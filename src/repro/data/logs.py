@@ -10,7 +10,9 @@ clicked-or-not) event used for CTR training and the A/B test simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
+
+from repro.api.registry import register_dataset
 
 
 @dataclass(frozen=True)
@@ -53,3 +55,80 @@ class ImpressionRecord:
             raise ValueError("label must be 0 or 1")
         if self.price < 0:
             raise ValueError("price must be non-negative")
+
+
+@dataclass
+class BehaviorLogDataset:
+    """A retrieval graph built from user-supplied behavior logs."""
+
+    graph: "HeteroGraph"  # noqa: F821 - imported lazily below
+    sessions: List[SearchSession]
+    impressions: List[ImpressionRecord]
+
+
+@register_dataset("behavior-logs", examples_attr="impressions")
+def build_behavior_log_dataset(sessions: Sequence,
+                               feature_dim: int = 16,
+                               negatives_per_positive: int = 2,
+                               seed: int = 0) -> BehaviorLogDataset:
+    """Registry factory: ingest raw search sessions into a retrieval graph.
+
+    ``sessions`` is a sequence of :class:`SearchSession` objects or JSON-able
+    ``(user_id, query_id, [clicked_item, ...])`` triples — the paper's log
+    ingestion stage.  Node counts are inferred from the largest ids seen;
+    node features are random unit vectors (real deployments would attach
+    content features), and labelled impressions pair each click with
+    ``negatives_per_positive`` sampled negatives.
+    """
+    # Imported here: the log schema is this module's only import-time
+    # dependency, so the trainer can import it without the graph stack.
+    from repro.graph.builder import GraphBuilder
+    from repro.graph.schema import NodeType
+
+    import numpy as np
+
+    parsed: List[SearchSession] = []
+    for session in sessions:
+        if isinstance(session, SearchSession):
+            parsed.append(session)
+        else:
+            user_id, query_id, clicked = session
+            parsed.append(SearchSession(user_id=int(user_id),
+                                        query_id=int(query_id),
+                                        clicked_items=tuple(int(i) for i in clicked)))
+    if not parsed:
+        raise ValueError("behavior-logs dataset needs at least one session")
+
+    num_users = 1 + max(s.user_id for s in parsed)
+    num_queries = 1 + max(s.query_id for s in parsed)
+    num_items = 1 + max((max(s.clicked_items) for s in parsed if s.clicked_items),
+                        default=0)
+
+    rng = np.random.default_rng(seed)
+
+    def _unit_features(count: int) -> np.ndarray:
+        features = rng.normal(size=(count, feature_dim))
+        return features / np.linalg.norm(features, axis=1, keepdims=True)
+
+    builder = GraphBuilder(feature_dim=feature_dim)
+    builder.set_node_features(NodeType.USER, _unit_features(num_users))
+    builder.set_node_features(NodeType.QUERY, _unit_features(num_queries))
+    builder.set_node_features(NodeType.ITEM, _unit_features(num_items))
+    for session in parsed:
+        builder.add_session(session.user_id, session.query_id,
+                            session.clicked_items)
+
+    impressions: List[ImpressionRecord] = []
+    for session in parsed:
+        for item_id in session.clicked_items:
+            impressions.append(ImpressionRecord(
+                user_id=session.user_id, query_id=session.query_id,
+                item_id=item_id, label=1, timestamp=session.timestamp))
+            for _ in range(negatives_per_positive):
+                impressions.append(ImpressionRecord(
+                    user_id=session.user_id, query_id=session.query_id,
+                    item_id=int(rng.integers(0, num_items)), label=0,
+                    timestamp=session.timestamp))
+
+    return BehaviorLogDataset(graph=builder.build(), sessions=parsed,
+                              impressions=impressions)

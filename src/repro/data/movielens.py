@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_dataset
 from repro.data.logs import ImpressionRecord
 from repro.graph.builder import GraphBuilder
 from repro.graph.hetero_graph import HeteroGraph
@@ -171,3 +172,10 @@ def generate_movielens_dataset(
         user_genre_preferences=user_genre_preferences,
         ratings=np.array(ratings, dtype=np.float64) if ratings else np.zeros((0, 3)),
     )
+
+
+@register_dataset("movielens", examples_attr="examples")
+def build_movielens(**config_fields) -> MovieLensDataset:
+    """Registry factory: explicit :class:`MovieLensConfig` fields (or defaults)."""
+    config = MovieLensConfig(**config_fields) if config_fields else None
+    return generate_movielens_dataset(config)

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api.registry import register_dataset
 from repro.data.logs import ImpressionRecord, SearchSession
 from repro.graph.builder import GraphBuilder
 from repro.graph.hetero_graph import HeteroGraph
@@ -278,3 +279,15 @@ def _title_terms(category: int, node_key: int, rng_seed: int,
     shared = [int(category) * 100 + t for t in range(shared_terms)]
     specific = rng.integers(100_000, 200_000, size=specific_terms).tolist()
     return shared + [int(s) for s in specific]
+
+
+@register_dataset("synthetic-taobao", aliases=("taobao",),
+                  examples_attr="impressions")
+def build_synthetic_taobao(scale: Optional[str] = None,
+                           **config_fields) -> SyntheticTaobaoDataset:
+    """Registry factory: a scale preset name or explicit config fields."""
+    if scale is not None and config_fields:
+        raise ValueError("pass either scale= or explicit config fields, not both")
+    if config_fields:
+        return generate_taobao_dataset(SyntheticTaobaoConfig(**config_fields))
+    return generate_taobao_dataset(scale=scale)

@@ -14,11 +14,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_sampler
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.schema import RelationSpec
 from repro.sampling.base import NeighborSampler, SampledNode
 
 
+@register_sampler("cluster", engine_backed=False)
 class ClusterNeighborSampler(NeighborSampler):
     """Clusters neighbors by feature similarity and samples per cluster."""
 

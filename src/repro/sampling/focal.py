@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_sampler
 from repro.graph.batch import row_chunks, segment_offsets, sequence_from
 from repro.graph.hetero_graph import (
     HeteroGraph,
@@ -64,6 +65,7 @@ def focal_relevance_scores(focal_vector: np.ndarray, neighbor_features: np.ndarr
     raise ValueError(f"unknown relevance metric {metric!r}")
 
 
+@register_sampler("focal", engine_backed=True)
 class FocalBiasedSampler(NeighborSampler):
     """Top-k neighbor selection by focal relevance (the ROI sampler).
 

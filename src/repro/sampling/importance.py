@@ -14,11 +14,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_sampler
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.schema import RelationSpec
 from repro.sampling.base import NeighborSampler, SampledNode
 
 
+@register_sampler("importance", engine_backed=True)
 class ImportanceNeighborSampler(NeighborSampler):
     """Samples neighbors with probability proportional to edge weight.
 

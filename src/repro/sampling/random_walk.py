@@ -14,11 +14,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_sampler
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.schema import RelationSpec
 from repro.sampling.base import NeighborSampler, SampledNode
 
 
+@register_sampler("random-walk", aliases=("random_walk",), engine_backed=False,
+                  depth_param="walk_length", default_depth=3)
 class RandomWalkSampler(NeighborSampler):
     """Keeps the top-k most visited nodes over short weighted random walks."""
 

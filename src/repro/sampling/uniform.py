@@ -11,11 +11,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_sampler
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.schema import RelationSpec
 from repro.sampling.base import NeighborSampler, SampledNode
 
 
+@register_sampler("uniform", engine_backed=True)
 class UniformNeighborSampler(NeighborSampler):
     """Samples ``k`` neighbors uniformly from the union of all relations.
 

@@ -105,6 +105,21 @@ class OnlineServer:
         self.inverted_index.build_from_embeddings(
             list(query_ids), query_embeddings, self._item_embeddings)
 
+    def prepare(self, user_ids: Sequence[int], query_ids: Sequence[int],
+                example_user: int = 0) -> "OnlineServer":
+        """One-call offline preparation: warm caches + inverted index.
+
+        Equivalent to ``warm_caches(user_ids, query_ids)`` followed by
+        ``build_inverted_index(query_ids)``; this is what
+        :meth:`repro.api.pipeline.Pipeline.deploy` runs after training.
+        """
+        user_ids = list(user_ids)
+        query_ids = list(query_ids)
+        self.warm_caches(user_ids, query_ids)
+        if self.use_inverted_index and query_ids:
+            self.build_inverted_index(query_ids, example_user=example_user)
+        return self
+
     # ------------------------------------------------------------------ #
     # Online path
     # ------------------------------------------------------------------ #

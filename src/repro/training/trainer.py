@@ -9,6 +9,7 @@ records wall-clock cost and iteration counts so the efficiency experiments
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -60,6 +61,28 @@ class TrainingConfig:
             raise ValueError("optimizer must be 'adam' or 'sgd'")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if self.focal_gamma <= 0:
+            raise ValueError("focal_gamma must be positive")
+        if self.regularization_weight < 0:
+            raise ValueError("regularization_weight must be non-negative")
+        if self.eval_batch_size <= 0:
+            raise ValueError("eval_batch_size must be positive")
+        if self.max_batches_per_epoch is not None \
+                and self.max_batches_per_epoch <= 0:
+            raise ValueError("max_batches_per_epoch must be positive when set")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-able); inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrainingConfig":
+        """Rebuild a config from :meth:`to_dict` output; rejects unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown TrainingConfig key(s): {unknown}")
+        return cls(**data)
 
 
 @dataclass

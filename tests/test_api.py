@@ -1,0 +1,319 @@
+"""Tests for the unified ``repro.api`` surface.
+
+Covers the three tentpole pieces: the plugin registries (including the error
+paths — unknown names list the known ones), the declarative
+:class:`ExperimentSpec` (dict/JSON round-trips reproduce identical training
+results under a fixed seed, cross-layer validation), and the staged
+:class:`Pipeline` facade (bit-identical to the hand-wired path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DATASETS,
+    MODELS,
+    SAMPLERS,
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    Pipeline,
+    PipelineError,
+    Registry,
+    RegistryError,
+    ServingSpec,
+    TrainSpec,
+    build_model,
+    build_sampler,
+    load_dataset,
+)
+from repro.baselines import ALL_BASELINES, GraphSAGEModel
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.data import train_test_split_examples
+from repro.sampling.base import NeighborSampler
+from repro.serving import OnlineServer
+from repro.training import Trainer, TrainingConfig
+
+TINY_TAOBAO = {"num_users": 30, "num_queries": 24, "num_items": 60,
+               "num_categories": 6, "sessions_per_user": 4.0, "seed": 0}
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        dataset=DataSpec(name="synthetic-taobao", params=dict(TINY_TAOBAO),
+                         max_train_examples=200, max_test_examples=80),
+        model=ModelSpec(name="zoomer", embedding_dim=8, fanouts=(3, 2)),
+        training=TrainSpec(epochs=1, batch_size=32, learning_rate=0.05,
+                           max_batches_per_epoch=4),
+        serving=ServingSpec(ann_cells=4, warm_users=10, warm_queries=10),
+        seed=0)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+# ---------------------------------------------------------------------- #
+# Registries
+# ---------------------------------------------------------------------- #
+class TestRegistries:
+    def test_builtins_registered(self):
+        assert "Zoomer" in MODELS
+        for name in ALL_BASELINES:
+            assert name in MODELS
+        for name in ("uniform", "importance", "random-walk", "cluster",
+                     "focal"):
+            assert name in SAMPLERS
+        for name in ("synthetic-taobao", "movielens", "behavior-logs"):
+            assert name in DATASETS
+
+    def test_lookup_is_case_insensitive(self):
+        assert MODELS.get("zoomer").name == "Zoomer"
+        assert MODELS.get("PINSAGE").name == "PinSage"
+        assert MODELS.get("graphsage").factory is GraphSAGEModel
+
+    def test_unknown_name_lists_known_names(self):
+        with pytest.raises(RegistryError) as excinfo:
+            MODELS.get("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        assert "Zoomer" in message and "PinSage" in message
+
+    def test_register_decorator_and_duplicate_rejection(self):
+        registry = Registry("widget")
+
+        @registry.register("alpha", aliases=("a",), flavour="crunchy")
+        def make_alpha(**kwargs):
+            return ("alpha", kwargs)
+
+        assert registry.names() == ("alpha",)
+        assert registry.get("A").metadata["flavour"] == "crunchy"
+        assert registry.create("alpha", size=2) == ("alpha", {"size": 2})
+        with pytest.raises(RegistryError):
+            registry.register("Alpha", lambda: None)
+        with pytest.raises(RegistryError):
+            registry.register("beta", lambda: None, aliases=("a",))
+
+    def test_build_model_matches_hand_construction(self):
+        dataset = load_dataset("synthetic-taobao", **TINY_TAOBAO)
+        via_registry = build_model("zoomer", dataset.graph, embedding_dim=8,
+                                   fanouts=(3, 2), seed=0)
+        by_hand = ZoomerModel(dataset.graph, ZoomerConfig(
+            embedding_dim=8, fanouts=(3, 2), seed=0))
+        assert isinstance(via_registry, ZoomerModel)
+        for p1, p2 in zip(via_registry.parameters(), by_hand.parameters()):
+            np.testing.assert_array_equal(p1.numpy(), p2.numpy())
+
+    def test_build_model_sampler_override(self):
+        dataset = load_dataset("synthetic-taobao", **TINY_TAOBAO)
+        model = build_model("GraphSage", dataset.graph, embedding_dim=8,
+                            fanouts=(3, 2), seed=0, sampler="importance")
+        from repro.sampling import ImportanceNeighborSampler
+        assert isinstance(model.sampler, ImportanceNeighborSampler)
+        with pytest.raises(RegistryError):
+            build_model("zoomer", dataset.graph, sampler="uniform")
+        with pytest.raises(RegistryError):
+            build_model("STAMP", dataset.graph, sampler="uniform")
+
+    def test_sampler_engine_metadata_matches_reality(self):
+        for name in SAMPLERS.names():
+            sampler = build_sampler(name, seed=0)
+            overrides = type(sampler).sample_batch \
+                is not NeighborSampler.sample_batch
+            assert SAMPLERS.get(name).metadata["engine_backed"] == overrides, \
+                f"engine_backed metadata drifted for sampler {name!r}"
+
+
+# ---------------------------------------------------------------------- #
+# ExperimentSpec serialization + validation
+# ---------------------------------------------------------------------- #
+class TestExperimentSpec:
+    def test_dict_round_trip(self):
+        spec = tiny_spec()
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+
+    def test_json_round_trip(self):
+        spec = tiny_spec(
+            model=ModelSpec(name="GraphSage", embedding_dim=8, fanouts=(3, 2),
+                            sampler="uniform"))
+        rebuilt = ExperimentSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert isinstance(rebuilt.model.fanouts, tuple)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec section"):
+            ExperimentSpec.from_dict({"modle": {}})
+        with pytest.raises(ValueError, match="unknown key"):
+            ExperimentSpec.from_dict({"model": {"embeding_dim": 8}})
+
+    def test_validate_unknown_names_list_known(self):
+        with pytest.raises(RegistryError, match="known model"):
+            tiny_spec(model=ModelSpec(name="nope")).validate()
+        with pytest.raises(RegistryError, match="known dataset"):
+            tiny_spec(dataset=DataSpec(name="nope")).validate()
+        with pytest.raises(RegistryError, match="known sampler"):
+            tiny_spec(model=ModelSpec(name="GraphSage",
+                                      sampler="nope")).validate()
+
+    def test_cross_layer_validation(self):
+        # Zoomer builds its own focal-biased sampler.
+        with pytest.raises(ValueError, match="sampler"):
+            tiny_spec(model=ModelSpec(name="zoomer",
+                                      sampler="uniform")).validate()
+        # Presampling needs an engine-backed sampler.
+        with pytest.raises(ValueError, match="engine-backed"):
+            tiny_spec(
+                model=ModelSpec(name="GraphSage", sampler="cluster"),
+                training=TrainSpec(presample_subgraphs=True)).validate()
+        tiny_spec(model=ModelSpec(name="GraphSage", sampler="uniform"),
+                  training=TrainSpec(presample_subgraphs=True)).validate()
+        # A random-walk sampler must walk at least as deep as the fanouts.
+        with pytest.raises(ValueError, match="walk"):
+            tiny_spec(model=ModelSpec(
+                name="Pixie", fanouts=(3, 2, 2), sampler="random-walk",
+                sampler_params={"walk_length": 2})).validate()
+        tiny_spec(model=ModelSpec(
+            name="Pixie", fanouts=(3, 2), sampler="random-walk",
+            sampler_params={"walk_length": 2})).validate()
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="fanouts"):
+            tiny_spec(model=ModelSpec(name="zoomer", fanouts=())).validate()
+        with pytest.raises(ValueError, match="train_fraction"):
+            tiny_spec(dataset=DataSpec(name="synthetic-taobao",
+                                       train_fraction=1.0)).validate()
+        with pytest.raises(ValueError, match="num_shards"):
+            tiny_spec(serving=ServingSpec(num_shards=0)).validate()
+        with pytest.raises(ValueError, match="nprobe"):
+            tiny_spec(serving=ServingSpec(ann_cells=4,
+                                          ann_nprobe=5)).validate()
+        with pytest.raises(ValueError):
+            tiny_spec(training=TrainSpec(epochs=0)).validate()
+
+    def test_spec_defaults_track_legacy_configs(self):
+        """TrainSpec/ServingSpec defaults must not drift from their targets.
+
+        The pipeline promises results bit-identical to hand-wiring; that
+        only holds while a default spec means a default TrainingConfig /
+        OnlineServer.
+        """
+        import dataclasses
+        import inspect
+
+        config_defaults = {f.name: f.default
+                           for f in dataclasses.fields(TrainingConfig)}
+        for f in dataclasses.fields(TrainSpec):
+            if f.name == "seed":
+                continue   # None = inherit the experiment seed, by design
+            assert config_defaults[f.name] == f.default, \
+                f"TrainSpec.{f.name} default drifted from TrainingConfig"
+        server_defaults = {
+            name: parameter.default
+            for name, parameter
+            in inspect.signature(OnlineServer.__init__).parameters.items()
+            if parameter.default is not inspect.Parameter.empty}
+        pipeline_only = {"serve_batch_size", "warm_users", "warm_queries"}
+        for f in dataclasses.fields(ServingSpec):
+            if f.name in pipeline_only:
+                continue
+            assert server_defaults[f.name] == f.default, \
+                f"ServingSpec.{f.name} default drifted from OnlineServer"
+
+    def test_training_config_inherits_seed(self):
+        spec = tiny_spec(seed=9)
+        assert spec.training_config().seed == 9
+        spec.training.seed = 3
+        assert spec.training_config().seed == 3
+
+
+# ---------------------------------------------------------------------- #
+# Pipeline: staged execution, equivalence with the hand-wired path
+# ---------------------------------------------------------------------- #
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return Pipeline(tiny_spec()).fit()
+
+    def test_matches_hand_wired_path(self, fitted):
+        """The facade reproduces the manual wiring bit for bit."""
+        dataset = load_dataset("synthetic-taobao", **TINY_TAOBAO)
+        train, test = train_test_split_examples(dataset.impressions, 0.9,
+                                                seed=0)
+        train, test = train[:200], test[:80]
+        model = ZoomerModel(dataset.graph,
+                            ZoomerConfig(embedding_dim=8, fanouts=(3, 2),
+                                         seed=0))
+        trainer = Trainer(model, TrainingConfig(
+            epochs=1, batch_size=32, learning_rate=0.05,
+            max_batches_per_epoch=4, seed=0))
+        result = trainer.train(train, test)
+
+        assert fitted.result.epoch_losses == result.epoch_losses
+        assert fitted.result.iterations == result.iterations
+        assert fitted.result.final_metrics.auc == result.final_metrics.auc
+
+        server = OnlineServer(model, cache_capacity=30, ann_cells=4,
+                              ann_nprobe=3, posting_length=100, num_shards=1,
+                              seed=0)
+        server.prepare(range(10), range(10))
+        deployed = fitted.deploy()
+        requests = [(s.user_id, s.query_id) for s in dataset.sessions[:8]]
+        for mine, theirs in zip(deployed.serve_batch(requests, k=5),
+                                server.serve_batch(requests, k=5)):
+            np.testing.assert_array_equal(mine.item_ids, theirs.item_ids)
+            np.testing.assert_allclose(mine.scores, theirs.scores)
+
+    def test_round_tripped_spec_reproduces_training(self, fitted):
+        spec = ExperimentSpec.from_json(tiny_spec().to_json())
+        rerun = Pipeline(spec).fit()
+        assert rerun.result.epoch_losses == fitted.result.epoch_losses
+        assert rerun.result.final_metrics.auc == fitted.result.final_metrics.auc
+
+    def test_spec_dict_accepted_directly(self):
+        pipeline = Pipeline(tiny_spec().to_dict())
+        assert pipeline.spec == tiny_spec()
+
+    def test_stage_order_enforced(self):
+        pipeline = Pipeline(tiny_spec())
+        with pytest.raises(PipelineError):
+            pipeline.evaluate()
+
+    def test_evaluate_reports_hit_rates(self, fitted):
+        evaluation = fitted.evaluate(ks=(5, 10), candidate_pool=60,
+                                     max_requests=5)
+        assert set(evaluation["hit_rates"]) == {5, 10}
+        assert 0.0 <= evaluation["auc"] <= 1.0
+
+    def test_no_test_split_disables_evaluation(self):
+        spec = tiny_spec()
+        spec.dataset.max_test_examples = 0
+        pipeline = Pipeline(spec).fit()
+        assert pipeline.test_examples is None
+        assert pipeline.result.final_metrics is None
+        with pytest.raises(PipelineError):
+            pipeline.evaluate()
+
+    def test_behavior_logs_dataset_end_to_end(self):
+        sessions = [[u, (u * 3) % 8, [(u + k) % 20 for k in range(3)]]
+                    for u in range(12)]
+        spec = ExperimentSpec(
+            dataset=DataSpec(name="behavior-logs",
+                             params={"sessions": sessions, "seed": 1}),
+            model=ModelSpec(name="GraphSage", embedding_dim=8,
+                            fanouts=(3, 2)),
+            training=TrainSpec(epochs=1, batch_size=16),
+            serving=ServingSpec(ann_cells=4, warm_users=5, warm_queries=5),
+            seed=1)
+        server = Pipeline(spec).fit().deploy()
+        results = server.serve_batch([(0, 0), (1, 3)], k=3)
+        assert len(results) == 2
+        assert all(len(r.item_ids) == 3 for r in results)
+
+    def test_deploy_applies_serving_spec(self):
+        spec = tiny_spec(serving=ServingSpec(ann_cells=4, num_shards=2,
+                                             warm_users=5, warm_queries=5))
+        pipeline = Pipeline(spec)
+        server = pipeline.deploy()   # deploy() fits lazily
+        assert pipeline.result is not None
+        assert server.num_shards == 2
+        assert len(server.cache) > 0
+        assert len(server.inverted_index) > 0

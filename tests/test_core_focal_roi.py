@@ -25,6 +25,23 @@ class TestZoomerConfig:
         with pytest.raises(ValueError):
             ZoomerConfig(optimizer="rmsprop").validate()
 
+    def test_training_knob_positivity(self):
+        with pytest.raises(ValueError):
+            ZoomerConfig(batch_size=0).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(epochs=0).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(focal_loss_gamma=0.0).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(focal_loss_gamma=-1.0).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(regularization_weight=-1e-6).validate()
+        with pytest.raises(ValueError):
+            ZoomerConfig(serving_neighbor_cache=0).validate()
+        # Boundary cases that must stay valid.
+        ZoomerConfig(regularization_weight=0.0).validate()
+        ZoomerConfig(batch_size=1, epochs=1, focal_loss_gamma=0.5).validate()
+
     def test_effective_fanouts_downscale(self):
         config = ZoomerConfig(fanouts=(10, 10), roi_downscale=0.1)
         assert config.effective_fanouts() == (1, 1)

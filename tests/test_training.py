@@ -137,6 +137,22 @@ class TestTrainer:
             TrainingConfig(epochs=0).validate()
         with pytest.raises(ValueError):
             TrainingConfig(optimizer="lbfgs").validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(focal_gamma=0.0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(regularization_weight=-1.0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(eval_batch_size=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(max_batches_per_epoch=0).validate()
+        TrainingConfig(max_batches_per_epoch=None).validate()
+
+    def test_config_dict_round_trip(self):
+        config = TrainingConfig(epochs=2, batch_size=32, learning_rate=0.01,
+                                loss="bce", max_batches_per_epoch=5, seed=7)
+        assert TrainingConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError):
+            TrainingConfig.from_dict({"epoch": 2})
 
     def test_loss_decreases_on_fast_model(self, tiny_graph, tiny_splits):
         train, _ = tiny_splits
