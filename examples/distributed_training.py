@@ -11,7 +11,10 @@ the laptop-scale simulations of those subsystems:
 3. quantify the benefit of overlapping the three training stages with the
    async pipeline model,
 4. use the GNN cost model to reproduce the shape of Fig. 4(a): memory and
-   iteration speed vs the number of sampled neighbors.
+   iteration speed vs the number of sampled neighbors,
+5. stream new sessions into the sharded store while it keeps serving
+   queries (the distributed face of the streaming-update subsystem; see
+   ``examples/streaming_ingest.py`` for the full replay-driver demo).
 
 Run with:  python examples/distributed_training.py
 """
@@ -25,7 +28,7 @@ from repro.distributed import (
     ParameterServerCluster,
 )
 from repro.experiments import format_table
-from repro.graph import ShardedGraphStore
+from repro.graph import GraphMutator, ShardedGraphStore
 from repro.graph.schema import NodeType
 
 
@@ -75,6 +78,29 @@ def main() -> None:
     print()
     print(format_table(rows, title="Training cost vs sampled neighbors "
                                    "(2-layer GCN cost model, Fig. 4a shape)"))
+
+    # 5. Streaming updates into the sharded store: new sessions (including a
+    #    brand-new user) flow through the same scoped-alias-rebuild path the
+    #    single-machine graph uses; the partitioner is stable, so only the
+    #    new nodes gain shard assignments.
+    from repro.graph.schema import EdgeType, RelationSpec
+
+    new_user = dataset.config.num_users          # id beyond the built graph
+    mutator = GraphMutator(store.graph, seed=1)
+    update = mutator.update_from_sessions([
+        (new_user, 3, [10, 11]),
+        (2, 5, [40]),
+    ])
+    delta = store.apply_updates(update)          # shard accounting included
+    touched = ", ".join(f"{t}: {len(ids)}" for t, ids in delta.touched.items())
+    print(f"\nStreaming into the sharded store: version "
+          f"{store.graph.version}, touched {{{touched}}}, "
+          f"storage imbalance {store.storage_imbalance():.2f}")
+    click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+    ids, weights = store.sample_neighbors(click, new_user, 2)
+    print(f"New user {new_user} is immediately sampleable: "
+          f"clicked items {ids.tolist()} "
+          f"(weights {[round(float(w), 1) for w in weights]})")
 
 
 if __name__ == "__main__":

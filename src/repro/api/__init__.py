@@ -19,6 +19,11 @@ Three pieces compose into one pipeline from data to serving:
       server = Pipeline(ExperimentSpec()).fit().deploy()
       results = server.serve_batch([(0, 0), (1, 3)], k=10)
 
+  Deployment is not the end of the pipeline: ``Pipeline.ingest(events)``
+  streams new interaction sessions into the live graph (micro-batched,
+  cadence-controlled by the spec's ``StreamingSpec``) and refreshes the
+  deployed server's caches and indexes scoped to exactly what changed.
+
 The legacy constructors (``ZoomerModel(graph, config)``, ``Trainer(model,
 TrainingConfig(...))``, ``OnlineServer(model, ...)``) keep working unchanged;
 the pipeline builds exactly those objects.
@@ -47,8 +52,8 @@ from repro.api.registry import (
 )
 
 _SPEC_EXPORTS = ("DataSpec", "ExperimentSpec", "ModelSpec", "ServingSpec",
-                 "TrainSpec")
-_PIPELINE_EXPORTS = ("Pipeline", "PipelineError")
+                 "StreamingSpec", "TrainSpec")
+_PIPELINE_EXPORTS = ("IngestReport", "Pipeline", "PipelineError")
 
 __all__ = [
     "DATASETS",
@@ -70,6 +75,7 @@ __all__ = [
 
 
 def __getattr__(name: str):
+    """Lazily load the spec/pipeline layers on first attribute access (PEP 562)."""
     if name in _SPEC_EXPORTS:
         from repro.api import spec
         return getattr(spec, name)
@@ -80,4 +86,5 @@ def __getattr__(name: str):
 
 
 def __dir__():
+    """Advertise the lazily loaded exports alongside the eager ones."""
     return sorted(__all__)

@@ -15,15 +15,25 @@ Each stage is explicit but lazy: ``fit`` builds the graph if needed,
 The stages produce the same objects the hand-wired path produces
 (``Trainer``, ``TrainingResult``, ``OnlineServer``), so results are
 bit-identical to wiring the layers manually under the same seed.
+
+After ``deploy()`` the pipeline keeps going: :meth:`Pipeline.ingest`
+streams new interaction events into the live graph in micro-batches and
+refreshes the server on the cadence the spec's
+:class:`~repro.api.spec.StreamingSpec` declares — the dynamic-graph
+workload the paper's continuously-fed behavior graph implies.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.api.registry import build_model, dataset_examples, load_dataset
 from repro.api.spec import ExperimentSpec
 from repro.data.splits import train_test_split_examples
+from repro.graph.update import GraphMutator
 from repro.serving.server import OnlineServer
 from repro.training.trainer import Trainer, TrainingResult
 
@@ -32,10 +42,33 @@ class PipelineError(RuntimeError):
     """A pipeline stage was used before its inputs exist."""
 
 
+@dataclass
+class IngestReport:
+    """Summary of one :meth:`Pipeline.ingest` call."""
+
+    #: Interaction events (sessions) consumed from the stream.
+    events: int = 0
+    #: Micro-batches applied to the graph.
+    micro_batches: int = 0
+    #: Server refreshes performed (0 when no server is deployed).
+    refreshes: int = 0
+    #: Edges appended across all micro-batches.
+    new_edges: int = 0
+    #: node_type -> nodes appended across all micro-batches.
+    new_nodes: Dict[str, int] = field(default_factory=dict)
+    #: Neighbor-cache keys invalidated by the refreshes.
+    invalidated_cache_keys: int = 0
+    #: Inverted-index postings rebuilt by the refreshes.
+    refreshed_postings: int = 0
+    #: The graph's version stamp after the ingest.
+    graph_version: int = 0
+
+
 class Pipeline:
     """Runs an :class:`ExperimentSpec` end to end, stage by stage."""
 
     def __init__(self, spec: Union[ExperimentSpec, Mapping[str, Any]]):
+        """Validate ``spec`` (a spec object or its dict form) and bind stages."""
         if isinstance(spec, Mapping):
             spec = ExperimentSpec.from_dict(spec)
         self.spec = spec.validate()
@@ -47,6 +80,11 @@ class Pipeline:
         self.trainer: Optional[Trainer] = None
         self.result: Optional[TrainingResult] = None
         self.server: Optional[OnlineServer] = None
+        self._mutator: Optional[GraphMutator] = None
+        #: Merged delta of updates a deployed server has not absorbed yet
+        #: (accumulated by ``ingest(refresh=False)``, consumed by the next
+        #: refreshing ingest).
+        self._pending_delta: Any = None
 
     # ------------------------------------------------------------------ #
     # Stage 1 — data: load the dataset, build the graph, split the logs
@@ -140,4 +178,99 @@ class Pipeline:
         num_queries = self.graph.num_nodes.get(query_type, 0)
         self.server.prepare(range(min(serving.warm_users, num_users)),
                             range(min(serving.warm_queries, num_queries)))
+        # A freshly prepared server reflects the current graph, so any
+        # update debt accumulated before deployment is already absorbed.
+        self._pending_delta = None
         return self.server
+
+    # ------------------------------------------------------------------ #
+    # Stage 5 — streaming ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, events: Iterable, refresh: bool = True) -> IngestReport:
+        """Stream interaction events into the live graph, micro-batch-wise.
+
+        ``events`` is any iterable of search sessions —
+        :class:`~repro.data.logs.SearchSession` objects or
+        ``(user_id, query_id, clicked_items)`` tuples.  They are grouped
+        into micro-batches of ``spec.streaming.micro_batch_size`` and each
+        batch is applied to the graph through a
+        :class:`~repro.graph.update.GraphMutator` (ids beyond the current
+        node counts become new cold-start nodes).  When the pipeline has a
+        deployed server and ``refresh`` is True, the server absorbs the
+        accumulated deltas every ``spec.streaming.refresh_every``
+        micro-batches — and once more at the end of the stream — so
+        serving never lags a finished ingest.  With ``refresh=False`` the
+        deltas are parked instead and the next refreshing ingest hands the
+        merged backlog to the server, so no update is ever silently
+        dropped.  The graph itself is always current; between refreshes
+        only the serving caches are (boundedly) stale, mirroring the
+        paper's asynchronous cache updates.
+
+        Returns an :class:`IngestReport`; ingesting zero events is a
+        no-op that leaves sampling and serving bit-identical.
+        """
+        self.build_graph()
+        if self._mutator is None:
+            self._mutator = GraphMutator(self.graph, seed=self.spec.seed)
+        streaming = self.spec.streaming
+        report = IngestReport(graph_version=self.graph.version)
+        chunk = None          # merged delta since the last flush point
+        batch: list = []
+
+        def _apply_batch(batch: Sequence) -> None:
+            nonlocal chunk
+            delta = self._mutator.apply_sessions(batch)
+            report.events += len(batch)
+            report.micro_batches += 1
+            report.new_edges += delta.num_new_edges
+            for node_type, ids in delta.added_nodes.items():
+                report.new_nodes[node_type] = \
+                    report.new_nodes.get(node_type, 0) + int(ids.size)
+            chunk = delta if chunk is None else chunk.merge(delta)
+
+        def _flush() -> None:
+            """Propagate the accumulated chunk at a cadence point.
+
+            With a refreshing server the chunk (plus any debt left by
+            earlier ``refresh=False`` calls) goes through
+            ``OnlineServer.refresh``, which also updates the model.
+            Otherwise the model absorbs the chunk directly — same merged
+            delta, same ``(seed, version)`` cold-start stream, so the two
+            paths grow identical embeddings — and, when a server exists
+            but ``refresh`` is off, the chunk is parked on
+            ``self._pending_delta`` for the next refreshing ingest.
+            """
+            nonlocal chunk
+            if chunk is None:
+                return
+            if self.server is not None and refresh:
+                delta = chunk if self._pending_delta is None \
+                    else self._pending_delta.merge(chunk)
+                refresh_report = self.server.refresh(delta)
+                self._pending_delta = None
+                report.refreshes += 1
+                report.invalidated_cache_keys += \
+                    refresh_report.invalidated_cache_keys
+                report.refreshed_postings += refresh_report.refreshed_postings
+            else:
+                if self.model is not None:
+                    self.model.on_graph_update(
+                        chunk, rng=np.random.default_rng((self.spec.seed,
+                                                          chunk.version)))
+                if self.server is not None:
+                    self._pending_delta = chunk if self._pending_delta is None \
+                        else self._pending_delta.merge(chunk)
+            chunk = None
+
+        for event in events:
+            batch.append(event)
+            if len(batch) >= streaming.micro_batch_size:
+                _apply_batch(batch)
+                batch = []
+                if report.micro_batches % streaming.refresh_every == 0:
+                    _flush()
+        if batch:
+            _apply_batch(batch)
+        _flush()
+        report.graph_version = self.graph.version
+        return report

@@ -25,7 +25,8 @@ from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
 class RegistryError(KeyError):
     """Unknown or duplicate registry name (message lists the known names)."""
 
-    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+    def __str__(self) -> str:
+        """Plain message (KeyError would quote its argument unreadably)."""
         return self.args[0] if self.args else ""
 
 
@@ -42,6 +43,7 @@ class Registry:
     """A case-insensitive name -> factory registry with metadata."""
 
     def __init__(self, kind: str):
+        """Create an empty registry for plugins of ``kind`` (e.g. "model")."""
         self.kind = kind
         self._entries: Dict[str, RegistryEntry] = {}   # canonical name -> entry
         self._index: Dict[str, str] = {}               # lowercase name/alias -> canonical
@@ -96,17 +98,21 @@ class Registry:
         return self.get(name).factory(*args, **kwargs)
 
     def names(self) -> Tuple[str, ...]:
+        """Canonical names of every registered plugin, sorted."""
         _ensure_builtins()
         return tuple(sorted(self._entries))
 
     def __contains__(self, name: object) -> bool:
+        """Case-insensitive membership test over names and aliases."""
         _ensure_builtins()
         return str(name).lower() in self._index
 
     def __iter__(self) -> Iterator[str]:
+        """Iterate the sorted canonical names."""
         return iter(self.names())
 
     def __len__(self) -> int:
+        """Number of registered plugins."""
         _ensure_builtins()
         return len(self._entries)
 

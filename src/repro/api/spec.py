@@ -65,6 +65,7 @@ class ModelSpec:
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        """Normalise ``fanouts`` to a tuple of ints (JSON lists round-trip)."""
         self.fanouts = tuple(int(k) for k in self.fanouts)
 
 
@@ -88,6 +89,24 @@ class TrainSpec:
 
 
 @dataclass
+class StreamingSpec:
+    """Streaming-ingestion knobs for :meth:`~repro.api.pipeline.Pipeline.ingest`.
+
+    Incoming interaction events are grouped into micro-batches of
+    ``micro_batch_size`` sessions; each micro-batch is applied to the live
+    graph in one :meth:`~repro.graph.hetero_graph.HeteroGraph.apply_updates`
+    call, and a deployed server is refreshed every ``refresh_every``
+    micro-batches (plus once at the end of the stream, so it never lags a
+    finished ingest).
+    """
+
+    #: Sessions per applied graph update.
+    micro_batch_size: int = 64
+    #: Server refresh cadence, counted in micro-batches.
+    refresh_every: int = 1
+
+
+@dataclass
 class ServingSpec:
     """Online-serving knobs; mirrors the ``OnlineServer`` constructor."""
 
@@ -106,12 +125,13 @@ class ServingSpec:
 
 @dataclass
 class ExperimentSpec:
-    """A complete experiment: data -> model -> training -> serving."""
+    """A complete experiment: data -> model -> training -> serving -> streaming."""
 
     dataset: DataSpec = field(default_factory=DataSpec)
     model: ModelSpec = field(default_factory=ModelSpec)
     training: TrainSpec = field(default_factory=TrainSpec)
     serving: ServingSpec = field(default_factory=ServingSpec)
+    streaming: StreamingSpec = field(default_factory=StreamingSpec)
     seed: int = 0
 
     # ------------------------------------------------------------------ #
@@ -127,7 +147,8 @@ class ExperimentSpec:
         if not isinstance(data, Mapping):
             raise ValueError("spec must be a mapping")
         sections = {"dataset": DataSpec, "model": ModelSpec,
-                    "training": TrainSpec, "serving": ServingSpec}
+                    "training": TrainSpec, "serving": ServingSpec,
+                    "streaming": StreamingSpec}
         unknown = sorted(set(data) - set(sections) - {"seed"})
         if unknown:
             raise ValueError(f"unknown spec section(s) {unknown}; known "
@@ -141,10 +162,12 @@ class ExperimentSpec:
         return cls(**kwargs)
 
     def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON form of :meth:`to_dict` (kwargs forwarded to ``json.dumps``)."""
         return json.dumps(self.to_dict(), **dumps_kwargs)
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
+        """Inverse of :meth:`to_json`; rejects unknown keys."""
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------ #
@@ -218,6 +241,11 @@ class ExperimentSpec:
                 "serving.ann_nprobe must be in [1, serving.ann_cells]")
         if serving.warm_users < 0 or serving.warm_queries < 0:
             raise ValueError("serving warm counts must be non-negative")
+
+        if self.streaming.micro_batch_size < 1:
+            raise ValueError("streaming.micro_batch_size must be at least 1")
+        if self.streaming.refresh_every < 1:
+            raise ValueError("streaming.refresh_every must be at least 1")
         return self
 
     # ------------------------------------------------------------------ #

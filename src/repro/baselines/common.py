@@ -88,6 +88,19 @@ class GraphRetrievalModel(RetrievalModel):
         return output.numpy().copy()
 
     # ------------------------------------------------------------------ #
+    # Streaming updates
+    # ------------------------------------------------------------------ #
+    def on_graph_update(self, delta, rng=None) -> None:
+        """Grow the id-embedding tables for nodes a streaming update added.
+
+        Baselines read the graph live (neighbor histories, sampled trees),
+        so beyond covering new node ids with fresh embeddings there is no
+        global state to rebuild; subclasses with per-node caches refine
+        this to drop exactly the touched entries.
+        """
+        self.encoder.sync_with_graph(rng=rng)
+
+    # ------------------------------------------------------------------ #
     # Helpers shared by subclasses
     # ------------------------------------------------------------------ #
     def node_vector(self, node_type: str, node_id: int) -> Tensor:
@@ -147,6 +160,26 @@ class TreeAggregationModel(GraphRetrievalModel):
         sampled edge weights.  Must return a ``(d,)`` tensor.
         """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Streaming updates
+    # ------------------------------------------------------------------ #
+    def on_graph_update(self, delta, rng=None) -> None:
+        """Grow embeddings and drop exactly the touched cached ego trees.
+
+        A cached tree is dropped when its root's neighborhood changed; the
+        next ``sampled_tree`` call re-samples it from the updated graph.
+        Trees rooted at untouched nodes are kept even when a deeper hop
+        could reach a touched node — bounded staleness, matching the
+        paper's asynchronous cache refresh semantics.
+        """
+        super().on_graph_update(delta, rng=rng)
+        touched = {node_type: set(ids.tolist())
+                   for node_type, ids in delta.touched.items()}
+        stale = [key for key in self._tree_cache
+                 if int(key[1]) in touched.get(key[0], ())]
+        for key in stale:
+            del self._tree_cache[key]
 
     # ------------------------------------------------------------------ #
     # Shared machinery

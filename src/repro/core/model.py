@@ -125,6 +125,24 @@ class ZoomerModel(RetrievalModel):
         """Drop cached ROIs (e.g. after the graph changed)."""
         self._roi_cache.clear()
 
+    def on_graph_update(self, delta, rng=None) -> None:
+        """Absorb a streaming graph update (scoped, not a full reset).
+
+        Grows the id-embedding tables for nodes the update appended, then
+        drops exactly the cached ROIs whose user or query had its
+        neighborhood changed — every other ``(user, query)`` ROI stays
+        cached, keeping the serving-time cost of an update proportional to
+        the delta.
+        """
+        self.encoder.sync_with_graph(rng=rng)
+        touched_users = set(delta.touched_ids(self.user_type).tolist())
+        touched_queries = set(delta.touched_ids(self.query_type).tolist())
+        if touched_users or touched_queries:
+            self._roi_cache = {
+                key: roi for key, roi in self._roi_cache.items()
+                if key[0] not in touched_users and key[1] not in touched_queries
+            }
+
     # ------------------------------------------------------------------ #
     # Request (user-query) side
     # ------------------------------------------------------------------ #

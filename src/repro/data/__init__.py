@@ -8,7 +8,12 @@ intents, interest drift, noisy long histories); see DESIGN.md §2 for the
 substitution rationale.
 """
 
-from repro.data.logs import ImpressionRecord, SearchSession
+from repro.data.logs import (
+    ImpressionRecord,
+    SearchSession,
+    sessions_in_time_order,
+    split_sessions_at,
+)
 from repro.data.synthetic import (
     SyntheticTaobaoConfig,
     SyntheticTaobaoDataset,
@@ -25,6 +30,8 @@ from repro.data.splits import train_test_split_examples
 __all__ = [
     "SearchSession",
     "ImpressionRecord",
+    "sessions_in_time_order",
+    "split_sessions_at",
     "SyntheticTaobaoConfig",
     "SyntheticTaobaoDataset",
     "generate_taobao_dataset",

@@ -10,9 +10,32 @@ clicked-or-not) event used for CTR training and the A/B test simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.api.registry import register_dataset
+
+
+def sessions_in_time_order(sessions: Iterable) -> List:
+    """Sort sessions by their ``timestamp`` attribute (stable).
+
+    Events without a timestamp sort as ``0.0`` and keep their recorded
+    order — the replay contract of :class:`repro.streaming.ReplayDriver`.
+    """
+    return sorted(sessions, key=lambda s: float(getattr(s, "timestamp", 0.0)))
+
+
+def split_sessions_at(sessions: Sequence, fraction: float) -> Tuple[List, List]:
+    """Time-ordered split of a session log into a warm prefix and a tail.
+
+    The prefix (first ``fraction`` of events by timestamp) typically builds
+    the initial ``behavior-logs`` graph; the tail is replayed as the live
+    stream.  ``fraction`` must lie in ``(0, 1)``.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    ordered = sessions_in_time_order(sessions)
+    cut = max(1, int(len(ordered) * fraction))
+    return ordered[:cut], ordered[cut:]
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,10 @@ package provides the laptop-scale equivalent:
 * :class:`~repro.graph.partition.ShardedGraphStore` — hash-partitioned,
   replicated storage that mimics the distributed graph engine.
 * :class:`~repro.graph.features.FeatureStore` — typed node feature storage.
+* :mod:`~repro.graph.update` — the streaming write path:
+  :class:`GraphUpdate` / :class:`GraphDelta` micro-batches applied through
+  :meth:`HeteroGraph.apply_updates` with alias rebuilds scoped to the
+  touched rows, and :class:`GraphMutator` turning raw sessions into updates.
 """
 
 from repro.graph.schema import EdgeType, GraphSchema, NodeType
@@ -29,6 +33,7 @@ from repro.graph.minhash import MinHasher, jaccard_similarity
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import HashPartitioner, ShardedGraphStore
 from repro.graph.features import FeatureStore
+from repro.graph.update import GraphDelta, GraphMutator, GraphUpdate
 
 __all__ = [
     "NodeType",
@@ -48,4 +53,7 @@ __all__ = [
     "HashPartitioner",
     "ShardedGraphStore",
     "FeatureStore",
+    "GraphDelta",
+    "GraphMutator",
+    "GraphUpdate",
 ]

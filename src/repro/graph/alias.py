@@ -12,6 +12,8 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.graph.batch import segment_offsets
+
 SampleShape = Union[int, Tuple[int, ...]]
 
 
@@ -90,6 +92,20 @@ def _build_alias_arrays(scaled: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return prob, alias
 
 
+def _validate_csr_weights(indptr: np.ndarray, weights: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a ``(indptr, weights)`` CSR pair; returns the cast arrays."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if indptr.ndim != 1 or indptr.size == 0:
+        raise ValueError("indptr must be a non-empty 1-D array")
+    if weights.ndim != 1 or weights.size != int(indptr[-1]):
+        raise ValueError("weights must be 1-D with indptr[-1] entries")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    return indptr, weights
+
+
 class BatchedAliasTable:
     """Alias tables for every row of a CSR adjacency, sampled in bulk.
 
@@ -103,51 +119,106 @@ class BatchedAliasTable:
     """
 
     def __init__(self, indptr: np.ndarray, weights: np.ndarray):
-        indptr = np.asarray(indptr, dtype=np.int64)
-        weights = np.asarray(weights, dtype=np.float64)
-        if indptr.ndim != 1 or indptr.size == 0:
-            raise ValueError("indptr must be a non-empty 1-D array")
-        if weights.ndim != 1 or weights.size != int(indptr[-1]):
-            raise ValueError("weights must be 1-D with indptr[-1] entries")
-        if np.any(weights < 0):
-            raise ValueError("weights must be non-negative")
+        indptr, weights = _validate_csr_weights(indptr, weights)
         self.indptr = indptr
         self.num_rows = indptr.size - 1
-        degrees = np.diff(indptr)
-
-        cumulative = np.concatenate(([0.0], np.cumsum(weights)))
-        totals = cumulative[indptr[1:]] - cumulative[indptr[:-1]]
-        effective = weights.copy()
-        degenerate = (totals <= 0) & (degrees > 0)
-        if np.any(degenerate):
-            uniform_rows = np.repeat(degenerate, degrees)
-            effective[uniform_rows] = 1.0
-            totals = totals.copy()
-            totals[degenerate] = degrees[degenerate]
-        scaled = effective * np.repeat(
-            np.divide(degrees, totals, out=np.zeros_like(totals),
-                      where=totals > 0),
-            degrees)
-
         self._prob = np.ones(weights.size)
         self._alias = np.zeros(weights.size, dtype=np.int64)
-        # Constant-weight rows are already served by the initialised arrays
-        # (prob 1 accepts the uniformly drawn column), so the Python build
-        # loop only visits rows with genuinely non-uniform weights —
-        # unweighted relations build in O(1) rather than O(E).
-        if weights.size:
-            firsts = effective[np.minimum(indptr[:-1], weights.size - 1)]
-            deviates = (effective != np.repeat(firsts, degrees)).astype(np.int64)
-            deviation_cum = np.concatenate(([0], np.cumsum(deviates)))
-            varied = (deviation_cum[indptr[1:]]
-                      - deviation_cum[indptr[:-1]]) > 0
-        else:
-            varied = np.zeros(self.num_rows, dtype=bool)
-        for row in np.nonzero((degrees > 1) & varied)[0]:
-            start, stop = indptr[row], indptr[row + 1]
-            prob, alias = _build_alias_arrays(scaled[start:stop])
-            self._prob[start:stop] = prob
-            self._alias[start:stop] = alias
+        self._build_rows(np.arange(self.num_rows, dtype=np.int64), weights)
+
+    def _build_rows(self, rows: np.ndarray, weights: np.ndarray) -> None:
+        """Build the per-row alias tables of ``rows`` in place.
+
+        ``weights`` is the full flat weight array aligned with
+        :attr:`indptr`; only the segments belonging to ``rows`` are read.
+        Constant-weight rows are already served by the default arrays
+        (prob 1 accepts the uniformly drawn column), so the Python build
+        loop only visits rows with genuinely non-uniform weights —
+        unweighted relations build in O(1) rather than O(E).
+        """
+        indptr = self.indptr
+        degrees = indptr[rows + 1] - indptr[rows]
+        active = rows[degrees > 0]
+        if active.size == 0:
+            return
+        degrees = indptr[active + 1] - indptr[active]
+        flat = np.repeat(indptr[active], degrees) + segment_offsets(degrees)[1]
+        effective = weights[flat]
+        boundaries = np.cumsum(degrees) - degrees
+        totals = np.add.reduceat(effective, boundaries)
+        degenerate = totals <= 0
+        if np.any(degenerate):
+            effective[np.repeat(degenerate, degrees)] = 1.0
+            totals = totals.copy()
+            totals[degenerate] = degrees[degenerate]
+        scaled = effective * np.repeat(degrees / totals, degrees)
+
+        self._prob[flat] = 1.0
+        self._alias[flat] = 0
+        firsts = effective[boundaries]
+        deviates = (effective != np.repeat(firsts, degrees)).astype(np.int64)
+        deviation_cum = np.cumsum(deviates)
+        varied = deviation_cum[boundaries + degrees - 1] \
+            - (deviation_cum[boundaries] - deviates[boundaries]) > 0
+        for index in np.nonzero((degrees > 1) & varied)[0]:
+            lo = boundaries[index]
+            hi = lo + degrees[index]
+            prob, alias = _build_alias_arrays(scaled[lo:hi])
+            start = indptr[active[index]]
+            self._prob[start:start + degrees[index]] = prob
+            self._alias[start:start + degrees[index]] = alias
+
+    def rebuilt(self, indptr: np.ndarray, weights: np.ndarray,
+                touched_rows: np.ndarray) -> "BatchedAliasTable":
+        """A new table for an updated CSR, rebuilding only ``touched_rows``.
+
+        This is the incremental-update path of the streaming subsystem:
+        after edges are appended to a CSR adjacency, only the rows that
+        received new edges (plus any rows added beyond the old row count,
+        which are touched implicitly) pay the alias-construction cost; the
+        finished ``(prob, alias)`` slices of every untouched row are copied
+        over in one vectorized pass.  Untouched rows must carry exactly the
+        same weight slice as in this table's CSR — the contract
+        :meth:`repro.graph.hetero_graph.Relation.apply_updates` maintains —
+        and a degree change on a row not listed in ``touched_rows`` raises.
+
+        The result is bit-identical to ``BatchedAliasTable(indptr,
+        weights)`` built from scratch (pinned by tests), at a fraction of
+        the cost when few rows are touched (pinned >=5x by
+        ``benchmarks/bench_streaming_ingest.py``).
+        """
+        indptr, weights = _validate_csr_weights(indptr, weights)
+        if indptr.size - 1 < self.num_rows:
+            raise ValueError("rebuilt() cannot shrink the row space")
+        table = object.__new__(BatchedAliasTable)
+        table.indptr = indptr
+        table.num_rows = indptr.size - 1
+        table._prob = np.ones(weights.size)
+        table._alias = np.zeros(weights.size, dtype=np.int64)
+
+        touched = np.zeros(table.num_rows, dtype=bool)
+        touched_rows = np.asarray(touched_rows, dtype=np.int64)
+        if touched_rows.size and (touched_rows.min() < 0
+                                  or touched_rows.max() >= table.num_rows):
+            raise IndexError("touched_rows out of range")
+        touched[touched_rows] = True
+        touched[self.num_rows:] = True   # rows beyond the old table are new
+        untouched = np.nonzero(~touched)[0]
+        old_degrees = self.indptr[untouched + 1] - self.indptr[untouched]
+        new_degrees = indptr[untouched + 1] - indptr[untouched]
+        if np.any(old_degrees != new_degrees):
+            raise ValueError(
+                "rows changed degree without being listed in touched_rows")
+        copy = untouched[old_degrees > 0]
+        if copy.size:
+            degrees = new_degrees[old_degrees > 0]
+            offsets = segment_offsets(degrees)[1]
+            new_flat = np.repeat(indptr[copy], degrees) + offsets
+            old_flat = np.repeat(self.indptr[copy], degrees) + offsets
+            table._prob[new_flat] = self._prob[old_flat]
+            table._alias[new_flat] = self._alias[old_flat]
+        table._build_rows(np.nonzero(touched)[0], weights)
+        return table
 
     def degrees(self, rows: np.ndarray) -> np.ndarray:
         """Row degrees (number of outcomes per row)."""

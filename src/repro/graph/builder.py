@@ -28,7 +28,14 @@ import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.minhash import MinHasher
-from repro.graph.schema import EdgeType, GraphSchema, NodeType, RelationSpec, taobao_schema
+from repro.graph.schema import (
+    EdgeType,
+    GraphSchema,
+    NodeType,
+    RelationSpec,
+    iter_session_edges,
+    taobao_schema,
+)
 
 
 class GraphBuilder:
@@ -74,18 +81,9 @@ class GraphBuilder:
         if weight <= 0:
             raise ValueError("session weight must be positive")
         self._num_sessions += 1
-        self._bump(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY,
-                   user_id, query_id, weight)
-        previous_item: Optional[int] = None
-        for item_id in clicked_items:
-            self._bump(NodeType.USER, EdgeType.CLICK, NodeType.ITEM,
-                       user_id, item_id, weight)
-            self._bump(NodeType.QUERY, EdgeType.QUERY_CLICK, NodeType.ITEM,
-                       query_id, item_id, weight)
-            if previous_item is not None and previous_item != item_id:
-                self._bump(NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM,
-                           previous_item, item_id, weight)
-            previous_item = item_id
+        for src_type, edge_type, dst_type, src, dst in iter_session_edges(
+                user_id, query_id, clicked_items):
+            self._bump(src_type, edge_type, dst_type, src, dst, weight)
 
     def add_sessions(self, sessions: Iterable[Tuple[int, int, Sequence[int]]]) -> None:
         """Ingest an iterable of ``(user_id, query_id, clicked_items)`` tuples."""

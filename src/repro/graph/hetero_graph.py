@@ -25,6 +25,7 @@ from repro.graph.batch import (
     sequence_from,
 )
 from repro.graph.schema import GraphSchema, RelationSpec
+from repro.graph.update import GraphDelta, GraphUpdate
 
 
 @dataclass
@@ -166,6 +167,108 @@ class Relation:
         if self._alias_batch is None:
             self._alias_batch = BatchedAliasTable(self.indptr, self.weights)
         return self._alias_batch
+
+    def apply_updates(self, src: np.ndarray, dst: np.ndarray,
+                      weights: np.ndarray,
+                      num_src: Optional[int] = None) -> np.ndarray:
+        """Absorb edges (and optionally grow the row space) in one re-pack.
+
+        An incoming edge whose ``(src, dst)`` pair already exists in the
+        CSR **accumulates onto the existing edge's weight** — matching the
+        offline :class:`~repro.graph.builder.GraphBuilder`, where repeated
+        interactions strengthen one edge rather than stacking parallel
+        edges (parallel edges would also fill the serving caches' top-k
+        slots with duplicates).  Genuinely new pairs land at the end of
+        their row's segment via a single vectorized copy, so the result is
+        bit-identical to constructing the relation from the accumulated
+        edge list with the new pairs appended to the input.  The cached
+        :class:`BatchedAliasTable` is rebuilt scoped to the touched rows
+        only (:meth:`BatchedAliasTable.rebuilt`), which is what makes
+        streaming micro-batches cheap on large relations.
+
+        Returns the sorted unique source rows whose edges changed.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if src.shape != dst.shape or src.shape != weights.shape:
+            raise ValueError("src, dst and weights must have the same length")
+        num_src = self.num_src if num_src is None else int(num_src)
+        if num_src < self.num_src:
+            raise ValueError("num_src cannot shrink")
+        if src.size == 0:
+            if num_src > self.num_src:   # pure row growth (new nodes, no edges)
+                pad = np.full(num_src - self.num_src, self.indptr[-1],
+                              dtype=np.int64)
+                self.indptr = np.concatenate([self.indptr, pad])
+                self.num_src = num_src
+                if self._alias_batch is not None:
+                    self._alias_batch = self._alias_batch.rebuilt(
+                        self.indptr, self.weights,
+                        np.empty(0, dtype=np.int64))
+            return np.empty(0, dtype=np.int64)
+        if src.min() < 0 or src.max() >= num_src:
+            raise IndexError("src node id out of range")
+
+        # Fold edges whose (src, dst) already exists into weight bumps; the
+        # per-row scans only visit the touched rows' segments, keeping the
+        # cost proportional to the update.
+        order = np.argsort(src, kind="stable")
+        src, dst, weights = src[order], dst[order], weights[order]
+        touched = np.unique(src)
+        bumped = self.weights.copy() if self.indices.size else self.weights
+        append = np.ones(src.size, dtype=bool)
+        for row in touched:
+            if row < self.num_src:
+                start, stop = self.indptr[row], self.indptr[row + 1]
+                existing = {int(d): start + offset for offset, d
+                            in enumerate(self.indices[start:stop])}
+            else:
+                existing = {}
+            first_new: Dict[int, int] = {}
+            lo = np.searchsorted(src, row, side="left")
+            hi = np.searchsorted(src, row, side="right")
+            for index in range(lo, hi):
+                pair_dst = int(dst[index])
+                slot = existing.get(pair_dst)
+                if slot is not None:
+                    bumped[slot] += weights[index]
+                    append[index] = False
+                elif pair_dst in first_new:
+                    weights[first_new[pair_dst]] += weights[index]
+                    append[index] = False
+                else:
+                    first_new[pair_dst] = index
+
+        src, dst, weights = src[append], dst[append], weights[append]
+        old_degrees = np.diff(self.indptr)
+        if num_src > self.num_src:
+            old_degrees = np.concatenate(
+                [old_degrees, np.zeros(num_src - self.num_src, dtype=np.int64)])
+        added = np.bincount(src, minlength=num_src)
+        new_indptr = np.concatenate(
+            ([0], np.cumsum(old_degrees + added))).astype(np.int64)
+        new_indices = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        new_weights = np.empty(int(new_indptr[-1]))
+        if self.indices.size:
+            rows, cols = segment_offsets(old_degrees)
+            slots = new_indptr[rows] + cols
+            new_indices[slots] = self.indices
+            new_weights[slots] = bumped
+        rows, cols = segment_offsets(added)
+        slots = new_indptr[rows] + old_degrees[rows] + cols
+        new_indices[slots] = dst
+        new_weights[slots] = weights
+
+        old_alias = self._alias_batch
+        self.indptr = new_indptr
+        self.indices = new_indices
+        self.weights = new_weights
+        self.num_src = num_src
+        if old_alias is not None:
+            self._alias_batch = old_alias.rebuilt(new_indptr, new_weights,
+                                                  touched)
+        return touched
 
     def sample_neighbors_batch(self, node_ids: Sequence[int], k: int,
                                rng: Optional[np.random.Generator] = None,
@@ -337,7 +440,16 @@ class HeteroGraph:
         self._buffers: Dict[RelationSpec, _EdgeBuffer] = {}
         self.relations: Dict[RelationSpec, Relation] = {}
         self._typed_adjacency_cache: Dict[str, TypedAdjacency] = {}
+        #: Superseded union adjacencies kept for scoped alias carry-over:
+        #: node_type -> (old adjacency, touched rows accumulated since it
+        #: was built).  Consumed lazily by :meth:`typed_adjacency`.
+        self._typed_adjacency_stale: Dict[str,
+                                          Tuple[TypedAdjacency,
+                                                np.ndarray]] = {}
         self._finalized = False
+        #: Monotonic update stamp; bumped by every non-empty apply_updates
+        #: call so downstream caches can detect (and scope) staleness.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -405,8 +517,132 @@ class HeteroGraph:
             )
         self._buffers.clear()
         self._typed_adjacency_cache.clear()
+        self._typed_adjacency_stale.clear()
         self._finalized = True
         return self
+
+    # ------------------------------------------------------------------ #
+    # Streaming updates
+    # ------------------------------------------------------------------ #
+    def apply_updates(self, update: GraphUpdate) -> GraphDelta:
+        """Absorb a micro-batch of new nodes and edges into the live graph.
+
+        The streaming write path: node features are appended, every
+        affected CSR relation re-packs its arrays with one vectorized copy
+        (:meth:`Relation.apply_updates`; repeated ``(src, dst)`` pairs
+        accumulate weight like the offline builder), and alias-table
+        construction — the expensive per-row part — runs **scoped to the
+        touched rows only**.  Cached union adjacencies are not rebuilt
+        here: the superseded adjacency is stashed and the next sampling
+        access rebuilds it lazily with the untouched rows' alias slices
+        carried over, amortizing the structural copy across a stream of
+        micro-batches.  An empty update is a strict no-op: no structure is
+        rebuilt, the version stamp does not move, and sampling stays
+        bit-identical.
+
+        Returns a :class:`GraphDelta` naming the new version and exactly
+        which nodes had their out-neighborhoods changed — the invalidation
+        set for the serving caches.
+        """
+        self._require_finalized()
+        if update.is_empty():
+            return GraphDelta(version=self.version)
+        self._validate_update(update)
+
+        added_nodes: Dict[str, np.ndarray] = {}
+        for node_type, features in update.nodes.items():
+            if features.shape[0]:
+                added_nodes[node_type] = self.add_nodes(node_type, features)
+
+        touched: Dict[str, np.ndarray] = {}
+        num_new_edges = 0
+        for spec, (src, dst, weights) in update.edges.items():
+            if spec not in self.relations:
+                if spec not in self.schema.relations:
+                    self.schema.add_relation(spec.src_type, spec.edge_type,
+                                             spec.dst_type)
+                self.relations[spec] = Relation(
+                    spec, self.num_nodes[spec.src_type],
+                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                    np.empty(0))
+            relation = self.relations[spec]
+            edges_before = relation.num_edges
+            rows = relation.apply_updates(
+                src, dst, weights, num_src=self.num_nodes[spec.src_type])
+            # Count genuinely appended edges; incoming edges folded into
+            # weight bumps on existing pairs reconcile with total_edges.
+            num_new_edges += relation.num_edges - edges_before
+            existing = touched.get(spec.src_type)
+            touched[spec.src_type] = rows if existing is None \
+                else np.union1d(existing, rows)
+
+        # Grow the row space of relations whose source type gained nodes but
+        # received no edges (their indptr must still cover the new ids).
+        for spec, relation in self.relations.items():
+            if relation.num_src < self.num_nodes[spec.src_type]:
+                relation.apply_updates(
+                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                    np.empty(0), num_src=self.num_nodes[spec.src_type])
+
+        # Invalidate cached union adjacencies for the affected source types
+        # without paying their O(all edges of the type) reconstruction per
+        # micro-batch: the superseded adjacency is stashed (with the rows
+        # touched since it was built) and the next sampling access rebuilds
+        # the union lazily, carrying over the untouched rows' finished
+        # alias slices.  Consecutive updates just extend the stash's
+        # touched set, amortizing the copy across the stream.
+        for node_type in set(touched) | set(added_nodes):
+            rows = touched.get(node_type, np.empty(0, dtype=np.int64))
+            old = self._typed_adjacency_cache.pop(node_type, None)
+            stale = self._typed_adjacency_stale.get(node_type)
+            if stale is not None:
+                self._typed_adjacency_stale[node_type] = \
+                    (stale[0], np.union1d(stale[1], rows))
+            elif old is not None and old._alias_batch is not None:
+                self._typed_adjacency_stale[node_type] = (old, rows)
+
+        self.version += 1
+        return GraphDelta(version=self.version, touched=touched,
+                          added_nodes=added_nodes,
+                          num_new_edges=num_new_edges)
+
+    def _validate_update(self, update: GraphUpdate) -> None:
+        """Reject an invalid update before anything is mutated.
+
+        ``apply_updates`` is atomic: every node-feature block and every
+        edge array (validated against the node counts the update *will*
+        produce) is checked here first, so a bad id in the last relation
+        cannot leave earlier relations mutated behind an unmoved version
+        stamp and stale adjacency caches.
+        """
+        prospective = dict(self.num_nodes)
+        for node_type, features in update.nodes.items():
+            if node_type not in self.schema.node_types:
+                raise KeyError(f"unknown node type {node_type!r}")
+            expected = self.schema.feature_dims[node_type]
+            if features.ndim != 2 or features.shape[1] != expected:
+                raise ValueError(
+                    f"feature dim mismatch for {node_type!r}: "
+                    f"{features.shape} vs (*, {expected})")
+            prospective[node_type] += features.shape[0]
+        for spec, (src, dst, weights) in update.edges.items():
+            for node_type in (spec.src_type, spec.dst_type):
+                if node_type not in self.schema.node_types:
+                    raise KeyError(f"unknown node type {node_type!r} in "
+                                   f"relation {spec}")
+            if src.shape != dst.shape or src.shape != weights.shape:
+                raise ValueError(
+                    f"src/dst/weights length mismatch for relation {spec}")
+            if src.size == 0:
+                continue
+            if src.min() < 0 or src.max() >= prospective[spec.src_type]:
+                raise IndexError(
+                    f"src node id out of range for relation {spec}: "
+                    f"max={src.max()}, num_nodes={prospective[spec.src_type]}")
+            if dst.min() < 0 or dst.max() >= prospective[spec.dst_type]:
+                raise IndexError(
+                    f"dst node id out of range for relation {spec}: "
+                    f"max={dst.max()}, num_nodes={prospective[spec.dst_type]}")
 
     def _validate_ids(self, node_type: str, ids: np.ndarray) -> None:
         if ids.size == 0:
@@ -476,7 +712,13 @@ class HeteroGraph:
         return list(self.relations.keys())
 
     def typed_adjacency(self, node_type: str) -> TypedAdjacency:
-        """Union CSR over all relations out of ``node_type`` (cached)."""
+        """Union CSR over all relations out of ``node_type`` (cached).
+
+        After streaming updates the union is rebuilt lazily here; a
+        superseded adjacency stashed by :meth:`apply_updates` donates the
+        finished alias slices of every row untouched since it was built,
+        so only the touched rows pay alias construction.
+        """
         self._require_finalized()
         adjacency = self._typed_adjacency_cache.get(node_type)
         if adjacency is None:
@@ -484,6 +726,11 @@ class HeteroGraph:
             adjacency = TypedAdjacency(specs,
                                        [self.relations[s] for s in specs],
                                        self.num_nodes[node_type])
+            stale = self._typed_adjacency_stale.pop(node_type, None)
+            if stale is not None:
+                old, rows = stale
+                adjacency._alias_batch = old._alias_batch.rebuilt(
+                    adjacency.indptr, adjacency.weights, rows)
             self._typed_adjacency_cache[node_type] = adjacency
         return adjacency
 

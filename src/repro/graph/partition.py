@@ -207,6 +207,21 @@ class ShardedGraphStore:
                                  layer.node_ids[dst_types == node_type])
         return batch
 
+    def apply_updates(self, update) -> "GraphDelta":  # noqa: F821 - doc type
+        """Absorb a streaming :class:`~repro.graph.update.GraphUpdate`.
+
+        Delegates the structural work to
+        :meth:`HeteroGraph.apply_updates`, then extends the shard-size
+        accounting for the nodes the update appended (the hash partitioner
+        is stable, so existing nodes never move shards).
+        """
+        delta = self.graph.apply_updates(update)
+        for node_type, ids in delta.added_nodes.items():
+            shards = self.partitioner.shard_of_batch(node_type, ids)
+            for shard, size in zip(*np.unique(shards, return_counts=True)):
+                self.shard_sizes[int(shard)] += int(size)
+        return delta
+
     def server_stats(self) -> List[ShardServerStats]:
         """Per-server request statistics."""
         return list(self._servers)

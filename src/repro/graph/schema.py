@@ -101,6 +101,28 @@ class GraphSchema:
                 raise ValueError(f"relation {rel} references unknown node type")
 
 
+def iter_session_edges(user_id: int, query_id: int, clicked_items):
+    """Yield one search session's interaction edges (Section II rules).
+
+    The single source of the session-to-edge translation, shared by the
+    offline :class:`~repro.graph.builder.GraphBuilder` and the streaming
+    :class:`~repro.graph.update.GraphMutator` so batch-built and
+    streamed-in graphs can never follow diverging rules.  Yields
+    ``(src_type, edge_type, dst_type, src, dst)`` in the forward direction
+    only; callers add the reversed edges.
+    """
+    yield (NodeType.USER, EdgeType.SEARCH, NodeType.QUERY, user_id, query_id)
+    previous_item = None
+    for item_id in clicked_items:
+        yield (NodeType.USER, EdgeType.CLICK, NodeType.ITEM, user_id, item_id)
+        yield (NodeType.QUERY, EdgeType.QUERY_CLICK, NodeType.ITEM,
+               query_id, item_id)
+        if previous_item is not None and previous_item != item_id:
+            yield (NodeType.ITEM, EdgeType.SESSION, NodeType.ITEM,
+                   previous_item, item_id)
+        previous_item = item_id
+
+
 def taobao_schema(feature_dim: int = 16) -> GraphSchema:
     """Schema for the Taobao-style user-query-item retrieval graph."""
     schema = GraphSchema()

@@ -1,0 +1,224 @@
+"""Streaming graph updates: micro-batched edge/node ingestion for live graphs.
+
+The paper's deployment continuously feeds the web-scale behavior graph from
+user interaction logs; a graph served online must absorb new edges without a
+full rebuild.  This module is the write path of that streaming subsystem:
+
+* :class:`GraphUpdate` — one micro-batch of changes (new nodes per type, new
+  weighted edges per relation), the unit
+  :meth:`~repro.graph.hetero_graph.HeteroGraph.apply_updates` consumes.
+* :class:`GraphDelta` — the receipt of an applied update: the graph's new
+  version stamp plus exactly which source nodes had their out-neighborhoods
+  changed.  The serving layer uses it to invalidate precisely the affected
+  :class:`~repro.serving.cache.NeighborCache` keys and inverted-index
+  postings, nothing else.
+* :class:`GraphMutator` — translates raw search sessions ``{u, q, (i...)}``
+  into :class:`GraphUpdate` batches following the same Section II edge rules
+  as the offline :class:`~repro.graph.builder.GraphBuilder` (search / click /
+  query_click / session edges, both directions), creating unit-norm features
+  for previously unseen nodes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.schema import RelationSpec, iter_session_edges
+
+if TYPE_CHECKING:   # pragma: no cover - typing only, avoids an import cycle
+    from repro.graph.hetero_graph import HeteroGraph
+
+
+@dataclass
+class GraphUpdate:
+    """One micro-batch of graph changes: appended nodes and weighted edges."""
+
+    #: node_type -> ``(count, feature_dim)`` feature rows to append.
+    nodes: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: relation -> ``(src, dst, weight)`` arrays of edges to append.
+    edges: Dict[RelationSpec, Tuple[np.ndarray, np.ndarray, np.ndarray]] = \
+        field(default_factory=dict)
+
+    def add_nodes(self, node_type: str, features: np.ndarray) -> "GraphUpdate":
+        """Queue new nodes of ``node_type`` with dense ``features``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (num_nodes, feature_dim)")
+        existing = self.nodes.get(node_type)
+        self.nodes[node_type] = features if existing is None \
+            else np.vstack([existing, features])
+        return self
+
+    def add_edges(self, spec: RelationSpec, src: Sequence[int],
+                  dst: Sequence[int],
+                  weights: Optional[Sequence[float]] = None,
+                  symmetric: bool = False) -> "GraphUpdate":
+        """Queue new edges for ``spec`` (optionally also the reverse edges)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        weights = np.ones(src.size) if weights is None \
+            else np.asarray(weights, dtype=np.float64)
+        if weights.shape != src.shape:
+            raise ValueError("weights must have the same length as src/dst")
+        existing = self.edges.get(spec)
+        if existing is None:
+            self.edges[spec] = (src, dst, weights)
+        else:
+            self.edges[spec] = (np.concatenate([existing[0], src]),
+                                np.concatenate([existing[1], dst]),
+                                np.concatenate([existing[2], weights]))
+        if symmetric:
+            self.add_edges(spec.reverse(), dst, src, weights, symmetric=False)
+        return self
+
+    @property
+    def num_new_edges(self) -> int:
+        """Total number of queued edges across all relations."""
+        return sum(int(src.size) for src, _, _ in self.edges.values())
+
+    def is_empty(self) -> bool:
+        """True when the update carries neither nodes nor edges."""
+        return not any(f.shape[0] for f in self.nodes.values()) \
+            and self.num_new_edges == 0
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """Receipt of one applied :class:`GraphUpdate`: what changed, when.
+
+    ``touched`` names exactly the nodes whose out-neighborhoods changed —
+    the keys the serving layer must invalidate; everything else is
+    guaranteed untouched and may keep serving cached results.
+    """
+
+    #: The graph's version stamp after the update was applied.
+    version: int
+    #: node_type -> sorted node ids whose out-neighborhood changed.
+    touched: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: node_type -> ids of nodes appended by the update.
+    added_nodes: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Total number of edges appended.
+    num_new_edges: int = 0
+
+    def is_empty(self) -> bool:
+        """True when nothing changed (the empty-update no-op case)."""
+        return not self.touched and not self.added_nodes \
+            and self.num_new_edges == 0
+
+    def touched_ids(self, node_type: str) -> np.ndarray:
+        """Sorted ids of ``node_type`` whose out-neighborhood changed."""
+        return self.touched.get(node_type, np.empty(0, dtype=np.int64))
+
+    def added_ids(self, node_type: str) -> np.ndarray:
+        """Ids of ``node_type`` nodes appended by this update."""
+        return self.added_nodes.get(node_type, np.empty(0, dtype=np.int64))
+
+    def touched_keys(self) -> Iterable[Tuple[str, int]]:
+        """Iterate the ``(node_type, node_id)`` cache keys to invalidate."""
+        for node_type, ids in self.touched.items():
+            for node_id in ids:
+                yield node_type, int(node_id)
+
+    def merge(self, other: "GraphDelta") -> "GraphDelta":
+        """Combine two consecutive deltas into one (later version wins).
+
+        Used by :meth:`repro.api.pipeline.Pipeline.ingest` to accumulate
+        micro-batches between server refreshes.
+        """
+        touched = dict(self.touched)
+        for node_type, ids in other.touched.items():
+            existing = touched.get(node_type)
+            touched[node_type] = ids if existing is None \
+                else np.union1d(existing, ids)
+        added = dict(self.added_nodes)
+        for node_type, ids in other.added_nodes.items():
+            existing = added.get(node_type)
+            added[node_type] = ids if existing is None \
+                else np.concatenate([existing, ids])
+        return GraphDelta(version=max(self.version, other.version),
+                          touched=touched, added_nodes=added,
+                          num_new_edges=self.num_new_edges
+                          + other.num_new_edges)
+
+
+def _session_fields(session) -> Tuple[int, int, Tuple[int, ...]]:
+    """Coerce a session object or ``(u, q, items[, timestamp])`` tuple."""
+    if hasattr(session, "user_id"):
+        return (int(session.user_id), int(session.query_id),
+                tuple(int(i) for i in session.clicked_items))
+    user_id, query_id, clicked = session[0], session[1], session[2]
+    return int(user_id), int(query_id), tuple(int(i) for i in clicked)
+
+
+class GraphMutator:
+    """Streams interaction sessions into a live, finalized graph.
+
+    Each :meth:`apply_sessions` call turns a micro-batch of search sessions
+    into one :class:`GraphUpdate` — following the Section II edge rules the
+    offline :class:`~repro.graph.builder.GraphBuilder` uses — and applies it
+    through :meth:`HeteroGraph.apply_updates`.  Ids beyond the graph's
+    current node counts become new nodes with random unit-norm features
+    (mirroring the ``behavior-logs`` dataset's cold-start features), drawn
+    from a seeded stream so replays are deterministic.
+    """
+
+    def __init__(self, graph: "HeteroGraph", seed: int = 0,
+                 feature_fn=None):
+        self.graph = graph
+        self._rng = np.random.default_rng(seed)
+        self._feature_fn = feature_fn
+
+    def _new_node_features(self, node_type: str, count: int) -> np.ndarray:
+        if self._feature_fn is not None:
+            return np.asarray(self._feature_fn(node_type, count),
+                              dtype=np.float64)
+        dim = self.graph.schema.feature_dims[node_type]
+        features = self._rng.normal(size=(count, dim))
+        return features / np.linalg.norm(features, axis=1, keepdims=True)
+
+    def update_from_sessions(self, sessions: Iterable) -> GraphUpdate:
+        """Translate a micro-batch of sessions into one :class:`GraphUpdate`.
+
+        Repeated interactions accumulate onto one edge exactly as in the
+        offline builder: within the batch they fold here, and an
+        interaction repeating an edge that already exists in the graph is
+        folded into a weight bump by
+        :meth:`~repro.graph.hetero_graph.Relation.apply_updates` — so a
+        log streamed in micro-batches produces the same graph as building
+        it offline in one shot.
+        """
+        weights: Dict[RelationSpec, Dict[Tuple[int, int], float]] = \
+            defaultdict(lambda: defaultdict(float))
+        max_ids: Dict[str, int] = defaultdict(lambda: -1)
+
+        for session in sessions:
+            user_id, query_id, clicked = _session_fields(session)
+            for src_type, edge_type, dst_type, src, dst in \
+                    iter_session_edges(user_id, query_id, clicked):
+                forward = RelationSpec(src_type, edge_type, dst_type)
+                weights[forward][(src, dst)] += 1.0
+                weights[forward.reverse()][(dst, src)] += 1.0
+                max_ids[src_type] = max(max_ids[src_type], src)
+                max_ids[dst_type] = max(max_ids[dst_type], dst)
+
+        update = GraphUpdate()
+        for node_type, max_id in max_ids.items():
+            missing = max_id + 1 - self.graph.num_nodes.get(node_type, 0)
+            if missing > 0:
+                update.add_nodes(node_type,
+                                 self._new_node_features(node_type, missing))
+        for spec, pair_weights in weights.items():
+            pairs = np.array(list(pair_weights.keys()), dtype=np.int64)
+            values = np.array(list(pair_weights.values()), dtype=np.float64)
+            update.add_edges(spec, pairs[:, 0], pairs[:, 1], values)
+        return update
+
+    def apply_sessions(self, sessions: Iterable) -> GraphDelta:
+        """Build and apply the update for one micro-batch of sessions."""
+        return self.graph.apply_updates(self.update_from_sessions(sessions))

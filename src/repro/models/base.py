@@ -93,6 +93,19 @@ class RetrievalModel(Module):
         items = self.item_embeddings(item_ids)
         return items @ request
 
+    # ------------------------------------------------------------------ #
+    # Streaming updates
+    # ------------------------------------------------------------------ #
+    def on_graph_update(self, delta, rng=None) -> None:
+        """Hook called after the shared graph absorbed a streaming update.
+
+        ``delta`` is the :class:`~repro.graph.update.GraphDelta` the update
+        produced.  Subclasses that keep per-node state (id-embedding
+        tables, per-request caches) override this to grow tables for new
+        nodes and drop exactly the entries the delta touches; the base
+        model reads the graph live and needs no action.
+        """
+
     def _num_items(self) -> int:
         from repro.graph.schema import NodeType
         for candidate in (NodeType.ITEM, NodeType.MOVIE):

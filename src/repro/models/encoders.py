@@ -10,7 +10,7 @@ and the baselines isolates the contribution of sampling + attention.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -71,6 +71,26 @@ class HeteroNodeEncoder(Module):
     def mean_vectors(self, node_type: str, node_ids: Sequence[int]) -> Tensor:
         """Slot-averaged node vectors ``(n, d)`` (what non-Zoomer models use)."""
         return self.slots(node_type, node_ids).mean(axis=1)
+
+    def sync_with_graph(self, rng: Optional[np.random.Generator] = None
+                        ) -> Dict[str, int]:
+        """Grow the per-type id-embedding tables to cover new graph nodes.
+
+        Streaming updates append nodes to the graph after the model was
+        built; this extends each type's :class:`Embedding` with freshly
+        initialised rows (cold-start embeddings — content features still
+        flow through the shared projection).  Existing rows are untouched,
+        so embeddings of old nodes are bit-identical before and after.
+        Returns ``{node_type: rows_added}`` for the grown types.
+        """
+        grown: Dict[str, int] = {}
+        for node_type in self.node_types:
+            count = max(1, self.graph.num_nodes[node_type])
+            embedding: Embedding = getattr(self, f"id_embedding_{node_type}")
+            added = embedding.grow_to(count, rng=rng)
+            if added:
+                grown[node_type] = added
+        return grown
 
 
 class TwinTowerHead(Module):

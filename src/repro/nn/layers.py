@@ -54,6 +54,27 @@ class Embedding(Module):
             )
         return self.weight.gather_rows(indices)
 
+    def grow_to(self, num_embeddings: int, std: float = 0.05,
+                rng: Optional[np.random.Generator] = None) -> int:
+        """Extend the table with freshly initialised rows (streaming path).
+
+        New graph nodes arriving through streaming updates need id
+        embeddings before they can be served; the appended rows use the
+        same initialisation as construction, drawn from ``rng`` so cold
+        starts are deterministic under a seeded refresh.  Existing rows
+        (and their registration with the module tree) are untouched.
+        Returns the number of rows added.
+        """
+        if num_embeddings <= self.num_embeddings:
+            return 0
+        extra = num_embeddings - self.num_embeddings
+        self.weight.data = np.vstack([
+            self.weight.data,
+            init.normal((extra, self.embedding_dim), std, rng)])
+        self.weight.grad = None
+        self.num_embeddings = num_embeddings
+        return extra
+
 
 class MLP(Module):
     """Multi-layer perceptron with ReLU activations between layers.

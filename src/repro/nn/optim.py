@@ -46,6 +46,29 @@ class Optimizer:
             grad = grad + self.weight_decay * param.data
         return grad
 
+    @staticmethod
+    def _aligned(state: Optional[np.ndarray],
+                 param: Parameter) -> Optional[np.ndarray]:
+        """Align a per-parameter state buffer with a row-grown parameter.
+
+        Embedding tables grow in place when streaming updates add nodes
+        (:meth:`repro.nn.layers.Embedding.grow_to`), so momentum buffers
+        recorded before an ingest can be shorter than the parameter; the
+        appended rows start with zero state, exactly as a fresh parameter
+        would.  Any other shape change is a real error and raises.
+        """
+        if state is None or state.shape == param.data.shape:
+            return state
+        if state.ndim == param.data.ndim and state.ndim >= 1 \
+                and state.shape[1:] == param.data.shape[1:] \
+                and state.shape[0] < param.data.shape[0]:
+            grown = np.zeros_like(param.data)
+            grown[:state.shape[0]] = state
+            return grown
+        raise ValueError(
+            f"optimizer state shape {state.shape} cannot be aligned with "
+            f"parameter shape {param.data.shape}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -63,7 +86,7 @@ class SGD(Optimizer):
             if grad is None:
                 continue
             if self.momentum:
-                velocity = self._velocity.get(id(param))
+                velocity = self._aligned(self._velocity.get(id(param)), param)
                 if velocity is None:
                     velocity = np.zeros_like(param.data)
                 velocity = self.momentum * velocity + grad
@@ -94,8 +117,8 @@ class Adam(Optimizer):
             grad = self._grad(param)
             if grad is None:
                 continue
-            m = self._m.get(id(param))
-            v = self._v.get(id(param))
+            m = self._aligned(self._m.get(id(param)), param)
+            v = self._aligned(self._v.get(id(param)), param)
             if m is None:
                 m = np.zeros_like(param.data)
                 v = np.zeros_like(param.data)

@@ -27,7 +27,10 @@ and the item corpus can be **sharded** with per-shard top-k merging.
   (max batch size / max wait) over the server's batched path.
 * :class:`~repro.serving.server.OnlineServer` — the end-to-end facade;
   ``serve_batch`` is the hot path and ``serve`` a batch-of-one wrapper that
-  returns identical results and statistics.
+  returns identical results and statistics.  ``refresh(delta)`` absorbs a
+  streaming graph update while serving: touched cache keys and postings are
+  invalidated exactly, and new ANN structures are built on the side before
+  an atomic swap.
 """
 
 from repro.serving.cache import CacheStats, NeighborCache
@@ -40,7 +43,7 @@ from repro.serving.latency import (
     LatencySimulator,
 )
 from repro.serving.batcher import BatcherStats, RequestBatcher
-from repro.serving.server import OnlineServer, ServeResult
+from repro.serving.server import OnlineServer, RefreshReport, ServeResult
 
 __all__ = [
     "BatcherStats",
@@ -53,6 +56,7 @@ __all__ = [
     "LatencySimulator",
     "NeighborCache",
     "OnlineServer",
+    "RefreshReport",
     "RequestBatcher",
     "ServeResult",
     "ShardedIndex",

@@ -106,6 +106,7 @@ class IVFIndex:
         self.num_cells = num_cells
         self.nprobe = nprobe
         self.kmeans_iterations = kmeans_iterations
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.centroids: Optional[np.ndarray] = None
         self._cells: List[np.ndarray] = []
@@ -140,6 +141,54 @@ class IVFIndex:
         self.centroids = centroids
         self._cells = [np.where(assignments == cell)[0] for cell in range(cells)]
         return self
+
+    def rebuilt(self, embeddings: np.ndarray, rows: np.ndarray,
+                ids: Optional[Sequence[int]] = None) -> "IVFIndex":
+        """A new index over an updated corpus, re-assigning only ``rows``.
+
+        The streaming-refresh path: the coarse quantizer (k-means
+        centroids) is kept frozen and only the changed rows — ``rows`` plus
+        any rows appended beyond the old corpus — are assigned to their
+        nearest existing cell, skipping the k-means iterations that
+        dominate :meth:`build`.  Unchanged rows keep their cells, so with
+        no changes search results are identical.  Centroids drifting from
+        the corpus over many updates is the standard IVF trade-off; a
+        periodic full :meth:`build` re-trains them.
+
+        Returns a fresh :class:`IVFIndex` (this one keeps serving until
+        the caller swaps), sharing the frozen centroid array.
+        """
+        if self.centroids is None or self.embeddings is None:
+            raise RuntimeError("index not built; call build() first")
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or \
+                embeddings.shape[1] != self.embeddings.shape[1]:
+            raise ValueError("embeddings must be 2-D with the built width")
+        old_count = self.embeddings.shape[0]
+        if embeddings.shape[0] < old_count:
+            raise ValueError("rebuilt() cannot shrink the corpus")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= embeddings.shape[0]):
+            raise IndexError("rows out of range")
+
+        fresh = IVFIndex(num_cells=self.num_cells, nprobe=self.nprobe,
+                         kmeans_iterations=self.kmeans_iterations,
+                         seed=self._seed)
+        fresh.centroids = self.centroids
+        fresh.embeddings = embeddings
+        fresh.ids = np.asarray(ids, dtype=np.int64) if ids is not None \
+            else np.arange(embeddings.shape[0])
+        assignments = np.empty(embeddings.shape[0], dtype=np.int64)
+        for cell, members in enumerate(self._cells):
+            assignments[members] = cell
+        changed = np.union1d(rows, np.arange(old_count, embeddings.shape[0]))
+        if changed.size:
+            distances = ((embeddings[changed][:, None, :]
+                          - self.centroids[None, :, :]) ** 2).sum(axis=2)
+            assignments[changed] = distances.argmin(axis=1)
+        fresh._cells = [np.where(assignments == cell)[0]
+                        for cell in range(self.centroids.shape[0])]
+        return fresh
 
     # ------------------------------------------------------------------ #
     # Search

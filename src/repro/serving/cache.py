@@ -42,6 +42,7 @@ class CacheStats:
     misses: int = 0
     refreshes: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -103,6 +104,30 @@ class NeighborCache:
         # put() counts this as a refresh; that is intentional — visit updates
         # ride the same asynchronous refresh path.
 
+    def invalidate(self, node_type: str, node_id: int) -> bool:
+        """Drop one cached entry (streaming update path).
+
+        Returns True when the key was cached.  Invalidation counts neither
+        as a hit nor a miss: the entry is simply gone, so the next read of
+        the key misses and re-warms from the updated graph.
+        """
+        key = (node_type, int(node_id))
+        if self._entries.pop(key, None) is None:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_keys(self, keys: Sequence[CacheKey]) -> int:
+        """Drop many cached entries; returns how many were actually cached.
+
+        This is the scoped invalidation the streaming subsystem relies on:
+        a :class:`~repro.graph.update.GraphDelta` names exactly the nodes
+        whose neighborhoods changed, those keys are dropped here, and every
+        untouched key keeps serving its cached entry.
+        """
+        return sum(1 for node_type, node_id in keys
+                   if self.invalidate(node_type, node_id))
+
     # ------------------------------------------------------------------ #
     # Batched operations (bulk maintenance: pre-warming, bulk refresh)
     # ------------------------------------------------------------------ #
@@ -153,17 +178,28 @@ class NeighborCache:
     # ------------------------------------------------------------------ #
     # Warm-up and reporting
     # ------------------------------------------------------------------ #
+    def top_graph_neighbors(self, graph, node_type: str, node_id: int,
+                            k: Optional[int] = None) -> List[Neighbor]:
+        """One node's highest-weight graph neighbors, as cache entries.
+
+        The single source of the cache-entry selection rule, shared by
+        :meth:`warm` and the streaming refresh's asynchronous re-warm so
+        warmed and refreshed entries can never drift apart.
+        """
+        k = k if k is not None else self.capacity
+        neighbors: List[Neighbor] = []
+        for spec, ids, weights in graph.neighbors(node_type, int(node_id)):
+            neighbors.extend((spec.dst_type, int(i), float(w))
+                             for i, w in zip(ids, weights))
+        neighbors.sort(key=lambda entry: -entry[2])
+        return neighbors[:k]
+
     def warm(self, graph, node_type: str, node_ids: Sequence[int],
              k: Optional[int] = None) -> None:
         """Pre-populate the cache from the graph's highest-weight neighbors."""
-        k = k if k is not None else self.capacity
         for node_id in node_ids:
-            neighbors: List[Neighbor] = []
-            for spec, ids, weights in graph.neighbors(node_type, int(node_id)):
-                neighbors.extend((spec.dst_type, int(i), float(w))
-                                 for i, w in zip(ids, weights))
-            neighbors.sort(key=lambda entry: -entry[2])
-            self.put(node_type, int(node_id), neighbors[:k])
+            self.put(node_type, int(node_id),
+                     self.top_graph_neighbors(graph, node_type, node_id, k))
 
     def hit_rate(self) -> float:
         """Overall cache hit rate so far."""

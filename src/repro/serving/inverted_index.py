@@ -97,6 +97,26 @@ class InvertedIndex:
         """Second-layer metadata lookup."""
         return self._metadata.get(int(item_id))
 
+    # ------------------------------------------------------------------ #
+    # Streaming maintenance
+    # ------------------------------------------------------------------ #
+    def has_posting(self, query_id: int) -> bool:
+        """True when the query has a layer-1 posting list."""
+        return int(query_id) in self._postings
+
+    def invalidate_queries(self, query_ids: Sequence[int]) -> int:
+        """Drop the posting lists of exactly the given queries.
+
+        The streaming refresh path: a graph update names the queries whose
+        neighborhoods changed, their (now stale) posting lists are dropped
+        here and rebuilt from the updated embeddings, while every untouched
+        query keeps serving its cached posting list — the paper's postings
+        are refreshed offline, so bounded staleness on untouched keys is
+        the intended behaviour.  Returns how many postings were dropped.
+        """
+        return sum(1 for query_id in query_ids
+                   if self._postings.pop(int(query_id), None) is not None)
+
     def coverage(self, query_ids: Sequence[int]) -> float:
         """Fraction of the given queries that have a posting list."""
         if not len(query_ids):

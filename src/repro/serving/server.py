@@ -28,9 +28,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.graph.update import GraphDelta
 
 from repro.models.base import RetrievalModel
 from repro.serving.ann import IVFIndex, strip_padding
@@ -52,6 +55,22 @@ class ServeResult:
     from_inverted_index: bool
 
 
+@dataclass
+class RefreshReport:
+    """What one :meth:`OnlineServer.refresh` call actually touched."""
+
+    #: Graph version the server reflects after the refresh.
+    version: int
+    #: Neighbor-cache keys that were cached and got invalidated.
+    invalidated_cache_keys: int = 0
+    #: Inverted-index posting lists rebuilt (touched queries only).
+    refreshed_postings: int = 0
+    #: Item-embedding rows recomputed (touched + newly added items).
+    refreshed_items: int = 0
+    #: Items appended to the corpus (and to the swapped-in ANN index).
+    new_items: int = 0
+
+
 class OnlineServer:
     """Serves item-retrieval requests from a trained retrieval model."""
 
@@ -71,21 +90,34 @@ class OnlineServer:
         self.query_type = model.query_node_type()
         self._item_embeddings = model.item_embeddings()
         self.num_shards = num_shards
-        if num_shards > 1:
-            # Shard the item corpus; each shard runs its own IVF index and
-            # per-shard top-k lists are merged into the global top-k.
-            self.ann = ShardedIndex(
-                num_shards=num_shards,
-                index_factory=lambda embeddings, ids: IVFIndex(
-                    num_cells=ann_cells, nprobe=ann_nprobe,
-                    seed=seed).build(embeddings, ids),
-            ).build(self._item_embeddings)
-        else:
-            self.ann = IVFIndex(num_cells=ann_cells, nprobe=ann_nprobe,
-                                seed=seed).build(self._item_embeddings)
+        self._ann_cells = ann_cells
+        self._ann_nprobe = ann_nprobe
+        self._seed = seed
+        self.ann = self._build_ann(self._item_embeddings)
         self.latency_model = LatencySimulator(num_servers=num_servers)
         self._request_embedding_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self._served = 0
+        #: Graph version this server's caches and indexes reflect.
+        self.graph_version = getattr(self.graph, "version", 0)
+        self._example_user = 0
+
+    def _build_ann(self, item_embeddings: np.ndarray):
+        """Build a fresh (optionally sharded) ANN index over the corpus.
+
+        Used at construction and by :meth:`refresh`, which builds the new
+        index on the side and swaps it in only once it is complete.
+        """
+        if self.num_shards > 1:
+            # Shard the item corpus; each shard runs its own IVF index and
+            # per-shard top-k lists are merged into the global top-k.
+            return ShardedIndex(
+                num_shards=self.num_shards,
+                index_factory=lambda embeddings, ids: IVFIndex(
+                    num_cells=self._ann_cells, nprobe=self._ann_nprobe,
+                    seed=self._seed).build(embeddings, ids),
+            ).build(item_embeddings)
+        return IVFIndex(num_cells=self._ann_cells, nprobe=self._ann_nprobe,
+                        seed=self._seed).build(item_embeddings)
 
     # ------------------------------------------------------------------ #
     # Offline preparation
@@ -115,10 +147,116 @@ class OnlineServer:
         """
         user_ids = list(user_ids)
         query_ids = list(query_ids)
+        self._example_user = int(example_user)
         self.warm_caches(user_ids, query_ids)
         if self.use_inverted_index and query_ids:
             self.build_inverted_index(query_ids, example_user=example_user)
         return self
+
+    # ------------------------------------------------------------------ #
+    # Streaming refresh
+    # ------------------------------------------------------------------ #
+    def refresh(self, delta: "GraphDelta") -> RefreshReport:
+        """Absorb a streaming graph update while continuing to serve.
+
+        ``delta`` is the receipt of a (already applied)
+        :meth:`~repro.graph.hetero_graph.HeteroGraph.apply_updates` call on
+        this server's graph.  The refresh is scoped to exactly what the
+        delta names:
+
+        1. the model grows id embeddings for new nodes and drops its
+           touched per-request caches (``on_graph_update``),
+        2. memoised request embeddings of touched users/queries are
+           dropped,
+        3. the neighbor cache invalidates exactly the touched keys, and the
+           keys that were cached are queued for an asynchronous re-warm
+           from the updated graph (applied by the next request batch's
+           refresh drain, off the critical path),
+        4. item embeddings are recomputed for touched + new items only and
+           a new ANN index is derived **on the side** (the coarse k-means
+           centroids stay frozen; only changed rows are reassigned to
+           cells), then swapped in — a request served mid-refresh reads
+           the previous index end to end,
+        5. inverted-index postings are rebuilt for exactly the touched
+           queries that had one; untouched postings keep serving (the
+           paper refreshes postings offline, so bounded staleness on
+           untouched keys is intended).
+
+        Deterministic under a fixed server seed: cold-start embeddings are
+        drawn from ``default_rng((seed, delta.version))``.
+        """
+        if delta.version < self.graph_version:
+            raise ValueError(
+                f"stale delta: version {delta.version} < server's "
+                f"{self.graph_version}")
+        if delta.is_empty() and delta.version == self.graph_version:
+            return RefreshReport(version=self.graph_version)
+        rng = np.random.default_rng((self._seed, delta.version))
+
+        # 1. Model-side: new-node embeddings + scoped model-cache drops.
+        self.model.on_graph_update(delta, rng=rng)
+
+        # 2. Memoised request embeddings of touched users/queries.
+        from repro.graph.schema import NodeType
+        user_type = getattr(self.model, "user_type", NodeType.USER)
+        touched_users = set(delta.touched_ids(user_type).tolist())
+        touched_queries = set(delta.touched_ids(self.query_type).tolist())
+        if touched_users or touched_queries:
+            self._request_embedding_cache = {
+                key: value
+                for key, value in self._request_embedding_cache.items()
+                if key[0] not in touched_users and key[1] not in touched_queries
+            }
+
+        # 3. Neighbor cache: invalidate exactly the touched keys; re-warm
+        #    the previously cached ones asynchronously.
+        invalidated = 0
+        for node_type, node_id in delta.touched_keys():
+            if self.cache.invalidate(node_type, node_id):
+                invalidated += 1
+                self.cache.enqueue_refresh(
+                    node_type, node_id,
+                    self.cache.top_graph_neighbors(self.graph, node_type,
+                                                   node_id))
+
+        # 4. Item embeddings + ANN: recompute touched/new rows only, derive
+        #    the fresh index on the side (frozen coarse centroids, changed
+        #    rows reassigned to their nearest cell), then swap.
+        num_items = self.graph.num_nodes[self.item_type]
+        stale_items = np.union1d(delta.touched_ids(self.item_type),
+                                 delta.added_ids(self.item_type))
+        refreshed_items = 0
+        new_items = num_items - self._item_embeddings.shape[0]
+        if stale_items.size or new_items > 0:
+            embeddings = np.zeros((num_items, self._item_embeddings.shape[1]))
+            embeddings[:self._item_embeddings.shape[0]] = self._item_embeddings
+            rows = [int(i) for i in stale_items if i < num_items]
+            rows = sorted(set(rows) | set(
+                range(self._item_embeddings.shape[0], num_items)))
+            if rows:
+                embeddings[rows] = self.model.item_embeddings(rows)
+                refreshed_items = len(rows)
+            fresh_ann = self.ann.rebuilt(
+                embeddings, np.asarray(rows, dtype=np.int64))
+            self._item_embeddings = embeddings
+            self.ann = fresh_ann                      # atomic swap
+        # 5. Inverted index: rebuild exactly the touched queries' postings
+        #    (build_inverted_index overwrites each rebuilt key in place).
+        refreshed_postings = 0
+        if self.use_inverted_index:
+            stale_queries = [int(q) for q in touched_queries
+                             if self.inverted_index.has_posting(q)]
+            if stale_queries:
+                self.build_inverted_index(stale_queries,
+                                          example_user=self._example_user)
+                refreshed_postings = len(stale_queries)
+
+        self.graph_version = delta.version
+        return RefreshReport(version=self.graph_version,
+                             invalidated_cache_keys=invalidated,
+                             refreshed_postings=refreshed_postings,
+                             refreshed_items=refreshed_items,
+                             new_items=max(new_items, 0))
 
     # ------------------------------------------------------------------ #
     # Online path

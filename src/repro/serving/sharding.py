@@ -76,6 +76,45 @@ class ShardedIndex:
             self._shard_sizes.append(int(local.size))
         return self
 
+    def rebuilt(self, embeddings: np.ndarray, rows: np.ndarray,
+                ids: Optional[Sequence[int]] = None) -> "ShardedIndex":
+        """A new sharded index over an updated corpus, scoped to ``rows``.
+
+        Round-robin placement is position-stable, so existing items never
+        move shards and appended items join the shard their position maps
+        to; each shard index is refreshed through its own scoped
+        ``rebuilt`` (frozen-centroid reassignment for IVF shards) when it
+        has one, and rebuilt outright otherwise (the exact index's build is
+        just an array copy).  Returns a fresh :class:`ShardedIndex`; this
+        one keeps serving until the caller swaps it out.
+        """
+        if not self.shards:
+            raise RuntimeError("index not built; call build() first")
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[0] < self._num_items:
+            raise ValueError("embeddings must be 2-D and cannot shrink")
+        ids = np.asarray(ids, dtype=np.int64) if ids is not None \
+            else np.arange(embeddings.shape[0])
+        rows = np.asarray(rows, dtype=np.int64)
+        changed = np.union1d(rows, np.arange(self._num_items,
+                                             embeddings.shape[0]))
+        fresh = ShardedIndex(num_shards=self.num_shards,
+                             index_factory=self.index_factory)
+        fresh._num_items = embeddings.shape[0]
+        positions = np.arange(embeddings.shape[0])
+        for shard, index in enumerate(self.shards):
+            local = positions[positions % self.num_shards == shard]
+            if hasattr(index, "rebuilt"):
+                local_rows = np.nonzero(np.isin(local, changed))[0]
+                fresh.shards.append(index.rebuilt(embeddings[local],
+                                                  local_rows,
+                                                  ids=ids[local]))
+            else:
+                fresh.shards.append(self.index_factory(embeddings[local],
+                                                       ids[local]))
+            fresh._shard_sizes.append(int(local.size))
+        return fresh
+
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #

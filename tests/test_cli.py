@@ -40,3 +40,18 @@ class TestCommands:
         assert code == 0
         assert "auc" in captured
         assert "STAMP" in captured
+
+    def test_ingest_command_streams_and_serves(self, capsys):
+        code = main(["ingest", "--max-examples", "80", "--epochs", "1",
+                     "--embedding-dim", "8", "--fanout", "3",
+                     "--replay-fraction", "0.2", "--micro-batch-size", "16",
+                     "--refresh-every", "2"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Streaming ingest" in captured
+        assert "server refreshes" in captured
+        assert "Post-ingest serving" in captured
+
+    def test_ingest_rejects_bad_replay_fraction(self):
+        with pytest.raises(SystemExit):
+            main(["ingest", "--replay-fraction", "1.5"])

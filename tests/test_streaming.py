@@ -1,0 +1,692 @@
+"""Streaming-update subsystem tests: graph mutation through serving refresh.
+
+Covers the contract chain end to end:
+
+* scoped :meth:`BatchedAliasTable.rebuilt` is bit-identical to a full build,
+* :meth:`Relation.apply_updates` re-packs to exactly the CSR a from-scratch
+  build of the concatenated edge list produces,
+* :meth:`HeteroGraph.apply_updates` makes new edges/nodes visible to the
+  sampling engine, stamps versions, and reports precise deltas,
+* the **static path stays bit-identical**: applying zero updates leaves
+  sampling and serving outputs byte-for-byte unchanged under a fixed seed,
+* :class:`NeighborCache` / :class:`InvertedIndex` invalidate exactly the
+  touched keys (post-update results for touched keys, still-cached results
+  for untouched keys, no-op on empty updates),
+* :meth:`OnlineServer.refresh`, :meth:`Pipeline.ingest`, and the
+  timestamp-ordered :class:`ReplayDriver` compose the layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    Pipeline,
+    StreamingSpec,
+    TrainSpec,
+)
+from repro.data import SearchSession, sessions_in_time_order, split_sessions_at
+from repro.graph import (
+    GraphMutator,
+    GraphUpdate,
+    HeteroGraph,
+    ShardedGraphStore,
+)
+from repro.graph.alias import BatchedAliasTable
+from repro.graph.hetero_graph import Relation
+from repro.graph.schema import EdgeType, NodeType, RelationSpec, taobao_schema
+from repro.serving.cache import NeighborCache
+from repro.serving.inverted_index import InvertedIndex
+from repro.streaming import ReplayDriver
+
+
+def _unit_rows(rng, count, dim=8):
+    rows = rng.normal(size=(count, dim))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def _unique_pairs(rng, count, num_src, num_dst):
+    """Sample ``count`` distinct ``(src, dst)`` pairs (no parallel edges)."""
+    flat = rng.choice(num_src * num_dst, size=count, replace=False)
+    return flat // num_dst, flat % num_dst
+
+
+def _small_graph(seed=0, num_users=12, num_queries=10, num_items=24):
+    rng = np.random.default_rng(seed)
+    graph = HeteroGraph(taobao_schema(feature_dim=8))
+    graph.add_nodes(NodeType.USER, _unit_rows(rng, num_users))
+    graph.add_nodes(NodeType.QUERY, _unit_rows(rng, num_queries))
+    graph.add_nodes(NodeType.ITEM, _unit_rows(rng, num_items))
+    click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+    search = RelationSpec(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY)
+    click_src, click_dst = _unique_pairs(rng, 60, num_users, num_items)
+    graph.add_edges(click, click_src, click_dst, rng.random(60) + 0.1,
+                    symmetric=True)
+    search_src, search_dst = _unique_pairs(rng, 30, num_users, num_queries)
+    graph.add_edges(search, search_src, search_dst, rng.random(30) + 0.1,
+                    symmetric=True)
+    return graph.finalize()
+
+
+def _accumulated(src, dst, weights):
+    """Fold duplicate ``(src, dst)`` pairs (first-occurrence order, summed)."""
+    totals = {}
+    order = []
+    for s, d, w in zip(src, dst, weights):
+        key = (int(s), int(d))
+        if key not in totals:
+            totals[key] = 0.0
+            order.append(key)
+        totals[key] += float(w)
+    return (np.array([k[0] for k in order], dtype=np.int64),
+            np.array([k[1] for k in order], dtype=np.int64),
+            np.array([totals[k] for k in order]))
+
+
+def _tiny_spec(**streaming):
+    return ExperimentSpec(
+        dataset=DataSpec(params={"num_users": 25, "num_queries": 20,
+                                 "num_items": 50, "sessions_per_user": 4.0},
+                         max_train_examples=120, max_test_examples=0),
+        training=TrainSpec(epochs=1, max_batches_per_epoch=3, batch_size=64),
+        streaming=StreamingSpec(**streaming) if streaming else StreamingSpec())
+
+
+class TestScopedAliasRebuild:
+    def _random_csr(self, rng, num_rows=80, max_degree=7):
+        degrees = rng.integers(0, max_degree, size=num_rows)
+        indptr = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+        weights = rng.random(int(indptr[-1]))
+        return indptr, weights
+
+    def _append(self, rng, indptr, weights, touched, extra=2):
+        num_rows = indptr.size - 1
+        added = np.zeros(num_rows, dtype=np.int64)
+        added[touched] = rng.integers(1, extra + 1, size=touched.size)
+        new_indptr = np.concatenate(
+            ([0], np.cumsum(np.diff(indptr) + added))).astype(np.int64)
+        new_weights = np.empty(int(new_indptr[-1]))
+        for row in range(num_rows):
+            segment = np.concatenate([weights[indptr[row]:indptr[row + 1]],
+                                      rng.random(added[row])])
+            new_weights[new_indptr[row]:new_indptr[row + 1]] = segment
+        return new_indptr, new_weights
+
+    def test_scoped_rebuild_is_bit_identical_to_full(self):
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            indptr, weights = self._random_csr(rng)
+            base = BatchedAliasTable(indptr, weights)
+            touched = np.sort(rng.choice(indptr.size - 1, size=6,
+                                         replace=False))
+            new_indptr, new_weights = self._append(rng, indptr, weights,
+                                                   touched)
+            scoped = base.rebuilt(new_indptr, new_weights, touched)
+            full = BatchedAliasTable(new_indptr, new_weights)
+            np.testing.assert_array_equal(scoped._prob, full._prob)
+            np.testing.assert_array_equal(scoped._alias, full._alias)
+
+    def test_new_rows_are_rebuilt_implicitly(self):
+        rng = np.random.default_rng(2)
+        indptr, weights = self._random_csr(rng, num_rows=20)
+        base = BatchedAliasTable(indptr, weights)
+        extra_weights = rng.random(5)
+        grown_indptr = np.concatenate(
+            [indptr, [indptr[-1] + 2, indptr[-1] + 5]])
+        grown_weights = np.concatenate([weights, extra_weights])
+        scoped = base.rebuilt(grown_indptr, grown_weights,
+                              np.empty(0, dtype=np.int64))
+        full = BatchedAliasTable(grown_indptr, grown_weights)
+        np.testing.assert_array_equal(scoped._prob, full._prob)
+        np.testing.assert_array_equal(scoped._alias, full._alias)
+
+    def test_untouched_degree_change_raises(self):
+        rng = np.random.default_rng(3)
+        indptr, weights = self._random_csr(rng, num_rows=10)
+        base = BatchedAliasTable(indptr, weights)
+        new_indptr, new_weights = self._append(rng, indptr, weights,
+                                               np.array([4]))
+        with pytest.raises(ValueError, match="touched_rows"):
+            base.rebuilt(new_indptr, new_weights, np.empty(0, dtype=np.int64))
+
+    def test_row_space_cannot_shrink(self):
+        base = BatchedAliasTable(np.array([0, 2, 4]), np.ones(4))
+        with pytest.raises(ValueError, match="shrink"):
+            base.rebuilt(np.array([0, 2]), np.ones(2), np.array([0]))
+
+
+class TestRelationApplyUpdates:
+    def test_append_matches_from_scratch_build(self):
+        rng = np.random.default_rng(4)
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        src, dst = _unique_pairs(rng, 100, 30, 50)
+        weights = rng.random(100) + 0.1
+        new_src = rng.integers(0, 30, 15)
+        new_dst = rng.integers(0, 50, 15)
+        new_weights = rng.random(15) + 0.1
+
+        streamed = Relation(spec, 30, src, dst, weights)
+        streamed.alias_sampler()            # force the scoped-rebuild path
+        touched = streamed.apply_updates(new_src, new_dst, new_weights)
+        rebuilt = Relation(spec, 30, *_accumulated(
+            np.concatenate([src, new_src]),
+            np.concatenate([dst, new_dst]),
+            np.concatenate([weights, new_weights])))
+        np.testing.assert_array_equal(streamed.indptr, rebuilt.indptr)
+        np.testing.assert_array_equal(streamed.indices, rebuilt.indices)
+        np.testing.assert_array_equal(streamed.weights, rebuilt.weights)
+        np.testing.assert_array_equal(
+            streamed.alias_sampler()._prob, rebuilt.alias_sampler()._prob)
+        np.testing.assert_array_equal(
+            streamed.alias_sampler()._alias, rebuilt.alias_sampler()._alias)
+        np.testing.assert_array_equal(touched, np.unique(new_src))
+        # Identical sampling state => identical draws under a fixed seed.
+        batch_a = streamed.sample_neighbors_batch(
+            np.arange(30), 4, rng=np.random.default_rng(9))
+        batch_b = rebuilt.sample_neighbors_batch(
+            np.arange(30), 4, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(batch_a.ids, batch_b.ids)
+        np.testing.assert_array_equal(batch_a.weights, batch_b.weights)
+
+    def test_repeated_pairs_accumulate_weight_like_the_builder(self):
+        """Re-streamed interactions strengthen the edge, never stack copies."""
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        relation = Relation(spec, 4, np.array([0, 0, 1]),
+                            np.array([2, 3, 2]), np.array([1.0, 1.0, 1.0]))
+        relation.alias_sampler()
+        touched = relation.apply_updates(
+            np.array([0, 0, 0, 2]), np.array([2, 2, 5, 7]),
+            np.array([1.0, 1.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(touched, [0, 2])
+        # Row 0: existing (0, 2) bumped twice, (0, 5) appended once.
+        ids, weights = relation.neighbors(0)
+        np.testing.assert_array_equal(ids, [2, 3, 5])
+        np.testing.assert_array_equal(weights, [3.0, 1.0, 1.0])
+        assert relation.degree(0) == 3
+        ids, weights = relation.neighbors(2)
+        np.testing.assert_array_equal(ids, [7])
+
+    def test_pure_row_growth(self):
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        relation = Relation(spec, 5, np.array([0, 2]), np.array([1, 3]),
+                            np.ones(2))
+        touched = relation.apply_updates(np.empty(0, dtype=np.int64),
+                                         np.empty(0, dtype=np.int64),
+                                         np.empty(0), num_src=8)
+        assert touched.size == 0
+        assert relation.num_src == 8
+        assert relation.indptr.size == 9
+        assert relation.degree(7) == 0
+
+    def test_src_out_of_range_raises(self):
+        spec = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        relation = Relation(spec, 5, np.array([0]), np.array([0]), np.ones(1))
+        with pytest.raises(IndexError):
+            relation.apply_updates(np.array([9]), np.array([0]), np.ones(1))
+
+
+class TestHeteroGraphApplyUpdates:
+    def test_new_edges_visible_to_sampling(self):
+        graph = _small_graph()
+        click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        # Force-build the union adjacency + alias caches first, so the test
+        # exercises the scoped refresh (not a lazy rebuild).
+        graph.sample_subgraph_batch(NodeType.USER, [0, 1], (4, 2),
+                                    rng=np.random.default_rng(0))
+        update = GraphUpdate().add_edges(click, [0, 0, 0], [20, 21, 22],
+                                         [5.0, 5.0, 5.0])
+        delta = graph.apply_updates(update)
+        assert delta.version == graph.version == 1
+        np.testing.assert_array_equal(delta.touched_ids(NodeType.USER), [0])
+        batch = graph.sample_neighbors_batch(click, [0], 100,
+                                             rng=np.random.default_rng(1))
+        assert {20, 21, 22} <= set(batch.row(0)[0].tolist())
+        union = graph.sample_neighbors_batch(NodeType.USER, [0], 200,
+                                             rng=np.random.default_rng(1))
+        assert {20, 21, 22} <= set(union.row(0)[0].tolist())
+
+    def test_new_nodes_and_new_relation(self):
+        graph = _small_graph()
+        rng = np.random.default_rng(5)
+        update = GraphUpdate()
+        update.add_nodes(NodeType.ITEM, _unit_rows(rng, 3))
+        spec = RelationSpec(NodeType.ITEM, "copurchase", NodeType.ITEM)
+        update.add_edges(spec, [24, 25], [25, 26], symmetric=False)
+        delta = graph.apply_updates(update)
+        assert graph.num_nodes[NodeType.ITEM] == 27
+        np.testing.assert_array_equal(delta.added_ids(NodeType.ITEM),
+                                      [24, 25, 26])
+        assert spec in graph.relations
+        ids, _ = graph.relation(spec).neighbors(24)
+        np.testing.assert_array_equal(ids, [25])
+        # Every item-sourced relation covers the new row space.
+        for rel_spec, relation in graph.relations.items():
+            assert relation.indptr.size == \
+                graph.num_nodes[rel_spec.src_type] + 1
+
+    def test_empty_update_is_noop_and_bit_identical(self):
+        baseline = _small_graph()
+        updated = _small_graph()
+        expected = baseline.sample_subgraph_batch(
+            NodeType.USER, np.arange(6), (4, 2),
+            rng=np.random.default_rng(7))
+        delta = updated.apply_updates(GraphUpdate())
+        assert delta.is_empty()
+        assert updated.version == 0
+        actual = updated.sample_subgraph_batch(
+            NodeType.USER, np.arange(6), (4, 2),
+            rng=np.random.default_rng(7))
+        assert len(expected.layers) == len(actual.layers)
+        for left, right in zip(expected.layers, actual.layers):
+            np.testing.assert_array_equal(left.node_ids, right.node_ids)
+            np.testing.assert_array_equal(left.parents, right.parents)
+            np.testing.assert_array_equal(left.rel_ids, right.rel_ids)
+            np.testing.assert_array_equal(left.weights, right.weights)
+
+    def test_invalid_update_is_rejected_atomically(self):
+        """A bad id anywhere in the update must leave nothing mutated."""
+        graph = _small_graph()
+        graph.typed_adjacency(NodeType.USER).alias_sampler()
+        click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        search = RelationSpec(NodeType.USER, EdgeType.SEARCH, NodeType.QUERY)
+        degrees_before = np.diff(graph.relations[click].indptr).copy()
+        bad = GraphUpdate()
+        bad.add_edges(click, [0], [1])            # valid first relation
+        bad.add_edges(search, [0], [999])         # out-of-range dst later
+        with pytest.raises(IndexError, match="out of range"):
+            graph.apply_updates(bad)
+        assert graph.version == 0
+        np.testing.assert_array_equal(
+            np.diff(graph.relations[click].indptr), degrees_before)
+        # The graph is still fully consistent: a valid update then sampling.
+        graph.apply_updates(GraphUpdate().add_edges(click, [0], [1]))
+        graph.sample_subgraph_batch(NodeType.USER, [0], (3,),
+                                    rng=np.random.default_rng(0))
+
+    def test_new_edge_count_reconciles_with_total_edges(self):
+        """Folded repeat interactions must not inflate the appended count."""
+        graph = _small_graph()
+        mutator = GraphMutator(graph, seed=0)
+        session = (0, 0, [1, 2])
+        before = graph.total_edges
+        first = mutator.apply_sessions([session])
+        assert graph.total_edges - before == first.num_new_edges
+        before = graph.total_edges
+        repeat = mutator.apply_sessions([session])   # pure weight bumps
+        assert repeat.num_new_edges == 0
+        assert graph.total_edges == before
+        assert repeat.touched_ids(NodeType.USER).size  # still invalidates
+
+    def test_incremental_equals_from_scratch_graph(self):
+        """Streaming edges in matches building the graph with them upfront."""
+        rng = np.random.default_rng(8)
+        click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        extra_src = rng.integers(0, 12, 10)
+        extra_dst = rng.integers(0, 24, 10)
+        extra_w = rng.random(10) + 0.1
+
+        streamed = _small_graph()
+        streamed.typed_adjacency(NodeType.USER).alias_sampler()
+        streamed.apply_updates(
+            GraphUpdate().add_edges(click, extra_src, extra_dst, extra_w))
+
+        scratch = _small_graph()
+        # Rebuild the click relation from the accumulated edge list (the
+        # builder's semantics: repeated pairs strengthen one edge).
+        base = scratch.relations[click]
+        merged = Relation(click, base.num_src, *_accumulated(
+            np.concatenate([_edge_src(base), extra_src]),
+            np.concatenate([base.indices.copy(), extra_dst]),
+            np.concatenate([base.weights.copy(), extra_w])))
+        np.testing.assert_array_equal(streamed.relations[click].indptr,
+                                      merged.indptr)
+        np.testing.assert_array_equal(streamed.relations[click].indices,
+                                      merged.indices)
+        np.testing.assert_array_equal(streamed.relations[click].weights,
+                                      merged.weights)
+
+
+def _edge_src(relation):
+    """Recover the per-edge source ids of a CSR relation."""
+    return np.repeat(np.arange(relation.num_src), np.diff(relation.indptr))
+
+
+class TestShardedStoreUpdates:
+    def test_shard_sizes_track_added_nodes(self):
+        graph = _small_graph()
+        store = ShardedGraphStore(graph, num_shards=3, replication_factor=2)
+        before = sum(store.shard_sizes.values())
+        rng = np.random.default_rng(9)
+        update = GraphUpdate().add_nodes(NodeType.USER, _unit_rows(rng, 5))
+        click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        update.add_edges(click, [13, 14], [0, 1])
+        delta = store.apply_updates(update)
+        assert sum(store.shard_sizes.values()) == before + 5
+        np.testing.assert_array_equal(delta.added_ids(NodeType.USER),
+                                      [12, 13, 14, 15, 16])
+        batch = store.sample_neighbors_batch(click, [13, 14], 3,
+                                             rng=np.random.default_rng(0))
+        assert batch.counts.tolist() == [1, 1]
+
+
+class TestCacheInvalidationUnderUpdates:
+    def test_touched_keys_dropped_untouched_still_cached(self):
+        cache = NeighborCache(capacity=4)
+        cache.put(NodeType.USER, 0, [(NodeType.ITEM, 1, 1.0)])
+        cache.put(NodeType.USER, 1, [(NodeType.ITEM, 2, 1.0)])
+        cache.put(NodeType.QUERY, 0, [(NodeType.ITEM, 3, 1.0)])
+        dropped = cache.invalidate_keys([(NodeType.USER, 0),
+                                        (NodeType.USER, 7)])
+        assert dropped == 1
+        assert cache.stats.invalidations == 1
+        assert cache.get(NodeType.USER, 0) is None          # post-update miss
+        assert cache.get(NodeType.USER, 1) == [(NodeType.ITEM, 2, 1.0)]
+        assert cache.get(NodeType.QUERY, 0) == [(NodeType.ITEM, 3, 1.0)]
+
+    def test_empty_update_leaves_cache_untouched(self):
+        cache = NeighborCache()
+        cache.put(NodeType.USER, 0, [(NodeType.ITEM, 1, 1.0)])
+        assert cache.invalidate_keys([]) == 0
+        assert cache.stats.invalidations == 0
+        assert cache.get(NodeType.USER, 0) == [(NodeType.ITEM, 1, 1.0)]
+
+    def test_cache_returns_post_update_results_for_touched_keys(self):
+        graph = _small_graph()
+        cache = NeighborCache(capacity=50)
+        cache.warm(graph, NodeType.USER, [0, 1])
+        before_untouched = cache.get(NodeType.USER, 1)
+        click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        delta = graph.apply_updates(
+            GraphUpdate().add_edges(click, [0], [23], [99.0]))
+        cache.invalidate_keys(list(delta.touched_keys()))
+        assert cache.get(NodeType.USER, 0) is None
+        cache.warm(graph, NodeType.USER, [0])               # re-warm on miss
+        refreshed = cache.get(NodeType.USER, 0)
+        # The new interaction dominates the entry (weight accumulates onto
+        # the edge if the pair already existed).
+        assert any(node_type == NodeType.ITEM and node_id == 23
+                   and weight >= 99.0
+                   for node_type, node_id, weight in refreshed)
+        assert cache.get(NodeType.USER, 1) == before_untouched
+
+
+class TestInvertedIndexInvalidation:
+    def test_invalidate_exactly_the_touched_queries(self):
+        index = InvertedIndex(posting_length=5)
+        index.add_posting(0, [(1, 0.9), (2, 0.8)])
+        index.add_posting(1, [(3, 0.7)])
+        index.add_posting(2, [(4, 0.6)])
+        assert index.invalidate_queries([0, 2, 99]) == 2
+        assert not index.has_posting(0)
+        assert not index.has_posting(2)
+        assert index.has_posting(1)
+        assert index.lookup(1) == [(3, 0.7)]
+        assert index.invalidate_queries([]) == 0
+
+
+class TestOnlineServerRefresh:
+    @pytest.fixture(scope="class")
+    def deployed(self):
+        pipeline = Pipeline(_tiny_spec())
+        server = pipeline.deploy()
+        return pipeline, server
+
+    def test_refresh_scopes_to_the_delta(self, deployed):
+        pipeline, server = deployed
+        untouched_query = 5
+        posting_before = server.inverted_index.lookup(untouched_query, 5)
+        mutator = GraphMutator(pipeline.graph, seed=11)
+        # user 0 searches query 0 again, clicking a brand-new item.
+        delta = mutator.apply_sessions([(0, 0, [50, 51])])
+        report = server.refresh(delta)
+        assert report.version == pipeline.graph.version
+        assert report.new_items == 2
+        assert report.refreshed_postings >= 1
+        assert report.invalidated_cache_keys >= 1
+        # Untouched query keeps serving its cached posting list.
+        assert server.inverted_index.lookup(untouched_query, 5) \
+            == posting_before
+        # The item corpus (and ANN index) grew to cover the new items.
+        assert server._item_embeddings.shape[0] == \
+            pipeline.graph.num_nodes[server.item_type]
+        # Touched keys re-warm to post-update neighborhoods on first read.
+        result = server.serve(0, 0, k=5)
+        assert result.item_ids.size
+        cached = server.cache.get(NodeType.USER, 0)
+        assert any(item_id in (50, 51) for _, item_id, _ in cached)
+
+    def test_new_users_and_queries_are_servable(self, deployed):
+        pipeline, server = deployed
+        num_users = pipeline.graph.num_nodes[NodeType.USER]
+        num_queries = pipeline.graph.num_nodes[NodeType.QUERY]
+        mutator = GraphMutator(pipeline.graph, seed=12)
+        delta = mutator.apply_sessions([(num_users, num_queries, [3, 4])])
+        server.refresh(delta)
+        result = server.serve(num_users, num_queries, k=5)
+        assert result.item_ids.size
+
+    def test_stale_delta_rejected(self, deployed):
+        pipeline, server = deployed
+        from repro.graph.update import GraphDelta
+        with pytest.raises(ValueError, match="stale"):
+            server.refresh(GraphDelta(version=server.graph_version - 1))
+
+
+class TestStaticPathBitIdentity:
+    def test_zero_updates_keep_serving_bit_identical(self):
+        requests = [(0, 0), (1, 3), (2, 5), (0, 7)]
+        baseline_server = Pipeline(_tiny_spec()).deploy()
+        expected = baseline_server.serve_batch(requests, k=5)
+
+        pipeline = Pipeline(_tiny_spec())
+        server = pipeline.deploy()
+        report = pipeline.ingest([])                 # zero events
+        assert report.events == 0 and report.micro_batches == 0
+        delta = pipeline.graph.apply_updates(GraphUpdate())
+        server.refresh(delta)                        # empty refresh no-op
+        actual = server.serve_batch(requests, k=5)
+
+        for left, right in zip(expected, actual):
+            np.testing.assert_array_equal(left.item_ids, right.item_ids)
+            np.testing.assert_array_equal(left.scores, right.scores)
+            assert left.from_inverted_index == right.from_inverted_index
+
+
+class TestPipelineIngest:
+    def test_streaming_spec_round_trips_and_validates(self):
+        spec = _tiny_spec(micro_batch_size=7, refresh_every=3)
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone.streaming.micro_batch_size == 7
+        assert clone.streaming.refresh_every == 3
+        bad = _tiny_spec()
+        bad.streaming.micro_batch_size = 0
+        with pytest.raises(ValueError, match="micro_batch_size"):
+            bad.validate()
+        bad = _tiny_spec()
+        bad.streaming.refresh_every = 0
+        with pytest.raises(ValueError, match="refresh_every"):
+            bad.validate()
+
+    def test_ingest_without_server_grows_graph_only(self):
+        pipeline = Pipeline(_tiny_spec(micro_batch_size=3))
+        pipeline.build_graph()
+        edges_before = pipeline.graph.total_edges
+        report = pipeline.ingest([(0, 0, [1, 2]), (1, 1, [3]),
+                                  (2, 2, [4]), (3, 3, [5])])
+        assert report.events == 4
+        assert report.micro_batches == 2       # 3 + 1
+        assert report.refreshes == 0
+        assert report.new_edges > 0
+        assert pipeline.graph.total_edges > edges_before
+        assert report.graph_version == pipeline.graph.version == 2
+
+    def test_ingest_refreshes_on_cadence(self):
+        pipeline = Pipeline(_tiny_spec(micro_batch_size=2, refresh_every=2))
+        pipeline.deploy()
+        sessions = [(u % 5, u % 4, [u % 10]) for u in range(10)]
+        report = pipeline.ingest(sessions)
+        assert report.micro_batches == 5
+        # Refreshes at micro-batches 2 and 4, plus the trailing flush of the
+        # fifth batch's pending delta.
+        assert report.refreshes == 3
+        assert pipeline.server.graph_version == pipeline.graph.version
+
+
+class TestScopedAnnRebuild:
+    def _corpus(self, rng, count=60, dim=8):
+        rows = rng.normal(size=(count, dim))
+        return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+    def test_no_changes_keeps_search_identical(self):
+        from repro.serving.ann import IVFIndex
+        rng = np.random.default_rng(20)
+        corpus = self._corpus(rng)
+        index = IVFIndex(num_cells=8, nprobe=3, seed=0).build(corpus)
+        fresh = index.rebuilt(corpus, np.empty(0, dtype=np.int64))
+        queries = self._corpus(rng, count=5)
+        ids_a, scores_a = index.search_batch(queries, 5)
+        ids_b, scores_b = fresh.search_batch(queries, 5)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+
+    def test_appended_items_are_retrievable(self):
+        from repro.serving.ann import IVFIndex
+        rng = np.random.default_rng(21)
+        corpus = self._corpus(rng)
+        index = IVFIndex(num_cells=8, nprobe=3, seed=0).build(corpus)
+        grown = np.vstack([corpus, self._corpus(rng, count=4)])
+        fresh = index.rebuilt(grown, np.empty(0, dtype=np.int64))
+        # Querying a new item's own embedding must surface it: the item sits
+        # in its nearest centroid's cell, which is always probed first.
+        ids, _ = fresh.search(grown[62], 5)
+        assert 62 in ids.tolist()
+        # The serving index keeps working for old items too.
+        ids, _ = fresh.search(corpus[3], 5)
+        assert 3 in ids.tolist()
+
+    def test_sharded_rebuilt_covers_new_items(self):
+        from repro.serving.ann import IVFIndex
+        from repro.serving.sharding import ShardedIndex
+        rng = np.random.default_rng(22)
+        corpus = self._corpus(rng)
+        sharded = ShardedIndex(
+            num_shards=3,
+            index_factory=lambda emb, ids: IVFIndex(
+                num_cells=4, nprobe=2, seed=0).build(emb, ids),
+        ).build(corpus)
+        grown = np.vstack([corpus, self._corpus(rng, count=5)])
+        fresh = sharded.rebuilt(grown, np.empty(0, dtype=np.int64))
+        assert len(fresh) == 65
+        assert sum(fresh.shard_sizes) == 65
+        ids, _ = fresh.search(grown[64], 5)
+        assert 64 in ids.tolist()
+        with pytest.raises(ValueError):
+            fresh.rebuilt(corpus, np.empty(0, dtype=np.int64))  # shrink
+
+
+class TestIngestBeforeDeploy:
+    def test_fit_then_ingest_then_deploy(self):
+        """A fitted-but-undeployed model must absorb streamed-in nodes."""
+        pipeline = Pipeline(_tiny_spec(micro_batch_size=2))
+        pipeline.fit()
+        num_items = pipeline.graph.num_nodes[NodeType.ITEM]
+        report = pipeline.ingest([(0, 0, [num_items]),
+                                  (1, 1, [num_items + 1])])
+        assert report.new_nodes.get(NodeType.ITEM) == 2
+        server = pipeline.deploy()          # previously IndexError'd here
+        result = server.serve(0, 0, k=5)
+        assert result.item_ids.size
+        assert server._item_embeddings.shape[0] == num_items + 2
+
+    def test_training_continues_after_ingest(self):
+        """The existing trainer keeps working after the graph grew."""
+        pipeline = Pipeline(_tiny_spec())
+        pipeline.fit()
+        new_item = pipeline.graph.num_nodes[NodeType.ITEM]
+        pipeline.ingest([(0, 0, [new_item])])
+        result = pipeline.trainer.train(pipeline.train_examples[:32])
+        assert result.iterations > 0
+
+    def test_cold_start_embeddings_match_with_and_without_server(self):
+        """Both ingest paths grow identical embeddings for the same stream."""
+        events = [(0, 0, [50, 51]), (1, 1, [52])]
+
+        fitted = Pipeline(_tiny_spec())
+        fitted.fit()
+        fitted.ingest(events)
+
+        deployed = Pipeline(_tiny_spec())
+        deployed.deploy()
+        deployed.ingest(events)
+
+        table_a = getattr(fitted.model.encoder,
+                          f"id_embedding_{NodeType.ITEM}").weight.data
+        table_b = getattr(deployed.model.encoder,
+                          f"id_embedding_{NodeType.ITEM}").weight.data
+        np.testing.assert_array_equal(table_a, table_b)
+
+    def test_refresh_false_deltas_are_parked_not_dropped(self):
+        """A later refreshing ingest hands the merged backlog to the server."""
+        pipeline = Pipeline(_tiny_spec(micro_batch_size=8))
+        server = pipeline.deploy()
+        server.serve(0, 0, k=5)                     # cache user 0's entry
+        assert server.cache.get(NodeType.USER, 0) is not None
+        new_item = pipeline.graph.num_nodes[NodeType.ITEM]
+        first = pipeline.ingest([(0, 0, [new_item])], refresh=False)
+        assert first.refreshes == 0
+        # The server has not seen the update yet; its caches may be stale.
+        assert server.graph_version < pipeline.graph.version
+        second = pipeline.ingest([(1, 1, [2])])
+        assert second.refreshes == 1
+        # The backlog delta was merged in: the server caught up past both
+        # updates and user 0's touched cache entry was invalidated+rewarmed.
+        assert server.graph_version == pipeline.graph.version
+        assert server._item_embeddings.shape[0] == \
+            pipeline.graph.num_nodes[NodeType.ITEM]
+        server.cache.drain_refreshes()
+        cached = server.cache.get(NodeType.USER, 0)
+        assert any(item_id == new_item for _, item_id, _ in cached)
+
+
+class TestReplayDriver:
+    def test_replay_is_timestamp_ordered_and_deterministic(self):
+        sessions = [SearchSession(user_id=u % 5, query_id=u % 4,
+                                  clicked_items=(u % 10,),
+                                  timestamp=float(10 - u))
+                    for u in range(8)]
+        ordered = sessions_in_time_order(sessions)
+        assert [s.timestamp for s in ordered] == sorted(
+            s.timestamp for s in sessions)
+
+        first = Pipeline(_tiny_spec(micro_batch_size=3))
+        first.build_graph()
+        ReplayDriver(first).replay(sessions)
+
+        second = Pipeline(_tiny_spec(micro_batch_size=3))
+        second.build_graph()
+        ReplayDriver(second).replay(list(reversed(sessions)))
+
+        click = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+        np.testing.assert_array_equal(first.graph.relations[click].indices,
+                                      second.graph.relations[click].indices)
+        np.testing.assert_array_equal(first.graph.relations[click].weights,
+                                      second.graph.relations[click].weights)
+
+    def test_replay_report_wraps_ingest(self):
+        pipeline = Pipeline(_tiny_spec(micro_batch_size=4))
+        pipeline.build_graph()
+        report = ReplayDriver(pipeline).replay(
+            [(0, 0, [1]), (1, 1, [2]), (2, 2, [3])])
+        assert report.ingest.events == 3
+        assert report.seconds > 0
+        assert report.events_per_second > 0
+
+    def test_split_sessions_at(self):
+        sessions = [SearchSession(user_id=0, query_id=0, clicked_items=(1,),
+                                  timestamp=float(i)) for i in range(10)]
+        warm, tail = split_sessions_at(list(reversed(sessions)), 0.7)
+        assert len(warm) == 7 and len(tail) == 3
+        assert max(s.timestamp for s in warm) < min(s.timestamp for s in tail)
+        with pytest.raises(ValueError):
+            split_sessions_at(sessions, 1.5)
