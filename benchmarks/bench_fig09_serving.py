@@ -119,10 +119,11 @@ def test_fig9_batched_throughput_vs_sequential(bench_taobao):
             "speedup": round(ratio, 2),
         })
 
-    # Equal results: same ids and scores for every request, both rounds.
+    # Equal results: same ids for every request; scores at serving precision.
     for one, many in zip(sequential, batched):
         np.testing.assert_array_equal(one.item_ids, many.item_ids)
-        np.testing.assert_allclose(one.scores, many.scores)
+        np.testing.assert_allclose(one.scores, many.scores, rtol=3e-6,
+                                   atol=1e-7)
 
     print()
     print(format_table(rows, title=f"Batched (batch={batch_size}) vs "

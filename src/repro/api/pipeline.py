@@ -81,10 +81,52 @@ class Pipeline:
         self.result: Optional[TrainingResult] = None
         self.server: Optional[OnlineServer] = None
         self._mutator: Optional[GraphMutator] = None
+        self._parallel: Any = None
         #: Merged delta of updates a deployed server has not absorbed yet
         #: (accumulated by ``ingest(refresh=False)``, consumed by the next
         #: refreshing ingest).
         self._pending_delta: Any = None
+
+    # ------------------------------------------------------------------ #
+    # Multi-core engine (spec.parallel)
+    # ------------------------------------------------------------------ #
+    def parallel_engine(self):
+        """The spec's :class:`~repro.parallel.engine.ParallelEngine`.
+
+        Built lazily on first use (``None`` when
+        ``spec.parallel.num_workers == 0``) and shared by every stage:
+        training-side presampling overlaps the optimisation step, the
+        deployed server fans its ANN searches across the workers, and
+        streaming ingest fans its scoped rebuilds through the engine's
+        executor.  Call :meth:`close` (or use the pipeline as a context
+        manager) to release the pool and its shared-memory blocks.
+        """
+        if self.spec.parallel.num_workers <= 0:
+            return None
+        if self._parallel is None:
+            self.build_graph()
+            from repro.parallel import ParallelEngine
+            self._parallel = ParallelEngine(
+                self.graph, num_workers=self.spec.parallel.num_workers,
+                backend=self.spec.parallel.backend)
+            self.graph.parallel_executor = self._parallel.executor
+        return self._parallel
+
+    def close(self) -> None:
+        """Release the parallel engine (workers + shared memory); idempotent."""
+        if self._parallel is not None:
+            if self.graph is not None:
+                self.graph.parallel_executor = None
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "Pipeline":
+        """Context-manager entry; pairs with :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Release parallel resources when the ``with`` block ends."""
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Stage 1 — data: load the dataset, build the graph, split the logs
@@ -115,7 +157,8 @@ class Pipeline:
         self.build_graph()
         self.model = build_model(self.spec.model.name, self.graph,
                                  **self.spec.model_kwargs())
-        self.trainer = Trainer(self.model, self.spec.training_config())
+        self.trainer = Trainer(self.model, self.spec.training_config(),
+                               parallel_engine=self.parallel_engine())
         self.result = self.trainer.train(self.train_examples,
                                          self.test_examples)
         return self
@@ -171,7 +214,11 @@ class Pipeline:
             num_servers=serving.num_servers,
             use_inverted_index=serving.use_inverted_index,
             num_shards=serving.num_shards,
-            seed=self.spec.seed)
+            seed=self.spec.seed,
+            dtype=serving.dtype)
+        engine = self.parallel_engine()
+        if engine is not None:
+            self.server.attach_parallel(engine)
         user_type = self.model.user_type
         query_type = self.model.query_node_type()
         num_users = self.graph.num_nodes.get(user_type, 0)
@@ -210,6 +257,7 @@ class Pipeline:
         no-op that leaves sampling and serving bit-identical.
         """
         self.build_graph()
+        self.parallel_engine()   # activates graph.parallel_executor, if any
         if self._mutator is None:
             self._mutator = GraphMutator(self.graph, seed=self.spec.seed)
         streaming = self.spec.streaming

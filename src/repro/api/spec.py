@@ -117,10 +117,38 @@ class ServingSpec:
     num_servers: int = 64
     use_inverted_index: bool = True
     num_shards: int = 1
+    #: Serving read-path precision ("float32" halves ANN memory traffic;
+    #: training stays float64 regardless).
+    dtype: str = "float32"
     serve_batch_size: int = 32
     #: How many user/query nodes to warm the caches and inverted index with.
     warm_users: int = 20
     warm_queries: int = 20
+
+
+@dataclass
+class ParallelSpec:
+    """Multi-core execution knobs (the :mod:`repro.parallel` engine).
+
+    ``num_workers=0`` (the default) keeps the legacy single-core path.
+    With ``num_workers >= 1`` the pipeline builds a
+    :class:`~repro.parallel.engine.ParallelEngine` and wires it into
+    training-side sampling (overlapped presampling), batched serving
+    (request partitions fanned across workers) and streaming ingest
+    (scoped alias / ANN rebuilds fanned across workers).
+
+    ``backend="serial"`` runs the identical shard-keyed tasks in-process —
+    the reference the shared backend is equivalence-tested against —
+    while ``backend="shared"`` places the graph's CSR and alias buffers in
+    shared memory and executes on a persistent spawn-based worker pool.
+    Outputs are bit-identical across backends and worker counts under a
+    fixed seed.
+    """
+
+    #: Worker processes (shared backend) / task slots (serial backend).
+    num_workers: int = 0
+    #: "serial" (in-process reference) or "shared" (worker pool).
+    backend: str = "serial"
 
 
 @dataclass
@@ -132,6 +160,7 @@ class ExperimentSpec:
     training: TrainSpec = field(default_factory=TrainSpec)
     serving: ServingSpec = field(default_factory=ServingSpec)
     streaming: StreamingSpec = field(default_factory=StreamingSpec)
+    parallel: ParallelSpec = field(default_factory=ParallelSpec)
     seed: int = 0
 
     # ------------------------------------------------------------------ #
@@ -148,7 +177,7 @@ class ExperimentSpec:
             raise ValueError("spec must be a mapping")
         sections = {"dataset": DataSpec, "model": ModelSpec,
                     "training": TrainSpec, "serving": ServingSpec,
-                    "streaming": StreamingSpec}
+                    "streaming": StreamingSpec, "parallel": ParallelSpec}
         unknown = sorted(set(data) - set(sections) - {"seed"})
         if unknown:
             raise ValueError(f"unknown spec section(s) {unknown}; known "
@@ -246,6 +275,19 @@ class ExperimentSpec:
             raise ValueError("streaming.micro_batch_size must be at least 1")
         if self.streaming.refresh_every < 1:
             raise ValueError("streaming.refresh_every must be at least 1")
+
+        if serving.dtype not in ("float32", "float64"):
+            raise ValueError(
+                "serving.dtype must be 'float32' or 'float64', "
+                f"got {serving.dtype!r}")
+        if self.parallel.num_workers < 0:
+            raise ValueError("parallel.num_workers must be non-negative")
+        # Kept in sync with repro.parallel.engine.BACKENDS (pinned by
+        # tests/test_parallel.py) without importing the engine here.
+        if self.parallel.backend not in ("serial", "shared"):
+            raise ValueError(
+                "parallel.backend must be 'serial' or 'shared', "
+                f"got {self.parallel.backend!r}")
         return self
 
     # ------------------------------------------------------------------ #

@@ -36,6 +36,7 @@ from repro.api import (
     DataSpec,
     ExperimentSpec,
     ModelSpec,
+    ParallelSpec,
     Pipeline,
     RegistryError,
     ServingSpec,
@@ -67,7 +68,14 @@ def _spec_from_args(args: argparse.Namespace, *,
                         fanouts=(args.fanout, max(args.fanout // 2, 1))),
         training=training,
         serving=serving if serving is not None else ServingSpec(),
+        parallel=_parallel_from_args(args),
         seed=args.seed)
+
+
+def _parallel_from_args(args: argparse.Namespace) -> ParallelSpec:
+    """The ``ParallelSpec`` described by ``--num-workers`` and its backend."""
+    return ParallelSpec(num_workers=args.num_workers,
+                        backend=args.parallel_backend)
 
 
 def _pipeline_or_exit(spec: ExperimentSpec) -> Pipeline:
@@ -86,19 +94,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
         training=TrainSpec(epochs=args.epochs, batch_size=args.batch_size,
                            learning_rate=args.learning_rate, loss="focal",
                            seed=0))
-    pipeline = _pipeline_or_exit(spec).fit()
-    num_items = pipeline.graph.num_nodes[pipeline.model.item_node_type()]
-    evaluation = pipeline.evaluate(ks=(10, 50), candidate_pool=num_items,
-                                   max_requests=30)
-    rows = [{
-        "model": evaluation["model"],
-        "auc": round(evaluation["auc"], 4),
-        "hitrate@10": round(evaluation["hit_rates"][10], 3),
-        "hitrate@50": round(evaluation["hit_rates"][50], 3),
-        "train_s": round(evaluation["training_seconds"], 1),
-        "iterations": evaluation["iterations"],
-    }]
-    print(format_table(rows, title=f"Training on the {args.scale!r} preset"))
+    with _pipeline_or_exit(spec) as pipeline:
+        pipeline.fit()
+        num_items = pipeline.graph.num_nodes[pipeline.model.item_node_type()]
+        evaluation = pipeline.evaluate(ks=(10, 50), candidate_pool=num_items,
+                                       max_requests=30)
+        rows = [{
+            "model": evaluation["model"],
+            "auc": round(evaluation["auc"], 4),
+            "hitrate@10": round(evaluation["hit_rates"][10], 3),
+            "hitrate@50": round(evaluation["hit_rates"][50], 3),
+            "train_s": round(evaluation["training_seconds"], 1),
+            "iterations": evaluation["iterations"],
+        }]
+        print(format_table(rows,
+                           title=f"Training on the {args.scale!r} preset"))
     return 0
 
 
@@ -117,19 +127,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             num_shards=args.num_shards,
                             serve_batch_size=args.serve_batch_size,
                             warm_users=20, warm_queries=20))
-    pipeline = _pipeline_or_exit(spec)
-    server = pipeline.deploy()
-    calibration = [(s.user_id, s.query_id)
-                   for s in pipeline.dataset.sessions[:20]]
-    rows = server.qps_sweep([1000, 5000, 10000, 20000, 50000], calibration)
-    shards = f"{args.num_shards} shard(s)"
-    print(format_table(rows, title=f"Response time vs QPS ({shards})"))
-    if args.serve_batch_size > 1:
-        batch_sizes = sorted({1, max(args.serve_batch_size // 4, 2),
-                              args.serve_batch_size})
-        batch_rows = server.batch_size_sweep(10_000, calibration, batch_sizes)
-        print(format_table(batch_rows,
-                           title="Batch size vs latency at 10K QPS"))
+    with _pipeline_or_exit(spec) as pipeline:
+        server = pipeline.deploy()
+        calibration = [(s.user_id, s.query_id)
+                       for s in pipeline.dataset.sessions[:20]]
+        rows = server.qps_sweep([1000, 5000, 10000, 20000, 50000], calibration)
+        shards = f"{args.num_shards} shard(s)"
+        if args.num_workers:
+            shards += f", {args.num_workers} worker(s)"
+        print(format_table(rows, title=f"Response time vs QPS ({shards})"))
+        if args.serve_batch_size > 1:
+            batch_sizes = sorted({1, max(args.serve_batch_size // 4, 2),
+                                  args.serve_batch_size})
+            batch_rows = server.batch_size_sweep(10_000, calibration,
+                                                 batch_sizes)
+            print(format_table(batch_rows,
+                               title="Batch size vs latency at 10K QPS"))
     return 0
 
 
@@ -156,39 +169,43 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         serving=ServingSpec(ann_cells=8, warm_users=20, warm_queries=20),
         streaming=StreamingSpec(micro_batch_size=args.micro_batch_size,
                                 refresh_every=args.refresh_every),
+        parallel=_parallel_from_args(args),
         seed=args.seed)
-    pipeline = _pipeline_or_exit(spec)
-    pipeline.deploy()
-    before = pipeline.graph.summary()
-    report = ReplayDriver(pipeline).replay(tail)
-    after = pipeline.graph.summary()
-    ingest = report.ingest
-    rows = [
-        {"measurement": "replayed events", "value": ingest.events},
-        {"measurement": "micro-batches applied", "value": ingest.micro_batches},
-        {"measurement": "server refreshes", "value": ingest.refreshes},
-        {"measurement": "edges appended", "value": ingest.new_edges},
-        {"measurement": "nodes appended",
-         "value": sum(ingest.new_nodes.values())},
-        {"measurement": "cache keys invalidated",
-         "value": ingest.invalidated_cache_keys},
-        {"measurement": "postings refreshed",
-         "value": ingest.refreshed_postings},
-        {"measurement": "graph version", "value": ingest.graph_version},
-        {"measurement": "events/second", "value": round(
-            report.events_per_second, 1)},
-    ]
-    print(format_table(rows, title=f"Streaming ingest of {len(tail)} events "
-                                   f"({before['total_edges']} -> "
-                                   f"{after['total_edges']} edges)"))
-    # The refreshed server keeps serving, including for nodes the stream
-    # introduced.
-    results = pipeline.server.serve_batch(
-        [(s.user_id, s.query_id) for s in tail[:4]], k=5)
-    rows = [{"user": r.user_id, "query": r.query_id,
-             "top_items": " ".join(str(int(i)) for i in r.item_ids[:5]),
-             "via_index": r.from_inverted_index} for r in results]
-    print(format_table(rows, title="Post-ingest serving of streamed requests"))
+    with _pipeline_or_exit(spec) as pipeline:
+        pipeline.deploy()
+        before = pipeline.graph.summary()
+        report = ReplayDriver(pipeline).replay(tail)
+        after = pipeline.graph.summary()
+        ingest = report.ingest
+        rows = [
+            {"measurement": "replayed events", "value": ingest.events},
+            {"measurement": "micro-batches applied",
+             "value": ingest.micro_batches},
+            {"measurement": "server refreshes", "value": ingest.refreshes},
+            {"measurement": "edges appended", "value": ingest.new_edges},
+            {"measurement": "nodes appended",
+             "value": sum(ingest.new_nodes.values())},
+            {"measurement": "cache keys invalidated",
+             "value": ingest.invalidated_cache_keys},
+            {"measurement": "postings refreshed",
+             "value": ingest.refreshed_postings},
+            {"measurement": "graph version", "value": ingest.graph_version},
+            {"measurement": "events/second", "value": round(
+                report.events_per_second, 1)},
+        ]
+        print(format_table(rows,
+                           title=f"Streaming ingest of {len(tail)} events "
+                                 f"({before['total_edges']} -> "
+                                 f"{after['total_edges']} edges)"))
+        # The refreshed server keeps serving, including for nodes the stream
+        # introduced.
+        results = pipeline.server.serve_batch(
+            [(s.user_id, s.query_id) for s in tail[:4]], k=5)
+        rows = [{"user": r.user_id, "query": r.query_id,
+                 "top_items": " ".join(str(int(i)) for i in r.item_ids[:5]),
+                 "via_index": r.from_inverted_index} for r in results]
+        print(format_table(rows,
+                           title="Post-ingest serving of streamed requests"))
     return 0
 
 
@@ -231,6 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--embedding-dim", type=int, default=16)
         sub.add_argument("--max-examples", type=int, default=800)
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--num-workers", type=int, default=0,
+                         help="fan sampling/serving/ingest work across N "
+                              "worker processes over a shared-memory graph "
+                              "store (0 = single-core legacy path); results "
+                              "are bit-identical for any worker count")
+        sub.add_argument("--parallel-backend", default="shared",
+                         choices=["serial", "shared"],
+                         help="'shared' spawns real worker processes; "
+                              "'serial' runs the same shard tasks "
+                              "in-process (debugging / equivalence runs)")
 
     train_parser = subparsers.add_parser("train", help="train and evaluate")
     add_common(train_parser)

@@ -16,6 +16,11 @@ from repro.graph.batch import segment_offsets
 
 SampleShape = Union[int, Tuple[int, ...]]
 
+#: Below this many touched rows a scoped rebuild stays in-process even when
+#: an executor is supplied — the per-task dispatch overhead would exceed the
+#: alias construction it parallelizes.
+MIN_PARALLEL_REBUILD_ROWS = 256
+
 
 class AliasTable:
     """Constant-time sampling from a discrete distribution.
@@ -168,8 +173,40 @@ class BatchedAliasTable:
             self._prob[start:start + degrees[index]] = prob
             self._alias[start:start + degrees[index]] = alias
 
+    def _build_rows_scoped(self, rows: np.ndarray, weights: np.ndarray,
+                           executor=None) -> None:
+        """Build ``rows`` in place, fanning chunks out through ``executor``.
+
+        ``executor`` is anything with the pool's ``map(name, payloads)``
+        interface and a ``num_slots`` width (a
+        :class:`~repro.parallel.pool.WorkerPool` or the serial executor).
+        Alias construction is row-local, so chunked building is bit-identical
+        to :meth:`_build_rows`; small row sets
+        (< :data:`MIN_PARALLEL_REBUILD_ROWS`) skip the dispatch overhead.
+        """
+        slots = getattr(executor, "num_slots", 1) if executor is not None else 1
+        if slots <= 1 or rows.size < MIN_PARALLEL_REBUILD_ROWS:
+            self._build_rows(rows, weights)
+            return
+        payloads = []
+        scatter = []
+        for chunk in np.array_split(rows, slots):
+            if chunk.size == 0:
+                continue
+            degrees = self.indptr[chunk + 1] - self.indptr[chunk]
+            flat = np.repeat(self.indptr[chunk], degrees) \
+                + segment_offsets(degrees)[1]
+            payloads.append({"degrees": degrees, "weights": weights[flat]})
+            scatter.append(flat)
+        for flat, (prob, alias) in zip(scatter,
+                                       executor.map("alias_build_rows",
+                                                    payloads)):
+            self._prob[flat] = prob
+            self._alias[flat] = alias
+
     def rebuilt(self, indptr: np.ndarray, weights: np.ndarray,
-                touched_rows: np.ndarray) -> "BatchedAliasTable":
+                touched_rows: np.ndarray,
+                executor=None) -> "BatchedAliasTable":
         """A new table for an updated CSR, rebuilding only ``touched_rows``.
 
         This is the incremental-update path of the streaming subsystem:
@@ -185,7 +222,9 @@ class BatchedAliasTable:
         The result is bit-identical to ``BatchedAliasTable(indptr,
         weights)`` built from scratch (pinned by tests), at a fraction of
         the cost when few rows are touched (pinned >=5x by
-        ``benchmarks/bench_streaming_ingest.py``).
+        ``benchmarks/bench_streaming_ingest.py``).  With an ``executor``
+        the touched rows' construction additionally fans out across worker
+        slots (see :meth:`_build_rows_scoped`) — same bits, more cores.
         """
         indptr, weights = _validate_csr_weights(indptr, weights)
         if indptr.size - 1 < self.num_rows:
@@ -217,7 +256,8 @@ class BatchedAliasTable:
             old_flat = np.repeat(self.indptr[copy], degrees) + offsets
             table._prob[new_flat] = self._prob[old_flat]
             table._alias[new_flat] = self._alias[old_flat]
-        table._build_rows(np.nonzero(touched)[0], weights)
+        table._build_rows_scoped(np.nonzero(touched)[0], weights,
+                                 executor=executor)
         return table
 
     def degrees(self, rows: np.ndarray) -> np.ndarray:

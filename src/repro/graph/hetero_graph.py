@@ -170,7 +170,8 @@ class Relation:
 
     def apply_updates(self, src: np.ndarray, dst: np.ndarray,
                       weights: np.ndarray,
-                      num_src: Optional[int] = None) -> np.ndarray:
+                      num_src: Optional[int] = None,
+                      executor=None) -> np.ndarray:
         """Absorb edges (and optionally grow the row space) in one re-pack.
 
         An incoming edge whose ``(src, dst)`` pair already exists in the
@@ -184,7 +185,9 @@ class Relation:
         edge list with the new pairs appended to the input.  The cached
         :class:`BatchedAliasTable` is rebuilt scoped to the touched rows
         only (:meth:`BatchedAliasTable.rebuilt`), which is what makes
-        streaming micro-batches cheap on large relations.
+        streaming micro-batches cheap on large relations; an ``executor``
+        (a worker pool's ``map`` interface) additionally fans that scoped
+        construction out across cores, bit-identically.
 
         Returns the sorted unique source rows whose edges changed.
         """
@@ -205,7 +208,7 @@ class Relation:
                 if self._alias_batch is not None:
                     self._alias_batch = self._alias_batch.rebuilt(
                         self.indptr, self.weights,
-                        np.empty(0, dtype=np.int64))
+                        np.empty(0, dtype=np.int64), executor=executor)
             return np.empty(0, dtype=np.int64)
         if src.min() < 0 or src.max() >= num_src:
             raise IndexError("src node id out of range")
@@ -267,7 +270,7 @@ class Relation:
         self.num_src = num_src
         if old_alias is not None:
             self._alias_batch = old_alias.rebuilt(new_indptr, new_weights,
-                                                  touched)
+                                                  touched, executor=executor)
         return touched
 
     def sample_neighbors_batch(self, node_ids: Sequence[int], k: int,
@@ -381,6 +384,36 @@ def expand_subgraph_batch(graph: "HeteroGraph", ego_type: str,
     return batch
 
 
+def engine_sample_subgraph_batch(graph_like, ego_type: str,
+                                 ego_ids: Sequence[int],
+                                 fanouts: Sequence[int],
+                                 rng: np.random.Generator,
+                                 weighted: bool = True,
+                                 replace: bool = False) -> SubgraphBatch:
+    """The random sampling engine's tree expansion over any graph facade.
+
+    ``graph_like`` needs ``spec_list``, ``schema.node_types`` and
+    ``typed_adjacency(node_type)`` — satisfied by :class:`HeteroGraph` and by
+    the zero-copy shared-memory views the parallel subsystem hands to worker
+    processes, so in-process and worker-side sampling execute the very same
+    code path.
+    """
+
+    def engine_pick(node_type: str, adjacency: "TypedAdjacency",
+                    nodes: np.ndarray, tree_indices: np.ndarray, k: int):
+        if adjacency.indices.size == 0:
+            return None
+        alias = adjacency.alias_sampler() if weighted else None
+        positions, counts = _csr_sample_positions(
+            adjacency.indptr, nodes, k, rng, weighted, replace, alias)
+        valid = np.arange(k)[None, :] < counts[:, None]
+        weights = np.where(valid, adjacency.weights[positions], 0.0)
+        return positions, weights, counts
+
+    return expand_subgraph_batch(graph_like, ego_type, ego_ids, fanouts,
+                                 engine_pick)
+
+
 class TypedAdjacency:
     """Union CSR over every relation whose source is one node type.
 
@@ -450,6 +483,11 @@ class HeteroGraph:
         #: Monotonic update stamp; bumped by every non-empty apply_updates
         #: call so downstream caches can detect (and scope) staleness.
         self.version = 0
+        #: Optional multi-core executor (a worker pool's ``map`` interface,
+        #: see :mod:`repro.parallel`); when set, scoped alias rebuilds on
+        #: the streaming write path fan out across its slots.  Results are
+        #: bit-identical with or without it.
+        self.parallel_executor = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -568,7 +606,8 @@ class HeteroGraph:
             relation = self.relations[spec]
             edges_before = relation.num_edges
             rows = relation.apply_updates(
-                src, dst, weights, num_src=self.num_nodes[spec.src_type])
+                src, dst, weights, num_src=self.num_nodes[spec.src_type],
+                executor=self.parallel_executor)
             # Count genuinely appended edges; incoming edges folded into
             # weight bumps on existing pairs reconcile with total_edges.
             num_new_edges += relation.num_edges - edges_before
@@ -582,7 +621,8 @@ class HeteroGraph:
             if relation.num_src < self.num_nodes[spec.src_type]:
                 relation.apply_updates(
                     np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
-                    np.empty(0), num_src=self.num_nodes[spec.src_type])
+                    np.empty(0), num_src=self.num_nodes[spec.src_type],
+                    executor=self.parallel_executor)
 
         # Invalidate cached union adjacencies for the affected source types
         # without paying their O(all edges of the type) reconstruction per
@@ -730,7 +770,8 @@ class HeteroGraph:
             if stale is not None:
                 old, rows = stale
                 adjacency._alias_batch = old._alias_batch.rebuilt(
-                    adjacency.indptr, adjacency.weights, rows)
+                    adjacency.indptr, adjacency.weights, rows,
+                    executor=self.parallel_executor)
             self._typed_adjacency_cache[node_type] = adjacency
         return adjacency
 
@@ -793,20 +834,9 @@ class HeteroGraph:
         """
         self._require_finalized()
         rng = rng if rng is not None else np.random.default_rng()
-
-        def engine_pick(node_type: str, adjacency: TypedAdjacency,
-                        nodes: np.ndarray, tree_indices: np.ndarray, k: int):
-            if adjacency.indices.size == 0:
-                return None
-            alias = adjacency.alias_sampler() if weighted else None
-            positions, counts = _csr_sample_positions(
-                adjacency.indptr, nodes, k, rng, weighted, replace, alias)
-            valid = np.arange(k)[None, :] < counts[:, None]
-            weights = np.where(valid, adjacency.weights[positions], 0.0)
-            return positions, weights, counts
-
-        return expand_subgraph_batch(self, ego_type, ego_ids, fanouts,
-                                     engine_pick)
+        return engine_sample_subgraph_batch(self, ego_type, ego_ids, fanouts,
+                                            rng, weighted=weighted,
+                                            replace=replace)
 
     def memory_bytes(self) -> int:
         """Approximate resident size of features + adjacency (for Fig. 4a)."""

@@ -102,6 +102,8 @@ class ShardedGraphStore:
                 self._replicas[shard].append(server_id)
                 server_id += 1
         self._round_robin: Dict[int, int] = defaultdict(int)
+        #: Optional multi-core engine; see :meth:`attach_parallel`.
+        self._parallel = None
         # Precompute node->shard assignment sizes for storage accounting.
         self.shard_sizes: Dict[int, int] = defaultdict(int)
         for node_type, count in graph.num_nodes.items():
@@ -185,19 +187,52 @@ class ShardedGraphStore:
         return self.graph.relation(spec).sample_neighbors_batch(
             node_ids, k, rng=rng, weighted=weighted, replace=replace)
 
+    def attach_parallel(self, engine) -> "ShardedGraphStore":
+        """Adopt a :class:`~repro.parallel.engine.ParallelEngine`.
+
+        The engine must wrap this store's graph; ideally it is built with
+        this store's partitioner (``ParallelEngine(graph,
+        partitioner=store.partitioner, ...)``) so the engine's shard-keyed
+        RNG streams align with the storage shards.  Once attached,
+        :meth:`sample_subgraph_batch` calls that pass ``seed`` (and no
+        ``rng``) fan each shard's draw out through the engine.
+        """
+        if engine.graph is not self.graph:
+            raise ValueError("engine wraps a different graph than this store")
+        self._parallel = engine
+        return self
+
     def sample_subgraph_batch(self, ego_type: str, ego_ids: Sequence[int],
                               fanouts: Sequence[int],
                               rng: Optional[np.random.Generator] = None,
                               weighted: bool = True,
-                              replace: bool = False) -> SubgraphBatch:
+                              replace: bool = False,
+                              seed: Optional[int] = None,
+                              batch_id: int = 0) -> SubgraphBatch:
         """Batched multi-hop expansion with per-hop replica accounting.
 
         Every frontier node of every hop counts as one routed request,
         mirroring what a per-node expansion would have cost the cluster.
+
+        Two sampling regimes share this entry point:
+
+        * the sequential engine (default): draws come from ``rng`` exactly
+          as :meth:`HeteroGraph.sample_subgraph_batch` consumes them;
+        * the parallel engine (an attached
+          :class:`~repro.parallel.engine.ParallelEngine`, ``seed`` given,
+          no ``rng``): each shard's egos are drawn from a Philox stream
+          keyed by ``(seed, shard, graph version, batch_id)`` — output is
+          bit-identical whether the shards run serially or on the worker
+          pool, regardless of scheduling order.
         """
-        batch = self.graph.sample_subgraph_batch(
-            ego_type, ego_ids, fanouts, rng=rng, weighted=weighted,
-            replace=replace)
+        if self._parallel is not None and rng is None and seed is not None:
+            batch = self._parallel.sample_subgraph_batch(
+                ego_type, ego_ids, fanouts, seed=seed, batch_id=batch_id,
+                weighted=weighted, replace=replace)
+        else:
+            batch = self.graph.sample_subgraph_batch(
+                ego_type, ego_ids, fanouts, rng=rng, weighted=weighted,
+                replace=replace)
         self.route_batch(ego_type, batch.ego_ids)
         for index in range(len(batch.layers) - 1):
             layer = batch.layers[index]

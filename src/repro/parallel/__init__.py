@@ -1,0 +1,42 @@
+"""Multi-core parallel execution: shared-memory graph store + worker pools.
+
+The subsystem has four pieces (see ``docs/ARCHITECTURE.md`` for the layout
+diagram and the determinism contract):
+
+* :mod:`repro.parallel.shm` — numpy arrays in shared-memory blocks,
+* :mod:`repro.parallel.store` — zero-copy exports of the graph's sampling
+  state and the serving ANN index, plus the worker-side views,
+* :mod:`repro.parallel.pool` — the persistent, spawn-safe worker pool,
+* :mod:`repro.parallel.engine` — :class:`ParallelEngine`, the facade the
+  graph / training / serving / streaming layers call.
+
+``ParallelEngine(graph, num_workers=4, backend="shared")`` is the whole
+API for callers; ``backend="serial"`` runs the identical shard tasks
+in-process and is bit-identical to the shared backend under a fixed seed.
+"""
+
+from repro.parallel.engine import BACKENDS, ParallelEngine, SerialExecutor
+from repro.parallel.pool import (
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTaskError,
+    pool_task,
+)
+from repro.parallel.rng import rng_stream
+from repro.parallel.shm import SharedArray, SharedArrayHandle
+from repro.parallel.store import SharedGraphStore, SharedIndexStore
+
+__all__ = [
+    "BACKENDS",
+    "ParallelEngine",
+    "SerialExecutor",
+    "SharedArray",
+    "SharedArrayHandle",
+    "SharedGraphStore",
+    "SharedIndexStore",
+    "WorkerCrashError",
+    "WorkerPool",
+    "WorkerTaskError",
+    "pool_task",
+    "rng_stream",
+]

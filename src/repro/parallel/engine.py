@@ -1,0 +1,371 @@
+"""The multi-core execution engine: shard-keyed work over shared memory.
+
+:class:`ParallelEngine` is the one object the graph, training, serving and
+streaming layers talk to.  It owns
+
+* a :class:`~repro.parallel.store.SharedGraphStore` snapshot of the graph's
+  sampling state (``backend="shared"`` only; re-exported when the graph's
+  version stamp moves),
+* a persistent spawn-based :class:`~repro.parallel.pool.WorkerPool`
+  (``backend="shared"``), and
+* the :class:`~repro.graph.partition.HashPartitioner` that keys every unit
+  of work to a shard.
+
+**Determinism contract.**  Work is split by *shard*, never by worker: ego
+nodes are partitioned with the stable hash partitioner and each shard's
+draws come from a Philox stream keyed by ``(seed, shard, graph version,
+batch_id)`` (:func:`~repro.parallel.rng.rng_stream`); results are merged in
+shard order.  Scheduling therefore cannot influence any output bit:
+``backend="serial"`` (same shard tasks, run in-process) and
+``backend="shared"`` with any worker count produce identical arrays under a
+fixed seed — pinned by ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.batch import SubgraphBatch, SubgraphLayer, sequence_from
+from repro.graph.partition import HashPartitioner
+from repro.parallel.pool import TASKS, WorkerPool
+from repro.parallel.shm import map_result_pack
+from repro.parallel.store import (
+    LocalCache,
+    SharedGraphStore,
+    SharedIndexStore,
+)
+from repro.parallel.tasks import sample_shard_impl
+
+
+def _unpack_shard_result(result, leases):
+    """Zero-copy views of a worker's shard layers (shm-transported when
+    large); the mapping's lease is appended to ``leases``."""
+    if isinstance(result, dict):
+        views, lease = map_result_pack(result["shm_pack"])
+        leases.append(lease)
+        return [tuple(views[4 * layer:4 * layer + 4])
+                for layer in range(result["num_layers"])]
+    return result
+
+
+#: The backends an engine (and ``ParallelSpec``) accepts.
+BACKENDS = ("serial", "shared")
+
+#: Default shard count of the work plan.  Deliberately *independent of the
+#: worker count*: the shard plan (and with it every Philox stream key and
+#: every serving row partition) must not change when the same spec runs
+#: with a different ``num_workers``, or results would differ across
+#: machines.  16 gives enough task granularity for the worker counts a
+#: single host realistically runs.
+DEFAULT_NUM_SHARDS = 16
+
+
+class SerialExecutor:
+    """In-process executor with the pool's ``map`` interface.
+
+    Runs the very same registered task functions the workers run, in task
+    order, against a process-local cache — the ``backend="serial"``
+    reference every shared-backend result is equivalence-tested against.
+    """
+
+    def __init__(self, num_slots: int = 1):
+        self.num_slots = max(1, int(num_slots))
+        self._cache = LocalCache()
+
+    def map(self, name: str, payloads: Sequence[Any]) -> List[Any]:
+        """Execute one named task per payload, in order."""
+        fn = TASKS[name]
+        return [fn(payload, self._cache) for payload in payloads]
+
+
+class _PendingSample:
+    """Token for an in-flight :meth:`ParallelEngine.sample_subgraph_batch_async`."""
+
+    def __init__(self, ego_type: str, egos: np.ndarray,
+                 shard_positions: List[np.ndarray],
+                 tickets: Optional[List[int]],
+                 results: Optional[List[Any]]):
+        self.ego_type = ego_type
+        self.egos = egos
+        self.shard_positions = shard_positions
+        self.tickets = tickets
+        self.results = results
+
+
+class ParallelEngine:
+    """Executes shard-local sampling, serving and rebuild work."""
+
+    def __init__(self, graph, num_workers: int = 1, backend: str = "serial",
+                 num_shards: Optional[int] = None,
+                 partitioner: Optional[HashPartitioner] = None,
+                 partition_seed: int = 17):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {backend!r}")
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.graph = graph
+        self.backend = backend
+        self.num_workers = int(num_workers)
+        self.partitioner = partitioner if partitioner is not None else \
+            HashPartitioner(num_shards if num_shards is not None
+                            else DEFAULT_NUM_SHARDS, seed=partition_seed)
+        self._pool: Optional[WorkerPool] = (
+            WorkerPool(self.num_workers) if backend == "shared" else None)
+        self._serial = SerialExecutor(self.num_workers)
+        # Stable export-slot names: workers cache one view per slot and
+        # evict it when a re-export bumps the version.
+        self._slot = uuid.uuid4().hex
+        self._graph_store: Optional[SharedGraphStore] = None
+        self._index: Any = None
+        self._index_store: Optional[SharedIndexStore] = None
+        self._index_epoch = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self):
+        """The ``map``-style executor scoped rebuilds fan out through."""
+        return self._pool if self._pool is not None else self._serial
+
+    @property
+    def block_names(self) -> List[str]:
+        """Kernel names of every shared segment this engine currently owns."""
+        names: List[str] = []
+        if self._graph_store is not None:
+            names.extend(self._graph_store.block_names)
+        if self._index_store is not None:
+            names.extend(self._index_store.block_names)
+        return names
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared block; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+        if self._graph_store is not None:
+            self._graph_store.close()
+            self._graph_store = None
+        if self._index_store is not None:
+            self._index_store.close()
+            self._index_store = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):   # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _graph_handle(self):
+        """The shared snapshot's handle, re-exported if the graph moved on.
+
+        Re-exporting closes the superseded snapshot, so callers must not
+        hold un-collected sampling tokens across a graph update (the
+        pipeline's stages never do: training finishes before ``ingest``).
+        """
+        version = int(getattr(self.graph, "version", 0))
+        if self._graph_store is not None \
+                and self._graph_store.handle.version != version:
+            self._graph_store.close()
+            self._graph_store = None
+        if self._graph_store is None:
+            self._graph_store = SharedGraphStore(self.graph,
+                                                 slot=self._slot + "/graph")
+        return self._graph_store.handle
+
+    # ------------------------------------------------------------------ #
+    # Training-side sampling
+    # ------------------------------------------------------------------ #
+    def sample_subgraph_batch(self, ego_type: str, ego_ids: Sequence[int],
+                              fanouts: Sequence[int], *, seed: int,
+                              batch_id: int, weighted: bool = True,
+                              replace: bool = False) -> SubgraphBatch:
+        """Expand fanout trees for a batch of egos across the shards.
+
+        Bit-identical for both backends and any worker count: draws are
+        keyed per ``(seed, shard, graph version, batch_id)`` and merged in
+        shard order (see the module docstring's determinism contract).
+        """
+        pending = self.sample_subgraph_batch_async(
+            ego_type, ego_ids, fanouts, seed=seed, batch_id=batch_id,
+            weighted=weighted, replace=replace)
+        return self.collect(pending)
+
+    def sample_subgraph_batch_async(self, ego_type: str,
+                                    ego_ids: Sequence[int],
+                                    fanouts: Sequence[int], *, seed: int,
+                                    batch_id: int, weighted: bool = True,
+                                    replace: bool = False) -> _PendingSample:
+        """Submit the shard draws and return a token for :meth:`collect`.
+
+        With the shared backend the draws overlap whatever the caller does
+        next (the presampling dataloader overlaps the training step this
+        way); the serial backend computes eagerly so both backends consume
+        identical stream keys.
+        """
+        egos = sequence_from(ego_ids)
+        version = int(getattr(self.graph, "version", 0))
+        shards = self.partitioner.shard_of_batch(ego_type, egos) \
+            if egos.size else np.empty(0, dtype=np.int64)
+        shard_positions: List[np.ndarray] = []
+        payloads: List[Dict[str, Any]] = []
+        for shard in np.unique(shards):
+            positions = np.nonzero(shards == shard)[0]
+            shard_positions.append(positions)
+            payloads.append({
+                "ego_type": ego_type, "ego_ids": egos[positions],
+                "fanouts": tuple(int(k) for k in fanouts),
+                "weighted": bool(weighted), "replace": bool(replace),
+                "seed": int(seed), "shard": int(shard),
+                "version": version, "batch_id": int(batch_id)})
+        if self._pool is not None:
+            handle = self._graph_handle()
+            tickets = []
+            for payload in payloads:
+                payload["graph"] = handle
+                tickets.append(self._pool.submit("sample_subgraph_shard",
+                                                 payload))
+            return _PendingSample(ego_type, egos, shard_positions, tickets,
+                                  None)
+        results = [sample_shard_impl(self.graph, payload)
+                   for payload in payloads]
+        return _PendingSample(ego_type, egos, shard_positions, None, results)
+
+    def collect(self, pending: _PendingSample) -> SubgraphBatch:
+        """Wait for a pending sample's shards and merge them in shard order.
+
+        Shared-backend results arrive as shm-pack views; the merge's
+        concatenate is the only parent-side copy, after which the packs are
+        released.
+        """
+        leases: List[Any] = []
+        results = pending.results if pending.results is not None \
+            else [_unpack_shard_result(result, leases)
+                  for result in self._pool.gather(pending.tickets)]
+        batch = self._merge_shards(pending.ego_type, pending.egos,
+                                   pending.shard_positions, results)
+        del results
+        for lease in leases:
+            lease.release()
+        return batch
+
+    def _merge_shards(self, ego_type: str, egos: np.ndarray,
+                      shard_positions: List[np.ndarray],
+                      results: List[List[Tuple[np.ndarray, ...]]]
+                      ) -> SubgraphBatch:
+        """Reassemble per-shard layer arrays into one :class:`SubgraphBatch`.
+
+        Layer entries are edge lists with explicit parent pointers, so
+        concatenating the shards' blocks (in shard order) only requires
+        remapping parents: layer 0 parents map through each shard's ego
+        positions, deeper parents shift by the preceding shards'
+        previous-layer sizes.
+        """
+        batch = SubgraphBatch(ego_type=ego_type, ego_ids=egos,
+                              specs=list(self.graph.spec_list))
+        depth = max((len(layers) for layers in results), default=0)
+        # Offset of each shard's entries inside the previous merged layer.
+        previous_offsets = [0] * len(results)
+        for level in range(depth):
+            parts: List[Tuple[np.ndarray, ...]] = []
+            offsets: List[int] = []
+            running = 0
+            for index, layers in enumerate(results):
+                if level >= len(layers):
+                    continue
+                parents, rel_ids, node_ids, weights = layers[level]
+                if level == 0:
+                    parents = shard_positions[index][parents]
+                else:
+                    # astype first: int32-transported parents must not add
+                    # the offset in 32-bit arithmetic.
+                    parents = parents.astype(np.int64, copy=False) \
+                        + previous_offsets[index]
+                parts.append((parents, rel_ids, node_ids, weights))
+                offsets.append(running)
+                running += node_ids.size
+            if not parts:
+                break
+            live = [i for i, layers in enumerate(results)
+                    if level < len(layers)]
+            for slot, index in enumerate(live):
+                previous_offsets[index] = offsets[slot]
+            # The concatenates restore int64 for int32-transported arrays;
+            # values are unchanged, so backends stay bit-identical.
+            batch.layers.append(SubgraphLayer(
+                parents=np.concatenate([p[0] for p in parts]
+                                       ).astype(np.int64, copy=False),
+                rel_ids=np.concatenate([p[1] for p in parts]
+                                       ).astype(np.int64, copy=False),
+                node_ids=np.concatenate([p[2] for p in parts]
+                                        ).astype(np.int64, copy=False),
+                weights=np.concatenate([p[3] for p in parts])))
+        return batch
+
+    # ------------------------------------------------------------------ #
+    # Serving-side search
+    # ------------------------------------------------------------------ #
+    def attach_index(self, index) -> None:
+        """Adopt (and, for the shared backend, export) a serving ANN index.
+
+        Call again after :meth:`~repro.serving.server.OnlineServer.refresh`
+        swaps a fresh index in; the superseded export is unlinked.
+        """
+        self._index = index
+        if self._pool is not None:
+            if self._index_store is not None:
+                self._index_store.close()
+            self._index_epoch += 1
+            self._index_store = SharedIndexStore(index,
+                                                 version=self._index_epoch,
+                                                 slot=self._slot + "/index")
+
+    def search_batch(self, queries: np.ndarray,
+                     k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Partition query rows round-robin across the shards and merge top-k.
+
+        Row ``i`` goes to partition ``i % num_shards`` — the same
+        round-robin rule the sharded serving tier uses, and deliberately
+        keyed by the *shard plan* rather than the worker count so the exact
+        per-partition search inputs (and with them every output bit) are
+        identical no matter how many workers drain the partitions.  Per-row
+        results are scattered straight back, so the merge is
+        scheduling-independent.
+        """
+        if self._index is None:
+            raise RuntimeError("no index attached; call attach_index() first")
+        queries = np.asarray(queries)
+        num_queries = queries.shape[0]
+        if num_queries == 0:
+            return self._index.search_batch(queries, k)
+        num_groups = min(self.partitioner.num_shards, num_queries)
+        groups = [np.arange(start, num_queries, num_groups)
+                  for start in range(num_groups)]
+        if self._pool is not None:
+            handle = self._index_store.handle
+            payloads = [{"index": handle, "queries": queries[group], "k": k}
+                        for group in groups]
+            results = self._pool.map("ann_search", payloads)
+        else:
+            results = [self._index.search_batch(queries[group], k)
+                       for group in groups]
+        width = results[0][0].shape[1]
+        ids = np.empty((num_queries, width), dtype=results[0][0].dtype)
+        scores = np.empty((num_queries, width), dtype=results[0][1].dtype)
+        for group, (group_ids, group_scores) in zip(groups, results):
+            ids[group] = group_ids
+            scores[group] = group_scores
+        return ids, scores

@@ -1,0 +1,265 @@
+"""Persistent spawn-based worker pool executing registered shard tasks.
+
+The pool is **fork-free**: workers are started with the ``spawn`` context,
+so they never inherit the parent's (arbitrarily large) heap — everything a
+task needs arrives either through its payload or through a shared-memory
+handle the worker attaches to lazily on first use (and caches for the pool's
+lifetime).  Tasks are referenced *by name* against the module-level
+:data:`TASKS` registry (:func:`pool_task`), which keeps payloads picklable
+under spawn without shipping closures.
+
+Failure semantics:
+
+* a task that raises propagates as :class:`WorkerTaskError` carrying the
+  remote traceback,
+* a worker that dies mid-batch (killed, segfault, ``os._exit``) raises
+  :class:`WorkerCrashError` at the waiting ``gather`` instead of hanging —
+  the pool polls worker liveness while draining the result queue,
+* ``shutdown()`` drains the workers with sentinels, joins them (terminating
+  stragglers) and closes the queues; it is idempotent and also registered
+  via ``atexit`` so an abandoned pool cannot leak processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import queue as queue_module
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Name -> task function registry; tasks take ``(payload, cache)`` where
+#: ``cache`` is the per-worker :class:`WorkerCache` of shared attachments.
+TASKS: Dict[str, Callable[[Any, "WorkerCache"], Any]] = {}
+
+
+def pool_task(name: str):
+    """Register a function as a named pool task (spawn-safe by-name lookup)."""
+
+    def register(fn):
+        TASKS[name] = fn
+        return fn
+
+    return register
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while results were outstanding."""
+
+
+class WorkerTaskError(RuntimeError):
+    """A task raised inside a worker; the message carries its traceback."""
+
+
+class WorkerCache:
+    """Per-worker cache of attached shared-memory views.
+
+    Views are cached per *slot* (one slot per exported store) at exactly one
+    version: when a task references a newer export of the same slot, the
+    superseded view's attachments are unmapped before the new ones are
+    built — a worker's memory therefore tracks the live exports, not the
+    history of re-exports a long stream of graph updates produces.
+    """
+
+    def __init__(self):
+        #: slot -> (version, view, [attachments])
+        self._slots: Dict[Any, Any] = {}
+
+    def view(self, slot: Any, version: Any,
+             build: Callable[[Callable[[Any], Any]], Any]) -> Any:
+        """The view for ``slot`` at ``version``; rebuilds on version change.
+
+        ``build`` receives a ``track`` callback to register each
+        shared-memory attachment the view depends on.
+        """
+        entry = self._slots.get(slot)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        if entry is not None:
+            self._release(entry[2])
+        attachments: List[Any] = []
+
+        def track(attachment):
+            attachments.append(attachment)
+            return attachment
+
+        view = build(track)
+        self._slots[slot] = (version, view, attachments)
+        return view
+
+    @staticmethod
+    def _release(attachments: List[Any]) -> None:
+        for attachment in attachments:
+            try:
+                attachment.close()
+            except Exception:   # pragma: no cover - best-effort unmap
+                pass
+
+    def close(self) -> None:
+        """Unmap every attachment (worker exit)."""
+        for _, _, attachments in self._slots.values():
+            self._release(attachments)
+        self._slots.clear()
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker loop: execute named tasks until the ``None`` sentinel arrives."""
+    # Importing the task module registers every named task in TASKS.
+    import repro.parallel.tasks   # noqa: F401
+
+    cache = WorkerCache()
+    try:
+        while True:
+            item = task_queue.get()
+            if item is None:
+                break
+            ticket, name, payload = item
+            try:
+                fn = TASKS[name]
+                result_queue.put((ticket, True, fn(payload, cache)))
+            except BaseException:
+                result_queue.put((ticket, False, traceback.format_exc()))
+    finally:
+        cache.close()
+
+
+class WorkerPool:
+    """A fixed set of persistent spawn workers consuming a shared task queue."""
+
+    def __init__(self, num_workers: int, poll_seconds: float = 0.2):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        import multiprocessing as mp
+
+        self.num_workers = int(num_workers)
+        self._poll_seconds = float(poll_seconds)
+        self._context = mp.get_context("spawn")
+        self._tasks = None
+        self._results = None
+        self._workers: List[Any] = []
+        self._next_ticket = 0
+        self._done: Dict[int, Any] = {}
+        self._broken: Optional[str] = None
+        self._closed = False
+        atexit.register(self.shutdown)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        """True once the worker processes exist (first submit starts them)."""
+        return bool(self._workers)
+
+    @property
+    def num_slots(self) -> int:
+        """Parallel slots available (the executor-interface view of size)."""
+        return self.num_workers
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("pool already shut down")
+        if self._broken:
+            raise WorkerCrashError(self._broken)
+        if self._workers:
+            return
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        for _ in range(self.num_workers):
+            worker = self._context.Process(
+                target=_worker_main, args=(self._tasks, self._results),
+                daemon=True)
+            worker.start()
+            self._workers.append(worker)
+
+    def shutdown(self) -> None:
+        """Stop the workers and release the queues; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.shutdown)
+        if self._workers:
+            alive = any(worker.is_alive() for worker in self._workers)
+            if alive and not self._broken:
+                for _ in self._workers:
+                    try:
+                        self._tasks.put(None)
+                    except Exception:   # pragma: no cover - queue torn down
+                        break
+            for worker in self._workers:
+                worker.join(timeout=5.0)
+            for worker in self._workers:
+                if worker.is_alive():   # pragma: no cover - stuck worker
+                    worker.terminate()
+                    worker.join(timeout=1.0)
+        self._drain_unconsumed_results()
+        for q in (self._tasks, self._results):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._workers = []
+
+    def _drain_unconsumed_results(self) -> None:
+        """Release shm blocks of results nobody gathered (no /dev/shm leaks)."""
+        from repro.parallel.shm import discard_result_handles
+
+        for value in self._done.values():
+            discard_result_handles(value)
+        self._done.clear()
+        if self._results is None:
+            return
+        while True:
+            try:
+                _, ok, value = self._results.get_nowait()
+            except Exception:
+                break
+            if ok:
+                discard_result_handles(value)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def submit(self, name: str, payload: Any) -> int:
+        """Queue one named task; returns the ticket to :meth:`gather` on."""
+        if name not in TASKS:
+            raise KeyError(f"unknown pool task {name!r}")
+        self._ensure_started()
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._tasks.put((ticket, name, payload))
+        return ticket
+
+    def gather(self, tickets: Sequence[int]) -> List[Any]:
+        """Collect results for ``tickets`` in order (blocking, crash-aware)."""
+        outstanding = {t for t in tickets if t not in self._done}
+        while outstanding:
+            if self._broken:
+                raise WorkerCrashError(self._broken)
+            try:
+                ticket, ok, value = self._results.get(
+                    timeout=self._poll_seconds)
+            except queue_module.Empty:
+                dead = [w for w in self._workers if not w.is_alive()]
+                if dead:
+                    self._broken = (
+                        f"{len(dead)} worker(s) exited with code(s) "
+                        f"{[w.exitcode for w in dead]} while "
+                        f"{len(outstanding)} result(s) were outstanding")
+                    raise WorkerCrashError(self._broken)
+                continue
+            if not ok:
+                raise WorkerTaskError(
+                    f"pool task failed in worker:\n{value}")
+            self._done[ticket] = value
+            outstanding.discard(ticket)
+        return [self._done.pop(ticket) for ticket in tickets]
+
+    def map(self, name: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run one named task per payload; results come back in order."""
+        tickets = [self.submit(name, payload) for payload in payloads]
+        return self.gather(tickets)

@@ -1,0 +1,249 @@
+"""Shared-memory numpy arrays: zero-copy graph state across processes.
+
+:class:`SharedArray` places one numpy array into a
+:mod:`multiprocessing.shared_memory` block so worker processes can map the
+same physical pages instead of receiving pickled copies.  The creating
+process *owns* the block (it unlinks the segment on :meth:`SharedArray.close`);
+workers attach read-only views through the picklable
+:class:`SharedArrayHandle` and never unlink.
+
+Attachment detail: Python's ``resource_tracker`` registers every attached
+segment and would unlink it again when the attaching side's tracker shuts
+down — destroying the owner's block from under it (CPython issue 82300) —
+and, with several workers attaching the same block, the shared tracker
+process logs spurious KeyErrors on the duplicate registrations.  Worker
+attachments therefore suppress tracker registration entirely; the owner
+remains the single point of cleanup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Tuple
+
+import numpy as np
+
+
+@contextmanager
+def _tracker_silenced():
+    """Keep the resource tracker out of untracked attach/create/unlink.
+
+    Registration would let the tracker unlink blocks other processes still
+    own (see module docstring); unregistration of a never-registered name
+    makes the shared tracker process log spurious ``KeyError`` tracebacks.
+    """
+    register = resource_tracker.register
+    unregister = resource_tracker.unregister
+    resource_tracker.register = lambda *args, **kwargs: None
+    resource_tracker.unregister = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = register
+        resource_tracker.unregister = unregister
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable description of a shared block: enough to re-map the array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, initial=1)))
+
+
+class SharedArray:
+    """One numpy array backed by an owned shared-memory block."""
+
+    def __init__(self, array: np.ndarray):
+        array = np.ascontiguousarray(array)
+        # A zero-byte block cannot be created; keep one spare byte so empty
+        # arrays (e.g. a relation with no edges) still round-trip.
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(array.nbytes, 1))
+        self._handle = SharedArrayHandle(name=self._shm.name,
+                                         shape=tuple(array.shape),
+                                         dtype=array.dtype.str)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+        view[...] = array
+        self._closed = False
+
+    @property
+    def handle(self) -> SharedArrayHandle:
+        """The picklable handle workers attach with."""
+        return self._handle
+
+    @property
+    def name(self) -> str:
+        """Kernel name of the backing segment (a file under ``/dev/shm``)."""
+        return self._handle.name
+
+    def array(self) -> np.ndarray:
+        """The owner-side view of the shared block."""
+        if self._closed:
+            raise RuntimeError("shared array already closed")
+        return np.ndarray(self._handle.shape, dtype=self._handle.dtype,
+                          buffer=self._shm.buf)
+
+    def close(self) -> None:
+        """Release and unlink the segment (owner side); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:   # pragma: no cover - already gone
+            pass
+
+    def __del__(self):   # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+@dataclass(frozen=True)
+class SharedPackHandle:
+    """One shm block holding several packed arrays (a task's bulk result).
+
+    ``meta`` records ``(shape, dtype, offset)`` per array.  Packing a whole
+    result into one block matters: block creation/attachment is a few
+    syscalls each, so per-array blocks would pay that fixed cost dozens of
+    times per batch.
+    """
+
+    name: str
+    size: int
+    meta: Tuple[Tuple[Tuple[int, ...], str, int], ...]
+
+
+#: Pack offsets are aligned so every dtype's view is well-aligned.
+_PACK_ALIGN = 64
+
+
+def share_result_pack(arrays) -> SharedPackHandle:
+    """Hand a list of bulk result arrays to another process in one block.
+
+    The transport for large worker results (pipe-backed queues copy every
+    byte four times; a block is written once and read once).  The block is
+    *untracked and unowned*: the receiving side must consume it with
+    :func:`take_result_pack`, which unlinks it.
+    """
+    arrays = [np.ascontiguousarray(array) for array in arrays]
+    meta = []
+    offset = 0
+    for array in arrays:
+        meta.append((tuple(array.shape), array.dtype.str, offset))
+        offset += -(-array.nbytes // _PACK_ALIGN) * _PACK_ALIGN
+    with _tracker_silenced():
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for array, (shape, dtype, start) in zip(arrays, meta):
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf,
+                          offset=start)
+        view[...] = array
+    handle = SharedPackHandle(name=shm.name, size=max(offset, 1),
+                              meta=tuple(meta))
+    shm.close()              # unmap only; the segment lives until unlinked
+    return handle
+
+
+class PackLease:
+    """Keeps a mapped result pack alive until its views are consumed.
+
+    The segment is unlinked the moment the lease exists (no ``/dev/shm``
+    entry can leak); :meth:`release` additionally unmaps it.  If a view is
+    still referenced at release time the unmap is deferred to garbage
+    collection — harmless, since the name is already gone.
+    """
+
+    def __init__(self, shm):
+        self._shm = shm
+
+    def release(self) -> None:
+        """Unmap the pack; views must not be dereferenced afterwards."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        with _tracker_silenced():
+            try:
+                shm.close()
+            except BufferError:   # pragma: no cover - view still exported
+                pass
+
+
+def map_result_pack(handle: SharedPackHandle):
+    """Zero-copy views of a :func:`share_result_pack` block + its lease.
+
+    The block is unlinked immediately (consume-once semantics, nothing left
+    behind in ``/dev/shm``); the returned :class:`PackLease` keeps the
+    mapping alive while the caller reads the views.
+    """
+    with _tracker_silenced():
+        shm = shared_memory.SharedMemory(name=handle.name)
+        try:
+            shm.unlink()
+        except FileNotFoundError:   # pragma: no cover - already consumed
+            pass
+    views = [np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+             for shape, dtype, offset in handle.meta]
+    return views, PackLease(shm)
+
+
+def take_result_pack(handle: SharedPackHandle):
+    """Copy a :func:`share_result_pack` block out and unlink it."""
+    views, lease = map_result_pack(handle)
+    arrays = [np.array(view) for view in views]
+    del views
+    lease.release()
+    return arrays
+
+
+def discard_result_handles(value) -> None:
+    """Unlink every result-pack handle nested inside ``value``.
+
+    Safety net for results that were produced but never consumed (an
+    abandoned async token, a pool shut down with results still queued) —
+    their blocks would otherwise outlive every process in ``/dev/shm``.
+    """
+    if isinstance(value, SharedPackHandle):
+        try:
+            take_result_pack(value)
+        except Exception:   # pragma: no cover - already consumed
+            pass
+    elif isinstance(value, dict):
+        for nested in value.values():
+            discard_result_handles(nested)
+    elif isinstance(value, (list, tuple)):
+        for nested in value:
+            discard_result_handles(nested)
+
+
+class AttachedArray:
+    """A worker-side mapping of a :class:`SharedArrayHandle`.
+
+    Keeps the underlying :class:`~multiprocessing.shared_memory.SharedMemory`
+    object alive for as long as the numpy view is used (the view borrows the
+    mapping's buffer).  Never unlinks — the owner does that.
+    """
+
+    def __init__(self, handle: SharedArrayHandle):
+        # Keep the tracker out of the attach: this process must neither
+        # unlink the owner's segment at exit nor double-register a block
+        # that several workers map (see module docstring).
+        with _tracker_silenced():
+            self._shm = shared_memory.SharedMemory(name=handle.name)
+        self.array = np.ndarray(handle.shape, dtype=handle.dtype,
+                                buffer=self._shm.buf)
+
+    def close(self) -> None:
+        """Unmap the segment (worker side; the owner keeps the block)."""
+        self.array = None
+        self._shm.close()

@@ -1,0 +1,380 @@
+"""Shared-memory exports of the graph and ANN state, plus worker-side views.
+
+:class:`SharedGraphStore` snapshots exactly the state the sampling engine
+reads — every node type's union CSR (``indptr`` / ``indices`` / ``weights`` /
+``rel_local``) and its :class:`~repro.graph.alias.BatchedAliasTable` buffers
+(``prob`` / ``alias``) — into shared-memory blocks.  Workers rebuild
+zero-copy :class:`~repro.graph.hetero_graph.TypedAdjacency` /
+``BatchedAliasTable`` objects over those blocks (no pickling of the graph,
+no per-task copies), so shard-local sampling in a worker runs the very same
+code, over the very same bytes, as the in-process engine.
+
+:class:`SharedIndexStore` does the same for the serving-side ANN state
+(:class:`~repro.serving.ann.ExactIndex`, :class:`~repro.serving.ann.IVFIndex`
+or a :class:`~repro.serving.sharding.ShardedIndex` of either).
+
+Both stores own their blocks: ``close()`` unlinks every segment.  Handles
+are small picklable dataclasses; attachment happens lazily per worker and
+is cached per export *slot* at one version — when a streaming update bumps
+the version and the engine re-exports, a worker's next task attaches the
+fresh blocks and unmaps the superseded ones, so worker memory tracks the
+live exports rather than the re-export history.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.alias import BatchedAliasTable
+from repro.graph.hetero_graph import HeteroGraph, TypedAdjacency
+from repro.graph.schema import RelationSpec
+from repro.parallel.shm import AttachedArray, SharedArray, SharedArrayHandle
+from repro.serving.ann import ExactIndex, IVFIndex
+from repro.serving.sharding import ShardedIndex
+
+
+# ---------------------------------------------------------------------- #
+# Graph export
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedAdjacencyHandle:
+    """Shared blocks of one node type's union CSR + alias buffers."""
+
+    num_src: int
+    specs: Tuple[RelationSpec, ...]
+    indptr: SharedArrayHandle
+    indices: SharedArrayHandle
+    weights: SharedArrayHandle
+    rel_local: SharedArrayHandle
+    prob: SharedArrayHandle
+    alias: SharedArrayHandle
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Everything a worker needs to re-map the sampling state of a graph.
+
+    ``slot`` names the logical export (stable across re-exports of the same
+    graph); ``store_id``/``version`` identify one concrete snapshot.  A
+    worker caches one view per slot and evicts the superseded one when the
+    version moves.
+    """
+
+    store_id: str
+    slot: str
+    version: int
+    node_types: Tuple[str, ...]
+    specs: Tuple[RelationSpec, ...]
+    num_nodes: Tuple[Tuple[str, int], ...]
+    adjacency: Tuple[Tuple[str, SharedAdjacencyHandle], ...]
+
+
+class _ViewSchema:
+    """Minimal schema stand-in: the node-type order the expansion loop uses."""
+
+    def __init__(self, node_types):
+        self.node_types = list(node_types)
+
+
+class SharedGraphView:
+    """Worker-side graph facade over attached shared-memory adjacency."""
+
+    def __init__(self, handle: SharedGraphHandle,
+                 adjacency: Dict[str, TypedAdjacency]):
+        self.schema = _ViewSchema(handle.node_types)
+        self.num_nodes = dict(handle.num_nodes)
+        self.version = handle.version
+        self._spec_list = list(handle.specs)
+        self._adjacency = adjacency
+
+    @property
+    def spec_list(self) -> List[RelationSpec]:
+        """Relations in the owning graph's registration order."""
+        return self._spec_list
+
+    def typed_adjacency(self, node_type: str) -> TypedAdjacency:
+        """The shared union adjacency of one node type."""
+        return self._adjacency[node_type]
+
+
+def _shared_alias_table(indptr: np.ndarray, prob: np.ndarray,
+                        alias: np.ndarray, num_rows: int) -> BatchedAliasTable:
+    """A ``BatchedAliasTable`` over already-built (shared) buffers."""
+    table = object.__new__(BatchedAliasTable)
+    table.indptr = indptr
+    table.num_rows = num_rows
+    table._prob = prob
+    table._alias = alias
+    return table
+
+
+class SharedGraphStore:
+    """Owner-side shared-memory snapshot of a graph's sampling state."""
+
+    def __init__(self, graph: HeteroGraph, slot: str = ""):
+        self._arrays: List[SharedArray] = []
+        self._closed = False
+        store_id = uuid.uuid4().hex
+        adjacency = []
+        for node_type in graph.schema.node_types:
+            adj = graph.typed_adjacency(node_type)
+            table = adj.alias_sampler()
+            adjacency.append((node_type, SharedAdjacencyHandle(
+                num_src=adj.num_src,
+                specs=tuple(adj.specs),
+                indptr=self._share(adj.indptr),
+                indices=self._share(adj.indices),
+                weights=self._share(adj.weights),
+                rel_local=self._share(adj.rel_local),
+                prob=self._share(table._prob),
+                alias=self._share(table._alias))))
+        self.handle = SharedGraphHandle(
+            store_id=store_id,
+            slot=slot or store_id,
+            version=int(getattr(graph, "version", 0)),
+            node_types=tuple(graph.schema.node_types),
+            specs=tuple(graph.spec_list),
+            num_nodes=tuple(graph.num_nodes.items()),
+            adjacency=tuple(adjacency))
+
+    def _share(self, array: np.ndarray) -> SharedArrayHandle:
+        shared = SharedArray(array)
+        self._arrays.append(shared)
+        return shared.handle
+
+    @property
+    def block_names(self) -> List[str]:
+        """Kernel names of every owned segment (``/dev/shm`` leak checks)."""
+        return [shared.name for shared in self._arrays]
+
+    def close(self) -> None:
+        """Unlink every owned segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shared in self._arrays:
+            shared.close()
+
+    def __del__(self):   # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_graph_view(handle: SharedGraphHandle, cache) -> SharedGraphView:
+    """Map a :class:`SharedGraphHandle` into this process.
+
+    Cached per export slot at one version — attaching a newer version of
+    the same slot unmaps the superseded view's attachments first.
+    """
+
+    def build(track) -> SharedGraphView:
+        adjacency: Dict[str, TypedAdjacency] = {}
+        for node_type, ah in handle.adjacency:
+            adj = object.__new__(TypedAdjacency)
+            adj.specs = list(ah.specs)
+            adj.num_src = ah.num_src
+            adj.indptr = track(AttachedArray(ah.indptr)).array
+            adj.indices = track(AttachedArray(ah.indices)).array
+            adj.weights = track(AttachedArray(ah.weights)).array
+            adj.rel_local = track(AttachedArray(ah.rel_local)).array
+            adj._alias_batch = _shared_alias_table(
+                adj.indptr,
+                track(AttachedArray(ah.prob)).array,
+                track(AttachedArray(ah.alias)).array,
+                ah.num_src)
+            adjacency[node_type] = adj
+        return SharedGraphView(handle, adjacency)
+
+    return cache.view(("graph", handle.slot),
+                      (handle.store_id, handle.version), build)
+
+
+# ---------------------------------------------------------------------- #
+# ANN index export
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedExactHandle:
+    """Shared blocks of an :class:`ExactIndex`."""
+
+    embeddings: SharedArrayHandle
+    ids: SharedArrayHandle
+
+
+@dataclass(frozen=True)
+class SharedIVFHandle:
+    """Shared blocks of an :class:`IVFIndex` (cells stored CSR-style)."""
+
+    embeddings: SharedArrayHandle
+    ids: SharedArrayHandle
+    centroids: SharedArrayHandle
+    cell_indptr: SharedArrayHandle
+    cell_members: SharedArrayHandle
+    num_cells: int
+    nprobe: int
+
+
+@dataclass(frozen=True)
+class SharedShardedHandle:
+    """A sharded index: one sub-handle per shard plus the merge metadata."""
+
+    shards: Tuple[object, ...]
+    num_shards: int
+    num_items: int
+    shard_sizes: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedIndexHandle:
+    """Top-level picklable ANN handle (exact / ivf / sharded).
+
+    ``slot`` plays the same role as on :class:`SharedGraphHandle`: workers
+    keep one cached view per slot and evict it when ``version`` moves
+    (every :meth:`OnlineServer.refresh` swap bumps it).
+    """
+
+    store_id: str
+    slot: str
+    version: int
+    inner: object
+
+
+class SharedIndexStore:
+    """Owner-side shared-memory export of a serving ANN index."""
+
+    def __init__(self, index, version: int = 0, slot: str = ""):
+        self._arrays: List[SharedArray] = []
+        self._closed = False
+        store_id = uuid.uuid4().hex
+        self.handle = SharedIndexHandle(store_id=store_id,
+                                        slot=slot or store_id,
+                                        version=int(version),
+                                        inner=self._export(index))
+
+    def _share(self, array: np.ndarray) -> SharedArrayHandle:
+        shared = SharedArray(array)
+        self._arrays.append(shared)
+        return shared.handle
+
+    def _export(self, index):
+        if isinstance(index, ShardedIndex):
+            return SharedShardedHandle(
+                shards=tuple(self._export(shard) for shard in index.shards),
+                num_shards=index.num_shards,
+                num_items=len(index),
+                shard_sizes=tuple(index.shard_sizes))
+        if isinstance(index, IVFIndex):
+            if index.centroids is None:
+                raise RuntimeError("cannot export an unbuilt IVFIndex")
+            cells = index._cells
+            cell_indptr = np.concatenate(
+                ([0], np.cumsum([members.size for members in cells])))
+            cell_members = (np.concatenate(cells) if cells
+                            else np.empty(0, dtype=np.int64))
+            return SharedIVFHandle(
+                embeddings=self._share(index.embeddings),
+                ids=self._share(index.ids),
+                centroids=self._share(index.centroids),
+                cell_indptr=self._share(cell_indptr.astype(np.int64)),
+                cell_members=self._share(cell_members.astype(np.int64)),
+                num_cells=index.num_cells,
+                nprobe=index.nprobe)
+        if isinstance(index, ExactIndex):
+            return SharedExactHandle(embeddings=self._share(index.embeddings),
+                                     ids=self._share(index.ids))
+        raise TypeError(f"cannot export index of type {type(index).__name__}")
+
+    @property
+    def block_names(self) -> List[str]:
+        """Kernel names of every owned segment."""
+        return [shared.name for shared in self._arrays]
+
+    def close(self) -> None:
+        """Unlink every owned segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shared in self._arrays:
+            shared.close()
+
+    def __del__(self):   # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach_index(inner, track):
+    if isinstance(inner, SharedShardedHandle):
+        sharded = object.__new__(ShardedIndex)
+        sharded.num_shards = inner.num_shards
+        sharded.index_factory = None
+        sharded.shards = [_attach_index(shard, track)
+                          for shard in inner.shards]
+        sharded.dtype = (sharded.shards[0].dtype if sharded.shards
+                         else np.dtype(np.float64))
+        sharded._shard_sizes = list(inner.shard_sizes)
+        sharded._num_items = inner.num_items
+        return sharded
+    if isinstance(inner, SharedIVFHandle):
+        index = object.__new__(IVFIndex)
+        index.num_cells = inner.num_cells
+        index.nprobe = inner.nprobe
+        index.kmeans_iterations = 0
+        index._seed = 0
+        index._rng = None
+        index.dtype = np.dtype(inner.embeddings.dtype)
+        index.embeddings = track(AttachedArray(inner.embeddings)).array
+        index.ids = track(AttachedArray(inner.ids)).array
+        index.centroids = track(AttachedArray(inner.centroids)).array
+        cell_indptr = track(AttachedArray(inner.cell_indptr)).array
+        cell_members = track(AttachedArray(inner.cell_members)).array
+        index._cells = [cell_members[cell_indptr[c]:cell_indptr[c + 1]]
+                        for c in range(cell_indptr.size - 1)]
+        return index
+    if isinstance(inner, SharedExactHandle):
+        index = object.__new__(ExactIndex)
+        index.dtype = np.dtype(inner.embeddings.dtype)
+        index.embeddings = track(AttachedArray(inner.embeddings)).array
+        index.ids = track(AttachedArray(inner.ids)).array
+        return index
+    raise TypeError(f"cannot attach index handle {type(inner).__name__}")
+
+
+def attach_index_view(handle: SharedIndexHandle, cache):
+    """Map a :class:`SharedIndexHandle` into this process (slot-cached)."""
+    return cache.view(("index", handle.slot),
+                      (handle.store_id, handle.version),
+                      lambda track: _attach_index(handle.inner, track))
+
+
+class LocalCache:
+    """In-process stand-in for the worker cache (serial backend, tests)."""
+
+    def __init__(self):
+        self._slots: Dict[object, object] = {}
+
+    def view(self, slot, version, build):
+        """The view for ``slot`` at ``version``; rebuilds on version change."""
+        entry = self._slots.get(slot)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        view = build(lambda attachment: attachment)
+        self._slots[slot] = (version, view)
+        return view
+
+    def close(self) -> None:
+        """Drop cached views."""
+        self._slots.clear()
+
+
+__all__ = [
+    "SharedGraphStore", "SharedGraphHandle", "SharedGraphView",
+    "SharedIndexStore", "SharedIndexHandle", "attach_graph_view",
+    "attach_index_view", "LocalCache",
+]

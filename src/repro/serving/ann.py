@@ -19,6 +19,13 @@ Batched results are fixed-shape ``(Q, k')`` arrays (``k' = min(k, n)``).
 When a query has fewer than ``k'`` candidates (IVF cells can be small or
 empty), its row is right-padded with id ``-1`` and score ``-inf``; use
 :func:`strip_padding` to recover the ragged per-query lists.
+
+Both indexes take a ``dtype``: ``float64`` (the default, matching training)
+or ``float32`` for the serving read path — the online server stores its item
+matrix, the coarse centroids and the request-embedding cache in ``float32``,
+halving the bytes every search streams, with top-k ids pinned unchanged on
+the Fig. 9 workload.  Queries are cast to the index dtype on entry, so
+scores come back in the index's precision.
 """
 
 from __future__ import annotations
@@ -30,6 +37,10 @@ import numpy as np
 #: Sentinel id used to right-pad batched result rows with fewer than k hits.
 PAD_ID = -1
 
+#: Below this many changed rows a scoped IVF re-assignment stays in-process
+#: even when an executor is supplied (dispatch overhead dominates).
+MIN_PARALLEL_ASSIGN_ROWS = 256
+
 
 def strip_padding(ids_row: np.ndarray, scores_row: np.ndarray
                   ) -> Tuple[np.ndarray, np.ndarray]:
@@ -38,8 +49,9 @@ def strip_padding(ids_row: np.ndarray, scores_row: np.ndarray
     return ids_row[valid], scores_row[valid]
 
 
-def _as_query_matrix(queries: np.ndarray) -> np.ndarray:
-    queries = np.asarray(queries, dtype=np.float64)
+def _as_query_matrix(queries: np.ndarray,
+                     dtype: np.dtype = np.float64) -> np.ndarray:
+    queries = np.asarray(queries, dtype=dtype)
     if queries.ndim != 2:
         raise ValueError("queries must be a 2-D (num_queries, dim) array; "
                          "use search() for a single 1-D query")
@@ -56,8 +68,10 @@ class ExactIndex:
     """Brute-force inner-product index (the recall reference)."""
 
     def __init__(self, embeddings: np.ndarray,
-                 ids: Optional[Sequence[int]] = None):
-        self.embeddings = np.asarray(embeddings, dtype=np.float64)
+                 ids: Optional[Sequence[int]] = None,
+                 dtype: np.dtype = np.float64):
+        self.dtype = np.dtype(dtype)
+        self.embeddings = np.asarray(embeddings, dtype=self.dtype)
         if self.embeddings.ndim != 2:
             raise ValueError("embeddings must be a 2-D array")
         self.ids = np.asarray(ids, dtype=np.int64) if ids is not None \
@@ -68,7 +82,7 @@ class ExactIndex:
 
     def search(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Top-k ids and scores by inner product (batch-of-one wrapper)."""
-        query = np.asarray(query, dtype=np.float64)
+        query = np.asarray(query, dtype=self.dtype)
         ids, scores, valid = self._search_batch(query[None, :], k)
         return ids[0][valid[0]], scores[0][valid[0]]
 
@@ -79,7 +93,8 @@ class ExactIndex:
         Returns ``(ids, scores)`` of shape ``(Q, min(k, n))``.  Exact search
         always has ``n`` candidates per query, so rows are never padded.
         """
-        ids, scores, _ = self._search_batch(_as_query_matrix(queries), k)
+        ids, scores, _ = self._search_batch(
+            _as_query_matrix(queries, self.dtype), k)
         return ids, scores
 
     def _search_batch(self, queries: np.ndarray, k: int
@@ -100,12 +115,14 @@ class IVFIndex:
     """Inverted-file ANN index (coarse k-means + per-cell exact search)."""
 
     def __init__(self, num_cells: int = 16, nprobe: int = 3,
-                 kmeans_iterations: int = 10, seed: int = 0):
+                 kmeans_iterations: int = 10, seed: int = 0,
+                 dtype: np.dtype = np.float64):
         if num_cells <= 0 or nprobe <= 0:
             raise ValueError("num_cells and nprobe must be positive")
         self.num_cells = num_cells
         self.nprobe = nprobe
         self.kmeans_iterations = kmeans_iterations
+        self.dtype = np.dtype(dtype)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.centroids: Optional[np.ndarray] = None
@@ -119,7 +136,7 @@ class IVFIndex:
     def build(self, embeddings: np.ndarray,
               ids: Optional[Sequence[int]] = None) -> "IVFIndex":
         """Cluster the embeddings and build the per-cell posting lists."""
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=self.dtype)
         if embeddings.ndim != 2 or embeddings.shape[0] == 0:
             raise ValueError("embeddings must be a non-empty 2-D array")
         self.embeddings = embeddings
@@ -143,7 +160,8 @@ class IVFIndex:
         return self
 
     def rebuilt(self, embeddings: np.ndarray, rows: np.ndarray,
-                ids: Optional[Sequence[int]] = None) -> "IVFIndex":
+                ids: Optional[Sequence[int]] = None,
+                executor=None) -> "IVFIndex":
         """A new index over an updated corpus, re-assigning only ``rows``.
 
         The streaming-refresh path: the coarse quantizer (k-means
@@ -155,12 +173,15 @@ class IVFIndex:
         the corpus over many updates is the standard IVF trade-off; a
         periodic full :meth:`build` re-trains them.
 
-        Returns a fresh :class:`IVFIndex` (this one keeps serving until
-        the caller swaps), sharing the frozen centroid array.
+        With an ``executor`` (a worker pool's ``map`` interface) the
+        changed rows' centroid assignment fans out across its slots;
+        assignment is row-local, so the result is bit-identical either
+        way.  Returns a fresh :class:`IVFIndex` (this one keeps serving
+        until the caller swaps), sharing the frozen centroid array.
         """
         if self.centroids is None or self.embeddings is None:
             raise RuntimeError("index not built; call build() first")
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=self.dtype)
         if embeddings.ndim != 2 or \
                 embeddings.shape[1] != self.embeddings.shape[1]:
             raise ValueError("embeddings must be 2-D with the built width")
@@ -173,7 +194,7 @@ class IVFIndex:
 
         fresh = IVFIndex(num_cells=self.num_cells, nprobe=self.nprobe,
                          kmeans_iterations=self.kmeans_iterations,
-                         seed=self._seed)
+                         seed=self._seed, dtype=self.dtype)
         fresh.centroids = self.centroids
         fresh.embeddings = embeddings
         fresh.ids = np.asarray(ids, dtype=np.int64) if ids is not None \
@@ -182,7 +203,18 @@ class IVFIndex:
         for cell, members in enumerate(self._cells):
             assignments[members] = cell
         changed = np.union1d(rows, np.arange(old_count, embeddings.shape[0]))
-        if changed.size:
+        slots = getattr(executor, "num_slots", 1) if executor is not None else 1
+        if changed.size and slots > 1 \
+                and changed.size >= MIN_PARALLEL_ASSIGN_ROWS:
+            chunks = [chunk for chunk in np.array_split(changed, slots)
+                      if chunk.size]
+            payloads = [{"embeddings": embeddings[chunk],
+                         "centroids": self.centroids} for chunk in chunks]
+            for chunk, assigned in zip(chunks,
+                                       executor.map("ivf_assign_rows",
+                                                    payloads)):
+                assignments[chunk] = assigned
+        elif changed.size:
             distances = ((embeddings[changed][:, None, :]
                           - self.centroids[None, :, :]) ** 2).sum(axis=2)
             assignments[changed] = distances.argmin(axis=1)
@@ -200,7 +232,7 @@ class IVFIndex:
         May return fewer than ``k`` results when the probed cells hold fewer
         than ``k`` items.
         """
-        query = np.asarray(query, dtype=np.float64)
+        query = np.asarray(query, dtype=self.dtype)
         ids, scores, valid = self._search_batch(query[None, :], k, nprobe)
         return ids[0][valid[0]], scores[0][valid[0]]
 
@@ -215,7 +247,8 @@ class IVFIndex:
         with ``(PAD_ID, -inf)`` on rows with fewer candidates than ``k``
         (see :func:`strip_padding`).
         """
-        ids, scores, _ = self._search_batch(_as_query_matrix(queries), k, nprobe)
+        ids, scores, _ = self._search_batch(
+            _as_query_matrix(queries, self.dtype), k, nprobe)
         return ids, scores
 
     def _search_batch(self, queries: np.ndarray, k: int,
@@ -248,9 +281,9 @@ class IVFIndex:
         width = int(ends[:, -1].max())
         if width == 0:                      # every probed cell is empty
             return (np.full((num_queries, top_k), PAD_ID, dtype=np.int64),
-                    np.full((num_queries, top_k), -np.inf),
+                    np.full((num_queries, top_k), -np.inf, dtype=self.dtype),
                     np.zeros((num_queries, top_k), dtype=bool))
-        cand_scores = np.full((num_queries, width), -np.inf)
+        cand_scores = np.full((num_queries, width), -np.inf, dtype=self.dtype)
         cand_rows = np.zeros((num_queries, width), dtype=np.int64)
         cand_valid = np.zeros((num_queries, width), dtype=bool)
 

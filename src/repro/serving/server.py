@@ -18,7 +18,9 @@ drives a whole micro-batch of ``(user, query)`` requests through four stages,
    (each stage's wall time divided by the batch size).
 
 ``serve`` is a thin batch-of-one wrapper over ``serve_batch``, so batched
-and sequential serving return identical ids, scores, and cache statistics.
+and sequential serving return identical top-k ids and cache statistics
+(scores agree to serving precision — BLAS kernels differ by ~1 ulp across
+batch shapes, which the default float32 read path makes visible).
 The per-request and per-batch service times measured here calibrate the
 :class:`~repro.serving.latency.LatencySimulator` used for the Fig. 9 sweep
 and its batch-size extension.
@@ -78,7 +80,7 @@ class OnlineServer:
                  ann_cells: int = 16, ann_nprobe: int = 3,
                  posting_length: int = 100, num_servers: int = 64,
                  use_inverted_index: bool = True, num_shards: int = 1,
-                 seed: int = 0):
+                 seed: int = 0, dtype: str = "float32"):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self.model = model
@@ -88,7 +90,14 @@ class OnlineServer:
         self.use_inverted_index = use_inverted_index
         self.item_type = model.item_node_type()
         self.query_type = model.query_node_type()
-        self._item_embeddings = model.item_embeddings()
+        #: Serving read-path precision.  ``float32`` (the default) halves
+        #: the bytes every ANN search streams over the item matrix, the
+        #: coarse centroids and the request-embedding cache; training-side
+        #: state stays float64.  Top-k ids and recall are pinned unchanged
+        #: on the Fig. 9 workload (tests/test_serving_batched.py).
+        self.dtype = np.dtype(dtype)
+        self._item_embeddings = np.asarray(model.item_embeddings(),
+                                           dtype=self.dtype)
         self.num_shards = num_shards
         self._ann_cells = ann_cells
         self._ann_nprobe = ann_nprobe
@@ -100,6 +109,8 @@ class OnlineServer:
         #: Graph version this server's caches and indexes reflect.
         self.graph_version = getattr(self.graph, "version", 0)
         self._example_user = 0
+        #: Optional multi-core engine; see :meth:`attach_parallel`.
+        self._parallel = None
 
     def _build_ann(self, item_embeddings: np.ndarray):
         """Build a fresh (optionally sharded) ANN index over the corpus.
@@ -114,10 +125,25 @@ class OnlineServer:
                 num_shards=self.num_shards,
                 index_factory=lambda embeddings, ids: IVFIndex(
                     num_cells=self._ann_cells, nprobe=self._ann_nprobe,
-                    seed=self._seed).build(embeddings, ids),
+                    seed=self._seed, dtype=self.dtype).build(embeddings, ids),
+                dtype=self.dtype,
             ).build(item_embeddings)
         return IVFIndex(num_cells=self._ann_cells, nprobe=self._ann_nprobe,
-                        seed=self._seed).build(item_embeddings)
+                        seed=self._seed, dtype=self.dtype
+                        ).build(item_embeddings)
+
+    def attach_parallel(self, engine) -> "OnlineServer":
+        """Adopt a :class:`~repro.parallel.engine.ParallelEngine`.
+
+        ``serve_batch`` then partitions each batch's ANN rows round-robin
+        across the engine's workers and merges the padded top-k blocks, and
+        :meth:`refresh` fans its scoped index rebuilds through the engine's
+        executor.  The engine exports the current index once here and again
+        after every refresh swap.
+        """
+        self._parallel = engine
+        engine.attach_index(self.ann)
+        return self
 
     # ------------------------------------------------------------------ #
     # Offline preparation
@@ -228,7 +254,8 @@ class OnlineServer:
         refreshed_items = 0
         new_items = num_items - self._item_embeddings.shape[0]
         if stale_items.size or new_items > 0:
-            embeddings = np.zeros((num_items, self._item_embeddings.shape[1]))
+            embeddings = np.zeros((num_items, self._item_embeddings.shape[1]),
+                                  dtype=self.dtype)
             embeddings[:self._item_embeddings.shape[0]] = self._item_embeddings
             rows = [int(i) for i in stale_items if i < num_items]
             rows = sorted(set(rows) | set(
@@ -236,10 +263,15 @@ class OnlineServer:
             if rows:
                 embeddings[rows] = self.model.item_embeddings(rows)
                 refreshed_items = len(rows)
+            executor = self._parallel.executor if self._parallel is not None \
+                else getattr(self.graph, "parallel_executor", None)
             fresh_ann = self.ann.rebuilt(
-                embeddings, np.asarray(rows, dtype=np.int64))
+                embeddings, np.asarray(rows, dtype=np.int64),
+                executor=executor)
             self._item_embeddings = embeddings
             self.ann = fresh_ann                      # atomic swap
+            if self._parallel is not None:
+                self._parallel.attach_index(self.ann)   # re-export for workers
         # 5. Inverted index: rebuild exactly the touched queries' postings
         #    (build_inverted_index overwrites each rebuilt key in place).
         refreshed_postings = 0
@@ -300,7 +332,8 @@ class OnlineServer:
         attention_ms = (time.perf_counter() - start) * 1000.0
 
         # Stage 3 — retrieval: inverted-index reads where possible, one
-        # shared vectorized ANN search for the rest.
+        # shared vectorized ANN search for the rest (fanned across the
+        # worker pool when a parallel engine is attached).
         start = time.perf_counter()
         item_ids: List[Optional[np.ndarray]] = [None] * batch
         scores: List[Optional[np.ndarray]] = [None] * batch
@@ -311,17 +344,22 @@ class OnlineServer:
                 [query_id for _, query_id in requests], k)
             for row, posting in enumerate(postings):
                 if posting:
-                    item_ids[row] = np.array([item for item, _ in posting],
-                                             dtype=np.int64)
-                    scores[row] = np.array([score for _, score in posting])
+                    # One array conversion per posting; column views replace
+                    # the old per-entry tuple comprehensions (ids are exact
+                    # below 2**53, so the float round-trip is lossless).
+                    pairs = np.asarray(posting, dtype=np.float64)
+                    item_ids[row] = pairs[:, 0].astype(np.int64)
+                    scores[row] = pairs[:, 1]
                     from_index[row] = True
                 else:
                     ann_rows.append(row)
         else:
             ann_rows = list(range(batch))
         if ann_rows:
-            batch_ids, batch_scores = self.ann.search_batch(
-                request_matrix[ann_rows], k)
+            searcher = (self._parallel.search_batch
+                        if self._parallel is not None
+                        else self.ann.search_batch)
+            batch_ids, batch_scores = searcher(request_matrix[ann_rows], k)
             for position, row in enumerate(ann_rows):
                 item_ids[row], scores[row] = strip_padding(
                     batch_ids[position], batch_scores[position])
@@ -340,15 +378,23 @@ class OnlineServer:
 
     def _request_embeddings(self, requests: Sequence[Tuple[int, int]]
                             ) -> np.ndarray:
-        """Stack (and memoise) the request embeddings for a batch."""
-        rows = []
-        for key in requests:
-            embedding = self._request_embedding_cache.get(key)
-            if embedding is None:
-                embedding = self.model.request_embedding(*key)
-                self._request_embedding_cache[key] = embedding
-            rows.append(embedding)
-        return np.vstack(rows)
+        """Assemble (and memoise) the request-embedding matrix for a batch.
+
+        Cache misses are resolved once per distinct key, then the whole
+        batch gathers from the memo into one pre-allocated serving-dtype
+        matrix — no per-request ``vstack`` growth, and duplicate keys in a
+        batch share one model call.
+        """
+        memo = self._request_embedding_cache
+        for key in dict.fromkeys(requests):        # distinct, order kept
+            if key not in memo:
+                memo[key] = np.asarray(self.model.request_embedding(*key),
+                                       dtype=self.dtype)
+        matrix = np.empty((len(requests), self._item_embeddings.shape[1]),
+                          dtype=self.dtype)
+        for row, key in enumerate(requests):
+            matrix[row] = memo[key]
+        return matrix
 
     # ------------------------------------------------------------------ #
     # Load testing

@@ -36,11 +36,13 @@ class ShardedIndex:
     """Partitions item embeddings across shards and merges per-shard top-k."""
 
     def __init__(self, num_shards: int = 4,
-                 index_factory: Optional[IndexFactory] = None):
+                 index_factory: Optional[IndexFactory] = None,
+                 dtype: np.dtype = np.float64):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self.num_shards = num_shards
         self.index_factory: IndexFactory = index_factory or ExactIndex
+        self.dtype = np.dtype(dtype)
         self.shards: List[object] = []
         self._shard_sizes: List[int] = []
         self._num_items = 0
@@ -59,7 +61,7 @@ class ShardedIndex:
     def build(self, embeddings: np.ndarray,
               ids: Optional[Sequence[int]] = None) -> "ShardedIndex":
         """Partition the corpus round-robin and build one index per shard."""
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=self.dtype)
         if embeddings.ndim != 2 or embeddings.shape[0] == 0:
             raise ValueError("embeddings must be a non-empty 2-D array")
         ids = np.asarray(ids, dtype=np.int64) if ids is not None \
@@ -77,7 +79,8 @@ class ShardedIndex:
         return self
 
     def rebuilt(self, embeddings: np.ndarray, rows: np.ndarray,
-                ids: Optional[Sequence[int]] = None) -> "ShardedIndex":
+                ids: Optional[Sequence[int]] = None,
+                executor=None) -> "ShardedIndex":
         """A new sharded index over an updated corpus, scoped to ``rows``.
 
         Round-robin placement is position-stable, so existing items never
@@ -85,12 +88,14 @@ class ShardedIndex:
         to; each shard index is refreshed through its own scoped
         ``rebuilt`` (frozen-centroid reassignment for IVF shards) when it
         has one, and rebuilt outright otherwise (the exact index's build is
-        just an array copy).  Returns a fresh :class:`ShardedIndex`; this
-        one keeps serving until the caller swaps it out.
+        just an array copy).  An ``executor`` is forwarded to each shard's
+        scoped rebuild, fanning the per-shard reassignment work across
+        cores.  Returns a fresh :class:`ShardedIndex`; this one keeps
+        serving until the caller swaps it out.
         """
         if not self.shards:
             raise RuntimeError("index not built; call build() first")
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=self.dtype)
         if embeddings.ndim != 2 or embeddings.shape[0] < self._num_items:
             raise ValueError("embeddings must be 2-D and cannot shrink")
         ids = np.asarray(ids, dtype=np.int64) if ids is not None \
@@ -99,7 +104,8 @@ class ShardedIndex:
         changed = np.union1d(rows, np.arange(self._num_items,
                                              embeddings.shape[0]))
         fresh = ShardedIndex(num_shards=self.num_shards,
-                             index_factory=self.index_factory)
+                             index_factory=self.index_factory,
+                             dtype=self.dtype)
         fresh._num_items = embeddings.shape[0]
         positions = np.arange(embeddings.shape[0])
         for shard, index in enumerate(self.shards):
@@ -108,7 +114,8 @@ class ShardedIndex:
                 local_rows = np.nonzero(np.isin(local, changed))[0]
                 fresh.shards.append(index.rebuilt(embeddings[local],
                                                   local_rows,
-                                                  ids=ids[local]))
+                                                  ids=ids[local],
+                                                  executor=executor))
             else:
                 fresh.shards.append(self.index_factory(embeddings[local],
                                                        ids[local]))
@@ -121,7 +128,7 @@ class ShardedIndex:
     def search(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Global top-k for one query (batch-of-one wrapper)."""
         from repro.serving.ann import strip_padding
-        query = np.asarray(query, dtype=np.float64)
+        query = np.asarray(query, dtype=self.dtype)
         ids, scores = self.search_batch(query[None, :], k)
         return strip_padding(ids[0], scores[0])
 
@@ -134,7 +141,7 @@ class ShardedIndex:
         """
         if not self.shards:
             raise RuntimeError("index not built; call build() first")
-        queries = _as_query_matrix(queries)
+        queries = _as_query_matrix(queries, self.dtype)
         num_queries = queries.shape[0]
         top_k = min(max(int(k), 0), self._num_items)
         if num_queries == 0 or top_k == 0:

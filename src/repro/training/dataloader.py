@@ -11,6 +11,15 @@ the graph engine's vectorized ``sample_subgraph_batch`` (one batched pass
 per ego type instead of a per-node sampling loop inside the model), and the
 trainer hands the resulting trees to any model exposing
 ``prime_sampled_trees``.
+
+When the presample config carries a
+:class:`~repro.parallel.engine.ParallelEngine`, subgraph materialization
+additionally *overlaps the training step*: the loader keeps a one-batch
+lookahead, submitting the next batch's shard draws to the worker pool
+before yielding the current batch, and collects them when the trainer asks
+for the next batch.  Draws are keyed per ``(seed, shard, graph version,
+batch counter)``, so the emitted trees are bit-identical for the serial and
+shared backends and for any worker count.
 """
 
 from __future__ import annotations
@@ -35,6 +44,11 @@ class PresampleConfig:
     query_type: str = "query"
     weighted: bool = True
     seed: int = 0
+    #: Optional :class:`~repro.parallel.engine.ParallelEngine`.  When set,
+    #: each batch's subgraphs are drawn shard-parallel with keyed Philox
+    #: streams and the next batch's draws overlap the current training
+    #: step (one-batch lookahead).
+    engine: Optional[object] = None
 
     def validate(self) -> None:
         if not self.fanouts or any(k <= 0 for k in self.fanouts):
@@ -89,6 +103,10 @@ class ImpressionDataLoader:
         self.presample = presample
         self._sample_rng = np.random.default_rng(
             presample.seed if presample is not None else 0)
+        #: Monotonic engine batch counter (two keyed draws per batch: user
+        #: egos, then query egos); advances deterministically with the
+        #: loader's iteration order, never with worker scheduling.
+        self._engine_batch_id = 0
         self._rng = np.random.default_rng(seed)
         self._users = np.array([e.user_id for e in self.examples], dtype=np.int64)
         self._queries = np.array([e.query_id for e in self.examples], dtype=np.int64)
@@ -115,22 +133,81 @@ class ImpressionDataLoader:
         order = np.arange(len(self.examples))
         if self.shuffle:
             self._rng.shuffle(order)
-        for start in range(0, len(order), self.batch_size):
-            index = order[start:start + self.batch_size]
-            users = self._users[index]
-            queries = self._queries[index]
-            items = self._items[index]
-            labels = self._labels[index]
-            if self.extra_negatives:
-                users, queries, items, labels = self._augment_negatives(
-                    users, queries, items, labels)
-            batch = Batch(users, queries, items, labels)
+        chunks = [order[start:start + self.batch_size]
+                  for start in range(0, len(order), self.batch_size)]
+        if self.presample is not None and self.presample.engine is not None:
+            yield from self._epoch_prefetched(chunks)
+            return
+        for index in chunks:
+            batch = self._materialize(index)
             if self.presample is not None:
                 batch.user_trees = self._presample_trees(
-                    self.presample.user_type, users)
+                    self.presample.user_type, batch.user_ids)
                 batch.query_trees = self._presample_trees(
-                    self.presample.query_type, queries)
+                    self.presample.query_type, batch.query_ids)
             yield batch
+
+    def _materialize(self, index: np.ndarray) -> Batch:
+        """Slice (and optionally negative-augment) one batch of tuples."""
+        users = self._users[index]
+        queries = self._queries[index]
+        items = self._items[index]
+        labels = self._labels[index]
+        if self.extra_negatives:
+            users, queries, items, labels = self._augment_negatives(
+                users, queries, items, labels)
+        return Batch(users, queries, items, labels)
+
+    def _epoch_prefetched(self, chunks) -> Iterator[Batch]:
+        """Engine-backed epoch with a one-batch sampling lookahead.
+
+        Batch ``i+1``'s shard draws are submitted to the engine *before*
+        batch ``i`` is yielded, so with the shared backend the workers
+        materialize the next subgraphs while the trainer runs the current
+        optimisation step.  Stream keys advance with the (deterministic)
+        submission order, so results never depend on timing.
+        """
+        engine = self.presample.engine
+        pending = []
+        try:
+            for index in chunks:
+                batch = self._materialize(index)
+                submitted = []
+                for node_type, node_ids in (
+                        (self.presample.user_type, batch.user_ids),
+                        (self.presample.query_type, batch.query_ids)):
+                    unique_ids = np.unique(node_ids)
+                    token = engine.sample_subgraph_batch_async(
+                        node_type, unique_ids, self.presample.fanouts,
+                        seed=self.presample.seed,
+                        batch_id=self._engine_batch_id,
+                        weighted=self.presample.weighted)
+                    self._engine_batch_id += 1
+                    submitted.append((unique_ids, token))
+                pending.append((batch, submitted))
+                if len(pending) > 1:
+                    yield self._finish_prefetched(engine, *pending.pop(0))
+            while pending:
+                yield self._finish_prefetched(engine, *pending.pop(0))
+        finally:
+            # An abandoned epoch (max_batches_per_epoch break, error) still
+            # consumes its in-flight lookahead so no result is stranded.
+            for _, submitted in pending:
+                for _, token in submitted:
+                    try:
+                        engine.collect(token)
+                    except Exception:   # pragma: no cover - teardown path
+                        pass
+
+    def _finish_prefetched(self, engine, batch: Batch, submitted) -> Batch:
+        """Collect a prefetched batch's subgraphs and attach the trees."""
+        trees = []
+        for unique_ids, token in submitted:
+            subgraphs = engine.collect(token)
+            trees.append({int(node_id): tree for node_id, tree
+                          in zip(unique_ids, subgraphs.to_trees())})
+        batch.user_trees, batch.query_trees = trees
+        return batch
 
     def _presample_trees(self, node_type: str,
                          node_ids: np.ndarray) -> Dict[int, SampledNode]:

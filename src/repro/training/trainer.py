@@ -104,11 +104,16 @@ class Trainer:
     """Trains and evaluates a :class:`RetrievalModel`."""
 
     def __init__(self, model: RetrievalModel,
-                 config: Optional[TrainingConfig] = None):
+                 config: Optional[TrainingConfig] = None,
+                 parallel_engine=None):
         self.model = model
         self.config = config if config is not None else TrainingConfig()
         self.config.validate()
         self.optimizer = self._build_optimizer()
+        #: Optional :class:`~repro.parallel.engine.ParallelEngine` handed to
+        #: the presampling dataloader so subgraph materialization overlaps
+        #: the optimisation step (``presample_subgraphs`` only).
+        self.parallel_engine = parallel_engine
 
     def _build_optimizer(self) -> Optimizer:
         params = self.model.parameters()
@@ -138,7 +143,8 @@ class Trainer:
             user_type=self.model.user_type,
             query_type=self.model.query_type,
             weighted=getattr(sampler, "engine_weighted", True),
-            seed=self.config.seed)
+            seed=self.config.seed,
+            engine=self.parallel_engine)
 
     # ------------------------------------------------------------------ #
     # Training

@@ -1,0 +1,647 @@
+"""Tests for the multi-core parallel execution engine (repro.parallel).
+
+The load-bearing contract: ``backend="serial"`` and ``backend="shared"``
+(any worker count) are **bit-identical** under a fixed seed — draws are
+keyed per ``(seed, shard, graph version, batch_id)`` and merged in shard
+order, so scheduling can never influence an output bit.  Lifecycle safety
+rides along: a worker crash mid-batch raises instead of hanging, and a
+closed engine leaves no shared-memory segment behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.graph.alias as alias_module
+import repro.serving.ann as ann_module
+from repro.data import SyntheticTaobaoConfig, generate_taobao_dataset
+from repro.graph import ShardedGraphStore
+from repro.graph.alias import BatchedAliasTable
+from repro.graph.update import GraphMutator
+from repro.parallel import (
+    ParallelEngine,
+    SerialExecutor,
+    SharedArray,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTaskError,
+    rng_stream,
+)
+from repro.serving.ann import IVFIndex
+from repro.serving.sharding import ShardedIndex
+
+
+def _assert_batches_equal(a, b):
+    """Two SubgraphBatches must match array-for-array."""
+    np.testing.assert_array_equal(a.ego_ids, b.ego_ids)
+    assert a.specs == b.specs
+    assert len(a.layers) == len(b.layers)
+    for la, lb in zip(a.layers, b.layers):
+        np.testing.assert_array_equal(la.parents, lb.parents)
+        np.testing.assert_array_equal(la.rel_ids, lb.rel_ids)
+        np.testing.assert_array_equal(la.node_ids, lb.node_ids)
+        np.testing.assert_array_equal(la.weights, lb.weights)
+
+
+@pytest.fixture()
+def fresh_dataset():
+    """A small dataset whose graph tests may freely mutate."""
+    config = SyntheticTaobaoConfig(
+        num_users=20, num_queries=16, num_items=40, num_categories=4,
+        sessions_per_user=3.0, clicks_per_session=3, seed=11)
+    return generate_taobao_dataset(config)
+
+
+# ---------------------------------------------------------------------- #
+# RNG streams
+# ---------------------------------------------------------------------- #
+class TestRngStream:
+    def test_same_key_same_stream(self):
+        a = rng_stream(3, 1, 0, 7).random(8)
+        b = rng_stream(3, 1, 0, 7).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_any_key_component_changes_the_stream(self):
+        base = rng_stream(3, 1, 0, 7).random(8)
+        for key in ((4, 1, 0, 7), (3, 2, 0, 7), (3, 1, 1, 7), (3, 1, 0, 8)):
+            assert not np.array_equal(base, rng_stream(*key).random(8))
+
+
+# ---------------------------------------------------------------------- #
+# Shared arrays
+# ---------------------------------------------------------------------- #
+class TestSharedArray:
+    def test_roundtrip_and_unlink(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        shared = SharedArray(data)
+        np.testing.assert_array_equal(shared.array(), data)
+        path = f"/dev/shm/{shared.name}"
+        assert os.path.exists(path)
+        shared.close()
+        assert not os.path.exists(path)
+        shared.close()   # idempotent
+
+    def test_empty_array_roundtrip(self):
+        shared = SharedArray(np.empty(0, dtype=np.int64))
+        assert shared.array().size == 0
+        shared.close()
+
+
+# ---------------------------------------------------------------------- #
+# Worker pool lifecycle
+# ---------------------------------------------------------------------- #
+class TestWorkerPool:
+    def test_map_returns_results_in_order(self):
+        with WorkerPool(2) as pool:
+            payloads = [{"value": i} for i in range(8)]
+            assert pool.map("echo", payloads) == payloads
+
+    def test_task_error_carries_remote_traceback(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerTaskError, match="KeyError"):
+                pool.map("alias_build_rows", [{"bogus": 1}])
+            # The pool survives a task error: next task still runs.
+            assert pool.map("echo", [{"ok": True}]) == [{"ok": True}]
+
+    def test_worker_crash_raises_instead_of_hanging(self):
+        pool = WorkerPool(2)
+        try:
+            tickets = [pool.submit("echo", {"v": 1}),
+                       pool.submit("crash", {"code": 3}),
+                       pool.submit("echo", {"v": 2})]
+            start = time.perf_counter()
+            with pytest.raises(WorkerCrashError, match="exited"):
+                pool.gather(tickets)
+            assert time.perf_counter() - start < 30.0
+            # A broken pool refuses further work instead of hanging too.
+            with pytest.raises(WorkerCrashError):
+                pool.submit("echo", {"v": 3})
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_stops_workers_and_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.map("echo", [{"v": 1}])
+        workers = list(pool._workers)
+        pool.shutdown()
+        assert all(not worker.is_alive() for worker in workers)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit("echo", {})
+
+    def test_unknown_task_rejected(self):
+        pool = WorkerPool(1)
+        with pytest.raises(KeyError):
+            pool.submit("no-such-task", {})
+        pool.shutdown()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        with pytest.raises(ValueError):
+            ParallelEngine(None, num_workers=0)
+        with pytest.raises(ValueError):
+            ParallelEngine(None, backend="threads")
+
+    def test_worker_cache_evicts_superseded_slot_versions(self):
+        """A re-exported slot unmaps the old view's attachments first."""
+        from repro.parallel.pool import WorkerCache
+
+        closed = []
+
+        class FakeAttachment:
+            def close(self):
+                closed.append(self)
+
+        cache = WorkerCache()
+        built = []
+        first = cache.view("slot", 1,
+                           lambda track: built.append(
+                               track(FakeAttachment())) or "v1")
+        assert first == "v1"
+        again = cache.view("slot", 1, lambda track: "never-built")
+        assert again == "v1" and not closed
+        fresh = cache.view("slot", 2, lambda track: "v2")
+        assert fresh == "v2"
+        assert closed == built
+        cache.close()
+        assert len(closed) == 1   # v2 tracked nothing
+
+
+# ---------------------------------------------------------------------- #
+# Sampling equivalence: serial == shared == any worker count
+# ---------------------------------------------------------------------- #
+class TestEngineSampling:
+    def test_serial_and_shared_backends_are_bitwise_equal(self, tiny_graph):
+        egos = np.arange(tiny_graph.num_nodes["user"])
+        serial = ParallelEngine(tiny_graph, num_workers=2, backend="serial",
+                                num_shards=4)
+        reference = serial.sample_subgraph_batch(
+            "user", egos, (4, 2), seed=5, batch_id=0)
+        np.testing.assert_array_equal(reference.ego_ids, egos)
+        assert reference.num_edges() > 0
+        for workers in (1, 2, 3):
+            with ParallelEngine(tiny_graph, num_workers=workers,
+                                backend="shared", num_shards=4) as shared:
+                batch = shared.sample_subgraph_batch(
+                    "user", egos, (4, 2), seed=5, batch_id=0)
+                _assert_batches_equal(reference, batch)
+
+    def test_default_shard_plan_is_worker_count_invariant(self, tiny_graph):
+        """Without an explicit num_shards, results must still not depend on
+        the worker count — the shard plan defaults to a fixed width."""
+        from repro.serving.ann import IVFIndex as _IVF
+
+        egos = np.arange(20)
+        queries = np.random.default_rng(4).standard_normal((17, 8))
+        index = _IVF(num_cells=4, nprobe=2, seed=0).build(
+            np.random.default_rng(5).standard_normal((60, 8)))
+        reference = None
+        for workers in (1, 2, 3):
+            engine = ParallelEngine(tiny_graph, num_workers=workers,
+                                    backend="serial")
+            engine.attach_index(index)
+            batch = engine.sample_subgraph_batch("user", egos, (3, 2),
+                                                 seed=9, batch_id=0)
+            hits = engine.search_batch(queries, k=5)
+            if reference is None:
+                reference = (batch, hits)
+                continue
+            _assert_batches_equal(reference[0], batch)
+            np.testing.assert_array_equal(reference[1][0], hits[0])
+            np.testing.assert_array_equal(reference[1][1], hits[1])
+
+    def test_keys_separate_batches_and_seeds(self, tiny_graph):
+        engine = ParallelEngine(tiny_graph, num_workers=2, backend="serial",
+                                num_shards=4)
+        egos = np.arange(10)
+        one = engine.sample_subgraph_batch("user", egos, (4, 2), seed=5,
+                                           batch_id=0)
+        same = engine.sample_subgraph_batch("user", egos, (4, 2), seed=5,
+                                            batch_id=0)
+        other_batch = engine.sample_subgraph_batch("user", egos, (4, 2),
+                                                   seed=5, batch_id=1)
+        other_seed = engine.sample_subgraph_batch("user", egos, (4, 2),
+                                                  seed=6, batch_id=0)
+        _assert_batches_equal(one, same)
+        assert not np.array_equal(one.layers[0].node_ids,
+                                  other_batch.layers[0].node_ids)
+        assert not np.array_equal(one.layers[0].node_ids,
+                                  other_seed.layers[0].node_ids)
+
+    def test_empty_ego_batch(self, tiny_graph):
+        engine = ParallelEngine(tiny_graph, num_workers=2, backend="serial")
+        batch = engine.sample_subgraph_batch("user", [], (3, 2), seed=0,
+                                             batch_id=0)
+        assert len(batch) == 0 and batch.layers == []
+
+    def test_trees_keep_input_ego_order(self, tiny_graph):
+        engine = ParallelEngine(tiny_graph, num_workers=3, backend="serial",
+                                num_shards=5)
+        egos = np.array([9, 2, 17, 4, 11])
+        batch = engine.sample_subgraph_batch("user", egos, (3, 2), seed=1,
+                                             batch_id=0)
+        trees = batch.to_trees()
+        assert [tree.node_id for tree in trees] == egos.tolist()
+        assert all(tree.node_type == "user" for tree in trees)
+
+    def test_streaming_update_moves_the_stream_and_the_export(
+            self, fresh_dataset):
+        graph = fresh_dataset.graph
+        egos = np.arange(12)
+        with ParallelEngine(graph, num_workers=2, backend="shared",
+                            num_shards=3) as shared:
+            serial = ParallelEngine(graph, num_workers=2, backend="serial",
+                                    num_shards=3)
+            before = shared.sample_subgraph_batch("user", egos, (3, 2),
+                                                  seed=2, batch_id=0)
+            GraphMutator(graph, seed=0).apply_sessions(
+                [(1, 2, [3, 5]), (4, 0, [7])])
+            after_shared = shared.sample_subgraph_batch(
+                "user", egos, (3, 2), seed=2, batch_id=0)
+            after_serial = serial.sample_subgraph_batch(
+                "user", egos, (3, 2), seed=2, batch_id=0)
+            # Same key, new graph version: a fresh stream over the fresh
+            # snapshot, still bit-identical across backends.
+            _assert_batches_equal(after_shared, after_serial)
+            assert not np.array_equal(before.layers[0].node_ids,
+                                      after_shared.layers[0].node_ids)
+
+
+# ---------------------------------------------------------------------- #
+# Serving-side search equivalence
+# ---------------------------------------------------------------------- #
+class TestEngineSearch:
+    @pytest.fixture()
+    def corpus(self):
+        rng = np.random.default_rng(3)
+        return rng.standard_normal((200, 16))
+
+    @pytest.mark.parametrize("build_index", [
+        lambda corpus: IVFIndex(num_cells=8, nprobe=3, seed=0,
+                                dtype=np.float32).build(corpus),
+        lambda corpus: ShardedIndex(
+            num_shards=3,
+            index_factory=lambda e, i: IVFIndex(
+                num_cells=4, nprobe=2, seed=0,
+                dtype=np.float32).build(e, i),
+            dtype=np.float32).build(corpus),
+    ])
+    def test_shared_search_matches_serial_bitwise(self, tiny_graph, corpus,
+                                                  build_index):
+        queries = np.random.default_rng(9).standard_normal((23, 16))
+        index = build_index(corpus)
+        serial = ParallelEngine(tiny_graph, num_workers=2, backend="serial")
+        serial.attach_index(index)
+        reference_ids, reference_scores = serial.search_batch(queries, k=7)
+        assert reference_ids.shape == (23, 7)
+        with ParallelEngine(tiny_graph, num_workers=2,
+                            backend="shared") as shared:
+            shared.attach_index(index)
+            ids, scores = shared.search_batch(queries, k=7)
+        np.testing.assert_array_equal(reference_ids, ids)
+        np.testing.assert_array_equal(reference_scores, scores)
+
+    def test_search_requires_an_attached_index(self, tiny_graph):
+        engine = ParallelEngine(tiny_graph, num_workers=2, backend="serial")
+        with pytest.raises(RuntimeError, match="attach_index"):
+            engine.search_batch(np.zeros((2, 4)), k=3)
+
+
+# ---------------------------------------------------------------------- #
+# Scoped rebuilds through an executor
+# ---------------------------------------------------------------------- #
+def _weighted_csr(rng, num_rows=400, avg_degree=6):
+    degrees = rng.integers(1, avg_degree * 2, size=num_rows)
+    indptr = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+    weights = rng.random(int(indptr[-1])) + 0.05
+    return indptr, weights
+
+
+class TestExecutorScopedRebuilds:
+    def test_alias_rebuild_with_executor_is_bitwise_equal(self, monkeypatch):
+        monkeypatch.setattr(alias_module, "MIN_PARALLEL_REBUILD_ROWS", 1)
+        rng = np.random.default_rng(0)
+        indptr, weights = _weighted_csr(rng)
+        base = BatchedAliasTable(indptr, weights)
+        new_weights = weights.copy()
+        touched = rng.choice(indptr.size - 1, size=60, replace=False)
+        for row in touched:
+            new_weights[indptr[row]:indptr[row + 1]] += rng.random(
+                int(indptr[row + 1] - indptr[row]))
+        plain = base.rebuilt(indptr, new_weights, touched)
+        serial = base.rebuilt(indptr, new_weights, touched,
+                              executor=SerialExecutor(3))
+        np.testing.assert_array_equal(plain._prob, serial._prob)
+        np.testing.assert_array_equal(plain._alias, serial._alias)
+        with WorkerPool(2) as pool:
+            pooled = base.rebuilt(indptr, new_weights, touched, executor=pool)
+        np.testing.assert_array_equal(plain._prob, pooled._prob)
+        np.testing.assert_array_equal(plain._alias, pooled._alias)
+
+    def test_ivf_rebuild_with_executor_is_bitwise_equal(self, monkeypatch):
+        monkeypatch.setattr(ann_module, "MIN_PARALLEL_ASSIGN_ROWS", 1)
+        rng = np.random.default_rng(1)
+        corpus = rng.standard_normal((150, 8))
+        index = IVFIndex(num_cells=6, nprobe=2, seed=0,
+                         dtype=np.float32).build(corpus)
+        grown = np.vstack([corpus, rng.standard_normal((30, 8))])
+        rows = rng.choice(150, size=40, replace=False)
+        plain = index.rebuilt(grown, rows)
+        serial = index.rebuilt(grown, rows, executor=SerialExecutor(3))
+        with WorkerPool(2) as pool:
+            pooled = index.rebuilt(grown, rows, executor=pool)
+        for fresh in (serial, pooled):
+            assert len(fresh._cells) == len(plain._cells)
+            for a, b in zip(plain._cells, fresh._cells):
+                np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------- #
+# ShardedGraphStore integration
+# ---------------------------------------------------------------------- #
+class TestShardedStoreParallel:
+    def test_parallel_sampling_keeps_accounting_and_equivalence(
+            self, tiny_graph):
+        serial_store = ShardedGraphStore(tiny_graph, num_shards=4, seed=17)
+        serial_store.attach_parallel(ParallelEngine(
+            tiny_graph, num_workers=2, backend="serial",
+            partitioner=serial_store.partitioner))
+        egos = np.arange(16)
+        reference = serial_store.sample_subgraph_batch(
+            "user", egos, (3, 2), seed=3, batch_id=0)
+        assert sum(s.requests for s in serial_store.server_stats()) > 0
+
+        shared_store = ShardedGraphStore(tiny_graph, num_shards=4, seed=17)
+        with ParallelEngine(tiny_graph, num_workers=2, backend="shared",
+                            partitioner=shared_store.partitioner) as engine:
+            shared_store.attach_parallel(engine)
+            batch = shared_store.sample_subgraph_batch(
+                "user", egos, (3, 2), seed=3, batch_id=0)
+        _assert_batches_equal(reference, batch)
+        assert ([s.requests for s in serial_store.server_stats()]
+                == [s.requests for s in shared_store.server_stats()])
+
+    def test_rng_path_still_works_without_seed(self, tiny_graph):
+        store = ShardedGraphStore(tiny_graph, num_shards=2, seed=17)
+        store.attach_parallel(ParallelEngine(tiny_graph, num_workers=2,
+                                             backend="serial"))
+        batch = store.sample_subgraph_batch(
+            "user", np.arange(4), (3, 2), rng=np.random.default_rng(0))
+        assert len(batch) == 4
+
+    def test_engine_must_wrap_the_same_graph(self, tiny_graph, fresh_dataset):
+        store = ShardedGraphStore(tiny_graph, num_shards=2)
+        with pytest.raises(ValueError, match="different graph"):
+            store.attach_parallel(ParallelEngine(fresh_dataset.graph,
+                                                 num_workers=1,
+                                                 backend="serial"))
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle: no leaked /dev/shm segments, workers die with the engine
+# ---------------------------------------------------------------------- #
+class TestEngineLifecycle:
+    def test_close_releases_every_shared_block(self, tiny_graph):
+        engine = ParallelEngine(tiny_graph, num_workers=2, backend="shared",
+                                num_shards=2)
+        engine.sample_subgraph_batch("user", np.arange(8), (3, 2), seed=0,
+                                     batch_id=0)
+        engine.attach_index(IVFIndex(num_cells=4, nprobe=2, seed=0).build(
+            np.random.default_rng(0).standard_normal((50, 8))))
+        names = engine.block_names
+        assert names, "expected graph and index exports"
+        assert all(os.path.exists(f"/dev/shm/{name}") for name in names)
+        workers = list(engine._pool._workers)
+        engine.close()
+        assert not any(os.path.exists(f"/dev/shm/{name}") for name in names)
+        assert all(not worker.is_alive() for worker in workers)
+        engine.close()   # idempotent
+
+    def test_serial_backend_owns_no_shared_memory(self, tiny_graph):
+        engine = ParallelEngine(tiny_graph, num_workers=2, backend="serial")
+        engine.sample_subgraph_batch("user", np.arange(4), (3, 2), seed=0,
+                                     batch_id=0)
+        assert engine.block_names == []
+        engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# Prefetched presampling dataloader
+# ---------------------------------------------------------------------- #
+class TestPrefetchedDataloader:
+    def _loader(self, graph, engine, examples):
+        from repro.graph.schema import NodeType
+        from repro.training.dataloader import (
+            ImpressionDataLoader,
+            PresampleConfig,
+        )
+        return ImpressionDataLoader(
+            examples, batch_size=16, shuffle=True, seed=4,
+            presample=PresampleConfig(graph=graph, fanouts=(3, 2),
+                                      user_type=NodeType.USER,
+                                      query_type=NodeType.QUERY,
+                                      seed=8, engine=engine))
+
+    def test_prefetched_epoch_is_backend_invariant(self, tiny_dataset):
+        graph = tiny_dataset.graph
+        examples = tiny_dataset.impressions[:80]
+        serial_engine = ParallelEngine(graph, num_workers=2,
+                                       backend="serial", num_shards=3)
+        serial_batches = list(self._loader(graph, serial_engine,
+                                           examples).epoch())
+        with ParallelEngine(graph, num_workers=2, backend="shared",
+                            num_shards=3) as shared_engine:
+            shared_batches = list(self._loader(graph, shared_engine,
+                                               examples).epoch())
+        assert len(serial_batches) == len(shared_batches) > 1
+        for a, b in zip(serial_batches, shared_batches):
+            np.testing.assert_array_equal(a.user_ids, b.user_ids)
+            np.testing.assert_array_equal(a.labels, b.labels)
+            assert a.has_presampled_subgraphs
+            assert set(a.user_trees) == set(b.user_trees) \
+                == set(np.unique(a.user_ids))
+            for node_id in a.user_trees:
+                ta, tb = a.user_trees[node_id], b.user_trees[node_id]
+                assert _tree_signature(ta) == _tree_signature(tb)
+
+    def test_prefetched_batches_match_unprefetched_tuples(self, tiny_dataset):
+        graph = tiny_dataset.graph
+        examples = tiny_dataset.impressions[:48]
+        plain = list(self._loader(graph, None, examples).epoch())
+        engine = ParallelEngine(graph, num_workers=2, backend="serial")
+        prefetched = list(self._loader(graph, engine, examples).epoch())
+        assert len(plain) == len(prefetched)
+        for a, b in zip(plain, prefetched):
+            np.testing.assert_array_equal(a.user_ids, b.user_ids)
+            np.testing.assert_array_equal(a.query_ids, b.query_ids)
+            np.testing.assert_array_equal(a.item_ids, b.item_ids)
+            np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def _tree_signature(tree):
+    """Hashable structural fingerprint of a sampled tree."""
+    return (tree.node_type, tree.node_id,
+            tuple(sorted((str(spec), child.node_id, weight,
+                          _tree_signature(child))
+                         for spec, child, weight in tree.children)))
+
+
+# ---------------------------------------------------------------------- #
+# Spec + pipeline integration
+# ---------------------------------------------------------------------- #
+def _parallel_spec(num_workers, backend):
+    from repro.api import (
+        DataSpec,
+        ExperimentSpec,
+        ModelSpec,
+        ParallelSpec,
+        ServingSpec,
+        TrainSpec,
+    )
+    return ExperimentSpec(
+        dataset=DataSpec(params={"scale": "million"}, max_train_examples=120,
+                         max_test_examples=0),
+        model=ModelSpec(name="GraphSAGE", embedding_dim=8, fanouts=(3, 2)),
+        training=TrainSpec(epochs=1, batch_size=32, max_batches_per_epoch=3,
+                           presample_subgraphs=True, seed=0),
+        serving=ServingSpec(ann_cells=4, warm_users=8, warm_queries=8),
+        parallel=ParallelSpec(num_workers=num_workers, backend=backend),
+        seed=0)
+
+
+class TestSpecAndPipeline:
+    def test_spec_validation(self):
+        from repro.api import ExperimentSpec, ParallelSpec, ServingSpec
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentSpec(parallel=ParallelSpec(num_workers=1,
+                                                 backend="threads")).validate()
+        with pytest.raises(ValueError, match="num_workers"):
+            ExperimentSpec(parallel=ParallelSpec(num_workers=-1)).validate()
+        with pytest.raises(ValueError, match="dtype"):
+            ExperimentSpec(serving=ServingSpec(dtype="float16")).validate()
+        spec = ExperimentSpec(parallel=ParallelSpec(num_workers=2,
+                                                    backend="shared"))
+        assert spec.validate() is spec
+        roundtrip = ExperimentSpec.from_dict(spec.to_dict())
+        assert roundtrip.parallel == spec.parallel
+
+    def test_spec_backends_match_engine_backends(self):
+        from repro.parallel.engine import BACKENDS
+        assert BACKENDS == ("serial", "shared")
+
+    def test_pipeline_backends_are_equivalent_end_to_end(self):
+        from repro.api import Pipeline
+        requests = [(u, q) for u, q in zip(range(8), range(2, 10))]
+        results = {}
+        for backend in ("serial", "shared"):
+            with Pipeline(_parallel_spec(2, backend)) as pipeline:
+                server = pipeline.deploy()
+                served = server.serve_batch(requests, k=5)
+                ingest = pipeline.ingest(
+                    [(2, 3, [5, 9]), (6, 1, [2]), (0, 4, [11, 3, 8])])
+                after = server.serve_batch(requests, k=5)
+                results[backend] = {
+                    "losses": pipeline.result.epoch_losses,
+                    "version": ingest.graph_version,
+                    "edges": pipeline.graph.total_edges,
+                    "served_ids": [r.item_ids for r in served],
+                    "served_scores": [r.scores for r in served],
+                    "after_ids": [r.item_ids for r in after],
+                }
+        serial, shared = results["serial"], results["shared"]
+        assert serial["losses"] == shared["losses"]
+        assert serial["version"] == shared["version"]
+        assert serial["edges"] == shared["edges"]
+        for key in ("served_ids", "after_ids"):
+            for a, b in zip(serial[key], shared[key]):
+                np.testing.assert_array_equal(a, b)
+        for a, b in zip(serial["served_scores"], shared["served_scores"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_pipeline_without_workers_has_no_engine(self):
+        from repro.api import Pipeline
+        pipeline = Pipeline(_parallel_spec(0, "serial"))
+        assert pipeline.parallel_engine() is None
+        pipeline.close()   # no-op
+
+
+# ---------------------------------------------------------------------- #
+# float32 serving read path (satellite pin)
+# ---------------------------------------------------------------------- #
+class TestServingDtype:
+    def test_float32_pins_topk_ids_and_recall(self, tiny_dataset):
+        """The fig9-style workload: float32 must not move ids or recall."""
+        from repro.core import ZoomerConfig, ZoomerModel
+        from repro.serving import OnlineServer
+
+        model = ZoomerModel(tiny_dataset.graph,
+                            ZoomerConfig(embedding_dim=8, fanouts=(4, 2),
+                                         seed=0))
+        servers = {
+            dtype: OnlineServer(model, cache_capacity=16, ann_cells=8,
+                                ann_nprobe=3, use_inverted_index=False,
+                                dtype=dtype)
+            for dtype in ("float32", "float64")}
+        requests = [(u % 12, (3 * u + 1) % 10) for u in range(32)]
+        for dtype, server in servers.items():
+            server.warm_caches(range(12), range(10))
+            assert server._item_embeddings.dtype == np.dtype(dtype)
+            assert server.ann.centroids.dtype == np.dtype(dtype)
+        r32 = servers["float32"].serve_batch(requests, k=10)
+        r64 = servers["float64"].serve_batch(requests, k=10)
+        for a, b in zip(r32, r64):
+            np.testing.assert_array_equal(a.item_ids, b.item_ids)
+            np.testing.assert_allclose(a.scores, b.scores, rtol=1e-5)
+        assert all(e.dtype == np.float32
+                   for e in servers["float32"]
+                   ._request_embedding_cache.values())
+        recall32 = servers["float32"].ann.recall_at_k(
+            servers["float32"]._item_embeddings[:16], k=10)
+        recall64 = servers["float64"].ann.recall_at_k(
+            servers["float64"]._item_embeddings[:16], k=10)
+        assert recall32 == recall64
+
+
+# ---------------------------------------------------------------------- #
+# serve_batch assembly vectorization (satellite pin)
+# ---------------------------------------------------------------------- #
+class TestServeBatchAssemblyPin:
+    def test_vectorized_assembly_is_bit_identical_to_reference(
+            self, tiny_dataset):
+        """Posting -> array conversion and the request-embedding matrix
+        must match the per-entry reference loops bit for bit."""
+        from repro.core import ZoomerConfig, ZoomerModel
+        from repro.serving import OnlineServer
+
+        model = ZoomerModel(tiny_dataset.graph,
+                            ZoomerConfig(embedding_dim=8, fanouts=(4, 2),
+                                         seed=0))
+        server = OnlineServer(model, cache_capacity=16, ann_cells=8,
+                              ann_nprobe=3)
+        server.prepare(range(12), range(10))
+        requests = [(u % 12, q % 10) for u, q in zip(range(20), range(3, 23))]
+        results = server.serve_batch(requests, k=6)
+
+        # Reference posting assembly: the pre-vectorization per-entry loop.
+        postings = server.inverted_index._postings
+        for result in results:
+            if not result.from_inverted_index:
+                continue
+            posting = postings[result.query_id][:6]
+            np.testing.assert_array_equal(
+                result.item_ids,
+                np.array([item for item, _ in posting], dtype=np.int64))
+            np.testing.assert_array_equal(
+                result.scores, np.array([score for _, score in posting]))
+
+        # Reference request-embedding assembly: per-key vstack.
+        reference = np.vstack([
+            np.asarray(model.request_embedding(*key), dtype=server.dtype)
+            for key in requests])
+        np.testing.assert_array_equal(server._request_embeddings(requests),
+                                      reference)

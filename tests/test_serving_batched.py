@@ -357,7 +357,11 @@ class TestServeBatchEquivalence:
         for one, many in zip(sequential, batched):
             assert (one.user_id, one.query_id) == (many.user_id, many.query_id)
             np.testing.assert_array_equal(one.item_ids, many.item_ids)
-            np.testing.assert_allclose(one.scores, many.scores)
+            # Ids are exact; scores agree at serving precision (float32 BLAS
+            # kernels differ by ~1 ulp between batch shapes, as float64 ones
+            # did below the old tolerance).
+            np.testing.assert_allclose(one.scores, many.scores,
+                                       rtol=3e-6, atol=1e-7)
             assert one.from_inverted_index == many.from_inverted_index
         # Cache and index statistics deltas must match exactly.
         assert sequential_server.cache.stats == batched_server.cache.stats
@@ -374,7 +378,8 @@ class TestServeBatchEquivalence:
         [result] = server.serve_batch([(0, 1)], k=5)
         again = server.serve(0, 1, k=5)
         np.testing.assert_array_equal(result.item_ids, again.item_ids)
-        np.testing.assert_allclose(result.scores, again.scores)
+        np.testing.assert_allclose(result.scores, again.scores,
+                                   rtol=3e-6, atol=1e-7)
 
     def test_queued_refreshes_applied_before_batch(self, model):
         server = self._server(model)
