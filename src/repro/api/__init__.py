@@ -51,8 +51,8 @@ from repro.api.registry import (
     register_sampler,
 )
 
-_SPEC_EXPORTS = ("DataSpec", "ExperimentSpec", "ModelSpec", "ParallelSpec",
-                 "ServingSpec", "StreamingSpec", "TrainSpec")
+_SPEC_EXPORTS = ("DataSpec", "ExperimentSpec", "LifecycleSpec", "ModelSpec",
+                 "ParallelSpec", "ServingSpec", "StreamingSpec", "TrainSpec")
 _PIPELINE_EXPORTS = ("IngestReport", "Pipeline", "PipelineError")
 
 __all__ = [

@@ -60,6 +60,12 @@ class IngestReport:
     invalidated_cache_keys: int = 0
     #: Inverted-index postings rebuilt by the refreshes.
     refreshed_postings: int = 0
+    #: Lifecycle compaction passes that changed the graph.
+    compactions: int = 0
+    #: Nodes tombstoned by compaction across the ingest.
+    evicted_nodes: int = 0
+    #: Edges removed by compaction (pruning + eviction fallout).
+    removed_edges: int = 0
     #: The graph's version stamp after the ingest.
     graph_version: int = 0
 
@@ -81,6 +87,8 @@ class Pipeline:
         self.result: Optional[TrainingResult] = None
         self.server: Optional[OnlineServer] = None
         self._mutator: Optional[GraphMutator] = None
+        #: Lazily created when ``spec.lifecycle.enabled``.
+        self._compactor: Any = None
         self._parallel: Any = None
         #: Merged delta of updates a deployed server has not absorbed yet
         #: (accumulated by ``ingest(refresh=False)``, consumed by the next
@@ -260,6 +268,10 @@ class Pipeline:
         self.parallel_engine()   # activates graph.parallel_executor, if any
         if self._mutator is None:
             self._mutator = GraphMutator(self.graph, seed=self.spec.seed)
+        lifecycle = self.spec.lifecycle
+        if lifecycle.enabled and self._compactor is None:
+            from repro.graph.lifecycle import GraphCompactor
+            self._compactor = GraphCompactor(self.graph, lifecycle)
         streaming = self.spec.streaming
         report = IngestReport(graph_version=self.graph.version)
         chunk = None          # merged delta since the last flush point
@@ -275,6 +287,15 @@ class Pipeline:
                 report.new_nodes[node_type] = \
                     report.new_nodes.get(node_type, 0) + int(ids.size)
             chunk = delta if chunk is None else chunk.merge(delta)
+            if self._compactor is not None:
+                self._compactor.observe(batch, delta)
+                if report.micro_batches % lifecycle.compact_every == 0:
+                    compaction = self._compactor.compact()
+                    if compaction is not None:
+                        report.compactions += 1
+                        report.evicted_nodes += compaction.num_evicted()
+                        report.removed_edges += compaction.removed_edges
+                        chunk = chunk.merge(compaction)
 
         def _flush() -> None:
             """Propagate the accumulated chunk at a cadence point.

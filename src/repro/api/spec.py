@@ -107,6 +107,57 @@ class StreamingSpec:
 
 
 @dataclass
+class LifecycleSpec:
+    """Graph-lifecycle knobs: time decay, TTL eviction, windowed compaction.
+
+    With ``enabled=True`` the pipeline attaches a
+    :class:`~repro.graph.lifecycle.GraphCompactor` to its ingest loop and
+    runs a compaction pass every ``compact_every`` micro-batches.  Each
+    pass applies exponential edge-weight decay (``half_life``), prunes
+    edges whose decayed weight fell under the effective floor (see
+    :meth:`weight_floor`), tombstones nodes idle longer than ``node_ttl``
+    and — when ``max_memory_bytes`` is set and exceeded — evicts the
+    longest-idle nodes until the graph fits again.  All times are in the
+    same unit as the session ``timestamp`` fields (seconds in the shipped
+    datasets).  Disabled (the default) the streaming path is byte-for-byte
+    the old append-only behaviour.
+    """
+
+    #: Master switch; ``False`` keeps the append-only streaming path.
+    enabled: bool = False
+    #: Edge-weight half-life in timestamp units (``0`` disables decay).
+    half_life: float = 0.0
+    #: Explicit weight floor: decayed edges below it are pruned
+    #: (``0`` defers to the ``edge_ttl``-derived floor).
+    min_weight: float = 0.0
+    #: Edge time-to-live: an edge not reinforced for this long decays past
+    #: the derived floor and is pruned (``0`` disables; needs ``half_life``).
+    edge_ttl: float = 0.0
+    #: Node time-to-live: nodes with no activity for this long are
+    #: tombstoned (``0`` disables node eviction).
+    node_ttl: float = 0.0
+    #: Compaction cadence, counted in ingest micro-batches.
+    compact_every: int = 4
+    #: Soft memory budget for the graph (CSR + alias tables, bytes);
+    #: ``0`` disables budget-pressure eviction.
+    max_memory_bytes: int = 0
+
+    def weight_floor(self) -> float:
+        """The effective pruning threshold a compaction pass uses.
+
+        An explicit ``min_weight`` wins; otherwise ``edge_ttl`` is
+        translated into the weight a unit edge decays to after sitting
+        idle for one TTL (``0.5 ** (edge_ttl / half_life)``), so "prune
+        edges older than X" needs no per-edge timestamps.
+        """
+        if self.min_weight > 0.0:
+            return self.min_weight
+        if self.edge_ttl > 0.0 and self.half_life > 0.0:
+            return float(0.5 ** (self.edge_ttl / self.half_life))
+        return 0.0
+
+
+@dataclass
 class ServingSpec:
     """Online-serving knobs; mirrors the ``OnlineServer`` constructor."""
 
@@ -160,6 +211,7 @@ class ExperimentSpec:
     training: TrainSpec = field(default_factory=TrainSpec)
     serving: ServingSpec = field(default_factory=ServingSpec)
     streaming: StreamingSpec = field(default_factory=StreamingSpec)
+    lifecycle: LifecycleSpec = field(default_factory=LifecycleSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
     seed: int = 0
 
@@ -177,7 +229,8 @@ class ExperimentSpec:
             raise ValueError("spec must be a mapping")
         sections = {"dataset": DataSpec, "model": ModelSpec,
                     "training": TrainSpec, "serving": ServingSpec,
-                    "streaming": StreamingSpec, "parallel": ParallelSpec}
+                    "streaming": StreamingSpec, "lifecycle": LifecycleSpec,
+                    "parallel": ParallelSpec}
         unknown = sorted(set(data) - set(sections) - {"seed"})
         if unknown:
             raise ValueError(f"unknown spec section(s) {unknown}; known "
@@ -275,6 +328,23 @@ class ExperimentSpec:
             raise ValueError("streaming.micro_batch_size must be at least 1")
         if self.streaming.refresh_every < 1:
             raise ValueError("streaming.refresh_every must be at least 1")
+
+        lifecycle = self.lifecycle
+        for attr in ("half_life", "min_weight", "edge_ttl", "node_ttl"):
+            if getattr(lifecycle, attr) < 0:
+                raise ValueError(f"lifecycle.{attr} must be non-negative")
+        if lifecycle.max_memory_bytes < 0:
+            raise ValueError("lifecycle.max_memory_bytes must be non-negative")
+        if lifecycle.enabled:
+            if lifecycle.compact_every < 1:
+                raise ValueError(
+                    "lifecycle.compact_every must be at least 1 when enabled")
+            if lifecycle.edge_ttl > 0.0 and lifecycle.half_life <= 0.0 \
+                    and lifecycle.min_weight <= 0.0:
+                raise ValueError(
+                    "lifecycle.edge_ttl needs lifecycle.half_life (the TTL is "
+                    "translated into a decayed-weight floor) or an explicit "
+                    "lifecycle.min_weight")
 
         if serving.dtype not in ("float32", "float64"):
             raise ValueError(

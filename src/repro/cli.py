@@ -35,6 +35,7 @@ import numpy as np
 from repro.api import (
     DataSpec,
     ExperimentSpec,
+    LifecycleSpec,
     ModelSpec,
     ParallelSpec,
     Pipeline,
@@ -169,6 +170,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         serving=ServingSpec(ann_cells=8, warm_users=20, warm_queries=20),
         streaming=StreamingSpec(micro_batch_size=args.micro_batch_size,
                                 refresh_every=args.refresh_every),
+        lifecycle=LifecycleSpec(
+            enabled=args.half_life > 0 or args.node_ttl > 0,
+            half_life=args.half_life, edge_ttl=args.edge_ttl,
+            node_ttl=args.node_ttl, compact_every=args.compact_every),
         parallel=_parallel_from_args(args),
         seed=args.seed)
     with _pipeline_or_exit(spec) as pipeline:
@@ -189,6 +194,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
              "value": ingest.invalidated_cache_keys},
             {"measurement": "postings refreshed",
              "value": ingest.refreshed_postings},
+            {"measurement": "compaction passes", "value": ingest.compactions},
+            {"measurement": "nodes evicted", "value": ingest.evicted_nodes},
+            {"measurement": "edges removed", "value": ingest.removed_edges},
             {"measurement": "graph version", "value": ingest.graph_version},
             {"measurement": "events/second", "value": round(
                 report.events_per_second, 1)},
@@ -286,6 +294,18 @@ def build_parser() -> argparse.ArgumentParser:
                                help="sessions per applied graph update")
     ingest_parser.add_argument("--refresh-every", type=int, default=2,
                                help="server refresh cadence in micro-batches")
+    ingest_parser.add_argument("--half-life", type=float, default=0.0,
+                               help="edge-weight half-life in timestamp "
+                                    "units; >0 enables lifecycle compaction "
+                                    "(decay + TTL pruning) during the replay")
+    ingest_parser.add_argument("--edge-ttl", type=float, default=0.0,
+                               help="prune edges not reinforced for this "
+                                    "long (needs --half-life)")
+    ingest_parser.add_argument("--node-ttl", type=float, default=0.0,
+                               help="tombstone nodes idle for this long; >0 "
+                                    "enables lifecycle compaction")
+    ingest_parser.add_argument("--compact-every", type=int, default=4,
+                               help="compaction cadence in micro-batches")
     ingest_parser.set_defaults(func=_cmd_ingest)
 
     motivation_parser = subparsers.add_parser(

@@ -26,6 +26,11 @@ from repro.data.movielens import (
     generate_movielens_dataset,
 )
 from repro.data.splits import train_test_split_examples
+from repro.data.temporal import (
+    TemporalLogDataset,
+    build_temporal_log_dataset,
+    generate_temporal_sessions,
+)
 
 __all__ = [
     "SearchSession",
@@ -40,4 +45,7 @@ __all__ = [
     "MovieLensDataset",
     "generate_movielens_dataset",
     "train_test_split_examples",
+    "TemporalLogDataset",
+    "build_temporal_log_dataset",
+    "generate_temporal_sessions",
 ]

@@ -1,0 +1,131 @@
+"""Temporal session logs: a drifting, timestamped stream for lifecycle tests.
+
+The graph-lifecycle subsystem (decay, TTL eviction, windowed compaction) only
+matters on a stream whose *interest distribution moves*: items go out of
+fashion, users churn, new cohorts arrive.  The MGTCOM-style temporal session
+logs surveyed in SNIPPETS.md (Enron / Weibo / Digg) have exactly this shape;
+this module generates a synthetic stand-in with the same structural
+properties:
+
+* every session carries a real ``timestamp``, spread uniformly over a
+  configurable ``horizon``;
+* the *active cohort* of users and items slides forward over time — a node
+  is hot for a contiguous time window and then (almost) never interacted
+  with again, so node-TTL eviction has genuine dead weight to reclaim;
+* queries follow the item cohort (a query's popular items move with it), so
+  posting lists and ANN cells drift too.
+
+The registry dataset ``temporal-logs`` builds the usual retrieval graph from
+the *warm prefix* of the stream (first ``warm_fraction`` of events, the part
+a deployment would have batch-ingested before going live) and exposes the
+tail as :attr:`TemporalLogDataset.replay_sessions` — the live stream
+``benchmarks/bench_graph_lifecycle.py`` replays against a deployed pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.api.registry import register_dataset
+from repro.data.logs import (
+    BehaviorLogDataset,
+    SearchSession,
+    build_behavior_log_dataset,
+    split_sessions_at,
+)
+
+
+@dataclass
+class TemporalLogDataset:
+    """A behavior-log graph plus the timestamped tail left to replay."""
+
+    #: Retrieval graph built from the warm prefix of the stream.
+    graph: "HeteroGraph"  # noqa: F821 - built by the logs factory
+    #: The warm-prefix sessions the graph was built from.
+    sessions: List[SearchSession]
+    #: Labelled impressions of the warm prefix (training examples).
+    impressions: List
+    #: The stream tail: timestamped sessions to replay against the live
+    #: pipeline (time-ordered; later ids may be cold-start nodes).
+    replay_sessions: List[SearchSession]
+    #: Total time span of the generated stream.
+    horizon: float
+
+
+def generate_temporal_sessions(num_users: int = 60, num_items: int = 120,
+                               num_queries: int = 24,
+                               num_sessions: int = 600,
+                               horizon: float = 1000.0,
+                               cohort_fraction: float = 0.3,
+                               clicks_per_session: int = 3,
+                               seed: int = 0) -> List[SearchSession]:
+    """Generate a drifting, timestamped session stream.
+
+    At stream progress ``p`` (0 at the start, 1 at the horizon) the active
+    cohort is the contiguous ``cohort_fraction`` slice of the user / item /
+    query id spaces starting at ``p * (1 - cohort_fraction)`` — ids below
+    it have gone cold, ids above it have not arrived yet.  Sessions draw
+    their user, query and clicked items from the current cohort, so every
+    node's activity is confined to one time window of the stream.
+    """
+    if not 0.0 < cohort_fraction <= 1.0:
+        raise ValueError("cohort_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    timestamps = np.sort(rng.uniform(0.0, horizon, size=num_sessions))
+
+    def _cohort(count: int, progress: float) -> tuple:
+        width = max(1, int(count * cohort_fraction))
+        start = int(progress * (count - width))
+        return start, start + width
+
+    sessions: List[SearchSession] = []
+    for ts in timestamps:
+        progress = ts / horizon
+        u_lo, u_hi = _cohort(num_users, progress)
+        q_lo, q_hi = _cohort(num_queries, progress)
+        i_lo, i_hi = _cohort(num_items, progress)
+        clicks = rng.integers(i_lo, i_hi,
+                              size=rng.integers(1, clicks_per_session + 1))
+        sessions.append(SearchSession(
+            user_id=int(rng.integers(u_lo, u_hi)),
+            query_id=int(rng.integers(q_lo, q_hi)),
+            clicked_items=tuple(int(i) for i in np.unique(clicks)),
+            timestamp=float(ts)))
+    return sessions
+
+
+@register_dataset("temporal-logs", examples_attr="impressions")
+def build_temporal_log_dataset(num_users: int = 60, num_items: int = 120,
+                               num_queries: int = 24,
+                               num_sessions: int = 600,
+                               horizon: float = 1000.0,
+                               cohort_fraction: float = 0.3,
+                               clicks_per_session: int = 3,
+                               warm_fraction: float = 0.3,
+                               feature_dim: int = 16,
+                               negatives_per_positive: int = 2,
+                               seed: int = 0) -> TemporalLogDataset:
+    """Registry factory: drifting session stream split into warm + replay.
+
+    The warm prefix (first ``warm_fraction`` of events by timestamp) is fed
+    through the ``behavior-logs`` builder — same graph rules, same labelled
+    impressions — and the tail is kept as ``replay_sessions`` for the
+    streaming benchmarks.  Ids that only appear in the tail are *not* in
+    the built graph; replaying creates them as cold-start nodes, which is
+    exactly the arrival side of the churn the lifecycle must absorb.
+    """
+    sessions = generate_temporal_sessions(
+        num_users=num_users, num_items=num_items, num_queries=num_queries,
+        num_sessions=num_sessions, horizon=horizon,
+        cohort_fraction=cohort_fraction,
+        clicks_per_session=clicks_per_session, seed=seed)
+    warm, tail = split_sessions_at(sessions, warm_fraction)
+    base: BehaviorLogDataset = build_behavior_log_dataset(
+        warm, feature_dim=feature_dim,
+        negatives_per_positive=negatives_per_positive, seed=seed)
+    return TemporalLogDataset(graph=base.graph, sessions=base.sessions,
+                              impressions=base.impressions,
+                              replay_sessions=list(tail), horizon=horizon)

@@ -23,6 +23,10 @@ package provides the laptop-scale equivalent:
   :class:`GraphUpdate` / :class:`GraphDelta` micro-batches applied through
   :meth:`HeteroGraph.apply_updates` with alias rebuilds scoped to the
   touched rows, and :class:`GraphMutator` turning raw sessions into updates.
+* :mod:`~repro.graph.lifecycle` — the shrink side of streaming:
+  :class:`GraphCompactor` turns the spec's decay / TTL / memory-budget
+  knobs into windowed compaction updates, so a continuously fed graph
+  stays bounded instead of growing forever.
 """
 
 from repro.graph.schema import EdgeType, GraphSchema, NodeType
@@ -34,6 +38,7 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.partition import HashPartitioner, ShardedGraphStore
 from repro.graph.features import FeatureStore
 from repro.graph.update import GraphDelta, GraphMutator, GraphUpdate
+from repro.graph.lifecycle import GraphCompactor
 
 __all__ = [
     "NodeType",
@@ -56,4 +61,5 @@ __all__ = [
     "GraphDelta",
     "GraphMutator",
     "GraphUpdate",
+    "GraphCompactor",
 ]

@@ -273,6 +273,73 @@ class Relation:
                                                   touched, executor=executor)
         return touched
 
+    def scale_weights(self, factor: float) -> None:
+        """Multiply every edge weight by ``factor`` in place (time decay).
+
+        The cached :class:`BatchedAliasTable` stays valid **without a
+        rebuild**: alias tables normalise each row's weights to
+        probabilities, so a uniform scale divides straight back out —
+        sampling is bit-identical before and after.  This is what makes
+        exponential decay O(E) array arithmetic instead of an O(E) alias
+        reconstruction.
+        """
+        self.weights *= float(factor)
+
+    def removal_keep_mask(self, src: np.ndarray,
+                          dst: np.ndarray) -> np.ndarray:
+        """Boolean keep-mask over the CSR edges dropping the given pairs.
+
+        Pairs not present in the relation are ignored (idempotent
+        removal).  Only the named rows' segments are scanned, keeping the
+        cost proportional to the removal batch.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        keep = np.ones(self.indices.size, dtype=bool)
+        if src.size == 0:
+            return keep
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        for row in np.unique(src):
+            if row < 0 or row >= self.num_src:
+                continue
+            start, stop = self.indptr[row], self.indptr[row + 1]
+            lo = np.searchsorted(src, row, side="left")
+            hi = np.searchsorted(src, row, side="right")
+            keep[start:stop] &= ~np.isin(self.indices[start:stop],
+                                         dst[lo:hi])
+        return keep
+
+    def filter_edges(self, keep: np.ndarray, executor=None) -> np.ndarray:
+        """Drop every edge whose ``keep`` entry is False, in one re-pack.
+
+        The shrink twin of :meth:`apply_updates`: the CSR arrays are
+        compacted with one boolean gather, and the cached alias tables are
+        rebuilt **scoped to the rows that lost edges** — untouched rows'
+        finished slices are carried over by
+        :meth:`BatchedAliasTable.rebuilt` exactly as on the append path.
+        Returns the sorted rows whose edges changed.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != self.indices.shape:
+            raise ValueError("keep mask must have one entry per edge")
+        removed = np.nonzero(~keep)[0]
+        if removed.size == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = np.searchsorted(self.indptr, removed, side="right") - 1
+        touched = np.unique(rows)
+        new_counts = np.diff(self.indptr) \
+            - np.bincount(rows, minlength=self.num_src)
+        old_alias = self._alias_batch
+        self.indptr = np.concatenate(
+            ([0], np.cumsum(new_counts))).astype(np.int64)
+        self.indices = self.indices[keep]
+        self.weights = self.weights[keep]
+        if old_alias is not None:
+            self._alias_batch = old_alias.rebuilt(
+                self.indptr, self.weights, touched, executor=executor)
+        return touched
+
     def sample_neighbors_batch(self, node_ids: Sequence[int], k: int,
                                rng: Optional[np.random.Generator] = None,
                                weighted: bool = True,
@@ -563,36 +630,112 @@ class HeteroGraph:
     # Streaming updates
     # ------------------------------------------------------------------ #
     def apply_updates(self, update: GraphUpdate) -> GraphDelta:
-        """Absorb a micro-batch of new nodes and edges into the live graph.
+        """Absorb a micro-batch of changes — growth *and* shrink — atomically.
 
-        The streaming write path: node features are appended, every
-        affected CSR relation re-packs its arrays with one vectorized copy
-        (:meth:`Relation.apply_updates`; repeated ``(src, dst)`` pairs
-        accumulate weight like the offline builder), and alias-table
-        construction — the expensive per-row part — runs **scoped to the
-        touched rows only**.  Cached union adjacencies are not rebuilt
-        here: the superseded adjacency is stashed and the next sampling
-        access rebuilds it lazily with the untouched rows' alias slices
-        carried over, amortizing the structural copy across a stream of
-        micro-batches.  An empty update is a strict no-op: no structure is
-        rebuilt, the version stamp does not move, and sampling stays
-        bit-identical.
+        The streaming write path, applied in a fixed order:
 
-        Returns a :class:`GraphDelta` naming the new version and exactly
-        which nodes had their out-neighborhoods changed — the invalidation
-        set for the serving caches.
+        1. **decay** — every relation's weights are rescaled in place; no
+           alias rebuild (per-row normalisation cancels a uniform scale),
+        2. **shrink** — evictions, explicit pair removals and
+           weight-threshold pruning fold into one keep-mask filter per
+           relation (:meth:`Relation.filter_edges`), which re-packs the
+           CSR and rebuilds alias tables scoped to the rows that lost
+           edges,
+        3. **growth** — node features are appended and every affected
+           relation re-packs with one vectorized copy
+           (:meth:`Relation.apply_updates`; repeated ``(src, dst)`` pairs
+           accumulate weight like the offline builder), alias construction
+           again scoped to the touched rows only.
+
+        Cached union adjacencies are not rebuilt here: the superseded
+        adjacency is stashed and the next sampling access rebuilds it
+        lazily with the untouched rows' alias slices carried over,
+        amortizing the structural copy across a stream of micro-batches.
+        An empty update is a strict no-op: no structure is rebuilt, the
+        version stamp does not move, and sampling stays bit-identical.
+        Validation runs before anything mutates, so a bad id in any part
+        of the update leaves the graph untouched.
+
+        Returns a :class:`GraphDelta` naming the new version, exactly
+        which nodes had their out-neighborhoods changed (the invalidation
+        set for the serving caches) and which nodes were tombstoned (the
+        subset serving must drop rather than re-warm).
         """
         self._require_finalized()
         if update.is_empty():
             return GraphDelta(version=self.version)
         self._validate_update(update)
 
+        touched: Dict[str, np.ndarray] = {}
+
+        def _touch(node_type: str, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            existing = touched.get(node_type)
+            touched[node_type] = np.unique(rows) if existing is None \
+                else np.union1d(existing, rows)
+
+        # Lifecycle phase 1 — decay: one uniform in-place rescale of every
+        # relation's weights.  Alias tables normalise per row, so the scale
+        # divides back out and **no alias rebuild happens**; cached union
+        # adjacencies (live and stashed) are rescaled in place so their
+        # sampled weight values stay consistent with the relations.
+        decay = float(update.decay)
+        if decay != 1.0:
+            for relation in self.relations.values():
+                relation.scale_weights(decay)
+            for adjacency in self._typed_adjacency_cache.values():
+                adjacency.weights *= decay
+            for old, _rows in self._typed_adjacency_stale.values():
+                old.weights *= decay
+
+        # Lifecycle phase 2 — shrink: evictions, explicit pair removals and
+        # weight-threshold pruning combine into ONE keep-mask filter pass
+        # per relation (one re-pack, one scoped alias rebuild).
+        removed_edges = 0
+        evicted = {node_type: np.unique(ids)
+                   for node_type, ids in update.evictions.items() if ids.size}
+        if evicted or update.removals or update.prune_below > 0.0:
+            for spec, relation in self.relations.items():
+                keep: Optional[np.ndarray] = None
+                if update.prune_below > 0.0 and relation.num_edges:
+                    keep = relation.weights >= update.prune_below
+                dead_src = evicted.get(spec.src_type)
+                if dead_src is not None:
+                    rows = dead_src[dead_src < relation.num_src]
+                    degrees = relation.indptr[rows + 1] - relation.indptr[rows]
+                    if degrees.sum():
+                        flat = np.repeat(relation.indptr[rows], degrees) \
+                            + segment_offsets(degrees)[1]
+                        if keep is None:
+                            keep = np.ones(relation.num_edges, dtype=bool)
+                        keep[flat] = False
+                dead_dst = evicted.get(spec.dst_type)
+                if dead_dst is not None and relation.num_edges:
+                    alive = ~np.isin(relation.indices, dead_dst)
+                    keep = alive if keep is None else keep & alive
+                pairs = update.removals.get(spec)
+                if pairs is not None:
+                    mask = relation.removal_keep_mask(pairs[0], pairs[1])
+                    keep = mask if keep is None else keep & mask
+                if keep is None or keep.all():
+                    continue
+                edges_before = relation.num_edges
+                rows = relation.filter_edges(keep,
+                                             executor=self.parallel_executor)
+                removed_edges += edges_before - relation.num_edges
+                _touch(spec.src_type, rows)
+            # Evicted nodes are touched by definition — their neighborhoods
+            # are now empty — even when they had no out-edges left, so the
+            # serving layer drops their cache entries and postings.
+            for node_type, ids in evicted.items():
+                _touch(node_type, ids)
+
         added_nodes: Dict[str, np.ndarray] = {}
         for node_type, features in update.nodes.items():
             if features.shape[0]:
                 added_nodes[node_type] = self.add_nodes(node_type, features)
 
-        touched: Dict[str, np.ndarray] = {}
         num_new_edges = 0
         for spec, (src, dst, weights) in update.edges.items():
             if spec not in self.relations:
@@ -611,9 +754,7 @@ class HeteroGraph:
             # Count genuinely appended edges; incoming edges folded into
             # weight bumps on existing pairs reconcile with total_edges.
             num_new_edges += relation.num_edges - edges_before
-            existing = touched.get(spec.src_type)
-            touched[spec.src_type] = rows if existing is None \
-                else np.union1d(existing, rows)
+            _touch(spec.src_type, rows)
 
         # Grow the row space of relations whose source type gained nodes but
         # received no edges (their indptr must still cover the new ids).
@@ -644,7 +785,9 @@ class HeteroGraph:
         self.version += 1
         return GraphDelta(version=self.version, touched=touched,
                           added_nodes=added_nodes,
-                          num_new_edges=num_new_edges)
+                          num_new_edges=num_new_edges,
+                          removed_edges=removed_edges,
+                          evicted=evicted, decay=decay)
 
     def _validate_update(self, update: GraphUpdate) -> None:
         """Reject an invalid update before anything is mutated.
@@ -655,6 +798,31 @@ class HeteroGraph:
         cannot leave earlier relations mutated behind an unmoved version
         stamp and stale adjacency caches.
         """
+        if not (update.decay > 0.0) or not np.isfinite(update.decay):
+            raise ValueError("update.decay must be positive and finite")
+        if update.prune_below < 0.0 or not np.isfinite(update.prune_below):
+            raise ValueError(
+                "update.prune_below must be non-negative and finite")
+        for node_type, ids in update.evictions.items():
+            if node_type not in self.schema.node_types:
+                raise KeyError(f"unknown node type {node_type!r} in evictions")
+            if ids.ndim != 1:
+                raise ValueError(
+                    f"eviction ids for {node_type!r} must be 1-D")
+            if ids.size and (ids.min() < 0
+                             or ids.max() >= self.num_nodes[node_type]):
+                raise IndexError(
+                    f"eviction id out of range for {node_type!r}: "
+                    f"max={ids.max()}, num_nodes={self.num_nodes[node_type]}")
+        for spec, (src, dst) in update.removals.items():
+            for node_type in (spec.src_type, spec.dst_type):
+                if node_type not in self.schema.node_types:
+                    raise KeyError(f"unknown node type {node_type!r} in "
+                                   f"removal relation {spec}")
+            if src.ndim != 1 or src.shape != dst.shape:
+                raise ValueError(
+                    f"removal src/dst must be 1-D arrays of equal length "
+                    f"for relation {spec}")
         prospective = dict(self.num_nodes)
         for node_type, features in update.nodes.items():
             if node_type not in self.schema.node_types:
@@ -838,11 +1006,27 @@ class HeteroGraph:
                                             rng, weighted=weighted,
                                             replace=replace)
 
-    def memory_bytes(self) -> int:
-        """Approximate resident size of features + adjacency (for Fig. 4a)."""
+    def memory_bytes(self, include_alias: bool = False) -> int:
+        """Approximate resident size of features + adjacency (for Fig. 4a).
+
+        ``include_alias=True`` also counts the built per-row alias tables
+        (relation-level and cached unions) — the accounting the lifecycle
+        benchmark uses to pin bounded steady-state memory, since alias
+        storage scales with the edge count too.
+        """
         total = sum(feat.nbytes for feat in self.features.values())
         for rel in self.relations.values():
             total += rel.indptr.nbytes + rel.indices.nbytes + rel.weights.nbytes
+            if include_alias and rel._alias_batch is not None:
+                total += rel._alias_batch._prob.nbytes \
+                    + rel._alias_batch._alias.nbytes
+        if include_alias:
+            for adjacency in self._typed_adjacency_cache.values():
+                total += adjacency.indptr.nbytes + adjacency.indices.nbytes \
+                    + adjacency.weights.nbytes + adjacency.rel_local.nbytes
+                if adjacency._alias_batch is not None:
+                    total += adjacency._alias_batch._prob.nbytes \
+                        + adjacency._alias_batch._alias.nbytes
         return total
 
     def summary(self) -> Dict[str, object]:

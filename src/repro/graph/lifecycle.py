@@ -1,0 +1,222 @@
+"""Graph lifecycle: time decay, TTL eviction and windowed compaction.
+
+The paper's deployment serves a *continuously fed* behavior graph.  Append-only
+streaming (the PR 4/5 write path) makes that graph grow without bound: memory
+rises monotonically and long-dead edges keep their full weight in the alias
+tables, distorting neighbor sampling forever.  This module closes the loop —
+:class:`GraphCompactor` watches the ingest stream's timestamps and, on the
+cadence :class:`~repro.api.spec.LifecycleSpec` declares, emits one shrinking
+:class:`~repro.graph.update.GraphUpdate` that
+
+* **decays** every edge weight by ``0.5 ** (elapsed / half_life)`` — an O(E)
+  in-place multiply; per-row alias normalisation means *zero* alias rebuilds;
+* **prunes** edges whose decayed weight fell under the spec's
+  :meth:`~repro.api.spec.LifecycleSpec.weight_floor` (the edge-TTL contract:
+  an edge not reinforced for one TTL has decayed past the floor);
+* **tombstones** nodes idle longer than ``node_ttl`` — and, under a
+  ``max_memory_bytes`` budget, the longest-idle nodes beyond it — keeping
+  their feature/embedding rows so id-aligned trained state stays valid;
+* returns the applied :class:`~repro.graph.update.GraphDelta` so the caller
+  can merge it into the stream's pending delta and the serving layer can
+  drop exactly the evicted postings/cache entries/ANN rows.
+
+Time is whatever unit the session ``timestamp`` fields use; sessions without
+timestamps leave the clock alone, so purely logical streams only ever compact
+under an explicit memory budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.update import GraphDelta, GraphUpdate
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.api.spec import LifecycleSpec
+    from repro.graph.hetero_graph import HeteroGraph
+
+#: Largest fraction of a node type evicted by one budget-pressure pass.
+#: Bounds the serving-layer churn a single compaction can cause.
+MAX_PRESSURE_EVICT_FRACTION = 0.25
+
+
+def _session_timestamp(session) -> float:
+    """Best-effort timestamp of one session (objects or raw tuples)."""
+    ts = getattr(session, "timestamp", None)
+    if ts is None and isinstance(session, (tuple, list)) and len(session) > 3:
+        ts = session[3]
+    try:
+        return float(ts) if ts is not None else 0.0
+    except (TypeError, ValueError):
+        return 0.0
+
+
+class GraphCompactor:
+    """Tracks per-node activity and emits windowed compaction updates.
+
+    One compactor is bound to one live :class:`HeteroGraph` (the pipeline
+    creates it lazily when ``spec.lifecycle.enabled``).  Feed it every
+    applied micro-batch through :meth:`observe`; call :meth:`compact` on
+    the spec's cadence.  The compactor never mutates the graph outside
+    :meth:`compact`, and a pass that finds nothing to do returns ``None``
+    without bumping the graph version — the strict no-op contract the
+    bit-identity tests pin.
+    """
+
+    def __init__(self, graph: "HeteroGraph", spec: "LifecycleSpec",
+                 now: float = 0.0):
+        self.graph = graph
+        self.spec = spec
+        #: The stream clock: the largest session timestamp observed.
+        self.now = float(now)
+        #: Clock value the last decay pass brought the weights up to.
+        self._decay_anchor = float(now)
+        # node_type -> last-active timestamp per node id (grown lazily).
+        self._last_active: Dict[str, np.ndarray] = {
+            node_type: np.full(count, self.now)
+            for node_type, count in graph.num_nodes.items()}
+        # node_type -> "currently tombstoned" flag per node id.  Guards
+        # against re-evicting an already-empty node every pass.
+        self._evicted: Dict[str, np.ndarray] = {
+            node_type: np.zeros(count, dtype=bool)
+            for node_type, count in graph.num_nodes.items()}
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def _grow_to_graph(self) -> None:
+        """Extend the per-node books to the graph's current node counts."""
+        for node_type, count in self.graph.num_nodes.items():
+            active = self._last_active.get(
+                node_type, np.empty(0, dtype=np.float64))
+            if active.size < count:
+                grown = np.full(count, self.now)
+                grown[:active.size] = active
+                self._last_active[node_type] = grown
+            evicted = self._evicted.get(node_type, np.empty(0, dtype=bool))
+            if evicted.size < count:
+                grown_mask = np.zeros(count, dtype=bool)
+                grown_mask[:evicted.size] = evicted
+                self._evicted[node_type] = grown_mask
+
+    def observe(self, sessions: Iterable, delta: GraphDelta) -> None:
+        """Record one applied micro-batch: advance the clock, mark activity.
+
+        ``sessions`` is the micro-batch that produced ``delta`` (used only
+        for its timestamps); ``delta`` names the nodes whose neighborhoods
+        changed.  Touched and appended nodes become active *now*, and any
+        previously tombstoned node among them is alive again.
+        """
+        for session in sessions:
+            ts = _session_timestamp(session)
+            if ts > self.now:
+                self.now = ts
+        self._grow_to_graph()
+        for node_type in set(delta.touched) | set(delta.added_nodes):
+            ids = np.union1d(delta.touched_ids(node_type),
+                             delta.added_ids(node_type))
+            ids = ids[ids < self._last_active[node_type].size]
+            self._last_active[node_type][ids] = self.now
+            self._evicted[node_type][ids] = False
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+    def _ttl_evictions(self) -> Dict[str, np.ndarray]:
+        """Node ids per type whose idle time exceeds ``node_ttl``."""
+        if self.spec.node_ttl <= 0.0:
+            return {}
+        out: Dict[str, np.ndarray] = {}
+        for node_type, active in self._last_active.items():
+            idle = self.now - active
+            dead = np.nonzero((idle > self.spec.node_ttl)
+                              & ~self._evicted[node_type])[0]
+            if dead.size:
+                out[node_type] = dead
+        return out
+
+    def _pressure_evictions(self, already: Dict[str, np.ndarray]
+                            ) -> Dict[str, np.ndarray]:
+        """Longest-idle nodes to evict when the memory budget is exceeded.
+
+        The budget is soft: the pass evicts up to
+        :data:`MAX_PRESSURE_EVICT_FRACTION` of each type's *live* nodes,
+        proportional to how far over budget the graph is, oldest-idle
+        first.  Repeated passes converge instead of one pass mass-evicting.
+        """
+        budget = self.spec.max_memory_bytes
+        if budget <= 0:
+            return {}
+        used = self.graph.memory_bytes(include_alias=True)
+        if used <= budget:
+            return {}
+        fraction = min(MAX_PRESSURE_EVICT_FRACTION, 1.0 - budget / used)
+        out: Dict[str, np.ndarray] = {}
+        for node_type, active in self._last_active.items():
+            live = ~self._evicted[node_type]
+            taken = already.get(node_type)
+            if taken is not None and taken.size:
+                live = live.copy()
+                live[taken] = False
+            live_ids = np.nonzero(live)[0]
+            count = int(live_ids.size * fraction)
+            if count <= 0:
+                continue
+            idle_order = np.argsort(active[live_ids], kind="stable")
+            out[node_type] = np.sort(live_ids[idle_order[:count]])
+        return out
+
+    def build_update(self) -> GraphUpdate:
+        """The compaction :class:`GraphUpdate` one pass would apply now."""
+        self._grow_to_graph()
+        update = GraphUpdate()
+        if self.spec.half_life > 0.0 and self.now > self._decay_anchor:
+            elapsed = self.now - self._decay_anchor
+            update.scale_weights(0.5 ** (elapsed / self.spec.half_life))
+        floor = self.spec.weight_floor()
+        if floor > 0.0:
+            update.prune_edges_below(floor)
+        evictions = self._ttl_evictions()
+        for node_type, ids in self._pressure_evictions(evictions).items():
+            taken = evictions.get(node_type)
+            evictions[node_type] = ids if taken is None \
+                else np.union1d(taken, ids)
+        for node_type, ids in evictions.items():
+            update.evict_nodes(node_type, ids)
+        return update
+
+    def compact(self) -> Optional[GraphDelta]:
+        """Run one compaction pass; ``None`` when there is nothing to do.
+
+        Applies the built update through
+        :meth:`HeteroGraph.apply_updates
+        <repro.graph.hetero_graph.HeteroGraph.apply_updates>` (scoped alias
+        rebuilds only), advances the decay anchor and flags the evicted
+        nodes so they are not re-evicted while tombstoned.
+        """
+        update = self.build_update()
+        if update.is_empty():
+            return None
+        delta = self.graph.apply_updates(update)
+        if update.decay != 1.0:
+            self._decay_anchor = self.now
+        for node_type, ids in delta.evicted.items():
+            self._evicted[node_type][ids] = True
+        return delta
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def evicted_counts(self) -> Dict[str, int]:
+        """node_type -> number of currently tombstoned nodes."""
+        return {node_type: int(mask.sum())
+                for node_type, mask in self._evicted.items() if mask.any()}
+
+    def idle_seconds(self, node_type: str,
+                     node_ids: Sequence[int]) -> np.ndarray:
+        """Idle time (now - last activity) for the given nodes."""
+        self._grow_to_graph()
+        ids = np.asarray(node_ids, dtype=np.int64)
+        return self.now - self._last_active[node_type][ids]

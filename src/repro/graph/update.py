@@ -5,7 +5,9 @@ user interaction logs; a graph served online must absorb new edges without a
 full rebuild.  This module is the write path of that streaming subsystem:
 
 * :class:`GraphUpdate` — one micro-batch of changes (new nodes per type, new
-  weighted edges per relation), the unit
+  weighted edges per relation, plus the shrink side of the lifecycle: edge
+  removals, node evictions, uniform weight decay and weight-threshold
+  pruning), the unit
   :meth:`~repro.graph.hetero_graph.HeteroGraph.apply_updates` consumes.
 * :class:`GraphDelta` — the receipt of an applied update: the graph's new
   version stamp plus exactly which source nodes had their out-neighborhoods
@@ -33,15 +35,58 @@ if TYPE_CHECKING:   # pragma: no cover - typing only, avoids an import cycle
     from repro.graph.hetero_graph import HeteroGraph
 
 
+def _as_edge_endpoints(src: Sequence[int], dst: Sequence[int]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Coerce and validate one ``(src, dst)`` endpoint pair.
+
+    Rejects non-1-D input explicitly: a 2-D src/dst pair of matching shape
+    would otherwise pass the length check and corrupt CSR packing
+    downstream.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.ndim != 1 or dst.ndim != 1:
+        raise ValueError(
+            f"src and dst must be 1-D arrays of node ids, got shapes "
+            f"{src.shape} and {dst.shape}")
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same length")
+    return src, dst
+
+
 @dataclass
 class GraphUpdate:
-    """One micro-batch of graph changes: appended nodes and weighted edges."""
+    """One micro-batch of graph changes.
+
+    An update can grow the graph (appended nodes and weighted edges) *and*
+    shrink it: explicit ``(src, dst)`` edge removals, whole-node evictions
+    (tombstoning — feature and embedding rows stay so trained state keeps
+    its alignment, but every incident edge is dropped in both directions),
+    a uniform multiplicative weight ``decay``, and a ``prune_below``
+    threshold that drops edges whose decayed weight has fallen under it.
+    :meth:`HeteroGraph.apply_updates <repro.graph.hetero_graph.HeteroGraph.apply_updates>`
+    applies the pieces in a fixed order: decay -> prune / evict / remove
+    (one combined filter pass per relation) -> node appends -> edge
+    appends.  Removals therefore target the pre-append state, and edges
+    appended by the same update are never decayed or pruned by it.
+    """
 
     #: node_type -> ``(count, feature_dim)`` feature rows to append.
     nodes: Dict[str, np.ndarray] = field(default_factory=dict)
     #: relation -> ``(src, dst, weight)`` arrays of edges to append.
     edges: Dict[RelationSpec, Tuple[np.ndarray, np.ndarray, np.ndarray]] = \
         field(default_factory=dict)
+    #: relation -> ``(src, dst)`` arrays of existing edges to delete.
+    removals: Dict[RelationSpec, Tuple[np.ndarray, np.ndarray]] = \
+        field(default_factory=dict)
+    #: node_type -> ids to tombstone (all incident edges removed).
+    evictions: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Multiplicative factor applied to every existing edge weight (time
+    #: decay).  ``1.0`` means no decay.
+    decay: float = 1.0
+    #: Edges whose (decayed) weight falls strictly below this are dropped.
+    #: ``0.0`` disables pruning.
+    prune_below: float = 0.0
 
     def add_nodes(self, node_type: str, features: np.ndarray) -> "GraphUpdate":
         """Queue new nodes of ``node_type`` with dense ``features``."""
@@ -49,6 +94,10 @@ class GraphUpdate:
         if features.ndim != 2:
             raise ValueError("features must be 2-D (num_nodes, feature_dim)")
         existing = self.nodes.get(node_type)
+        if existing is not None and existing.shape[1] != features.shape[1]:
+            raise ValueError(
+                f"feature width mismatch for {node_type!r}: queued blocks "
+                f"have {existing.shape[1]} columns, got {features.shape[1]}")
         self.nodes[node_type] = features if existing is None \
             else np.vstack([existing, features])
         return self
@@ -58,10 +107,7 @@ class GraphUpdate:
                   weights: Optional[Sequence[float]] = None,
                   symmetric: bool = False) -> "GraphUpdate":
         """Queue new edges for ``spec`` (optionally also the reverse edges)."""
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        if src.shape != dst.shape:
-            raise ValueError("src and dst must have the same length")
+        src, dst = _as_edge_endpoints(src, dst)
         weights = np.ones(src.size) if weights is None \
             else np.asarray(weights, dtype=np.float64)
         if weights.shape != src.shape:
@@ -77,15 +123,76 @@ class GraphUpdate:
             self.add_edges(spec.reverse(), dst, src, weights, symmetric=False)
         return self
 
+    def remove_edges(self, spec: RelationSpec, src: Sequence[int],
+                     dst: Sequence[int],
+                     symmetric: bool = False) -> "GraphUpdate":
+        """Queue existing ``(src, dst)`` pairs of ``spec`` for deletion.
+
+        Removal is idempotent: pairs not present in the graph when the
+        update is applied are silently skipped, so replaying a removal
+        twice is safe.
+        """
+        src, dst = _as_edge_endpoints(src, dst)
+        existing = self.removals.get(spec)
+        if existing is None:
+            self.removals[spec] = (src, dst)
+        else:
+            self.removals[spec] = (np.concatenate([existing[0], src]),
+                                   np.concatenate([existing[1], dst]))
+        if symmetric:
+            self.remove_edges(spec.reverse(), dst, src, symmetric=False)
+        return self
+
+    def evict_nodes(self, node_type: str,
+                    node_ids: Sequence[int]) -> "GraphUpdate":
+        """Queue nodes for eviction (tombstoning).
+
+        Every edge incident to an evicted node — its own out-edges and all
+        in-edges pointing at it — is removed; the node's feature row (and
+        any model embedding row) is kept so id-aligned trained state stays
+        valid.  Appending edges to the id later revives the node.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.ndim != 1:
+            raise ValueError("node_ids must be a 1-D array of node ids")
+        existing = self.evictions.get(node_type)
+        merged = node_ids if existing is None \
+            else np.concatenate([existing, node_ids])
+        self.evictions[node_type] = np.unique(merged)
+        return self
+
+    def scale_weights(self, factor: float) -> "GraphUpdate":
+        """Queue a uniform weight decay (factors compose multiplicatively)."""
+        factor = float(factor)
+        if not (factor > 0.0) or not np.isfinite(factor):
+            raise ValueError("decay factor must be positive and finite")
+        self.decay *= factor
+        return self
+
+    def prune_edges_below(self, min_weight: float) -> "GraphUpdate":
+        """Queue pruning of edges whose decayed weight is below ``min_weight``."""
+        min_weight = float(min_weight)
+        if min_weight < 0.0 or not np.isfinite(min_weight):
+            raise ValueError("min_weight must be non-negative and finite")
+        self.prune_below = max(self.prune_below, min_weight)
+        return self
+
     @property
     def num_new_edges(self) -> int:
         """Total number of queued edges across all relations."""
         return sum(int(src.size) for src, _, _ in self.edges.values())
 
+    def shrinks(self) -> bool:
+        """True when the update can remove edges (removals/evictions/pruning)."""
+        return bool(self.removals) \
+            or any(ids.size for ids in self.evictions.values()) \
+            or self.prune_below > 0.0
+
     def is_empty(self) -> bool:
-        """True when the update carries neither nodes nor edges."""
+        """True when the update changes nothing at all."""
         return not any(f.shape[0] for f in self.nodes.values()) \
-            and self.num_new_edges == 0
+            and self.num_new_edges == 0 and not self.shrinks() \
+            and self.decay == 1.0
 
 
 @dataclass(frozen=True)
@@ -105,11 +212,22 @@ class GraphDelta:
     added_nodes: Dict[str, np.ndarray] = field(default_factory=dict)
     #: Total number of edges appended.
     num_new_edges: int = 0
+    #: Total number of edges removed (explicit removals + pruning + the
+    #: incident edges of evicted nodes).
+    removed_edges: int = 0
+    #: node_type -> sorted ids tombstoned by the update.  Evicted ids are
+    #: also listed in ``touched`` (their neighborhoods changed to empty);
+    #: this names the subset the serving layer must *drop* rather than
+    #: re-warm.
+    evicted: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Product of the uniform weight-decay factors the update applied.
+    decay: float = 1.0
 
     def is_empty(self) -> bool:
         """True when nothing changed (the empty-update no-op case)."""
         return not self.touched and not self.added_nodes \
-            and self.num_new_edges == 0
+            and not self.evicted and self.num_new_edges == 0 \
+            and self.removed_edges == 0 and self.decay == 1.0
 
     def touched_ids(self, node_type: str) -> np.ndarray:
         """Sorted ids of ``node_type`` whose out-neighborhood changed."""
@@ -119,8 +237,22 @@ class GraphDelta:
         """Ids of ``node_type`` nodes appended by this update."""
         return self.added_nodes.get(node_type, np.empty(0, dtype=np.int64))
 
+    def evicted_ids(self, node_type: str) -> np.ndarray:
+        """Sorted ids of ``node_type`` tombstoned by this update."""
+        return self.evicted.get(node_type, np.empty(0, dtype=np.int64))
+
+    def num_evicted(self) -> int:
+        """Total nodes tombstoned across all types."""
+        return sum(int(ids.size) for ids in self.evicted.values())
+
     def touched_keys(self) -> Iterable[Tuple[str, int]]:
-        """Iterate the ``(node_type, node_id)`` cache keys to invalidate."""
+        """Iterate the ``(node_type, node_id)`` cache keys to invalidate.
+
+        Compatibility wrapper: consumers that can take whole id arrays
+        should read :attr:`touched` per node type instead (see
+        :meth:`repro.serving.cache.NeighborCache.invalidate_nodes`), which
+        skips the per-id Python tuple this generator materialises.
+        """
         for node_type, ids in self.touched.items():
             for node_id in ids:
                 yield node_type, int(node_id)
@@ -129,7 +261,9 @@ class GraphDelta:
         """Combine two consecutive deltas into one (later version wins).
 
         Used by :meth:`repro.api.pipeline.Pipeline.ingest` to accumulate
-        micro-batches between server refreshes.
+        micro-batches between server refreshes.  ``other`` must be the
+        *later* delta: a node evicted by ``self`` but touched or re-added
+        by ``other`` is alive again and leaves the merged eviction set.
         """
         touched = dict(self.touched)
         for node_type, ids in other.touched.items():
@@ -141,10 +275,22 @@ class GraphDelta:
             existing = added.get(node_type)
             added[node_type] = ids if existing is None \
                 else np.concatenate([existing, ids])
+        evicted = {}
+        for node_type in set(self.evicted) | set(other.evicted):
+            revived = np.union1d(other.touched_ids(node_type),
+                                 other.added_ids(node_type))
+            still_dead = np.setdiff1d(self.evicted_ids(node_type), revived)
+            merged = np.union1d(still_dead, other.evicted_ids(node_type))
+            if merged.size:
+                evicted[node_type] = merged
         return GraphDelta(version=max(self.version, other.version),
                           touched=touched, added_nodes=added,
                           num_new_edges=self.num_new_edges
-                          + other.num_new_edges)
+                          + other.num_new_edges,
+                          removed_edges=self.removed_edges
+                          + other.removed_edges,
+                          evicted=evicted,
+                          decay=self.decay * other.decay)
 
 
 def _session_fields(session) -> Tuple[int, int, Tuple[int, ...]]:

@@ -161,6 +161,7 @@ class IVFIndex:
 
     def rebuilt(self, embeddings: np.ndarray, rows: np.ndarray,
                 ids: Optional[Sequence[int]] = None,
+                removed: Optional[np.ndarray] = None,
                 executor=None) -> "IVFIndex":
         """A new index over an updated corpus, re-assigning only ``rows``.
 
@@ -172,6 +173,14 @@ class IVFIndex:
         no changes search results are identical.  Centroids drifting from
         the corpus over many updates is the standard IVF trade-off; a
         periodic full :meth:`build` re-trains them.
+
+        ``removed`` lists rows to drop from every cell — the lifecycle's
+        evicted (tombstoned) nodes.  The corpus row count never shrinks
+        (the embedding matrix stays id-aligned); the rows simply belong to
+        no cell, so no search can return them.  Removal persists across
+        further scoped rebuilds (assignments are derived from the cells)
+        until a later update names the row in ``rows`` again, which
+        re-assigns it — the evict-then-re-add path.
 
         With an ``executor`` (a worker pool's ``map`` interface) the
         changed rows' centroid assignment fans out across its slots;
@@ -191,6 +200,11 @@ class IVFIndex:
         rows = np.asarray(rows, dtype=np.int64)
         if rows.size and (rows.min() < 0 or rows.max() >= embeddings.shape[0]):
             raise IndexError("rows out of range")
+        removed = np.asarray(removed, dtype=np.int64) \
+            if removed is not None else np.empty(0, dtype=np.int64)
+        if removed.size and (removed.min() < 0
+                             or removed.max() >= embeddings.shape[0]):
+            raise IndexError("removed rows out of range")
 
         fresh = IVFIndex(num_cells=self.num_cells, nprobe=self.nprobe,
                          kmeans_iterations=self.kmeans_iterations,
@@ -199,10 +213,14 @@ class IVFIndex:
         fresh.embeddings = embeddings
         fresh.ids = np.asarray(ids, dtype=np.int64) if ids is not None \
             else np.arange(embeddings.shape[0])
-        assignments = np.empty(embeddings.shape[0], dtype=np.int64)
+        # -1 = "in no cell": rows the old index never held (previously
+        # removed) stay out unless this update names them again.
+        assignments = np.full(embeddings.shape[0], -1, dtype=np.int64)
         for cell, members in enumerate(self._cells):
             assignments[members] = cell
         changed = np.union1d(rows, np.arange(old_count, embeddings.shape[0]))
+        if removed.size:
+            changed = np.setdiff1d(changed, removed)
         slots = getattr(executor, "num_slots", 1) if executor is not None else 1
         if changed.size and slots > 1 \
                 and changed.size >= MIN_PARALLEL_ASSIGN_ROWS:
@@ -218,6 +236,8 @@ class IVFIndex:
             distances = ((embeddings[changed][:, None, :]
                           - self.centroids[None, :, :]) ** 2).sum(axis=2)
             assignments[changed] = distances.argmin(axis=1)
+        if removed.size:
+            assignments[removed] = -1
         fresh._cells = [np.where(assignments == cell)[0]
                         for cell in range(self.centroids.shape[0])]
         return fresh

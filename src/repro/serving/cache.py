@@ -27,6 +27,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 #: One cached neighbor: (neighbor_type, neighbor_id, weight).
 Neighbor = Tuple[str, int, float]
@@ -127,6 +129,33 @@ class NeighborCache:
         """
         return sum(1 for node_type, node_id in keys
                    if self.invalidate(node_type, node_id))
+
+    def invalidate_nodes(self, node_type: str,
+                         node_ids: np.ndarray) -> List[int]:
+        """Drop the cached entries of many ``node_type`` nodes at once.
+
+        The vectorized streaming-invalidation path: instead of iterating
+        :meth:`GraphDelta.touched_keys
+        <repro.graph.update.GraphDelta.touched_keys>` one Python tuple per
+        id, the caller hands the whole per-type id array from
+        ``delta.touched`` here.  Membership is resolved with one
+        :func:`numpy.isin` over the currently cached ids of that type, so
+        the cost scales with the cache size, not ``len(node_ids)``.
+        Returns the (cached) ids that were actually dropped, which the
+        refresh path uses as its re-warm worklist.
+        """
+        node_ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        if node_ids.size == 0:
+            return []
+        cached = np.fromiter(
+            (node_id for key_type, node_id in self._entries
+             if key_type == node_type),
+            dtype=np.int64)
+        hit = cached[np.isin(cached, node_ids)]
+        for node_id in hit:
+            del self._entries[(node_type, int(node_id))]
+        self.stats.invalidations += int(hit.size)
+        return [int(node_id) for node_id in hit]
 
     # ------------------------------------------------------------------ #
     # Batched operations (bulk maintenance: pre-warming, bulk refresh)

@@ -117,6 +117,29 @@ class InvertedIndex:
         return sum(1 for query_id in query_ids
                    if self._postings.pop(int(query_id), None) is not None)
 
+    def purge_items(self, item_ids: Sequence[int]) -> int:
+        """Remove evicted items from every posting list and layer 2.
+
+        The lifecycle counterpart of :meth:`invalidate_queries`: when nodes
+        are tombstoned the *item side* of the index must forget them too,
+        or postings of untouched queries would keep recommending items the
+        graph no longer serves.  Postings keep their order (entries are
+        filtered, not rebuilt) and layer-2 metadata rows are dropped.
+        Returns the number of posting entries removed.
+        """
+        dead = set(int(i) for i in item_ids)
+        if not dead:
+            return 0
+        removed = 0
+        for query_id, posting in self._postings.items():
+            kept = [pair for pair in posting if pair[0] not in dead]
+            if len(kept) != len(posting):
+                removed += len(posting) - len(kept)
+                self._postings[query_id] = kept
+        for item_id in dead:
+            self._metadata.pop(item_id, None)
+        return removed
+
     def coverage(self, query_ids: Sequence[int]) -> float:
         """Fraction of the given queries that have a posting list."""
         if not len(query_ids):

@@ -71,6 +71,12 @@ class RefreshReport:
     refreshed_items: int = 0
     #: Items appended to the corpus (and to the swapped-in ANN index).
     new_items: int = 0
+    #: Items tombstoned by the delta and dropped from the ANN cells.
+    evicted_items: int = 0
+    #: Posting lists of evicted queries dropped outright (not rebuilt).
+    dropped_postings: int = 0
+    #: Posting entries of evicted items purged from surviving postings.
+    purged_posting_items: int = 0
 
 
 class OnlineServer:
@@ -194,19 +200,25 @@ class OnlineServer:
            touched per-request caches (``on_graph_update``),
         2. memoised request embeddings of touched users/queries are
            dropped,
-        3. the neighbor cache invalidates exactly the touched keys, and the
-           keys that were cached are queued for an asynchronous re-warm
-           from the updated graph (applied by the next request batch's
-           refresh drain, off the critical path),
+        3. the neighbor cache invalidates exactly the touched keys (whole
+           id arrays per node type — no per-id Python loop), and the keys
+           that were cached are queued for an asynchronous re-warm from
+           the updated graph (applied by the next request batch's refresh
+           drain, off the critical path) — except *evicted* nodes, whose
+           entries are dropped and never re-warmed,
         4. item embeddings are recomputed for touched + new items only and
            a new ANN index is derived **on the side** (the coarse k-means
            centroids stay frozen; only changed rows are reassigned to
-           cells), then swapped in — a request served mid-refresh reads
-           the previous index end to end,
+           cells; evicted items leave every cell but keep their corpus
+           row, so the embedding matrix stays id-aligned), then swapped
+           in — a request served mid-refresh reads the previous index end
+           to end,
         5. inverted-index postings are rebuilt for exactly the touched
-           queries that had one; untouched postings keep serving (the
-           paper refreshes postings offline, so bounded staleness on
-           untouched keys is intended).
+           queries that had one; evicted queries' postings are dropped
+           without a rebuild and evicted items are purged from every
+           surviving posting; untouched postings keep serving (the paper
+           refreshes postings offline, so bounded staleness on untouched
+           keys is intended).
 
         Deterministic under a fixed server seed: cold-start embeddings are
         drawn from ``default_rng((seed, delta.version))``.
@@ -234,12 +246,19 @@ class OnlineServer:
                 if key[0] not in touched_users and key[1] not in touched_queries
             }
 
-        # 3. Neighbor cache: invalidate exactly the touched keys; re-warm
-        #    the previously cached ones asynchronously.
+        # 3. Neighbor cache: invalidate exactly the touched keys — one
+        #    array call per node type — and queue an asynchronous re-warm
+        #    for the ones that were actually cached.  Evicted nodes are an
+        #    exception: their entries are dropped for good (nothing left to
+        #    re-warm; touched ⊇ evicted, so the drop happens right here).
         invalidated = 0
-        for node_type, node_id in delta.touched_keys():
-            if self.cache.invalidate(node_type, node_id):
-                invalidated += 1
+        for node_type, ids in delta.touched.items():
+            dropped = self.cache.invalidate_nodes(node_type, ids)
+            invalidated += len(dropped)
+            evicted_here = set(delta.evicted_ids(node_type).tolist())
+            for node_id in dropped:
+                if node_id in evicted_here:
+                    continue
                 self.cache.enqueue_refresh(
                     node_type, node_id,
                     self.cache.top_graph_neighbors(self.graph, node_type,
@@ -247,19 +266,24 @@ class OnlineServer:
 
         # 4. Item embeddings + ANN: recompute touched/new rows only, derive
         #    the fresh index on the side (frozen coarse centroids, changed
-        #    rows reassigned to their nearest cell), then swap.
+        #    rows reassigned to their nearest cell, evicted rows dropped
+        #    from every cell), then swap.  The corpus row count never
+        #    shrinks: tombstoned items keep their embedding row so the
+        #    id-aligned trained state stays valid for a later re-add.
         num_items = self.graph.num_nodes[self.item_type]
         stale_items = np.union1d(delta.touched_ids(self.item_type),
                                  delta.added_ids(self.item_type))
+        evicted_items = delta.evicted_ids(self.item_type)
         refreshed_items = 0
         new_items = num_items - self._item_embeddings.shape[0]
-        if stale_items.size or new_items > 0:
+        if stale_items.size or evicted_items.size or new_items > 0:
             embeddings = np.zeros((num_items, self._item_embeddings.shape[1]),
                                   dtype=self.dtype)
             embeddings[:self._item_embeddings.shape[0]] = self._item_embeddings
             rows = [int(i) for i in stale_items if i < num_items]
-            rows = sorted(set(rows) | set(
+            rows = sorted((set(rows) | set(
                 range(self._item_embeddings.shape[0], num_items)))
+                - set(evicted_items.tolist()))
             if rows:
                 embeddings[rows] = self.model.item_embeddings(rows)
                 refreshed_items = len(rows)
@@ -267,17 +291,30 @@ class OnlineServer:
                 else getattr(self.graph, "parallel_executor", None)
             fresh_ann = self.ann.rebuilt(
                 embeddings, np.asarray(rows, dtype=np.int64),
+                removed=evicted_items[evicted_items < num_items],
                 executor=executor)
             self._item_embeddings = embeddings
             self.ann = fresh_ann                      # atomic swap
             if self._parallel is not None:
                 self._parallel.attach_index(self.ann)   # re-export for workers
-        # 5. Inverted index: rebuild exactly the touched queries' postings
-        #    (build_inverted_index overwrites each rebuilt key in place).
+        # 5. Inverted index: drop evicted queries' postings outright, purge
+        #    evicted items from the surviving lists, then rebuild exactly
+        #    the remaining touched queries' postings (build_inverted_index
+        #    overwrites each rebuilt key in place).
         refreshed_postings = 0
+        dropped_postings = 0
+        purged_posting_items = 0
         if self.use_inverted_index:
+            evicted_queries = set(delta.evicted_ids(self.query_type).tolist())
+            if evicted_queries:
+                dropped_postings = self.inverted_index.invalidate_queries(
+                    sorted(evicted_queries))
+            if evicted_items.size:
+                purged_posting_items = self.inverted_index.purge_items(
+                    evicted_items.tolist())
             stale_queries = [int(q) for q in touched_queries
-                             if self.inverted_index.has_posting(q)]
+                             if q not in evicted_queries
+                             and self.inverted_index.has_posting(q)]
             if stale_queries:
                 self.build_inverted_index(stale_queries,
                                           example_user=self._example_user)
@@ -288,7 +325,10 @@ class OnlineServer:
                              invalidated_cache_keys=invalidated,
                              refreshed_postings=refreshed_postings,
                              refreshed_items=refreshed_items,
-                             new_items=max(new_items, 0))
+                             new_items=max(new_items, 0),
+                             evicted_items=int(evicted_items.size),
+                             dropped_postings=dropped_postings,
+                             purged_posting_items=purged_posting_items)
 
     # ------------------------------------------------------------------ #
     # Online path

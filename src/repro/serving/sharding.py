@@ -46,6 +46,10 @@ class ShardedIndex:
         self.shards: List[object] = []
         self._shard_sizes: List[int] = []
         self._num_items = 0
+        # Global positions currently removed (lifecycle evictions).  Needed
+        # so factory-built shards (no scoped ``rebuilt`` of their own, e.g.
+        # ExactIndex) keep excluding tombstoned rows across refreshes.
+        self._removed = np.empty(0, dtype=np.int64)
 
     def __len__(self) -> int:
         return self._num_items
@@ -80,6 +84,7 @@ class ShardedIndex:
 
     def rebuilt(self, embeddings: np.ndarray, rows: np.ndarray,
                 ids: Optional[Sequence[int]] = None,
+                removed: Optional[np.ndarray] = None,
                 executor=None) -> "ShardedIndex":
         """A new sharded index over an updated corpus, scoped to ``rows``.
 
@@ -88,10 +93,15 @@ class ShardedIndex:
         to; each shard index is refreshed through its own scoped
         ``rebuilt`` (frozen-centroid reassignment for IVF shards) when it
         has one, and rebuilt outright otherwise (the exact index's build is
-        just an array copy).  An ``executor`` is forwarded to each shard's
-        scoped rebuild, fanning the per-shard reassignment work across
-        cores.  Returns a fresh :class:`ShardedIndex`; this one keeps
-        serving until the caller swaps it out.
+        just an array copy).  ``removed`` lists global positions to drop
+        (lifecycle evictions): rebuild-capable shards are handed their
+        local slice of it, factory-built shards exclude the rows from
+        their corpus slice — either way no shard can return them, and the
+        exclusion persists across refreshes until a later update names the
+        position in ``rows`` again.  An ``executor`` is forwarded to each
+        shard's scoped rebuild, fanning the per-shard reassignment work
+        across cores.  Returns a fresh :class:`ShardedIndex`; this one
+        keeps serving until the caller swaps it out.
         """
         if not self.shards:
             raise RuntimeError("index not built; call build() first")
@@ -101,24 +111,35 @@ class ShardedIndex:
         ids = np.asarray(ids, dtype=np.int64) if ids is not None \
             else np.arange(embeddings.shape[0])
         rows = np.asarray(rows, dtype=np.int64)
+        removed = np.asarray(removed, dtype=np.int64) \
+            if removed is not None else np.empty(0, dtype=np.int64)
         changed = np.union1d(rows, np.arange(self._num_items,
                                              embeddings.shape[0]))
+        if removed.size:
+            changed = np.setdiff1d(changed, removed)
         fresh = ShardedIndex(num_shards=self.num_shards,
                              index_factory=self.index_factory,
                              dtype=self.dtype)
         fresh._num_items = embeddings.shape[0]
+        # Tombstones persist: previously removed positions stay out unless
+        # this update re-touches them (the evict-then-re-add path).
+        fresh._removed = np.union1d(np.setdiff1d(self._removed, changed),
+                                    removed)
         positions = np.arange(embeddings.shape[0])
         for shard, index in enumerate(self.shards):
             local = positions[positions % self.num_shards == shard]
             if hasattr(index, "rebuilt"):
                 local_rows = np.nonzero(np.isin(local, changed))[0]
+                local_removed = np.nonzero(np.isin(local, fresh._removed))[0]
                 fresh.shards.append(index.rebuilt(embeddings[local],
                                                   local_rows,
                                                   ids=ids[local],
+                                                  removed=local_removed,
                                                   executor=executor))
             else:
-                fresh.shards.append(self.index_factory(embeddings[local],
-                                                       ids[local]))
+                live = local[~np.isin(local, fresh._removed)]
+                fresh.shards.append(self.index_factory(embeddings[live],
+                                                       ids[live]))
             fresh._shard_sizes.append(int(local.size))
         return fresh
 
@@ -150,6 +171,10 @@ class ShardedIndex:
         blocks = [shard.search_batch(queries, k) for shard in self.shards]
         ids = np.concatenate([b[0] for b in blocks], axis=1)      # (Q, <= S*k)
         scores = np.concatenate([b[1] for b in blocks], axis=1)
+        # Shards built after removals hold fewer than their share of
+        # ``_num_items`` rows, so the merged candidate block can be narrower
+        # than ``min(k, n)``; never partition past its width.
+        top_k = min(top_k, scores.shape[1])
         # Padding rides along as (-1, -inf) and loses every comparison, so a
         # plain top-k over the concatenated blocks merges correctly.
         top = np.argpartition(-scores, top_k - 1, axis=1)[:, :top_k]

@@ -1,0 +1,451 @@
+"""Graph-lifecycle tests: shrink-deltas, decay, eviction, compaction, serving.
+
+The lifecycle contract, pinned layer by layer:
+
+* :class:`GraphUpdate` validates its shrink side exactly like its grow side
+  (non-1-D endpoints rejected, wrong-width feature blocks rejected at
+  accumulate *and* apply time, nothing mutated on failure),
+* :meth:`HeteroGraph.apply_updates` shrinks relations with alias state
+  bit-identical to a from-scratch build (decay-to-zero edges leave the alias
+  tables completely), and eviction-then-re-add restores a servable node,
+* :class:`GraphCompactor` passes are strict no-ops when there is nothing to
+  do (no version bump, sampling byte-for-byte unchanged),
+* the serving layer absorbs shrink-deltas: vectorized cache invalidation,
+  ANN tombstones that persist across scoped rebuilds, purged postings — a
+  served result can never contain an evicted item,
+* the ``temporal-logs`` dataset and the pipeline's compaction cadence tie
+  the layers together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, LifecycleSpec, Pipeline, load_dataset
+from repro.graph import GraphCompactor, GraphUpdate, HeteroGraph
+from repro.graph.alias import BatchedAliasTable
+from repro.graph.schema import EdgeType, NodeType, RelationSpec, taobao_schema
+from repro.graph.update import GraphDelta
+from repro.serving.ann import IVFIndex
+from repro.serving.cache import NeighborCache
+from repro.serving.inverted_index import InvertedIndex
+from repro.serving.sharding import ShardedIndex
+from repro.streaming import ReplayDriver
+
+CLICK = RelationSpec(NodeType.USER, EdgeType.CLICK, NodeType.ITEM)
+
+
+def _unit_rows(rng, count, dim=8):
+    rows = rng.normal(size=(count, dim))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def _graph(seed=0, num_users=12, num_queries=8, num_items=20, edges=80):
+    rng = np.random.default_rng(seed)
+    graph = HeteroGraph(taobao_schema(feature_dim=8))
+    graph.add_nodes(NodeType.USER, _unit_rows(rng, num_users))
+    graph.add_nodes(NodeType.QUERY, _unit_rows(rng, num_queries))
+    graph.add_nodes(NodeType.ITEM, _unit_rows(rng, num_items))
+    src = rng.integers(0, num_users, size=edges)
+    dst = rng.integers(0, num_items, size=edges)
+    graph.add_edges(CLICK, src, dst, rng.random(edges) + 0.1, symmetric=True)
+    graph.finalize()
+    return graph
+
+
+def _assert_alias_matches_scratch(relation):
+    """The relation's alias table must equal a from-scratch build, bitwise."""
+    scratch = BatchedAliasTable(relation.indptr, relation.weights)
+    np.testing.assert_array_equal(relation._alias_batch._prob, scratch._prob)
+    np.testing.assert_array_equal(relation._alias_batch._alias, scratch._alias)
+
+
+# ---------------------------------------------------------------------- #
+# GraphUpdate validation (satellites: non-1-D endpoints, feature width)
+# ---------------------------------------------------------------------- #
+class TestUpdateValidation:
+    def test_add_edges_rejects_2d_endpoints(self):
+        square = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="1-D"):
+            GraphUpdate().add_edges(CLICK, square, square)
+
+    def test_remove_edges_rejects_2d_endpoints(self):
+        square = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="1-D"):
+            GraphUpdate().remove_edges(CLICK, square, square)
+
+    def test_evict_rejects_2d_ids(self):
+        with pytest.raises(ValueError, match="1-D"):
+            GraphUpdate().evict_nodes("item", np.zeros((2, 2), dtype=np.int64))
+
+    def test_add_nodes_rejects_mismatched_accumulate_width(self):
+        update = GraphUpdate().add_nodes("user", np.zeros((2, 8)))
+        with pytest.raises(ValueError, match="width mismatch"):
+            update.add_nodes("user", np.zeros((1, 5)))
+
+    def test_wrong_feature_width_rejected_atomically(self):
+        graph = _graph()
+        version = graph.version
+        nodes_before = dict(graph.num_nodes)
+        edges_before = graph.total_edges
+        update = GraphUpdate().add_nodes("user", np.zeros((2, 5))) \
+            .add_edges(CLICK, [0], [0])
+        with pytest.raises(ValueError, match="feature dim mismatch"):
+            graph.apply_updates(update)
+        assert graph.version == version
+        assert dict(graph.num_nodes) == nodes_before
+        assert graph.total_edges == edges_before
+
+    def test_scale_weights_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            GraphUpdate().scale_weights(0.0)
+        with pytest.raises(ValueError):
+            GraphUpdate().scale_weights(float("nan"))
+
+    def test_eviction_of_unknown_ids_rejected(self):
+        graph = _graph()
+        with pytest.raises(IndexError, match="out of range"):
+            graph.apply_updates(GraphUpdate().evict_nodes(
+                "item", [graph.num_nodes["item"] + 5]))
+
+
+# ---------------------------------------------------------------------- #
+# Shrinking the graph: decay, pruning, removal, eviction
+# ---------------------------------------------------------------------- #
+class TestShrink:
+    def test_decay_rescales_without_alias_rebuild(self):
+        graph = _graph(1)
+        relation = graph.relations[CLICK]
+        alias_before = relation.alias_sampler()
+        weights_before = relation.weights.copy()
+        draws_before = graph.sample_neighbors_batch(
+            CLICK, np.arange(5), 4, rng=np.random.default_rng(9))
+        delta = graph.apply_updates(GraphUpdate().scale_weights(0.25))
+        assert delta.decay == 0.25 and not delta.touched
+        # Per-row normalisation: the very same alias object stays valid.
+        assert relation.alias_sampler() is alias_before
+        np.testing.assert_allclose(relation.weights, weights_before * 0.25)
+        draws_after = graph.sample_neighbors_batch(
+            CLICK, np.arange(5), 4, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(draws_before.ids, draws_after.ids)
+
+    def test_decay_to_zero_edges_leave_alias_tables(self):
+        """Pruned edges vanish from the alias tables, bitwise vs scratch."""
+        graph = _graph(2)
+        for spec in (CLICK, CLICK.reverse()):
+            graph.relations[spec].alias_sampler()
+        threshold = float(np.median(graph.relations[CLICK].weights)) * 0.5
+        delta = graph.apply_updates(
+            GraphUpdate().scale_weights(0.5).prune_edges_below(threshold))
+        assert delta.removed_edges > 0
+        for spec in (CLICK, CLICK.reverse()):
+            relation = graph.relations[spec]
+            assert (relation.weights >= threshold).all()
+            _assert_alias_matches_scratch(relation)
+
+    def test_explicit_removal_is_idempotent(self):
+        graph = _graph(3)
+        relation = graph.relations[CLICK]
+        row = int(np.nonzero(np.diff(relation.indptr))[0][0])
+        neighbor = int(relation.indices[relation.indptr[row]])
+        degree = relation.degree(row)
+        first = graph.apply_updates(
+            GraphUpdate().remove_edges(CLICK, [row], [neighbor]))
+        assert first.removed_edges == 1
+        assert relation.degree(row) == degree - 1
+        second = graph.apply_updates(
+            GraphUpdate().remove_edges(CLICK, [row], [neighbor]))
+        assert second.removed_edges == 0    # already gone: silent no-op
+
+    def test_eviction_clears_both_directions_and_touches(self):
+        graph = _graph(4)
+        reverse = CLICK.reverse()
+        for spec in (CLICK, reverse):
+            graph.relations[spec].alias_sampler()
+        victims = [3, 7]
+        delta = graph.apply_updates(GraphUpdate().evict_nodes("item", victims))
+        assert not np.isin(graph.relations[CLICK].indices, victims).any()
+        for victim in victims:
+            assert graph.relations[reverse].degree(victim) == 0
+        np.testing.assert_array_equal(delta.evicted_ids("item"), victims)
+        # Evicted ids are also touched: existing invalidation paths fire.
+        assert np.isin(victims, delta.touched_ids("item")).all()
+        for spec in (CLICK, reverse):
+            _assert_alias_matches_scratch(graph.relations[spec])
+
+    def test_evict_then_re_add_same_node_id(self):
+        graph = _graph(5)
+        graph.relations[CLICK].alias_sampler()
+        victim = 6
+        graph.apply_updates(GraphUpdate().evict_nodes("item", [victim]))
+        assert graph.relations[CLICK.reverse()].degree(victim) == 0
+        # Feature row survives tombstoning (id-aligned trained state).
+        assert graph.num_nodes["item"] == 20
+        revive = graph.apply_updates(GraphUpdate().add_edges(
+            CLICK, [0, 1], [victim, victim], [1.0, 2.0], symmetric=True))
+        assert graph.relations[CLICK.reverse()].degree(victim) == 2
+        assert victim in revive.touched_ids("item")
+        _assert_alias_matches_scratch(graph.relations[CLICK])
+        draws = graph.sample_neighbors_batch(
+            CLICK.reverse(), np.array([victim]), 4,
+            rng=np.random.default_rng(0))
+        assert set(draws.ids[0][draws.valid_mask[0]]) <= {0, 1}
+
+    def test_delta_merge_revives_evicted_nodes(self):
+        earlier = GraphDelta(version=1, evicted={"item": np.array([3, 5])},
+                             touched={"item": np.array([3, 5])},
+                             removed_edges=4, decay=0.5)
+        later = GraphDelta(version=2, touched={"item": np.array([5])},
+                           num_new_edges=1, decay=0.5)
+        merged = earlier.merge(later)
+        np.testing.assert_array_equal(merged.evicted_ids("item"), [3])
+        assert merged.removed_edges == 4
+        assert merged.decay == 0.25
+
+
+# ---------------------------------------------------------------------- #
+# GraphCompactor
+# ---------------------------------------------------------------------- #
+class TestCompactor:
+    def test_empty_pass_is_strict_no_op(self):
+        graph = _graph(6)
+        graph.relations[CLICK].alias_sampler()
+        version = graph.version
+        draws_before = graph.sample_neighbors_batch(
+            CLICK, np.arange(8), 4, rng=np.random.default_rng(1))
+        compactor = GraphCompactor(graph, LifecycleSpec(
+            enabled=True, half_life=100.0, node_ttl=500.0))
+        # No time elapsed, nothing idle: the pass must do nothing at all.
+        assert compactor.compact() is None
+        assert graph.version == version
+        draws_after = graph.sample_neighbors_batch(
+            CLICK, np.arange(8), 4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(draws_before.ids, draws_after.ids)
+        np.testing.assert_array_equal(draws_before.weights,
+                                      draws_after.weights)
+
+    def test_decay_follows_observed_clock(self):
+        graph = _graph(7)
+        weights = graph.relations[CLICK].weights.copy()
+        compactor = GraphCompactor(graph, LifecycleSpec(
+            enabled=True, half_life=100.0))
+        compactor.observe([(0, 0, (0,), 200.0)],
+                          GraphDelta(version=graph.version))
+        delta = compactor.compact()
+        assert delta is not None and delta.decay == pytest.approx(0.25)
+        np.testing.assert_allclose(graph.relations[CLICK].weights,
+                                   weights * 0.25)
+        # Anchor advanced: a second pass with no new time is a no-op.
+        assert compactor.compact() is None
+
+    def test_node_ttl_eviction_and_reactivation(self):
+        graph = _graph(8)
+        spec = LifecycleSpec(enabled=True, node_ttl=50.0)
+        compactor = GraphCompactor(graph, spec)
+        active = GraphDelta(version=graph.version,
+                            touched={"user": np.array([0, 1])})
+        compactor.observe([(0, 0, (0,), 100.0)], active)
+        delta = compactor.compact()
+        assert delta is not None
+        evicted_users = delta.evicted_ids("user")
+        assert evicted_users.size == graph.num_nodes["user"] - 2
+        assert not np.isin([0, 1], evicted_users).any()
+        # Touching an evicted node revives it for the books too.
+        compactor.observe(
+            [(2, 0, (0,), 130.0)],
+            GraphDelta(version=graph.version,
+                       touched={"user": np.array([2])}))
+        assert not compactor._evicted["user"][2]
+
+    def test_memory_budget_evicts_the_longest_idle(self):
+        graph = _graph(9)
+        used = graph.memory_bytes(include_alias=True)
+        compactor = GraphCompactor(graph, LifecycleSpec(
+            enabled=True, max_memory_bytes=int(used * 0.8)))
+        compactor.observe([(0, 0, (0,), 10.0)],
+                          GraphDelta(version=graph.version,
+                                     touched={"item": np.arange(10)}))
+        update = compactor.build_update()
+        assert update.shrinks()
+        # Pressure eviction is bounded: at most 25% of a type per pass.
+        for node_type, ids in update.evictions.items():
+            assert ids.size <= int(graph.num_nodes[node_type] * 0.25) + 1
+
+
+# ---------------------------------------------------------------------- #
+# Serving-layer shrink absorption
+# ---------------------------------------------------------------------- #
+class TestServingShrink:
+    def test_cache_invalidate_nodes_matches_key_loop(self):
+        array_cache = NeighborCache(capacity=4)
+        loop_cache = NeighborCache(capacity=4)
+        for cache in (array_cache, loop_cache):
+            for node_id in range(6):
+                cache.put("user", node_id, [("item", node_id, 1.0)])
+                cache.put("item", node_id, [("user", node_id, 1.0)])
+        ids = np.array([1, 3, 4, 99])
+        dropped = array_cache.invalidate_nodes("user", ids)
+        count = loop_cache.invalidate_keys([("user", int(i)) for i in ids])
+        assert sorted(dropped) == [1, 3, 4]
+        assert len(dropped) == count
+        assert array_cache.stats.invalidations == \
+            loop_cache.stats.invalidations
+        for node_id in range(6):
+            assert (array_cache.get("user", node_id) is None) == \
+                (loop_cache.get("user", node_id) is None)
+            assert array_cache.get("item", node_id) is not None
+
+    def test_touched_keys_compat_wrapper_still_works(self):
+        delta = GraphDelta(version=1,
+                           touched={"user": np.array([2, 4])})
+        assert list(delta.touched_keys()) == [("user", 2), ("user", 4)]
+
+    def test_inverted_index_purge_items(self):
+        index = InvertedIndex(posting_length=5)
+        index.add_posting(0, [(1, 0.9), (2, 0.8), (3, 0.7)])
+        index.add_posting(1, [(2, 0.6), (4, 0.5)])
+        from repro.serving.inverted_index import ItemMetadata
+        index.add_metadata(ItemMetadata(item_id=2))
+        removed = index.purge_items([2, 3])
+        assert removed == 3
+        assert [i for i, _ in index.lookup(0)] == [1]
+        assert [i for i, _ in index.lookup(1)] == [4]
+        assert index.metadata(2) is None
+
+    def test_ivf_removed_rows_leave_every_cell(self):
+        rng = np.random.default_rng(0)
+        corpus = rng.normal(size=(40, 6))
+        index = IVFIndex(num_cells=4, nprobe=4, seed=0).build(corpus)
+        removed = np.array([5, 17])
+        fresh = index.rebuilt(corpus, np.empty(0, dtype=np.int64),
+                              removed=removed)
+        members = np.concatenate(fresh._cells)
+        assert not np.isin(removed, members).any()
+        ids, _ = fresh.search_batch(corpus[[5, 17]], k=40)
+        assert not np.isin(removed, ids).any()
+        # Tombstones persist across a further scoped rebuild...
+        again = fresh.rebuilt(corpus, np.array([1, 2]))
+        assert not np.isin(removed, np.concatenate(again._cells)).any()
+        # ...until the row is touched again (evict-then-re-add).
+        revived = again.rebuilt(corpus, np.array([5]))
+        assert 5 in np.concatenate(revived._cells)
+        assert 17 not in np.concatenate(revived._cells)
+
+    def test_sharded_index_excludes_removed_positions(self):
+        rng = np.random.default_rng(1)
+        corpus = rng.normal(size=(24, 5))
+        sharded = ShardedIndex(num_shards=3).build(corpus)
+        removed = np.array([4, 9, 20])
+        fresh = sharded.rebuilt(corpus, np.empty(0, dtype=np.int64),
+                                removed=removed)
+        ids, _ = fresh.search_batch(corpus[removed], k=24)
+        assert not np.isin(removed, ids).any()
+        # Persistence without re-listing, then revival via rows.
+        again = fresh.rebuilt(corpus, np.empty(0, dtype=np.int64))
+        ids, _ = again.search_batch(corpus[removed], k=24)
+        assert not np.isin(removed, ids).any()
+        revived = again.rebuilt(corpus, np.array([9]))
+        ids, _ = revived.search_batch(corpus[[9]], k=24)
+        assert 9 in ids
+
+    def test_serving_never_returns_evicted_items(self):
+        dataset = load_dataset("temporal-logs", num_sessions=300, seed=1)
+        spec = ExperimentSpec.from_dict({
+            "dataset": {"name": "temporal-logs",
+                        "params": {"num_sessions": 300, "seed": 1}},
+            "model": {"embedding_dim": 8, "fanouts": [4, 2]},
+            "training": {"epochs": 1, "max_batches_per_epoch": 4},
+            "serving": {"ann_cells": 4, "ann_nprobe": 2,
+                        "warm_users": 10, "warm_queries": 10},
+            "streaming": {"micro_batch_size": 16, "refresh_every": 2},
+            "lifecycle": {"enabled": True, "half_life": 150.0,
+                          "edge_ttl": 450.0, "node_ttl": 400.0,
+                          "compact_every": 2},
+        })
+        pipeline = Pipeline(spec)
+        server = pipeline.deploy()
+        report = ReplayDriver(pipeline).replay(dataset.replay_sessions)
+        assert report.ingest.compactions > 0
+        assert report.ingest.evicted_nodes > 0
+        evicted = set(np.nonzero(
+            pipeline._compactor._evicted[server.item_type])[0].tolist())
+        assert evicted
+        served = set()
+        for user_id in range(5):
+            for query_id in range(5):
+                result = server.serve(user_id, query_id, k=20)
+                served |= set(int(i) for i in result.item_ids)
+        assert not served & evicted
+
+
+# ---------------------------------------------------------------------- #
+# Spec + dataset + pipeline wiring
+# ---------------------------------------------------------------------- #
+class TestLifecycleWiring:
+    def test_lifecycle_spec_round_trips_and_validates(self):
+        spec = ExperimentSpec(lifecycle=LifecycleSpec(
+            enabled=True, half_life=10.0, edge_ttl=30.0, node_ttl=40.0))
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone.lifecycle == spec.lifecycle
+        clone.validate()
+        with pytest.raises(ValueError, match="compact_every"):
+            ExperimentSpec(lifecycle=LifecycleSpec(
+                enabled=True, compact_every=0)).validate()
+        with pytest.raises(ValueError, match="edge_ttl"):
+            ExperimentSpec(lifecycle=LifecycleSpec(
+                enabled=True, edge_ttl=5.0)).validate()
+        with pytest.raises(ValueError, match="non-negative"):
+            ExperimentSpec(lifecycle=LifecycleSpec(
+                half_life=-1.0)).validate()
+
+    def test_weight_floor_derivation(self):
+        assert LifecycleSpec(min_weight=0.3,
+                             edge_ttl=10.0).weight_floor() == 0.3
+        assert LifecycleSpec(half_life=10.0, edge_ttl=20.0).weight_floor() \
+            == pytest.approx(0.25)
+        assert LifecycleSpec().weight_floor() == 0.0
+
+    def test_temporal_logs_dataset_shape(self):
+        dataset = load_dataset("temporal-logs", num_sessions=200, seed=0)
+        assert dataset.graph.num_nodes["item"] > 0
+        assert dataset.impressions
+        stamps = [s.timestamp for s in dataset.replay_sessions]
+        assert stamps == sorted(stamps)
+        # The warm prefix strictly precedes the tail in time.
+        assert dataset.sessions[-1].timestamp <= stamps[0]
+        # Drift: the earliest and latest cohorts click different items.
+        early = {i for s in dataset.sessions[:30] for i in s.clicked_items}
+        late = {i for s in dataset.replay_sessions[-30:]
+                for i in s.clicked_items}
+        assert len(early & late) < len(early | late) * 0.5
+
+    def test_pipeline_compaction_counters(self):
+        dataset = load_dataset("temporal-logs", num_sessions=240, seed=2)
+        spec = ExperimentSpec.from_dict({
+            "dataset": {"name": "temporal-logs",
+                        "params": {"num_sessions": 240, "seed": 2}},
+            "streaming": {"micro_batch_size": 8},
+            "lifecycle": {"enabled": True, "half_life": 100.0,
+                          "edge_ttl": 300.0, "node_ttl": 250.0,
+                          "compact_every": 3},
+        })
+        pipeline = Pipeline(spec)
+        pipeline.build_graph()
+        report = pipeline.ingest(dataset.replay_sessions)
+        assert report.compactions > 0
+        assert report.removed_edges > 0
+        assert report.graph_version == pipeline.graph.version
+
+    def test_lifecycle_disabled_is_append_only(self):
+        dataset = load_dataset("temporal-logs", num_sessions=160, seed=3)
+        spec = ExperimentSpec.from_dict({
+            "dataset": {"name": "temporal-logs",
+                        "params": {"num_sessions": 160, "seed": 3}},
+            "streaming": {"micro_batch_size": 8},
+        })
+        pipeline = Pipeline(spec)
+        pipeline.build_graph()
+        report = pipeline.ingest(dataset.replay_sessions)
+        assert pipeline._compactor is None
+        assert report.compactions == 0
+        assert report.evicted_nodes == 0
+        assert report.removed_edges == 0
