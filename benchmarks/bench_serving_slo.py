@@ -1,0 +1,179 @@
+"""Serving-daemon SLO bench: latency under target QPS, shedding at overload.
+
+The paper's serving tier holds its ~3 ms response time at thousands of QPS
+because the front end batches, bounds its queues, and sheds what it cannot
+serve (Section VI).  This bench drives the *real* asyncio daemon — sockets,
+admission queue, timer-driven batching, graceful drain — with the open-loop
+Poisson generator and pins the two SLO behaviours that matter:
+
+* **Nominal load** (~60% utilisation): zero requests shed, and the measured
+  median latency agrees with the M/M/1 prediction of
+  :class:`~repro.serving.latency.LatencySimulator` once the simulator is
+  calibrated from measured batch service times — the daemon is the queueing
+  station the model says it is.
+* **2x overload** (offered load above the measured capacity): the bounded
+  admission queue sheds part of the traffic with 429s instead of letting
+  latency diverge, every frame still gets exactly one response, and the
+  daemon's counters reconcile with the generator's view.
+
+The backend is deliberately throttled (an affine ``1 + 16*b`` ms sleep per
+batch) so capacity is a known ~60 QPS at laptop scale and overload is real,
+not a timing accident.  The envelope for the model cross-check is wide
+([0.1x, 10x]) because a 1-CPU CI box serves the daemon, the generator, and
+the throttle sleeps from one core; the check still catches the failure that
+matters (queueing latency diverging from the model by an order of
+magnitude).
+"""
+
+import time
+
+from _common import RESULTS_DIR, quick_train
+from repro.api.spec import DaemonSpec
+from repro.core import ZoomerConfig, ZoomerModel
+from repro.experiments import ExperimentResult, format_table, save_results
+from repro.serving import (
+    LatencySimulator,
+    OnlineServer,
+    OpenLoopLoadGenerator,
+    ServingDaemon,
+)
+
+#: Affine throttle: one batch of ``b`` requests takes ``FIXED + PER_REQ*b``
+#: milliseconds.  Per-request-dominated, so capacity (~1000/PER_REQ QPS) is
+#: nearly independent of the realised batch size — overload stays overload
+#: whether batches assemble full or partial.  The per-request cost is set
+#: high enough (16 ms) that the ~2-4 ms of Python/socket CPU a 1-CPU CI box
+#: spends per request stays a small fraction of the service time, keeping
+#: the measured station close to the modelled one.
+THROTTLE_FIXED_MS = 1.0
+THROTTLE_PER_REQUEST_MS = 16.0
+
+#: Throttled capacity is ~59-62 QPS for any realised batch size.
+NOMINAL_QPS = 40.0      # ~0.65 utilisation: stable, must not shed
+OVERLOAD_QPS = 80.0     # 2x nominal, ~1.3x capacity: must shed, boundedly
+
+DAEMON_SPEC = dict(max_batch_size=8, max_wait_ms=4.0, max_queue_depth=24)
+
+
+class ThrottledServer:
+    """A serving backend with a known affine batch cost (sleep-injected)."""
+
+    def __init__(self, server):
+        self._server = server
+
+    def serve_batch(self, requests, k=10):
+        results = self._server.serve_batch(requests, k=k)
+        time.sleep((THROTTLE_FIXED_MS
+                    + THROTTLE_PER_REQUEST_MS * len(results)) / 1000.0)
+        return results
+
+
+def _deploy(bench_taobao) -> ThrottledServer:
+    dataset, train, _ = bench_taobao
+    model = ZoomerModel(dataset.graph,
+                        ZoomerConfig(embedding_dim=16, fanouts=(5, 3),
+                                     seed=0))
+    quick_train(model, train[:300], max_batches=4)
+    server = OnlineServer(model, cache_capacity=30, ann_cells=8, ann_nprobe=3)
+    server.warm_caches(range(min(20, dataset.config.num_users)),
+                       range(min(20, dataset.config.num_queries)))
+    server.build_inverted_index(range(min(20, dataset.config.num_queries)))
+    return ThrottledServer(server)
+
+
+def _loadgen(daemon, dataset, qps, num_requests, seed):
+    return OpenLoopLoadGenerator(
+        daemon.host, daemon.port, qps=qps, num_requests=num_requests,
+        num_users=dataset.config.num_users,
+        num_queries=dataset.config.num_queries, k=5, seed=seed)
+
+
+def test_slo_nominal_load_smoke(benchmark, bench_taobao):
+    """Zero-shed and model-consistent latency at ~60% utilisation."""
+    dataset = bench_taobao[0]
+    backend = _deploy(bench_taobao)
+
+    def run():
+        with ServingDaemon(backend,
+                           spec=DaemonSpec(**DAEMON_SPEC)) as daemon:
+            report = _loadgen(daemon, dataset, NOMINAL_QPS,
+                              num_requests=120, seed=42).run()
+            mean_batch = daemon.batcher.stats.mean_batch_size
+        # Calibrate the queueing model from directly measured batch service
+        # times of the same backend, then predict the response time at the
+        # batch size the daemon actually realised.
+        sizes, measured_ms = [1, 4, 8], []
+        calibration = [(s.user_id, s.query_id) for s in dataset.sessions[:8]]
+        for size in sizes:
+            start = time.perf_counter()
+            backend.serve_batch(calibration[:size], k=5)
+            measured_ms.append((time.perf_counter() - start) * 1000.0)
+        simulator = LatencySimulator(num_servers=1)
+        simulator.calibrate_batch_profile(sizes, measured_ms)
+        predicted_ms = simulator.batched_response_ms(
+            NOMINAL_QPS, max(1, round(mean_batch)))
+        return report, mean_batch, predicted_ms
+
+    report, mean_batch, predicted_ms = benchmark.pedantic(run, rounds=1,
+                                                          iterations=1)
+    summary = report.to_dict()
+    rows = [{"measurement": key, "value": value}
+            for key, value in summary.items() if key != "latency_ms"]
+    rows += [{"measurement": f"latency {name} (ms)", "value": value}
+             for name, value in summary["latency_ms"].items()]
+    rows.append({"measurement": "mean batch size", "value": round(mean_batch, 2)})
+    rows.append({"measurement": "predicted response (ms)",
+                 "value": round(predicted_ms, 2)})
+    print()
+    print(format_table(rows, title=f"Daemon SLO at nominal {NOMINAL_QPS} QPS"))
+
+    assert report.sent == 120
+    assert report.served == 120, "nominal load must not shed or error"
+    assert report.shed == 0 and report.quota == 0 and report.errors == 0
+    assert report.p50_ms > 0.0
+    # Cross-validation against the M/M/1 model (wide 1-CPU envelope).
+    assert 0.1 * predicted_ms < report.p50_ms < 10.0 * predicted_ms, \
+        f"measured p50 {report.p50_ms:.1f} ms vs predicted {predicted_ms:.1f} ms"
+    save_results([ExperimentResult(
+        "serving_slo", "Daemon latency SLO at nominal load", rows=rows,
+        paper_reference={"claim": "bounded queues keep serving latency flat "
+                                  "at target QPS"})], RESULTS_DIR)
+
+
+def test_slo_overload_sheds_boundedly(benchmark, bench_taobao):
+    """2x nominal offered load: bounded shedding, no silent drops."""
+    dataset = bench_taobao[0]
+    backend = _deploy(bench_taobao)
+
+    def run():
+        with ServingDaemon(backend,
+                           spec=DaemonSpec(**DAEMON_SPEC)) as daemon:
+            report = _loadgen(daemon, dataset, OVERLOAD_QPS,
+                              num_requests=160, seed=43).run()
+            stats = daemon.stats
+        return report, stats
+
+    report, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = report.to_dict()
+    rows = [{"measurement": key, "value": value}
+            for key, value in summary.items() if key != "latency_ms"]
+    print()
+    print(format_table(rows, title=f"Daemon SLO at {OVERLOAD_QPS} QPS "
+                                   f"(2x nominal, above capacity)"))
+
+    assert report.sent == 160
+    assert report.errors == 0, "overload must shed with 429s, not break"
+    assert report.sent == report.served + report.shed + report.quota \
+        + report.draining
+    assert report.shed > 0, "offered load above capacity must shed"
+    assert report.shed_fraction < 0.9, "shedding must be bounded, not total"
+    assert report.served > 0
+    # The daemon's own counters agree with the generator's view.
+    assert stats.shed_queue == report.shed
+    assert stats.served == report.served
+    assert stats.received == report.sent
+    save_results([ExperimentResult(
+        "serving_slo_overload", "Daemon shedding at 2x overload", rows=rows,
+        paper_reference={"claim": "admission control sheds excess load "
+                                  "instead of letting latency diverge"})],
+        RESULTS_DIR)

@@ -12,7 +12,10 @@ Three pieces compose into one pipeline from data to serving:
   validates cross-layer consistency.
 * **Pipeline** — the staged facade
   (``build_graph() -> fit() -> evaluate() -> deploy()``) whose ``deploy()``
-  returns a fully wired sharded/batched ``OnlineServer``::
+  returns a :class:`~repro.api.pipeline.Deployment` handle over the fully
+  wired sharded/batched ``OnlineServer`` (attribute access delegates, so it
+  is usable exactly like the server itself; ``.daemon(spec)`` additionally
+  starts the asyncio network tier)::
 
       from repro.api import ExperimentSpec, Pipeline
 
@@ -51,9 +54,10 @@ from repro.api.registry import (
     register_sampler,
 )
 
-_SPEC_EXPORTS = ("DataSpec", "ExperimentSpec", "LifecycleSpec", "ModelSpec",
-                 "ParallelSpec", "ServingSpec", "StreamingSpec", "TrainSpec")
-_PIPELINE_EXPORTS = ("IngestReport", "Pipeline", "PipelineError")
+_SPEC_EXPORTS = ("DaemonSpec", "DataSpec", "ExperimentSpec", "LifecycleSpec",
+                 "ModelSpec", "ParallelSpec", "ServingSpec", "StreamingSpec",
+                 "TrainSpec")
+_PIPELINE_EXPORTS = ("Deployment", "IngestReport", "Pipeline", "PipelineError")
 
 __all__ = [
     "DATASETS",

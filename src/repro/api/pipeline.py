@@ -15,6 +15,9 @@ Each stage is explicit but lazy: ``fit`` builds the graph if needed,
 The stages produce the same objects the hand-wired path produces
 (``Trainer``, ``TrainingResult``, ``OnlineServer``), so results are
 bit-identical to wiring the layers manually under the same seed.
+``deploy()`` wraps its server in a :class:`Deployment` handle — usable
+exactly like the server (attribute access delegates), plus ``.daemon(spec)``
+to start the asyncio TCP tier and a draining ``close()``.
 
 After ``deploy()`` the pipeline keeps going: :meth:`Pipeline.ingest`
 streams new interaction events into the live graph in micro-batches and
@@ -31,15 +34,82 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.api.registry import build_model, dataset_examples, load_dataset
-from repro.api.spec import ExperimentSpec
+from repro.api.spec import DaemonSpec, ExperimentSpec
 from repro.data.splits import train_test_split_examples
 from repro.graph.update import GraphMutator
+from repro.serving.daemon import ServingDaemon
 from repro.serving.server import OnlineServer
 from repro.training.trainer import Trainer, TrainingResult
 
 
 class PipelineError(RuntimeError):
     """A pipeline stage was used before its inputs exist."""
+
+
+class Deployment:
+    """What :meth:`Pipeline.deploy` returns: a handle over the live server.
+
+    The handle *is* the server for every practical purpose — attribute
+    access delegates to the wrapped
+    :class:`~repro.serving.server.OnlineServer` (``deployment.serve_batch``,
+    ``deployment.cache``, ``deployment.graph_version``, … all work), so
+    existing ``server = pipeline.deploy()`` code keeps working unchanged.
+    On top of that it owns the network tier: :meth:`daemon` starts an
+    asyncio :class:`~repro.serving.daemon.ServingDaemon` for this server on
+    a background thread, and :meth:`close` (or leaving a ``with`` block)
+    gracefully drains every daemon it started.
+    """
+
+    def __init__(self, pipeline: "Pipeline", server: OnlineServer):
+        """Wrap ``server``; ``pipeline`` supplies the spec's daemon section."""
+        self._pipeline = pipeline
+        #: The wrapped, fully warmed :class:`OnlineServer`.
+        self.server = server
+        self._daemons: list = []
+
+    def serve(self, request, query_id=None, k: int = 10):
+        """Serve one request — see :meth:`OnlineServer.serve`."""
+        return self.server.serve(request, query_id, k=k)
+
+    def serve_batch(self, requests, k: int = 10):
+        """Serve a batch — see :meth:`OnlineServer.serve_batch`."""
+        return self.server.serve_batch(requests, k=k)
+
+    def daemon(self, spec: Optional[DaemonSpec] = None, default_k: int = 10,
+               start: bool = True) -> ServingDaemon:
+        """Start the TCP serving daemon for this deployment.
+
+        ``spec`` defaults to the pipeline spec's ``daemon`` section.  With
+        ``start=True`` (the default) the daemon's event loop is already
+        running on a background thread when this returns — connect with
+        :class:`~repro.serving.daemon.DaemonClient` at ``(daemon.host,
+        daemon.port)``.  The deployment tracks every daemon it started and
+        drains them on :meth:`close`.
+        """
+        if spec is None:
+            spec = self._pipeline.spec.daemon
+        daemon = ServingDaemon(self.server, spec=spec, default_k=default_k)
+        if start:
+            daemon.start_in_thread()
+        self._daemons.append(daemon)
+        return daemon
+
+    def close(self) -> None:
+        """Gracefully drain and stop every daemon this handle started."""
+        while self._daemons:
+            self._daemons.pop().close()
+
+    def __enter__(self) -> "Deployment":
+        """Context-manager entry; pairs with :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Drain the deployment's daemons when the ``with`` block ends."""
+        self.close()
+
+    def __getattr__(self, name: str):
+        """Delegate everything else to the wrapped :class:`OnlineServer`."""
+        return getattr(self.server, name)
 
 
 @dataclass
@@ -86,6 +156,8 @@ class Pipeline:
         self.trainer: Optional[Trainer] = None
         self.result: Optional[TrainingResult] = None
         self.server: Optional[OnlineServer] = None
+        #: The :class:`Deployment` handle the last ``deploy()`` returned.
+        self.deployment: Optional[Deployment] = None
         self._mutator: Optional[GraphMutator] = None
         #: Lazily created when ``spec.lifecycle.enabled``.
         self._compactor: Any = None
@@ -121,7 +193,9 @@ class Pipeline:
         return self._parallel
 
     def close(self) -> None:
-        """Release the parallel engine (workers + shared memory); idempotent."""
+        """Release deployment daemons and the parallel engine; idempotent."""
+        if self.deployment is not None:
+            self.deployment.close()
         if self._parallel is not None:
             if self.graph is not None:
                 self.graph.parallel_executor = None
@@ -203,12 +277,16 @@ class Pipeline:
     # ------------------------------------------------------------------ #
     # Stage 4 — serving
     # ------------------------------------------------------------------ #
-    def deploy(self) -> OnlineServer:
+    def deploy(self) -> Deployment:
         """Stand up a fully wired (optionally sharded) online server.
 
         Warms the neighbor caches and builds the two-layer inverted index
         for the first ``serving.warm_users`` / ``serving.warm_queries``
-        nodes, exactly like the hand-wired serving examples.
+        nodes, exactly like the hand-wired serving examples.  Returns a
+        :class:`Deployment` handle: use it exactly like the
+        ``OnlineServer`` it wraps (attribute access delegates;
+        ``pipeline.server`` stays the raw server), or call
+        ``.daemon(spec)`` to put the server behind the TCP tier.
         """
         if self.result is None:
             self.fit()
@@ -236,7 +314,8 @@ class Pipeline:
         # A freshly prepared server reflects the current graph, so any
         # update debt accumulated before deployment is already absorbed.
         self._pending_delta = None
-        return self.server
+        self.deployment = Deployment(self, self.server)
+        return self.deployment
 
     # ------------------------------------------------------------------ #
     # Stage 5 — streaming ingestion

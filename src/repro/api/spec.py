@@ -158,6 +158,74 @@ class LifecycleSpec:
 
 
 @dataclass
+class DaemonSpec:
+    """Network serving-tier knobs (the :mod:`repro.serving.daemon` asyncio tier).
+
+    The daemon puts the in-process micro-batching policy behind a TCP
+    socket (newline-delimited JSON) and adds the production traffic
+    behaviours an in-process call never needs: a bounded admission queue
+    with load shedding once ``max_queue_depth`` admitted-but-unserved
+    requests pile up, per-tenant token-bucket quotas, and graceful drain on
+    shutdown (every admitted request is served before the socket closes).
+    ``port=0`` binds an ephemeral port (the started daemon reports the real
+    one), which is what tests and benchmarks use.
+    """
+
+    #: Interface to bind; loopback by default.
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` picks an ephemeral free port.
+    port: int = 0
+    #: Micro-batch size the daemon-side ``RequestBatcher`` dispatches at.
+    max_batch_size: int = 32
+    #: Partial-batch wait budget (the batcher's ``max_wait_ms``); the
+    #: daemon's timer ``poll()`` enforces it even under idle traffic.
+    max_wait_ms: float = 5.0
+    #: Admitted-but-unserved requests allowed before arrivals are shed.
+    max_queue_depth: int = 128
+    #: What to do with an arrival that overflows the queue: ``"reject"``
+    #: sheds the new arrival (429-style), ``"drop-oldest"`` shelves the
+    #: oldest still-queued request in its favour (falling back to
+    #: rejection when everything queued is already inside a forming batch).
+    shed_policy: str = "reject"
+    #: tenant name -> sustained requests/second (token-bucket rate).
+    #: Tenants not listed are unmetered.
+    tenant_quotas: Dict[str, float] = field(default_factory=dict)
+    #: Token-bucket burst capacity; ``0`` defaults to one second of rate.
+    quota_burst: float = 0.0
+
+    def validate(self) -> "DaemonSpec":
+        """Range checks plus the queue-vs-batch cross-check."""
+        if not self.host:
+            raise ValueError("daemon.host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("daemon.port must be in [0, 65535]")
+        if self.max_batch_size < 1:
+            raise ValueError("daemon.max_batch_size must be at least 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("daemon.max_wait_ms must be non-negative")
+        if self.max_queue_depth < self.max_batch_size:
+            raise ValueError(
+                "daemon.max_queue_depth must be >= daemon.max_batch_size "
+                f"({self.max_queue_depth} < {self.max_batch_size}): a full "
+                "batch could never assemble before shedding kicks in")
+        if self.shed_policy not in ("reject", "drop-oldest"):
+            raise ValueError(
+                "daemon.shed_policy must be 'reject' or 'drop-oldest', "
+                f"got {self.shed_policy!r}")
+        for tenant, rate in self.tenant_quotas.items():
+            if not isinstance(tenant, str) or not tenant:
+                raise ValueError(
+                    "daemon.tenant_quotas keys must be non-empty strings")
+            if rate <= 0:
+                raise ValueError(
+                    f"daemon.tenant_quotas[{tenant!r}] must be positive "
+                    "(omit the tenant to leave it unmetered)")
+        if self.quota_burst < 0:
+            raise ValueError("daemon.quota_burst must be non-negative")
+        return self
+
+
+@dataclass
 class ServingSpec:
     """Online-serving knobs; mirrors the ``OnlineServer`` constructor."""
 
@@ -210,6 +278,7 @@ class ExperimentSpec:
     model: ModelSpec = field(default_factory=ModelSpec)
     training: TrainSpec = field(default_factory=TrainSpec)
     serving: ServingSpec = field(default_factory=ServingSpec)
+    daemon: DaemonSpec = field(default_factory=DaemonSpec)
     streaming: StreamingSpec = field(default_factory=StreamingSpec)
     lifecycle: LifecycleSpec = field(default_factory=LifecycleSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
@@ -229,8 +298,8 @@ class ExperimentSpec:
             raise ValueError("spec must be a mapping")
         sections = {"dataset": DataSpec, "model": ModelSpec,
                     "training": TrainSpec, "serving": ServingSpec,
-                    "streaming": StreamingSpec, "lifecycle": LifecycleSpec,
-                    "parallel": ParallelSpec}
+                    "daemon": DaemonSpec, "streaming": StreamingSpec,
+                    "lifecycle": LifecycleSpec, "parallel": ParallelSpec}
         unknown = sorted(set(data) - set(sections) - {"seed"})
         if unknown:
             raise ValueError(f"unknown spec section(s) {unknown}; known "
@@ -323,6 +392,8 @@ class ExperimentSpec:
                 "serving.ann_nprobe must be in [1, serving.ann_cells]")
         if serving.warm_users < 0 or serving.warm_queries < 0:
             raise ValueError("serving warm counts must be non-negative")
+
+        self.daemon.validate()
 
         if self.streaming.micro_batch_size < 1:
             raise ValueError("streaming.micro_batch_size must be at least 1")

@@ -8,6 +8,10 @@ Python:
 * ``python -m repro.cli serve``     — train briefly, stand up the (optionally
   sharded) serving stack, run a QPS sweep (the Fig. 9 curve) and a
   batch-size-versus-latency sweep over the micro-batched path.
+* ``python -m repro.cli daemon``    — train briefly, deploy, and put the
+  server behind the asyncio TCP tier (newline-delimited JSON, admission
+  control, per-tenant quotas); ``--self-drive N`` fires an open-loop
+  Poisson load run against it and prints the latency/shed report.
 * ``python -m repro.cli motivation`` — print the Fig. 4(b)/(c) information-
   overload measurements for a generated dataset.
 * ``python -m repro.cli ingest``    — the streaming demo: build a
@@ -28,11 +32,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.api import (
+    DaemonSpec,
     DataSpec,
     ExperimentSpec,
     LifecycleSpec,
@@ -144,6 +150,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                                  batch_sizes)
             print(format_table(batch_rows,
                                title="Batch size vs latency at 10K QPS"))
+    return 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    try:
+        daemon_spec = DaemonSpec(host=args.host, port=args.port,
+                                 max_batch_size=args.serve_batch_size,
+                                 max_wait_ms=args.max_wait_ms,
+                                 max_queue_depth=args.queue_depth,
+                                 shed_policy=args.shed_policy).validate()
+    except ValueError as error:
+        raise SystemExit(str(error))
+    spec = _spec_from_args(
+        args,
+        max_test_examples=0,
+        training=TrainSpec(epochs=1, batch_size=args.batch_size,
+                           learning_rate=args.learning_rate, loss="focal",
+                           max_batches_per_epoch=6, seed=0),
+        serving=ServingSpec(cache_capacity=30, ann_cells=8,
+                            warm_users=20, warm_queries=20))
+    spec.daemon = daemon_spec
+    with _pipeline_or_exit(spec) as pipeline:
+        deployment = pipeline.deploy()
+        with deployment.daemon() as daemon:
+            print(f"serving daemon listening on "
+                  f"{daemon.host}:{daemon.port} "
+                  f"(batch<= {daemon.spec.max_batch_size}, "
+                  f"wait<= {daemon.spec.max_wait_ms} ms, "
+                  f"queue<= {daemon.spec.max_queue_depth}, "
+                  f"shed={daemon.spec.shed_policy})")
+            if args.self_drive > 0:
+                from repro.serving.loadgen import OpenLoopLoadGenerator
+                graph = pipeline.graph
+                generator = OpenLoopLoadGenerator(
+                    daemon.host, daemon.port, qps=args.qps,
+                    num_requests=args.self_drive,
+                    num_users=graph.num_nodes[pipeline.model.user_type],
+                    num_queries=graph.num_nodes[
+                        pipeline.model.query_node_type()],
+                    seed=args.seed)
+                report = generator.run()
+                summary = report.to_dict()
+                rows = [{"measurement": key, "value": value}
+                        for key, value in summary.items()
+                        if key != "latency_ms"]
+                rows += [{"measurement": f"latency {name} (ms)",
+                          "value": value}
+                         for name, value in summary["latency_ms"].items()]
+                print(format_table(
+                    rows, title=f"Open-loop self-drive at {args.qps} QPS"))
+                if args.expect_zero_shed and (report.shed or report.quota
+                                              or report.errors):
+                    print("FAIL: expected zero shed/quota/errors, got "
+                          f"shed={report.shed} quota={report.quota} "
+                          f"errors={report.errors}", file=sys.stderr)
+                    return 1
+                return 0
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("draining...")
     return 0
 
 
@@ -281,6 +349,36 @@ def build_parser() -> argparse.ArgumentParser:
                                    "path; >1 also prints a batch-size vs "
                                    "latency sweep")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    daemon_parser = subparsers.add_parser(
+        "daemon", help="train briefly, deploy, and serve over TCP "
+                       "(newline-delimited JSON) with admission control")
+    add_common(daemon_parser)
+    daemon_parser.add_argument("--host", default="127.0.0.1")
+    daemon_parser.add_argument("--port", type=int, default=0,
+                               help="0 picks an ephemeral port")
+    daemon_parser.add_argument("--serve-batch-size", type=int, default=32,
+                               help="micro-batch size of the daemon's "
+                                    "dispatch loop")
+    daemon_parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                               help="max time a partial batch may wait")
+    daemon_parser.add_argument("--queue-depth", type=int, default=128,
+                               help="admitted-but-unserved requests before "
+                                    "load shedding kicks in")
+    daemon_parser.add_argument("--shed-policy", default="reject",
+                               choices=["reject", "drop-oldest"])
+    daemon_parser.add_argument("--self-drive", type=int, default=0,
+                               metavar="N",
+                               help="instead of serving forever, fire N "
+                                    "open-loop Poisson requests at --qps, "
+                                    "print the latency/shed report, drain, "
+                                    "and exit")
+    daemon_parser.add_argument("--qps", type=float, default=200.0,
+                               help="offered load for --self-drive")
+    daemon_parser.add_argument("--expect-zero-shed", action="store_true",
+                               help="exit non-zero if the self-drive run "
+                                    "sheds or errors (CI smoke check)")
+    daemon_parser.set_defaults(func=_cmd_daemon)
 
     ingest_parser = subparsers.add_parser(
         "ingest", help="streaming-ingest demo: replay a behavior log "

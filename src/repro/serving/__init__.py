@@ -23,8 +23,19 @@ and the item corpus can be **sharded** with per-shard top-k merging.
 * :class:`~repro.serving.latency.LatencySimulator` — an M/M/c queueing model
   over per-request *and* per-batch (affine-profile) service times, for the
   Fig. 9 QPS sweep and its batch-size extension.
+* :class:`~repro.serving.request.ServeRequest` — the request object the
+  whole tier shares (``user_id``, ``query_id``, admission ``tenant``); bare
+  ``(user_id, query_id)`` pairs are coerced everywhere, bit-identically.
 * :class:`~repro.serving.batcher.RequestBatcher` — micro-batching front end
-  (max batch size / max wait) over the server's batched path.
+  (max batch size / max wait) over the server's batched path; ``poll()``
+  flushes a wait-expired partial batch under idle traffic.
+* :class:`~repro.serving.daemon.ServingDaemon` — the asyncio TCP
+  (newline-delimited JSON) network tier: admission queue with load
+  shedding, per-tenant token-bucket quotas, timer-driven batching through
+  :class:`RequestBatcher`, graceful drain, and a ``stats`` verb
+  (:class:`~repro.serving.daemon.DaemonClient` is the blocking client).
+* :class:`~repro.serving.loadgen.OpenLoopLoadGenerator` — Poisson open-loop
+  load generator (arrivals independent of completions) for SLO benches.
 * :class:`~repro.serving.server.OnlineServer` — the end-to-end facade;
   ``serve_batch`` is the hot path and ``serve`` a batch-of-one wrapper that
   returns identical results and statistics.  ``refresh(delta)`` absorbs a
@@ -43,22 +54,33 @@ from repro.serving.latency import (
     LatencySimulator,
 )
 from repro.serving.batcher import BatcherStats, RequestBatcher
+from repro.serving.request import ServeRequest, coerce_request, coerce_requests
 from repro.serving.server import OnlineServer, RefreshReport, ServeResult
+from repro.serving.daemon import DaemonClient, DaemonStats, ServingDaemon
+from repro.serving.loadgen import LoadReport, OpenLoopLoadGenerator
 
 __all__ = [
     "BatcherStats",
     "BatchServiceProfile",
     "CacheStats",
+    "DaemonClient",
+    "DaemonStats",
     "ExactIndex",
     "IVFIndex",
     "InvertedIndex",
     "LatencyBreakdown",
     "LatencySimulator",
+    "LoadReport",
     "NeighborCache",
     "OnlineServer",
+    "OpenLoopLoadGenerator",
     "RefreshReport",
     "RequestBatcher",
+    "ServeRequest",
     "ServeResult",
+    "ServingDaemon",
     "ShardedIndex",
+    "coerce_request",
+    "coerce_requests",
     "strip_padding",
 ]

@@ -8,12 +8,20 @@ policy in-process with the two standard knobs:
 
 * ``max_batch_size`` — a batch is dispatched as soon as it is full,
 * ``max_wait_ms`` — a partial batch is dispatched once its oldest request
-  has waited this long (checked on the next ``submit``; call ``flush()`` to
-  force out stragglers, e.g. at stream end).
+  has waited this long.
 
-Time is injectable (``submit(..., now_ms=...)``) so tests and simulations can
-drive the wait-timeout policy with a deterministic clock; by default the real
-monotonic clock is used.  Responses come back in submission order from
+The wait timeout is checked on every ``submit`` *and* by :meth:`poll`, which
+flushes a wait-expired partial batch without requiring any follow-up traffic
+— the hook a timer-driven front end (the asyncio daemon) uses so a parked
+request is never stranded under idle traffic.  ``flush()`` still forces out
+stragglers unconditionally (e.g. at stream end or shutdown drain).
+
+Requests are :class:`~repro.serving.request.ServeRequest` objects; the legacy
+``submit(user_id, query_id)`` call style keeps working via the same compat
+coercion the server applies.  Time is injectable (``submit(..., now_ms=...)``)
+so tests and simulations can drive the wait-timeout policy with a
+deterministic clock; by default the real monotonic clock is used.  Responses
+come back in submission order from
 :meth:`~repro.serving.server.OnlineServer.serve_batch`.
 """
 
@@ -22,6 +30,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+from repro.serving.request import RequestLike, ServeRequest, coerce_request
 
 
 @dataclass
@@ -54,7 +64,7 @@ class RequestBatcher:
         self.max_wait_ms = max_wait_ms
         self.k = k
         self.stats = BatcherStats()
-        self._pending: List[Tuple[int, int]] = []
+        self._pending: List[ServeRequest] = []
         self._oldest_ms: Optional[float] = None
 
     def __len__(self) -> int:
@@ -62,29 +72,74 @@ class RequestBatcher:
 
     @property
     def pending(self) -> List[Tuple[int, int]]:
-        """The requests waiting for the next batch (submission order)."""
+        """The ``(user, query)`` pairs waiting for the next batch (submission order)."""
+        return [request.key for request in self._pending]
+
+    @property
+    def pending_requests(self) -> List[ServeRequest]:
+        """The typed requests waiting for the next batch (submission order)."""
         return list(self._pending)
 
-    def submit(self, user_id: int, query_id: int,
+    @staticmethod
+    def _now_ms(now_ms: Optional[float]) -> float:
+        return now_ms if now_ms is not None else time.perf_counter() * 1000.0
+
+    def submit(self, request: RequestLike, query_id: Optional[int] = None,
                now_ms: Optional[float] = None) -> List:
         """Enqueue one request; returns any results a flush produced.
 
-        An empty list means the request is parked in the current partial
-        batch; a non-empty list holds the :class:`ServeResult` objects of
-        every request in the batch(es) dispatched by this submission.
+        ``request`` is a :class:`ServeRequest`, a ``(user_id, query_id)``
+        pair, or — the legacy positional style — a bare ``user_id`` with the
+        query id as the second argument.  An empty list means the request is
+        parked in the current partial batch; a non-empty list holds the
+        :class:`ServeResult` objects of every request in the batch(es)
+        dispatched by this submission.
         """
-        now = now_ms if now_ms is not None else time.perf_counter() * 1000.0
+        if query_id is not None:
+            request = ServeRequest(int(request), int(query_id))
+        else:
+            request = coerce_request(request)
+        now = self._now_ms(now_ms)
         results: List = []
-        if (self._pending and self._oldest_ms is not None
-                and now - self._oldest_ms >= self.max_wait_ms):
+        if self._wait_expired(now):
             results.extend(self._flush("wait"))
         if not self._pending:
             self._oldest_ms = now
-        self._pending.append((int(user_id), int(query_id)))
+        self._pending.append(request)
         self.stats.submitted += 1
         if len(self._pending) >= self.max_batch_size:
             results.extend(self._flush("full"))
         return results
+
+    def poll(self, now_ms: Optional[float] = None) -> List:
+        """Flush a wait-expired partial batch without a new submission.
+
+        Call this on a timer: a request parked in a partial batch under idle
+        traffic is dispatched within ``max_wait_ms`` even though no follow-up
+        ``submit`` ever arrives.  Returns the flushed batch's results (empty
+        when nothing is pending or the oldest request is still within its
+        wait budget).
+        """
+        if self._wait_expired(self._now_ms(now_ms)):
+            return self._flush("wait")
+        return []
+
+    def ms_until_deadline(self, now_ms: Optional[float] = None
+                          ) -> Optional[float]:
+        """Milliseconds until the current partial batch's wait expires.
+
+        ``None`` when nothing is pending (no deadline to arm a timer for);
+        ``0.0`` when the deadline has already passed and :meth:`poll` would
+        flush right now.
+        """
+        if not self._pending or self._oldest_ms is None:
+            return None
+        now = self._now_ms(now_ms)
+        return max(0.0, self.max_wait_ms - (now - self._oldest_ms))
+
+    def _wait_expired(self, now: float) -> bool:
+        return (bool(self._pending) and self._oldest_ms is not None
+                and now - self._oldest_ms >= self.max_wait_ms)
 
     def flush(self) -> List:
         """Dispatch the current partial batch immediately (stream end)."""

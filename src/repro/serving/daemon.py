@@ -1,0 +1,563 @@
+"""Asyncio TCP serving daemon: the network tier over the batched server.
+
+Everything below `repro.serving.daemon` used to be an in-process call; this
+module puts the existing micro-batching policy behind a socket and adds the
+traffic behaviours a production front end needs:
+
+* **Wire protocol** — newline-delimited JSON over TCP, one frame per line.
+  A request frame is ``{"op": "serve", "user_id": U, "query_id": Q,
+  "tenant": "...", "k": 10, "id": <echo>}`` (``op`` defaults to ``serve``;
+  ``tenant``/``k``/``id`` are optional).  ``{"op": "stats"}`` returns the
+  daemon's counters.  Success responses carry ``ok: true`` plus the
+  :class:`~repro.serving.server.ServeResult` fields; rejections carry
+  ``ok: false`` with an ``error`` tag and a 4xx-style ``code`` (``429`` for
+  shed/quota, ``400`` for malformed frames, ``503`` while draining).
+  Responses echo the frame's ``id`` and are **not** guaranteed to arrive in
+  submission order on a pipelined connection — rejections return
+  immediately while admitted requests answer when their batch flushes.
+* **Micro-batching** — admitted requests flow through the in-process
+  :class:`~repro.serving.batcher.RequestBatcher` (same policy, same knobs)
+  into :meth:`~repro.serving.server.OnlineServer.serve_batch`.  A timer
+  drives :meth:`RequestBatcher.poll`, so a partial batch parked under idle
+  traffic is dispatched within ``max_wait_ms`` — the idle-straggler gap the
+  in-process batcher had (its wait timeout was only checked on the next
+  ``submit``).
+* **Admission control** — at most ``max_queue_depth`` admitted-but-unserved
+  requests; arrivals beyond that are shed per ``shed_policy`` (reject the
+  newcomer, or shelve the oldest still-queued request in its favour).
+* **Per-tenant quotas** — token buckets (``tenant_quotas`` rate in
+  requests/second, ``quota_burst`` capacity); unlisted tenants are
+  unmetered.  Quota rejections do not consume queue slots.
+* **Graceful drain** — :meth:`ServingDaemon.stop` stops accepting,
+  rejects new arrivals with ``draining``, serves every admitted request
+  (flushing the final partial batch), then closes the connections.
+
+The daemon is a single-dispatcher design: batches execute inline on the
+event loop, so the socket front end behaves like the one-server queueing
+station :class:`~repro.serving.latency.LatencySimulator` models —
+``benchmarks/bench_serving_slo.py`` drives the real daemon with the
+open-loop generator and cross-validates the measured latency against that
+model.  :meth:`ServingDaemon.start_in_thread` runs the event loop on a
+background thread for synchronous callers (the CLI, tests, and
+:meth:`repro.api.pipeline.Deployment.daemon`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+from repro.serving.batcher import RequestBatcher
+from repro.serving.request import ServeRequest
+from repro.serving.server import ServeResult
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.api.spec import DaemonSpec
+
+
+@dataclass
+class DaemonStats:
+    """Admission and traffic counters (the ``stats`` verb exposes these)."""
+
+    #: Connections accepted over the daemon's lifetime.
+    connections: int = 0
+    #: Parsed ``serve`` frames (before any admission decision).
+    received: int = 0
+    #: Requests admitted into the queue/batcher.
+    admitted: int = 0
+    #: Admitted requests answered with a ServeResult.
+    served: int = 0
+    #: Arrivals shed because the admission queue was full.
+    shed_queue: int = 0
+    #: Arrivals rejected by a tenant token bucket.
+    shed_quota: int = 0
+    #: Arrivals rejected because the daemon was draining.
+    rejected_draining: int = 0
+    #: Frames that failed to parse or named an unknown op.
+    malformed: int = 0
+    #: ``stats`` frames answered.
+    stats_requests: int = 0
+    #: Quota rejections broken down by tenant.
+    quota_rejections_by_tenant: Dict[str, int] = field(default_factory=dict)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``capacity`` burst."""
+
+    def __init__(self, rate: float, capacity: float):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self._last: Optional[float] = None
+
+    def try_acquire(self, now: float) -> bool:
+        """Refill from elapsed time, then take one token if available."""
+        if self._last is not None:
+            self.tokens = min(self.capacity,
+                              self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class _Rejection:
+    """A non-served outcome resolved onto a request's future."""
+
+    error: str
+    code: int
+    detail: str = ""
+
+
+_SHED = _Rejection("shed", 429, "admission queue full")
+_DRAINING = _Rejection("draining", 503, "daemon is shutting down")
+
+
+class ServingDaemon:
+    """Newline-delimited-JSON TCP front end over an ``OnlineServer``.
+
+    ``server`` is anything with the ``serve_batch(requests, k=...)``
+    contract (an :class:`~repro.serving.server.OnlineServer`, with or
+    without an attached parallel engine).  ``spec`` is a
+    :class:`~repro.api.spec.DaemonSpec`; ``None`` uses its defaults.
+    """
+
+    def __init__(self, server, spec: Optional["DaemonSpec"] = None,
+                 default_k: int = 10):
+        if spec is None:
+            from repro.api.spec import DaemonSpec
+            spec = DaemonSpec()
+        spec.validate()
+        self.spec = spec
+        self.server = server
+        self.default_k = int(default_k)
+        self.batcher = RequestBatcher(server,
+                                      max_batch_size=spec.max_batch_size,
+                                      max_wait_ms=spec.max_wait_ms,
+                                      k=self.default_k)
+        self.stats = DaemonStats()
+        self.host: Optional[str] = None
+        #: The bound port (resolves ``spec.port == 0`` to the real one).
+        self.port: Optional[int] = None
+        self._buckets: Dict[str, TokenBucket] = {
+            tenant: TokenBucket(rate, spec.quota_burst or rate)
+            for tenant, rate in spec.tenant_quotas.items()}
+        #: Admitted requests waiting to enter the batcher:
+        #: ``(request, future)`` in arrival order.
+        self._admitted: Deque[Tuple[ServeRequest, asyncio.Future]] = deque()
+        #: Futures of requests already inside the batcher, submission order.
+        self._futures: Deque[asyncio.Future] = deque()
+        self._writers: set = set()
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self._batch_task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._draining = False
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+        self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unserved requests (admission queue + forming batch)."""
+        return len(self._admitted) + len(self.batcher)
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """The ``stats`` verb's payload: daemon + batcher + queue counters.
+
+        ``admitted`` always reconciles with the batcher's ``submitted`` plus
+        the requests still waiting in the admission queue, and ``served``
+        with the batcher's ``served`` (every dispatched request is answered).
+        """
+        batcher = self.batcher.stats
+        payload = asdict(self.stats)
+        payload.update({
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.spec.max_queue_depth,
+            "draining": self._draining,
+            "batcher": {
+                "submitted": batcher.submitted,
+                "served": batcher.served,
+                "batches": batcher.batches,
+                "flushed_full": batcher.flushed_full,
+                "flushed_wait": batcher.flushed_wait,
+                "flushed_manual": batcher.flushed_manual,
+                "mean_batch_size": round(batcher.mean_batch_size, 4),
+                "pending": len(self.batcher),
+            },
+        })
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Async lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "ServingDaemon":
+        """Bind the socket and start the batching loop; returns when listening."""
+        if self._tcp is not None:
+            raise RuntimeError("daemon already started")
+        self._wake = asyncio.Event()
+        self._tcp = await asyncio.start_server(
+            self._handle_connection, host=self.spec.host, port=self.spec.port)
+        bound = self._tcp.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        self._batch_task = asyncio.create_task(self._batch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, serve everything admitted, close.
+
+        Idempotent.  After ``stop`` returns every admitted request has been
+        answered (the final partial batch is flushed) and every connection
+        has been closed.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._tcp is not None:
+            self._tcp.close()
+        if self._wake is not None:
+            self._wake.set()
+        if self._batch_task is not None:
+            await self._batch_task
+        if self._tcp is not None:
+            await self._tcp.wait_closed()
+        # Let the result callbacks scheduled by the final flush write their
+        # frames before the connections go away.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:      # pragma: no cover - best-effort close
+                pass
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled (then drain)."""
+        if self._tcp is None:
+            await self.start()
+        try:
+            await self._tcp.serve_forever()
+        except asyncio.CancelledError:
+            await self.stop()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Batching loop (single dispatcher)
+    # ------------------------------------------------------------------ #
+    async def _batch_loop(self) -> None:
+        while True:
+            if not self._admitted:
+                if self._draining:
+                    self._resolve(self.batcher.flush())
+                    if not self._admitted:
+                        break
+                    continue
+                deadline_ms = self.batcher.ms_until_deadline()
+                try:
+                    if deadline_ms is None:
+                        await self._wake.wait()
+                    else:
+                        await asyncio.wait_for(self._wake.wait(),
+                                               timeout=max(deadline_ms, 0.2)
+                                               / 1000.0)
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+            while self._admitted:
+                request, future = self._admitted.popleft()
+                self._futures.append(future)
+                self._resolve(self.batcher.submit(request))
+            self._resolve(self.batcher.poll())
+
+    def _resolve(self, results: List[ServeResult]) -> None:
+        """Answer flushed results onto their futures, submission order."""
+        for result in results:
+            future = self._futures.popleft()
+            if not future.done():
+                future.set_result(result)
+                self.stats.served += 1
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                self._handle_frame(line, writer)
+                try:
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:      # pragma: no cover - best-effort close
+                pass
+
+    def _handle_frame(self, raw: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            frame = json.loads(raw)
+            if not isinstance(frame, dict):
+                raise ValueError("frame must be a JSON object")
+        except ValueError as error:
+            self.stats.malformed += 1
+            self._write(writer, {"ok": False, "error": "malformed",
+                                 "code": 400, "detail": str(error)})
+            return
+        echo_id = frame.get("id")
+        op = frame.get("op", "serve")
+        if op == "stats":
+            self.stats.stats_requests += 1
+            self._write(writer, {"ok": True, "stats": self.stats_dict()},
+                        echo_id)
+        elif op == "serve":
+            self._handle_serve(frame, writer, echo_id)
+        else:
+            self.stats.malformed += 1
+            self._write(writer, {"ok": False, "error": "malformed",
+                                 "code": 400,
+                                 "detail": f"unknown op {op!r}"}, echo_id)
+
+    def _handle_serve(self, frame: Dict[str, Any],
+                      writer: asyncio.StreamWriter,
+                      echo_id: Any) -> None:
+        try:
+            request = ServeRequest(int(frame["user_id"]),
+                                   int(frame["query_id"]),
+                                   tenant=frame.get("tenant", "default"))
+            k = int(frame.get("k", self.default_k))
+            if k < 1:
+                raise ValueError("k must be at least 1")
+        except (KeyError, TypeError, ValueError) as error:
+            self.stats.malformed += 1
+            self._write(writer, {"ok": False, "error": "malformed",
+                                 "code": 400, "detail": str(error)}, echo_id)
+            return
+        self.stats.received += 1
+        rejection = self._admission_decision(request)
+        if rejection is not None:
+            self._write_outcome(writer, echo_id, k, request, rejection)
+            return
+        future = asyncio.get_running_loop().create_future()
+        future.add_done_callback(
+            partial(self._on_outcome, writer, echo_id, k, request))
+        self._admitted.append((request, future))
+        self.stats.admitted += 1
+        self._wake.set()
+
+    def _admission_decision(self, request: ServeRequest
+                            ) -> Optional[_Rejection]:
+        """Draining / quota / queue-depth checks, in that order."""
+        if self._draining:
+            self.stats.rejected_draining += 1
+            return _DRAINING
+        bucket = self._buckets.get(request.tenant)
+        if bucket is not None and not bucket.try_acquire(time.monotonic()):
+            self.stats.shed_quota += 1
+            by_tenant = self.stats.quota_rejections_by_tenant
+            by_tenant[request.tenant] = by_tenant.get(request.tenant, 0) + 1
+            return _Rejection("quota", 429,
+                              f"tenant {request.tenant!r} over quota")
+        if self.queue_depth >= self.spec.max_queue_depth:
+            if self.spec.shed_policy == "drop-oldest" and self._admitted:
+                victim_request, victim_future = self._admitted.popleft()
+                if not victim_future.done():
+                    victim_future.set_result(_SHED)
+                self.stats.shed_queue += 1
+                return None         # the newcomer takes the freed slot
+            self.stats.shed_queue += 1
+            return _SHED
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Response writing
+    # ------------------------------------------------------------------ #
+    def _on_outcome(self, writer: asyncio.StreamWriter, echo_id: Any, k: int,
+                    request: ServeRequest, future: asyncio.Future) -> None:
+        if future.cancelled():      # pragma: no cover - defensive
+            return
+        self._write_outcome(writer, echo_id, k, request, future.result())
+
+    def _write_outcome(self, writer: asyncio.StreamWriter, echo_id: Any,
+                       k: int, request: ServeRequest, outcome: Any) -> None:
+        if isinstance(outcome, _Rejection):
+            self._write(writer, {
+                "ok": False, "error": outcome.error, "code": outcome.code,
+                "detail": outcome.detail, "user_id": request.user_id,
+                "query_id": request.query_id, "tenant": request.tenant,
+            }, echo_id)
+            return
+        result: ServeResult = outcome
+        self._write(writer, {
+            "ok": True,
+            "user_id": result.user_id,
+            "query_id": result.query_id,
+            "tenant": result.tenant,
+            "item_ids": [int(i) for i in result.item_ids[:k]],
+            "scores": [float(s) for s in result.scores[:k]],
+            "from_inverted_index": bool(result.from_inverted_index),
+            "latency_ms": round(result.latency.service_ms, 4),
+        }, echo_id)
+
+    @staticmethod
+    def _write(writer: asyncio.StreamWriter, payload: Dict[str, Any],
+               echo_id: Any = None) -> None:
+        if echo_id is not None:
+            payload["id"] = echo_id
+        if writer.is_closing():
+            return
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+
+    # ------------------------------------------------------------------ #
+    # Synchronous (background-thread) lifecycle
+    # ------------------------------------------------------------------ #
+    def start_in_thread(self, timeout: float = 30.0) -> "ServingDaemon":
+        """Run the daemon's event loop on a daemon thread; returns once bound.
+
+        This is how synchronous callers (CLI, tests,
+        :meth:`repro.api.pipeline.Deployment.daemon`) host the asyncio tier;
+        pair with :meth:`close`, or use the daemon as a context manager.
+        """
+        if self._thread is not None or self._tcp is not None:
+            raise RuntimeError("daemon already started")
+        loop = asyncio.new_event_loop()
+        self._thread_loop = loop
+        ready = threading.Event()
+        failures: List[BaseException] = []
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as error:   # bind failures surface caller-side
+                failures.append(error)
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            loop.run_forever()
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+        self._thread = threading.Thread(target=_run, name="repro-daemon",
+                                        daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("daemon failed to start within the timeout")
+        if failures:
+            self._thread.join()
+            self._thread = None
+            raise failures[0]
+        return self
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Drain and stop a thread-hosted daemon (see :meth:`stop`); idempotent."""
+        if self._thread is None or self._thread_loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.stop(),
+                                                  self._thread_loop)
+        future.result(timeout=timeout)
+        self._thread_loop.call_soon_threadsafe(self._thread_loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServingDaemon":
+        """Start on a background thread when not already running."""
+        if self._tcp is None and self._thread is None:
+            self.start_in_thread()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Drain and stop the thread-hosted daemon."""
+        self.close()
+
+
+class DaemonClient:
+    """Blocking newline-delimited-JSON client for :class:`ServingDaemon`.
+
+    One request at a time per client: each call writes a frame and reads
+    exactly one response, so the pipelined-ordering caveat of the wire
+    protocol never applies.  Use the raw :meth:`send` / :meth:`recv`
+    primitives to exercise pipelining (the daemon tests do).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def send(self, frame: Dict[str, Any]) -> None:
+        """Write one frame without waiting for its response."""
+        self._sock.sendall(json.dumps(frame).encode("utf-8") + b"\n")
+
+    def send_raw(self, payload: bytes) -> None:
+        """Write raw bytes (malformed-frame tests)."""
+        self._sock.sendall(payload)
+
+    def recv(self) -> Dict[str, Any]:
+        """Read one response frame; raises ``ConnectionError`` on EOF."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One frame in, one frame out."""
+        self.send(frame)
+        return self.recv()
+
+    def serve(self, user_id: int, query_id: int, k: int = 10,
+              tenant: str = "default") -> Dict[str, Any]:
+        """Serve one request and return the decoded response frame."""
+        return self.request({"op": "serve", "user_id": int(user_id),
+                             "query_id": int(query_id), "k": int(k),
+                             "tenant": tenant})
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's counters (see :meth:`ServingDaemon.stats_dict`)."""
+        return self.request({"op": "stats"})["stats"]
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        """Context-manager entry (connection already open)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the connection on block exit."""
+        self.close()

@@ -1,0 +1,205 @@
+"""Open-loop Poisson load generator for the serving daemon.
+
+Closed-loop drivers (send, wait, send) hide overload: when the server slows
+down, the driver slows down with it and the measured latency flattens at a
+comfortable lie.  This generator is **open loop** — arrival times are drawn
+up front from a Poisson process (exponential inter-arrivals at the target
+QPS) and each request is fired at its absolute scheduled time regardless of
+whether earlier requests have completed, so queueing delay and load shedding
+show up exactly as a real traffic source would see them.
+
+Each arrival opens its own connection, sends one ``serve`` frame, reads the
+one response, and records the outcome (served / shed / quota / draining /
+transport error) and the send-to-response latency.  The resulting
+:class:`LoadReport` carries the latency percentiles that
+``benchmarks/bench_serving_slo.py`` pins against the
+:class:`~repro.serving.latency.LatencySimulator` prediction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LoadReport:
+    """Outcome counts and latency percentiles of one open-loop run."""
+
+    #: Target offered load (requests/second).
+    qps: float
+    #: Requests actually fired.
+    sent: int = 0
+    #: Requests answered with ``ok: true``.
+    served: int = 0
+    #: Requests shed by admission control (``error: "shed"``).
+    shed: int = 0
+    #: Requests rejected by a tenant quota (``error: "quota"``).
+    quota: int = 0
+    #: Requests rejected because the daemon was draining.
+    draining: int = 0
+    #: Transport failures (connect/read errors) and malformed responses.
+    errors: int = 0
+    #: Wall-clock duration of the run in seconds.
+    elapsed_s: float = 0.0
+    #: ``sent / elapsed_s`` — the load actually offered.
+    achieved_qps: float = 0.0
+    #: Send-to-response latency of served requests, milliseconds.
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th latency percentile (served requests only)."""
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    @property
+    def p50_ms(self) -> float:
+        """Median served latency in milliseconds."""
+        return self.percentile_ms(50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile served latency in milliseconds."""
+        return self.percentile_ms(99.0)
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of sent requests shed by queue or quota admission."""
+        if self.sent == 0:
+            return 0.0
+        return (self.shed + self.quota) / self.sent
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (percentiles instead of raw latencies)."""
+        mean = float(np.mean(self.latencies_ms)) if self.latencies_ms else float("nan")
+        return {
+            "qps": self.qps,
+            "sent": self.sent,
+            "served": self.served,
+            "shed": self.shed,
+            "quota": self.quota,
+            "draining": self.draining,
+            "errors": self.errors,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "achieved_qps": round(self.achieved_qps, 2),
+            "shed_fraction": round(self.shed_fraction, 4),
+            "latency_ms": {
+                "mean": round(mean, 3),
+                "p50": round(self.p50_ms, 3),
+                "p95": round(self.percentile_ms(95.0), 3),
+                "p99": round(self.p99_ms, 3),
+            },
+        }
+
+
+class OpenLoopLoadGenerator:
+    """Fire Poisson arrivals at a :class:`~repro.serving.daemon.ServingDaemon`.
+
+    ``num_users`` / ``num_queries`` bound the uniformly sampled request
+    population; ``seed`` makes the arrival schedule and the request mix
+    reproducible.  ``run()`` blocks until every scheduled request has
+    resolved and returns a :class:`LoadReport`.
+    """
+
+    def __init__(self, host: str, port: int, qps: float,
+                 num_requests: int, num_users: int, num_queries: int,
+                 k: int = 10, tenant: str = "default", seed: int = 0,
+                 timeout_s: float = 30.0):
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        self.host = host
+        self.port = int(port)
+        self.qps = float(qps)
+        self.num_requests = int(num_requests)
+        self.num_users = int(num_users)
+        self.num_queries = int(num_queries)
+        self.k = int(k)
+        self.tenant = tenant
+        self.seed = int(seed)
+        self.timeout_s = float(timeout_s)
+
+    def schedule(self) -> np.ndarray:
+        """Absolute send offsets (seconds) — exponential gaps at ``qps``."""
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.qps, size=self.num_requests)
+        return np.cumsum(gaps)
+
+    def run(self) -> LoadReport:
+        """Execute the open-loop run to completion (blocking)."""
+        return asyncio.run(self._run())
+
+    async def _run(self) -> LoadReport:
+        offsets = self.schedule()
+        rng = np.random.default_rng(self.seed + 1)
+        users = rng.integers(0, self.num_users, size=self.num_requests)
+        queries = rng.integers(0, self.num_queries, size=self.num_requests)
+        report = LoadReport(qps=self.qps)
+        start = time.perf_counter()
+        tasks = []
+        for index, offset in enumerate(offsets):
+            delay = start + float(offset) - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            frame = {"op": "serve", "user_id": int(users[index]),
+                     "query_id": int(queries[index]), "k": self.k,
+                     "tenant": self.tenant, "id": index}
+            tasks.append(asyncio.create_task(self._one(frame, report)))
+        report.sent = len(tasks)
+        if tasks:
+            await asyncio.wait(tasks, timeout=self.timeout_s)
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+                    report.errors += 1
+        report.elapsed_s = time.perf_counter() - start
+        if report.elapsed_s > 0:
+            report.achieved_qps = report.sent / report.elapsed_s
+        return report
+
+    async def _one(self, frame: Dict[str, Any], report: LoadReport) -> None:
+        sent_at = time.perf_counter()
+        writer = None
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            writer.write(json.dumps(frame).encode("utf-8") + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                report.errors += 1
+                return
+            response = json.loads(line)
+        except (ConnectionError, OSError, ValueError):
+            report.errors += 1
+            return
+        finally:
+            if writer is not None:
+                try:
+                    writer.close()
+                except Exception:   # pragma: no cover - best-effort close
+                    pass
+        self._classify(response, sent_at, report)
+
+    @staticmethod
+    def _classify(response: Dict[str, Any], sent_at: float,
+                  report: LoadReport) -> None:
+        if response.get("ok"):
+            report.served += 1
+            report.latencies_ms.append((time.perf_counter() - sent_at) * 1000.0)
+            return
+        error: Optional[str] = response.get("error")
+        if error == "shed":
+            report.shed += 1
+        elif error == "quota":
+            report.quota += 1
+        elif error == "draining":
+            report.draining += 1
+        else:
+            report.errors += 1

@@ -1,0 +1,64 @@
+"""The serving request type shared by every front end.
+
+:class:`ServeRequest` is the single request object used end to end by the
+serving tier: :meth:`~repro.serving.server.OnlineServer.serve_batch`,
+:meth:`~repro.serving.batcher.RequestBatcher.submit`, and the
+:mod:`~repro.serving.daemon` wire protocol all accept it.  The legacy call
+style — a bare ``(user_id, query_id)`` pair — keeps working everywhere via
+:func:`coerce_request`, and serves results bit-identical to the typed form
+(the tenant label never enters the retrieval math; it only drives admission
+control and quota accounting in the daemon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+#: Anything the serving surface accepts as one request.
+RequestLike = Union["ServeRequest", Tuple[int, int], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One retrieval request: who is asking (``user_id``, ``tenant``) what (``query_id``)."""
+
+    user_id: int
+    query_id: int
+    #: Admission-control/quota label; never affects retrieval results.
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        """Normalise ids to plain ints (numpy scalars round-trip)."""
+        object.__setattr__(self, "user_id", int(self.user_id))
+        object.__setattr__(self, "query_id", int(self.query_id))
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """The ``(user_id, query_id)`` pair legacy call sites pass around."""
+        return (self.user_id, self.query_id)
+
+
+def coerce_request(value: RequestLike, tenant: str = "default") -> ServeRequest:
+    """Accept a :class:`ServeRequest` or a bare ``(user_id, query_id)`` pair.
+
+    The compat path is intentionally strict: a bare pair must have exactly
+    two elements, so malformed requests fail loudly at the boundary instead
+    of deep inside the batch assembly.
+    """
+    if isinstance(value, ServeRequest):
+        return value
+    try:
+        user_id, query_id = value
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"expected a ServeRequest or a (user_id, query_id) pair, "
+            f"got {value!r}") from None
+    return ServeRequest(int(user_id), int(query_id), tenant=tenant)
+
+
+def coerce_requests(values: Sequence[RequestLike]) -> List[ServeRequest]:
+    """Vector form of :func:`coerce_request` (one list pass, order kept)."""
+    return [coerce_request(value) for value in values]

@@ -42,6 +42,7 @@ from repro.serving.ann import IVFIndex, strip_padding
 from repro.serving.cache import NeighborCache
 from repro.serving.inverted_index import InvertedIndex
 from repro.serving.latency import LatencyBreakdown, LatencySimulator
+from repro.serving.request import RequestLike, coerce_requests
 from repro.serving.sharding import ShardedIndex
 
 
@@ -55,6 +56,9 @@ class ServeResult:
     scores: np.ndarray
     latency: LatencyBreakdown
     from_inverted_index: bool
+    #: Admission-control label carried over from the request; retrieval
+    #: results are identical for every tenant.
+    tenant: str = "default"
 
 
 @dataclass
@@ -333,14 +337,23 @@ class OnlineServer:
     # ------------------------------------------------------------------ #
     # Online path
     # ------------------------------------------------------------------ #
-    def serve(self, user_id: int, query_id: int, k: int = 10) -> ServeResult:
-        """Serve one retrieval request (a batch of one through serve_batch)."""
-        return self.serve_batch([(user_id, query_id)], k=k)[0]
+    def serve(self, request: RequestLike, query_id: Optional[int] = None,
+              k: int = 10) -> ServeResult:
+        """Serve one retrieval request (a batch of one through serve_batch).
 
-    def serve_batch(self, requests: Sequence[Tuple[int, int]],
+        Accepts a :class:`~repro.serving.request.ServeRequest` or the legacy
+        positional ``serve(user_id, query_id)`` call style.
+        """
+        if query_id is not None:
+            request = (int(request), int(query_id))
+        return self.serve_batch([request], k=k)[0]
+
+    def serve_batch(self, requests: Sequence[RequestLike],
                     k: int = 10) -> List[ServeResult]:
-        """Serve a micro-batch of ``(user, query)`` requests.
+        """Serve a micro-batch of requests.
 
+        Each element is a :class:`~repro.serving.request.ServeRequest` or a
+        bare ``(user_id, query_id)`` pair (coerced, bit-identical results).
         Returns one :class:`ServeResult` per request, in request order, with
         each latency stage amortised over the batch.  Results (ids, scores,
         cache/index statistics) are identical to serving the same requests
@@ -348,8 +361,8 @@ class OnlineServer:
         """
         from repro.graph.schema import NodeType
 
-        requests = [(int(user_id), int(query_id))
-                    for user_id, query_id in requests]
+        typed = coerce_requests(requests)
+        requests = [request.key for request in typed]
         if not requests:
             return []
         batch = len(requests)
@@ -412,7 +425,8 @@ class OnlineServer:
                         latency=LatencyBreakdown(cache_ms=cache_ms / batch,
                                                  attention_ms=attention_ms / batch,
                                                  ann_ms=ann_ms / batch),
-                        from_inverted_index=from_index[row])
+                        from_inverted_index=from_index[row],
+                        tenant=typed[row].tenant)
             for row, (user_id, query_id) in enumerate(requests)
         ]
 

@@ -14,6 +14,7 @@ from repro.api import (
     DATASETS,
     MODELS,
     SAMPLERS,
+    DaemonSpec,
     DataSpec,
     ExperimentSpec,
     ModelSpec,
@@ -317,3 +318,86 @@ class TestPipeline:
         assert server.num_shards == 2
         assert len(server.cache) > 0
         assert len(server.inverted_index) > 0
+
+
+class TestDaemonSpec:
+    def test_defaults_validate_and_round_trip(self):
+        spec = tiny_spec()
+        spec.daemon = DaemonSpec(max_batch_size=8, max_wait_ms=2.0,
+                                 max_queue_depth=32, shed_policy="drop-oldest",
+                                 tenant_quotas={"free": 5.0}, quota_burst=2.0)
+        spec.validate()
+        rebuilt = ExperimentSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.daemon.tenant_quotas == {"free": 5.0}
+
+    def test_queue_depth_must_cover_batch_size(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            DaemonSpec(max_batch_size=64, max_queue_depth=32).validate()
+
+    def test_range_and_policy_validation(self):
+        with pytest.raises(ValueError, match="shed_policy"):
+            DaemonSpec(shed_policy="panic").validate()
+        with pytest.raises(ValueError, match="port"):
+            DaemonSpec(port=70_000).validate()
+        with pytest.raises(ValueError, match="host"):
+            DaemonSpec(host="").validate()
+        with pytest.raises(ValueError, match="quota"):
+            DaemonSpec(tenant_quotas={"free": 0.0}).validate()
+        with pytest.raises(ValueError, match="quota"):
+            DaemonSpec(tenant_quotas={"": 1.0}).validate()
+        with pytest.raises(ValueError, match="quota_burst"):
+            DaemonSpec(quota_burst=-1.0).validate()
+
+    def test_experiment_validate_covers_daemon_section(self):
+        spec = tiny_spec()
+        spec.daemon = DaemonSpec(max_batch_size=64, max_queue_depth=32)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            spec.validate()
+
+    def test_unknown_daemon_key_rejected(self):
+        data = tiny_spec().to_dict()
+        data["daemon"]["nope"] = 1
+        with pytest.raises(ValueError, match="nope"):
+            ExperimentSpec.from_dict(data)
+
+
+class TestDeployment:
+    def test_deploy_returns_delegating_handle(self):
+        from repro.api import Deployment
+
+        pipeline = Pipeline(tiny_spec())
+        deployment = pipeline.deploy()
+        assert isinstance(deployment, Deployment)
+        assert deployment.server is pipeline.server
+        assert pipeline.deployment is deployment
+        # Attribute access and the serving calls behave exactly like the
+        # raw OnlineServer the handle wraps.
+        assert deployment.num_shards == pipeline.server.num_shards
+        assert len(deployment.cache) > 0
+        direct = pipeline.server.serve_batch([(0, 0), (1, 3)], k=3)
+        via_handle = deployment.serve_batch([(0, 0), (1, 3)], k=3)
+        for one, two in zip(direct, via_handle):
+            np.testing.assert_array_equal(one.item_ids, two.item_ids)
+        single = deployment.serve(0, 0, k=3)
+        assert len(single.item_ids) == 3
+        deployment.close()   # no daemons started: a no-op
+
+    def test_deployment_daemon_round_trip_and_drain(self):
+        from repro.serving import DaemonClient
+
+        spec = tiny_spec()
+        spec.daemon = DaemonSpec(max_batch_size=4, max_wait_ms=5.0,
+                                 max_queue_depth=16)
+        with Pipeline(spec) as pipeline:
+            deployment = pipeline.deploy()
+            expected = deployment.serve_batch([(1, 2)], k=3)[0]
+            daemon = deployment.daemon()
+            assert (daemon.host, daemon.port) != (None, None)
+            with DaemonClient(daemon.host, daemon.port) as client:
+                response = client.serve(1, 2, k=3)
+            assert response["ok"] is True
+            np.testing.assert_array_equal(response["item_ids"],
+                                          expected.item_ids[:3])
+        # Pipeline.close() drained the deployment's daemon.
+        assert daemon._thread is None

@@ -1,0 +1,307 @@
+"""Tests for the asyncio TCP serving daemon and the open-loop load generator.
+
+The guarantees pinned here:
+
+* **Equivalence** — a request served over the socket returns exactly the
+  ids/scores of an in-process ``serve_batch`` call on the same server.
+* **Admission control** — the daemon sheds precisely the arrivals beyond
+  ``max_queue_depth`` (``reject``), or evicts the oldest queued request in
+  the newcomer's favour (``drop-oldest``); per-tenant token buckets reject
+  over-quota tenants without consuming queue slots.
+* **Idle-straggler fix** — a partial batch parked under idle traffic is
+  flushed by the timer within ``max_wait_ms`` with no follow-up request.
+* **Graceful drain** — ``stop()``/``close()`` answers every admitted
+  request before the connections close; post-drain arrivals are rejected.
+* **Robustness** — malformed frames get a 400-style reply and the
+  connection keeps working.
+* **Accounting** — the ``stats`` verb's counters reconcile with the
+  underlying :class:`~repro.serving.batcher.BatcherStats`.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.spec import DaemonSpec
+from repro.baselines import STAMPModel
+from repro.serving import (
+    DaemonClient,
+    OnlineServer,
+    OpenLoopLoadGenerator,
+    ServeRequest,
+    ServingDaemon,
+)
+from repro.serving.daemon import TokenBucket
+
+
+@pytest.fixture(scope="module")
+def server(tiny_graph):
+    model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+    server = OnlineServer(model, cache_capacity=5, ann_cells=4, ann_nprobe=2)
+    server.warm_caches(range(5), range(5))
+    server.build_inverted_index(range(5))
+    return server
+
+
+def make_daemon(server, **overrides) -> ServingDaemon:
+    defaults = dict(max_batch_size=4, max_wait_ms=5.0, max_queue_depth=16)
+    defaults.update(overrides)
+    return ServingDaemon(server, spec=DaemonSpec(**defaults))
+
+
+class _SlowServer:
+    """Wraps a server with a fixed per-batch delay to make overload real."""
+
+    def __init__(self, server, delay_s=0.03):
+        self._server = server
+        self._delay_s = delay_s
+
+    def serve_batch(self, requests, k=10):
+        time.sleep(self._delay_s)
+        return self._server.serve_batch(requests, k=k)
+
+
+class TestRoundTrip:
+    def test_matches_in_process_serve_batch(self, server):
+        expected = server.serve_batch([(1, 2)], k=5)[0]
+        with make_daemon(server) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            response = client.serve(1, 2, k=5)
+        assert response["ok"] is True
+        assert response["user_id"] == 1 and response["query_id"] == 2
+        np.testing.assert_array_equal(response["item_ids"],
+                                      expected.item_ids[:5])
+        np.testing.assert_allclose(response["scores"], expected.scores[:5])
+        assert response["from_inverted_index"] == expected.from_inverted_index
+
+    def test_pipelined_batch_matches_and_echoes_ids(self, server):
+        requests = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        expected = server.serve_batch(requests, k=3)
+        with make_daemon(server) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            for index, (user_id, query_id) in enumerate(requests):
+                client.send({"user_id": user_id, "query_id": query_id,
+                             "k": 3, "id": index})
+            responses = sorted((client.recv() for _ in requests),
+                               key=lambda r: r["id"])
+        for response, result in zip(responses, expected):
+            assert response["ok"] is True
+            np.testing.assert_array_equal(response["item_ids"],
+                                          result.item_ids[:3])
+
+    def test_tenant_round_trips(self, server):
+        with make_daemon(server) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            response = client.serve(0, 1, k=3, tenant="gold")
+        assert response["tenant"] == "gold"
+
+
+class TestIdleStragglerFlush:
+    def test_partial_batch_flushes_without_follow_up_traffic(self, server):
+        # One lonely request, a batch that will never fill: the timer must
+        # flush it within ~max_wait_ms, not park it until the next submit.
+        with make_daemon(server, max_batch_size=100, max_wait_ms=10.0,
+                         max_queue_depth=128) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            start = time.perf_counter()
+            response = client.serve(0, 1, k=3)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+        assert response["ok"] is True
+        assert daemon.batcher.stats.flushed_wait >= 1
+        assert elapsed_ms < 5000.0   # generous bound for a 10 ms deadline
+
+
+class TestAdmissionControl:
+    def test_sheds_under_sustained_overload(self, server):
+        # A deliberately slow backend (30 ms per batch of <= 4) and a burst
+        # of 40 instantaneous arrivals: the 4-deep admission queue must shed
+        # part of the burst with 429s while everything admitted is served.
+        slow = _SlowServer(server, delay_s=0.03)
+        with make_daemon(slow, max_batch_size=4, max_wait_ms=1.0,
+                         max_queue_depth=4) as daemon:
+            with DaemonClient(daemon.host, daemon.port) as client:
+                total = 40
+                for index in range(total):
+                    client.send({"user_id": index % 5, "query_id": index % 5,
+                                 "k": 3, "id": index})
+                responses = [client.recv() for _ in range(total)]
+        served = [r for r in responses if r["ok"]]
+        shed = [r for r in responses if not r["ok"]]
+        assert all(r["error"] == "shed" and r["code"] == 429 for r in shed)
+        assert shed, "an overloaded 4-deep queue must shed part of the burst"
+        assert served, "admitted requests must still be served"
+        assert daemon.stats.shed_queue == len(shed)
+        assert daemon.stats.served == len(served)
+        assert daemon.stats.received == total
+        # Every frame got exactly one response, none were dropped silently.
+        assert sorted(r["id"] for r in responses) == list(range(total))
+
+    def test_drop_oldest_evicts_queued_victim(self, server):
+        daemon = make_daemon(server, max_batch_size=2,
+                             max_wait_ms=60_000.0, max_queue_depth=2,
+                             shed_policy="drop-oldest")
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            old, newer = loop.create_future(), loop.create_future()
+            daemon._admitted.append((ServeRequest(0, 0), old))
+            daemon._admitted.append((ServeRequest(1, 1), newer))
+            rejection = daemon._admission_decision(ServeRequest(2, 2))
+            assert rejection is None          # the newcomer takes the slot
+            assert old.done()                 # oldest was evicted...
+            assert old.result().error == "shed"
+            assert not newer.done()           # ...and only the oldest
+            assert daemon.stats.shed_queue == 1
+
+        asyncio.run(scenario())
+
+    def test_reject_policy_sheds_the_newcomer(self, server):
+        daemon = make_daemon(server, max_batch_size=2,
+                             max_wait_ms=60_000.0, max_queue_depth=2,
+                             shed_policy="reject")
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            futures = [loop.create_future(), loop.create_future()]
+            for index, future in enumerate(futures):
+                daemon._admitted.append((ServeRequest(index, index), future))
+            rejection = daemon._admission_decision(ServeRequest(2, 2))
+            assert rejection is not None and rejection.error == "shed"
+            assert not any(future.done() for future in futures)
+
+        asyncio.run(scenario())
+
+    def test_per_tenant_quota(self, server):
+        # tenant "free" gets 2 req/s with a burst of 2 tokens; five
+        # back-to-back requests leave three quota-rejected.  The default
+        # tenant is unmetered.
+        with make_daemon(server, tenant_quotas={"free": 2.0}) as daemon:
+            with DaemonClient(daemon.host, daemon.port) as client:
+                for index in range(5):
+                    client.send({"user_id": index % 5, "query_id": index % 5,
+                                 "k": 3, "tenant": "free", "id": index})
+                responses = [client.recv() for _ in range(5)]
+                ok = [r for r in responses if r["ok"]]
+                rejected = [r for r in responses if not r["ok"]]
+                assert len(ok) == 2
+                assert all(r["error"] == "quota" and r["code"] == 429
+                           for r in rejected)
+                assert client.serve(0, 1, k=3)["ok"] is True   # unmetered
+        assert daemon.stats.shed_quota == 3
+        assert daemon.stats.quota_rejections_by_tenant == {"free": 3}
+
+    def test_token_bucket_refills_over_time(self):
+        bucket = TokenBucket(rate=10.0, capacity=1.0)
+        assert bucket.try_acquire(0.0) is True
+        assert bucket.try_acquire(0.0) is False    # burst spent
+        assert bucket.try_acquire(0.1) is True     # 0.1 s * 10/s = 1 token
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+
+
+class TestProtocolRobustness:
+    def test_malformed_frames_do_not_kill_the_connection(self, server):
+        with make_daemon(server) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            client.send_raw(b"this is not json\n")
+            assert client.recv()["code"] == 400
+            client.send_raw(b"[1, 2, 3]\n")            # JSON, not an object
+            assert client.recv()["code"] == 400
+            client.send({"op": "serve"})               # missing user/query
+            assert client.recv()["code"] == 400
+            client.send({"op": "no-such-op"})
+            assert client.recv()["code"] == 400
+            response = client.serve(0, 1, k=3)         # still alive
+            assert response["ok"] is True
+            assert daemon.stats.malformed == 4
+
+    def test_invalid_k_and_tenant_rejected(self, server):
+        with make_daemon(server) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            client.send({"user_id": 0, "query_id": 1, "k": 0})
+            assert client.recv()["code"] == 400
+            client.send({"user_id": 0, "query_id": 1, "tenant": ""})
+            assert client.recv()["code"] == 400
+
+
+class TestGracefulDrain:
+    def test_admitted_requests_answered_before_close(self, server):
+        with make_daemon(server, max_batch_size=100, max_wait_ms=60_000.0,
+                         max_queue_depth=128) as daemon:
+            client = DaemonClient(daemon.host, daemon.port)
+            for index in range(3):
+                client.send({"user_id": index, "query_id": index, "k": 3,
+                             "id": index})
+            time.sleep(0.05)                  # let the daemon admit them
+            daemon.close()
+            responses = [client.recv() for _ in range(3)]
+            assert all(r["ok"] for r in responses)
+            with pytest.raises(ConnectionError):
+                client.recv()                 # drained daemon closed the socket
+            client.close()
+        assert daemon.stats.served == 3
+        assert daemon.batcher.stats.flushed_manual >= 1   # the drain flush
+
+    def test_close_is_idempotent(self, server):
+        daemon = make_daemon(server).start_in_thread()
+        daemon.close()
+        daemon.close()
+
+
+class TestStatsVerb:
+    def test_counters_reconcile_with_batcher_stats(self, server):
+        with make_daemon(server) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            for index in range(4):
+                assert client.serve(index % 5, index % 5, k=3)["ok"]
+            stats = client.stats()
+        assert stats["received"] == 4
+        assert stats["admitted"] == 4
+        assert stats["served"] == 4
+        assert stats["queue_depth"] == 0
+        assert stats["batcher"]["submitted"] == stats["admitted"]
+        assert stats["batcher"]["served"] == stats["served"]
+        assert stats["batcher"]["batches"] >= 1
+        assert daemon.stats.stats_requests == 1
+
+
+class TestLoadGenerator:
+    def test_open_loop_run_accounts_for_every_request(self, server):
+        with make_daemon(server, max_batch_size=8,
+                         max_queue_depth=64) as daemon:
+            generator = OpenLoopLoadGenerator(
+                daemon.host, daemon.port, qps=400.0, num_requests=30,
+                num_users=5, num_queries=5, k=3, seed=11)
+            report = generator.run()
+        assert report.sent == 30
+        assert report.sent == (report.served + report.shed + report.quota
+                               + report.draining + report.errors)
+        assert report.served == 30            # no overload at this scale
+        assert report.errors == 0
+        assert len(report.latencies_ms) == report.served
+        assert report.p50_ms > 0.0
+        assert report.to_dict()["latency_ms"]["p99"] >= \
+            report.to_dict()["latency_ms"]["p50"]
+
+    def test_schedule_is_reproducible_and_poisson_paced(self):
+        generator = OpenLoopLoadGenerator("127.0.0.1", 1, qps=100.0,
+                                          num_requests=200, num_users=5,
+                                          num_queries=5, seed=3)
+        again = OpenLoopLoadGenerator("127.0.0.1", 1, qps=100.0,
+                                      num_requests=200, num_users=5,
+                                      num_queries=5, seed=3)
+        offsets = generator.schedule()
+        np.testing.assert_array_equal(offsets, again.schedule())
+        assert np.all(np.diff(offsets) > 0)
+        mean_gap = float(np.mean(np.diff(offsets)))
+        assert 0.5 / 100.0 < mean_gap < 2.0 / 100.0   # ~1/qps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator("h", 1, qps=0.0, num_requests=1,
+                                  num_users=1, num_queries=1)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator("h", 1, qps=1.0, num_requests=0,
+                                  num_users=1, num_queries=1)

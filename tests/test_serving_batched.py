@@ -28,7 +28,9 @@ from repro.serving import (
     NeighborCache,
     OnlineServer,
     RequestBatcher,
+    ServeRequest,
     ShardedIndex,
+    coerce_request,
     strip_padding,
 )
 
@@ -445,6 +447,76 @@ class TestRequestBatcher:
             RequestBatcher(server, max_batch_size=0)
         with pytest.raises(ValueError):
             RequestBatcher(server, max_wait_ms=-1.0)
+
+    def test_poll_flushes_wait_expired_partial_batch(self, server):
+        # The idle-straggler gap: without poll(), a partial batch whose wait
+        # expired would sit forever unless another submit arrived.
+        batcher = RequestBatcher(server, max_batch_size=100, max_wait_ms=5.0,
+                                 k=5)
+        batcher.submit(0, 1, now_ms=0.0)
+        batcher.submit(1, 2, now_ms=1.0)
+        assert batcher.poll(now_ms=4.9) == []        # within the wait budget
+        assert len(batcher) == 2
+        results = batcher.poll(now_ms=5.0)           # deadline reached
+        assert [(r.user_id, r.query_id) for r in results] == [(0, 1), (1, 2)]
+        assert len(batcher) == 0
+        assert batcher.stats.flushed_wait == 1
+        assert batcher.poll(now_ms=100.0) == []      # nothing left to flush
+
+    def test_ms_until_deadline(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100, max_wait_ms=5.0,
+                                 k=5)
+        assert batcher.ms_until_deadline() is None   # no pending, no timer
+        batcher.submit(0, 1, now_ms=10.0)
+        assert batcher.ms_until_deadline(now_ms=10.0) == 5.0
+        assert batcher.ms_until_deadline(now_ms=13.0) == 2.0
+        assert batcher.ms_until_deadline(now_ms=99.0) == 0.0   # clamped
+        batcher.flush()
+        assert batcher.ms_until_deadline() is None
+
+
+class TestServeRequest:
+    @pytest.fixture(scope="class")
+    def server(self, tiny_graph):
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        server = OnlineServer(model, cache_capacity=5, ann_cells=4,
+                              ann_nprobe=2)
+        server.warm_caches(range(5), range(5))
+        server.build_inverted_index(range(5))
+        return server
+
+    def test_coercion_and_validation(self):
+        request = coerce_request((3, 7))
+        assert request == ServeRequest(3, 7)
+        assert request.key == (3, 7)
+        assert request.tenant == "default"
+        assert coerce_request(request) is request
+        with pytest.raises(TypeError):
+            coerce_request("not-a-pair")
+        with pytest.raises(ValueError):
+            ServeRequest(1, 2, tenant="")
+
+    def test_serve_batch_accepts_typed_and_tuples_identically(self, server):
+        tuples = [(0, 1), (1, 2), (2, 3)]
+        typed = [ServeRequest(u, q, tenant="gold") for u, q in tuples]
+        via_tuples = server.serve_batch(tuples, k=5)
+        via_typed = server.serve_batch(typed, k=5)
+        for one, two in zip(via_tuples, via_typed):
+            np.testing.assert_array_equal(one.item_ids, two.item_ids)
+            np.testing.assert_array_equal(one.scores, two.scores)
+        assert all(r.tenant == "default" for r in via_tuples)
+        assert all(r.tenant == "gold" for r in via_typed)
+
+    def test_batcher_accepts_typed_requests(self, server):
+        batcher = RequestBatcher(server, max_batch_size=2, max_wait_ms=1e9,
+                                 k=5)
+        assert batcher.submit(ServeRequest(0, 1, tenant="gold"),
+                              now_ms=0.0) == []
+        assert batcher.pending == [(0, 1)]           # legacy tuple view
+        assert batcher.pending_requests[0].tenant == "gold"
+        results = batcher.submit((1, 2), now_ms=0.1)
+        assert [(r.user_id, r.query_id) for r in results] == [(0, 1), (1, 2)]
+        assert results[0].tenant == "gold"
 
 
 class TestBatchedLatencyModel:
