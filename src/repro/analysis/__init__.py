@@ -1,0 +1,46 @@
+"""Project-specific static analysis: the repo's contracts as machine checks.
+
+Generic linters (ruff, Pyflakes) cannot see the invariants this repo's
+correctness rests on: Philox-keyed determinism across backends and worker
+counts, shared-memory blocks that must be unlinked by their owner, an
+asyncio serving daemon whose event loop must never block, and ``*Spec``
+dataclasses that must round-trip and validate every field.  This package
+turns each of those contracts into an AST rule that fails CI the moment a
+change violates it.
+
+Architecture mirrors :mod:`repro.api.registry`: rules are plugins added
+with the :func:`~repro.analysis.core.register_rule` decorator, dispatched
+off AST node types by the :class:`~repro.analysis.core.Analyzer` (one
+parse per file).  Violations can be suppressed inline with a justification
+comment — ``# repro: allow[RULE] -- why`` — and a suppression that stops
+firing is itself a violation (``SUP001``), so the baseline can only shrink.
+
+Entry points: ``python -m repro.cli lint [paths...]`` (text or ``--format
+json``, exit code 1 on violations) and, programmatically::
+
+    from repro.analysis import Analyzer
+
+    violations = Analyzer().check_source(source_text, "src/repro/foo.py")
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.runner import LintReport, iter_python_files, run_lint
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "iter_python_files",
+    "register_rule",
+    "run_lint",
+]

@@ -1,0 +1,365 @@
+"""The AST-visitor framework behind :mod:`repro.analysis`.
+
+One :class:`Analyzer` parses each file exactly once and walks the tree a
+single time, dispatching nodes to every registered :class:`Rule` that
+declared interest in that node type (the same decorator-registry pattern
+as :mod:`repro.api.registry`).  The walk maintains the class/function
+scope stacks rules need (is this call inside an ``async def``? which class
+owns this ``SharedMemory`` creation?), and a per-file
+:class:`FileContext` carries scratch state so rule instances stay
+stateless across files.
+
+Suppressions: a comment ``# repro: allow[RULE]`` (optionally
+``allow[RULE1,RULE2]``, optionally followed by ``-- justification``) on the
+violating line — or standing alone on the line directly above it —
+silences that rule for that line.  Every suppression must justify its
+existence by actually firing: unused or unknown-rule suppressions are
+reported as :class:`UnusedSuppression` (``SUP001``) violations, so stale
+baselines cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+#: Path prefix of the library code most rules scope to.
+SRC_PREFIX = "src/repro/"
+
+#: Layers whose outputs must be a pure function of (inputs, seed): the
+#: bit-identity contracts of the sampling engine and the parallel backend
+#: live here, so wall-clock reads and global RNG state are banned outright.
+DETERMINISTIC_LAYERS = (
+    "src/repro/graph/",
+    "src/repro/sampling/",
+    "src/repro/nn/",
+    "src/repro/ndarray/",
+)
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and what broke the contract."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """The one-line text form (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the ``--format json`` output schema)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass
+class _Suppression:
+    """One parsed ``repro: allow[...]`` entry targeting a source line."""
+
+    rule: str
+    target_line: int      # line whose violations it silences
+    origin_line: int      # line the comment physically sits on
+    used: bool = False
+
+
+class Rule:
+    """Base class for one contract check.
+
+    Subclasses set :attr:`name` (the ``ABC123`` code), declare the AST
+    node types they want via :attr:`node_types`, and implement
+    :meth:`visit`; file-level checks that need the whole tree (pairing
+    rules, cross-file imports) override :meth:`finish`.  The class
+    docstring names the contract the rule guards — it is what
+    ``repro.cli lint --list-rules`` prints.
+    """
+
+    #: The rule code, e.g. ``"RNG001"``.
+    name: str = ""
+    #: AST node classes dispatched to :meth:`visit`.
+    node_types: Tuple[type, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on the repo-relative ``path`` at all."""
+        return True
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        """Called once per matching node during the file walk."""
+
+    def finish(self, ctx: "FileContext") -> None:
+        """Called after the walk, for whole-file / cross-file checks."""
+
+
+#: Registered rule classes by name (the plugin table).
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a :class:`Rule` subclass to :data:`RULES`."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    if cls.name in RULES:
+        raise ValueError(f"rule {cls.name!r} is already registered")
+    if not cls.__doc__:
+        raise ValueError(f"rule {cls.name!r} must document its contract")
+    RULES[cls.name] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Every registered rule class, loading the built-in rule modules."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return dict(RULES)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult while one file is analyzed."""
+
+    #: Repo-relative posix path (rules scope on this, not the fs path).
+    path: str
+    tree: ast.Module
+    source: str
+    #: Enclosing ``class`` statements, innermost last.
+    class_stack: List[ast.ClassDef] = field(default_factory=list)
+    #: Enclosing ``def`` / ``async def`` statements, innermost last.
+    function_stack: List[ast.AST] = field(default_factory=list)
+    #: Per-rule scratch space (keyed by rule name; fresh per file).
+    state: Dict[str, object] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+    _suppressions: List[_Suppression] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Scope helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def current_class(self) -> Optional[str]:
+        """Name of the innermost enclosing class, if any."""
+        return self.class_stack[-1].name if self.class_stack else None
+
+    def in_async_function(self) -> bool:
+        """Whether the innermost enclosing function is ``async def``."""
+        return bool(self.function_stack) and isinstance(
+            self.function_stack[-1], ast.AsyncFunctionDef)
+
+    # ------------------------------------------------------------------ #
+    # Reporting (suppression-aware)
+    # ------------------------------------------------------------------ #
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        """Record a violation at ``node`` unless an allow comment covers it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        for suppression in self._suppressions:
+            if suppression.rule == rule.name and suppression.target_line == line:
+                suppression.used = True
+                return
+        self.violations.append(Violation(rule=rule.name, path=self.path,
+                                         line=line, col=col, message=message))
+
+    # ------------------------------------------------------------------ #
+    # Suppression parsing / auditing
+    # ------------------------------------------------------------------ #
+    def load_suppressions(self) -> None:
+        """Extract every ``repro: allow[...]`` comment from the source.
+
+        A comment trailing code targets its own line; a comment alone on a
+        line targets the next line that holds code (so long statements can
+        carry their justification above themselves).
+        """
+        lines = self.source.splitlines()
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            row = token.start[0]
+            standalone = lines[row - 1].lstrip().startswith("#")
+            target = row
+            if standalone:
+                target = row + 1
+                while target <= len(lines) and (
+                        not lines[target - 1].strip()
+                        or lines[target - 1].lstrip().startswith("#")):
+                    target += 1
+            for name in match.group(1).split(","):
+                name = name.strip()
+                if name:
+                    self._suppressions.append(_Suppression(
+                        rule=name, target_line=target, origin_line=row))
+
+    def audit_suppressions(self, known_rules: Iterable[str]) -> None:
+        """Emit ``SUP001`` for suppressions that never fired (or are bogus)."""
+        known = set(known_rules)
+        rule = UnusedSuppression()
+        for suppression in self._suppressions:
+            if suppression.rule not in known:
+                self.violations.append(Violation(
+                    rule=rule.name, path=self.path,
+                    line=suppression.origin_line, col=0,
+                    message=f"suppression names unknown rule "
+                            f"{suppression.rule!r} (known rules: "
+                            f"{', '.join(sorted(known))})"))
+            elif not suppression.used:
+                self.violations.append(Violation(
+                    rule=rule.name, path=self.path,
+                    line=suppression.origin_line, col=0,
+                    message=f"unused suppression: no {suppression.rule} "
+                            f"violation fires on line "
+                            f"{suppression.target_line} — delete the "
+                            f"'repro: allow[{suppression.rule}]' comment"))
+
+
+@register_rule
+class UnusedSuppression(Rule):
+    """SUP001 — every inline baseline must still be load-bearing.
+
+    Contract: ``# repro: allow[RULE]`` comments are justified exceptions,
+    not decoration.  When the code they excused is fixed or deleted the
+    comment must go too, otherwise the baseline rots into a list of
+    permissions nobody can audit.  This rule fires on any allow comment
+    whose rule no longer fires on its target line, and on comments naming
+    a rule that does not exist.  SUP001 itself cannot be suppressed.
+    """
+
+    name = "SUP001"
+    # Emitted by FileContext.audit_suppressions, not by the tree walk.
+    node_types = ()
+
+
+class Analyzer:
+    """Run a battery of rules over source files, one parse per file."""
+
+    def __init__(self, select: Optional[Sequence[str]] = None):
+        """Instantiate the registered rules (optionally only ``select``)."""
+        available = all_rules()
+        if select is not None:
+            unknown = sorted(set(select) - set(available))
+            if unknown:
+                raise ValueError(
+                    f"unknown rule(s) {unknown}; known rules: "
+                    f"{', '.join(sorted(available))}")
+            chosen = {name: available[name] for name in select}
+            # The suppression audit is part of the framework contract and
+            # always runs alongside whatever selection is active.
+            chosen.setdefault(UnusedSuppression.name, UnusedSuppression)
+        else:
+            chosen = available
+        self.rules: List[Rule] = [cls() for _, cls in sorted(chosen.items())]
+
+    def rule_names(self) -> List[str]:
+        """Names of the active rules, sorted."""
+        return sorted(rule.name for rule in self.rules)
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def check_source(self, source: str, path: str) -> List[Violation]:
+        """Analyze ``source`` as if it lived at repo-relative ``path``."""
+        path = path.replace("\\", "/").lstrip("./")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            return [Violation(rule="SYNTAX", path=path,
+                              line=error.lineno or 1,
+                              col=error.offset or 0,
+                              message=f"file does not parse: {error.msg}")]
+        ctx = FileContext(path=path, tree=tree, source=source)
+        ctx.load_suppressions()
+        active = [rule for rule in self.rules if rule.applies_to(path)]
+        by_type: Dict[type, List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                by_type.setdefault(node_type, []).append(rule)
+        self._walk(tree, ctx, by_type)
+        for rule in active:
+            rule.finish(ctx)
+        ctx.audit_suppressions(rule.name for rule in self.rules)
+        return sorted(ctx.violations,
+                      key=lambda v: (v.line, v.col, v.rule))
+
+    def check_file(self, fs_path: str, rel_path: Optional[str] = None
+                   ) -> List[Violation]:
+        """Analyze the file at ``fs_path`` (reported as ``rel_path``)."""
+        with open(fs_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self.check_source(source, rel_path or fs_path)
+
+    # ------------------------------------------------------------------ #
+    # The single tree walk
+    # ------------------------------------------------------------------ #
+    def _walk(self, node: ast.AST, ctx: FileContext,
+              by_type: Dict[type, List[Rule]]) -> None:
+        for rule in by_type.get(type(node), ()):
+            rule.visit(node, ctx)
+        is_class = isinstance(node, ast.ClassDef)
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_class:
+            ctx.class_stack.append(node)
+        if is_function:
+            ctx.function_stack.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, by_type)
+        finally:
+            if is_class:
+                ctx.class_stack.pop()
+            if is_function:
+                ctx.function_stack.pop()
+
+
+# ---------------------------------------------------------------------- #
+# Shared AST helpers used by several rule modules
+# ---------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The AST value of keyword ``name`` in ``call``, if present."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_constant(node: Optional[ast.expr], value: object) -> bool:
+    """Whether ``node`` is the literal constant ``value``."""
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+def body_only_passes(body: Sequence[ast.stmt]) -> bool:
+    """Whether a statement body does nothing (``pass`` / ``...`` only)."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant) and \
+                statement.value.value is Ellipsis:
+            continue
+        return False
+    return True

@@ -1,0 +1,16 @@
+"""The built-in rule battery; importing this package registers every rule.
+
+Each module guards one family of contracts; the rule docstrings are the
+authoritative statement of what each code means (``repro.cli lint
+--list-rules`` prints them).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    asyncio_rules,
+    clocks,
+    exceptions,
+    registry_names,
+    rng,
+    shm,
+    spec_contract,
+)

@@ -1,0 +1,85 @@
+"""Event-loop discipline: nothing inside ``async def`` may block.
+
+The serving daemon (``repro/serving/daemon.py``) is a single-process
+asyncio design — one dispatcher coroutine feeds the batcher and every
+connection shares the loop.  One blocking call anywhere in an ``async
+def`` stalls every in-flight request, which is exactly the tail-latency
+failure mode the admission-control work exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    SRC_PREFIX,
+    FileContext,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: Dotted call targets that block the calling thread outright.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "socket.create_connection",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+})
+
+#: Modules whose every function blocks (``subprocess.run``, ``.call``, ...).
+_BLOCKING_MODULES = frozenset({"subprocess"})
+
+#: Constructors that open a *synchronous* client; awaiting code must use
+#: the asyncio transport instead.
+_SYNC_CLIENTS = frozenset({"DaemonClient"})
+
+#: Method names that are blocking socket/file-object I/O when called on
+#: anything inside a coroutine (``sock.recv``, ``conn.sendall``, ...).
+_BLOCKING_METHODS = frozenset({"sendall", "recv", "recv_into", "accept",
+                               "makefile", "connect"})
+
+
+@register_rule
+class BlockingCallInAsync(Rule):
+    """ASY001 — no blocking calls inside ``async def`` bodies.
+
+    Contract: the serving daemon's single event loop (PR 7) services every
+    connection; admission control bounds queueing only if no coroutine
+    ever blocks the loop.  ``time.sleep``, sync socket send/recv,
+    ``subprocess.*``, and the synchronous ``DaemonClient`` all stall the
+    dispatcher and every in-flight request with it.  Use ``await
+    asyncio.sleep(...)``, the reader/writer transports, or push the work
+    into an executor.
+    """
+
+    name = "ASY001"
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        """Library code only — that is where coroutines serve traffic."""
+        return path.startswith(SRC_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Flag blocking call targets when the innermost def is async."""
+        assert isinstance(node, ast.Call)
+        if not ctx.in_async_function():
+            return
+        target = dotted_name(node.func)
+        if target is not None:
+            head = target.split(".", 1)[0]
+            tail = target.rsplit(".", 1)[-1]
+            if target in _BLOCKING_CALLS or head in _BLOCKING_MODULES \
+                    or tail in _SYNC_CLIENTS:
+                ctx.report(self, node,
+                           f"blocking call {target}() inside async def "
+                           f"stalls the serving event loop; use the asyncio "
+                           f"equivalent or run_in_executor")
+                return
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _BLOCKING_METHODS:
+            ctx.report(self, node,
+                       f"blocking .{node.func.attr}() call inside async def "
+                       f"stalls the serving event loop; use the asyncio "
+                       f"reader/writer transports")

@@ -1,0 +1,64 @@
+"""Clock-discipline rule: deterministic layers take time as data.
+
+Graph decay, TTL eviction, and windowed compaction are all functions of an
+explicit ``now_ms`` argument precisely so replays reproduce bit-for-bit;
+serving latency accounting uses monotonic clocks so measurements survive
+wall-clock adjustments.  A stray ``time.time()`` breaks both.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    SRC_PREFIX,
+    FileContext,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: Dotted call targets that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+})
+
+
+@register_rule
+class WallClockRead(Rule):
+    """CLK001 — no wall-clock reads (``time.time``/``datetime.now``) in src/repro.
+
+    Contract: replayability.  Deterministic layers (``graph/``,
+    ``sampling/``, ``nn/``, ``ndarray/``) take time as data — an explicit
+    ``now_ms`` parameter — so the same (inputs, seed, now_ms) always yields
+    the same state; serving code measures durations with
+    ``time.monotonic()`` / ``time.perf_counter()`` so latency numbers are
+    immune to NTP steps.  Reading the wall clock inline breaks both; pass
+    ``now_ms`` in, or use a monotonic clock for intervals.
+    """
+
+    name = "CLK001"
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        """All library code; deterministic layers are just the worst case."""
+        return path.startswith(SRC_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Flag calls whose dotted target is a wall-clock read."""
+        assert isinstance(node, ast.Call)
+        target = dotted_name(node.func)
+        if target in _WALL_CLOCK_CALLS:
+            ctx.report(self, node,
+                       f"wall-clock read {target}(); deterministic layers "
+                       f"take time as data (now_ms argument), serving code "
+                       f"uses time.monotonic()/perf_counter() for intervals")

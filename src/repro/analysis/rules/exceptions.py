@@ -1,0 +1,56 @@
+"""Exception-hygiene rule: failures surface, they are not swallowed.
+
+The parallel engine's crash story (worker death, shm leaks, abandoned
+epochs) depends on errors propagating to the owner that can act on them;
+an ``except Exception: pass`` turns a failed unlink or a dead worker into
+silent corruption.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    SRC_PREFIX,
+    FileContext,
+    Rule,
+    body_only_passes,
+    register_rule,
+)
+
+
+@register_rule
+class SwallowedException(Rule):
+    """EXC001 — no bare ``except:`` or ``except Exception: pass`` in src/repro.
+
+    Contract: failure visibility.  The engine/pool/shm teardown protocol
+    relies on errors reaching the owning process (a swallowed unlink
+    failure is a leaked ``/dev/shm`` block; a swallowed worker crash is a
+    hung ``collect``).  A bare ``except:`` additionally traps
+    ``KeyboardInterrupt``/``SystemExit``.  Catch the narrow exception you
+    expect and handle it, or let it propagate; genuinely-safe safety nets
+    (``__del__`` GC teardown) carry a justified ``# repro: allow[EXC001]``.
+    """
+
+    name = "EXC001"
+    node_types = (ast.ExceptHandler,)
+
+    def applies_to(self, path: str) -> bool:
+        """Library code only; scripts may be terse."""
+        return path.startswith(SRC_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Flag bare handlers always; broad handlers when the body is empty."""
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            ctx.report(self, node,
+                       "bare 'except:' also traps KeyboardInterrupt/"
+                       "SystemExit; name the exception(s) you expect")
+            return
+        broad = isinstance(node.type, ast.Name) \
+            and node.type.id in ("Exception", "BaseException")
+        if broad and body_only_passes(node.body):
+            ctx.report(self, node,
+                       f"'except {node.type.id}: pass' swallows every "
+                       f"failure silently; narrow the exception or handle "
+                       f"it (log, re-raise, or record)")

@@ -1,0 +1,98 @@
+"""Registry-name rule: factory string literals resolve against live registries.
+
+``build_model("zommer", ...)`` is a runtime error the first time the
+script runs; this rule makes it a lint error by resolving every literal
+name against the actual :mod:`repro.api.registry` tables (aliases and
+case-insensitivity included, because the check uses the registries'
+own lookup).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import (
+    FileContext,
+    Rule,
+    keyword_value,
+    register_rule,
+)
+
+#: Builder function name -> which registry its first argument resolves in.
+_BUILDERS = {
+    "build_model": "MODELS",
+    "build_sampler": "SAMPLERS",
+    "load_dataset": "DATASETS",
+}
+
+_registries: Optional[dict] = None
+_registries_failed = False
+
+
+def _live_registries() -> Optional[dict]:
+    """The live registry objects, or ``None`` if repro is not importable."""
+    global _registries, _registries_failed
+    if _registries is None and not _registries_failed:
+        try:
+            from repro.api.registry import DATASETS, MODELS, SAMPLERS
+        except Exception:
+            # Linting may run without the package importable (no numpy,
+            # PYTHONPATH unset); the rule degrades to a no-op then.
+            _registries_failed = True
+            return None
+        _registries = {"MODELS": MODELS, "SAMPLERS": SAMPLERS,
+                       "DATASETS": DATASETS}
+    return _registries
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The ``name`` argument of a builder call (first positional or kw)."""
+    if node.args:
+        return node.args[0]
+    return keyword_value(node, "name")
+
+
+@register_rule
+class UnknownRegistryName(Rule):
+    """REG001 — literal names given to the builder helpers must resolve.
+
+    Contract: the registries (``repro.api.registry``) are the single
+    factory surface; a string that does not resolve in ``MODELS`` /
+    ``SAMPLERS`` / ``DATASETS`` is a guaranteed ``RegistryError`` at
+    runtime.  The check consults the live registries (builtin
+    registrations loaded), so aliases and case-insensitive matches pass
+    exactly as they would at runtime.  Only literal strings are checked;
+    names computed at runtime are out of scope.
+    """
+
+    name = "REG001"
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        """Library code plus the runnable trees that call the builders."""
+        return path.startswith(("src/", "examples/", "benchmarks/"))
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Resolve literal builder-call names against the live registries."""
+        assert isinstance(node, ast.Call)
+        func = node.func
+        fn_name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if fn_name not in _BUILDERS:
+            return
+        registries = _live_registries()
+        if registries is None:
+            return
+        registry = registries[_BUILDERS[fn_name]]
+        checks = [(_name_argument(node), registry)]
+        if fn_name == "build_model":
+            checks.append((keyword_value(node, "sampler"),
+                           registries["SAMPLERS"]))
+        for arg, reg in checks:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str) \
+                    and arg.value not in reg:
+                ctx.report(self, arg,
+                           f"unknown {reg.kind} name {arg.value!r}; "
+                           f"registered {reg.kind}s: "
+                           f"{', '.join(reg.names())}")

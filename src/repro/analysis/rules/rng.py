@@ -1,0 +1,105 @@
+"""Randomness-discipline rules: every draw flows through a keyed Generator.
+
+The repo's determinism contract (see ``repro/parallel/rng.py``) is that
+serial and parallel backends — and any worker count — are bit-identical
+under a fixed seed.  That only holds if no code path reads the process's
+global numpy RNG state and no Generator is created without a seed being
+threaded in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import (
+    SRC_PREFIX,
+    FileContext,
+    Rule,
+    is_constant,
+    keyword_value,
+    register_rule,
+)
+
+#: Things under ``np.random`` that are fine to call: Generator plumbing,
+#: not draws from the legacy global RandomState.
+_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "Philox", "PCG64",
+    "PCG64DXSM", "MT19937", "SFC64", "BitGenerator", "RandomState",
+})
+
+
+def _np_random_call(node: ast.Call) -> Optional[str]:
+    """``fn`` when the call is ``np.random.fn(...)`` / ``numpy.random.fn(...)``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) \
+            and isinstance(func.value, ast.Attribute) \
+            and func.value.attr == "random" \
+            and isinstance(func.value.value, ast.Name) \
+            and func.value.value.id in ("np", "numpy"):
+        return func.attr
+    return None
+
+
+@register_rule
+class LegacyGlobalRandom(Rule):
+    """RNG001 — no legacy global-state ``np.random.<fn>()`` calls in src/repro.
+
+    Contract: Philox-keyed determinism (``repro/parallel/rng.py``).  Calls
+    like ``np.random.seed`` / ``np.random.randint`` draw from (or mutate)
+    one process-global ``RandomState``, so the result depends on import
+    order, call interleaving, and worker scheduling — exactly what the
+    serial-vs-shared bit-identity pins forbid.  Draw from an explicit
+    ``np.random.Generator`` threaded in by the caller instead.
+    """
+
+    name = "RNG001"
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        """Library code only; scripts may do as they like."""
+        return path.startswith(SRC_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Flag ``np.random.<fn>()`` calls that are not Generator plumbing."""
+        assert isinstance(node, ast.Call)
+        attr = _np_random_call(node)
+        if attr is not None and attr not in _CONSTRUCTORS:
+            ctx.report(self, node,
+                       f"legacy global-state np.random.{attr}() call; draw "
+                       f"from an explicit np.random.Generator instead (the "
+                       f"rng_stream discipline, repro/parallel/rng.py)")
+
+
+@register_rule
+class UnseededDefaultRng(Rule):
+    """RNG002 — no unseeded ``np.random.default_rng()`` in src/repro.
+
+    Contract: same-seed reproducibility.  A ``default_rng()`` with no seed
+    pulls OS entropy, so model construction, sampling, or cold-start
+    embeddings silently stop being a function of the experiment seed.  A
+    seed or an existing ``Generator`` must be threaded in
+    (``rng_stream(seed, shard, version, batch_id)`` for shard-local work,
+    ``repro.nn.init.default_init_rng()`` for rng-less construction).
+    """
+
+    name = "RNG002"
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        """Library code only; scripts may seed however they like."""
+        return path.startswith(SRC_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Flag ``default_rng()`` calls whose seed is absent or ``None``."""
+        assert isinstance(node, ast.Call)
+        if _np_random_call(node) != "default_rng":
+            return
+        unseeded = (not node.args and not node.keywords) \
+            or (len(node.args) == 1 and is_constant(node.args[0], None)) \
+            or is_constant(keyword_value(node, "seed"), None)
+        if unseeded:
+            ctx.report(self, node,
+                       "unseeded np.random.default_rng(); thread the "
+                       "experiment seed or an existing Generator in "
+                       "(rng_stream discipline, repro/parallel/rng.py)")

@@ -1,0 +1,85 @@
+"""Shared-memory ownership rule: whoever creates a block must unlink it.
+
+``repro/parallel/shm.py`` defines the ownership protocol — the creator
+(owner) is responsible for ``close()`` + ``unlink()``; workers only
+attach and ``close()``.  A creation site with no reachable unlink is a
+leaked ``/dev/shm`` segment that outlives the process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    SRC_PREFIX,
+    FileContext,
+    Rule,
+    is_constant,
+    keyword_value,
+    register_rule,
+)
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    """Whether the call is ``SharedMemory(..., create=True)``."""
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None)
+    if name != "SharedMemory":
+        return False
+    return is_constant(keyword_value(node, "create"), True)
+
+
+@register_rule
+class UnpairedSharedMemory(Rule):
+    """SHM001 — every ``SharedMemory(create=True)`` site pairs with close+unlink.
+
+    Contract: the shm ownership protocol (``repro/parallel/shm.py``).  The
+    process that creates a block owns it and must both ``close()`` its
+    mapping and ``unlink()`` the segment, or the block leaks in
+    ``/dev/shm`` after exit.  A creation inside a class must have
+    ``close()`` and ``unlink()`` calls reachable from that class (or at
+    module level); a module-level creation needs both somewhere in the
+    same module.
+    """
+
+    name = "SHM001"
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        """Library code only — shm ownership is a src/repro protocol."""
+        return path.startswith(SRC_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Record creation sites and close/unlink calls per owning class."""
+        assert isinstance(node, ast.Call)
+        creations: List[Tuple[ast.Call, Optional[str]]]
+        calls: Set[Tuple[Optional[str], str]]
+        creations, calls = ctx.state.setdefault(  # type: ignore[assignment]
+            self.name, ([], set()))
+        if _is_shared_memory_create(node):
+            creations.append((node, ctx.current_class))
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("close", "unlink"):
+            calls.add((ctx.current_class, node.func.attr))
+
+    def finish(self, ctx: FileContext) -> None:
+        """Flag creation sites whose owner has no close+unlink pair."""
+        if self.name not in ctx.state:
+            return
+        creations, calls = ctx.state[self.name]  # type: ignore[misc]
+        for node, owner in creations:
+            # Module-level close/unlink (owner None) satisfies any site;
+            # a class-owned site is also satisfied by its own class.
+            reachable = {None, owner}
+            missing = [attr for attr in ("close", "unlink")
+                       if not any((scope, attr) in calls
+                                  for scope in reachable)]
+            if missing:
+                ctx.report(self, node,
+                           f"SharedMemory(create=True) with no "
+                           f"{' or '.join(missing)}() reachable from the "
+                           f"owning scope; the owner must close() and "
+                           f"unlink() the block (shm ownership protocol, "
+                           f"repro/parallel/shm.py)")

@@ -1,0 +1,162 @@
+"""Spec-contract rule: every ``*Spec`` field round-trips and is validated.
+
+The declarative :class:`~repro.api.spec.ExperimentSpec` document is only
+trustworthy if adding a field cannot silently skip serialization or
+validation.  This rule is cross-file in the dynamic sense: it imports the
+module under analysis and actually exercises the round-trip, in addition
+to the static must-be-mentioned-in-validate check.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+from typing import Dict, List, Set
+
+from repro.analysis.core import FileContext, Rule, register_rule
+
+#: Where the declarative spec surface lives; ``*Spec`` classes elsewhere
+#: (e.g. the graph-schema ``RelationSpec`` triple) carry no
+#: validate/round-trip contract and are out of scope.
+_SPEC_SCOPE = "src/repro/api/"
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    """Whether the class carries a ``@dataclass`` decorator."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _module_name(path: str) -> str:
+    """Import path for a repo-relative source path (src/a/b.py -> a.b)."""
+    trimmed = path[len("src/"):] if path.startswith("src/") else path
+    return trimmed[:-len(".py")].replace("/", ".")
+
+
+@register_rule
+class SpecFieldCoverage(Rule):
+    """SPEC001 — every ``*Spec`` dataclass field round-trips and is validated.
+
+    Contract: the :class:`~repro.api.spec.ExperimentSpec` document is the
+    single input of the pipeline; a field that ``to_dict``/``from_dict``
+    drops vanishes on save/load, and a field no ``validate`` ever mentions
+    accepts garbage until deep inside training.  Static half: each field
+    of each ``@dataclass class *Spec`` in ``src/repro/api/`` must be
+    mentioned (as a name, attribute, or string literal) inside some
+    ``validate`` function in the same module.  Dynamic half: the module is
+    imported and each spec is default-constructed and round-tripped
+    (``to_dict``/``from_dict`` when defined, ``dataclasses.asdict`` plus
+    re-construction otherwise); dropped keys or unequal rebuilds fire.
+    """
+
+    name = "SPEC001"
+    node_types = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Only the declarative spec surface (see ``_SPEC_SCOPE``)."""
+        return path.startswith(_SPEC_SCOPE)
+
+    # ------------------------------------------------------------------ #
+    # finish: static mention check + dynamic round-trip
+    # ------------------------------------------------------------------ #
+    def finish(self, ctx: FileContext) -> None:
+        """Run both halves once the whole tree is available."""
+        specs = self._spec_classes(ctx.tree)
+        if not specs:
+            return
+        mentions = self._validate_mentions(ctx.tree)
+        for class_node, fields in specs.items():
+            for field_node in fields:
+                assert isinstance(field_node.target, ast.Name)
+                field_name = field_node.target.id
+                if field_name not in mentions:
+                    ctx.report(self, field_node,
+                               f"field {class_node.name}.{field_name} is "
+                               f"never mentioned in any validate() in this "
+                               f"module; add a check (or an explicit "
+                               f"type/range assertion) so bad values fail "
+                               f"fast")
+        self._check_round_trips(ctx, specs)
+
+    def _spec_classes(self, tree: ast.Module
+                      ) -> Dict[ast.ClassDef, List[ast.AnnAssign]]:
+        """``*Spec`` dataclasses in the module and their field AnnAssigns."""
+        specs: Dict[ast.ClassDef, List[ast.AnnAssign]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Spec") \
+                    and _is_dataclass_decorated(node):
+                specs[node] = [
+                    stmt for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)]
+        return specs
+
+    def _validate_mentions(self, tree: ast.Module) -> Set[str]:
+        """Identifiers/attributes/strings appearing in validate() bodies.
+
+        Collected module-wide: a section spec may be validated by its
+        parent's ``validate`` (``ExperimentSpec.validate`` checks the
+        ``serving.*`` ranges), so the mention set is shared.  String
+        constants count so ``getattr(self, attr)`` loops over literal
+        field-name tuples register their fields.
+        """
+        mentions: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == "validate":
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name):
+                        mentions.add(sub.id)
+                    elif isinstance(sub, ast.Attribute):
+                        mentions.add(sub.attr)
+                    elif isinstance(sub, ast.Constant) \
+                            and isinstance(sub.value, str):
+                        mentions.add(sub.value)
+        return mentions
+
+    def _check_round_trips(self, ctx: FileContext,
+                           specs: Dict[ast.ClassDef, List[ast.AnnAssign]]
+                           ) -> None:
+        """Import the module and exercise each spec's round-trip."""
+        try:
+            module = importlib.import_module(_module_name(ctx.path))
+        except Exception:
+            # Module not importable in this environment (missing optional
+            # deps); the static half above still ran.
+            return
+        for class_node in specs:
+            cls = getattr(module, class_node.name, None)
+            if cls is None or not dataclasses.is_dataclass(cls):
+                continue
+            try:
+                instance = cls()
+            except TypeError:
+                ctx.report(self, class_node,
+                           f"{class_node.name} cannot be default-constructed "
+                           f"for the round-trip check; give every field a "
+                           f"default")
+                continue
+            field_names = {f.name for f in dataclasses.fields(cls)}
+            if hasattr(cls, "to_dict") and hasattr(cls, "from_dict"):
+                data = instance.to_dict()
+                rebuilt = cls.from_dict(data)
+                how = "to_dict/from_dict"
+            else:
+                data = dataclasses.asdict(instance)
+                rebuilt = cls(**data)
+                how = "asdict/reconstruct"
+            dropped = sorted(field_names - set(data))
+            if dropped:
+                ctx.report(self, class_node,
+                           f"{class_node.name}.{how} round-trip drops "
+                           f"field(s) {dropped}")
+            elif rebuilt != instance:
+                ctx.report(self, class_node,
+                           f"{class_node.name}.{how} round-trip does not "
+                           f"reproduce the instance")

@@ -1,0 +1,96 @@
+"""File discovery, report formatting, and the ``repro.cli lint`` backend.
+
+Kept separate from :mod:`repro.analysis.core` so the framework stays a
+pure library (no filesystem walking, no printing) and the CLI layer stays
+a thin shell over :func:`run_lint`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import IO, Iterator, List, Optional, Sequence
+
+from repro.analysis.core import Analyzer, Violation
+
+#: Directory basenames never worth descending into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache",
+                        ".mypy_cache", ".pytest_cache"})
+
+#: What ``repro.cli lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files pass through), sorted.
+
+    Paths that do not exist are skipped silently so the default path set
+    works in partial checkouts.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: violations plus counters."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 violations found."""
+        return 1 if self.violations else 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``--format json`` document)."""
+        return {
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render(self, fmt: str = "text") -> str:
+        """The report as ``text`` (one line per finding) or ``json``."""
+        if fmt == "json":
+            return json.dumps(self.to_dict(), indent=2)
+        lines = [v.format() for v in self.violations]
+        lines.append(f"{len(self.violations)} violation(s) in "
+                     f"{self.files_checked} file(s)")
+        return "\n".join(lines)
+
+
+def run_lint(paths: Optional[Sequence[str]] = None, fmt: str = "text",
+             select: Optional[Sequence[str]] = None,
+             stream: Optional[IO[str]] = None) -> int:
+    """Lint ``paths`` (default :data:`DEFAULT_PATHS`), print, return exit code."""
+    stream = stream if stream is not None else sys.stdout
+    analyzer = Analyzer(select=select)
+    report = LintReport()
+    for file_path in iter_python_files(list(paths or DEFAULT_PATHS)):
+        report.files_checked += 1
+        report.violations.extend(analyzer.check_file(file_path))
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    print(report.render(fmt), file=stream)
+    return report.exit_code
+
+
+def list_rules(stream: Optional[IO[str]] = None) -> int:
+    """Print every registered rule and the contract its docstring names."""
+    from repro.analysis.core import all_rules
+
+    stream = stream if stream is not None else sys.stdout
+    for name, cls in sorted(all_rules().items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name}  {doc}", file=stream)
+    return 0

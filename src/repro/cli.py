@@ -305,6 +305,19 @@ def _cmd_motivation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import runner
+
+    if args.list_rules:
+        return runner.list_rules()
+    try:
+        return runner.run_lint(paths=args.paths or None, fmt=args.format,
+                               select=args.select)
+    except ValueError as error:
+        # Unknown --select rule names; the message lists the known ones.
+        raise SystemExit(str(error))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Zoomer reproduction command-line interface")
@@ -410,6 +423,24 @@ def build_parser() -> argparse.ArgumentParser:
         "motivation", help="information-overload measurements (Fig. 4)")
     add_common(motivation_parser)
     motivation_parser.set_defaults(func=_cmd_motivation)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="repo-specific static analysis: the determinism, "
+                     "concurrency, and shm contracts as AST rules")
+    lint_parser.add_argument("paths", nargs="*",
+                             help="files or directories to check "
+                                  "(default: src benchmarks examples)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=["text", "json"],
+                             help="report format (json emits the full "
+                                  "violation document)")
+    lint_parser.add_argument("--select", nargs="+", metavar="RULE",
+                             help="run only these rules (the SUP001 "
+                                  "suppression audit always runs)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print every rule and the contract it "
+                                  "guards, then exit")
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

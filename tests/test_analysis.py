@@ -1,0 +1,341 @@
+"""Tests for :mod:`repro.analysis`, the repo-specific invariant linter.
+
+Every rule gets a fixture pair — a minimal bad snippet it must fire on and
+the idiomatic good version it must stay silent on — plus coverage of the
+framework itself: inline suppressions (same-line and line-above), the
+unused-suppression audit, rule selection, JSON output schema, and the
+CLI entry point.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer, Violation, all_rules
+from repro.analysis.core import RULES, Rule, register_rule
+from repro.analysis.runner import LintReport, iter_python_files
+
+SRC = "src/repro/module.py"
+
+
+def rules_fired(source, path=SRC, select=None):
+    """The set of rule names an analysis of ``source`` at ``path`` emits."""
+    return {v.rule for v in Analyzer(select=select).check_source(source, path)}
+
+
+# ---------------------------------------------------------------------- #
+# Framework
+# ---------------------------------------------------------------------- #
+class TestFramework:
+    def test_all_rules_registers_initial_battery(self):
+        expected = {"RNG001", "RNG002", "CLK001", "ASY001", "SHM001",
+                    "SPEC001", "REG001", "EXC001", "SUP001"}
+        assert expected <= set(all_rules())
+
+    def test_every_rule_documents_its_contract(self):
+        for name, cls in all_rules().items():
+            assert cls.__doc__ and name in cls.__doc__.splitlines()[0], name
+
+    def test_register_rejects_duplicate_and_anonymous_rules(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_rule
+            class Duplicate(Rule):
+                """Duplicate of RNG001 for the test."""
+                name = "RNG001"
+
+        with pytest.raises(ValueError, match="no name"):
+            @register_rule
+            class Anonymous(Rule):
+                """A rule that forgot to set a name."""
+
+        assert "RNG001" in RULES
+
+    def test_select_limits_rules_but_keeps_suppression_audit(self):
+        analyzer = Analyzer(select=["RNG002"])
+        assert analyzer.rule_names() == ["RNG002", "SUP001"]
+
+    def test_select_unknown_rule_lists_known_ones(self):
+        with pytest.raises(ValueError, match="RNG001"):
+            Analyzer(select=["NOPE001"])
+
+    def test_syntax_error_reported_not_raised(self):
+        violations = Analyzer().check_source("def broken(:\n", SRC)
+        assert [v.rule for v in violations] == ["SYNTAX"]
+
+    def test_violation_format_is_path_line_col_rule(self):
+        violation = Violation(rule="RNG002", path=SRC, line=3, col=7,
+                              message="boom")
+        assert violation.format() == f"{SRC}:3:7: RNG002 boom"
+
+
+# ---------------------------------------------------------------------- #
+# Suppressions
+# ---------------------------------------------------------------------- #
+class TestSuppressions:
+    BAD = "import numpy as np\nrng = np.random.default_rng()\n"
+
+    def test_same_line_allow_silences_the_rule(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng()"
+                  "  # repro: allow[RNG002] -- test fixture\n")
+        assert rules_fired(source) == set()
+
+    def test_line_above_allow_silences_the_rule(self):
+        source = ("import numpy as np\n"
+                  "# repro: allow[RNG002] -- test fixture\n"
+                  "rng = np.random.default_rng()\n")
+        assert rules_fired(source) == set()
+
+    def test_allow_covers_only_the_named_rule(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng()"
+                  "  # repro: allow[EXC001] -- wrong rule\n")
+        # RNG002 still fires, and the EXC001 suppression is unused.
+        assert rules_fired(source) == {"RNG002", "SUP001"}
+
+    def test_unused_suppression_fires_sup001(self):
+        assert rules_fired("x = 1  # repro: allow[RNG002] -- stale\n") \
+            == {"SUP001"}
+
+    def test_unknown_rule_suppression_fires_sup001(self):
+        assert rules_fired("x = 1  # repro: allow[BOGUS999]\n") == {"SUP001"}
+
+    def test_multi_rule_allow_list(self):
+        source = ("import numpy as np, time\n"
+                  "async def f():\n"
+                  "    time.sleep(1); np.random.seed(0)"
+                  "  # repro: allow[ASY001, RNG001] -- fixture\n")
+        assert rules_fired(source) == set()
+
+
+# ---------------------------------------------------------------------- #
+# Rule fixtures: each fires on the bad snippet, not on the good one
+# ---------------------------------------------------------------------- #
+class TestRNG001:
+    def test_fires_on_legacy_global_call(self):
+        assert "RNG001" in rules_fired(
+            "import numpy as np\nx = np.random.randint(10)\n")
+        assert "RNG001" in rules_fired(
+            "import numpy as np\nnp.random.seed(0)\n")
+
+    def test_silent_on_generator_plumbing_and_outside_src(self):
+        good = ("import numpy as np\n"
+                "rng = np.random.Generator(np.random.Philox(7))\n"
+                "x = rng.integers(10)\n")
+        assert "RNG001" not in rules_fired(good)
+        bad = "import numpy as np\nx = np.random.randint(10)\n"
+        assert rules_fired(bad, path="examples/demo.py") == set()
+
+
+class TestRNG002:
+    def test_fires_on_unseeded_forms(self):
+        assert "RNG002" in rules_fired(
+            "import numpy as np\nrng = np.random.default_rng()\n")
+        assert "RNG002" in rules_fired(
+            "import numpy as np\nrng = np.random.default_rng(None)\n")
+        assert "RNG002" in rules_fired(
+            "import numpy as np\nrng = np.random.default_rng(seed=None)\n")
+
+    def test_silent_when_seed_threaded_in(self):
+        assert "RNG002" not in rules_fired(
+            "import numpy as np\nrng = np.random.default_rng(42)\n")
+        assert "RNG002" not in rules_fired(
+            "import numpy as np\n"
+            "def f(seed):\n    return np.random.default_rng(seed)\n")
+
+
+class TestCLK001:
+    def test_fires_on_wall_clock_reads(self):
+        assert "CLK001" in rules_fired(
+            "import time\nnow = time.time()\n",
+            path="src/repro/graph/decay.py")
+        assert "CLK001" in rules_fired(
+            "import datetime\nnow = datetime.datetime.now()\n")
+
+    def test_silent_on_monotonic_clocks(self):
+        good = ("import time\n"
+                "start = time.monotonic()\n"
+                "t = time.perf_counter() - start\n")
+        assert "CLK001" not in rules_fired(good, path="src/repro/serving/x.py")
+
+
+class TestASY001:
+    def test_fires_on_blocking_calls_in_async_def(self):
+        assert "ASY001" in rules_fired(
+            "import time\nasync def f():\n    time.sleep(1)\n")
+        assert "ASY001" in rules_fired(
+            "import subprocess\nasync def f():\n"
+            "    subprocess.run(['ls'])\n")
+        assert "ASY001" in rules_fired(
+            "async def f(sock):\n    sock.sendall(b'x')\n")
+
+    def test_silent_on_async_equivalents_and_sync_defs(self):
+        good = ("import asyncio\n"
+                "async def f():\n    await asyncio.sleep(1)\n")
+        assert "ASY001" not in rules_fired(good)
+        sync = "import time\ndef f():\n    time.sleep(1)\n"
+        assert "ASY001" not in rules_fired(sync)
+        # A sync helper nested inside async def runs off-loop (executor).
+        nested = ("import time\n"
+                  "async def f():\n"
+                  "    def blocking():\n        time.sleep(1)\n"
+                  "    return blocking\n")
+        assert "ASY001" not in rules_fired(nested)
+
+
+class TestSHM001:
+    def test_fires_when_owner_never_unlinks(self):
+        bad = ("from multiprocessing.shared_memory import SharedMemory\n"
+               "class Owner:\n"
+               "    def __init__(self):\n"
+               "        self._shm = SharedMemory(create=True, size=64)\n"
+               "    def close(self):\n"
+               "        self._shm.close()\n")
+        assert "SHM001" in rules_fired(bad)
+
+    def test_silent_when_close_and_unlink_reachable(self):
+        good = ("from multiprocessing.shared_memory import SharedMemory\n"
+                "class Owner:\n"
+                "    def __init__(self):\n"
+                "        self._shm = SharedMemory(create=True, size=64)\n"
+                "    def close(self):\n"
+                "        self._shm.close()\n"
+                "        self._shm.unlink()\n")
+        assert "SHM001" not in rules_fired(good)
+
+    def test_silent_on_attach_without_create(self):
+        attach = ("from multiprocessing.shared_memory import SharedMemory\n"
+                  "def attach(name):\n"
+                  "    return SharedMemory(name=name)\n")
+        assert "SHM001" not in rules_fired(attach)
+
+
+class TestSPEC001:
+    def test_fires_on_unvalidated_field(self):
+        bad = ("from dataclasses import dataclass\n"
+               "@dataclass\n"
+               "class ThingSpec:\n"
+               "    knob: int = 1\n"
+               "    def validate(self):\n"
+               "        return self\n")
+        assert "SPEC001" in rules_fired(bad, path="src/repro/api/bad_spec.py")
+
+    def test_silent_when_every_field_is_mentioned(self):
+        good = ("from dataclasses import dataclass\n"
+                "@dataclass\n"
+                "class ThingSpec:\n"
+                "    knob: int = 1\n"
+                "    def validate(self):\n"
+                "        if self.knob < 0:\n"
+                "            raise ValueError('knob must be non-negative')\n"
+                "        return self\n")
+        assert "SPEC001" not in rules_fired(good,
+                                            path="src/repro/api/ok_spec.py")
+
+    def test_out_of_scope_outside_api(self):
+        bad = ("from dataclasses import dataclass\n"
+               "@dataclass\n"
+               "class RelationSpec:\n"
+               "    src: str = 'user'\n")
+        assert "SPEC001" not in rules_fired(bad,
+                                            path="src/repro/graph/schema.py")
+
+    def test_real_spec_module_round_trips(self):
+        # The dynamic half runs against the importable repro.api.spec.
+        violations = Analyzer(select=["SPEC001"]).check_file(
+            "src/repro/api/spec.py", "src/repro/api/spec.py")
+        assert [v for v in violations if "round-trip" in v.message] == []
+
+
+class TestREG001:
+    def test_fires_on_unknown_literal_name(self):
+        assert "REG001" in rules_fired(
+            "from repro.api import build_model\n"
+            "m = build_model('zommer', graph)\n",
+            path="examples/demo.py")
+        assert "REG001" in rules_fired(
+            "from repro.api import load_dataset\n"
+            "d = load_dataset('no-such-dataset')\n")
+
+    def test_silent_on_registered_names_aliases_and_dynamic_names(self):
+        good = ("from repro.api import build_model, load_dataset\n"
+                "d = load_dataset('synthetic-taobao')\n"
+                "m = build_model('zoomer', d)\n"
+                "b = build_model('PinSage', d)\n")
+        assert "REG001" not in rules_fired(good, path="benchmarks/run.py")
+        dynamic = ("from repro.api import build_model\n"
+                   "def f(name, graph):\n"
+                   "    return build_model(name, graph)\n")
+        assert "REG001" not in rules_fired(dynamic)
+
+    def test_checks_sampler_override_keyword(self):
+        assert "REG001" in rules_fired(
+            "from repro.api import build_model\n"
+            "m = build_model('PinSage', g, sampler='no-such-sampler')\n")
+
+
+class TestEXC001:
+    def test_fires_on_bare_except_and_swallowing_handlers(self):
+        assert "EXC001" in rules_fired(
+            "try:\n    x = 1\nexcept:\n    x = 2\n")
+        assert "EXC001" in rules_fired(
+            "try:\n    x = 1\nexcept Exception:\n    pass\n")
+
+    def test_silent_on_narrow_or_handled_exceptions(self):
+        narrow = "try:\n    x = 1\nexcept (OSError, ValueError):\n    pass\n"
+        assert "EXC001" not in rules_fired(narrow)
+        handled = ("import logging\n"
+                   "try:\n    x = 1\n"
+                   "except Exception:\n"
+                   "    logging.exception('boom')\n    raise\n")
+        assert "EXC001" not in rules_fired(handled)
+
+
+# ---------------------------------------------------------------------- #
+# Runner / CLI
+# ---------------------------------------------------------------------- #
+class TestRunner:
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python")
+        found = list(iter_python_files([str(tmp_path)]))
+        assert found == [str(tmp_path / "pkg" / "a.py")]
+
+    def test_json_report_schema(self):
+        report = LintReport(files_checked=2, violations=[
+            Violation(rule="RNG002", path=SRC, line=1, col=0, message="m")])
+        document = json.loads(report.render("json"))
+        assert document["files_checked"] == 2
+        assert document["violation_count"] == 1
+        assert document["violations"] == [
+            {"rule": "RNG002", "path": SRC, "line": 1, "col": 0,
+             "message": "m"}]
+        assert report.exit_code == 1
+        assert LintReport().exit_code == 0
+
+    def test_cli_lint_exits_nonzero_on_bad_file(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.cli import main
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\n"
+                       "rng = np.random.default_rng()\n")
+        # Rules scope on the repo-relative path, so lint from the tree root.
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src"]) == 1
+        assert "RNG002" in capsys.readouterr().out
+
+    def test_cli_lint_json_and_list_rules(self, tmp_path, capsys):
+        from repro.cli import main
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["violations"] == []
+        assert main(["lint", "--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for rule_name in all_rules():
+            assert rule_name in listing
