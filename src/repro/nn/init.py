@@ -2,7 +2,9 @@
 
 All initialisers accept an explicit ``numpy.random.Generator`` so model
 construction is fully reproducible; the experiment harness seeds every model
-with the experiment's seed.
+with the experiment's seed.  Construction without an ``rng`` falls back to
+:func:`default_init_rng` — a process-wide *seeded* stream — so an unseeded
+build is impossible (the RNG002 contract).
 """
 
 from __future__ import annotations
@@ -11,9 +13,37 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+#: Seed of the process-wide fallback stream.  Arbitrary but fixed: rng-less
+#: construction must be a function of construction order only, never of OS
+#: entropy.
+DEFAULT_INIT_SEED = 0x2022_1CDE
+
+_fallback: Optional[np.random.Generator] = None
+
+
+def default_init_rng() -> np.random.Generator:
+    """The seeded process-wide Generator backing rng-less construction.
+
+    Deliberately stateful: successive draws differ, so sibling layers
+    built without an explicit ``rng`` do not collapse onto identical
+    weights — but the stream is Philox-keyed with a fixed seed, so two
+    processes performing the same construction sequence are bit-identical.
+    Tests rewind it with :func:`reset_default_init_rng`.
+    """
+    global _fallback
+    if _fallback is None:
+        _fallback = np.random.Generator(np.random.Philox(DEFAULT_INIT_SEED))
+    return _fallback
+
+
+def reset_default_init_rng(seed: int = DEFAULT_INIT_SEED) -> None:
+    """Rewind the fallback stream (tests pinning rng-less bit-identity)."""
+    global _fallback
+    _fallback = np.random.Generator(np.random.Philox(seed))
+
 
 def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng()
+    return rng if rng is not None else default_init_rng()
 
 
 def xavier_uniform(shape: Tuple[int, ...],

@@ -134,7 +134,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else init.default_init_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:

@@ -143,6 +143,40 @@ class TestInit:
         np.testing.assert_allclose(a, b)
 
 
+class TestSeededFallback:
+    """Rng-less construction draws from a seeded process-wide stream."""
+
+    def test_rngless_construction_is_bit_identical(self):
+        # Two identical construction sequences from a rewound fallback
+        # stream produce bit-identical weights: no OS entropy anywhere.
+        init.reset_default_init_rng()
+        first = MLP([4, 8, 2])
+        first_drop = Dropout(0.5)
+        init.reset_default_init_rng()
+        second = MLP([4, 8, 2])
+        second_drop = Dropout(0.5)
+        for (name_a, a), (name_b, b) in zip(first.named_parameters(),
+                                            second.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(a.data, b.data)
+        first_drop.train()
+        second_drop.train()
+        x = Tensor(np.ones((3, 5)))
+        np.testing.assert_array_equal(first_drop(x).data,
+                                      second_drop(x).data)
+
+    def test_fallback_is_stateful_so_siblings_differ(self):
+        init.reset_default_init_rng()
+        a = Linear(4, 4)
+        b = Linear(4, 4)
+        assert not np.array_equal(a.weight.data, b.weight.data)
+
+    def test_explicit_rng_still_wins(self):
+        a = Linear(3, 3, rng=np.random.default_rng(9))
+        b = Linear(3, 3, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
 class TestOptimizers:
     def _quadratic_problem(self):
         target = np.array([1.0, -2.0, 3.0])
