@@ -58,6 +58,7 @@ class AliasTable:
         shape = (size,) if np.isscalar(size) else tuple(size)
         if any(s < 0 for s in shape):
             raise ValueError("size must be non-negative")
+        # repro: allow[RNG002] -- ad-hoc exploration default; engine paths thread a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         columns = rng.integers(0, self.n, size=shape)
         coins = rng.random(shape)
@@ -274,6 +275,7 @@ class BatchedAliasTable:
         reads the same random stream as ``N`` successive batch-of-one calls —
         the property the batched-vs-sequential equivalence tests pin down.
         """
+        # repro: allow[RNG002] -- ad-hoc exploration default; engine paths thread a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         rows = np.asarray(rows, dtype=np.int64)
         degrees = self.degrees(rows)

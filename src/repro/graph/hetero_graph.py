@@ -351,6 +351,7 @@ class Relation:
         all of them (when ``replace`` is False); weighted rows draw from the
         paper's constant-time alias tables.
         """
+        # repro: allow[RNG002] -- ad-hoc exploration default; engine paths thread a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         nodes = sequence_from(node_ids)
         if self.indices.size == 0 or k == 0:
@@ -959,6 +960,7 @@ class HeteroGraph:
         if isinstance(source, RelationSpec):
             return self.relations[source].sample_neighbors_batch(
                 node_ids, k, rng=rng, weighted=weighted, replace=replace)
+        # repro: allow[RNG002] -- ad-hoc exploration default; engine paths thread a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         nodes = sequence_from(node_ids)
         adjacency = self.typed_adjacency(source)
@@ -1001,6 +1003,7 @@ class HeteroGraph:
         :class:`~repro.sampling.base.SampledNode` trees.
         """
         self._require_finalized()
+        # repro: allow[RNG002] -- ad-hoc exploration default; engine paths thread a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         return engine_sample_subgraph_batch(self, ego_type, ego_ids, fanouts,
                                             rng, weighted=weighted,
