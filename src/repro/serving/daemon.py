@@ -242,7 +242,7 @@ class ServingDaemon:
         for writer in list(self._writers):
             try:
                 writer.close()
-            except Exception:      # pragma: no cover - best-effort close
+            except (OSError, RuntimeError):  # pragma: no cover - best-effort close
                 pass
 
     async def serve_forever(self) -> None:
@@ -317,7 +317,7 @@ class ServingDaemon:
             self._writers.discard(writer)
             try:
                 writer.close()
-            except Exception:      # pragma: no cover - best-effort close
+            except (OSError, RuntimeError):  # pragma: no cover - best-effort close
                 pass
 
     def _handle_frame(self, raw: bytes, writer: asyncio.StreamWriter) -> None:

@@ -183,7 +183,7 @@ class OpenLoopLoadGenerator:
             if writer is not None:
                 try:
                     writer.close()
-                except Exception:   # pragma: no cover - best-effort close
+                except (OSError, RuntimeError):  # pragma: no cover
                     pass
         self._classify(response, sent_at, report)
 
