@@ -166,6 +166,7 @@ class ParallelEngine:
     def __del__(self):   # pragma: no cover - GC safety net
         try:
             self.close()
+        # repro: allow[EXC001] -- __del__ GC safety net must never raise
         except Exception:
             pass
 

@@ -91,6 +91,7 @@ class WorkerCache:
         for attachment in attachments:
             try:
                 attachment.close()
+            # repro: allow[EXC001] -- worker teardown must unmap every attachment
             except Exception:   # pragma: no cover - best-effort unmap
                 pass
 
