@@ -87,6 +87,35 @@ class TrainSpec:
     #: ``None`` inherits the experiment-level seed.
     seed: Optional[int] = None
 
+    def validate(self) -> "TrainSpec":
+        """Range checks; mirrors ``TrainingConfig.validate`` messages."""
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.loss not in ("focal", "bce"):
+            raise ValueError("loss must be 'focal' or 'bce'")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.focal_gamma <= 0:
+            raise ValueError("focal_gamma must be positive")
+        if self.regularization_weight < 0:
+            raise ValueError("regularization_weight must be non-negative")
+        if self.eval_batch_size <= 0:
+            raise ValueError("eval_batch_size must be positive")
+        if self.max_batches_per_epoch is not None \
+                and self.max_batches_per_epoch <= 0:
+            raise ValueError("max_batches_per_epoch must be positive when set")
+        if not isinstance(self.presample_subgraphs, bool) \
+                or not isinstance(self.verbose, bool):
+            raise ValueError(
+                "training.presample_subgraphs and training.verbose "
+                "must be booleans")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ValueError("training.seed must be an int (or None to "
+                             "inherit the experiment seed)")
+        return self
+
 
 @dataclass
 class StreamingSpec:
@@ -334,6 +363,14 @@ class ExperimentSpec:
         DATASETS.get(self.dataset.name)
         model_entry = MODELS.get(self.model.name)
 
+        if not isinstance(self.dataset.params, Mapping):
+            raise ValueError("dataset.params must be a mapping of factory "
+                             "keyword arguments")
+        for attr in ("params", "sampler_params"):
+            if not isinstance(getattr(self.model, attr), Mapping):
+                raise ValueError(f"model.{attr} must be a mapping of factory "
+                                 f"keyword arguments")
+
         if not 0.0 < self.dataset.train_fraction < 1.0:
             raise ValueError("dataset.train_fraction must be in (0, 1)")
         for attr in ("max_train_examples", "max_test_examples"):
@@ -374,12 +411,15 @@ class ExperimentSpec:
                 f"training.presample_subgraphs requires an engine-backed "
                 f"sampler, but {sampler_entry.name!r} samples per node")
 
-        # Training knobs: reuse TrainingConfig's own validation.
-        self.training_config().validate()
+        self.training.validate()
 
         serving = self.serving
         if serving.num_shards < 1:
             raise ValueError("serving.num_shards must be at least 1")
+        if serving.num_servers < 1:
+            raise ValueError("serving.num_servers must be at least 1")
+        if not isinstance(serving.use_inverted_index, bool):
+            raise ValueError("serving.use_inverted_index must be a boolean")
         if serving.serve_batch_size < 1:
             raise ValueError("serving.serve_batch_size must be at least 1")
         if serving.cache_capacity <= 0:
@@ -429,6 +469,8 @@ class ExperimentSpec:
             raise ValueError(
                 "parallel.backend must be 'serial' or 'shared', "
                 f"got {self.parallel.backend!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an int")
         return self
 
     # ------------------------------------------------------------------ #

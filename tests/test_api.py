@@ -190,6 +190,29 @@ class TestExperimentSpec:
         with pytest.raises(ValueError):
             tiny_spec(training=TrainSpec(epochs=0)).validate()
 
+    def test_every_section_field_is_validated(self):
+        # The SPEC001 lint contract: each field either has a range check or
+        # at least a type assertion, so garbage fails at validate time.
+        with pytest.raises(ValueError, match="num_servers"):
+            tiny_spec(serving=ServingSpec(num_servers=0)).validate()
+        with pytest.raises(ValueError, match="use_inverted_index"):
+            tiny_spec(serving=ServingSpec(
+                use_inverted_index="yes")).validate()
+        with pytest.raises(ValueError, match="dataset.params"):
+            tiny_spec(dataset=DataSpec(name="synthetic-taobao",
+                                       params=[1, 2])).validate()
+        with pytest.raises(ValueError, match="model.params"):
+            tiny_spec(model=ModelSpec(name="zoomer",
+                                      params="scale=2")).validate()
+        with pytest.raises(ValueError, match="verbose"):
+            tiny_spec(training=TrainSpec(verbose="loud")).validate()
+        with pytest.raises(ValueError, match="training.seed"):
+            tiny_spec(training=TrainSpec(seed="zero")).validate()
+        spec = tiny_spec()
+        spec.seed = "zero"
+        with pytest.raises(ValueError, match="seed must be an int"):
+            spec.validate()
+
     def test_spec_defaults_track_legacy_configs(self):
         """TrainSpec/ServingSpec defaults must not drift from their targets.
 
