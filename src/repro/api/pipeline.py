@@ -29,7 +29,7 @@ workload the paper's continuously-fed behavior graph implies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class Deployment:
         self._pipeline = pipeline
         #: The wrapped, fully warmed :class:`OnlineServer`.
         self.server = server
-        self._daemons: list = []
+        self._daemons: List[ServingDaemon] = []
 
     def serve(self, request, query_id=None, k: int = 10):
         """Serve one request — see :meth:`OnlineServer.serve`."""
@@ -237,6 +237,7 @@ class Pipeline:
     def fit(self) -> "Pipeline":
         """Build the registered model and train it on the train split."""
         self.build_graph()
+        assert self.train_examples is not None  # set by build_graph()
         self.model = build_model(self.spec.model.name, self.graph,
                                  **self.spec.model_kwargs())
         self.trainer = Trainer(self.model, self.spec.training_config(),
@@ -347,6 +348,7 @@ class Pipeline:
         self.parallel_engine()   # activates graph.parallel_executor, if any
         if self._mutator is None:
             self._mutator = GraphMutator(self.graph, seed=self.spec.seed)
+        mutator = self._mutator
         lifecycle = self.spec.lifecycle
         if lifecycle.enabled and self._compactor is None:
             from repro.graph.lifecycle import GraphCompactor
@@ -358,7 +360,7 @@ class Pipeline:
 
         def _apply_batch(batch: Sequence) -> None:
             nonlocal chunk
-            delta = self._mutator.apply_sessions(batch)
+            delta = mutator.apply_sessions(batch)
             report.events += len(batch)
             report.micro_batches += 1
             report.new_edges += delta.num_new_edges
