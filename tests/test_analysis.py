@@ -8,6 +8,7 @@ CLI entry point.
 """
 
 import json
+import pathlib
 
 import pytest
 
@@ -339,3 +340,25 @@ class TestRunner:
         listing = capsys.readouterr().out
         for rule_name in all_rules():
             assert rule_name in listing
+
+
+# ---------------------------------------------------------------------- #
+# The tree itself
+# ---------------------------------------------------------------------- #
+class TestMergedTreeIsClean:
+    def test_repo_lints_clean(self, capsys, monkeypatch):
+        """The gate CI enforces: the merged tree has zero violations.
+
+        Runs the real CLI over the same paths as the CI step
+        (``python -m repro.cli lint src benchmarks examples``) from the
+        repo root, so a PR that introduces a contract violation — or a
+        suppression that went stale — fails the fast test loop too, with
+        the violation list in the assertion message.
+        """
+        from repro.cli import main
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        monkeypatch.chdir(repo_root)
+        code = main(["lint", "src", "benchmarks", "examples"])
+        output = capsys.readouterr().out
+        assert code == 0, f"merged tree must lint clean:\n{output}"
+        assert "0 violation" in output or "no violations" in output.lower()
