@@ -54,9 +54,9 @@ from repro.api.registry import (
     register_sampler,
 )
 
-_SPEC_EXPORTS = ("DaemonSpec", "DataSpec", "ExperimentSpec", "LifecycleSpec",
-                 "ModelSpec", "ParallelSpec", "ServingSpec", "StreamingSpec",
-                 "TrainSpec")
+_SPEC_EXPORTS = ("DaemonSpec", "DataSpec", "ExperimentSpec",
+                 "ExperimentTierSpec", "LifecycleSpec", "ModelSpec",
+                 "ParallelSpec", "ServingSpec", "StreamingSpec", "TrainSpec")
 _PIPELINE_EXPORTS = ("Deployment", "IngestReport", "Pipeline", "PipelineError")
 
 __all__ = [

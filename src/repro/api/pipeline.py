@@ -34,10 +34,11 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.api.registry import build_model, dataset_examples, load_dataset
-from repro.api.spec import DaemonSpec, ExperimentSpec
+from repro.api.spec import DaemonSpec, ExperimentSpec, ExperimentTierSpec
 from repro.data.splits import train_test_split_examples
 from repro.graph.update import GraphMutator
 from repro.serving.daemon import ServingDaemon
+from repro.serving.experiment import ExperimentTier
 from repro.serving.server import OnlineServer
 from repro.training.trainer import Trainer, TrainingResult
 
@@ -75,20 +76,57 @@ class Deployment:
         """Serve a batch — see :meth:`OnlineServer.serve_batch`."""
         return self.server.serve_batch(requests, k=k)
 
+    def experiment(self, challengers: Mapping[str, Any],
+                   spec: Optional[ExperimentTierSpec] = None
+                   ) -> ExperimentTier:
+        """Build the serving-time experiment tier for this deployment.
+
+        ``challengers`` maps challenger variant names to their deployed
+        servers (anything with ``serve_batch``, e.g. another pipeline's
+        ``deployment.server``); this deployment's own server is the
+        control.  ``spec`` defaults to the pipeline spec's ``experiment``
+        section and must name the control first followed by exactly the
+        challenger names.  Pass the returned
+        :class:`~repro.serving.experiment.ExperimentTier` to
+        :meth:`daemon` to serve all variants behind one endpoint.
+        """
+        if spec is None:
+            spec = self._pipeline.spec.experiment
+        spec.validate()
+        if not spec.variants:
+            raise PipelineError(
+                "the experiment spec names no variants; set "
+                "ExperimentTierSpec.variants (control first) or pass spec=")
+        expected = set(spec.variants[1:])
+        provided = set(challengers)
+        if expected != provided:
+            raise PipelineError(
+                f"challenger servers {sorted(provided)} do not match the "
+                f"spec's challenger variants {sorted(expected)} "
+                f"(control {spec.variants[0]!r} is this deployment)")
+        variants: Dict[str, Any] = {spec.variants[0]: self.server}
+        for name in spec.variants[1:]:
+            variants[name] = challengers[name]
+        return ExperimentTier(variants, spec)
+
     def daemon(self, spec: Optional[DaemonSpec] = None, default_k: int = 10,
-               start: bool = True) -> ServingDaemon:
+               start: bool = True,
+               experiment: Optional[ExperimentTier] = None) -> ServingDaemon:
         """Start the TCP serving daemon for this deployment.
 
         ``spec`` defaults to the pipeline spec's ``daemon`` section.  With
         ``start=True`` (the default) the daemon's event loop is already
         running on a background thread when this returns — connect with
         :class:`~repro.serving.daemon.DaemonClient` at ``(daemon.host,
-        daemon.port)``.  The deployment tracks every daemon it started and
-        drains them on :meth:`close`.
+        daemon.port)``.  Pass ``experiment`` (from :meth:`experiment`) to
+        host every variant of the tier behind this one endpoint; this
+        deployment's server must be the tier's control.  The deployment
+        tracks every daemon it started and drains them on :meth:`close`.
         """
         if spec is None:
             spec = self._pipeline.spec.daemon
-        daemon = ServingDaemon(self.server, spec=spec, default_k=default_k)
+        daemon = ServingDaemon(self.server, spec=spec, default_k=default_k,
+                               experiment=experiment)
         if start:
             daemon.start_in_thread()
         self._daemons.append(daemon)

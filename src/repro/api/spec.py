@@ -275,6 +275,135 @@ class ServingSpec:
 
 
 @dataclass
+class ExperimentTierSpec:
+    """Serving-time experimentation knobs (the :mod:`repro.serving.experiment` tier).
+
+    Describes how one :class:`~repro.serving.daemon.ServingDaemon` hosts
+    several deployed server versions: the variant names (first is control),
+    the deterministic traffic split (splitmix64 over ``(salt, user_id)``),
+    and one of three modes —
+
+    * **plain split**: ``fractions`` gives each variant's share of the
+      reply path (the paper's Table IV rollout is
+      ``fractions=(0.96, 0.04)``),
+    * **shadow** (``shadow=True``): control serves every reply; the other
+      variants score off-reply-path copies whose outcomes only feed
+      metrics, so primary replies stay bit-identical to single-version
+      serving,
+    * **canary** (``canary_steps`` non-empty, exactly two variants): a
+      :class:`~repro.serving.experiment.CanaryController` ramps the
+      challenger through the steps and rolls back to control when the
+      guardrail metric regresses beyond ``guardrail_drop`` with at least
+      ``min_impressions`` impressions on both variants.
+
+    The default (``variants=()``) means no experiment tier.
+    """
+
+    #: Variant names, control first; empty disables the tier.
+    variants: Tuple[str, ...] = ()
+    #: Experiment salt hashed with each user id; changing it re-shuffles
+    #: the user -> variant assignment.
+    salt: str = "exp"
+    #: Per-variant reply-path traffic fractions (plain-split mode only;
+    #: must sum to 1).  Empty in shadow and canary modes, where the split
+    #: is implied (control-serves-all) or controller-owned.
+    fractions: Tuple[float, ...] = ()
+    #: Shadow mode: non-control variants score copies off the reply path.
+    shadow: bool = False
+    #: Challenger ramp schedule (strictly increasing fractions in (0, 1]).
+    canary_steps: Tuple[float, ...] = ()
+    #: Which ChannelMetrics property the canary guards ("ctr"/"ppc"/"rpm").
+    guardrail_metric: str = "ctr"
+    #: Relative regression that triggers rollback: the canary rolls back
+    #: when challenger metric < (1 - guardrail_drop) * control metric.
+    guardrail_drop: float = 0.2
+    #: Impressions both variants need before the guardrail is evaluated.
+    min_impressions: int = 200
+    #: Healthy challenger impressions per ramp step before advancing.
+    step_impressions: int = 200
+
+    def __post_init__(self) -> None:
+        """Normalise the tuple fields (JSON lists round-trip)."""
+        self.variants = tuple(str(name) for name in self.variants)
+        self.fractions = tuple(float(f) for f in self.fractions)
+        self.canary_steps = tuple(float(s) for s in self.canary_steps)
+
+    def validate(self) -> "ExperimentTierSpec":
+        """Range checks plus the per-mode cross-checks."""
+        if not self.salt or not isinstance(self.salt, str):
+            raise ValueError("experiment.salt must be a non-empty string")
+        if not isinstance(self.shadow, bool):
+            raise ValueError("experiment.shadow must be a boolean")
+        # Kept in sync with repro.serving.experiment.GUARDRAIL_METRICS
+        # (pinned by tests/test_experiment_tier.py) without importing the
+        # serving tier here.
+        if self.guardrail_metric not in ("ctr", "ppc", "rpm"):
+            raise ValueError(
+                "experiment.guardrail_metric must be 'ctr', 'ppc', or "
+                f"'rpm', got {self.guardrail_metric!r}")
+        if not 0.0 < self.guardrail_drop < 1.0:
+            raise ValueError("experiment.guardrail_drop must be in (0, 1)")
+        for attr in ("min_impressions", "step_impressions"):
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 1:
+                raise ValueError(f"experiment.{attr} must be an int >= 1")
+        if any(not name for name in self.variants):
+            raise ValueError("experiment.variants must be non-empty strings")
+        if len(set(self.variants)) != len(self.variants):
+            raise ValueError(
+                f"experiment.variants must be unique, got {self.variants}")
+        if not self.variants:
+            if self.fractions or self.canary_steps or self.shadow:
+                raise ValueError(
+                    "experiment.fractions / canary_steps / shadow need "
+                    "experiment.variants (control first)")
+            return self
+        if len(self.variants) < 2:
+            raise ValueError("an experiment needs at least two variants "
+                             "(control first); to disable the tier leave "
+                             "experiment.variants empty")
+        if self.canary_steps:
+            if self.shadow:
+                raise ValueError(
+                    "experiment.canary_steps and experiment.shadow are "
+                    "mutually exclusive (a canary serves real traffic)")
+            if len(self.variants) != 2:
+                raise ValueError(
+                    "a canary ramps exactly one challenger against the "
+                    f"control (2 variants), got {len(self.variants)}")
+            if self.fractions:
+                raise ValueError(
+                    "experiment.fractions is controller-owned in canary "
+                    "mode; leave it empty")
+            if any(not 0.0 < s <= 1.0 for s in self.canary_steps) \
+                    or any(a >= b for a, b in zip(self.canary_steps,
+                                                  self.canary_steps[1:])):
+                raise ValueError(
+                    "experiment.canary_steps must be strictly increasing "
+                    f"fractions in (0, 1], got {self.canary_steps}")
+        elif self.shadow:
+            if self.fractions:
+                raise ValueError(
+                    "experiment.fractions is implied in shadow mode "
+                    "(control serves every reply); leave it empty")
+        else:
+            if len(self.fractions) != len(self.variants):
+                raise ValueError(
+                    "experiment.fractions needs one entry per variant "
+                    f"({len(self.variants)}), got {len(self.fractions)}")
+            if any(f < 0.0 or f > 1.0 for f in self.fractions):
+                raise ValueError(
+                    f"experiment.fractions must be in [0, 1], "
+                    f"got {self.fractions}")
+            if abs(sum(self.fractions) - 1.0) > 1e-6:
+                raise ValueError(
+                    "experiment.fractions must sum to 1, "
+                    f"got {sum(self.fractions)!r}")
+        return self
+
+
+@dataclass
 class ParallelSpec:
     """Multi-core execution knobs (the :mod:`repro.parallel` engine).
 
@@ -311,6 +440,7 @@ class ExperimentSpec:
     streaming: StreamingSpec = field(default_factory=StreamingSpec)
     lifecycle: LifecycleSpec = field(default_factory=LifecycleSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
+    experiment: ExperimentTierSpec = field(default_factory=ExperimentTierSpec)
     seed: int = 0
 
     # ------------------------------------------------------------------ #
@@ -328,7 +458,8 @@ class ExperimentSpec:
         sections = {"dataset": DataSpec, "model": ModelSpec,
                     "training": TrainSpec, "serving": ServingSpec,
                     "daemon": DaemonSpec, "streaming": StreamingSpec,
-                    "lifecycle": LifecycleSpec, "parallel": ParallelSpec}
+                    "lifecycle": LifecycleSpec, "parallel": ParallelSpec,
+                    "experiment": ExperimentTierSpec}
         unknown = sorted(set(data) - set(sections) - {"seed"})
         if unknown:
             raise ValueError(f"unknown spec section(s) {unknown}; known "
@@ -434,6 +565,7 @@ class ExperimentSpec:
             raise ValueError("serving warm counts must be non-negative")
 
         self.daemon.validate()
+        self.experiment.validate()
 
         if self.streaming.micro_batch_size < 1:
             raise ValueError("streaming.micro_batch_size must be at least 1")

@@ -12,6 +12,12 @@ Python:
   server behind the asyncio TCP tier (newline-delimited JSON, admission
   control, per-tenant quotas); ``--self-drive N`` fires an open-loop
   Poisson load run against it and prints the latency/shed report.
+* ``python -m repro.cli experiment`` — the online-experimentation demo
+  (paper Section VII-D): train a control and a challenger model, host both
+  behind one daemon with a deterministic traffic split (or shadow traffic,
+  or a canary ramp), drive simulated requests plus click feedback through
+  the wire protocol, and print Table IV-style CTR/PPC/RPM lifts per
+  variant.
 * ``python -m repro.cli motivation`` — print the Fig. 4(b)/(c) information-
   overload measurements for a generated dataset.
 * ``python -m repro.cli ingest``    — the streaming demo: build a
@@ -41,6 +47,7 @@ from repro.api import (
     DaemonSpec,
     DataSpec,
     ExperimentSpec,
+    ExperimentTierSpec,
     LifecycleSpec,
     ModelSpec,
     ParallelSpec,
@@ -212,6 +219,125 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
                     time.sleep(3600)
             except KeyboardInterrupt:
                 print("draining...")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.ab_test import ABTestConfig, ABTestSimulator
+    from repro.serving.daemon import DaemonClient
+
+    if args.requests < 1:
+        raise SystemExit("--requests must be at least 1")
+    canary_steps: tuple = ()
+    if args.canary_steps:
+        try:
+            canary_steps = tuple(float(s)
+                                 for s in args.canary_steps.split(","))
+        except ValueError:
+            raise SystemExit("--canary-steps must be comma-separated floats, "
+                             f"got {args.canary_steps!r}")
+    if args.shadow and canary_steps:
+        raise SystemExit("--shadow and --canary-steps are mutually exclusive")
+    control_name = args.model
+    challenger_name = args.challenger_model
+    if challenger_name == control_name:
+        challenger_name = f"{challenger_name}-challenger"
+    fractions: tuple = ()
+    if not args.shadow and not canary_steps:
+        if not 0.0 < args.challenger_fraction < 1.0:
+            raise SystemExit("--challenger-fraction must be in (0, 1)")
+        fractions = (1.0 - args.challenger_fraction,
+                     args.challenger_fraction)
+    try:
+        tier_spec = ExperimentTierSpec(
+            variants=(control_name, challenger_name), salt=args.salt,
+            fractions=fractions, shadow=args.shadow,
+            canary_steps=canary_steps).validate()
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    def _build_spec(model_name: str) -> ExperimentSpec:
+        spec = _spec_from_args(
+            args,
+            max_test_examples=0,
+            training=TrainSpec(epochs=args.epochs, batch_size=args.batch_size,
+                               learning_rate=args.learning_rate, loss="focal",
+                               max_batches_per_epoch=6, seed=0),
+            serving=ServingSpec(cache_capacity=30, ann_cells=8,
+                                warm_users=20, warm_queries=20))
+        spec.model.name = model_name
+        return spec
+
+    control_spec = _build_spec(args.model)
+    control_spec.experiment = tier_spec
+    with _pipeline_or_exit(control_spec) as pipeline, \
+            _pipeline_or_exit(_build_spec(args.challenger_model)) as rival:
+        deployment = pipeline.deploy()
+        challenger_server = rival.deploy().server
+        tier = deployment.experiment({challenger_name: challenger_server})
+        if args.shadow:
+            # Shadow results never reach a client; a second simulator (its
+            # own seeded RNG, running on the daemon's event loop) turns
+            # them into feedback so both variants accumulate metrics.
+            shadow_sim = ABTestSimulator(pipeline.dataset,
+                                         ABTestConfig(seed=args.seed + 1))
+
+            def _on_shadow(name: str, result) -> None:
+                imp, clk, rev = shadow_sim.simulate_impressions(
+                    result.user_id, result.query_id, result.item_ids[:10])
+                tier.record_feedback(result.user_id, impressions=imp,
+                                     clicks=clk, revenue=rev, variant=name)
+
+            tier.on_shadow_result = _on_shadow
+        simulator = ABTestSimulator(pipeline.dataset,
+                                    ABTestConfig(seed=args.seed))
+        sessions = pipeline.dataset.sessions
+        with deployment.daemon(experiment=tier) as daemon, \
+                DaemonClient(daemon.host, daemon.port) as client:
+            for i in range(args.requests):
+                session = sessions[i % len(sessions)]
+                reply = client.serve(session.user_id, session.query_id, k=10)
+                if not reply.get("ok"):
+                    continue
+                imp, clk, rev = simulator.simulate_impressions(
+                    session.user_id, session.query_id, reply["item_ids"])
+                client.feedback(session.user_id, impressions=imp, clicks=clk,
+                                revenue=rev)
+            stats = client.stats()
+    experiment = stats["experiment"]
+    if args.shadow:
+        mode = "shadow"
+    elif canary_steps:
+        mode = f"canary {args.canary_steps}"
+    else:
+        mode = f"{args.challenger_fraction:.0%} split"
+    lift_rows = []
+    for metric in ("ctr", "ppc", "rpm"):
+        base = experiment["variants"][control_name][metric]
+        treatment = experiment["variants"][challenger_name][metric]
+        lift = 0.0 if base == 0 else (treatment - base) / base * 100.0
+        lift_rows.append({"metric": metric.upper(), control_name: base,
+                          challenger_name: treatment,
+                          "lift_pct": round(lift, 3)})
+    print(format_table(
+        lift_rows, title=f"Online metrics, {challenger_name} vs "
+                         f"{control_name} ({mode})"))
+    variant_rows = [{
+        "variant": name,
+        "fraction": experiment["fractions"][name],
+        "assigned": row["assigned"],
+        "served": row["served"],
+        "shadow_served": row["shadow_served"],
+        "feedback": row["feedback"],
+        "impressions": row["impressions"],
+    } for name, row in experiment["variants"].items()]
+    print(format_table(variant_rows, title="Per-variant serving accounting"))
+    canary = experiment.get("canary")
+    if canary is not None:
+        print(f"canary: state={canary['state']} step={canary['step']} "
+              f"fraction={canary['fraction']:g}")
+        if canary["rollback_reason"]:
+            print(f"canary rollback: {canary['rollback_reason']}")
     return 0
 
 
@@ -392,6 +518,42 @@ def build_parser() -> argparse.ArgumentParser:
                                help="exit non-zero if the self-drive run "
                                     "sheds or errors (CI smoke check)")
     daemon_parser.set_defaults(func=_cmd_daemon)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="online-experimentation demo: control and "
+                           "challenger models behind one daemon with a "
+                           "deterministic split, shadow traffic, or a "
+                           "canary ramp (Table IV-style lift report)")
+    add_common(experiment_parser)
+    experiment_parser.set_defaults(model="pinsage")
+    experiment_parser.add_argument("--challenger-model", default="zoomer",
+                                   help="registry name of the challenger "
+                                        "(the control is --model)")
+    experiment_parser.add_argument("--requests", type=int, default=120,
+                                   help="simulated serve+feedback requests "
+                                        "to drive through the daemon")
+    experiment_parser.add_argument("--challenger-fraction", type=float,
+                                   default=0.5,
+                                   help="challenger traffic share for the "
+                                        "plain split mode (the paper used "
+                                        "0.04 of live search traffic)")
+    experiment_parser.add_argument("--shadow", action="store_true",
+                                   help="shadow mode: the challenger scores "
+                                        "a copy of every request off the "
+                                        "reply path; replies stay "
+                                        "bit-identical to single-version "
+                                        "serving")
+    experiment_parser.add_argument("--canary-steps", default="",
+                                   metavar="F1,F2,...",
+                                   help="canary mode: ramp the challenger "
+                                        "through these increasing traffic "
+                                        "fractions with guardrail-triggered "
+                                        "rollback")
+    experiment_parser.add_argument("--salt", default="cli-exp",
+                                   help="experiment salt; the user->variant "
+                                        "split is a pure function of "
+                                        "(salt, fractions, user_id)")
+    experiment_parser.set_defaults(func=_cmd_experiment)
 
     ingest_parser = subparsers.add_parser(
         "ingest", help="streaming-ingest demo: replay a behavior log "

@@ -49,6 +49,10 @@ class ABTestConfig:
                 raise ValueError(f"{name} must be in [0, 1]")
         if not 0.0 < self.position_decay <= 1.0:
             raise ValueError("position_decay must be in (0, 1]")
+        if not 0.0 < self.traffic_fraction <= 1.0:
+            raise ValueError("traffic_fraction must be in (0, 1]")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an int")
 
 
 @dataclass
@@ -124,6 +128,28 @@ class ABTestSimulator:
             probability += self.config.interest_bonus
         probability *= self.config.position_decay ** rank
         return float(min(probability, 1.0))
+
+    def simulate_impressions(self, user_id: int, query_id: int,
+                             item_ids: Sequence[int]
+                             ) -> Tuple[int, int, float]:
+        """Run the click model over one served top-K list.
+
+        Returns ``(impressions, clicks, revenue)`` for the ranked
+        ``item_ids`` — the per-request feedback record a serving-time
+        experiment (the :mod:`repro.serving.experiment` tier's ``feedback``
+        path) attributes to the variant that served the list.  Draws from
+        the simulator's seeded RNG, so a fixed request stream yields a
+        reproducible feedback stream.
+        """
+        impressions, clicks, revenue = 0, 0, 0.0
+        for rank, item_id in enumerate(item_ids):
+            impressions += 1
+            probability = self._click_probability(user_id, query_id,
+                                                  int(item_id), rank)
+            if self._rng.random() < probability:
+                clicks += 1
+                revenue += float(self.dataset.item_prices[int(item_id)])
+        return impressions, clicks, revenue
 
     # ------------------------------------------------------------------ #
     # Simulation

@@ -36,6 +36,14 @@ and the item corpus can be **sharded** with per-shard top-k merging.
   (:class:`~repro.serving.daemon.DaemonClient` is the blocking client).
 * :class:`~repro.serving.loadgen.OpenLoopLoadGenerator` — Poisson open-loop
   load generator (arrivals independent of completions) for SLO benches.
+* :mod:`repro.serving.experiment` — the serving-time experimentation tier:
+  :class:`~repro.serving.experiment.TrafficSplitter` (deterministic
+  splitmix64 user->variant assignment),
+  :class:`~repro.serving.experiment.VariantSet` (several deployed server
+  versions behind one daemon, each with its own batcher lane), shadow
+  mode (off-reply-path challenger scoring, bit-identical primaries), and
+  :class:`~repro.serving.experiment.CanaryController` (stepwise ramps
+  with guardrail-triggered rollback over per-variant CTR/PPC/RPM).
 * :class:`~repro.serving.server.OnlineServer` — the end-to-end facade;
   ``serve_batch`` is the hot path and ``serve`` a batch-of-one wrapper that
   returns identical results and statistics.  ``refresh(delta)`` absorbs a
@@ -58,14 +66,23 @@ from repro.serving.request import ServeRequest, coerce_request, coerce_requests
 from repro.serving.server import OnlineServer, RefreshReport, ServeResult
 from repro.serving.daemon import DaemonClient, DaemonStats, ServingDaemon
 from repro.serving.loadgen import LoadReport, OpenLoopLoadGenerator
+from repro.serving.experiment import (
+    CanaryController,
+    ExperimentTier,
+    TrafficSplitter,
+    VariantCounters,
+    VariantSet,
+)
 
 __all__ = [
     "BatcherStats",
     "BatchServiceProfile",
     "CacheStats",
+    "CanaryController",
     "DaemonClient",
     "DaemonStats",
     "ExactIndex",
+    "ExperimentTier",
     "IVFIndex",
     "InvertedIndex",
     "LatencyBreakdown",
@@ -80,6 +97,9 @@ __all__ = [
     "ServeResult",
     "ServingDaemon",
     "ShardedIndex",
+    "TrafficSplitter",
+    "VariantCounters",
+    "VariantSet",
     "coerce_request",
     "coerce_requests",
     "strip_padding",

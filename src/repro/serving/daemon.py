@@ -8,7 +8,11 @@ traffic behaviours a production front end needs:
   A request frame is ``{"op": "serve", "user_id": U, "query_id": Q,
   "tenant": "...", "k": 10, "id": <echo>}`` (``op`` defaults to ``serve``;
   ``tenant``/``k``/``id`` are optional).  ``{"op": "stats"}`` returns the
-  daemon's counters.  Success responses carry ``ok: true`` plus the
+  daemon's counters (plus per-variant rows when an experiment tier is
+  attached), and ``{"op": "feedback", ...}`` records impressions/clicks/
+  revenue against the tier's per-variant metrics (see
+  :mod:`repro.serving.experiment`).  Success responses carry ``ok: true``
+  plus the
   :class:`~repro.serving.server.ServeResult` fields; rejections carry
   ``ok: false`` with an ``error`` tag and a 4xx-style ``code`` (``429`` for
   shed/quota, ``400`` for malformed frames, ``503`` while draining).
@@ -60,6 +64,7 @@ from repro.serving.server import ServeResult
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
     from repro.api.spec import DaemonSpec
+    from repro.serving.experiment import ExperimentTier
 
 
 @dataclass
@@ -84,6 +89,8 @@ class DaemonStats:
     malformed: int = 0
     #: ``stats`` frames answered.
     stats_requests: int = 0
+    #: ``feedback`` frames recorded against the experiment tier.
+    feedback_requests: int = 0
     #: Quota rejections broken down by tenant.
     quota_rejections_by_tenant: Dict[str, int] = field(default_factory=dict)
 
@@ -124,6 +131,24 @@ _SHED = _Rejection("shed", 429, "admission queue full")
 _DRAINING = _Rejection("draining", 503, "daemon is shutting down")
 
 
+@dataclass
+class _Lane:
+    """One variant's dispatch lane: a batcher plus its outcome queue.
+
+    ``futures`` mirrors the batcher's submission order; a ``None`` entry
+    marks a shadow copy — its result feeds the experiment tier's metrics
+    and never answers a connection.  ``primary_pending`` counts the
+    reply-path requests currently inside the batcher, which is what the
+    shared admission queue-depth check charges (shadow copies ride free:
+    they are the daemon's own work, not an arrival).
+    """
+
+    name: str
+    batcher: RequestBatcher
+    futures: Deque[Optional[asyncio.Future]] = field(default_factory=deque)
+    primary_pending: int = 0
+
+
 class ServingDaemon:
     """Newline-delimited-JSON TCP front end over an ``OnlineServer``.
 
@@ -131,21 +156,64 @@ class ServingDaemon:
     contract (an :class:`~repro.serving.server.OnlineServer`, with or
     without an attached parallel engine).  ``spec`` is a
     :class:`~repro.api.spec.DaemonSpec`; ``None`` uses its defaults.
+
+    With ``experiment`` (an
+    :class:`~repro.serving.experiment.ExperimentTier`) the daemon hosts
+    every variant in the tier's :class:`~repro.serving.experiment.VariantSet`
+    behind the same socket: admission control, quotas, and shedding stay
+    shared at the front (drain/shed semantics are unchanged), and each
+    variant gets its own ``RequestBatcher`` lane behind it.  Admitted
+    requests are routed by the tier's deterministic
+    :class:`~repro.serving.experiment.TrafficSplitter`; in shadow mode the
+    non-control variants additionally score an off-reply-path copy of
+    every admitted request *after* the reply path has been resolved, so
+    primary replies are bit-identical to single-version serving.  ``server``
+    may be omitted (the tier's control server is used) or must be the
+    tier's control server.
     """
 
-    def __init__(self, server, spec: Optional["DaemonSpec"] = None,
-                 default_k: int = 10):
+    def __init__(self, server=None, spec: Optional["DaemonSpec"] = None,
+                 default_k: int = 10,
+                 experiment: Optional["ExperimentTier"] = None):
         if spec is None:
             from repro.api.spec import DaemonSpec
             spec = DaemonSpec()
         spec.validate()
         self.spec = spec
+        self.experiment = experiment
+        if experiment is not None:
+            if server is not None and server is not experiment.control_server:
+                raise ValueError(
+                    "server must be the experiment tier's control server "
+                    "(or omitted)")
+            server = experiment.control_server
+        elif server is None:
+            raise ValueError("a server is required without an experiment "
+                             "tier")
         self.server = server
         self.default_k = int(default_k)
-        self.batcher = RequestBatcher(server,
-                                      max_batch_size=spec.max_batch_size,
-                                      max_wait_ms=spec.max_wait_ms,
-                                      k=self.default_k)
+
+        def _lane(name: str, lane_server) -> _Lane:
+            return _Lane(name=name, batcher=RequestBatcher(
+                lane_server, max_batch_size=spec.max_batch_size,
+                max_wait_ms=spec.max_wait_ms, k=self.default_k))
+
+        if experiment is None:
+            self._lanes: Dict[str, _Lane] = {"default": _lane("default",
+                                                              server)}
+            self._control_lane = self._lanes["default"]
+        else:
+            self._lanes = {
+                name: _lane(name, experiment.variant_set.server_for(name))
+                for name in experiment.variant_set.names}
+            self._control_lane = self._lanes[experiment.control]
+        #: The control (primary) lane's batcher — the single-version
+        #: daemon's ``batcher`` attribute, unchanged.
+        self.batcher = self._control_lane.batcher
+        #: Off-reply-path shadow copies awaiting dispatch: ``(variant
+        #: name, request)``.  Filled while admitted requests are routed,
+        #: drained only after the reply path has resolved and yielded.
+        self._shadow_backlog: Deque[Tuple[str, ServeRequest]] = deque()
         self.stats = DaemonStats()
         self.host: Optional[str] = None
         #: The bound port (resolves ``spec.port == 0`` to the real one).
@@ -153,11 +221,9 @@ class ServingDaemon:
         self._buckets: Dict[str, TokenBucket] = {
             tenant: TokenBucket(rate, spec.quota_burst or rate)
             for tenant, rate in spec.tenant_quotas.items()}
-        #: Admitted requests waiting to enter the batcher:
+        #: Admitted requests waiting to enter their lane's batcher:
         #: ``(request, future)`` in arrival order.
         self._admitted: Deque[Tuple[ServeRequest, asyncio.Future]] = deque()
-        #: Futures of requests already inside the batcher, submission order.
-        self._futures: Deque[asyncio.Future] = deque()
         self._writers: set = set()
         self._tcp: Optional[asyncio.AbstractServer] = None
         self._batch_task: Optional[asyncio.Task] = None
@@ -172,8 +238,14 @@ class ServingDaemon:
     # ------------------------------------------------------------------ #
     @property
     def queue_depth(self) -> int:
-        """Admitted-but-unserved requests (admission queue + forming batch)."""
-        return len(self._admitted) + len(self.batcher)
+        """Admitted-but-unserved requests (admission queue + forming batches).
+
+        Shadow copies are not charged: they are the daemon's own off-path
+        work, not admitted arrivals, so shadow mode cannot change when
+        shedding kicks in.
+        """
+        return len(self._admitted) + sum(lane.primary_pending
+                                         for lane in self._lanes.values())
 
     def stats_dict(self) -> Dict[str, Any]:
         """The ``stats`` verb's payload: daemon + batcher + queue counters.
@@ -199,6 +271,19 @@ class ServingDaemon:
                 "pending": len(self.batcher),
             },
         })
+        if self.experiment is not None:
+            tier = self.experiment.stats_dict()
+            for name, lane in self._lanes.items():
+                row = tier["variants"].get(name)
+                if row is not None:
+                    lane_stats = lane.batcher.stats
+                    row["batcher"] = {
+                        "submitted": lane_stats.submitted,
+                        "served": lane_stats.served,
+                        "batches": lane_stats.batches,
+                        "pending": len(lane.batcher),
+                    }
+            payload["experiment"] = tier
         return payload
 
     # ------------------------------------------------------------------ #
@@ -262,11 +347,13 @@ class ServingDaemon:
         while True:
             if not self._admitted:
                 if self._draining:
-                    self._resolve(self.batcher.flush())
+                    for lane in self._lanes.values():
+                        self._resolve(lane, lane.batcher.flush())
+                    self._dispatch_shadow(flush=True)
                     if not self._admitted:
                         break
                     continue
-                deadline_ms = self.batcher.ms_until_deadline()
+                deadline_ms = self._ms_until_deadline()
                 try:
                     if deadline_ms is None:
                         await self._wake.wait()
@@ -279,17 +366,70 @@ class ServingDaemon:
                 self._wake.clear()
             while self._admitted:
                 request, future = self._admitted.popleft()
-                self._futures.append(future)
-                self._resolve(self.batcher.submit(request))
-            self._resolve(self.batcher.poll())
+                lane = self._route(request)
+                lane.futures.append(future)
+                lane.primary_pending += 1
+                self._resolve(lane, lane.batcher.submit(request))
+                if self.experiment is not None:
+                    for name in self.experiment.shadow_targets:
+                        self._shadow_backlog.append((name, request))
+            for lane in self._lanes.values():
+                self._resolve(lane, lane.batcher.poll())
+            if self._shadow_backlog:
+                # Let the reply-path callbacks (scheduled by set_result)
+                # write their frames before the off-path copies are scored.
+                await asyncio.sleep(0)
+                self._dispatch_shadow()
 
-    def _resolve(self, results: List[ServeResult]) -> None:
-        """Answer flushed results onto their futures, submission order."""
+    def _route(self, request: ServeRequest) -> _Lane:
+        """The lane answering ``request`` (the tier's splitter decides)."""
+        if self.experiment is None:
+            return self._control_lane
+        return self._lanes[self.experiment.route(request.user_id)]
+
+    def _ms_until_deadline(self) -> Optional[float]:
+        """The soonest partial-batch wait deadline across every lane."""
+        deadlines = [lane.batcher.ms_until_deadline()
+                     for lane in self._lanes.values()]
+        live = [deadline for deadline in deadlines if deadline is not None]
+        return min(live) if live else None
+
+    def _dispatch_shadow(self, flush: bool = False) -> None:
+        """Submit queued shadow copies into their variants' lanes.
+
+        Runs strictly after the reply path has resolved (and, outside
+        drain, after a loop yield), so shadow scoring never delays or
+        alters a primary reply.  With ``flush`` the shadow lanes' partial
+        batches are forced out too (shutdown drain).
+        """
+        while self._shadow_backlog:
+            name, request = self._shadow_backlog.popleft()
+            lane = self._lanes[name]
+            lane.futures.append(None)
+            self._resolve(lane, lane.batcher.submit(request))
+        if flush:
+            for lane in self._lanes.values():
+                self._resolve(lane, lane.batcher.flush())
+
+    def _resolve(self, lane: _Lane, results: List[ServeResult]) -> None:
+        """Answer flushed results onto their lane's futures, submission order.
+
+        ``None`` future slots are shadow copies: their results feed the
+        experiment tier's counters (and optional listener) and never touch
+        a connection.
+        """
         for result in results:
-            future = self._futures.popleft()
+            future = lane.futures.popleft()
+            if future is None:
+                if self.experiment is not None:
+                    self.experiment.record_shadow(lane.name, result)
+                continue
+            lane.primary_pending -= 1
             if not future.done():
                 future.set_result(result)
                 self.stats.served += 1
+                if self.experiment is not None:
+                    self.experiment.record_served(lane.name)
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -338,6 +478,8 @@ class ServingDaemon:
                         echo_id)
         elif op == "serve":
             self._handle_serve(frame, writer, echo_id)
+        elif op == "feedback":
+            self._handle_feedback(frame, writer, echo_id)
         else:
             self.stats.malformed += 1
             self._write(writer, {"ok": False, "error": "malformed",
@@ -370,6 +512,43 @@ class ServingDaemon:
         self._admitted.append((request, future))
         self.stats.admitted += 1
         self._wake.set()
+
+    def _handle_feedback(self, frame: Dict[str, Any],
+                         writer: asyncio.StreamWriter,
+                         echo_id: Any) -> None:
+        """Record impressions/clicks/revenue against the experiment tier.
+
+        Frame: ``{"op": "feedback", "user_id": U, "impressions": i,
+        "clicks": c, "revenue": r, "variant": "..."}`` (``impressions``
+        defaults to 1, the rest to 0; ``variant`` defaults to the
+        splitter's current assignment of ``user_id``).  Feedback is
+        metrics-only — it consumes no queue slot and is accepted even
+        while draining.
+        """
+        if self.experiment is None:
+            self.stats.malformed += 1
+            self._write(writer, {"ok": False, "error": "malformed",
+                                 "code": 400,
+                                 "detail": "no experiment tier attached"},
+                        echo_id)
+            return
+        try:
+            variant = frame.get("variant")
+            if variant is not None:
+                variant = str(variant)
+            variant = self.experiment.record_feedback(
+                int(frame["user_id"]),
+                impressions=int(frame.get("impressions", 1)),
+                clicks=int(frame.get("clicks", 0)),
+                revenue=float(frame.get("revenue", 0.0)),
+                variant=variant)
+        except (KeyError, TypeError, ValueError) as error:
+            self.stats.malformed += 1
+            self._write(writer, {"ok": False, "error": "malformed",
+                                 "code": 400, "detail": str(error)}, echo_id)
+            return
+        self.stats.feedback_requests += 1
+        self._write(writer, {"ok": True, "variant": variant}, echo_id)
 
     def _admission_decision(self, request: ServeRequest
                             ) -> Optional[_Rejection]:
@@ -546,6 +725,18 @@ class DaemonClient:
     def stats(self) -> Dict[str, Any]:
         """The daemon's counters (see :meth:`ServingDaemon.stats_dict`)."""
         return self.request({"op": "stats"})["stats"]
+
+    def feedback(self, user_id: int, impressions: int = 1, clicks: int = 0,
+                 revenue: float = 0.0,
+                 variant: Optional[str] = None) -> Dict[str, Any]:
+        """Record one feedback frame against the daemon's experiment tier."""
+        frame: Dict[str, Any] = {"op": "feedback", "user_id": int(user_id),
+                                 "impressions": int(impressions),
+                                 "clicks": int(clicks),
+                                 "revenue": float(revenue)}
+        if variant is not None:
+            frame["variant"] = variant
+        return self.request(frame)
 
     def close(self) -> None:
         """Close the connection; idempotent."""

@@ -1,0 +1,464 @@
+"""Serving-time experimentation: multi-version serving behind one daemon.
+
+The paper's headline production result (Section VII-D, Table IV) is an
+online A/B test — Zoomer replacing one retrieval channel on 4% of live
+search traffic.  This module is the serving-side machinery that makes such
+a rollout operational in the reproduction:
+
+* :class:`TrafficSplitter` — deterministic hash-based assignment of users
+  to variants.  A splitmix64 mix over ``(experiment_salt, user_id)`` (the
+  same stable-hash discipline as
+  :class:`~repro.graph.partition.HashPartitioner`) yields a uniform value
+  in ``[0, 1)`` that is bucketed by cumulative split fractions, so a
+  user's variant is a pure function of the salt and the fractions —
+  stable across processes, worker counts, and interpreter runs, and
+  **sticky under ramps**: raising the challenger's fraction only ever
+  moves users from control into the challenger, never the other way.
+* :class:`VariantSet` — the ordered ``name -> server`` mapping one
+  :class:`~repro.serving.daemon.ServingDaemon` hosts; the first entry is
+  the control (primary) variant.  Each variant gets its own
+  ``RequestBatcher`` lane inside the daemon while admission control,
+  quotas, and shedding stay shared at the front, so drain/shed semantics
+  are unchanged from single-version serving.
+* **Shadow mode** — the challenger scores a *copy* of every admitted
+  request off the reply path: all replies come from the control lane
+  (bit-identical to single-version serving) and shadow outcomes only feed
+  metrics (counters plus an optional :attr:`ExperimentTier.on_shadow_result`
+  listener).
+* :class:`CanaryController` — ramps a challenger through configured
+  traffic steps while the tier accumulates the existing
+  :class:`~repro.experiments.ab_test.ChannelMetrics` CTR/PPC/RPM counters
+  per variant, and automatically rolls back — pins traffic to control and
+  records the reason — when the guardrail metric regresses beyond the
+  configured drop with sufficient impressions on both sides.
+
+Feedback (impressions/clicks/revenue) arrives as data — through
+:meth:`ExperimentTier.record_feedback` or the daemon's ``feedback`` wire
+verb — never from a clock, so canary decisions are exactly reproducible
+from the feedback stream alone.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.experiments.ab_test import ChannelMetrics
+from repro.serving.server import ServeResult
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.api.spec import ExperimentTierSpec
+
+#: Guardrail metrics a canary may watch (``ChannelMetrics`` properties).
+GUARDRAIL_METRICS = ("ctr", "ppc", "rpm")
+
+
+class TrafficSplitter:
+    """Deterministic hash-based user -> variant assignment.
+
+    Uses the splitmix64 integer mix (same constants and uint64 discipline
+    as :class:`~repro.graph.partition.HashPartitioner`) over
+    ``(experiment_salt, user_id)`` instead of Python's ``hash``, so the
+    assignment is vectorizable and stable across processes and worker
+    counts.  The mixed hash becomes a uniform value in ``[0, 1)`` bucketed
+    by the cumulative ``fractions``, which makes ramping monotone: a user
+    assigned to a variant at fraction ``f`` stays there for any ``f' > f``.
+    """
+
+    def __init__(self, salt: str, variants: Sequence[str],
+                 fractions: Sequence[float]):
+        if not salt:
+            raise ValueError("salt must be a non-empty string")
+        names = tuple(str(name) for name in variants)
+        if len(names) < 2:
+            raise ValueError("a traffic split needs at least two variants")
+        if len(set(names)) != len(names):
+            raise ValueError(f"variant names must be unique, got {names}")
+        self.salt = str(salt)
+        self.variants = names
+        self._salt64 = np.uint64(zlib.crc32(self.salt.encode("utf-8")))
+        self._fractions: Tuple[float, ...] = ()
+        self._cuts = np.zeros(len(names))
+        self.set_fractions(fractions)
+
+    @property
+    def fractions(self) -> Tuple[float, ...]:
+        """The per-variant traffic fractions currently in force."""
+        return self._fractions
+
+    def set_fractions(self, fractions: Sequence[float]) -> None:
+        """Re-point the split (canary ramps / rollback); must sum to 1."""
+        values = tuple(float(f) for f in fractions)
+        if len(values) != len(self.variants):
+            raise ValueError(
+                f"need one fraction per variant ({len(self.variants)}), "
+                f"got {len(values)}")
+        if any(f < 0.0 or f > 1.0 for f in values):
+            raise ValueError(f"fractions must be in [0, 1], got {values}")
+        if abs(sum(values) - 1.0) > 1e-6:
+            raise ValueError(f"fractions must sum to 1, got {sum(values)!r}")
+        self._fractions = values
+        cuts = np.cumsum(np.asarray(values, dtype=np.float64))
+        cuts[-1] = 1.0      # guard against float accumulation drift
+        self._cuts = cuts
+
+    def uniform_batch(self, user_ids: Sequence[int]) -> np.ndarray:
+        """The splitmix64 hash of each user mapped to ``[0, 1)``."""
+        ids = np.asarray(user_ids, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = ids + self._salt64 + np.uint64(0x9E3779B97F4A7C15)
+            mixed = (mixed ^ (mixed >> np.uint64(30))) \
+                * np.uint64(0xBF58476D1CE4E5B9)
+            mixed = (mixed ^ (mixed >> np.uint64(27))) \
+                * np.uint64(0x94D049BB133111EB)
+            mixed = mixed ^ (mixed >> np.uint64(31))
+        return mixed.astype(np.float64) / float(2 ** 64)
+
+    def assign_batch(self, user_ids: Sequence[int]) -> np.ndarray:
+        """Vectorized variant *indices* for an array of user ids."""
+        uniforms = self.uniform_batch(user_ids)
+        indices = np.searchsorted(self._cuts, uniforms, side="right")
+        return np.minimum(indices, len(self.variants) - 1).astype(np.int64)
+
+    def assign(self, user_id: int) -> str:
+        """The variant *name* serving ``user_id`` under the current split."""
+        return self.variants[int(self.assign_batch([int(user_id)])[0])]
+
+
+class VariantSet:
+    """The ordered ``name -> server`` mapping a daemon hosts.
+
+    The first entry is the control (primary) variant; every server is
+    anything with the ``serve_batch(requests, k=...)`` contract (an
+    :class:`~repro.serving.server.OnlineServer`, a throttled wrapper, ...).
+    """
+
+    def __init__(self, variants: Mapping[str, Any]):
+        names = tuple(str(name) for name in variants)
+        if len(names) < 2:
+            raise ValueError("a VariantSet needs at least two variants "
+                             "(control first)")
+        if any(not name for name in names):
+            raise ValueError("variant names must be non-empty strings")
+        for name, server in variants.items():
+            if not hasattr(server, "serve_batch"):
+                raise ValueError(f"variant {name!r} has no serve_batch; "
+                                 "pass an OnlineServer-like object")
+        self.names = names
+        self._servers: Dict[str, Any] = dict(variants)
+
+    @property
+    def control(self) -> str:
+        """The control (primary) variant's name."""
+        return self.names[0]
+
+    def server_for(self, name: str) -> Any:
+        """The deployed server behind variant ``name``."""
+        return self._servers[name]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self):
+        return iter(self.names)
+
+
+@dataclass
+class VariantCounters:
+    """Per-variant serving-side counters (the ``stats`` verb exposes these)."""
+
+    #: Admitted requests routed to this variant's lane for the reply path.
+    assigned: int = 0
+    #: Requests this variant answered (reply path).
+    served: int = 0
+    #: Off-reply-path shadow copies this variant scored.
+    shadow_served: int = 0
+    #: Feedback records attributed to this variant.
+    feedback: int = 0
+
+
+class CanaryController:
+    """Ramp a challenger through traffic steps; roll back on a guardrail.
+
+    State machine (driven purely by recorded feedback, never a clock)::
+
+        ramping --(guardrail breach with >= min_impressions on both)--> rolled_back
+        ramping --(step_impressions healthy challenger impressions)----> next step
+        ramping --(final step's budget met, guardrail healthy)---------> completed
+
+    A breach means the challenger's guardrail metric fell below
+    ``(1 - guardrail_drop)`` times the control's with at least
+    ``min_impressions`` impressions on *both* variants.  Rollback pins the
+    challenger's fraction to ``0.0`` and records the reason; the state is
+    terminal (so is ``completed``, which holds the final step's fraction).
+    """
+
+    RAMPING = "ramping"
+    ROLLED_BACK = "rolled_back"
+    COMPLETED = "completed"
+
+    def __init__(self, steps: Sequence[float], control: str, challenger: str,
+                 guardrail_metric: str = "ctr", guardrail_drop: float = 0.2,
+                 min_impressions: int = 200, step_impressions: int = 200):
+        steps = tuple(float(s) for s in steps)
+        if not steps:
+            raise ValueError("canary needs at least one traffic step")
+        if any(not 0.0 < s <= 1.0 for s in steps) \
+                or any(a >= b for a, b in zip(steps, steps[1:])):
+            raise ValueError("canary steps must be strictly increasing "
+                             f"fractions in (0, 1], got {steps}")
+        if guardrail_metric not in GUARDRAIL_METRICS:
+            raise ValueError(f"guardrail_metric must be one of "
+                             f"{GUARDRAIL_METRICS}, got {guardrail_metric!r}")
+        if not 0.0 < guardrail_drop < 1.0:
+            raise ValueError("guardrail_drop must be in (0, 1)")
+        if min_impressions < 1 or step_impressions < 1:
+            raise ValueError(
+                "min_impressions and step_impressions must be at least 1")
+        self.steps = steps
+        self.control = control
+        self.challenger = challenger
+        self.guardrail_metric = guardrail_metric
+        self.guardrail_drop = float(guardrail_drop)
+        self.min_impressions = int(min_impressions)
+        self.step_impressions = int(step_impressions)
+        self.state = self.RAMPING
+        self.step_index = 0
+        self.rollback_reason: Optional[str] = None
+        self._step_start_impressions = 0
+
+    @property
+    def fraction(self) -> float:
+        """The challenger traffic fraction the controller mandates now."""
+        if self.state == self.ROLLED_BACK:
+            return 0.0
+        if self.state == self.COMPLETED:
+            return self.steps[-1]
+        return self.steps[self.step_index]
+
+    def observe(self, metrics: Mapping[str, ChannelMetrics]
+                ) -> Optional[float]:
+        """Re-evaluate after a feedback update; returns a new fraction or None.
+
+        Checks the guardrail first (a breach wins over a pending step
+        advance), then advances the ramp once the challenger has collected
+        ``step_impressions`` healthy impressions in the current step.
+        """
+        if self.state != self.RAMPING:
+            return None
+        control = metrics[self.control]
+        challenger = metrics[self.challenger]
+        if control.impressions < self.min_impressions \
+                or challenger.impressions < self.min_impressions:
+            return None
+        control_value = getattr(control, self.guardrail_metric)
+        challenger_value = getattr(challenger, self.guardrail_metric)
+        if control_value > 0.0 and \
+                challenger_value < (1.0 - self.guardrail_drop) * control_value:
+            self.state = self.ROLLED_BACK
+            self.rollback_reason = (
+                f"{self.guardrail_metric} regressed beyond the guardrail: "
+                f"challenger {challenger_value:.4f} < "
+                f"(1 - {self.guardrail_drop:g}) * control "
+                f"{control_value:.4f} after {challenger.impressions} "
+                f"challenger impressions at step {self.step_index} "
+                f"(fraction {self.steps[self.step_index]:g})")
+            return 0.0
+        if challenger.impressions - self._step_start_impressions \
+                >= self.step_impressions:
+            if self.step_index + 1 < len(self.steps):
+                self.step_index += 1
+                self._step_start_impressions = challenger.impressions
+                return self.steps[self.step_index]
+            self.state = self.COMPLETED
+        return None
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """JSON-ready canary status for the daemon's ``stats`` verb."""
+        return {
+            "state": self.state,
+            "step": self.step_index,
+            "steps": list(self.steps),
+            "fraction": self.fraction,
+            "guardrail_metric": self.guardrail_metric,
+            "guardrail_drop": self.guardrail_drop,
+            "min_impressions": self.min_impressions,
+            "step_impressions": self.step_impressions,
+            "rollback_reason": self.rollback_reason,
+        }
+
+
+class ExperimentTier:
+    """One experiment a daemon hosts: variants + splitter + metrics + canary.
+
+    Built from a :class:`VariantSet` (or a plain ordered mapping) and a
+    validated :class:`~repro.api.spec.ExperimentTierSpec` whose
+    ``variants`` tuple must match the set's names exactly.  The tier owns
+    the routing policy and the per-variant accounting; the daemon owns the
+    sockets, the admission front, and the per-variant batcher lanes.
+    """
+
+    def __init__(self, variants: Any, spec: "ExperimentTierSpec"):
+        spec.validate()
+        if not spec.variants:
+            raise ValueError("experiment spec names no variants")
+        variant_set = variants if isinstance(variants, VariantSet) \
+            else VariantSet(variants)
+        if variant_set.names != spec.variants:
+            raise ValueError(
+                f"variant servers {variant_set.names} do not match the "
+                f"spec's variants {spec.variants} (order matters; the "
+                f"first is control)")
+        self.spec = spec
+        self.variant_set = variant_set
+        self.shadow = bool(spec.shadow)
+        self.metrics: Dict[str, ChannelMetrics] = {
+            name: ChannelMetrics() for name in variant_set.names}
+        self.counters: Dict[str, VariantCounters] = {
+            name: VariantCounters() for name in variant_set.names}
+        self.canary: Optional[CanaryController] = None
+        if spec.canary_steps:
+            self.canary = CanaryController(
+                spec.canary_steps, control=variant_set.control,
+                challenger=variant_set.names[1],
+                guardrail_metric=spec.guardrail_metric,
+                guardrail_drop=spec.guardrail_drop,
+                min_impressions=spec.min_impressions,
+                step_impressions=spec.step_impressions)
+        self.splitter = TrafficSplitter(spec.salt, variant_set.names,
+                                        self._initial_fractions())
+        #: Optional listener called as ``fn(variant_name, result)`` for
+        #: every shadow-scored request — the hook that turns shadow
+        #: outcomes into offline metrics (the CLI uses it to simulate
+        #: clicks on shadow results).  Runs on the daemon's event loop.
+        self.on_shadow_result: Optional[Callable[[str, ServeResult], None]] \
+            = None
+
+    def _initial_fractions(self) -> Tuple[float, ...]:
+        """The split the tier starts with, per the spec's mode."""
+        names = self.variant_set.names
+        if self.shadow:
+            # Shadow mode: control serves everything on the reply path.
+            return (1.0,) + (0.0,) * (len(names) - 1)
+        if self.canary is not None:
+            first = self.canary.fraction
+            return (1.0 - first, first)
+        return self.spec.fractions
+
+    # ------------------------------------------------------------------ #
+    # Routing (called by the daemon's dispatch loop)
+    # ------------------------------------------------------------------ #
+    @property
+    def control(self) -> str:
+        """The control (primary) variant's name."""
+        return self.variant_set.control
+
+    @property
+    def control_server(self) -> Any:
+        """The control variant's deployed server."""
+        return self.variant_set.server_for(self.control)
+
+    @property
+    def shadow_targets(self) -> Tuple[str, ...]:
+        """Variants that score off-reply-path copies of every request."""
+        if not self.shadow:
+            return ()
+        return self.variant_set.names[1:]
+
+    def route(self, user_id: int) -> str:
+        """Pick the reply-path variant for ``user_id`` and count it."""
+        name = self.splitter.assign(user_id)
+        self.counters[name].assigned += 1
+        return name
+
+    def record_served(self, name: str) -> None:
+        """Count one reply-path answer from variant ``name``."""
+        self.counters[name].served += 1
+
+    def record_shadow(self, name: str, result: ServeResult) -> None:
+        """Count one shadow-scored copy; feed the listener, never a reply."""
+        self.counters[name].shadow_served += 1
+        if self.on_shadow_result is not None:
+            self.on_shadow_result(name, result)
+
+    # ------------------------------------------------------------------ #
+    # Feedback (impressions / clicks / revenue arrive as data)
+    # ------------------------------------------------------------------ #
+    def record_feedback(self, user_id: int, impressions: int = 1,
+                        clicks: int = 0, revenue: float = 0.0,
+                        variant: Optional[str] = None) -> str:
+        """Attribute one feedback record and re-evaluate the canary.
+
+        ``variant`` names the variant explicitly (the caller knows which
+        variant served the impression); omitted, the splitter's current
+        assignment of ``user_id`` is used — the same deterministic mapping
+        the reply path used, provided the split has not moved since.
+        Returns the attributed variant's name.
+        """
+        if impressions < 0 or clicks < 0 or revenue < 0.0:
+            raise ValueError("impressions, clicks, and revenue must be "
+                             "non-negative")
+        if clicks > impressions:
+            raise ValueError(f"clicks ({clicks}) cannot exceed impressions "
+                             f"({impressions})")
+        if variant is None:
+            variant = self.splitter.assign(user_id)
+        elif variant not in self.metrics:
+            raise ValueError(f"unknown variant {variant!r}; expected one of "
+                             f"{self.variant_set.names}")
+        metrics = self.metrics[variant]
+        metrics.impressions += int(impressions)
+        metrics.clicks += int(clicks)
+        metrics.revenue += float(revenue)
+        self.counters[variant].feedback += 1
+        if self.canary is not None:
+            new_fraction = self.canary.observe(self.metrics)
+            if new_fraction is not None:
+                self.splitter.set_fractions((1.0 - new_fraction,
+                                             new_fraction))
+        return variant
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats_dict(self) -> Dict[str, Any]:
+        """Per-variant rows for the daemon's ``stats`` verb."""
+        rows: Dict[str, Any] = {}
+        for name in self.variant_set.names:
+            counters = self.counters[name]
+            metrics = self.metrics[name]
+            rows[name] = {
+                "assigned": counters.assigned,
+                "served": counters.served,
+                "shadow_served": counters.shadow_served,
+                "feedback": counters.feedback,
+                "impressions": metrics.impressions,
+                "clicks": metrics.clicks,
+                "revenue": round(metrics.revenue, 4),
+                "ctr": round(metrics.ctr, 6),
+                "ppc": round(metrics.ppc, 6),
+                "rpm": round(metrics.rpm, 6),
+            }
+        return {
+            "control": self.control,
+            "shadow": self.shadow,
+            "salt": self.splitter.salt,
+            "fractions": {name: fraction for name, fraction
+                          in zip(self.variant_set.names,
+                                 self.splitter.fractions)},
+            "variants": rows,
+            "canary": None if self.canary is None
+            else self.canary.stats_dict(),
+        }

@@ -1,0 +1,398 @@
+"""Acceptance tests for the serving-time experimentation tier (ISSUE 9).
+
+The guarantees pinned here:
+
+* **Spec surface** — ``ExperimentTierSpec`` validates every mode (plain
+  split, shadow, canary) and JSON-round-trips as a section of
+  ``ExperimentSpec``.
+* **Deterministic splits** — ``TrafficSplitter`` is a pure function of
+  ``(salt, fractions, user_id)``: a golden vector pins the splitmix64
+  assignment across processes and interpreter runs, re-instantiation is
+  stable, and ramping a fraction only ever moves users *into* the
+  challenger.
+* **Shadow bit-identity** — a two-variant shadow daemon answers the same
+  pipelined request stream with replies byte-identical (modulo the
+  measured ``latency_ms``) to a single-version daemon over an identically
+  built server, while the challenger scores every request off the path.
+* **Mixed-variant accounting** — under an open-loop load run with zero
+  shed, the per-variant ``assigned``/``served`` rows reconcile exactly
+  with the splitter's deterministic assignment of the generator's user
+  stream.
+* **Canary rollback** — a challenger whose guardrail metric regresses is
+  deterministically rolled back: traffic pins to control, the reason is
+  recorded, and the whole transition is visible through the daemon's
+  ``stats`` verb.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.spec import DaemonSpec, ExperimentSpec, ExperimentTierSpec
+from repro.baselines import STAMPModel
+from repro.serving import (
+    DaemonClient,
+    ExperimentTier,
+    OnlineServer,
+    OpenLoopLoadGenerator,
+    ServingDaemon,
+    TrafficSplitter,
+    VariantSet,
+)
+
+
+@pytest.fixture(scope="module")
+def control_model(tiny_graph):
+    return STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def challenger_model(tiny_graph):
+    return STAMPModel(tiny_graph, embedding_dim=8, seed=1)
+
+
+def make_server(model) -> OnlineServer:
+    """A freshly warmed server; identical construction => identical replies."""
+    server = OnlineServer(model, cache_capacity=5, ann_cells=4, ann_nprobe=2)
+    server.warm_caches(range(5), range(5))
+    server.build_inverted_index(range(5))
+    return server
+
+
+def make_tier(control, challenger, **spec_overrides) -> ExperimentTier:
+    defaults = dict(variants=("control", "challenger"), salt="tier-test")
+    defaults.update(spec_overrides)
+    spec = ExperimentTierSpec(**defaults)
+    return ExperimentTier({"control": control, "challenger": challenger},
+                          spec)
+
+
+def daemon_spec(**overrides) -> DaemonSpec:
+    defaults = dict(max_batch_size=4, max_wait_ms=5.0, max_queue_depth=16)
+    defaults.update(overrides)
+    return DaemonSpec(**defaults)
+
+
+# --------------------------------------------------------------------------- #
+# ExperimentTierSpec validation and round-trip
+# --------------------------------------------------------------------------- #
+class TestSpec:
+    def test_default_section_is_valid_and_roundtrips(self):
+        spec = ExperimentSpec()
+        spec.validate()
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt.experiment == spec.experiment == ExperimentTierSpec()
+
+    def test_configured_section_roundtrips_via_json(self):
+        spec = ExperimentSpec(experiment=ExperimentTierSpec(
+            variants=("control", "challenger"), salt="exp-9",
+            canary_steps=(0.05, 0.25, 0.5), guardrail_metric="rpm",
+            guardrail_drop=0.3, min_impressions=100, step_impressions=50))
+        spec.validate()
+        rebuilt = ExperimentSpec.from_json(spec.to_json())
+        assert rebuilt.experiment == spec.experiment
+        assert rebuilt.experiment.variants == ("control", "challenger")
+        assert rebuilt.experiment.canary_steps == (0.05, 0.25, 0.5)
+
+    def test_plain_split_needs_matching_normalized_fractions(self):
+        good = ExperimentTierSpec(variants=("a", "b"), fractions=(0.9, 0.1))
+        good.validate()
+        for fractions in [(0.9,), (0.5, 0.2), (1.2, -0.2)]:
+            with pytest.raises(ValueError):
+                ExperimentTierSpec(variants=("a", "b"),
+                                   fractions=fractions).validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(variants=("solo",)),
+        dict(variants=("a", "a"), fractions=(0.5, 0.5)),
+        dict(variants=("a", "b"), shadow=True, fractions=(0.5, 0.5)),
+        dict(variants=("a", "b"), shadow=True, canary_steps=(0.1,)),
+        dict(variants=("a", "b", "c"), canary_steps=(0.1,)),
+        dict(variants=("a", "b"), canary_steps=(0.5, 0.5)),
+        dict(variants=("a", "b"), canary_steps=(0.1,), guardrail_metric="x"),
+        dict(variants=("a", "b"), canary_steps=(0.1,), guardrail_drop=1.5),
+        dict(variants=("a", "b"), canary_steps=(0.1,), min_impressions=0),
+        dict(fractions=(1.0,)),            # knobs without variants
+    ])
+    def test_invalid_modes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentTierSpec(**kwargs).validate()
+
+
+# --------------------------------------------------------------------------- #
+# TrafficSplitter determinism
+# --------------------------------------------------------------------------- #
+class TestTrafficSplitter:
+    def test_golden_assignment_vector(self):
+        """Process-independence pin: splitmix64 over (salt, user) is frozen."""
+        splitter = TrafficSplitter("golden", ("a", "b"), (0.5, 0.5))
+        np.testing.assert_allclose(
+            splitter.uniform_batch(range(4)),
+            [0.264963950504, 0.087210846705, 0.341535592135, 0.676939935304],
+            atol=1e-12)
+        np.testing.assert_array_equal(
+            splitter.assign_batch(range(16)),
+            [0, 0, 0, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1])
+
+    def test_reinstantiation_is_stable(self):
+        users = np.arange(500)
+        first = TrafficSplitter("s", ("a", "b"), (0.7, 0.3))
+        second = TrafficSplitter("s", ("a", "b"), (0.7, 0.3))
+        np.testing.assert_array_equal(first.assign_batch(users),
+                                      second.assign_batch(users))
+
+    def test_ramp_is_monotone(self):
+        """Raising the challenger fraction never reassigns its users away."""
+        users = np.arange(2000)
+        splitter = TrafficSplitter("ramp", ("control", "challenger"),
+                                   (0.95, 0.05))
+        before = splitter.assign_batch(users) == 1
+        splitter.set_fractions((0.7, 0.3))
+        after = splitter.assign_batch(users) == 1
+        assert np.all(after[before])
+        assert after.sum() > before.sum()
+
+    def test_salt_reshuffles(self):
+        users = np.arange(1000)
+        one = TrafficSplitter("salt-1", ("a", "b"), (0.5, 0.5))
+        two = TrafficSplitter("salt-2", ("a", "b"), (0.5, 0.5))
+        assert np.any(one.assign_batch(users) != two.assign_batch(users))
+
+    def test_fraction_validation(self):
+        splitter = TrafficSplitter("v", ("a", "b"), (0.5, 0.5))
+        for bad in [(0.5,), (0.5, 0.6), (-0.1, 1.1)]:
+            with pytest.raises(ValueError):
+                splitter.set_fractions(bad)
+        with pytest.raises(ValueError):
+            TrafficSplitter("", ("a", "b"), (0.5, 0.5))
+
+
+# --------------------------------------------------------------------------- #
+# VariantSet / ExperimentTier construction and feedback
+# --------------------------------------------------------------------------- #
+class TestTier:
+    def test_variant_set_contract(self, control_model):
+        server = make_server(control_model)
+        with pytest.raises(ValueError):
+            VariantSet({"only": server})
+        with pytest.raises(ValueError):
+            VariantSet({"a": server, "b": object()})
+        variants = VariantSet({"a": server, "b": server})
+        assert variants.control == "a"
+        assert variants.server_for("b") is server
+
+    def test_tier_rejects_name_mismatch(self, control_model):
+        server = make_server(control_model)
+        spec = ExperimentTierSpec(variants=("control", "challenger"),
+                                  fractions=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            ExperimentTier({"control": server, "other": server}, spec)
+
+    def test_feedback_validation(self, control_model):
+        server = make_server(control_model)
+        tier = make_tier(server, server, fractions=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            tier.record_feedback(0, impressions=1, clicks=2)
+        with pytest.raises(ValueError):
+            tier.record_feedback(0, impressions=-1)
+        with pytest.raises(ValueError):
+            tier.record_feedback(0, variant="nope")
+        name = tier.record_feedback(3, impressions=10, clicks=1, revenue=2.0)
+        assert name in ("control", "challenger")
+        assert tier.metrics[name].impressions == 10
+        assert tier.counters[name].feedback == 1
+
+
+# --------------------------------------------------------------------------- #
+# Shadow mode: primary replies bit-identical to single-version serving
+# --------------------------------------------------------------------------- #
+class TestShadowBitIdentity:
+    REQUESTS = [(u % 12, (3 * u) % 10) for u in range(24)]
+
+    def _drive(self, daemon: ServingDaemon) -> list:
+        """Pipeline the fixed stream through one connection; sort by echo id."""
+        with daemon, DaemonClient(daemon.host, daemon.port) as client:
+            for i, (user, query) in enumerate(self.REQUESTS):
+                client.send({"op": "serve", "user_id": user,
+                             "query_id": query, "k": 5, "id": i})
+            replies = [client.recv() for _ in self.REQUESTS]
+        for reply in replies:
+            assert reply["ok"] is True
+            reply.pop("latency_ms")      # measured, not computed
+        return sorted(replies, key=lambda r: r["id"])
+
+    def test_primary_replies_identical_to_single_version(
+            self, control_model, challenger_model):
+        # max_batch_size=1 pins the batch composition: arrival-timing
+        # chunking cannot move batch boundaries (and with them the cache
+        # refresh points), so the two runs are comparable bit for bit.
+        single = self._drive(ServingDaemon(
+            make_server(control_model),
+            spec=daemon_spec(max_batch_size=1, max_queue_depth=64)))
+        tier = make_tier(make_server(control_model),
+                         make_server(challenger_model), shadow=True)
+        shadow_daemon = ServingDaemon(
+            spec=daemon_spec(max_batch_size=1, max_queue_depth=64),
+            experiment=tier)
+        shadowed = self._drive(shadow_daemon)
+        assert shadowed == single
+        # The challenger scored every admitted request off the reply path
+        # (the drain flushes its final partial batch) and answered none.
+        counters = tier.counters["challenger"]
+        assert counters.shadow_served == len(self.REQUESTS)
+        assert counters.served == counters.assigned == 0
+        assert tier.counters["control"].served == len(self.REQUESTS)
+
+    def test_shadow_listener_sees_results(self, control_model,
+                                          challenger_model):
+        tier = make_tier(make_server(control_model),
+                         make_server(challenger_model), shadow=True)
+        seen = []
+        tier.on_shadow_result = lambda name, result: seen.append(
+            (name, result.user_id, result.query_id))
+        daemon = ServingDaemon(spec=daemon_spec(), experiment=tier)
+        with daemon, DaemonClient(daemon.host, daemon.port) as client:
+            for user, query in self.REQUESTS[:8]:
+                assert client.serve(user, query, k=5)["ok"] is True
+        assert sorted(seen) == sorted(
+            ("challenger", user, query) for user, query in self.REQUESTS[:8])
+
+
+# --------------------------------------------------------------------------- #
+# Mixed-variant load: stats reconcile with the loadgen's request stream
+# --------------------------------------------------------------------------- #
+class TestMixedVariantLoad:
+    def test_per_variant_stats_reconcile_with_loadgen(
+            self, tiny_graph, control_model, challenger_model):
+        tier = make_tier(make_server(control_model),
+                         make_server(challenger_model),
+                         fractions=(0.5, 0.5))
+        num_users = tiny_graph.num_nodes["user"]
+        num_queries = tiny_graph.num_nodes["query"]
+        seed, n = 5, 60
+        daemon = ServingDaemon(spec=daemon_spec(max_queue_depth=256),
+                               experiment=tier)
+        with daemon:
+            generator = OpenLoopLoadGenerator(
+                daemon.host, daemon.port, qps=400.0, num_requests=n,
+                num_users=num_users, num_queries=num_queries, seed=seed)
+            report = generator.run()
+        assert report.shed == report.quota == report.errors == 0
+        assert report.served == n
+        # The generator's user stream is reproducible, so the deterministic
+        # splitter predicts the per-variant assignment exactly.
+        users = np.random.default_rng(seed + 1).integers(0, num_users, size=n)
+        expected = np.bincount(tier.splitter.assign_batch(users),
+                               minlength=2)
+        stats = daemon.stats_dict()
+        rows = stats["experiment"]["variants"]
+        assert rows["control"]["assigned"] == expected[0]
+        assert rows["challenger"]["assigned"] == expected[1]
+        assert rows["control"]["served"] == expected[0]
+        assert rows["challenger"]["served"] == expected[1]
+        assert stats["served"] == n
+        # Each lane's batcher answered exactly its variant's requests.
+        assert rows["control"]["batcher"]["served"] == expected[0]
+        assert rows["challenger"]["batcher"]["served"] == expected[1]
+
+
+# --------------------------------------------------------------------------- #
+# Canary rollback
+# --------------------------------------------------------------------------- #
+class TestCanaryRollback:
+    def feed(self, record_feedback) -> None:
+        """A regressing challenger: control clicks, challenger does not."""
+        for _ in range(8):
+            record_feedback(0, impressions=10, clicks=5, revenue=5.0,
+                            variant="control")
+            record_feedback(1, impressions=10, clicks=0, revenue=0.0,
+                            variant="challenger")
+
+    def make_canary_tier(self, control_model, challenger_model):
+        return make_tier(make_server(control_model),
+                         make_server(challenger_model),
+                         canary_steps=(0.1, 0.5), guardrail_metric="ctr",
+                         guardrail_drop=0.2, min_impressions=50,
+                         step_impressions=50)
+
+    def test_rollback_is_deterministic(self, control_model, challenger_model):
+        tiers = [self.make_canary_tier(control_model, challenger_model)
+                 for _ in range(2)]
+        for tier in tiers:
+            self.feed(tier.record_feedback)
+        first, second = (tier.stats_dict() for tier in tiers)
+        assert first == second
+        assert first["canary"]["state"] == "rolled_back"
+        assert first["canary"]["rollback_reason"]
+        assert first["fractions"] == {"control": 1.0, "challenger": 0.0}
+
+    def test_rollback_pins_traffic_and_shows_in_stats(
+            self, control_model, challenger_model):
+        tier = self.make_canary_tier(control_model, challenger_model)
+        daemon = ServingDaemon(spec=daemon_spec(), experiment=tier)
+        with daemon, DaemonClient(daemon.host, daemon.port) as client:
+            before = client.stats()["experiment"]
+            assert before["canary"]["state"] == "ramping"
+            assert before["fractions"]["challenger"] == pytest.approx(0.1)
+            self.feed(lambda user, **kw: client.feedback(user, **kw))
+            after = client.stats()["experiment"]
+            assert after["canary"]["state"] == "rolled_back"
+            assert "ctr regressed" in after["canary"]["rollback_reason"]
+            assert after["fractions"] == {"control": 1.0, "challenger": 0.0}
+            # Post-rollback, every user routes to control.
+            for user in range(20):
+                assert client.serve(user, user % 5, k=5)["ok"] is True
+            final = client.stats()["experiment"]["variants"]
+        assert final["challenger"]["assigned"] == 0
+        assert final["control"]["assigned"] == 20
+
+    def test_healthy_challenger_ramps_to_completion(self, control_model,
+                                                    challenger_model):
+        tier = self.make_canary_tier(control_model, challenger_model)
+        for _ in range(10):     # 100 impressions: both 50-impression steps
+            tier.record_feedback(0, impressions=10, clicks=5, revenue=5.0,
+                                 variant="control")
+            tier.record_feedback(1, impressions=10, clicks=5, revenue=5.0,
+                                 variant="challenger")
+        stats = tier.stats_dict()["canary"]
+        assert stats["state"] == "completed"
+        assert tier.splitter.fractions == (0.5, 0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Wire protocol edges
+# --------------------------------------------------------------------------- #
+class TestFeedbackVerb:
+    def test_feedback_without_tier_is_400(self, control_model):
+        daemon = ServingDaemon(make_server(control_model),
+                               spec=daemon_spec())
+        with daemon, DaemonClient(daemon.host, daemon.port) as client:
+            reply = client.feedback(0, impressions=1)
+        assert reply["ok"] is False and reply["code"] == 400
+
+    def test_malformed_feedback_is_400(self, control_model,
+                                       challenger_model):
+        tier = make_tier(make_server(control_model),
+                         make_server(challenger_model),
+                         fractions=(0.5, 0.5))
+        daemon = ServingDaemon(spec=daemon_spec(), experiment=tier)
+        with daemon, DaemonClient(daemon.host, daemon.port) as client:
+            missing = client.request({"op": "feedback"})
+            bad_variant = client.feedback(0, variant="nope")
+            good = client.feedback(0, impressions=2, clicks=1, revenue=1.5)
+        assert missing["ok"] is False and missing["code"] == 400
+        assert bad_variant["ok"] is False and bad_variant["code"] == 400
+        assert good["ok"] is True and good["variant"] in ("control",
+                                                          "challenger")
+
+    def test_daemon_requires_server_or_tier(self):
+        with pytest.raises(ValueError):
+            ServingDaemon(spec=daemon_spec())
+
+    def test_daemon_rejects_foreign_control_server(self, control_model,
+                                                   challenger_model):
+        tier = make_tier(make_server(control_model),
+                         make_server(challenger_model),
+                         fractions=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            ServingDaemon(make_server(control_model), spec=daemon_spec(),
+                          experiment=tier)

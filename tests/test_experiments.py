@@ -80,6 +80,29 @@ class TestABTest:
         with pytest.raises(ValueError):
             ABTestConfig(position_decay=0.0).validate()
 
+    @pytest.mark.parametrize("traffic_fraction", [0.0, -0.5, 1.5])
+    def test_traffic_fraction_bounds(self, traffic_fraction):
+        with pytest.raises(ValueError):
+            ABTestConfig(traffic_fraction=traffic_fraction).validate()
+        ABTestConfig(traffic_fraction=1.0).validate()   # inclusive upper edge
+
+    @pytest.mark.parametrize("seed", [1.5, "7", None, True])
+    def test_seed_must_be_an_int(self, seed):
+        with pytest.raises(ValueError):
+            ABTestConfig(seed=seed).validate()
+
+    def test_simulate_impressions_is_reproducible(self, tiny_dataset):
+        item_ids = list(range(10))
+        one = ABTestSimulator(tiny_dataset, ABTestConfig(seed=3)) \
+            .simulate_impressions(0, 0, item_ids)
+        two = ABTestSimulator(tiny_dataset, ABTestConfig(seed=3)) \
+            .simulate_impressions(0, 0, item_ids)
+        assert one == two
+        impressions, clicks, revenue = one
+        assert impressions == len(item_ids)
+        assert 0 <= clicks <= impressions
+        assert revenue >= 0.0
+
     def test_run_produces_lift_rows(self, tiny_dataset, tiny_graph):
         base = PinSageModel(tiny_graph, embedding_dim=8, fanouts=(2, 2), seed=0)
         treatment = STAMPModel(tiny_graph, embedding_dim=8, seed=0)

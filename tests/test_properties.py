@@ -8,7 +8,12 @@ from hypothesis import strategies as st
 from repro.graph import GraphBuilder
 from repro.graph.schema import EdgeType, NodeType, RelationSpec
 from repro.sampling import FocalBiasedSampler, focal_relevance_scores
-from repro.serving import InvertedIndex, LatencySimulator, NeighborCache
+from repro.serving import (
+    InvertedIndex,
+    LatencySimulator,
+    NeighborCache,
+    TrafficSplitter,
+)
 from repro.training.metrics import auc_score, hit_rate_at_k
 
 
@@ -161,3 +166,59 @@ def test_neighbor_cache_capacity_invariant(capacity, node_ids):
         entry = cache.get("user", node_id)
         assert len(entry) <= capacity
     assert len(cache) <= 20
+
+
+# --------------------------------------------------------------------------- #
+# Traffic-splitter properties (serving-time experimentation)
+# --------------------------------------------------------------------------- #
+_salts = st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                 min_size=1, max_size=10)
+
+
+@given(_salts, st.floats(0.05, 0.95),
+       st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=50))
+@settings(max_examples=30, deadline=None)
+def test_splitter_stable_across_instances(salt, fraction, user_ids):
+    """Assignment is a pure function of (salt, fractions, user_id)."""
+    fractions = (1.0 - fraction, fraction)
+    first = TrafficSplitter(salt, ("control", "challenger"), fractions)
+    second = TrafficSplitter(salt, ("control", "challenger"), fractions)
+    np.testing.assert_array_equal(first.assign_batch(user_ids),
+                                  second.assign_batch(user_ids))
+    assert all(first.assign(u) == second.assign(u) for u in user_ids[:5])
+
+
+@given(_salts, st.floats(0.05, 0.95))
+@settings(max_examples=15, deadline=None)
+def test_splitter_observed_fraction_converges(salt, fraction):
+    """Over many users the observed split approaches the configured one."""
+    splitter = TrafficSplitter(salt, ("control", "challenger"),
+                               (1.0 - fraction, fraction))
+    observed = (splitter.assign_batch(np.arange(20_000)) == 1).mean()
+    assert observed == pytest.approx(fraction, abs=0.03)
+
+
+@given(_salts, _salts, st.floats(0.2, 0.8))
+@settings(max_examples=20, deadline=None)
+def test_splitter_salt_reshuffles(salt_one, salt_two, fraction):
+    """Different salts produce different (but equally sized) assignments."""
+    if salt_one == salt_two:
+        return
+    users = np.arange(2_000)
+    fractions = (1.0 - fraction, fraction)
+    one = TrafficSplitter(salt_one, ("a", "b"), fractions).assign_batch(users)
+    two = TrafficSplitter(salt_two, ("a", "b"), fractions).assign_batch(users)
+    assert np.any(one != two)
+
+
+@given(_salts, st.floats(0.05, 0.45), st.floats(0.5, 0.95))
+@settings(max_examples=20, deadline=None)
+def test_splitter_ramp_monotone(salt, low, high):
+    """A user in the challenger at fraction f stays there for any f' > f."""
+    users = np.arange(3_000)
+    splitter = TrafficSplitter(salt, ("control", "challenger"),
+                               (1.0 - low, low))
+    before = splitter.assign_batch(users) == 1
+    splitter.set_fractions((1.0 - high, high))
+    after = splitter.assign_batch(users) == 1
+    assert np.all(after[before])
