@@ -9,6 +9,7 @@ silent corruption.
 from __future__ import annotations
 
 import ast
+from typing import List
 
 from repro.analysis.core import (
     SRC_PREFIX,
@@ -54,3 +55,72 @@ class SwallowedException(Rule):
                        f"'except {node.type.id}: pass' swallows every "
                        f"failure silently; narrow the exception or handle "
                        f"it (log, re-raise, or record)")
+
+
+def _caught_names(type_node: ast.expr) -> List[str]:
+    """Exception names an ``except`` clause catches (tuple-aware).
+
+    ``except asyncio.CancelledError`` reports ``CancelledError`` — the
+    terminal attribute is the class name whatever module path spells it.
+    """
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) \
+        else [type_node]
+    names: List[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+@register_rule
+class RecoveryCatchMustReraise(Rule):
+    """EXC002 — broad catches in the recovery layers must contain a ``raise``.
+
+    Contract: supervised failure handling.  The fault-tolerance story of
+    the serving and parallel layers (worker respawn, circuit breaking,
+    failure-atomic refresh) is built from broad ``except`` blocks that
+    *intercept* a failure, record or repair it, and then **re-raise** (the
+    original, or a typed wrapper like ``RefreshError``) so the supervisor
+    above makes the recovery decision.  A broad handler with no ``raise``
+    converts a crash into silent state divergence — exactly the failure
+    mode chaos testing exists to catch.  Handlers that catch
+    ``Exception``, ``BaseException``, ``WorkerCrashError`` or
+    ``CancelledError`` under ``src/repro/serving/`` or
+    ``src/repro/parallel/`` must therefore re-raise on some path;
+    deliberate terminal handlers (``__del__`` teardown, best-effort socket
+    close, crash-detection loops that *convert* death into supervision
+    calls) carry a justified ``# repro: allow[EXC002]``.  ``RuntimeError``
+    and narrower types are exempt: catching a specific error you can fully
+    handle locally is the normal, encouraged pattern.
+    """
+
+    name = "EXC002"
+    node_types = (ast.ExceptHandler,)
+
+    #: Catch targets broad enough to intercept a crash/cancellation.
+    BROAD = ("BaseException", "CancelledError", "Exception",
+             "WorkerCrashError")
+
+    def applies_to(self, path: str) -> bool:
+        """Only the layers that implement the recovery protocol."""
+        return path.startswith(("src/repro/serving/", "src/repro/parallel/"))
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Flag broad handlers whose body (transitively) never raises."""
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            return  # bare 'except:' is EXC001's finding
+        broad = sorted(set(_caught_names(node.type)) & set(self.BROAD))
+        if not broad:
+            return
+        for statement in node.body:
+            if any(isinstance(child, ast.Raise)
+                   for child in ast.walk(statement)):
+                return
+        ctx.report(self, node,
+                   f"broad 'except {'/'.join(broad)}' in a recovery layer "
+                   f"swallows the failure; re-raise it (or a typed wrapper) "
+                   f"so the supervisor can act, or justify the terminal "
+                   f"handler with 'repro: allow[EXC002]'")

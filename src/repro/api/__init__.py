@@ -55,8 +55,9 @@ from repro.api.registry import (
 )
 
 _SPEC_EXPORTS = ("DaemonSpec", "DataSpec", "ExperimentSpec",
-                 "ExperimentTierSpec", "LifecycleSpec", "ModelSpec",
-                 "ParallelSpec", "ServingSpec", "StreamingSpec", "TrainSpec")
+                 "ExperimentTierSpec", "FaultSpec", "LifecycleSpec",
+                 "ModelSpec", "ParallelSpec", "ServingSpec", "StreamingSpec",
+                 "TrainSpec")
 _PIPELINE_EXPORTS = ("Deployment", "IngestReport", "Pipeline", "PipelineError")
 
 __all__ = [

@@ -36,10 +36,12 @@ import numpy as np
 from repro.api.registry import build_model, dataset_examples, load_dataset
 from repro.api.spec import DaemonSpec, ExperimentSpec, ExperimentTierSpec
 from repro.data.splits import train_test_split_examples
+from repro.data.wal import IngestJournal
+from repro.faults import InjectedFault, fault_point
 from repro.graph.update import GraphMutator
 from repro.serving.daemon import ServingDaemon
 from repro.serving.experiment import ExperimentTier
-from repro.serving.server import OnlineServer
+from repro.serving.server import OnlineServer, RefreshError
 from repro.training.trainer import Trainer, TrainingResult
 
 
@@ -174,6 +176,13 @@ class IngestReport:
     evicted_nodes: int = 0
     #: Edges removed by compaction (pruning + eviction fallout).
     removed_edges: int = 0
+    #: Refreshes that failed before their commit (delta parked for retry).
+    failed_refreshes: int = 0
+    #: Micro-batches journaled to the write-ahead log before applying.
+    journaled_batches: int = 0
+    #: Journal records skipped by :meth:`Pipeline.recover_from_wal`
+    #: because the graph already contained them.
+    replay_skipped: int = 0
     #: The graph's version stamp after the ingest.
     graph_version: int = 0
 
@@ -201,9 +210,15 @@ class Pipeline:
         self._compactor: Any = None
         self._parallel: Any = None
         #: Merged delta of updates a deployed server has not absorbed yet
-        #: (accumulated by ``ingest(refresh=False)``, consumed by the next
-        #: refreshing ingest).
+        #: (accumulated by ``ingest(refresh=False)`` or parked by a failed
+        #: refresh, consumed by the next refreshing ingest).
         self._pending_delta: Any = None
+        #: Lazily opened :class:`~repro.data.wal.IngestJournal` when
+        #: ``spec.streaming.wal_path`` is set.
+        self._journal: Optional[IngestJournal] = None
+        #: True while :meth:`recover_from_wal` replays (suppresses
+        #: re-journaling the records being replayed).
+        self._replaying = False
 
     # ------------------------------------------------------------------ #
     # Multi-core engine (spec.parallel)
@@ -396,8 +411,19 @@ class Pipeline:
         chunk = None          # merged delta since the last flush point
         batch: list = []
 
+        journal = self._ingest_journal()
+
         def _apply_batch(batch: Sequence) -> None:
             nonlocal chunk
+            if journal is not None and not self._replaying:
+                # Journal-before-apply: a crash between here and the
+                # version bump leaves a WAL tail recover_from_wal replays.
+                journal.append(self.graph.version, batch)
+                report.journaled_batches += 1
+            if fault_point("ingest.crash"):
+                raise InjectedFault(
+                    f"injected fault at ingest.crash (graph version "
+                    f"{self.graph.version}, batch of {len(batch)})")
             delta = mutator.apply_sessions(batch)
             report.events += len(batch)
             report.micro_batches += 1
@@ -434,7 +460,17 @@ class Pipeline:
             if self.server is not None and refresh:
                 delta = chunk if self._pending_delta is None \
                     else self._pending_delta.merge(chunk)
-                refresh_report = self.server.refresh(delta)
+                try:
+                    refresh_report = self.server.refresh(delta)
+                except RefreshError:
+                    # Failure-atomic refresh: the server still serves the
+                    # prior version (flagged degraded).  Park the merged
+                    # delta — the next refresh retries it, and success
+                    # clears the degradation.
+                    self._pending_delta = delta
+                    report.failed_refreshes += 1
+                    chunk = None
+                    return
                 self._pending_delta = None
                 report.refreshes += 1
                 report.invalidated_cache_keys += \
@@ -462,3 +498,68 @@ class Pipeline:
         _flush()
         report.graph_version = self.graph.version
         return report
+
+    def _ingest_journal(self) -> Optional[IngestJournal]:
+        """The spec's write-ahead log, opened lazily (``None`` when unset)."""
+        if self.spec.streaming.wal_path is None:
+            return None
+        if self._journal is None:
+            self._journal = IngestJournal(self.spec.streaming.wal_path)
+        return self._journal
+
+    def recover_from_wal(self, refresh: bool = True) -> IngestReport:
+        """Replay the ingest journal after a crash; idempotent.
+
+        Reads ``spec.streaming.wal_path`` in order and re-applies exactly
+        the micro-batches the graph is missing: a record journaled at a
+        version the graph has already passed is **skipped without touching
+        anything** (re-applying an applied version is a strict no-op), the
+        record matching the graph's current version is applied through the
+        normal ingest path (model/server refresh semantics included), and
+        a record *ahead* of the graph raises :class:`PipelineError` — the
+        journal belongs to a different graph history.
+
+        Run it from a fresh pipeline (same spec, same seed): the graph
+        rebuilds from the dataset at version 0 and the replay walks the
+        journal back to the pre-crash state, cold-start draws included,
+        after which ``ingest`` may simply continue.  Replayed batches are
+        not re-journaled.
+        """
+        journal = self._ingest_journal()
+        if journal is None:
+            raise PipelineError(
+                "recover_from_wal needs spec.streaming.wal_path")
+        self.build_graph()
+        total = IngestReport(graph_version=self.graph.version)
+        for version, sessions in journal.records():
+            if version < self.graph.version:
+                total.replay_skipped += 1
+                continue
+            if version > self.graph.version:
+                raise PipelineError(
+                    f"journal gap: record journaled at graph version "
+                    f"{version} but the graph is at {self.graph.version}; "
+                    f"the WAL does not describe this graph's history")
+            self._replaying = True
+            try:
+                # One journal record is exactly one pre-crash micro-batch;
+                # replaying it as one ingest call applies it as a single
+                # batch (records never exceed the micro-batch size).
+                part = self.ingest(sessions, refresh=refresh)
+            finally:
+                self._replaying = False
+            total.events += part.events
+            total.micro_batches += part.micro_batches
+            total.refreshes += part.refreshes
+            total.failed_refreshes += part.failed_refreshes
+            total.new_edges += part.new_edges
+            for node_type, count in part.new_nodes.items():
+                total.new_nodes[node_type] = \
+                    total.new_nodes.get(node_type, 0) + count
+            total.invalidated_cache_keys += part.invalidated_cache_keys
+            total.refreshed_postings += part.refreshed_postings
+            total.compactions += part.compactions
+            total.evicted_nodes += part.evicted_nodes
+            total.removed_edges += part.removed_edges
+        total.graph_version = self.graph.version
+        return total

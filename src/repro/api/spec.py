@@ -133,6 +133,58 @@ class StreamingSpec:
     micro_batch_size: int = 64
     #: Server refresh cadence, counted in micro-batches.
     refresh_every: int = 1
+    #: Optional write-ahead-log path: every micro-batch is journaled
+    #: (JSON lines, keyed by the pre-apply graph version) before it is
+    #: applied, and :meth:`~repro.api.pipeline.Pipeline.recover_from_wal`
+    #: replays the journal idempotently after a crash.  ``None`` disables
+    #: journaling.
+    wal_path: Optional[str] = None
+
+
+@dataclass
+class FaultSpec:
+    """Deterministic fault-injection knobs (see :mod:`repro.faults`).
+
+    ``points`` maps injection-site names (from
+    :data:`repro.faults.KNOWN_SITES`) to rule mappings with keys
+    ``probability`` / ``at`` / ``max_fires``; an empty mapping (the
+    default) means no plan is armed and every injection point stays a
+    single ``None`` check.  ``seed=None`` inherits the experiment seed,
+    so one spec document pins the whole fault sequence.
+    """
+
+    #: Site name -> fault-rule mapping (``probability``/``at``/``max_fires``).
+    points: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Seed of the per-site Philox decision streams (``None`` inherits
+    #: the experiment seed).
+    seed: Optional[int] = None
+    #: Injected delay for ``net.stall`` fires, milliseconds.
+    stall_ms: float = 20.0
+
+    def validate(self) -> "FaultSpec":
+        """Check sites, rule keys and ranges by building the plan."""
+        if not isinstance(self.points, Mapping):
+            raise ValueError("faults.points must be a mapping of site name "
+                             "to fault-rule mapping")
+        if self.seed is not None and (not isinstance(self.seed, int)
+                                      or isinstance(self.seed, bool)):
+            raise ValueError("faults.seed must be an int (or None to "
+                             "inherit the experiment seed)")
+        if self.stall_ms < 0:
+            raise ValueError("faults.stall_ms must be non-negative")
+        if self.points:
+            # FaultPlan's constructor is the authority on site names and
+            # rule shapes; building one surfaces its ValueError verbatim.
+            self.to_plan(default_seed=0)
+        return self
+
+    def to_plan(self, default_seed: int = 0):
+        """The armed :class:`~repro.faults.FaultPlan`, or ``None`` if empty."""
+        if not self.points:
+            return None
+        from repro.faults import FaultPlan
+        seed = default_seed if self.seed is None else self.seed
+        return FaultPlan(self.points, seed=seed, stall_ms=self.stall_ms)
 
 
 @dataclass
@@ -441,6 +493,7 @@ class ExperimentSpec:
     lifecycle: LifecycleSpec = field(default_factory=LifecycleSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
     experiment: ExperimentTierSpec = field(default_factory=ExperimentTierSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
     seed: int = 0
 
     # ------------------------------------------------------------------ #
@@ -459,7 +512,7 @@ class ExperimentSpec:
                     "training": TrainSpec, "serving": ServingSpec,
                     "daemon": DaemonSpec, "streaming": StreamingSpec,
                     "lifecycle": LifecycleSpec, "parallel": ParallelSpec,
-                    "experiment": ExperimentTierSpec}
+                    "experiment": ExperimentTierSpec, "faults": FaultSpec}
         unknown = sorted(set(data) - set(sections) - {"seed"})
         if unknown:
             raise ValueError(f"unknown spec section(s) {unknown}; known "
@@ -571,6 +624,12 @@ class ExperimentSpec:
             raise ValueError("streaming.micro_batch_size must be at least 1")
         if self.streaming.refresh_every < 1:
             raise ValueError("streaming.refresh_every must be at least 1")
+        if self.streaming.wal_path is not None \
+                and not isinstance(self.streaming.wal_path, str):
+            raise ValueError("streaming.wal_path must be a path string "
+                             "(or None to disable journaling)")
+
+        self.faults.validate()
 
         lifecycle = self.lifecycle
         for attr in ("half_life", "min_weight", "edge_ttl", "node_ttl"):

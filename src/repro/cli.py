@@ -18,6 +18,12 @@ Python:
   or a canary ramp), drive simulated requests plus click feedback through
   the wire protocol, and print Table IV-style CTR/PPC/RPM lifts per
   variant.
+* ``python -m repro.cli chaos``     — the fault-injection drill: train
+  briefly, deploy on a worker pool, arm a seeded
+  :class:`~repro.faults.FaultPlan` (worker crashes, network stalls/drops,
+  refresh failures), drive open-loop load through the daemon, and print
+  the recovery accounting — what fired, what was recovered, and whether
+  any request was lost.  ``--expect-zero-lost`` turns it into a CI gate.
 * ``python -m repro.cli motivation`` — print the Fig. 4(b)/(c) information-
   overload measurements for a generated dataset.
 * ``python -m repro.cli ingest``    — the streaming demo: build a
@@ -39,6 +45,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional
 
 import numpy as np
@@ -90,6 +97,33 @@ def _parallel_from_args(args: argparse.Namespace) -> ParallelSpec:
     """The ``ParallelSpec`` described by ``--num-workers`` and its backend."""
     return ParallelSpec(num_workers=args.num_workers,
                         backend=args.parallel_backend)
+
+
+def _fault_rows(plan) -> List[dict]:
+    """Per-site ``plan.summary()`` rows for :func:`format_table`."""
+    return [{"site": site, "occurrences": counts["occurrences"],
+             "fired": counts["fired"]}
+            for site, counts in plan.summary().items()]
+
+
+def _fault_plan_from_args(args: argparse.Namespace,
+                          spec: ExperimentSpec):
+    """The fault plan this run should arm, or ``None``.
+
+    An explicit ``--fault-plan`` JSON argument wins; otherwise the spec's
+    declarative ``faults`` section (seeded by the experiment seed) is used.
+    Arming is a CLI concern — the :class:`Pipeline` itself never arms a
+    plan, so library users are unaffected unless they opt in.
+    """
+    from repro.faults import FaultPlan
+
+    text = getattr(args, "fault_plan", None)
+    if text:
+        try:
+            return FaultPlan.from_json(text)
+        except ValueError as error:
+            raise SystemExit(f"--fault-plan: {error}")
+    return spec.faults.to_plan(default_seed=spec.seed)
 
 
 def _pipeline_or_exit(spec: ExperimentSpec) -> Pipeline:
@@ -180,7 +214,9 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     spec.daemon = daemon_spec
     with _pipeline_or_exit(spec) as pipeline:
         deployment = pipeline.deploy()
-        with deployment.daemon() as daemon:
+        plan = _fault_plan_from_args(args, spec)
+        with deployment.daemon() as daemon, \
+                (plan.armed() if plan is not None else nullcontext()):
             print(f"serving daemon listening on "
                   f"{daemon.host}:{daemon.port} "
                   f"(batch<= {daemon.spec.max_batch_size}, "
@@ -207,6 +243,10 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
                          for name, value in summary["latency_ms"].items()]
                 print(format_table(
                     rows, title=f"Open-loop self-drive at {args.qps} QPS"))
+                if plan is not None:
+                    print(format_table(
+                        _fault_rows(plan),
+                        title="Fault injection accounting"))
                 if args.expect_zero_shed and (report.shed or report.quota
                                               or report.errors):
                     print("FAIL: expected zero shed/quota/errors, got "
@@ -345,6 +385,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if args.replay_fraction <= 0 or args.replay_fraction >= 1:
         raise SystemExit("--replay-fraction must be in (0, 1)")
     from repro.data import split_sessions_at
+    from repro.faults import InjectedFault
     from repro.streaming import ReplayDriver
 
     source = load_dataset("synthetic-taobao", scale=args.scale)
@@ -363,7 +404,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                            max_batches_per_epoch=6, seed=0),
         serving=ServingSpec(ann_cells=8, warm_users=20, warm_queries=20),
         streaming=StreamingSpec(micro_batch_size=args.micro_batch_size,
-                                refresh_every=args.refresh_every),
+                                refresh_every=args.refresh_every,
+                                wal_path=args.wal or None),
         lifecycle=LifecycleSpec(
             enabled=args.half_life > 0 or args.node_ttl > 0,
             half_life=args.half_life, edge_ttl=args.edge_ttl,
@@ -373,7 +415,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     with _pipeline_or_exit(spec) as pipeline:
         pipeline.deploy()
         before = pipeline.graph.summary()
-        report = ReplayDriver(pipeline).replay(tail)
+        plan = _fault_plan_from_args(args, spec)
+        try:
+            with plan.armed() if plan is not None else nullcontext():
+                report = ReplayDriver(pipeline).replay(tail)
+        except InjectedFault as error:
+            print(f"ingest crashed: {error}", file=sys.stderr)
+            if args.wal:
+                from repro.data import IngestJournal
+                journal = IngestJournal(args.wal)
+                print(f"write-ahead log {args.wal!r} holds {len(journal)} "
+                      f"journaled micro-batch(es); a fresh pipeline with "
+                      f"this spec recovers them via "
+                      f"Pipeline.recover_from_wal()", file=sys.stderr)
+            return 1
         after = pipeline.graph.summary()
         ingest = report.ingest
         rows = [
@@ -381,6 +436,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             {"measurement": "micro-batches applied",
              "value": ingest.micro_batches},
             {"measurement": "server refreshes", "value": ingest.refreshes},
+            {"measurement": "failed refreshes",
+             "value": ingest.failed_refreshes},
+            {"measurement": "micro-batches journaled",
+             "value": ingest.journaled_batches},
             {"measurement": "edges appended", "value": ingest.new_edges},
             {"measurement": "nodes appended",
              "value": sum(ingest.new_nodes.values())},
@@ -399,6 +458,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                            title=f"Streaming ingest of {len(tail)} events "
                                  f"({before['total_edges']} -> "
                                  f"{after['total_edges']} edges)"))
+        if plan is not None:
+            print(format_table(_fault_rows(plan),
+                               title="Fault injection accounting"))
         # The refreshed server keeps serving, including for nodes the stream
         # introduced.
         results = pipeline.server.serve_batch(
@@ -408,6 +470,94 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                  "via_index": r.from_inverted_index} for r in results]
         print(format_table(rows,
                            title="Post-ingest serving of streamed requests"))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.serving.daemon import DaemonClient
+    from repro.serving.loadgen import OpenLoopLoadGenerator
+
+    if args.requests < 1:
+        raise SystemExit("--requests must be at least 1")
+    spec = _spec_from_args(
+        args,
+        max_test_examples=0,
+        training=TrainSpec(epochs=1, batch_size=args.batch_size,
+                           learning_rate=args.learning_rate, loss="focal",
+                           max_batches_per_epoch=6, seed=0),
+        serving=ServingSpec(cache_capacity=30, ann_cells=8,
+                            warm_users=20, warm_queries=20))
+    try:
+        spec.daemon = DaemonSpec(port=0,
+                                 max_queue_depth=args.queue_depth).validate()
+    except ValueError as error:
+        raise SystemExit(str(error))
+    plan = _fault_plan_from_args(args, spec)
+    if plan is None:
+        raise SystemExit("chaos needs a fault plan: pass --fault-plan "
+                         "'{\"worker.crash\": {\"at\": [2]}}' (or declare a "
+                         "faults section in the spec)")
+    with _pipeline_or_exit(spec) as pipeline:
+        deployment = pipeline.deploy()
+        engine = pipeline.parallel_engine()
+        with deployment.daemon() as daemon:
+            graph = pipeline.graph
+            generator = OpenLoopLoadGenerator(
+                daemon.host, daemon.port, qps=args.qps,
+                num_requests=args.requests,
+                num_users=graph.num_nodes[pipeline.model.user_type],
+                num_queries=graph.num_nodes[pipeline.model.query_node_type()],
+                seed=args.seed)
+            # Armed only around the drive: fault occurrence counters start
+            # at the first load-time event, so a fixed plan + seed replays
+            # the identical fault sequence run over run.
+            with plan.armed():
+                report = generator.run()
+            with DaemonClient(daemon.host, daemon.port) as client:
+                stats = client.stats()
+        pool = engine.pool_stats if engine is not None else None
+        pool_degraded = bool(engine.degraded) if engine is not None else False
+        downgrade_reason = engine.downgrade_reason if engine is not None \
+            else ""
+    summary = report.to_dict()
+    rows = [{"measurement": key, "value": value}
+            for key, value in summary.items()
+            if key not in ("latency_ms", "errors_by_class")]
+    rows += [{"measurement": f"errors: {name}", "value": value}
+             for name, value in summary["errors_by_class"].items()]
+    rows += [{"measurement": f"latency {name} (ms)", "value": value}
+             for name, value in summary["latency_ms"].items()]
+    print(format_table(rows, title=f"Chaos drive at {args.qps} QPS "
+                                   f"({args.requests} requests)"))
+    print(format_table(_fault_rows(plan), title="Fault injection accounting"))
+    lost = (report.sent - report.served - report.shed - report.quota
+            - report.draining - report.errors)
+    server_degraded = bool(stats.get("server", {}).get("degraded", False))
+    recovery = [
+        {"measurement": "faults fired", "value": len(plan.fired)},
+        {"measurement": "crashes recovered",
+         "value": pool.crashes_recovered if pool is not None else 0},
+        {"measurement": "workers respawned",
+         "value": pool.workers_respawned if pool is not None else 0},
+        {"measurement": "tasks resubmitted",
+         "value": pool.tasks_resubmitted if pool is not None else 0},
+        {"measurement": "pool degraded to serial", "value": pool_degraded},
+        {"measurement": "server degraded", "value": server_degraded},
+        {"measurement": "requests lost", "value": lost},
+    ]
+    print(format_table(recovery, title="Recovery accounting"))
+    if pool_degraded:
+        print(f"downgrade reason: {downgrade_reason}")
+    if args.expect_zero_lost:
+        unserved = report.sent - report.served
+        if unserved or report.errors or pool_degraded or server_degraded:
+            print("FAIL: expected every request served on a healthy stack, "
+                  f"got served={report.served}/{report.sent} "
+                  f"errors={report.errors} pool_degraded={pool_degraded} "
+                  f"server_degraded={server_degraded}", file=sys.stderr)
+            return 1
+        print(f"chaos: {report.served}/{report.sent} served, "
+              f"{len(plan.fired)} fault(s) fired and recovered")
     return 0
 
 
@@ -517,7 +667,38 @@ def build_parser() -> argparse.ArgumentParser:
     daemon_parser.add_argument("--expect-zero-shed", action="store_true",
                                help="exit non-zero if the self-drive run "
                                     "sheds or errors (CI smoke check)")
+    daemon_parser.add_argument("--fault-plan", default="", metavar="JSON",
+                               help="arm a seeded fault plan around the "
+                                    "daemon, e.g. "
+                                    "'{\"net.stall\": {\"at\": [3]}}'; "
+                                    "see repro.faults.KNOWN_SITES")
     daemon_parser.set_defaults(func=_cmd_daemon)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="fault-injection drill: deploy on a worker pool, arm "
+                      "a seeded fault plan, drive open-loop load, and print "
+                      "the recovery accounting")
+    add_common(chaos_parser)
+    chaos_parser.set_defaults(num_workers=2)
+    chaos_parser.add_argument("--requests", type=int, default=200,
+                              help="open-loop requests to drive through the "
+                                   "daemon while the plan is armed")
+    chaos_parser.add_argument("--qps", type=float, default=100.0,
+                              help="offered load for the chaos drive")
+    chaos_parser.add_argument("--queue-depth", type=int, default=256,
+                              help="daemon admission-queue depth")
+    chaos_parser.add_argument("--fault-plan",
+                              default='{"worker.crash": {"at": [2]}}',
+                              metavar="JSON",
+                              help="the plan to arm (site -> rule mapping "
+                                   "or the full to_dict form); see "
+                                   "repro.faults.KNOWN_SITES")
+    chaos_parser.add_argument("--expect-zero-lost", action="store_true",
+                              help="exit non-zero unless every request was "
+                                   "served, zero transport errors, and the "
+                                   "pool/server came back non-degraded "
+                                   "(CI smoke check)")
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="online-experimentation demo: control and "
@@ -579,6 +760,16 @@ def build_parser() -> argparse.ArgumentParser:
                                     "enables lifecycle compaction")
     ingest_parser.add_argument("--compact-every", type=int, default=4,
                                help="compaction cadence in micro-batches")
+    ingest_parser.add_argument("--wal", default="", metavar="PATH",
+                               help="journal every micro-batch to this "
+                                    "write-ahead log before applying it; a "
+                                    "crashed replay is recoverable via "
+                                    "Pipeline.recover_from_wal()")
+    ingest_parser.add_argument("--fault-plan", default="", metavar="JSON",
+                               help="arm a seeded fault plan around the "
+                                    "replay, e.g. "
+                                    "'{\"ingest.crash\": {\"at\": [1]}}'; "
+                                    "see repro.faults.KNOWN_SITES")
     ingest_parser.set_defaults(func=_cmd_ingest)
 
     motivation_parser = subparsers.add_parser(

@@ -26,6 +26,7 @@ from repro.data.movielens import (
     generate_movielens_dataset,
 )
 from repro.data.splits import train_test_split_examples
+from repro.data.wal import IngestJournal
 from repro.data.temporal import (
     TemporalLogDataset,
     build_temporal_log_dataset,
@@ -45,6 +46,7 @@ __all__ = [
     "MovieLensDataset",
     "generate_movielens_dataset",
     "train_test_split_examples",
+    "IngestJournal",
     "TemporalLogDataset",
     "build_temporal_log_dataset",
     "generate_temporal_sessions",

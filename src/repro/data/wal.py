@@ -1,0 +1,108 @@
+"""Write-ahead log for streaming ingest: journal first, apply second.
+
+:class:`IngestJournal` makes :meth:`~repro.api.pipeline.Pipeline.ingest`
+crash-safe.  Before a micro-batch of sessions is applied to the live graph
+it is appended here as one JSON line keyed by the **pre-apply** graph
+version — so a process that dies between journal and apply (or mid-apply)
+leaves a journal whose tail names exactly the batches the graph is
+missing.  Recovery replays the journal through the same apply path:
+records whose version is *behind* the graph are already applied and skip
+(re-applying an applied version is a strict no-op — the replay compares
+versions, it never re-mutates), the record *matching* the graph's version
+applies, and a version *ahead* of the graph is a gap — a corrupt or
+foreign journal — and errors.
+
+One record per line keeps appends atomic at the filesystem level (a torn
+final line is detected and ignored as the crash victim) and the journal
+human-readable::
+
+    {"version": 3, "sessions": [[user, query, [items...], ts, intent], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.data.logs import SearchSession
+
+
+def _session_row(session: Any) -> List[Any]:
+    """One session's journal row (accepts sessions or bare tuples)."""
+    if isinstance(session, SearchSession):
+        return [int(session.user_id), int(session.query_id),
+                [int(item) for item in session.clicked_items],
+                float(session.timestamp), int(session.intent_category)]
+    user_id, query_id, items = session
+    return [int(user_id), int(query_id), [int(item) for item in items],
+            0.0, -1]
+
+
+def _session_from_row(row: Sequence[Any]) -> SearchSession:
+    """Inverse of :func:`_session_row`."""
+    user_id, query_id, items, timestamp, intent = row
+    return SearchSession(user_id=int(user_id), query_id=int(query_id),
+                         clicked_items=tuple(int(item) for item in items),
+                         timestamp=float(timestamp),
+                         intent_category=int(intent))
+
+
+class IngestJournal:
+    """Append-only JSON-lines journal of pre-apply ingest micro-batches."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def append(self, pre_version: int, sessions: Sequence[Any]) -> None:
+        """Journal one micro-batch *before* it is applied.
+
+        ``pre_version`` is the graph version the batch will be applied on
+        top of.  The line is flushed and fsynced before returning, so a
+        crash after ``append`` never loses the batch.
+        """
+        record = {"version": int(pre_version),
+                  "sessions": [_session_row(session) for session in sessions]}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> Iterator[Tuple[int, List[SearchSession]]]:
+        """Yield ``(pre_version, sessions)`` in journal order.
+
+        A torn final line (the batch a crash interrupted mid-append) is
+        ignored; a torn line *followed by* intact records is corruption
+        and raises.
+        """
+        if not os.path.exists(self.path):
+            return
+        torn_at: int = -1
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                if torn_at >= 0:
+                    raise ValueError(
+                        f"{self.path}: undecodable journal line {torn_at + 1} "
+                        f"followed by more records — the journal is corrupt, "
+                        f"not merely torn by a crash")
+                try:
+                    record: Dict[str, Any] = json.loads(line)
+                    version = int(record["version"])
+                    sessions = [_session_from_row(row)
+                                for row in record["sessions"]]
+                except (ValueError, KeyError, TypeError, IndexError):
+                    torn_at = number
+                    continue
+                yield version, sessions
+
+    def __len__(self) -> int:
+        """Number of intact journal records."""
+        return sum(1 for _ in self.records())
+
+    def clear(self) -> None:
+        """Drop the journal file (after a checkpoint makes it redundant)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)

@@ -1,0 +1,45 @@
+"""Deterministic fault injection: seeded chaos for the self-healing layers.
+
+The paper's system serves heavy online traffic, where the failures that
+matter are partial ones — a sampling worker dying mid-batch, an index
+rebuild failing halfway, a connection stalling — not clean shutdowns.  This
+package is the harness that *injects* those failures deterministically so
+the recovery paths (worker-pool supervision, failure-atomic refresh,
+crash-safe ingest, client retry/breaker) can be pinned by tests the same
+way every other subsystem is: identical seeds replay identical fault
+sequences, and identical recovery accounting.
+
+Usage::
+
+    from repro.faults import FaultPlan, arm, disarm
+
+    plan = FaultPlan({"worker.crash": {"at": [2]}}, seed=7)
+    with plan.armed():
+        ...   # the 3rd worker-pool submit crashes its worker
+
+Production code consults injection points through :func:`fault_point` /
+:func:`active_plan`; with no plan armed both are a single ``None`` check,
+so the hooks cost nothing on the hot path.
+"""
+
+from repro.faults.plan import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+)
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "arm",
+    "disarm",
+    "fault_point",
+]

@@ -1,0 +1,252 @@
+"""The :class:`FaultPlan`: named, seeded, replayable injection points.
+
+Every injection point is a *site* registered by name in :data:`KNOWN_SITES`
+(``worker.crash``, ``refresh.ann_fail``, ``net.stall``, ``net.drop``,
+``ingest.crash``).  A plan maps sites to :class:`FaultRule` decisions —
+an explicit occurrence schedule (``at``), a per-occurrence probability, or
+both — and decides each occurrence from a Philox stream keyed by
+``(seed, site, occurrence_index)``, the same counter-based discipline as
+:func:`repro.parallel.rng.rng_stream`.  The decision therefore depends only
+on the key, never on thread scheduling or on how many *other* sites fired
+in between, so a fixed seed replays the identical fault sequence.
+
+The plan also keeps the recovery ledger: :attr:`FaultPlan.fired` records
+``(site, occurrence)`` in firing order and :meth:`FaultPlan.summary`
+aggregates per-site counts — the "identical recovery accounting" half of
+the replay pin.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+#: Injection-point catalog: site name -> where in the stack it fires.
+KNOWN_SITES: Dict[str, str] = {
+    "worker.crash": "WorkerPool.submit poisons the task; the worker process "
+                    "hard-exits before running it",
+    "refresh.ann_fail": "OnlineServer.refresh fails the side-built ANN/"
+                        "postings stage before the swap commits",
+    "net.stall": "ServingDaemon delays one framed response by the plan's "
+                 "stall_ms",
+    "net.drop": "ServingDaemon closes the connection instead of answering "
+                "one frame",
+    "ingest.crash": "Pipeline.ingest dies after journaling a micro-batch, "
+                    "before applying it",
+}
+
+
+class InjectedFault(RuntimeError):
+    """An error raised *by* the harness at an armed injection point."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one site fires: an occurrence schedule and/or a probability."""
+
+    #: Per-occurrence firing probability (decided by the site's Philox
+    #: stream); ``0.0`` means schedule-only.
+    probability: float = 0.0
+    #: Explicit 0-based occurrence indices that always fire.
+    at: Tuple[int, ...] = ()
+    #: Cap on total fires for this site (``None`` = unlimited).
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if any(int(index) < 0 for index in self.at):
+            raise ValueError(f"at indices must be non-negative, got {self.at}")
+        object.__setattr__(self, "at", tuple(int(i) for i in self.at))
+        if self.max_fires is not None and self.max_fires <= 0:
+            raise ValueError("max_fires must be positive (or None)")
+        if self.probability == 0.0 and not self.at:
+            raise ValueError(
+                "a fault rule needs a schedule ('at') or a probability")
+
+
+def _rule_from(value: Union[FaultRule, Mapping[str, Any]]) -> FaultRule:
+    """Coerce a mapping (the spec/CLI form) into a :class:`FaultRule`."""
+    if isinstance(value, FaultRule):
+        return value
+    unknown = set(value) - {"probability", "at", "max_fires"}
+    if unknown:
+        raise ValueError(
+            f"unknown fault-rule keys {sorted(unknown)}; expected "
+            f"'probability', 'at', 'max_fires'")
+    return FaultRule(probability=float(value.get("probability", 0.0)),
+                     at=tuple(value.get("at", ())),
+                     max_fires=value.get("max_fires"))
+
+
+def _decision_stream(seed: int, site: str, index: int) -> np.random.Generator:
+    """The Philox stream deciding one occurrence of one site."""
+    sequence = np.random.SeedSequence(
+        entropy=(int(seed) & 0xFFFFFFFFFFFFFFFF,
+                 zlib.crc32(site.encode("utf-8")), int(index)))
+    return np.random.Generator(np.random.Philox(seed=sequence))
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus the ledger of what actually fired.
+
+    ``rules`` maps site names (from :data:`KNOWN_SITES`) to
+    :class:`FaultRule` objects or their mapping form.  The plan is
+    stateful: each :meth:`fires` call consumes one occurrence of its site,
+    so a plan instance represents *one run* — build a fresh plan (same
+    arguments) to replay it.
+    """
+
+    def __init__(self, rules: Mapping[str, Union[FaultRule, Mapping[str, Any]]],
+                 seed: int = 0, stall_ms: float = 20.0):
+        unknown = set(rules) - set(KNOWN_SITES)
+        if unknown:
+            raise ValueError(
+                f"unknown fault sites {sorted(unknown)}; known sites: "
+                f"{sorted(KNOWN_SITES)}")
+        if stall_ms < 0:
+            raise ValueError("stall_ms must be non-negative")
+        self.rules: Dict[str, FaultRule] = {
+            site: _rule_from(rule) for site, rule in rules.items()}
+        self.seed = int(seed)
+        #: Injected delay (milliseconds) for ``net.stall`` fires.
+        self.stall_ms = float(stall_ms)
+        self._occurrences: Dict[str, int] = {site: 0 for site in self.rules}
+        self._fire_counts: Dict[str, int] = {site: 0 for site in self.rules}
+        #: The ledger: ``(site, occurrence_index)`` in firing order.
+        self.fired: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # The decision point
+    # ------------------------------------------------------------------ #
+    def fires(self, site: str) -> bool:
+        """Consume one occurrence of ``site``; True when the fault fires."""
+        rule = self.rules.get(site)
+        if rule is None:
+            return False
+        index = self._occurrences[site]
+        self._occurrences[site] = index + 1
+        if rule.max_fires is not None \
+                and self._fire_counts[site] >= rule.max_fires:
+            return False
+        fire = index in rule.at
+        if not fire and rule.probability > 0.0:
+            fire = bool(_decision_stream(self.seed, site, index).random()
+                        < rule.probability)
+        if fire:
+            self._fire_counts[site] += 1
+            self.fired.append((site, index))
+        return fire
+
+    def raise_if_fires(self, site: str) -> None:
+        """Raise :class:`InjectedFault` when ``site`` fires this occurrence."""
+        if self.fires(site):
+            raise InjectedFault(f"injected fault at {site} "
+                                f"(occurrence {self._occurrences[site] - 1})")
+
+    # ------------------------------------------------------------------ #
+    # Recovery accounting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-site accounting: occurrences seen and faults fired."""
+        return {site: {"occurrences": self._occurrences[site],
+                       "fired": self._fire_counts[site]}
+                for site in sorted(self.rules)}
+
+    # ------------------------------------------------------------------ #
+    # Arming
+    # ------------------------------------------------------------------ #
+    def armed(self) -> "_ArmedPlan":
+        """Context manager that arms this plan globally for the block."""
+        return _ArmedPlan(self)
+
+    # ------------------------------------------------------------------ #
+    # Wire form (CLI --fault-plan, FaultSpec)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; inverse of :meth:`from_dict`."""
+        points: Dict[str, Any] = {}
+        for site, rule in self.rules.items():
+            entry: Dict[str, Any] = {}
+            if rule.probability:
+                entry["probability"] = rule.probability
+            if rule.at:
+                entry["at"] = list(rule.at)
+            if rule.max_fires is not None:
+                entry["max_fires"] = rule.max_fires
+            points[site] = entry
+        return {"points": points, "seed": self.seed, "stall_ms": self.stall_ms}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from its :meth:`to_dict` / CLI JSON form.
+
+        Accepts both the wrapped form (``{"points": {...}, "seed": ...}``)
+        and the bare site->rule mapping the CLI takes inline.
+        """
+        if "points" in payload:
+            return cls(payload["points"], seed=int(payload.get("seed", 0)),
+                       stall_ms=float(payload.get("stall_ms", 20.0)))
+        return cls(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a CLI ``--fault-plan`` argument (inline JSON)."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        return cls.from_dict(payload)
+
+
+class _ArmedPlan:
+    """``with plan.armed():`` — arm on entry, restore the old plan on exit."""
+
+    def __init__(self, plan: FaultPlan):
+        self._plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = _STATE["active"]
+        _STATE["active"] = self._plan
+        return self._plan
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE["active"] = self._previous
+
+
+# One process-wide armed plan; a dict cell so closures and the context
+# manager share the same mutable slot without ``global`` juggling.
+_STATE: Dict[str, Optional[FaultPlan]] = {"active": None}
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide; returns it for chaining."""
+    _STATE["active"] = plan
+    return plan
+
+
+def disarm() -> None:
+    """Disarm whatever plan is active (a no-op when none is)."""
+    _STATE["active"] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, or ``None`` — the zero-overhead unarmed check."""
+    return _STATE["active"]
+
+
+def fault_point(site: str) -> bool:
+    """True when an armed plan fires ``site`` for this occurrence.
+
+    The unarmed path is one dict read and a ``None`` compare — cheap
+    enough to leave in production code paths permanently.
+    """
+    plan = _STATE["active"]
+    if plan is None:
+        return False
+    return plan.fires(site)

@@ -17,6 +17,7 @@ in-process and is bit-identical to the shared backend under a fixed seed.
 
 from repro.parallel.engine import BACKENDS, ParallelEngine, SerialExecutor
 from repro.parallel.pool import (
+    PoolStats,
     WorkerCrashError,
     WorkerPool,
     WorkerTaskError,
@@ -29,6 +30,7 @@ from repro.parallel.store import SharedGraphStore, SharedIndexStore
 __all__ = [
     "BACKENDS",
     "ParallelEngine",
+    "PoolStats",
     "SerialExecutor",
     "SharedArray",
     "SharedArrayHandle",

@@ -23,6 +23,7 @@ fixed seed — pinned by ``tests/test_parallel.py``.
 
 from __future__ import annotations
 
+import logging
 import uuid
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -30,7 +31,7 @@ import numpy as np
 
 from repro.graph.batch import SubgraphBatch, SubgraphLayer, sequence_from
 from repro.graph.partition import HashPartitioner
-from repro.parallel.pool import TASKS, WorkerPool
+from repro.parallel.pool import TASKS, WorkerCrashError, WorkerPool
 from repro.parallel.shm import map_result_pack
 from repro.parallel.store import (
     LocalCache,
@@ -38,6 +39,8 @@ from repro.parallel.store import (
     SharedIndexStore,
 )
 from repro.parallel.tasks import sample_shard_impl
+
+logger = logging.getLogger("repro.parallel")
 
 
 def _unpack_shard_result(result, leases):
@@ -87,12 +90,46 @@ class _PendingSample:
     def __init__(self, ego_type: str, egos: np.ndarray,
                  shard_positions: List[np.ndarray],
                  tickets: Optional[List[int]],
-                 results: Optional[List[Any]]):
+                 results: Optional[List[Any]],
+                 payloads: Optional[List[Dict[str, Any]]] = None):
         self.ego_type = ego_type
         self.egos = egos
         self.shard_positions = shard_positions
         self.tickets = tickets
         self.results = results
+        #: The shard payloads, kept so a pool downgrade can recompute the
+        #: very same draws serially (bit-identical: streams are keyed by
+        #: the payload, not by who executes it).
+        self.payloads = payloads
+
+
+class _FailoverExecutor:
+    """The ``map``-style executor handle the engine gives other layers.
+
+    A stable indirection: callers (``graph.parallel_executor``, the
+    streaming rebuild fan-out) hold this object across the engine's whole
+    life, so when a crashed pool is downgraded to the serial backend the
+    same handle silently routes to the in-process executor — no caller
+    rewiring, no dropped work.
+    """
+
+    def __init__(self, engine: "ParallelEngine"):
+        self._engine = engine
+
+    @property
+    def num_slots(self) -> int:
+        return self._engine._current_executor().num_slots
+
+    def map(self, name: str, payloads: Sequence[Any]) -> List[Any]:
+        engine = self._engine
+        if engine._pool is None:
+            return engine._serial.map(name, payloads)
+        try:
+            return engine._pool.map(name, payloads)
+        # repro: allow[EXC002] -- this IS the supervisor: downgrade + recompute
+        except WorkerCrashError as error:
+            engine._downgrade_to_serial(error)
+            return engine._serial.map(name, payloads)
 
 
 class ParallelEngine:
@@ -101,7 +138,7 @@ class ParallelEngine:
     def __init__(self, graph, num_workers: int = 1, backend: str = "serial",
                  num_shards: Optional[int] = None,
                  partitioner: Optional[HashPartitioner] = None,
-                 partition_seed: int = 17):
+                 partition_seed: int = 17, max_task_retries: int = 2):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, "
                              f"got {backend!r}")
@@ -114,8 +151,14 @@ class ParallelEngine:
             HashPartitioner(num_shards if num_shards is not None
                             else DEFAULT_NUM_SHARDS, seed=partition_seed)
         self._pool: Optional[WorkerPool] = (
-            WorkerPool(self.num_workers) if backend == "shared" else None)
+            WorkerPool(self.num_workers, max_task_retries=max_task_retries)
+            if backend == "shared" else None)
         self._serial = SerialExecutor(self.num_workers)
+        self._failover = _FailoverExecutor(self)
+        #: True once repeated worker crashes forced the serial downgrade.
+        self.degraded = False
+        #: Human-readable reason for the downgrade (empty while healthy).
+        self.downgrade_reason = ""
         # Stable export-slot names: workers cache one view per slot and
         # evict it when a re-export bumps the version.
         self._slot = uuid.uuid4().hex
@@ -130,8 +173,41 @@ class ParallelEngine:
     # ------------------------------------------------------------------ #
     @property
     def executor(self):
-        """The ``map``-style executor scoped rebuilds fan out through."""
+        """The ``map``-style executor scoped rebuilds fan out through.
+
+        Always the same :class:`_FailoverExecutor` handle, so holders keep
+        working across a crash-forced downgrade to the serial backend.
+        """
+        return self._failover
+
+    def _current_executor(self):
         return self._pool if self._pool is not None else self._serial
+
+    @property
+    def pool_stats(self):
+        """The pool's supervision ledger (``None`` on the serial backend)."""
+        return self._pool.stats if self._pool is not None else None
+
+    def _downgrade_to_serial(self, error: BaseException) -> None:
+        """Repeated worker crashes: give up on the pool, keep the run alive.
+
+        The serial executor runs the identical shard tasks in-process, so
+        everything recomputed after the downgrade is bit-identical to what
+        the pool would have produced — the caller only loses parallelism.
+        """
+        self.degraded = True
+        self.downgrade_reason = f"worker pool downgraded to serial: {error}"
+        logger.warning("%s", self.downgrade_reason)
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._graph_store is not None:
+            self._graph_store.close()
+            self._graph_store = None
+        if self._index_store is not None:
+            self._index_store.close()
+            self._index_store = None
+        self.backend = "serial"
 
     @property
     def block_names(self) -> List[str]:
@@ -166,7 +242,7 @@ class ParallelEngine:
     def __del__(self):   # pragma: no cover - GC safety net
         try:
             self.close()
-        # repro: allow[EXC001] -- __del__ GC safety net must never raise
+        # repro: allow[EXC001,EXC002] -- __del__ GC safety net must never raise
         except Exception:
             pass
 
@@ -240,7 +316,7 @@ class ParallelEngine:
                 tickets.append(self._pool.submit("sample_subgraph_shard",
                                                  payload))
             return _PendingSample(ego_type, egos, shard_positions, tickets,
-                                  None)
+                                  None, payloads)
         results = [sample_shard_impl(self.graph, payload)
                    for payload in payloads]
         return _PendingSample(ego_type, egos, shard_positions, None, results)
@@ -250,12 +326,31 @@ class ParallelEngine:
 
         Shared-backend results arrive as shm-pack views; the merge's
         concatenate is the only parent-side copy, after which the packs are
-        released.
+        released.  A pool that exhausted its crash retries while this
+        sample was in flight triggers the serial downgrade here, and the
+        sample's own shard payloads are recomputed in-process —
+        bit-identical, since the Philox streams are keyed by the payload.
         """
         leases: List[Any] = []
-        results = pending.results if pending.results is not None \
-            else [_unpack_shard_result(result, leases)
-                  for result in self._pool.gather(pending.tickets)]
+        if pending.results is not None:
+            results = pending.results
+        elif self._pool is None:
+            # Token issued before a downgrade that has since happened.
+            results = [sample_shard_impl(self.graph, payload)
+                       for payload in pending.payloads]
+        else:
+            try:
+                raw = self._pool.gather(pending.tickets)
+            # repro: allow[EXC002] -- this IS the supervisor: downgrade + recompute
+            except WorkerCrashError as error:
+                self._downgrade_to_serial(error)
+                raw = None
+            if raw is None:
+                results = [sample_shard_impl(self.graph, payload)
+                           for payload in pending.payloads]
+            else:
+                results = [_unpack_shard_result(result, leases)
+                           for result in raw]
         batch = self._merge_shards(pending.ego_type, pending.egos,
                                    pending.shard_positions, results)
         del results
@@ -355,12 +450,17 @@ class ParallelEngine:
         num_groups = min(self.partitioner.num_shards, num_queries)
         groups = [np.arange(start, num_queries, num_groups)
                   for start in range(num_groups)]
+        results = None
         if self._pool is not None:
             handle = self._index_store.handle
             payloads = [{"index": handle, "queries": queries[group], "k": k}
                         for group in groups]
-            results = self._pool.map("ann_search", payloads)
-        else:
+            try:
+                results = self._pool.map("ann_search", payloads)
+            # repro: allow[EXC002] -- this IS the supervisor: downgrade + recompute
+            except WorkerCrashError as error:
+                self._downgrade_to_serial(error)
+        if results is None:
             results = [self._index.search_batch(queries[group], k)
                        for group in groups]
         width = results[0][0].shape[1]

@@ -12,20 +12,42 @@ Failure semantics:
 
 * a task that raises propagates as :class:`WorkerTaskError` carrying the
   remote traceback,
-* a worker that dies mid-batch (killed, segfault, ``os._exit``) raises
-  :class:`WorkerCrashError` at the waiting ``gather`` instead of hanging —
-  the pool polls worker liveness while draining the result queue,
+* a worker that dies mid-batch (killed, segfault, ``os._exit``) is detected
+  by the liveness poll inside the waiting ``gather``; the pool *supervises*
+  the crash — completed results are salvaged off the queue, every worker is
+  respawned (fresh workers re-attach shm views lazily through their
+  :class:`WorkerCache`), and the in-flight tasks are resubmitted.  Tasks
+  are pure functions of their payload (shard-keyed Philox streams), so a
+  retried task is bit-identical to an uncrashed run,
+* after ``max_task_retries`` crash recoveries the pool gives up: it marks
+  itself broken and raises :class:`WorkerCrashError` — the
+  :class:`~repro.parallel.engine.ParallelEngine` catches that and downgrades
+  to the serial backend instead of failing the caller,
 * ``shutdown()`` drains the workers with sentinels, joins them (terminating
-  stragglers) and closes the queues; it is idempotent and also registered
-  via ``atexit`` so an abandoned pool cannot leak processes.
+  stragglers), closes the queues and sweeps crash-orphaned result packs
+  out of ``/dev/shm``; it is idempotent and also registered via ``atexit``
+  so an abandoned pool cannot leak processes or segments.
+
+Fault injection: ``submit`` consults the armed
+:class:`~repro.faults.FaultPlan` at the ``worker.crash`` site; a firing
+occurrence poisons that one task, making its worker hard-exit before
+running it.  Resubmissions are never poisoned — one injected crash tests
+one recovery.
 """
 
 from __future__ import annotations
 
 import atexit
+import logging
 import queue as queue_module
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults import fault_point
+
+logger = logging.getLogger("repro.parallel")
 
 #: Name -> task function registry; tasks take ``(payload, cache)`` where
 #: ``cache`` is the per-worker :class:`WorkerCache` of shared attachments.
@@ -91,7 +113,7 @@ class WorkerCache:
         for attachment in attachments:
             try:
                 attachment.close()
-            # repro: allow[EXC001] -- worker teardown must unmap every attachment
+            # repro: allow[EXC001,EXC002] -- worker teardown must unmap every attachment
             except Exception:   # pragma: no cover - best-effort unmap
                 pass
 
@@ -102,45 +124,93 @@ class WorkerCache:
         self._slots.clear()
 
 
-def _worker_main(task_queue, result_queue) -> None:
+#: Exit code of a worker killed by an injected ``worker.crash`` fault.
+POISON_EXIT_CODE = 77
+
+
+def _worker_main(task_queue, result_queue, pack_prefix: str) -> None:
     """Worker loop: execute named tasks until the ``None`` sentinel arrives."""
     # Importing the task module registers every named task in TASKS.
     import repro.parallel.tasks   # noqa: F401
+    from repro.parallel.shm import set_pack_prefix
 
+    # Result packs carry the pool's prefix so the parent can sweep any
+    # block this process orphans by dying before its handle is consumed.
+    set_pack_prefix(pack_prefix)
     cache = WorkerCache()
     try:
         while True:
             item = task_queue.get()
             if item is None:
                 break
-            ticket, name, payload = item
+            ticket, name, payload, poison = item
+            if poison:
+                import os
+                os._exit(POISON_EXIT_CODE)   # injected worker.crash fault
             try:
                 fn = TASKS[name]
                 result_queue.put((ticket, True, fn(payload, cache)))
+            # repro: allow[EXC002] -- the remote traceback is re-raised
+            # parent-side as WorkerTaskError; nothing is swallowed
             except BaseException:
                 result_queue.put((ticket, False, traceback.format_exc()))
     finally:
         cache.close()
 
 
+@dataclass
+class PoolStats:
+    """Supervision ledger: what the pool survived (chaos-run accounting)."""
+
+    #: Crash events detected and recovered by respawn + resubmit.
+    crashes_recovered: int = 0
+    #: Worker processes started to replace dead ones.
+    workers_respawned: int = 0
+    #: In-flight tasks resubmitted after a crash.
+    tasks_resubmitted: int = 0
+    #: Tasks poisoned by an injected ``worker.crash`` fault.
+    faults_injected: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-able form for the chaos CLI report."""
+        return {"crashes_recovered": self.crashes_recovered,
+                "workers_respawned": self.workers_respawned,
+                "tasks_resubmitted": self.tasks_resubmitted,
+                "faults_injected": self.faults_injected}
+
+
 class WorkerPool:
     """A fixed set of persistent spawn workers consuming a shared task queue."""
 
-    def __init__(self, num_workers: int, poll_seconds: float = 0.2):
+    def __init__(self, num_workers: int, poll_seconds: float = 0.2,
+                 max_task_retries: int = 2):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
         import multiprocessing as mp
 
         self.num_workers = int(num_workers)
         self._poll_seconds = float(poll_seconds)
+        #: Crash recoveries allowed before the pool declares itself broken.
+        self.max_task_retries = int(max_task_retries)
         self._context = mp.get_context("spawn")
         self._tasks = None
         self._results = None
         self._workers: List[Any] = []
         self._next_ticket = 0
         self._done: Dict[int, Any] = {}
+        #: ticket -> remote traceback of a failed task drained mid-recovery.
+        self._failures: Dict[int, str] = {}
+        #: ticket -> (name, payload) for every submitted-but-unfinished task;
+        #: the resubmission source after a crash.
+        self._inflight: Dict[int, Tuple[str, Any]] = {}
         self._broken: Optional[str] = None
         self._closed = False
+        #: Kernel-name prefix of this pool's result packs (crash sweep key).
+        self.pack_prefix = f"rp{uuid.uuid4().hex[:10]}"
+        #: Supervision accounting for this pool's lifetime.
+        self.stats = PoolStats()
         atexit.register(self.shutdown)
 
     # ------------------------------------------------------------------ #
@@ -165,9 +235,14 @@ class WorkerPool:
             return
         self._tasks = self._context.Queue()
         self._results = self._context.Queue()
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        """Start ``num_workers`` fresh processes on the current queues."""
         for _ in range(self.num_workers):
             worker = self._context.Process(
-                target=_worker_main, args=(self._tasks, self._results),
+                target=_worker_main,
+                args=(self._tasks, self._results, self.pack_prefix),
                 daemon=True)
             worker.start()
             self._workers.append(worker)
@@ -184,7 +259,7 @@ class WorkerPool:
                 for _ in self._workers:
                     try:
                         self._tasks.put(None)
-                    except Exception:   # pragma: no cover - queue torn down
+                    except (OSError, ValueError):  # pragma: no cover - torn down
                         break
             for worker in self._workers:
                 worker.join(timeout=5.0)
@@ -193,11 +268,30 @@ class WorkerPool:
                     worker.terminate()
                     worker.join(timeout=1.0)
         self._drain_unconsumed_results()
+        self._close_queues()
+        self._workers = []
+        self._inflight.clear()
+        self._sweep_packs()
+
+    def _close_queues(self) -> None:
         for q in (self._tasks, self._results):
             if q is not None:
                 q.cancel_join_thread()
                 q.close()
-        self._workers = []
+        self._tasks = None
+        self._results = None
+
+    def _sweep_packs(self) -> None:
+        """Unlink result packs orphaned by dead workers (satellite of crash
+        recovery: a worker that dies after creating a consume-once pack but
+        before its handle reaches the parent leaves a ``/dev/shm`` block no
+        drain can see)."""
+        from repro.parallel.shm import sweep_leaked_packs
+
+        swept = sweep_leaked_packs(self.pack_prefix)
+        if swept:
+            logger.warning("swept %d leaked result pack(s) under prefix %s",
+                           swept, self.pack_prefix)
 
     def _drain_unconsumed_results(self) -> None:
         """Release shm blocks of results nobody gathered (no /dev/shm leaks)."""
@@ -211,7 +305,7 @@ class WorkerPool:
         while True:
             try:
                 _, ok, value = self._results.get_nowait()
-            except Exception:
+            except (queue_module.Empty, OSError, ValueError, EOFError):
                 break
             if ok:
                 discard_result_handles(value)
@@ -226,37 +320,116 @@ class WorkerPool:
     # Execution
     # ------------------------------------------------------------------ #
     def submit(self, name: str, payload: Any) -> int:
-        """Queue one named task; returns the ticket to :meth:`gather` on."""
+        """Queue one named task; returns the ticket to :meth:`gather` on.
+
+        Consults the armed fault plan at ``worker.crash``: a firing
+        occurrence poisons this one task, so the worker that picks it up
+        hard-exits before running it (the supervised-crash drill).
+        """
         if name not in TASKS:
             raise KeyError(f"unknown pool task {name!r}")
         self._ensure_started()
         ticket = self._next_ticket
         self._next_ticket += 1
-        self._tasks.put((ticket, name, payload))
+        poison = fault_point("worker.crash")
+        if poison:
+            self.stats.faults_injected += 1
+        self._inflight[ticket] = (name, payload)
+        self._tasks.put((ticket, name, payload, poison))
         return ticket
 
+    def _record_result(self, ticket: int, ok: bool, value: Any) -> None:
+        self._inflight.pop(ticket, None)
+        if ok:
+            self._done[ticket] = value
+        else:
+            self._failures[ticket] = value
+
+    def _salvage_queued_results(self) -> None:
+        """Drain already-produced results off the queue without blocking."""
+        while True:
+            try:
+                ticket, ok, value = self._results.get_nowait()
+            except (queue_module.Empty, OSError, ValueError, EOFError):
+                return
+            self._record_result(ticket, ok, value)
+
+    def _recover_from_crash(self, dead: List[Any],
+                            outstanding_hint: int) -> None:
+        """Supervise a detected crash: salvage, respawn, resubmit — or give up.
+
+        Recovery is bounded by ``max_task_retries``; past that the pool
+        marks itself broken and raises, letting the engine downgrade to
+        the serial backend.
+        """
+        detail = (f"{len(dead)} worker(s) exited with code(s) "
+                  f"{[w.exitcode for w in dead]} while "
+                  f"{outstanding_hint} result(s) were outstanding")
+        self._salvage_queued_results()
+        if self.stats.crashes_recovered >= self.max_task_retries:
+            self._broken = detail + (
+                f" (after {self.stats.crashes_recovered} earlier recoveries)")
+            raise WorkerCrashError(self._broken)
+        # Tear everything down: tasks the dead worker dequeued are gone, and
+        # the shared queues cannot distinguish them from queued-but-untaken
+        # ones, so every surviving worker restarts on fresh queues and the
+        # whole in-flight set is resubmitted.  Tasks draw from shard-keyed
+        # Philox streams, so the retried results are bit-identical.
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+        self._close_queues()
+        # No pack sweep here: salvaged results in ``_done`` still reference
+        # their consume-once packs; orphans are swept at shutdown instead.
+        retry = sorted(self._inflight)
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._spawn_workers()
+        for ticket in retry:
+            name, payload = self._inflight[ticket]
+            self._tasks.put((ticket, name, payload, False))
+        self.stats.crashes_recovered += 1
+        self.stats.workers_respawned += self.num_workers
+        self.stats.tasks_resubmitted += len(retry)
+        logger.warning(
+            "worker crash recovered (%s): respawned %d worker(s), "
+            "resubmitted %d in-flight task(s)",
+            detail, self.num_workers, len(retry))
+
     def gather(self, tickets: Sequence[int]) -> List[Any]:
-        """Collect results for ``tickets`` in order (blocking, crash-aware)."""
+        """Collect results for ``tickets`` in order (blocking, crash-aware).
+
+        A worker death detected while waiting triggers supervised recovery
+        (respawn + resubmit, see :meth:`_recover_from_crash`); only after
+        ``max_task_retries`` recoveries does the crash surface as
+        :class:`WorkerCrashError`.
+        """
         outstanding = {t for t in tickets if t not in self._done}
         while outstanding:
             if self._broken:
                 raise WorkerCrashError(self._broken)
+            failed = outstanding & set(self._failures)
+            if failed:
+                raise WorkerTaskError(
+                    f"pool task failed in worker:\n"
+                    f"{self._failures.pop(min(failed))}")
             try:
                 ticket, ok, value = self._results.get(
                     timeout=self._poll_seconds)
             except queue_module.Empty:
                 dead = [w for w in self._workers if not w.is_alive()]
                 if dead:
-                    self._broken = (
-                        f"{len(dead)} worker(s) exited with code(s) "
-                        f"{[w.exitcode for w in dead]} while "
-                        f"{len(outstanding)} result(s) were outstanding")
-                    raise WorkerCrashError(self._broken)
+                    self._recover_from_crash(dead, len(outstanding))
                 continue
             if not ok:
+                self._record_result(ticket, False, value)
                 raise WorkerTaskError(
-                    f"pool task failed in worker:\n{value}")
-            self._done[ticket] = value
+                    f"pool task failed in worker:\n"
+                    f"{self._failures.pop(ticket)}")
+            self._record_result(ticket, True, value)
             outstanding.discard(ticket)
         return [self._done.pop(ticket) for ticket in tickets]
 

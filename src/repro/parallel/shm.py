@@ -106,7 +106,7 @@ class SharedArray:
     def __del__(self):   # pragma: no cover - GC safety net
         try:
             self.close()
-        # repro: allow[EXC001] -- __del__ GC safety net must never raise
+        # repro: allow[EXC001,EXC002] -- __del__ GC safety net must never raise
         except Exception:
             pass
 
@@ -129,6 +129,60 @@ class SharedPackHandle:
 #: Pack offsets are aligned so every dtype's view is well-aligned.
 _PACK_ALIGN = 64
 
+# Result packs created under a pool-assigned prefix get predictable kernel
+# names (``<prefix>_<seq>``), so the pool can sweep crash leftovers — a
+# worker that died between creating a pack and queueing its handle leaves
+# an orphan no handle points at.  ``None`` falls back to anonymous names.
+_PACK_PREFIX = {"value": None, "seq": 0}
+
+
+def set_pack_prefix(prefix) -> None:
+    """Adopt (or clear, with ``None``) this process's result-pack prefix."""
+    _PACK_PREFIX["value"] = prefix
+    _PACK_PREFIX["seq"] = 0
+
+
+def _create_pack_block(size: int) -> shared_memory.SharedMemory:
+    """Create one untracked pack block, under the prefix when one is set."""
+    prefix = _PACK_PREFIX["value"]
+    with _tracker_silenced():
+        if prefix is None:
+            return shared_memory.SharedMemory(create=True, size=size)
+        while True:
+            _PACK_PREFIX["seq"] += 1
+            name = f"{prefix}_{_PACK_PREFIX['seq']}"
+            try:
+                return shared_memory.SharedMemory(name=name, create=True,
+                                                  size=size)
+            except FileExistsError:   # pragma: no cover - stale leftover
+                continue
+
+
+def sweep_leaked_packs(prefix: str) -> int:
+    """Unlink every surviving ``/dev/shm`` pack under ``prefix``.
+
+    Called by the pool after its workers are gone: anything still named
+    ``<prefix>_*`` is a consume-once pack whose handle was lost to a crash.
+    Returns how many blocks were removed (0 on platforms without a
+    ``/dev/shm`` view of POSIX shared memory).
+    """
+    import pathlib
+
+    shm_dir = pathlib.Path("/dev/shm")
+    if not prefix or not shm_dir.is_dir():   # pragma: no cover - non-Linux
+        return 0
+    swept = 0
+    for path in shm_dir.glob(f"{prefix}_*"):
+        with _tracker_silenced():
+            try:
+                leaked = shared_memory.SharedMemory(name=path.name)
+                leaked.close()
+                leaked.unlink()
+                swept += 1
+            except FileNotFoundError:   # pragma: no cover - concurrent sweep
+                pass
+    return swept
+
 
 def share_result_pack(arrays) -> SharedPackHandle:
     """Hand a list of bulk result arrays to another process in one block.
@@ -144,8 +198,7 @@ def share_result_pack(arrays) -> SharedPackHandle:
     for array in arrays:
         meta.append((tuple(array.shape), array.dtype.str, offset))
         offset += -(-array.nbytes // _PACK_ALIGN) * _PACK_ALIGN
-    with _tracker_silenced():
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    shm = _create_pack_block(max(offset, 1))
     for array, (shape, dtype, start) in zip(arrays, meta):
         view = np.ndarray(shape, dtype=dtype, buffer=shm.buf,
                           offset=start)
@@ -217,7 +270,7 @@ def discard_result_handles(value) -> None:
     if isinstance(value, SharedPackHandle):
         try:
             take_result_pack(value)
-        # repro: allow[EXC001] -- consume-once race: another consumer won
+        # repro: allow[EXC001,EXC002] -- consume-once race: another consumer won
         except Exception:   # pragma: no cover - already consumed
             pass
     elif isinstance(value, dict):

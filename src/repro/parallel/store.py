@@ -162,7 +162,7 @@ class SharedGraphStore:
     def __del__(self):   # pragma: no cover - GC safety net
         try:
             self.close()
-        # repro: allow[EXC001] -- __del__ GC safety net must never raise
+        # repro: allow[EXC001,EXC002] -- __del__ GC safety net must never raise
         except Exception:
             pass
 
@@ -306,7 +306,7 @@ class SharedIndexStore:
     def __del__(self):   # pragma: no cover - GC safety net
         try:
             self.close()
-        # repro: allow[EXC001] -- __del__ GC safety net must never raise
+        # repro: allow[EXC001,EXC002] -- __del__ GC safety net must never raise
         except Exception:
             pass
 

@@ -63,9 +63,20 @@ from repro.serving.latency import (
 )
 from repro.serving.batcher import BatcherStats, RequestBatcher
 from repro.serving.request import ServeRequest, coerce_request, coerce_requests
-from repro.serving.server import OnlineServer, RefreshReport, ServeResult
+from repro.serving.server import (
+    OnlineServer,
+    RefreshError,
+    RefreshReport,
+    ServeResult,
+)
 from repro.serving.daemon import DaemonClient, DaemonStats, ServingDaemon
 from repro.serving.loadgen import LoadReport, OpenLoopLoadGenerator
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    classify_transport_error,
+)
 from repro.serving.experiment import (
     CanaryController,
     ExperimentTier,
@@ -79,6 +90,8 @@ __all__ = [
     "BatchServiceProfile",
     "CacheStats",
     "CanaryController",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DaemonClient",
     "DaemonStats",
     "ExactIndex",
@@ -91,8 +104,10 @@ __all__ = [
     "NeighborCache",
     "OnlineServer",
     "OpenLoopLoadGenerator",
+    "RefreshError",
     "RefreshReport",
     "RequestBatcher",
+    "RetryPolicy",
     "ServeRequest",
     "ServeResult",
     "ServingDaemon",
@@ -100,6 +115,7 @@ __all__ = [
     "TrafficSplitter",
     "VariantCounters",
     "VariantSet",
+    "classify_transport_error",
     "coerce_request",
     "coerce_requests",
     "strip_padding",

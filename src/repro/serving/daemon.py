@@ -58,8 +58,15 @@ from dataclasses import asdict, dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
+from repro.faults import active_plan
 from repro.serving.batcher import RequestBatcher
 from repro.serving.request import ServeRequest
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    classify_transport_error,
+)
 from repro.serving.server import ServeResult
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
@@ -270,6 +277,12 @@ class ServingDaemon:
                 "mean_batch_size": round(batcher.mean_batch_size, 4),
                 "pending": len(self.batcher),
             },
+            "server": {
+                "degraded": bool(getattr(self.server, "degraded", False)),
+                "degraded_reason": str(getattr(self.server,
+                                               "degraded_reason", "")),
+                "graph_version": getattr(self.server, "graph_version", None),
+            },
         })
         if self.experiment is not None:
             tier = self.experiment.stats_dict()
@@ -446,6 +459,14 @@ class ServingDaemon:
                 line = line.strip()
                 if not line:
                     continue
+                plan = active_plan()
+                if plan is not None:
+                    # Armed chaos plan: drop the connection instead of
+                    # answering, or stall the exchange by the plan's delay.
+                    if plan.fires("net.drop"):
+                        break
+                    if plan.fires("net.stall"):
+                        await asyncio.sleep(plan.stall_ms / 1000.0)
                 self._handle_frame(line, writer)
                 try:
                     await writer.drain()
@@ -634,6 +655,8 @@ class ServingDaemon:
             asyncio.set_event_loop(loop)
             try:
                 loop.run_until_complete(self.start())
+            # repro: allow[EXC002] -- the failure is handed to the caller's
+            # thread via `failures` and re-raised there, not swallowed
             except BaseException as error:   # bind failures surface caller-side
                 failures.append(error)
                 ready.set()
@@ -689,31 +712,124 @@ class DaemonClient:
     exactly one response, so the pipelined-ordering caveat of the wire
     protocol never applies.  Use the raw :meth:`send` / :meth:`recv`
     primitives to exercise pipelining (the daemon tests do).
+
+    Resilience (all opt-in, defaults preserve the bare client):
+
+    * ``request_timeout`` bounds each :meth:`request`'s socket wait; an
+      expiry surfaces (and is classified) as a ``timeout`` transport error.
+    * ``retry`` (a :class:`~repro.serving.resilience.RetryPolicy`) makes
+      :meth:`request` reconnect and retry transport failures with bounded,
+      seeded-jitter backoff.  Retried frames are resent verbatim, so a
+      retried ``serve`` is idempotent server-side (same request, new
+      admission decision).
+    * ``breaker`` (a :class:`~repro.serving.resilience.CircuitBreaker`)
+      fails fast with :class:`~repro.serving.resilience.CircuitOpenError`
+      once the daemon keeps failing, instead of piling retries onto it.
+
+    ``transport_failures`` counts failures by class (``connect_refused`` /
+    ``reset`` / ``timeout`` / ``other``) across the client's lifetime.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 request_timeout: Optional[float] = None,
+                 retry: Optional["RetryPolicy"] = None,
+                 breaker: Optional["CircuitBreaker"] = None):
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self.request_timeout = request_timeout
+        self.retry = retry
+        self.breaker = breaker
+        #: Transport failures by classification (see
+        #: :func:`~repro.serving.resilience.classify_transport_error`).
+        self.transport_failures: Dict[str, int] = {}
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self._host, self._port),
+                                              timeout=self._timeout)
         self._file = self._sock.makefile("rb")
+
+    def _ensure_connected(self) -> None:
+        """Reconnect after :meth:`_reset_connection` dropped the socket."""
+        if self._sock is None:
+            self._connect()
+
+    def _reset_connection(self) -> None:
+        """Tear down a connection a transport error left half-dead."""
+        sock, self._sock = self._sock, None
+        file, self._file = self._file, None
+        for closeable in (file, sock):
+            if closeable is None:
+                continue
+            try:
+                closeable.close()
+            except OSError:   # pragma: no cover - best-effort teardown
+                pass
 
     def send(self, frame: Dict[str, Any]) -> None:
         """Write one frame without waiting for its response."""
+        self._ensure_connected()
         self._sock.sendall(json.dumps(frame).encode("utf-8") + b"\n")
 
     def send_raw(self, payload: bytes) -> None:
         """Write raw bytes (malformed-frame tests)."""
+        self._ensure_connected()
         self._sock.sendall(payload)
 
     def recv(self) -> Dict[str, Any]:
         """Read one response frame; raises ``ConnectionError`` on EOF."""
+        self._ensure_connected()
         line = self._file.readline()
         if not line:
             raise ConnectionError("daemon closed the connection")
         return json.loads(line)
 
+    def _record_failure(self, error: BaseException) -> str:
+        kind = classify_transport_error(error)
+        self.transport_failures[kind] = self.transport_failures.get(kind,
+                                                                    0) + 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        self._reset_connection()
+        return kind
+
     def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """One frame in, one frame out."""
-        self.send(frame)
-        return self.recv()
+        """One frame in, one frame out — retried/gated when configured.
+
+        Without ``retry``/``breaker``/``request_timeout`` this is the bare
+        send-then-recv exchange.  With them, each attempt is bounded by
+        ``request_timeout``; transport failures are classified, counted,
+        fed to the breaker, and retried per the policy (fresh connection
+        each time); an open breaker raises
+        :class:`~repro.serving.resilience.CircuitOpenError` without
+        touching the socket.
+        """
+        attempt = 0
+        while True:
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open after "
+                    f"{self.breaker.consecutive_failures} consecutive "
+                    f"transport failure(s)")
+            try:
+                self._ensure_connected()
+                if self.request_timeout is not None:
+                    self._sock.settimeout(self.request_timeout)
+                self.send(frame)
+                response = self.recv()
+            except (ConnectionError, TimeoutError, OSError) as error:
+                self._record_failure(error)
+                if self.retry is None or not self.retry.should_retry(attempt):
+                    raise
+                time.sleep(self.retry.backoff_s(attempt))
+                attempt += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return response
 
     def serve(self, user_id: int, query_id: int, k: int = 10,
               tenant: str = "default") -> Dict[str, Any]:
@@ -740,10 +856,7 @@ class DaemonClient:
 
     def close(self) -> None:
         """Close the connection; idempotent."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._reset_connection()
 
     def __enter__(self) -> "DaemonClient":
         """Context-manager entry (connection already open)."""

@@ -52,23 +52,45 @@ class InvertedIndex:
         """Register second-layer metadata for an item."""
         self._metadata[int(metadata.item_id)] = metadata
 
-    def build_from_embeddings(self, query_ids: Sequence[int],
-                              query_embeddings: np.ndarray,
-                              item_embeddings: np.ndarray,
-                              item_ids: Optional[Sequence[int]] = None) -> None:
-        """Populate layer 1 by scoring items against each query embedding."""
+    def stage_postings(self, query_ids: Sequence[int],
+                       query_embeddings: np.ndarray,
+                       item_embeddings: np.ndarray,
+                       item_ids: Optional[Sequence[int]] = None
+                       ) -> Dict[int, List[Tuple[int, float]]]:
+        """Compute posting lists *without mutating the index*.
+
+        The fallible half of a build: everything that can fail (scoring,
+        ranking) happens here on the side, against whatever embeddings the
+        caller passes, while the live index keeps serving.  Feed the result
+        to :meth:`commit_postings` to swap it in — that half cannot fail.
+        """
         query_embeddings = np.asarray(query_embeddings, dtype=np.float64)
         item_embeddings = np.asarray(item_embeddings, dtype=np.float64)
         item_ids = np.asarray(item_ids, dtype=np.int64) if item_ids is not None \
             else np.arange(item_embeddings.shape[0])
         scores = query_embeddings @ item_embeddings.T       # (Q, I)
         top_k = min(self.posting_length, item_embeddings.shape[0])
+        staged: Dict[int, List[Tuple[int, float]]] = {}
         for row, query_id in enumerate(query_ids):
             top = np.argpartition(-scores[row], top_k - 1)[:top_k]
             order = top[np.argsort(-scores[row][top])]
-            self.add_posting(int(query_id),
-                             [(int(item_ids[i]), float(scores[row][i]))
-                              for i in order])
+            ranked = [(int(item_ids[i]), float(scores[row][i])) for i in order]
+            staged[int(query_id)] = [(int(i), float(s)) for i, s in
+                                     ranked[: self.posting_length]]
+        return staged
+
+    def commit_postings(self,
+                        staged: Dict[int, List[Tuple[int, float]]]) -> None:
+        """Install staged posting lists (plain dict writes; cannot fail)."""
+        self._postings.update(staged)
+
+    def build_from_embeddings(self, query_ids: Sequence[int],
+                              query_embeddings: np.ndarray,
+                              item_embeddings: np.ndarray,
+                              item_ids: Optional[Sequence[int]] = None) -> None:
+        """Populate layer 1 by scoring items against each query embedding."""
+        self.commit_postings(self.stage_postings(
+            query_ids, query_embeddings, item_embeddings, item_ids))
 
     # ------------------------------------------------------------------ #
     # Online lookups

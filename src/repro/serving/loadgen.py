@@ -26,10 +26,18 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.serving.resilience import classify_transport_error
+
 
 @dataclass
 class LoadReport:
-    """Outcome counts and latency percentiles of one open-loop run."""
+    """Outcome counts and latency percentiles of one open-loop run.
+
+    Transport failures are counted by class (``connect_refused`` /
+    ``reset`` / ``timeouts`` / ``other_errors``) — under injected chaos,
+    "the daemon was down" and "the daemon was slow" are different verdicts.
+    ``errors`` is their sum.
+    """
 
     #: Target offered load (requests/second).
     qps: float
@@ -43,14 +51,26 @@ class LoadReport:
     quota: int = 0
     #: Requests rejected because the daemon was draining.
     draining: int = 0
-    #: Transport failures (connect/read errors) and malformed responses.
-    errors: int = 0
+    #: Connection attempts refused (no listener / daemon down).
+    connect_refused: int = 0
+    #: Connections reset, broken, or closed without a response.
+    reset: int = 0
+    #: Requests that timed out (including run-deadline cancellations).
+    timeouts: int = 0
+    #: Everything else: unexpected transport errors, malformed responses.
+    other_errors: int = 0
     #: Wall-clock duration of the run in seconds.
     elapsed_s: float = 0.0
     #: ``sent / elapsed_s`` — the load actually offered.
     achieved_qps: float = 0.0
     #: Send-to-response latency of served requests, milliseconds.
     latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        """All failed requests — the sum of the per-class failure counts."""
+        return (self.connect_refused + self.reset + self.timeouts
+                + self.other_errors)
 
     def percentile_ms(self, q: float) -> float:
         """The ``q``-th latency percentile (served requests only)."""
@@ -86,6 +106,12 @@ class LoadReport:
             "quota": self.quota,
             "draining": self.draining,
             "errors": self.errors,
+            "errors_by_class": {
+                "connect_refused": self.connect_refused,
+                "reset": self.reset,
+                "timeouts": self.timeouts,
+                "other": self.other_errors,
+            },
             "elapsed_s": round(self.elapsed_s, 4),
             "achieved_qps": round(self.achieved_qps, 2),
             "shed_fraction": round(self.shed_fraction, 4),
@@ -158,7 +184,7 @@ class OpenLoopLoadGenerator:
             for task in tasks:
                 if not task.done():
                     task.cancel()
-                    report.errors += 1
+                    report.timeouts += 1
         report.elapsed_s = time.perf_counter() - start
         if report.elapsed_s > 0:
             report.achieved_qps = report.sent / report.elapsed_s
@@ -173,11 +199,22 @@ class OpenLoopLoadGenerator:
             await writer.drain()
             line = await reader.readline()
             if not line:
-                report.errors += 1
+                report.reset += 1    # closed without answering
                 return
             response = json.loads(line)
-        except (ConnectionError, OSError, ValueError):
-            report.errors += 1
+        except ValueError:
+            report.other_errors += 1
+            return
+        except (ConnectionError, TimeoutError, OSError) as error:
+            kind = classify_transport_error(error)
+            if kind == "connect_refused":
+                report.connect_refused += 1
+            elif kind == "timeout":
+                report.timeouts += 1
+            elif kind == "reset":
+                report.reset += 1
+            else:
+                report.other_errors += 1
             return
         finally:
             if writer is not None:
@@ -202,4 +239,4 @@ class OpenLoopLoadGenerator:
         elif error == "draining":
             report.draining += 1
         else:
-            report.errors += 1
+            report.other_errors += 1

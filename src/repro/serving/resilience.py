@@ -1,0 +1,154 @@
+"""Client-side resilience primitives: retry, backoff, circuit breaking.
+
+The serving daemon answers over plain TCP, and the transport fails in
+exactly three interesting ways — the listener is gone (connect refused),
+the connection died mid-exchange (reset), or the peer is alive but not
+answering (timeout).  :func:`classify_transport_error` names which one
+happened; :class:`RetryPolicy` decides whether and how long to wait before
+trying again (bounded exponential backoff with *seeded* jitter, so a retry
+schedule is replayable like everything else in this repo); and
+:class:`CircuitBreaker` stops a client from hammering a peer that keeps
+failing (closed -> open -> half-open).
+
+The breaker takes explicit ``now`` timestamps so tests can drive the state
+machine without sleeping; callers that omit ``now`` get
+:func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class CircuitOpenError(RuntimeError):
+    """Raised when a request is refused because the breaker is open."""
+
+
+def classify_transport_error(error: BaseException) -> str:
+    """Name the transport failure: connect_refused / reset / timeout.
+
+    ``TimeoutError`` covers ``socket.timeout`` (an alias since 3.10).  EOF
+    mid-frame counts as a reset: the peer went away without answering.
+    """
+    if isinstance(error, ConnectionRefusedError):
+        return "connect_refused"
+    if isinstance(error, TimeoutError):
+        return "timeout"
+    if isinstance(error, (ConnectionResetError, BrokenPipeError, EOFError,
+                          ConnectionError)):
+        return "reset"
+    return "other"
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    ``backoff_s(attempt)`` grows ``base_delay_s * 2**attempt`` up to
+    ``max_delay_s``, then adds a jitter fraction drawn from a seeded
+    generator — two policies built with the same seed produce the same
+    delay sequence.
+    """
+
+    #: Retries after the first attempt (0 disables retrying).
+    max_retries: int = 3
+    #: First backoff delay, seconds.
+    base_delay_s: float = 0.05
+    #: Backoff ceiling, seconds (applied before jitter).
+    max_delay_s: float = 1.0
+    #: Jitter as a fraction of the delay (0 = deterministic delays).
+    jitter: float = 0.5
+    #: Seed for the jitter stream.
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when retry number ``attempt`` (0-based) is still allowed."""
+        return attempt < self.max_retries
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based), seconds."""
+        delay = min(self.base_delay_s * (2.0 ** max(int(attempt), 0)),
+                    self.max_delay_s)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(self._rng.random())
+        return delay
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open failure gate for one downstream peer.
+
+    Closed passes everything; ``failure_threshold`` consecutive failures
+    open the circuit, which fails fast for ``reset_timeout_s``; after the
+    timeout one probe call is allowed (half-open) — its success closes the
+    circuit, its failure re-opens it for another full timeout.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 1.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.state = "closed"
+        self.consecutive_failures = 0
+        #: Times the breaker tripped open over its lifetime.
+        self.opened_count = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """May a call proceed right now?  (May transition open -> half-open.)"""
+        if self.state == "closed":
+            return True
+        if now is None:
+            now = time.monotonic()
+        if self.state == "open":
+            if now - self._opened_at < self.reset_timeout_s:
+                return False
+            self.state = "half_open"
+            self._probe_inflight = False
+        # half-open: admit exactly one probe until its outcome is recorded.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self, now: Optional[float] = None) -> None:
+        """A call succeeded: close the circuit, clear the failure streak."""
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self, now: Optional[float] = None) -> None:
+        """A call failed: extend the streak, maybe (re)open the circuit."""
+        self.consecutive_failures += 1
+        if self.state == "half_open" \
+                or self.consecutive_failures >= self.failure_threshold:
+            if now is None:
+                now = time.monotonic()
+            self.state = "open"
+            self.opened_count += 1
+            self._opened_at = now
+            self._probe_inflight = False
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for stats payloads."""
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "opened_count": self.opened_count}

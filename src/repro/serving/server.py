@@ -37,6 +37,7 @@ import numpy as np
 if TYPE_CHECKING:   # pragma: no cover - typing only
     from repro.graph.update import GraphDelta
 
+from repro.faults import InjectedFault, fault_point
 from repro.models.base import RetrievalModel
 from repro.serving.ann import IVFIndex, strip_padding
 from repro.serving.cache import NeighborCache
@@ -59,6 +60,15 @@ class ServeResult:
     #: Admission-control label carried over from the request; retrieval
     #: results are identical for every tenant.
     tenant: str = "default"
+
+
+class RefreshError(RuntimeError):
+    """A refresh failed before its commit point.
+
+    The server keeps serving the *prior* version end to end (old ANN, old
+    postings, old embedding matrix) and flags itself ``degraded``; the
+    caller may retry the same delta — a succeeding refresh clears the flag.
+    """
 
 
 @dataclass
@@ -118,6 +128,10 @@ class OnlineServer:
         self._served = 0
         #: Graph version this server's caches and indexes reflect.
         self.graph_version = getattr(self.graph, "version", 0)
+        #: True after a refresh failed before its commit; the server keeps
+        #: serving the prior version until a refresh succeeds.
+        self.degraded = False
+        self.degraded_reason = ""
         self._example_user = 0
         #: Optional multi-core engine; see :meth:`attach_parallel`.
         self._parallel = None
@@ -224,6 +238,14 @@ class OnlineServer:
            refreshes postings offline, so bounded staleness on untouched
            keys is intended).
 
+        Steps 4 and 5 are **failure-atomic**: the new ANN index, embedding
+        matrix and posting lists are staged on the side and committed
+        together only once every piece is complete.  If the stage fails the
+        server raises :class:`RefreshError`, keeps serving the prior
+        version end to end, and flags itself ``degraded`` (surfaced by the
+        daemon's ``stats`` verb); retrying the same delta — a succeeding
+        refresh — clears the flag.
+
         Deterministic under a fixed server seed: cold-start embeddings are
         drawn from ``default_rng((seed, delta.version))``.
         """
@@ -268,63 +290,101 @@ class OnlineServer:
                     self.cache.top_graph_neighbors(self.graph, node_type,
                                                    node_id))
 
-        # 4. Item embeddings + ANN: recompute touched/new rows only, derive
-        #    the fresh index on the side (frozen coarse centroids, changed
-        #    rows reassigned to their nearest cell, evicted rows dropped
-        #    from every cell), then swap.  The corpus row count never
-        #    shrinks: tombstoned items keep their embedding row so the
-        #    id-aligned trained state stays valid for a later re-add.
+        # 4+5 (stage). Item embeddings + ANN + postings are *side-built*
+        #    here — everything that can fail happens against staging state
+        #    while the live index keeps serving — and swapped in below only
+        #    once every piece is complete.  A failure anywhere in this
+        #    block leaves the server on the prior version end to end (old
+        #    ANN, old postings, old embedding matrix), flagged ``degraded``.
         num_items = self.graph.num_nodes[self.item_type]
         stale_items = np.union1d(delta.touched_ids(self.item_type),
                                  delta.added_ids(self.item_type))
         evicted_items = delta.evicted_ids(self.item_type)
         refreshed_items = 0
         new_items = num_items - self._item_embeddings.shape[0]
-        if stale_items.size or evicted_items.size or new_items > 0:
-            embeddings = np.zeros((num_items, self._item_embeddings.shape[1]),
-                                  dtype=self.dtype)
-            embeddings[:self._item_embeddings.shape[0]] = self._item_embeddings
-            rows = [int(i) for i in stale_items if i < num_items]
-            rows = sorted((set(rows) | set(
-                range(self._item_embeddings.shape[0], num_items)))
-                - set(evicted_items.tolist()))
-            if rows:
-                embeddings[rows] = self.model.item_embeddings(rows)
-                refreshed_items = len(rows)
-            executor = self._parallel.executor if self._parallel is not None \
-                else getattr(self.graph, "parallel_executor", None)
-            fresh_ann = self.ann.rebuilt(
-                embeddings, np.asarray(rows, dtype=np.int64),
-                removed=evicted_items[evicted_items < num_items],
-                executor=executor)
+        swap_items = bool(stale_items.size or evicted_items.size
+                          or new_items > 0)
+        evicted_queries: set = set()
+        stale_queries: List[int] = []
+        staged_postings = None
+        embeddings = self._item_embeddings
+        fresh_ann = self.ann
+        try:
+            if fault_point("refresh.ann_fail"):
+                raise InjectedFault("injected fault at refresh.ann_fail "
+                                    f"(version {delta.version})")
+            if swap_items:
+                # Recompute touched/new rows only; derive the fresh index
+                # with frozen coarse centroids, changed rows reassigned to
+                # their nearest cell, evicted rows dropped from every cell.
+                # The corpus row count never shrinks: tombstoned items keep
+                # their embedding row so the id-aligned trained state stays
+                # valid for a later re-add.
+                embeddings = np.zeros(
+                    (num_items, self._item_embeddings.shape[1]),
+                    dtype=self.dtype)
+                embeddings[:self._item_embeddings.shape[0]] = \
+                    self._item_embeddings
+                rows = [int(i) for i in stale_items if i < num_items]
+                rows = sorted((set(rows) | set(
+                    range(self._item_embeddings.shape[0], num_items)))
+                    - set(evicted_items.tolist()))
+                if rows:
+                    embeddings[rows] = self.model.item_embeddings(rows)
+                    refreshed_items = len(rows)
+                executor = self._parallel.executor \
+                    if self._parallel is not None \
+                    else getattr(self.graph, "parallel_executor", None)
+                fresh_ann = self.ann.rebuilt(
+                    embeddings, np.asarray(rows, dtype=np.int64),
+                    removed=evicted_items[evicted_items < num_items],
+                    executor=executor)
+            if self.use_inverted_index:
+                evicted_queries = set(
+                    delta.evicted_ids(self.query_type).tolist())
+                stale_queries = [int(q) for q in touched_queries
+                                 if q not in evicted_queries
+                                 and self.inverted_index.has_posting(q)]
+                if stale_queries:
+                    query_embeddings = np.vstack([
+                        self.model.request_embedding(self._example_user, q)
+                        for q in stale_queries])
+                    staged_postings = self.inverted_index.stage_postings(
+                        stale_queries, query_embeddings, embeddings)
+        except Exception as error:
+            self.degraded = True
+            self.degraded_reason = (f"refresh to version {delta.version} "
+                                    f"failed before commit: {error}")
+            raise RefreshError(self.degraded_reason) from error
+
+        # 4+5 (commit). Nothing below can fail: plain swaps and dict
+        #    writes.  Either every structure reflects the new version or —
+        #    had the stage above raised — none of them do.
+        if swap_items:
             self._item_embeddings = embeddings
             self.ann = fresh_ann                      # atomic swap
             if self._parallel is not None:
                 self._parallel.attach_index(self.ann)   # re-export for workers
-        # 5. Inverted index: drop evicted queries' postings outright, purge
-        #    evicted items from the surviving lists, then rebuild exactly
-        #    the remaining touched queries' postings (build_inverted_index
-        #    overwrites each rebuilt key in place).
         refreshed_postings = 0
         dropped_postings = 0
         purged_posting_items = 0
         if self.use_inverted_index:
-            evicted_queries = set(delta.evicted_ids(self.query_type).tolist())
+            # Drop evicted queries' postings outright, purge evicted items
+            # from the surviving lists, then install the staged rebuilds of
+            # exactly the touched queries (overwriting each key in place).
             if evicted_queries:
                 dropped_postings = self.inverted_index.invalidate_queries(
                     sorted(evicted_queries))
             if evicted_items.size:
                 purged_posting_items = self.inverted_index.purge_items(
                     evicted_items.tolist())
-            stale_queries = [int(q) for q in touched_queries
-                             if q not in evicted_queries
-                             and self.inverted_index.has_posting(q)]
-            if stale_queries:
-                self.build_inverted_index(stale_queries,
-                                          example_user=self._example_user)
+            if staged_postings:
+                self.inverted_index.commit_postings(staged_postings)
                 refreshed_postings = len(stale_queries)
 
         self.graph_version = delta.version
+        self.degraded = False
+        self.degraded_reason = ""
         return RefreshReport(version=self.graph_version,
                              invalidated_cache_keys=invalidated,
                              refreshed_postings=refreshed_postings,

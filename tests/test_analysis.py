@@ -30,7 +30,7 @@ def rules_fired(source, path=SRC, select=None):
 class TestFramework:
     def test_all_rules_registers_initial_battery(self):
         expected = {"RNG001", "RNG002", "CLK001", "ASY001", "SHM001",
-                    "SPEC001", "REG001", "EXC001", "SUP001"}
+                    "SPEC001", "REG001", "EXC001", "EXC002", "SUP001"}
         assert expected <= set(all_rules())
 
     def test_every_rule_documents_its_contract(self):
@@ -290,6 +290,49 @@ class TestEXC001:
                    "except Exception:\n"
                    "    logging.exception('boom')\n    raise\n")
         assert "EXC001" not in rules_fired(handled)
+
+
+class TestEXC002:
+    RECOVERY = "src/repro/serving/daemon.py"
+
+    def test_fires_on_swallowing_broad_catch_in_recovery_layer(self):
+        swallowed = ("import logging\n"
+                     "try:\n    x = 1\n"
+                     "except Exception:\n"
+                     "    logging.exception('boom')\n")
+        assert "EXC002" in rules_fired(swallowed, path=self.RECOVERY)
+        assert "EXC002" in rules_fired(swallowed,
+                                       path="src/repro/parallel/pool.py")
+
+    def test_fires_on_attribute_and_tuple_catches(self):
+        cancelled = ("import asyncio\n"
+                     "try:\n    x = 1\n"
+                     "except asyncio.CancelledError:\n    x = 2\n")
+        assert "EXC002" in rules_fired(cancelled, path=self.RECOVERY)
+        tupled = ("try:\n    x = 1\n"
+                  "except (ValueError, BaseException):\n    x = 2\n")
+        assert "EXC002" in rules_fired(tupled, path=self.RECOVERY)
+
+    def test_silent_when_the_handler_reraises(self):
+        reraised = ("try:\n    x = 1\n"
+                    "except Exception as error:\n"
+                    "    if x:\n        raise RuntimeError('wrap') from error\n"
+                    "    raise\n")
+        assert "EXC002" not in rules_fired(reraised, path=self.RECOVERY)
+
+    def test_silent_on_narrow_catches_and_outside_recovery_layers(self):
+        narrow = ("try:\n    x = 1\n"
+                  "except RuntimeError:\n    x = 2\n")
+        assert "EXC002" not in rules_fired(narrow, path=self.RECOVERY)
+        swallowed = ("try:\n    x = 1\n"
+                     "except Exception:\n    x = 2\n")
+        assert "EXC002" not in rules_fired(swallowed,
+                                           path="src/repro/api/pipeline.py")
+
+    def test_bare_except_is_exc001_territory(self):
+        bare = "try:\n    x = 1\nexcept:\n    x = 2\n"
+        fired = rules_fired(bare, path=self.RECOVERY)
+        assert "EXC001" in fired and "EXC002" not in fired
 
 
 # ---------------------------------------------------------------------- #

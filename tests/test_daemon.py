@@ -249,6 +249,37 @@ class TestGracefulDrain:
         daemon.close()
         daemon.close()
 
+    def test_drop_oldest_eviction_racing_a_drain_resolves_every_future(
+            self, server):
+        # The race: the queue sits at max depth, a newcomer's drop-oldest
+        # eviction resolves the victim, and a graceful drain begins in the
+        # same breath.  Nothing may be left hanging — the victim holds its
+        # shed result and the drain serves every survivor.
+        daemon = make_daemon(server, max_batch_size=2, max_wait_ms=60_000.0,
+                             max_queue_depth=2, shed_policy="drop-oldest")
+
+        async def scenario():
+            await daemon.start()
+            loop = asyncio.get_running_loop()
+            futures = [loop.create_future() for _ in range(2)]
+            for index, future in enumerate(futures):
+                daemon._admitted.append((ServeRequest(index, index), future))
+                daemon.stats.admitted += 1
+            assert daemon._admission_decision(ServeRequest(2, 2)) is None
+            newcomer = loop.create_future()
+            daemon._admitted.append((ServeRequest(2, 2), newcomer))
+            daemon.stats.admitted += 1
+            assert futures[0].done()
+            assert futures[0].result().error == "shed"
+            await daemon.stop()
+            for future in [futures[1], newcomer]:
+                assert future.done(), "drain left an admitted future hanging"
+                assert future.result().item_ids.size   # served, not shed
+            assert daemon.stats.shed_queue == 1
+            assert daemon.stats.served == 2
+
+        asyncio.run(scenario())
+
 
 class TestStatsVerb:
     def test_counters_reconcile_with_batcher_stats(self, server):

@@ -1,0 +1,565 @@
+"""Chaos-engineering tests: the deterministic fault plan and every recovery layer.
+
+The contract chain pinned here:
+
+* **Replayable injection** — a :class:`FaultPlan` under a fixed seed fires
+  the identical fault sequence run over run (Philox decisions keyed by
+  ``(seed, site, occurrence)``), and its ``fired`` ledger / ``summary()``
+  are the recovery accounting.
+* **Pool supervision** — an injected ``worker.crash`` is recovered by
+  respawn + resubmit with bit-identical, ordered results; exhausted
+  retries break the pool loudly; the engine downgrades to the serial
+  backend and keeps producing identical outputs.
+* **Serving resilience** — ``DaemonClient`` classifies transport
+  failures, retries with seeded backoff, and fails fast behind an open
+  circuit breaker; an injected ``refresh.ann_fail`` leaves the server
+  serving the prior version (degraded-flagged) and a retried refresh
+  clears it.
+* **Crash-safe ingest** — micro-batches are journaled before they are
+  applied; a crashed replay recovers from a fresh pipeline via
+  ``recover_from_wal`` to the exact state of an uninterrupted run, and
+  re-running recovery is a strict no-op.
+"""
+
+from __future__ import annotations
+
+import glob
+import socket
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    FaultSpec,
+    Pipeline,
+    PipelineError,
+    StreamingSpec,
+    TrainSpec,
+)
+from repro.data import IngestJournal, SearchSession
+from repro.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+)
+from repro.graph.update import GraphMutator
+from repro.parallel import ParallelEngine, WorkerCrashError, WorkerPool
+from repro.parallel.shm import set_pack_prefix, share_result_pack
+from repro.serving import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DaemonClient,
+    RefreshError,
+    RetryPolicy,
+    classify_transport_error,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """No test may leak an armed plan into its neighbours."""
+    disarm()
+    yield
+    disarm()
+
+
+def _tiny_spec(**streaming):
+    return ExperimentSpec(
+        dataset=DataSpec(params={"num_users": 25, "num_queries": 20,
+                                 "num_items": 50, "sessions_per_user": 4.0},
+                         max_train_examples=120, max_test_examples=0),
+        training=TrainSpec(epochs=1, max_batches_per_epoch=3, batch_size=64),
+        streaming=StreamingSpec(**streaming) if streaming else StreamingSpec())
+
+
+# ---------------------------------------------------------------------- #
+# The plan: determinism, schedules, arming
+# ---------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_fixed_seed_replays_identical_fault_sequence(self):
+        def run():
+            plan = FaultPlan({"net.drop": {"probability": 0.3}}, seed=42)
+            decisions = [plan.fires("net.drop") for _ in range(50)]
+            return decisions, list(plan.fired), plan.summary()
+
+        first, second = run(), run()
+        assert first == second
+        assert any(first[0]), "p=0.3 over 50 occurrences should fire"
+        assert not all(first[0])
+
+    def test_different_seeds_differ_and_sites_are_independent(self):
+        a = FaultPlan({"net.drop": {"probability": 0.5}}, seed=0)
+        b = FaultPlan({"net.drop": {"probability": 0.5}}, seed=1)
+        assert [a.fires("net.drop") for _ in range(64)] \
+            != [b.fires("net.drop") for _ in range(64)]
+        # Interleaving another site does not move net.drop's decisions.
+        c = FaultPlan({"net.drop": {"probability": 0.5},
+                       "net.stall": {"probability": 0.5}}, seed=0)
+        interleaved = []
+        for _ in range(64):
+            c.fires("net.stall")
+            interleaved.append(c.fires("net.drop"))
+        alone = FaultPlan({"net.drop": {"probability": 0.5}}, seed=0)
+        assert interleaved == [alone.fires("net.drop") for _ in range(64)]
+
+    def test_schedule_max_fires_and_ledger(self):
+        plan = FaultPlan({"worker.crash": FaultRule(at=(0, 2, 3),
+                                                    max_fires=2)})
+        assert [plan.fires("worker.crash") for _ in range(5)] \
+            == [True, False, True, False, False]
+        assert plan.fired == [("worker.crash", 0), ("worker.crash", 2)]
+        assert plan.summary() == {"worker.crash": {"occurrences": 5,
+                                                   "fired": 2}}
+
+    def test_unknown_sites_and_bad_rules_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            FaultPlan({"no.such.site": {"at": [0]}})
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(probability=1.5)
+        with pytest.raises(ValueError, match="schedule|probability"):
+            FaultRule()
+        with pytest.raises(ValueError, match="max_fires"):
+            FaultRule(at=(0,), max_fires=0)
+        with pytest.raises(ValueError, match="unknown fault-rule keys"):
+            FaultPlan({"net.drop": {"when": [0]}})
+        with pytest.raises(ValueError, match="stall_ms"):
+            FaultPlan({"net.drop": {"at": [0]}}, stall_ms=-1.0)
+
+    def test_arming_is_explicit_and_scoped(self):
+        assert active_plan() is None
+        assert fault_point("worker.crash") is False   # unarmed: never fires
+        plan = FaultPlan({"worker.crash": {"at": [0]}})
+        with plan.armed():
+            assert active_plan() is plan
+            assert fault_point("worker.crash") is True
+            assert fault_point("worker.crash") is False
+        assert active_plan() is None
+        arm(plan)
+        assert active_plan() is plan
+        disarm()
+        assert active_plan() is None
+
+    def test_raise_if_fires(self):
+        plan = FaultPlan({"ingest.crash": {"at": [1]}})
+        plan.raise_if_fires("ingest.crash")            # occurrence 0: quiet
+        with pytest.raises(InjectedFault, match="ingest.crash"):
+            plan.raise_if_fires("ingest.crash")
+
+    def test_wire_round_trip(self):
+        plan = FaultPlan({"net.stall": {"probability": 0.25, "at": [1],
+                                        "max_fires": 3}},
+                         seed=9, stall_ms=35.0)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.rules == plan.rules
+        assert (clone.seed, clone.stall_ms) == (9, 35.0)
+        bare = FaultPlan.from_json('{"worker.crash": {"at": [2]}}')
+        assert bare.rules["worker.crash"].at == (2,)
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json('[1, 2]')
+
+    def test_every_known_site_is_documented(self):
+        assert set(KNOWN_SITES) == {"worker.crash", "refresh.ann_fail",
+                                    "net.stall", "net.drop", "ingest.crash"}
+        assert all(KNOWN_SITES.values())
+
+
+class TestFaultSpec:
+    def test_spec_round_trips_with_faults_section(self):
+        spec = _tiny_spec()
+        spec.faults = FaultSpec(points={"worker.crash": {"at": [1]}},
+                                seed=5, stall_ms=10.0)
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone.faults.points == {"worker.crash": {"at": [1]}}
+        assert clone.faults.seed == 5
+        plan = clone.faults.to_plan()
+        assert plan is not None and plan.seed == 5 and plan.stall_ms == 10.0
+
+    def test_empty_faults_build_no_plan(self):
+        spec = _tiny_spec()
+        spec.validate()
+        assert spec.faults.to_plan() is None
+
+    def test_validation_rejects_bad_sections(self):
+        bad = _tiny_spec()
+        bad.faults = FaultSpec(points={"no.such.site": {"at": [0]}})
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            bad.validate()
+        bad = _tiny_spec()
+        bad.faults = FaultSpec(stall_ms=-2.0)
+        with pytest.raises(ValueError, match="stall_ms"):
+            bad.validate()
+        bad = _tiny_spec()
+        bad.faults = FaultSpec(seed=True)
+        with pytest.raises(ValueError, match="seed"):
+            bad.validate()
+
+    def test_spec_seed_seeds_the_plan_unless_overridden(self):
+        spec = _tiny_spec()
+        spec.seed = 7
+        spec.faults = FaultSpec(points={"net.drop": {"probability": 0.5}})
+        assert spec.faults.to_plan(default_seed=spec.seed).seed == 7
+        spec.faults.seed = 11
+        assert spec.faults.to_plan(default_seed=spec.seed).seed == 11
+
+
+# ---------------------------------------------------------------------- #
+# Pool supervision: crash -> respawn -> resubmit, or loud downgrade
+# ---------------------------------------------------------------------- #
+class TestPoolCrashRecovery:
+    def test_injected_crash_recovers_with_ordered_results(self):
+        plan = arm(FaultPlan({"worker.crash": {"at": [1]}}))
+        payloads = [{"value": index} for index in range(6)]
+        with WorkerPool(2) as pool:
+            assert pool.map("echo", payloads) == payloads
+            stats = pool.stats
+        assert stats.faults_injected == 1
+        assert stats.crashes_recovered == 1
+        assert stats.workers_respawned == 2
+        assert stats.tasks_resubmitted >= 1
+        assert plan.fired == [("worker.crash", 1)]
+
+    def test_exhausted_retries_break_the_pool_loudly(self):
+        # Resubmitted tasks are never re-poisoned (bit-identical retry), so
+        # each poisoned batch costs exactly one recovery.  With a budget of
+        # one, the second crash must break the pool loudly instead of
+        # looping forever — and a broken pool refuses further work.
+        arm(FaultPlan({"worker.crash": {"probability": 1.0}}))
+        pool = WorkerPool(2, max_task_retries=1)
+        try:
+            assert pool.map("echo", [{"value": 1}]) == [{"value": 1}]
+            assert pool.stats.crashes_recovered == 1
+            with pytest.raises(WorkerCrashError, match="exited"):
+                pool.map("echo", [{"value": 2}])
+            with pytest.raises(WorkerCrashError, match="earlier recoveries"):
+                pool.submit("echo", {"value": 3})
+        finally:
+            disarm()
+            pool.shutdown()
+
+    def test_engine_downgrades_to_serial_bit_identically(self, tiny_graph):
+        arm(FaultPlan({"worker.crash": {"probability": 1.0}}))
+        engine = ParallelEngine(tiny_graph, num_workers=2, backend="shared",
+                                max_task_retries=0)
+        try:
+            payloads = [{"value": index} for index in range(4)]
+            assert engine.executor.map("echo", payloads) == payloads
+            assert engine.degraded is True
+            assert engine.backend == "serial"
+            assert "downgraded to serial" in engine.downgrade_reason
+            disarm()
+            # The stable executor handle keeps working after the downgrade.
+            assert engine.executor.map("echo", payloads) == payloads
+        finally:
+            disarm()
+            engine.close()
+
+    def test_shutdown_sweeps_leaked_result_packs(self):
+        # A pack created under the pool's prefix whose handle is lost (the
+        # crash scenario) must not survive the pool in /dev/shm.
+        pool = WorkerPool(1)
+        try:
+            set_pack_prefix(pool.pack_prefix)
+            share_result_pack([np.arange(8)])      # handle dropped: leaked
+        finally:
+            set_pack_prefix(None)
+        leaked = glob.glob(f"/dev/shm/{pool.pack_prefix}_*")
+        assert leaked, "the pack must exist before the sweep"
+        pool.shutdown()
+        assert not glob.glob(f"/dev/shm/{pool.pack_prefix}_*")
+
+
+# ---------------------------------------------------------------------- #
+# Client-side resilience primitives
+# ---------------------------------------------------------------------- #
+class TestResiliencePrimitives:
+    def test_transport_error_classification(self):
+        assert classify_transport_error(ConnectionRefusedError()) \
+            == "connect_refused"
+        assert classify_transport_error(socket.timeout()) == "timeout"
+        assert classify_transport_error(TimeoutError()) == "timeout"
+        for reset in (ConnectionResetError(), BrokenPipeError(), EOFError()):
+            assert classify_transport_error(reset) == "reset"
+        assert classify_transport_error(ValueError("boom")) == "other"
+
+    def test_retry_policy_is_bounded_and_seeded(self):
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.1, max_delay_s=0.5,
+                             jitter=0.5, seed=3)
+        twin = RetryPolicy(max_retries=2, base_delay_s=0.1, max_delay_s=0.5,
+                           jitter=0.5, seed=3)
+        delays = [policy.backoff_s(attempt) for attempt in range(6)]
+        assert delays == [twin.backoff_s(attempt) for attempt in range(6)]
+        assert all(0.1 <= delay <= 0.5 * 1.5 for delay in delays)
+        assert policy.should_retry(0) and policy.should_retry(1)
+        assert not policy.should_retry(2)
+        no_jitter = RetryPolicy(base_delay_s=0.05, max_delay_s=1.0,
+                                jitter=0.0)
+        assert [no_jitter.backoff_s(a) for a in range(4)] \
+            == [0.05, 0.1, 0.2, 0.4]
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+    def test_circuit_breaker_state_machine(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=10.0)
+        assert breaker.allow(now=0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == "closed" and breaker.allow(now=0.0)
+        breaker.record_failure(now=1.0)                  # streak hits 2
+        assert breaker.state == "open"
+        assert not breaker.allow(now=5.0)                # failing fast
+        assert breaker.allow(now=11.5)                   # half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow(now=11.6)               # one probe at a time
+        breaker.record_failure(now=11.7)                 # probe failed
+        assert breaker.state == "open" and breaker.opened_count == 2
+        assert breaker.allow(now=22.0)                   # next probe...
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+        assert breaker.allow(now=22.1)
+        assert breaker.snapshot()["opened_count"] == 2
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+# ---------------------------------------------------------------------- #
+# DaemonClient under injected network faults
+# ---------------------------------------------------------------------- #
+class TestDaemonClientResilience:
+    @pytest.fixture()
+    def daemon(self, tiny_graph):
+        from repro.api.spec import DaemonSpec
+        from repro.baselines import STAMPModel
+        from repro.serving import OnlineServer, ServingDaemon
+
+        model = STAMPModel(tiny_graph, embedding_dim=8, seed=0)
+        server = OnlineServer(model, cache_capacity=5, ann_cells=4,
+                              ann_nprobe=2)
+        server.warm_caches(range(5), range(5))
+        server.build_inverted_index(range(5))
+        with ServingDaemon(server, spec=DaemonSpec(
+                max_batch_size=4, max_wait_ms=5.0,
+                max_queue_depth=16)) as daemon:
+            yield daemon
+
+    def test_retry_recovers_from_an_injected_drop(self, daemon):
+        arm(FaultPlan({"net.drop": {"at": [0]}}))
+        with DaemonClient(daemon.host, daemon.port,
+                          retry=RetryPolicy(max_retries=2, base_delay_s=0.01,
+                                            jitter=0.0)) as client:
+            response = client.serve(0, 1, k=3)
+        assert response["ok"] is True
+        assert client.transport_failures == {"reset": 1}
+
+    def test_timeout_on_injected_stall_is_classified_and_retried(
+            self, daemon):
+        arm(FaultPlan({"net.stall": {"at": [0]}}, stall_ms=500.0))
+        with DaemonClient(daemon.host, daemon.port, request_timeout=0.08,
+                          retry=RetryPolicy(max_retries=2, base_delay_s=0.01,
+                                            jitter=0.0)) as client:
+            response = client.serve(0, 1, k=3)
+        assert response["ok"] is True
+        assert client.transport_failures["timeout"] == 1
+
+    def test_open_breaker_fails_fast_without_touching_the_socket(
+            self, daemon):
+        plan = arm(FaultPlan({"net.drop": {"probability": 1.0}}))
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=60.0)
+        with DaemonClient(daemon.host, daemon.port,
+                          breaker=breaker) as client:
+            with pytest.raises(ConnectionError):
+                client.serve(0, 1, k=3)
+            assert breaker.state == "open"
+            occurrences = plan.summary()["net.drop"]["occurrences"]
+            with pytest.raises(CircuitOpenError):
+                client.serve(0, 1, k=3)
+            # Fail-fast: the daemon never saw the gated request.
+            assert plan.summary()["net.drop"]["occurrences"] == occurrences
+
+    def test_bare_client_is_unchanged(self, daemon):
+        with DaemonClient(daemon.host, daemon.port) as client:
+            assert client.serve(0, 1, k=3)["ok"] is True
+            assert client.transport_failures == {}
+
+    def test_stats_surface_server_degradation(self, daemon):
+        with DaemonClient(daemon.host, daemon.port) as client:
+            stats = client.stats()
+        assert stats["server"]["degraded"] is False
+        daemon.server.degraded = True
+        daemon.server.degraded_reason = "refresh to version 9 failed"
+        try:
+            with DaemonClient(daemon.host, daemon.port) as client:
+                stats = client.stats()
+        finally:
+            daemon.server.degraded = False
+            daemon.server.degraded_reason = ""
+        assert stats["server"]["degraded"] is True
+        assert "version 9" in stats["server"]["degraded_reason"]
+
+
+# ---------------------------------------------------------------------- #
+# Failure-atomic server refresh
+# ---------------------------------------------------------------------- #
+class TestRefreshAtomicity:
+    def test_failed_refresh_keeps_serving_the_prior_version(self):
+        pipeline = Pipeline(_tiny_spec())
+        server = pipeline.deploy()
+        version_before = server.graph_version
+        ann_before = server.ann
+        baseline = server.serve(0, 0, k=5)
+        mutator = GraphMutator(pipeline.graph, seed=11)
+        delta = mutator.apply_sessions([(0, 0, [50, 51])])
+
+        arm(FaultPlan({"refresh.ann_fail": {"at": [0]}}))
+        with pytest.raises(RefreshError, match="before commit"):
+            server.refresh(delta)
+        # Nothing committed: same version, same ANN object, still serving.
+        assert server.degraded is True
+        assert "refresh to version" in server.degraded_reason
+        assert server.graph_version == version_before
+        assert server.ann is ann_before
+        retained = server.serve(0, 0, k=5)
+        np.testing.assert_array_equal(retained.item_ids, baseline.item_ids)
+
+        # The retry (occurrence 1 is not scheduled) commits and clears.
+        report = server.refresh(delta)
+        assert report.version == delta.version == server.graph_version
+        assert server.degraded is False and server.degraded_reason == ""
+        assert server._item_embeddings.shape[0] == \
+            pipeline.graph.num_nodes[server.item_type]
+
+    def test_ingest_parks_the_delta_and_recovers_on_the_next_flush(self):
+        pipeline = Pipeline(_tiny_spec(micro_batch_size=2, refresh_every=1))
+        pipeline.deploy()
+        with FaultPlan({"refresh.ann_fail": {"at": [0]}}).armed():
+            report = pipeline.ingest([(0, 0, [1, 2]), (1, 1, [3, 4])])
+            assert report.failed_refreshes == 1
+            assert report.refreshes == 0
+            assert pipeline.server.degraded is True
+            assert pipeline.server.graph_version < pipeline.graph.version
+            # The next cadence point retries the merged backlog.
+            report = pipeline.ingest([(2, 2, [5, 6]), (3, 3, [7, 8])])
+        assert report.failed_refreshes == 0
+        assert report.refreshes >= 1
+        assert pipeline.server.degraded is False
+        assert pipeline.server.graph_version == pipeline.graph.version
+
+
+# ---------------------------------------------------------------------- #
+# The write-ahead log
+# ---------------------------------------------------------------------- #
+class TestIngestJournal:
+    def test_round_trip_sessions_and_tuples(self, tmp_path):
+        journal = IngestJournal(str(tmp_path / "wal.jsonl"))
+        session = SearchSession(user_id=3, query_id=4, clicked_items=(7, 9),
+                                timestamp=12.5, intent_category=2)
+        journal.append(0, [session])
+        journal.append(1, [(5, 6, [8])])
+        records = list(journal.records())
+        assert [version for version, _ in records] == [0, 1]
+        assert records[0][1] == [session]
+        replayed = records[1][1][0]
+        assert (replayed.user_id, replayed.query_id,
+                replayed.clicked_items) == (5, 6, (8,))
+        assert len(journal) == 2
+        journal.clear()
+        assert len(journal) == 0 and list(journal.records()) == []
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = IngestJournal(str(path))
+        journal.append(0, [(1, 2, [3])])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "sessions": [[4, 5')   # crash victim
+        assert len(journal) == 1
+
+    def test_torn_middle_line_is_corruption(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = IngestJournal(str(path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"version": 0, "sessions"\n')         # torn...
+            handle.write('{"version": 1, "sessions": [[1, 2, [3], 0.0, -1]]}\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            list(journal.records())
+
+
+class TestWalRecovery:
+    SESSIONS = [(0, 0, [1, 2]), (1, 1, [3, 4]),
+                (2, 2, [5, 6]), (3, 3, [7, 8])]
+
+    def _spec(self, tmp_path, name):
+        spec = _tiny_spec(micro_batch_size=2)
+        spec.streaming.wal_path = str(tmp_path / name)
+        return spec
+
+    def _state(self, pipeline):
+        graph = pipeline.graph
+        return (graph.version, graph.total_edges, dict(graph.num_nodes),
+                graph.summary())
+
+    def test_crash_recovery_matches_the_uninterrupted_run(self, tmp_path):
+        # Uninterrupted reference run (its own WAL, same spec otherwise).
+        reference = Pipeline(self._spec(tmp_path, "reference.jsonl"))
+        reference.build_graph()
+        reference.ingest(self.SESSIONS)
+
+        # The victim crashes after journaling the second micro-batch.
+        victim = Pipeline(self._spec(tmp_path, "wal.jsonl"))
+        victim.build_graph()
+        with FaultPlan({"ingest.crash": {"at": [1]}}).armed():
+            with pytest.raises(InjectedFault, match="ingest.crash"):
+                victim.ingest(self.SESSIONS)
+        journal = IngestJournal(str(tmp_path / "wal.jsonl"))
+        assert len(journal) == 2          # both batches journaled pre-apply
+        assert victim.graph.version == reference.graph.version - 1
+
+        # A fresh process (same spec, same seed) replays the journal and
+        # continues where the stream left off.
+        recovered = Pipeline(self._spec(tmp_path, "wal.jsonl"))
+        report = recovered.recover_from_wal()
+        assert report.micro_batches == 2
+        assert report.replay_skipped == 0
+        assert recovered.graph.version == reference.graph.version
+        assert self._state(recovered) == self._state(reference)
+
+    def test_recovery_is_idempotent_and_skips_applied_records(self, tmp_path):
+        pipeline = Pipeline(self._spec(tmp_path, "wal.jsonl"))
+        pipeline.build_graph()
+        first = pipeline.ingest(self.SESSIONS)
+        assert first.journaled_batches == 2
+        state = self._state(pipeline)
+        # Recovery on the already-caught-up pipeline replays nothing.
+        report = pipeline.recover_from_wal()
+        assert report.replay_skipped == 2
+        assert report.micro_batches == 0
+        assert self._state(pipeline) == state
+
+    def test_replayed_batches_are_not_rejournaled(self, tmp_path):
+        pipeline = Pipeline(self._spec(tmp_path, "wal.jsonl"))
+        pipeline.build_graph()
+        pipeline.ingest(self.SESSIONS[:2])
+        recovered = Pipeline(self._spec(tmp_path, "wal.jsonl"))
+        recovered.recover_from_wal()
+        assert len(IngestJournal(str(tmp_path / "wal.jsonl"))) == 1
+        # New (post-recovery) ingests journal again.
+        recovered.ingest(self.SESSIONS[2:])
+        assert len(IngestJournal(str(tmp_path / "wal.jsonl"))) == 2
+
+    def test_foreign_journal_raises_a_gap_error(self, tmp_path):
+        journal = IngestJournal(str(tmp_path / "wal.jsonl"))
+        journal.append(7, [(0, 0, [1])])      # version far ahead of fresh
+        pipeline = Pipeline(self._spec(tmp_path, "wal.jsonl"))
+        with pytest.raises(PipelineError, match="journal gap"):
+            pipeline.recover_from_wal()
+
+    def test_recover_requires_a_wal_path(self):
+        with pytest.raises(PipelineError, match="wal_path"):
+            Pipeline(_tiny_spec()).recover_from_wal()
